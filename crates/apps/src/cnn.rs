@@ -1,0 +1,368 @@
+//! CNN inference layer stacks — the paper's headline workload for the
+//! general-case kernel.
+//!
+//! A [`LayerStack`] chains convolution layers (run on the simulated GPU
+//! through any [`Engine`]) with host-side ReLU and 2x2 max-pooling, and
+//! reports per-layer statistics. Stride-1 "valid" convolutions only, like
+//! the kernels themselves; the stock stacks are VGG-flavoured for that
+//! reason.
+
+use kconv_core::ConvError;
+use kconv_sim::{Gpu, SimMode};
+use kconv_tensor::{random_filters, ConvProblem, FeatureMaps, FilterSet};
+
+use crate::device_ops::{max_pool2_device, relu_device};
+use crate::engine::Engine;
+
+/// One convolution layer: a filter bank plus post-processing switches.
+#[derive(Debug, Clone)]
+pub struct ConvLayer {
+    /// Display name.
+    pub name: String,
+    /// The layer's filters (`F x C x K x K`).
+    pub filters: FilterSet,
+    /// Spatial stride (strided layers route to the GEMM baseline under
+    /// [`Engine::Auto`] — the paper's kernels are stride-1 specialized).
+    pub stride: usize,
+    /// Apply ReLU after the convolution.
+    pub relu: bool,
+    /// Apply 2x2 stride-2 max pooling after the activation.
+    pub pool: bool,
+}
+
+impl ConvLayer {
+    /// A layer with seeded random weights.
+    pub fn random(
+        name: impl Into<String>,
+        filters: usize,
+        channels: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        ConvLayer {
+            name: name.into(),
+            filters: random_filters(filters, channels, k, seed),
+            stride: 1,
+            relu: true,
+            pool: false,
+        }
+    }
+
+    /// Enables 2x2 max pooling after this layer.
+    pub fn with_pool(mut self) -> Self {
+        self.pool = true;
+        self
+    }
+
+    /// Sets the layer's spatial stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+}
+
+/// Host-side ReLU (test oracle for the device kernel).
+#[cfg(test)]
+fn relu(maps: &mut FeatureMaps) {
+    for v in maps.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+}
+
+/// Host-side 2x2 stride-2 max pooling (test oracle for the device kernel).
+#[cfg(test)]
+fn max_pool2(maps: &FeatureMaps) -> FeatureMaps {
+    let (c, h, w) = (maps.channels(), maps.height() / 2, maps.width() / 2);
+    FeatureMaps::from_fn(c, h, w, |ch, y, x| {
+        let (yy, xx) = (2 * y, 2 * x);
+        maps.get(ch, yy, xx)
+            .max(maps.get(ch, yy, xx + 1))
+            .max(maps.get(ch, yy + 1, xx))
+            .max(maps.get(ch, yy + 1, xx + 1))
+    })
+}
+
+/// Per-layer record of a stack run.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// The convolution problem the layer solved.
+    pub problem: ConvProblem,
+    /// Engine display name that ran it.
+    pub engine: String,
+    /// Modeled seconds of the convolution launch.
+    pub seconds: f64,
+    /// Modeled seconds of the layer's device post-processing (ReLU and
+    /// pooling kernels).
+    pub post_seconds: f64,
+    /// Algorithmic GFlop/s of the convolution.
+    pub gflops: f64,
+}
+
+/// Result of [`LayerStack::run`].
+#[derive(Debug, Clone)]
+pub struct StackRun {
+    /// Final feature maps.
+    pub output: FeatureMaps,
+    /// Per-layer statistics, in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl StackRun {
+    /// Total modeled convolution time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.layers.iter().map(|l| l.seconds).sum()
+    }
+
+    /// Total modeled post-processing (ReLU/pooling) time in seconds.
+    pub fn total_post_seconds(&self) -> f64 {
+        self.layers.iter().map(|l| l.post_seconds).sum()
+    }
+}
+
+/// A feed-forward stack of convolution layers.
+#[derive(Debug, Clone, Default)]
+pub struct LayerStack {
+    /// The layers, in order.
+    pub layers: Vec<ConvLayer>,
+}
+
+impl LayerStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        LayerStack { layers: Vec::new() }
+    }
+
+    /// A LeNet-flavoured stack for 1-channel inputs: 5x5 convolutions with
+    /// pooling — its first layer is the paper's special case.
+    pub fn lenet_like() -> Self {
+        LayerStack {
+            layers: vec![
+                ConvLayer::random("conv1 (special case)", 8, 1, 5, 1).with_pool(),
+                ConvLayer::random("conv2", 16, 8, 5, 2).with_pool(),
+            ],
+        }
+    }
+
+    /// An AlexNet-flavoured prefix for RGB inputs: a strided 7x7 stem
+    /// (routed to the GEMM baseline — the paper's kernels are stride-1
+    /// only) followed by stride-1 layers on the paper's kernels.
+    pub fn alexnet_like() -> Self {
+        LayerStack {
+            layers: vec![
+                ConvLayer::random("conv1-32 /2 (strided stem)", 32, 3, 7, 21).with_stride(2),
+                ConvLayer::random("conv2-64", 64, 32, 5, 22).with_pool(),
+                ConvLayer::random("conv3-128", 128, 64, 3, 23),
+            ],
+        }
+    }
+
+    /// A VGG-A-flavoured prefix for RGB inputs: stride-1 3x3 convolutions
+    /// with pooling, channel widths 64 -> 128 -> 256.
+    pub fn vgg_like() -> Self {
+        LayerStack {
+            layers: vec![
+                ConvLayer::random("conv1-64", 64, 3, 3, 11).with_pool(),
+                ConvLayer::random("conv2-128", 128, 64, 3, 12).with_pool(),
+                ConvLayer::random("conv3-256", 256, 128, 3, 13),
+            ],
+        }
+    }
+
+    /// Runs the stack on `input`, timing every convolution on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::Shape`] when a layer's input became smaller
+    /// than its filter, and propagates kernel errors.
+    pub fn run(
+        &self,
+        gpu: &mut Gpu,
+        input: FeatureMaps,
+        engine: Engine,
+        mode: SimMode,
+    ) -> Result<StackRun, ConvError> {
+        let mut maps = input;
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let k = layer.filters.k();
+            if maps.height() < k || maps.width() < k {
+                return Err(ConvError::Shape(format!(
+                    "layer {}: input {}x{} smaller than filter {k}x{k}",
+                    layer.name,
+                    maps.height(),
+                    maps.width()
+                )));
+            }
+            let problem = ConvProblem::new(
+                maps.channels(),
+                maps.height(),
+                maps.width(),
+                layer.filters.count(),
+                k,
+            )
+            .with_stride(layer.stride);
+            let conv = engine.resolve(gpu, &problem)?;
+            let run = conv.run(gpu, &problem, &maps, &layer.filters, mode.clone())?;
+            let seconds = run.report.seconds();
+            let gflops = run.effective_gflops(&problem);
+            let mut post_seconds = 0.0;
+            maps = run.output;
+            if layer.relu {
+                let (out, report) = relu_device(gpu, &maps)?;
+                maps = out;
+                post_seconds += report.seconds();
+            }
+            if layer.pool && maps.height() >= 2 && maps.width() >= 2 {
+                let (out, report) = max_pool2_device(gpu, &maps)?;
+                maps = out;
+                post_seconds += report.seconds();
+            }
+            layers.push(LayerReport {
+                name: layer.name.clone(),
+                problem,
+                engine: conv.name(),
+                seconds,
+                post_seconds,
+                gflops,
+            });
+        }
+        Ok(StackRun {
+            output: maps,
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::random_maps;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::kepler_k40m())
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut maps = FeatureMaps::from_fn(1, 2, 2, |_, y, x| (y as f32 - 0.5) * (x as f32 + 1.0));
+        relu(&mut maps);
+        assert!(maps.as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(maps.get(0, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn pooling_halves_and_takes_max() {
+        let maps = FeatureMaps::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let pooled = max_pool2(&maps);
+        assert_eq!(pooled.height(), 2);
+        assert_eq!(pooled.get(0, 0, 0), 5.0);
+        assert_eq!(pooled.get(0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn lenet_stack_runs_and_shrinks() {
+        let mut g = gpu();
+        let input = random_maps(1, 36, 36, 61);
+        let run = LayerStack::lenet_like()
+            .run(&mut g, input, Engine::Auto, SimMode::Full)
+            .unwrap();
+        assert_eq!(run.layers.len(), 2);
+        // conv1: 36 -> 32, pool -> 16; conv2: 16 -> 12, pool -> 6.
+        assert_eq!(run.output.channels(), 16);
+        assert_eq!(run.output.height(), 6);
+        // The first layer must have used the special-case kernel.
+        assert!(run.layers[0].engine.contains("special"));
+        assert!(run.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn vgg_stack_uses_general_kernel() {
+        let mut g = gpu();
+        let input = random_maps(3, 20, 20, 62);
+        let run = LayerStack::vgg_like()
+            .run(&mut g, input, Engine::Auto, SimMode::Sampled(2))
+            .unwrap();
+        assert!(run.layers.iter().all(|l| l.engine.contains("general")));
+        assert_eq!(run.output.channels(), 256);
+    }
+
+    #[test]
+    fn alexnet_stack_mixes_engines() {
+        let mut g = gpu();
+        let input = random_maps(3, 39, 39, 68);
+        let run = LayerStack::alexnet_like()
+            .run(&mut g, input, Engine::Auto, SimMode::Sampled(2))
+            .unwrap();
+        // The strided stem takes the GEMM path, the rest the paper's kernel.
+        assert!(run.layers[0].engine.contains("GEMM"), "{}", run.layers[0].engine);
+        assert!(run.layers[1].engine.contains("general"));
+        // conv1: (39-7)/2+1 = 17; conv2: 13, pool -> 6; conv3: 4.
+        assert_eq!(run.output.height(), 4);
+        assert_eq!(run.output.channels(), 128);
+    }
+
+    #[test]
+    fn undersized_input_is_an_error() {
+        let mut g = gpu();
+        let input = random_maps(1, 6, 6, 63);
+        // conv1 5x5 -> 2x2, pool -> 1x1, conv2 5x5 impossible.
+        let err = LayerStack::lenet_like().run(&mut g, input, Engine::Auto, SimMode::Full);
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+
+    #[test]
+    fn device_postprocessing_matches_host_oracles() {
+        let mut g = gpu();
+        let input = random_maps(2, 10, 10, 66);
+        let layer = ConvLayer::random("probe", 4, 2, 3, 67).with_pool();
+        let stack = LayerStack { layers: vec![layer.clone()] };
+        let run = stack
+            .run(&mut g, input.clone(), Engine::ImplicitGemm, SimMode::Full)
+            .unwrap();
+        // Recompute with the host oracles.
+        let problem = ConvProblem::new(2, 10, 10, 4, 3);
+        let mut want = kconv_core::conv_reference(&problem, &input, &layer.filters);
+        relu(&mut want);
+        let want = max_pool2(&want);
+        kconv_tensor::assert_close(
+            run.output.as_slice(),
+            want.as_slice(),
+            kconv_tensor::CONV_TOL,
+            "device post ops",
+        );
+        assert!(run.total_post_seconds() > 0.0);
+    }
+
+    #[test]
+    fn outputs_match_reference_through_the_stack() {
+        // One layer, no pooling: stack output equals direct reference.
+        let mut g = gpu();
+        let input = random_maps(2, 16, 16, 64);
+        let layer = ConvLayer {
+            relu: false,
+            ..ConvLayer::random("probe", 8, 2, 3, 65)
+        };
+        let stack = LayerStack {
+            layers: vec![layer.clone()],
+        };
+        let run = stack
+            .run(&mut g, input.clone(), Engine::ImplicitGemm, SimMode::Full)
+            .unwrap();
+        let problem = ConvProblem::new(2, 16, 16, 8, 3);
+        let want = kconv_core::conv_reference(&problem, &input, &layer.filters);
+        kconv_tensor::assert_close(
+            run.output.as_slice(),
+            want.as_slice(),
+            kconv_tensor::CONV_TOL,
+            "stack",
+        );
+    }
+}

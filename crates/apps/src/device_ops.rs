@@ -1,0 +1,196 @@
+//! Elementwise device kernels for the CNN stacks: ReLU and 2x2 max
+//! pooling.
+//!
+//! These are bandwidth-trivial kernels (the convolutions dominate any
+//! stack), but running them on the simulated GPU keeps the whole inference
+//! pipeline's traffic on the books — and they double as simple examples of
+//! writing kernels against the `kconv-sim` warp API.
+
+use kconv_core::{ConvError, Result};
+use kconv_sim::{
+    lane_addrs_from, Gpu, LaneMask, LaunchConfig, LaunchReport, OverlapMode, SimMode, WARP_SIZE,
+};
+use kconv_tensor::FeatureMaps;
+
+const THREADS: usize = 256;
+
+/// ReLU on the device: `y = max(x, 0)` over all elements.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn relu_device(gpu: &mut Gpu, maps: &FeatureMaps) -> Result<(FeatureMaps, LaunchReport)> {
+    let total = maps.as_slice().len();
+    let d_in = gpu.alloc_f32(total as u64).map_err(ConvError::Sim)?;
+    gpu.upload_f32(d_in, maps.as_slice()).map_err(ConvError::Sim)?;
+    let d_out = gpu.alloc_f32(total as u64).map_err(ConvError::Sim)?;
+
+    let launch = LaunchConfig::new("relu", total.div_ceil(THREADS), THREADS)
+        .with_regs(10)
+        .with_overlap(OverlapMode::Moderate);
+    let report = gpu
+        .launch(&launch, SimMode::Full, |blk| {
+            let base = blk.dims.block_id * THREADS;
+            blk.each_warp(|w| {
+                let mask = LaneMask::from_fn(|lane| base + w.thread_id(lane) < total);
+                if mask.is_empty() {
+                    return;
+                }
+                let addrs = lane_addrs_from(|lane| {
+                    d_in.f32_addr((base + w.thread_id(lane)).min(total - 1) as u64)
+                });
+                let vals = w.ld_global::<1>(&addrs, mask);
+                let mut out = [[0.0f32; 1]; WARP_SIZE];
+                for lane in mask.iter() {
+                    out[lane][0] = vals[lane][0].max(0.0);
+                }
+                w.count_alu(mask.count() as u64);
+                let oaddrs = lane_addrs_from(|lane| {
+                    d_out.f32_addr((base + w.thread_id(lane)).min(total - 1) as u64)
+                });
+                w.st_global::<1>(&oaddrs, &out, mask);
+            });
+        })
+        .map_err(ConvError::Sim)?;
+
+    let data = gpu.download_f32(d_out).map_err(ConvError::Sim)?;
+    Ok((
+        FeatureMaps::from_vec(maps.channels(), maps.height(), maps.width(), data),
+        report,
+    ))
+}
+
+/// 2x2 stride-2 max pooling on the device (truncating odd edges). Each
+/// thread reduces one output element from two vectorized `float2` loads.
+///
+/// # Errors
+///
+/// Propagates simulator errors; rejects maps smaller than 2x2.
+pub fn max_pool2_device(gpu: &mut Gpu, maps: &FeatureMaps) -> Result<(FeatureMaps, LaunchReport)> {
+    let (c, ih, iw) = (maps.channels(), maps.height(), maps.width());
+    if ih < 2 || iw < 2 {
+        return Err(ConvError::Shape(format!(
+            "max pooling needs at least 2x2 input, got {ih}x{iw}"
+        )));
+    }
+    let (oh, ow) = (ih / 2, iw / 2);
+    let total = c * oh * ow;
+
+    let d_in = gpu
+        .alloc_f32(maps.as_slice().len() as u64)
+        .map_err(ConvError::Sim)?;
+    gpu.upload_f32(d_in, maps.as_slice()).map_err(ConvError::Sim)?;
+    let d_out = gpu.alloc_f32(total as u64).map_err(ConvError::Sim)?;
+
+    let launch = LaunchConfig::new("maxpool2", total.div_ceil(THREADS), THREADS)
+        .with_regs(12)
+        .with_overlap(OverlapMode::Moderate);
+    let report = gpu
+        .launch(&launch, SimMode::Full, |blk| {
+            let base = blk.dims.block_id * THREADS;
+            blk.each_warp(|w| {
+                let mask = LaneMask::from_fn(|lane| base + w.thread_id(lane) < total);
+                if mask.is_empty() {
+                    return;
+                }
+                let coords = |lane: usize| {
+                    let t = (base + w.thread_id(lane)).min(total - 1);
+                    let ch = t / (oh * ow);
+                    let rest = t % (oh * ow);
+                    (ch, rest / ow, rest % ow)
+                };
+                // Two float2 loads cover the 2x2 window.
+                let top = lane_addrs_from(|lane| {
+                    let (ch, y, x) = coords(lane);
+                    d_in.f32_addr(((ch * ih + 2 * y) * iw + 2 * x) as u64)
+                });
+                let bot = lane_addrs_from(|lane| {
+                    let (ch, y, x) = coords(lane);
+                    d_in.f32_addr(((ch * ih + 2 * y + 1) * iw + 2 * x) as u64)
+                });
+                let t = w.ld_global::<2>(&top, mask);
+                let b = w.ld_global::<2>(&bot, mask);
+                let mut out = [[0.0f32; 1]; WARP_SIZE];
+                for lane in mask.iter() {
+                    out[lane][0] = t[lane][0].max(t[lane][1]).max(b[lane][0]).max(b[lane][1]);
+                }
+                w.count_alu(mask.count() as u64 * 3);
+                let oaddrs = lane_addrs_from(|lane| {
+                    d_out.f32_addr((base + w.thread_id(lane)).min(total - 1) as u64)
+                });
+                w.st_global::<1>(&oaddrs, &out, mask);
+            });
+        })
+        .map_err(ConvError::Sim)?;
+
+    let data = gpu.download_f32(d_out).map_err(ConvError::Sim)?;
+    Ok((FeatureMaps::from_vec(c, oh, ow, data), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::random_maps;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::kepler_k40m())
+    }
+
+    #[test]
+    fn relu_matches_host() {
+        let maps = random_maps(3, 9, 7, 401);
+        let mut g = gpu();
+        let (out, report) = relu_device(&mut g, &maps).unwrap();
+        for (a, b) in maps.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(*b, a.max(0.0));
+        }
+        assert!(report.stats.alu_lane_ops >= maps.as_slice().len() as u64);
+    }
+
+    #[test]
+    fn pool_matches_host() {
+        let maps = random_maps(2, 8, 10, 403);
+        let mut g = gpu();
+        let (out, _) = max_pool2_device(&mut g, &maps).unwrap();
+        assert_eq!((out.channels(), out.height(), out.width()), (2, 4, 5));
+        for c in 0..2 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    let want = maps
+                        .get(c, 2 * y, 2 * x)
+                        .max(maps.get(c, 2 * y, 2 * x + 1))
+                        .max(maps.get(c, 2 * y + 1, 2 * x))
+                        .max(maps.get(c, 2 * y + 1, 2 * x + 1));
+                    assert_eq!(out.get(c, y, x), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_truncates_odd_edges() {
+        let maps = random_maps(1, 5, 7, 405);
+        let mut g = gpu();
+        let (out, _) = max_pool2_device(&mut g, &maps).unwrap();
+        assert_eq!((out.height(), out.width()), (2, 3));
+    }
+
+    #[test]
+    fn pool_rejects_tiny_maps() {
+        let maps = random_maps(1, 1, 8, 407);
+        let mut g = gpu();
+        assert!(matches!(
+            max_pool2_device(&mut g, &maps),
+            Err(ConvError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn relu_loads_are_coalesced() {
+        let maps = random_maps(1, 32, 32, 409);
+        let mut g = gpu();
+        let (_, report) = relu_device(&mut g, &maps).unwrap();
+        assert!(report.stats.gm_coalescing_efficiency() > 0.9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Engine selection: map a convolution problem to the right kernel.
+
+use kconv_core::{
+    ConvError, ConvRun, Convolution, ExplicitGemmConv, GeneralConfig, GeneralConv,
+    ImplicitGemmConv, SpecialConv,
+};
+use kconv_sim::{Gpu, SimMode};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+/// Which convolution implementation an application uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pick automatically: the special-case kernel for `C = 1`, the
+    /// general-case kernel when a configuration fits the shape, the
+    /// implicit-GEMM baseline otherwise.
+    #[default]
+    Auto,
+    /// Force the special-case kernel (requires `C = 1`).
+    Special,
+    /// Force the general-case kernel (requires a feasible configuration).
+    General,
+    /// Force the cuDNN-like implicit-GEMM baseline.
+    ImplicitGemm,
+    /// Force the Caffe-like explicit `im2col` + GEMM baseline.
+    ExplicitGemm,
+}
+
+impl Engine {
+    /// Resolves this engine for `problem`, returning a runnable
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::Shape`] when a forced engine cannot run the
+    /// problem ([`Engine::Auto`] always resolves).
+    pub fn resolve(
+        self,
+        gpu: &Gpu,
+        problem: &ConvProblem,
+    ) -> Result<Box<dyn Convolution>, ConvError> {
+        match self {
+            Engine::Special => {
+                if problem.channels != 1 {
+                    return Err(ConvError::Shape(format!(
+                        "special engine requires C = 1, got {}",
+                        problem.channels
+                    )));
+                }
+                Ok(Box::new(SpecialConv::default()))
+            }
+            Engine::General => {
+                let cfg = GeneralConfig::for_problem(
+                    gpu.spec(),
+                    problem.k,
+                    problem.channels,
+                    problem.filters,
+                )
+                .ok_or_else(|| {
+                    ConvError::Shape(format!("no general-kernel configuration fits {problem}"))
+                })?;
+                Ok(Box::new(GeneralConv::new(cfg)))
+            }
+            Engine::ImplicitGemm => Ok(Box::new(ImplicitGemmConv::default())),
+            Engine::ExplicitGemm => Ok(Box::new(ExplicitGemmConv::default())),
+            Engine::Auto => {
+                if problem.stride != 1 {
+                    // The paper's direct kernels are stride-1 specialized;
+                    // strided layers take the universal GEMM path.
+                    Ok(Box::new(ImplicitGemmConv::default()))
+                } else if problem.channels == 1
+                    && (problem.filters * problem.k * problem.k * 4) as u64
+                        <= gpu.spec().cm_bytes
+                {
+                    Ok(Box::new(SpecialConv::default()))
+                } else if let Some(cfg) = GeneralConfig::for_problem(
+                    gpu.spec(),
+                    problem.k,
+                    problem.channels,
+                    problem.filters,
+                ) {
+                    Ok(Box::new(GeneralConv::new(cfg)))
+                } else {
+                    Ok(Box::new(ImplicitGemmConv::default()))
+                }
+            }
+        }
+    }
+
+    /// Resolves and runs in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and launch errors.
+    pub fn run(
+        self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun, ConvError> {
+        self.resolve(gpu, problem)?
+            .run(gpu, problem, input, filters, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::{random_filters, random_maps, CONV_TOL};
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::kepler_k40m())
+    }
+
+    #[test]
+    fn auto_picks_special_for_single_channel() {
+        let g = gpu();
+        let p = ConvProblem::special(64, 4, 3);
+        let conv = Engine::Auto.resolve(&g, &p).unwrap();
+        assert!(conv.name().contains("special"));
+    }
+
+    #[test]
+    fn auto_picks_general_for_cnn_shapes() {
+        let g = gpu();
+        let p = ConvProblem::general(34, 64, 64, 3);
+        let conv = Engine::Auto.resolve(&g, &p).unwrap();
+        assert!(conv.name().contains("general"));
+    }
+
+    #[test]
+    fn auto_falls_back_to_gemm_for_awkward_shapes() {
+        let g = gpu();
+        let p = ConvProblem::general(34, 5, 7, 3); // prime F
+        let conv = Engine::Auto.resolve(&g, &p).unwrap();
+        assert!(conv.name().contains("GEMM"));
+    }
+
+    #[test]
+    fn auto_avoids_special_when_filters_overflow_cm() {
+        let g = gpu();
+        // 512 filters of 7x7 = 100 KiB > 64 KiB constant memory.
+        let p = ConvProblem::special(64, 512, 7);
+        let conv = Engine::Auto.resolve(&g, &p).unwrap();
+        assert!(!conv.name().contains("special"));
+    }
+
+    #[test]
+    fn auto_routes_strided_problems_to_gemm() {
+        let g = gpu();
+        let p = ConvProblem::general(34, 64, 64, 3).with_stride(2);
+        let conv = Engine::Auto.resolve(&g, &p).unwrap();
+        assert!(conv.name().contains("GEMM"));
+    }
+
+    #[test]
+    fn forced_engines_validate() {
+        let g = gpu();
+        let p = ConvProblem::general(34, 2, 8, 3);
+        assert!(matches!(
+            Engine::Special.resolve(&g, &p),
+            Err(ConvError::Shape(_))
+        ));
+        let p = ConvProblem::general(34, 2, 7, 3);
+        assert!(matches!(
+            Engine::General.resolve(&g, &p),
+            Err(ConvError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_problem_both_support() {
+        let p = ConvProblem::general(20, 2, 8, 3);
+        let input = random_maps(2, 20, 20, 51);
+        let filters = random_filters(8, 2, 3, 53);
+        for engine in [Engine::General, Engine::ImplicitGemm, Engine::ExplicitGemm] {
+            let mut g = gpu();
+            let run = engine
+                .run(&mut g, &p, &input, &filters, SimMode::Full)
+                .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+            run.verify_executed(&p, &input, &filters, CONV_TOL)
+                .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Classic image-processing filter banks — the workloads the paper's
+//! introduction motivates the special-case kernel with (edge detection,
+//! smoothing, template-based object detection).
+
+use kconv_tensor::FilterSet;
+
+/// The horizontal Sobel edge filter.
+pub fn sobel_x() -> FilterSet {
+    FilterSet::from_vec(
+        1,
+        1,
+        3,
+        vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
+    )
+}
+
+/// The vertical Sobel edge filter.
+pub fn sobel_y() -> FilterSet {
+    FilterSet::from_vec(
+        1,
+        1,
+        3,
+        vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0],
+    )
+}
+
+/// Both Sobel filters as one bank (one kernel launch computes both
+/// gradients — the `F`-filter amortization the special kernel exploits).
+pub fn sobel_pair() -> FilterSet {
+    let mut bank = FilterSet::zeros(2, 1, 3);
+    let (x, y) = (sobel_x(), sobel_y());
+    for i in 0..3 {
+        for j in 0..3 {
+            bank.set(0, 0, i, j, x.get(0, 0, i, j));
+            bank.set(1, 0, i, j, y.get(0, 0, i, j));
+        }
+    }
+    bank
+}
+
+/// The 3x3 discrete Laplacian.
+pub fn laplacian() -> FilterSet {
+    FilterSet::from_vec(
+        1,
+        1,
+        3,
+        vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
+    )
+}
+
+/// A normalized `k x k` Gaussian smoothing filter with standard deviation
+/// `sigma`.
+///
+/// # Panics
+///
+/// Panics if `k` is even or zero, or `sigma` is not positive.
+pub fn gaussian(k: usize, sigma: f32) -> FilterSet {
+    assert!(k % 2 == 1 && k > 0, "gaussian filter size must be odd");
+    assert!(sigma > 0.0, "sigma must be positive");
+    let c = (k / 2) as f32;
+    let mut f = FilterSet::zeros(1, 1, k);
+    let mut sum = 0.0f32;
+    for i in 0..k {
+        for j in 0..k {
+            let (dy, dx) = (i as f32 - c, j as f32 - c);
+            let v = (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+            f.set(0, 0, i, j, v);
+            sum += v;
+        }
+    }
+    for v in f.as_mut_slice() {
+        *v /= sum;
+    }
+    f
+}
+
+/// A normalized `k x k` box (mean) filter.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn box_filter(k: usize) -> FilterSet {
+    assert!(k > 0, "box filter size must be positive");
+    FilterSet::from_fn(1, 1, k, |_, _, _, _| 1.0 / (k * k) as f32)
+}
+
+/// A bank of oriented matched filters for line/vessel detection (the
+/// retinal blood-vessel use case of the paper's reference \[2\]): each filter
+/// is a zero-mean line detector rotated to one of `orientations` angles.
+///
+/// # Panics
+///
+/// Panics if `k` is even or zero, or `orientations` is zero.
+pub fn matched_line_bank(k: usize, orientations: usize) -> FilterSet {
+    assert!(k % 2 == 1 && k > 0, "filter size must be odd");
+    assert!(orientations > 0, "need at least one orientation");
+    let c = (k / 2) as f32;
+    let mut bank = FilterSet::zeros(orientations, 1, k);
+    for o in 0..orientations {
+        let theta = std::f32::consts::PI * o as f32 / orientations as f32;
+        let (sin, cos) = theta.sin_cos();
+        let mut sum = 0.0f32;
+        for i in 0..k {
+            for j in 0..k {
+                // Signed distance from the line through the center.
+                let (dy, dx) = (i as f32 - c, j as f32 - c);
+                let d = dx * sin - dy * cos;
+                let v = (-(d * d) / 2.0).exp();
+                bank.set(o, 0, i, j, v);
+                sum += v;
+            }
+        }
+        // Zero-mean: matched filters respond to shape, not brightness.
+        let mean = sum / (k * k) as f32;
+        for i in 0..k {
+            for j in 0..k {
+                let v = bank.get(o, 0, i, j) - mean;
+                bank.set(o, 0, i, j, v);
+            }
+        }
+    }
+    bank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sobel_filters_are_antisymmetric() {
+        let x = sobel_x();
+        assert_eq!(x.get(0, 0, 1, 0), -2.0);
+        assert_eq!(x.get(0, 0, 1, 2), 2.0);
+        let y = sobel_y();
+        assert_eq!(y.get(0, 0, 0, 1), -2.0);
+    }
+
+    #[test]
+    fn sobel_pair_combines_both() {
+        let p = sobel_pair();
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.get(0, 0, 1, 2), 2.0);
+        assert_eq!(p.get(1, 0, 2, 1), 2.0);
+    }
+
+    #[test]
+    fn gaussian_is_normalized_and_peaked() {
+        let g = gaussian(5, 1.0);
+        let sum: f32 = g.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        let center = g.get(0, 0, 2, 2);
+        assert!(g.as_slice().iter().all(|&v| v <= center));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn gaussian_rejects_even_sizes() {
+        gaussian(4, 1.0);
+    }
+
+    #[test]
+    fn box_filter_sums_to_one() {
+        let b = box_filter(3);
+        let sum: f32 = b.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn laplacian_sums_to_zero() {
+        let sum: f32 = laplacian().as_slice().iter().sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn matched_bank_is_zero_mean_per_filter() {
+        let bank = matched_line_bank(7, 4);
+        assert_eq!(bank.count(), 4);
+        for o in 0..4 {
+            let mut sum = 0.0f32;
+            for i in 0..7 {
+                for j in 0..7 {
+                    sum += bank.get(o, 0, i, j);
+                }
+            }
+            assert!(sum.abs() < 1e-4, "orientation {o}: mean {sum}");
+        }
+    }
+
+    #[test]
+    fn matched_bank_orientations_differ() {
+        let bank = matched_line_bank(7, 2);
+        // Horizontal vs vertical response patterns must differ.
+        let mut diff = 0.0f32;
+        for i in 0..7 {
+            for j in 0..7 {
+                diff += (bank.get(0, 0, i, j) - bank.get(1, 0, i, j)).abs();
+            }
+        }
+        assert!(diff > 1.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Image-processing routines built on the special-case kernel: edge
+//! detection, smoothing and template matching — the applications the paper
+//! cites as motivation for the `C = 1` case.
+
+use kconv_core::{ConvError, ConvRun};
+use kconv_sim::{Gpu, LaunchReport, SimMode};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet, Image};
+
+use crate::engine::Engine;
+use crate::gallery;
+
+fn run_on_image(
+    gpu: &mut Gpu,
+    image: &Image,
+    filters: &FilterSet,
+    engine: Engine,
+) -> Result<ConvRun, ConvError> {
+    let problem = ConvProblem::new(1, image.height(), image.width(), filters.count(), filters.k());
+    let input = FeatureMaps::from_image(image.clone());
+    engine.run(gpu, &problem, &input, filters, SimMode::Full)
+}
+
+/// Result of [`edge_detect`].
+#[derive(Debug, Clone)]
+pub struct EdgeMap {
+    /// Gradient magnitude `sqrt(gx^2 + gy^2)`.
+    pub magnitude: Image,
+    /// Horizontal gradient.
+    pub gx: Image,
+    /// Vertical gradient.
+    pub gy: Image,
+    /// Launch statistics of the convolution.
+    pub report: LaunchReport,
+}
+
+/// Sobel edge detection: one launch convolves both gradient filters, the
+/// magnitude is combined on the host.
+///
+/// # Errors
+///
+/// Propagates kernel errors (e.g. an image smaller than the filter).
+pub fn edge_detect(gpu: &mut Gpu, image: &Image, engine: Engine) -> Result<EdgeMap, ConvError> {
+    let run = run_on_image(gpu, image, &gallery::sobel_pair(), engine)?;
+    let (h, w) = (run.output.height(), run.output.width());
+    let gx = run.output.channel(0);
+    let gy = run.output.channel(1);
+    let magnitude = Image::from_fn(h, w, |y, x| gx.get(y, x).hypot(gy.get(y, x)));
+    Ok(EdgeMap {
+        magnitude,
+        gx,
+        gy,
+        report: run.report,
+    })
+}
+
+/// Gaussian smoothing with a `k x k` filter of standard deviation `sigma`.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+///
+/// # Panics
+///
+/// Panics if `k` is even (see [`gallery::gaussian`]).
+pub fn smooth(
+    gpu: &mut Gpu,
+    image: &Image,
+    k: usize,
+    sigma: f32,
+    engine: Engine,
+) -> Result<(Image, LaunchReport), ConvError> {
+    let run = run_on_image(gpu, image, &gallery::gaussian(k, sigma), engine)?;
+    Ok((run.output.channel(0), run.report))
+}
+
+/// A detection from [`template_match`]: the strongest response position
+/// per template orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Template (orientation) index.
+    pub template: usize,
+    /// Response row.
+    pub y: usize,
+    /// Response column.
+    pub x: usize,
+    /// Response value.
+    pub score: f32,
+}
+
+/// Result of [`template_match`].
+#[derive(Debug, Clone)]
+pub struct MatchMap {
+    /// Raw responses, one map per template.
+    pub responses: FeatureMaps,
+    /// Per-pixel maximum over templates (the vessel-detection combination
+    /// rule of the paper's reference \[2\]).
+    pub max_response: Image,
+    /// Strongest detection per template.
+    pub peaks: Vec<Detection>,
+    /// Launch statistics of the convolution.
+    pub report: LaunchReport,
+}
+
+/// Matched-filter template matching: convolve the image with a bank of
+/// templates (e.g. [`gallery::matched_line_bank`]) in a single launch and
+/// reduce on the host.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn template_match(
+    gpu: &mut Gpu,
+    image: &Image,
+    templates: &FilterSet,
+    engine: Engine,
+) -> Result<MatchMap, ConvError> {
+    let run = run_on_image(gpu, image, templates, engine)?;
+    let out = run.output;
+    let (f, h, w) = (out.channels(), out.height(), out.width());
+    let mut peaks = Vec::with_capacity(f);
+    for t in 0..f {
+        let mut best = Detection {
+            template: t,
+            y: 0,
+            x: 0,
+            score: f32::NEG_INFINITY,
+        };
+        for y in 0..h {
+            for x in 0..w {
+                let v = out.get(t, y, x);
+                if v > best.score {
+                    best = Detection {
+                        template: t,
+                        y,
+                        x,
+                        score: v,
+                    };
+                }
+            }
+        }
+        peaks.push(best);
+    }
+    let max_response = Image::from_fn(h, w, |y, x| {
+        (0..f).map(|t| out.get(t, y, x)).fold(f32::MIN, f32::max)
+    });
+    Ok(MatchMap {
+        responses: out,
+        max_response,
+        peaks,
+        report: run.report,
+    })
+}
+
+/// Result of [`canny`].
+#[derive(Debug, Clone)]
+pub struct CannyMap {
+    /// Binary edge map (1.0 = edge), same geometry as the input.
+    pub edges: Image,
+    /// Gradient magnitude after non-maximum suppression.
+    pub thinned: Image,
+    /// Raw gradient magnitude.
+    pub magnitude: Image,
+}
+
+/// Canny edge detection: Gaussian smoothing and the Sobel pair run on the
+/// GPU ("same" geometry via border padding); non-maximum suppression and
+/// hysteresis thresholding run on the host.
+///
+/// `low`/`high` are the hysteresis thresholds on gradient magnitude.
+///
+/// # Errors
+///
+/// Propagates kernel errors, and rejects `low > high`.
+pub fn canny(
+    gpu: &mut Gpu,
+    image: &Image,
+    low: f32,
+    high: f32,
+    engine: Engine,
+) -> Result<CannyMap, ConvError> {
+    if low > high {
+        return Err(ConvError::Shape(format!(
+            "hysteresis thresholds inverted: low {low} > high {high}"
+        )));
+    }
+    // 1. Smooth at "same" geometry (pad by (K-1)/2 = 2 for the 5x5).
+    let padded = image.padded_border(2, 2, 2, 2);
+    let (smoothed, _) = smooth(gpu, &padded, 5, 1.0, engine)?;
+
+    // 2. Sobel at "same" geometry.
+    let padded = smoothed.padded_border(1, 1, 1, 1);
+    let grads = edge_detect(gpu, &padded, engine)?;
+    let (h, w) = (grads.magnitude.height(), grads.magnitude.width());
+    debug_assert_eq!((h, w), (image.height(), image.width()));
+
+    // 3. Non-maximum suppression along the quantized gradient direction.
+    let mut thinned = Image::zeros(h, w);
+    for y in 1..h.saturating_sub(1) {
+        for x in 1..w.saturating_sub(1) {
+            let m = grads.magnitude.get(y, x);
+            if m == 0.0 {
+                continue;
+            }
+            let (gx, gy) = (grads.gx.get(y, x), grads.gy.get(y, x));
+            // Quantize the direction to 0/45/90/135 degrees.
+            let angle = gy.atan2(gx).to_degrees().rem_euclid(180.0);
+            let (d1, d2) = if !(22.5..157.5).contains(&angle) {
+                ((0i64, 1i64), (0i64, -1i64)) // horizontal gradient
+            } else if angle < 67.5 {
+                ((1, 1), (-1, -1))
+            } else if angle < 112.5 {
+                ((1, 0), (-1, 0))
+            } else {
+                ((1, -1), (-1, 1))
+            };
+            let at = |dy: i64, dx: i64| {
+                grads
+                    .magnitude
+                    .get((y as i64 + dy) as usize, (x as i64 + dx) as usize)
+            };
+            if m >= at(d1.0, d1.1) && m >= at(d2.0, d2.1) {
+                thinned.set(y, x, m);
+            }
+        }
+    }
+
+    // 4. Hysteresis: BFS from strong pixels through weak ones.
+    let mut edges = Image::zeros(h, w);
+    let mut stack = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if thinned.get(y, x) >= high {
+                stack.push((y, x));
+                edges.set(y, x, 1.0);
+            }
+        }
+    }
+    while let Some((y, x)) = stack.pop() {
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let (ny, nx) = (y as i64 + dy, x as i64 + dx);
+                if ny < 0 || nx < 0 || ny as usize >= h || nx as usize >= w {
+                    continue;
+                }
+                let (ny, nx) = (ny as usize, nx as usize);
+                if edges.get(ny, nx) == 0.0 && thinned.get(ny, nx) >= low {
+                    edges.set(ny, nx, 1.0);
+                    stack.push((ny, nx));
+                }
+            }
+        }
+    }
+
+    Ok(CannyMap {
+        edges,
+        thinned,
+        magnitude: grads.magnitude,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::kepler_k40m())
+    }
+
+    /// A white vertical bar on black background.
+    fn bar_image(n: usize, col: usize) -> Image {
+        Image::from_fn(n, n, |_, x| if x == col { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn edge_detect_finds_the_bar() {
+        let mut g = gpu();
+        let img = bar_image(48, 24);
+        let edges = edge_detect(&mut g, &img, Engine::Auto).unwrap();
+        // Strong |gx| response next to the bar, none far away.
+        assert!(edges.magnitude.get(20, 22).abs() > 1.0);
+        assert_eq!(edges.magnitude.get(20, 10), 0.0);
+        // Vertical bar: gy must vanish along the bar's interior.
+        assert_eq!(edges.gy.get(20, 23), 0.0);
+    }
+
+    #[test]
+    fn smoothing_preserves_mass_and_spreads() {
+        let mut g = gpu();
+        let mut img = Image::zeros(33, 33);
+        img.set(16, 16, 100.0);
+        let (out, _) = smooth(&mut g, &img, 5, 1.0, Engine::Auto).unwrap();
+        // Peak attenuated, neighbours lit.
+        let peak = out.get(14, 14); // output coords shift by (K-1)/2
+        assert!(peak < 100.0 && peak > 5.0);
+        assert!(out.get(13, 14) > 0.0);
+        // Total mass approximately preserved away from borders.
+        let total: f32 = out.as_slice().iter().sum();
+        assert!((total - 100.0).abs() < 1.0, "total {total}");
+    }
+
+    #[test]
+    fn template_match_peaks_on_the_line() {
+        let mut g = gpu();
+        let img = bar_image(40, 20);
+        let bank = gallery::matched_line_bank(7, 4);
+        let m = template_match(&mut g, &img, &bank, Engine::Auto).unwrap();
+        // The vertical-line template (pi/2 is orientation index 2 of 4:
+        // theta = 0, 45, 90, 135 degrees) should peak on the bar column.
+        let vertical = &m.peaks[2];
+        assert_eq!(vertical.x + 3, 20, "peak at {:?}", vertical); // center offset (K-1)/2
+        // And it must beat the horizontal template's best score.
+        assert!(vertical.score > m.peaks[0].score);
+        // The combined map peaks on the bar too.
+        let (h, w) = (m.max_response.height(), m.max_response.width());
+        let mut best = (0usize, 0usize, f32::MIN);
+        for y in 0..h {
+            for x in 0..w {
+                if m.max_response.get(y, x) > best.2 {
+                    best = (y, x, m.max_response.get(y, x));
+                }
+            }
+        }
+        assert_eq!(best.1 + 3, 20);
+    }
+
+    #[test]
+    fn canny_finds_a_box_outline() {
+        let mut g = gpu();
+        // A bright 12x12 square in a 40x40 image.
+        let img = Image::from_fn(40, 40, |y, x| {
+            if (14..26).contains(&y) && (14..26).contains(&x) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let result = canny(&mut g, &img, 0.2, 0.8, Engine::Auto).unwrap();
+        assert_eq!(result.edges.height(), 40);
+        // Edges on the box boundary, none deep inside or far outside.
+        let edge_count: f32 = result.edges.as_slice().iter().sum();
+        assert!(edge_count > 30.0, "too few edge pixels: {edge_count}");
+        assert_eq!(result.edges.get(20, 20), 0.0, "interior must be clean");
+        assert_eq!(result.edges.get(5, 5), 0.0, "background must be clean");
+        let boundary: f32 = (14..26).map(|x| result.edges.get(13, x) + result.edges.get(14, x)).sum();
+        assert!(boundary >= 10.0, "top boundary weak: {boundary}");
+    }
+
+    #[test]
+    fn canny_hysteresis_extends_strong_edges() {
+        let mut g = gpu();
+        let img = Image::from_fn(32, 32, |y, x| {
+            // A bar with fading intensity.
+            if x == 16 {
+                1.0 - y as f32 / 64.0
+            } else {
+                0.0
+            }
+        });
+        let strict = canny(&mut g, &img, 1.2, 1.2, Engine::Auto).unwrap();
+        let hysteretic = canny(&mut g, &img, 0.4, 1.2, Engine::Auto).unwrap();
+        let count = |m: &Image| m.as_slice().iter().sum::<f32>();
+        assert!(count(&hysteretic.edges) > count(&strict.edges));
+    }
+
+    #[test]
+    fn canny_rejects_inverted_thresholds() {
+        let mut g = gpu();
+        let img = Image::zeros(16, 16);
+        assert!(canny(&mut g, &img, 0.9, 0.1, Engine::Auto).is_err());
+    }
+
+    #[test]
+    fn engines_produce_identical_edges() {
+        let img = bar_image(40, 13);
+        let mut g1 = gpu();
+        let a = edge_detect(&mut g1, &img, Engine::Special).unwrap();
+        let mut g2 = gpu();
+        let b = edge_detect(&mut g2, &img, Engine::ImplicitGemm).unwrap();
+        kconv_tensor::assert_close(
+            a.magnitude.as_slice(),
+            b.magnitude.as_slice(),
+            kconv_tensor::CONV_TOL,
+            "edge engines",
+        );
+    }
+}

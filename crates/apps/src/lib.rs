@@ -1,0 +1,43 @@
+//! # kconv-apps — applications on the kconv convolution kernels
+//!
+//! The workloads the paper's introduction motivates, built on the public
+//! API of `kconv-core`:
+//!
+//! * [`imgproc`] — Sobel edge detection, Gaussian smoothing and
+//!   matched-filter template matching (the retinal-vessel use case of the
+//!   paper's reference \[2\]), all powered by the special-case kernel;
+//! * [`cnn`] — feed-forward CNN layer stacks with per-layer timing, the
+//!   general-case kernel's home turf;
+//! * [`gallery`] — classic filter banks (Sobel, Laplacian, Gaussian,
+//!   oriented matched filters);
+//! * [`Engine`] — automatic kernel selection per problem shape.
+//!
+//! ## Example
+//!
+//! ```
+//! use kconv_apps::{edge_detect, Engine};
+//! use kconv_sim::{Gpu, GpuSpec};
+//! use kconv_tensor::random_image;
+//!
+//! # fn main() -> Result<(), kconv_core::ConvError> {
+//! let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+//! let image = random_image(64, 64, 9);
+//! let edges = edge_detect(&mut gpu, &image, Engine::Auto)?;
+//! assert_eq!(edges.magnitude.height(), 62);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cnn;
+pub mod device_ops;
+mod engine;
+pub mod gallery;
+pub mod imgproc;
+
+pub use cnn::{ConvLayer, LayerReport, LayerStack, StackRun};
+pub use device_ops::{max_pool2_device, relu_device};
+pub use engine::Engine;
+pub use imgproc::{canny, edge_detect, smooth, template_match, CannyMap, Detection, EdgeMap, MatchMap};

@@ -1,0 +1,87 @@
+//! Ablation — the cost of ignoring the bank-width model in both kernels.
+//!
+//! Fig. 7b's inset measured the special-case kernel with `W_CD` left
+//! unmatched (scalar `float` accesses) and found a 19% average loss; the
+//! paper then *predicts* ("it can be expected...") that the degradation is
+//! larger for the general case, whose shared memory also holds the
+//! filters. This harness measures both.
+//!
+//! Usage: `cargo run --release -p kconv-bench --bin ablation_unmatched [--quick]`
+
+use kconv_bench::{geomean, print_table};
+use kconv_core::{
+    Convolution, GeneralConfig, GeneralConv, SpecialConfig, SpecialConv,
+};
+use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem};
+
+fn gflops(conv: &dyn Convolution, problem: &ConvProblem) -> f64 {
+    let input = random_maps(problem.channels, problem.height, problem.width, 301);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, 303);
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    conv.run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
+        .unwrap_or_else(|e| panic!("{}: {e}", conv.name()))
+        .effective_gflops(problem)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Ablation — matched vs unmatched computation data width (K = 3x3)\n");
+
+    let mut rows = Vec::new();
+    let mut special_losses = Vec::new();
+    let mut general_losses = Vec::new();
+
+    let ns: Vec<usize> = if quick { vec![512] } else { vec![512, 1024, 2048] };
+    for &n in &ns {
+        for f in [8usize, 64] {
+            let problem = ConvProblem::special(n, f, 3);
+            let matched = gflops(&SpecialConv::default(), &problem);
+            let unmatched = gflops(
+                &SpecialConv::new(SpecialConfig::kepler_unmatched()),
+                &problem,
+            );
+            special_losses.push(matched / unmatched);
+            rows.push(vec![
+                "special".into(),
+                format!("N={n} F={f}"),
+                format!("{matched:.0}"),
+                format!("{unmatched:.0}"),
+                format!("{:.0}%", 100.0 * (1.0 - unmatched / matched)),
+            ]);
+        }
+    }
+    let ns: Vec<usize> = if quick { vec![64] } else { vec![64, 128] };
+    for &n in &ns {
+        for c in [64usize, 128] {
+            let problem = ConvProblem::general(n + 2, c, 64, 3);
+            let matched = gflops(&GeneralConv::table1(3), &problem);
+            let unmatched_cfg = GeneralConfig {
+                vec_width: 1,
+                ..GeneralConfig::table1(3)
+            };
+            let unmatched = gflops(&GeneralConv::new(unmatched_cfg), &problem);
+            general_losses.push(matched / unmatched);
+            rows.push(vec![
+                "general".into(),
+                format!("N'={n} C={c} F=64"),
+                format!("{matched:.0}"),
+                format!("{unmatched:.0}"),
+                format!("{:.0}%", 100.0 * (1.0 - unmatched / matched)),
+            ]);
+        }
+    }
+    print_table(
+        &["kernel", "problem", "matched GF/s", "unmatched GF/s", "loss"],
+        &rows,
+    );
+    let sp = 100.0 * (1.0 - 1.0 / geomean(&special_losses));
+    let ge = 100.0 * (1.0 - 1.0 / geomean(&general_losses));
+    println!("\nmean special-case loss: {sp:.0}%   (paper Fig. 7b: 19%)");
+    println!("mean general-case loss: {ge:.0}%   (paper predicts: higher than special)");
+    if ge > sp {
+        println!("=> the paper's prediction holds under the model.");
+    } else {
+        println!("=> the paper's prediction does NOT hold under the model (see EXPERIMENTS.md).");
+    }
+}

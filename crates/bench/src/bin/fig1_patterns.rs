@@ -1,0 +1,85 @@
+//! Fig. 1 — the shared-memory access-pattern model, demonstrated
+//! numerically.
+//!
+//! The paper's Fig. 1 contrasts the conventional pattern (contiguous
+//! threads access contiguous elements) with the matched pattern (each
+//! thread accesses `n = W_SMB / W_CD` elements as one unit). This harness
+//! feeds both patterns — plus the classic pathological ones — through the
+//! simulator's bank model and prints cycles and delivered bytes, making
+//! the figure's 2x claim an executable statement.
+//!
+//! Usage: `cargo run --release -p kconv-bench --bin fig1_patterns`
+
+use kconv_bench::print_table;
+use kconv_sim::{bank_conflict_cycles, lane_addrs, BankWidth, LaneMask, WARP_SIZE};
+
+struct Pattern {
+    name: &'static str,
+    stride: u64,
+    width: u64,
+}
+
+fn main() {
+    println!("Fig. 1 — shared-memory access patterns under the bank model\n");
+    let patterns = [
+        Pattern {
+            name: "conventional float (Fig. 1a)",
+            stride: 4,
+            width: 4,
+        },
+        Pattern {
+            name: "matched float2 (Fig. 1b)",
+            stride: 8,
+            width: 8,
+        },
+        Pattern {
+            name: "column stride (32 words)",
+            stride: 32 * 8,
+            width: 4,
+        },
+        Pattern {
+            name: "padded column (33 words)",
+            stride: 33 * 8,
+            width: 8,
+        },
+        Pattern {
+            name: "float4 per lane",
+            stride: 16,
+            width: 16,
+        },
+    ];
+
+    for bank in [BankWidth::B8, BankWidth::B4] {
+        println!("--- {bank} ({}) ---", match bank {
+            BankWidth::B8 => "Kepler",
+            BankWidth::B4 => "Fermi/Maxwell",
+        });
+        let capacity = 32 * bank.bytes();
+        let rows: Vec<Vec<String>> = patterns
+            .iter()
+            .map(|p| {
+                let out =
+                    bank_conflict_cycles(&lane_addrs(0, p.stride), p.width, LaneMask::ALL, 32, bank);
+                let useful = WARP_SIZE as u64 * p.width;
+                let bw = useful as f64 / (out.cycles * capacity) as f64;
+                vec![
+                    p.name.to_string(),
+                    out.cycles.to_string(),
+                    useful.to_string(),
+                    format!("{:.0}%", 100.0 * bw),
+                    if out.broadcast { "yes" } else { "no" }.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &["pattern", "cycles", "useful bytes", "fabric use", "broadcast"],
+            &rows,
+        );
+        println!();
+    }
+    println!(
+        "On Kepler the conventional float pattern completes in one cycle but\n\
+         uses half the fabric; the matched float2 pattern uses all of it —\n\
+         the paper's n-fold shared-memory bandwidth claim, verbatim."
+    );
+}

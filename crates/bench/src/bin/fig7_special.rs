@@ -1,0 +1,170 @@
+//! Fig. 7 — special-case (single-channel) convolution vs the cuDNN-like
+//! baseline, on the simulated K40m.
+//!
+//! The paper sweeps image size `N`, filter size `K` in {1, 3, 5} and filter
+//! count `F`, reporting GFlop/s for its kernel and cuDNN (GEMM path), plus
+//! the bank-width-unmatched kernel for `K = 3` (Fig. 7b).
+//!
+//! Paper-reported shape: average gains of 6.16x (K=1), 6.43x (K=3) and
+//! 2.90x (K=5), 5.16x overall; more than 10x when `F = 1`; the unmatched
+//! kernel loses ~19% on average for K=3.
+//!
+//! Usage: `cargo run --release -p kconv-bench --bin fig7_special -- [--filter K] [--quick]`
+
+use kconv_bench::{geomean, print_table};
+use kconv_core::{Convolution, ImplicitGemmConv, SpecialConfig, SpecialConv};
+use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem, CONV_TOL};
+
+struct Point {
+    n: usize,
+    f: usize,
+    ours: f64,
+    cudnn16: f64,
+    cudnn_tex: f64,
+    unmatched: Option<f64>,
+}
+
+fn run_conv(conv: &dyn Convolution, problem: &ConvProblem, verify: bool) -> f64 {
+    let input = random_maps(1, problem.height, problem.width, 101);
+    let filters = random_filters(problem.filters, 1, problem.k, 103);
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let run = conv
+        .run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
+        .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));
+    if verify {
+        run.verify_executed(problem, &input, &filters, CONV_TOL)
+            .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));
+    }
+    run.effective_gflops(problem)
+}
+
+fn sweep(k: usize, quick: bool) -> Vec<Point> {
+    let (ns, fs): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![512, 1024], vec![1, 32])
+    } else {
+        (vec![512, 1024, 2048], vec![1, 8, 32, 64])
+    };
+    let mut points = Vec::new();
+    for &n in &ns {
+        for &f in &fs {
+            let problem = ConvProblem::special(n, f, k);
+            let verify = n <= 1024;
+            let ours = run_conv(&SpecialConv::default(), &problem, verify);
+            let cudnn16 = run_conv(&ImplicitGemmConv::era2016(&problem), &problem, verify);
+            let cudnn_tex = run_conv(&ImplicitGemmConv::default(), &problem, verify);
+            let unmatched = (k == 3).then(|| {
+                run_conv(
+                    &SpecialConv::new(SpecialConfig::kepler_unmatched()),
+                    &problem,
+                    verify,
+                )
+            });
+            points.push(Point {
+                n,
+                f,
+                ours,
+                cudnn16,
+                cudnn_tex,
+                unmatched,
+            });
+        }
+    }
+    points
+}
+
+fn report(k: usize, points: &[Point]) {
+    println!("\nFig. 7 (K = {k}x{k}) — GFlop/s, simulated K40m\n");
+    let with_unmatched = points.iter().any(|p| p.unmatched.is_some());
+    let mut header = vec![
+        "N",
+        "F",
+        "cuDNN-v5-like",
+        "cuDNN+tex",
+        "our kernel",
+        "speedup(v5)",
+    ];
+    if with_unmatched {
+        header.push("unmatched");
+        header.push("unmatched loss");
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut r = vec![
+                p.n.to_string(),
+                p.f.to_string(),
+                format!("{:.1}", p.cudnn16),
+                format!("{:.1}", p.cudnn_tex),
+                format!("{:.1}", p.ours),
+                format!("{:.2}x", p.ours / p.cudnn16),
+            ];
+            if let Some(u) = p.unmatched {
+                r.push(format!("{u:.1}"));
+                r.push(format!("{:.0}%", 100.0 * (1.0 - u / p.ours)));
+            } else if with_unmatched {
+                r.push(String::new());
+                r.push(String::new());
+            }
+            r
+        })
+        .collect();
+    print_table(&header, &rows);
+
+    let speedups: Vec<f64> = points.iter().map(|p| p.ours / p.cudnn16).collect();
+    let tex_speedups: Vec<f64> = points.iter().map(|p| p.ours / p.cudnn_tex).collect();
+    let paper = match k {
+        1 => "6.16x",
+        3 => "6.43x",
+        5 => "2.90x",
+        _ => "n/a",
+    };
+    println!(
+        "\ngeomean speedup over the 2016-era baseline: {:.2}x   (paper average for {k}x{k}: {paper})",
+        geomean(&speedups)
+    );
+    println!(
+        "geomean speedup over the texture-path baseline: {:.2}x   (stronger than the paper's comparator)",
+        geomean(&tex_speedups)
+    );
+    let f1: Vec<f64> = points
+        .iter()
+        .filter(|p| p.f == 1)
+        .map(|p| p.ours / p.cudnn16)
+        .collect();
+    if !f1.is_empty() {
+        println!(
+            "geomean speedup at F = 1: {:.1}x   (paper: can exceed 10x)",
+            geomean(&f1)
+        );
+    }
+    if with_unmatched {
+        let losses: Vec<f64> = points
+            .iter()
+            .filter_map(|p| p.unmatched.map(|u| 1.0 - u / p.ours))
+            .collect();
+        println!(
+            "mean unmatched-kernel loss: {:.0}%   (paper: 19%)",
+            100.0 * losses.iter().sum::<f64>() / losses.len() as f64
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter: Option<usize> = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let ks: Vec<usize> = filter.map_or_else(|| vec![1, 3, 5], |k| vec![k]);
+    println!(
+        "Fig. 7 — special-case convolution on simulated {}",
+        GpuSpec::kepler_k40m()
+    );
+    for k in ks {
+        let points = sweep(k, quick);
+        report(k, &points);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fig. 8 — general-case (multi-channel) convolution vs the cuDNN-like
+//! baseline, on the simulated K40m.
+//!
+//! The paper sweeps `(N, K, C, F)` for `K` in {3, 5, 7}, using its Table 1
+//! configurations, and reports 30.5% / 45.3% / 30.8% average improvements
+//! over cuDNN (35.5% overall), with a small loss only at 32x32 images; the
+//! best absolute rate is 2020 GFlop/s (47% of peak).
+//!
+//! Usage: `cargo run --release -p kconv-bench --bin fig8_general -- [--filter K] [--quick]`
+
+use kconv_bench::{geomean, print_table};
+use kconv_core::{Convolution, GeneralConv, ImplicitGemmConv};
+use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem, CONV_TOL};
+
+struct Point {
+    n: usize,
+    c: usize,
+    f: usize,
+    ours: f64,
+    cudnn16: f64,
+    cudnn_tex: f64,
+}
+
+fn run_conv(conv: &dyn Convolution, problem: &ConvProblem, verify: bool) -> f64 {
+    let input = random_maps(problem.channels, problem.height, problem.width, 201);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let run = conv
+        .run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
+        .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));
+    if verify {
+        run.verify_executed(problem, &input, &filters, CONV_TOL)
+            .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));
+    }
+    run.effective_gflops(problem)
+}
+
+fn sweep(k: usize, quick: bool) -> Vec<Point> {
+    // Input sizes are chosen so the output (N-K+1) is the canonical CNN
+    // feature-map size N' listed here (as in CNN layer shapes).
+    let (ns, cfs): (Vec<usize>, Vec<(usize, usize)>) = if quick {
+        (vec![32, 64], vec![(64, 64)])
+    } else {
+        (
+            vec![32, 64, 128, 256],
+            vec![(32, 64), (64, 64), (128, 128), (256, 128)],
+        )
+    };
+    let mut points = Vec::new();
+    for &n in &ns {
+        for &(c, f) in &cfs {
+            let problem = ConvProblem::general(n + k - 1, c, f, k);
+            let verify = n <= 64 && c <= 64;
+            let ours = run_conv(&GeneralConv::table1(k), &problem, verify);
+            let cudnn16 = run_conv(&ImplicitGemmConv::era2016(&problem), &problem, verify);
+            let cudnn_tex = run_conv(&ImplicitGemmConv::default(), &problem, verify);
+            points.push(Point {
+                n,
+                c,
+                f,
+                ours,
+                cudnn16,
+                cudnn_tex,
+            });
+        }
+    }
+    points
+}
+
+fn report(k: usize, points: &[Point]) {
+    println!("\nFig. 8 (K = {k}x{k}) — GFlop/s, simulated K40m, Table 1 config\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.c.to_string(),
+                p.f.to_string(),
+                format!("{:.1}", p.cudnn16),
+                format!("{:.1}", p.cudnn_tex),
+                format!("{:.1}", p.ours),
+                format!("{:+.1}%", 100.0 * (p.ours / p.cudnn_tex - 1.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["N'", "C", "F", "cuDNN-v5-like", "cuDNN+tex", "our kernel", "improvement"],
+        &rows,
+    );
+
+    let ratios: Vec<f64> = points.iter().map(|p| p.ours / p.cudnn_tex).collect();
+    let ratios16: Vec<f64> = points.iter().map(|p| p.ours / p.cudnn16).collect();
+    let paper = match k {
+        3 => "30.5%",
+        5 => "45.3%",
+        7 => "30.8%",
+        _ => "n/a",
+    };
+    println!(
+        "\ngeomean improvement over the texture-path baseline: {:+.1}%   (paper average for {k}x{k}: +{paper})",
+        100.0 * (geomean(&ratios) - 1.0)
+    );
+    println!(
+        "geomean improvement over the 2016-era baseline: {:+.1}%",
+        100.0 * (geomean(&ratios16) - 1.0)
+    );
+    let best = points.iter().map(|p| p.ours).fold(0.0f64, f64::max);
+    println!(
+        "best absolute rate: {best:.0} GFlop/s = {:.0}% of peak   (paper: 2020 GFlop/s, 47%)",
+        100.0 * best / GpuSpec::kepler_k40m().peak_gflops()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter: Option<usize> = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let ks: Vec<usize> = filter.map_or_else(|| vec![3, 5, 7], |k| vec![k]);
+    println!(
+        "Fig. 8 — general-case convolution on simulated {}",
+        GpuSpec::kepler_k40m()
+    );
+    for k in ks {
+        let points = sweep(k, quick);
+        report(k, &points);
+    }
+}

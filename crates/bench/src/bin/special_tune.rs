@@ -1,0 +1,56 @@
+//! Special-case tile exploration — the search behind the paper's
+//! "best block size for the special case is W = 256 and H = 8".
+//!
+//! Explores (W, H) tile shapes for the special kernel on a representative
+//! problem and reports where the paper's choice lands.
+//!
+//! Usage: `cargo run --release -p kconv-bench --bin special_tune [--quick]`
+
+use kconv_bench::print_table;
+use kconv_core::tune::{explore_special, special_candidate_space};
+use kconv_core::SpecialConfig;
+use kconv_sim::GpuSpec;
+use kconv_tensor::ConvProblem;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = GpuSpec::kepler_k40m();
+    let (n, f, k) = if quick { (512, 8, 3) } else { (2048, 32, 3) };
+    let problem = ConvProblem::special(n, f, k);
+    println!(
+        "Special-case tile exploration on simulated {spec}\nprobe problem: {problem}\n"
+    );
+
+    let results = explore_special(&spec, &problem, &special_candidate_space(), 2)
+        .expect("exploration");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mark = if r.config == SpecialConfig::kepler_best() {
+                "  <- paper's choice"
+            } else {
+                ""
+            };
+            vec![
+                format!("#{}", i + 1),
+                r.config.width.to_string(),
+                r.config.height.to_string(),
+                format!("{:.0}{mark}", r.gflops),
+            ]
+        })
+        .collect();
+    print_table(&["rank", "W", "H", "GFlop/s"], &rows);
+
+    let paper_rank = results
+        .iter()
+        .position(|r| r.config == SpecialConfig::kepler_best())
+        .map(|i| i + 1);
+    match paper_rank {
+        Some(rank) => println!(
+            "\nthe paper's W=256, H=8 ranks #{rank} of {} under the model",
+            results.len()
+        ),
+        None => println!("\nthe paper's W=256, H=8 was not feasible on this probe"),
+    }
+}

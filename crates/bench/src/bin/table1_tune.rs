@@ -1,0 +1,66 @@
+//! Table 1 — design-space exploration of the general-case kernel.
+//!
+//! Reproduces the process behind the paper's Table 1: enumerate the tuning
+//! knobs `(W, H, F_TB, W_T, F_T, C_SH)`, measure every feasible
+//! configuration on a representative problem, and report the winner per
+//! filter size, next to the paper's published best.
+//!
+//! Usage: `cargo run --release -p kconv-bench --bin table1_tune [--quick]`
+
+use kconv_bench::print_table;
+use kconv_core::tune::{candidate_space, explore_general};
+use kconv_core::GeneralConfig;
+use kconv_sim::GpuSpec;
+use kconv_tensor::ConvProblem;
+
+fn fmt_cfg(c: &GeneralConfig) -> Vec<String> {
+    vec![
+        c.width.to_string(),
+        c.height.to_string(),
+        c.f_tb.to_string(),
+        c.w_t.to_string(),
+        c.f_t.to_string(),
+        c.c_sh.to_string(),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = GpuSpec::kepler_k40m();
+    println!("Table 1 — best general-case configurations on simulated {spec}\n");
+    let (n, c, f) = if quick { (64, 32, 64) } else { (128, 64, 64) };
+    println!("probe problem: N'={n}, C={c}, F={f}; candidate space: {} configs\n", candidate_space().len());
+
+    let mut rows = Vec::new();
+    for k in [3usize, 5, 7] {
+        let problem = ConvProblem::general(n + k - 1, c, f, k);
+        let results = explore_general(&spec, &problem, &candidate_space(), 2)
+            .expect("exploration failed");
+        let best = results.first().expect("no feasible configuration");
+        let paper = GeneralConfig::table1(k);
+        let mut row = vec![format!("{k}x{k}"), "ours".into()];
+        row.extend(fmt_cfg(&best.config));
+        row.push(format!("{:.0}", best.gflops));
+        rows.push(row);
+        // Where does the paper's config land in our ranking?
+        let paper_rank = results
+            .iter()
+            .position(|r| r.config == paper)
+            .map_or("n/a".to_string(), |i| format!("#{}", i + 1));
+        let paper_gf = results
+            .iter()
+            .find(|r| r.config == paper)
+            .map_or("-".to_string(), |r| format!("{:.0}", r.gflops));
+        let mut row = vec![format!("{k}x{k}"), format!("paper ({paper_rank})")];
+        row.extend(fmt_cfg(&paper));
+        row.push(paper_gf);
+        rows.push(row);
+    }
+    print_table(
+        &["K", "config", "W", "H", "F_TB", "W_T", "F_T", "C_SH", "GFlop/s"],
+        &rows,
+    );
+    println!(
+        "\npaper Table 1:  3x3: W=32 H=4 F_TB=64 W_T=16 F_T=4 C_SH=2\n               5x5: W=32 H=8 F_TB=32 W_T=8  F_T=8 C_SH=1\n               7x7: W=64 H=4 F_TB=32 W_T=8  F_T=8 C_SH=1"
+    );
+}

@@ -1,0 +1,94 @@
+//! # kconv-bench — experiment harnesses for the DAC'17 reproduction
+//!
+//! One binary per paper artifact (see `DESIGN.md` for the index):
+//!
+//! | Binary | Artifact |
+//! |--------|----------|
+//! | `fig2_gemm` | Fig. 2 — SGEMM: cuBLAS-like vs MAGMA vs MAGMA-mod |
+//! | `fig7_special` | Fig. 7 — special-case convolution vs cuDNN-like |
+//! | `table1_tune` | Table 1 — general-case design-space exploration |
+//! | `fig8_general` | Fig. 8 — general-case convolution vs cuDNN-like |
+//! | `ablation_dtype` | Section 6 — short-data-type bank mismatch |
+//! | `ablation_overlap` | prefetch/overlap contribution |
+//!
+//! This library holds the small shared pieces: table rendering and
+//! geometric-mean helpers.
+
+#![warn(missing_docs)]
+
+/// Renders a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a table with a header, separator and rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", row(&head, &widths));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for r in rows {
+        println!("{}", row(r, &widths));
+    }
+}
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixed() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+
+    #[test]
+    fn row_is_right_aligned() {
+        let r = row(&["a".into(), "bb".into()], &[3, 3]);
+        assert_eq!(r, "  a   bb");
+    }
+}

@@ -1,0 +1,167 @@
+//! Batched convolution.
+//!
+//! The paper's kernels process one image per launch (batch appears in its
+//! related-work discussion only — FFT-based methods *need* large batches
+//! to amortize filter transforms; direct kernels do not). For CNN
+//! inference over a batch this module runs one launch per image and
+//! aggregates the statistics; the per-launch overhead
+//! ([`LAUNCH_OVERHEAD_S`](kconv_sim::timing::LAUNCH_OVERHEAD_S), ~4 us)
+//! is the price relative to a fused batch grid, and
+//! [`BatchRun::launch_overhead_share`] reports exactly how much that is —
+//! negligible for the image sizes of Figs. 7-8.
+
+use kconv_sim::{Gpu, SimMode};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+use crate::error::{ConvError, Result};
+use crate::run::{ConvRun, Convolution};
+
+/// Result of a batched run.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-image runs, in input order.
+    pub runs: Vec<ConvRun>,
+}
+
+impl BatchRun {
+    /// Total modeled time across the batch.
+    pub fn total_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.report.seconds()).sum()
+    }
+
+    /// Aggregate algorithmic throughput of the batch.
+    pub fn effective_gflops(&self, problem: &ConvProblem) -> f64 {
+        let flops = problem.flops() as f64 * self.runs.len() as f64;
+        flops / self.total_seconds() / 1e9
+    }
+
+    /// Fraction of the total time spent in per-launch overhead — what a
+    /// fused batch grid would recover.
+    pub fn launch_overhead_share(&self) -> f64 {
+        let overhead = kconv_sim::timing::LAUNCH_OVERHEAD_S * self.runs.len() as f64;
+        overhead / self.total_seconds()
+    }
+
+    /// The outputs, in input order.
+    pub fn outputs(&self) -> impl Iterator<Item = &FeatureMaps> {
+        self.runs.iter().map(|r| &r.output)
+    }
+}
+
+/// Runs `conv` over every image of a batch (one launch each, shared
+/// filters), validating shapes up front.
+///
+/// # Errors
+///
+/// Returns [`ConvError::Shape`] if any image mismatches `problem`, and
+/// propagates kernel errors.
+pub fn run_batch(
+    conv: &dyn Convolution,
+    gpu: &mut Gpu,
+    problem: &ConvProblem,
+    inputs: &[FeatureMaps],
+    filters: &FilterSet,
+    mode: SimMode,
+) -> Result<BatchRun> {
+    if inputs.is_empty() {
+        return Err(ConvError::Shape("empty batch".into()));
+    }
+    for (i, input) in inputs.iter().enumerate() {
+        if !problem.matches(input, filters) {
+            return Err(ConvError::Shape(format!(
+                "batch image {i} does not match {problem}"
+            )));
+        }
+    }
+    let mut runs = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        runs.push(conv.run(gpu, problem, input, filters, mode.clone())?);
+    }
+    Ok(BatchRun { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conv_reference, SpecialConv};
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::{assert_close, random_filters, random_maps, CONV_TOL};
+
+    fn batch(n: usize) -> (ConvProblem, Vec<FeatureMaps>, FilterSet) {
+        let problem = ConvProblem::special(40, 2, 3);
+        let inputs = (0..n).map(|i| random_maps(1, 40, 40, 100 + i as u64)).collect();
+        let filters = random_filters(2, 1, 3, 200);
+        (problem, inputs, filters)
+    }
+
+    #[test]
+    fn every_image_is_correct() {
+        let (problem, inputs, filters) = batch(3);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let result = run_batch(
+            &SpecialConv::default(),
+            &mut gpu,
+            &problem,
+            &inputs,
+            &filters,
+            SimMode::Full,
+        )
+        .unwrap();
+        assert_eq!(result.runs.len(), 3);
+        for (input, output) in inputs.iter().zip(result.outputs()) {
+            let want = conv_reference(&problem, input, &filters);
+            assert_close(output.as_slice(), want.as_slice(), CONV_TOL, "batch image");
+        }
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let (problem, inputs, filters) = batch(4);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let result = run_batch(
+            &SpecialConv::default(),
+            &mut gpu,
+            &problem,
+            &inputs,
+            &filters,
+            SimMode::Full,
+        )
+        .unwrap();
+        let sum: f64 = result.runs.iter().map(|r| r.report.seconds()).sum();
+        assert!((result.total_seconds() - sum).abs() < 1e-15);
+        assert!(result.effective_gflops(&problem) > 0.0);
+        let share = result.launch_overhead_share();
+        assert!(share > 0.0 && share < 1.0, "overhead share {share}");
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let (problem, _, filters) = batch(1);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let err = run_batch(
+            &SpecialConv::default(),
+            &mut gpu,
+            &problem,
+            &[],
+            &filters,
+            SimMode::Full,
+        );
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+
+    #[test]
+    fn mismatched_image_rejected_before_any_launch() {
+        let (problem, mut inputs, filters) = batch(2);
+        inputs[1] = random_maps(1, 20, 20, 3); // wrong size
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let err = run_batch(
+            &SpecialConv::default(),
+            &mut gpu,
+            &problem,
+            &inputs,
+            &filters,
+            SimMode::Full,
+        );
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+}

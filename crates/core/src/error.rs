@@ -1,0 +1,66 @@
+//! Error type for the convolution kernels.
+
+use kconv_sim::SimError;
+
+/// Errors reported by the convolution kernels and baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// The simulator rejected an allocation, transfer or launch.
+    Sim(SimError),
+    /// A kernel configuration violates its internal constraints.
+    Config(String),
+    /// The problem shape is incompatible with the kernel or configuration.
+    Shape(String),
+}
+
+impl std::fmt::Display for ConvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvError::Sim(e) => write!(f, "simulator error: {e}"),
+            ConvError::Config(msg) => write!(f, "invalid kernel configuration: {msg}"),
+            ConvError::Shape(msg) => write!(f, "incompatible problem shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ConvError {
+    fn from(e: SimError) -> Self {
+        ConvError::Sim(e)
+    }
+}
+
+/// Convenience alias for kernel results.
+pub type Result<T> = std::result::Result<T, ConvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ConvError::from(SimError::InvalidLaunch("x".into()));
+        assert!(e.to_string().contains("simulator"));
+        assert!(e.source().is_some());
+        let e = ConvError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e = ConvError::Shape("odd".into());
+        assert!(e.to_string().contains("odd"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ConvError>();
+    }
+}

@@ -1,0 +1,324 @@
+//! The Caffe-style explicit `im2col` + GEMM baseline.
+//!
+//! Caffe's default convolution (the paper's reference [7]/[18]) lowers the
+//! input to the full patch matrix with an `im2col` kernel — allocating
+//! `K*K` times the input's memory — and then calls a cuBLAS SGEMM. This
+//! implementation runs both stages on the simulator:
+//!
+//! 1. an `im2col` device kernel that writes every element of the
+//!    `(C*K*K) x (OH*OW)` patch matrix (duplicated global-memory traffic
+//!    plus unrolled-index ALU, both counted);
+//! 2. a bank-width-matched blocked SGEMM from [`kconv_gemm`] over the
+//!    (zero-padded) operands.
+//!
+//! The reported [`ConvRun`] carries the **combined** statistics and time of
+//! both launches.
+
+use kconv_gemm::{launch_gemm, GemmConfig, GemmShape};
+use kconv_sim::{
+    lane_addrs_from, Gpu, KernelStats, LaneMask, LaunchConfig, LaunchReport, OverlapMode,
+    SimMode,
+};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+use crate::error::{ConvError, Result};
+use crate::reference::OutRegion;
+use crate::run::{ConvRun, Convolution};
+
+/// The explicit `im2col` + GEMM convolution baseline.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_core::{ExplicitGemmConv, Convolution};
+/// use kconv_sim::{Gpu, GpuSpec, SimMode};
+/// use kconv_tensor::{random_maps, random_filters, ConvProblem};
+///
+/// # fn main() -> Result<(), kconv_core::ConvError> {
+/// let problem = ConvProblem::general(16, 2, 4, 3);
+/// let input = random_maps(2, 16, 16, 1);
+/// let filters = random_filters(4, 2, 3, 2);
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let run = ExplicitGemmConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full)?;
+/// assert!(run
+///     .verify_executed(&problem, &input, &filters, kconv_tensor::CONV_TOL)
+///     .is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitGemmConv {
+    /// GEMM blocking; `None` uses a 64x64 Kepler-matched kernel.
+    pub gemm: Option<GemmConfig>,
+}
+
+impl ExplicitGemmConv {
+    /// Baseline with an explicit GEMM blocking.
+    pub fn new(gemm: GemmConfig) -> Self {
+        ExplicitGemmConv { gemm: Some(gemm) }
+    }
+}
+
+/// ALU lane-ops charged per written patch-matrix element (index decode +
+/// address computation), matching the implicit baseline's accounting.
+const DECODE_ALU: u64 = 10;
+
+fn round_up(v: usize, to: usize) -> usize {
+    v.div_ceil(to) * to
+}
+
+/// Sums two launch reports: statistics merge, component times add, and the
+/// slower launch's occupancy is kept for display.
+fn combine(a: LaunchReport, b: LaunchReport) -> LaunchReport {
+    let mut stats = KernelStats::default();
+    stats.merge(&a.stats);
+    stats.merge(&b.stats);
+    let mut timing = if a.timing.t_total >= b.timing.t_total {
+        a.timing
+    } else {
+        b.timing
+    };
+    timing.t_compute = a.timing.t_compute + b.timing.t_compute;
+    timing.t_smem = a.timing.t_smem + b.timing.t_smem;
+    timing.t_cm = a.timing.t_cm + b.timing.t_cm;
+    timing.t_gm = a.timing.t_gm + b.timing.t_gm;
+    timing.t_barrier = a.timing.t_barrier + b.timing.t_barrier;
+    timing.t_latency = a.timing.t_latency + b.timing.t_latency;
+    timing.t_total = a.timing.t_total + b.timing.t_total;
+    timing.gflops = stats.flops() as f64 / timing.t_total / 1e9;
+    LaunchReport {
+        stats,
+        timing,
+        executed_blocks: b.executed_blocks,
+    }
+}
+
+impl Convolution for ExplicitGemmConv {
+    fn name(&self) -> String {
+        "Caffe-like im2col + GEMM".into()
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun> {
+        if !problem.matches(input, filters) {
+            return Err(ConvError::Shape(format!(
+                "input/filter shapes do not match {problem}"
+            )));
+        }
+        let gemm_cfg = self.gemm.clone().unwrap_or_else(|| GemmConfig {
+            name: "explicit-conv SGEMM",
+            ..GemmConfig::fermi_tuned_matched()
+        });
+        gemm_cfg.validate().map_err(ConvError::Config)?;
+
+        let (oh, ow) = (problem.out_height(), problem.out_width());
+        let np = oh * ow;
+        let kd = problem.channels * problem.k * problem.k;
+        // Padded GEMM dimensions.
+        let mp = round_up(problem.filters, gemm_cfg.tile_m);
+        let npad = round_up(np, gemm_cfg.tile_n);
+        let kp = round_up(kd, gemm_cfg.tile_k);
+
+        // Device buffers: input tensor, padded filter matrix, padded patch
+        // matrix (the K*K-fold blowup Caffe allocates), padded output.
+        let d_in = gpu.alloc_f32(input.as_slice().len() as u64)?;
+        gpu.upload_f32(d_in, input.as_slice())?;
+        let d_a = gpu.alloc_f32((mp * kp) as u64)?;
+        gpu.fill_f32(d_a, 0.0);
+        // Filters are already the row-major F x kd matrix; upload row-wise
+        // into the padded pitch.
+        for f in 0..problem.filters {
+            let row = &filters.as_slice()[f * kd..(f + 1) * kd];
+            gpu.upload_f32_at(d_a, (f * kp) as u64, row)?;
+        }
+        let d_b = gpu.alloc_f32((kp * npad) as u64)?;
+        gpu.fill_f32(d_b, 0.0);
+        let d_c = gpu.alloc_f32((mp * npad) as u64)?;
+
+        // Stage 1: the im2col kernel (always full — the GEMM depends on
+        // every element).
+        let total = kd * np;
+        let threads = 256;
+        let im2col_launch = LaunchConfig::new(
+            format!("im2col K={}", problem.k),
+            total.div_ceil(threads),
+            threads,
+        )
+        .with_regs(20)
+        .with_overlap(OverlapMode::Moderate);
+        let p = *problem;
+        let kk = p.k * p.k;
+        let im2col_report = gpu.launch(&im2col_launch, SimMode::Full, |blk| {
+            let base = blk.dims.block_id * threads;
+            blk.each_warp(|w| {
+                let mask = LaneMask::from_fn(|lane| base + w.thread_id(lane) < total);
+                let gaddrs = lane_addrs_from(|lane| {
+                    let e = (base + w.thread_id(lane)).min(total - 1);
+                    let (kq, px) = (e / np, e % np);
+                    let (c, q) = (kq / kk, kq % kk);
+                    let (dy, dx) = (q / p.k, q % p.k);
+                    let ow = p.out_width();
+                    let (oy, ox) = (px / ow, px % ow);
+                    d_in.f32_addr(
+                        ((c * p.height + oy * p.stride + dy) * p.width
+                            + ox * p.stride
+                            + dx) as u64,
+                    )
+                });
+                w.count_alu(mask.count() as u64 * DECODE_ALU);
+                let vals = w.ld_global::<1>(&gaddrs, mask);
+                let saddrs = lane_addrs_from(|lane| {
+                    let e = (base + w.thread_id(lane)).min(total - 1);
+                    let (kq, px) = (e / np, e % np);
+                    d_b.f32_addr((kq * npad + px) as u64)
+                });
+                w.st_global::<1>(&saddrs, &vals, mask);
+            });
+        })?;
+
+        // Stage 2: the SGEMM.
+        let shape = GemmShape::new(mp, npad, kp);
+        let gemm_report = launch_gemm(gpu, &gemm_cfg, shape, d_a, d_b, d_c, mode.clone())?;
+
+        // Executed C tiles become row-segment regions (as in the implicit
+        // baseline).
+        let tiles_n = npad / gemm_cfg.tile_n;
+        let mut regions = Vec::new();
+        for &b in &gemm_report.executed_blocks {
+            let bm = b / tiles_n;
+            let bn = b % tiles_n;
+            let f0 = bm * gemm_cfg.tile_m;
+            if f0 >= problem.filters {
+                continue;
+            }
+            let nf = gemm_cfg.tile_m.min(problem.filters - f0);
+            let px0 = bn * gemm_cfg.tile_n;
+            let px1 = (px0 + gemm_cfg.tile_n).min(np);
+            let mut px = px0;
+            while px < px1 {
+                let (y, x) = (px / ow, px % ow);
+                let w = (ow - x).min(px1 - px);
+                regions.push(OutRegion {
+                    f0,
+                    nf,
+                    y0: y,
+                    x0: x,
+                    h: 1,
+                    w,
+                });
+                px += w;
+            }
+        }
+
+        let mut output = FeatureMaps::zeros(problem.filters, oh, ow);
+        for f in 0..problem.filters {
+            let row = gpu.download_f32_at(d_c, (f * npad) as u64, np)?;
+            for (px, v) in row.into_iter().enumerate() {
+                output.set(f, px / ow, px % ow, v);
+            }
+        }
+
+        Ok(ConvRun {
+            output,
+            report: combine(im2col_report, gemm_report),
+            executed_regions: regions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::{random_filters, random_maps, CONV_TOL};
+
+    fn check(n: usize, c: usize, f: usize, k: usize, mode: SimMode) -> ConvRun {
+        let problem = ConvProblem::general(n, c, f, k);
+        let input = random_maps(c, n, n, 41);
+        let filters = random_filters(f, c, k, 43);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = ExplicitGemmConv::default()
+            .run(&mut gpu, &problem, &input, &filters, mode)
+            .expect("launch");
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .expect("output mismatch");
+        run
+    }
+
+    #[test]
+    fn small_multichannel() {
+        check(16, 2, 4, 3, SimMode::Full);
+    }
+
+    #[test]
+    fn single_channel_and_filter() {
+        check(16, 1, 1, 3, SimMode::Full);
+    }
+
+    #[test]
+    fn five_by_five() {
+        check(18, 2, 3, 5, SimMode::Full);
+    }
+
+    #[test]
+    fn one_by_one() {
+        check(16, 3, 4, 1, SimMode::Full);
+    }
+
+    #[test]
+    fn sampled_gemm_stage() {
+        let run = check(34, 2, 8, 3, SimMode::Sampled(2));
+        assert!(!run.executed_regions.is_empty());
+    }
+
+    #[test]
+    fn strided_convolutions_are_supported() {
+        let problem = ConvProblem::general(17, 2, 4, 3).with_stride(2);
+        let input = random_maps(2, 17, 17, 361);
+        let filters = random_filters(4, 2, 3, 363);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = ExplicitGemmConv::default()
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .expect("strided explicit");
+    }
+
+    #[test]
+    fn combined_report_includes_both_stages() {
+        let run = check(16, 2, 4, 3, SimMode::Full);
+        // im2col ALU must be present alongside GEMM FMAs.
+        assert!(run.report.stats.alu_lane_ops > 0);
+        assert!(run.report.stats.fma_lane_ops > 0);
+        // im2col writes kd*np elements: bus write traffic at least that.
+        let kd_np = (2 * 9 * 14 * 14) as u64;
+        assert!(run.report.stats.gm_st_bytes_useful >= kd_np * 4);
+    }
+
+    #[test]
+    fn memory_blowup_is_real() {
+        // The patch matrix allocation is ~K*K times the input: visible in
+        // the device allocation trace via successful allocation of the
+        // padded buffer (behavioural check: output still correct while
+        // padded dims exceed the true ones).
+        let run = check(20, 3, 5, 3, SimMode::Full);
+        assert!(run.report.stats.gm_ld_bytes_useful > 0);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let problem = ConvProblem::general(12, 2, 4, 3);
+        let input = random_maps(1, 12, 12, 1);
+        let filters = random_filters(4, 2, 3, 1);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let err =
+            ExplicitGemmConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+}

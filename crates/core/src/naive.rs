@@ -1,0 +1,288 @@
+//! Naive direct convolution on the GPU — the related-work strawman.
+//!
+//! One thread per output pixel, reading every needed pixel and filter tap
+//! straight from global memory: the baseline the paper's category-(2)
+//! related work ([9-11]) improves upon, and the cleanest demonstration of
+//! *why* the paper's data-sharing machinery exists. Against
+//! [`SpecialConv`](crate::SpecialConv) / [`GeneralConv`](crate::GeneralConv)
+//! this kernel re-reads each input pixel up to `K * K * F` times from DRAM
+//! (the exact reuse factor the paper's section 2.2 derives), mitigated
+//! only by the read-only cache when enabled.
+
+use kconv_sim::{
+    lane_addrs_from, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode, WARP_SIZE,
+};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+use crate::error::{ConvError, Result};
+use crate::reference::OutRegion;
+use crate::run::{ConvRun, Convolution};
+
+/// The naive one-thread-per-output direct kernel.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_core::{NaiveConv, Convolution};
+/// use kconv_sim::{Gpu, GpuSpec, SimMode};
+/// use kconv_tensor::{random_maps, random_filters, ConvProblem};
+///
+/// # fn main() -> Result<(), kconv_core::ConvError> {
+/// let problem = ConvProblem::general(16, 2, 3, 3);
+/// let input = random_maps(2, 16, 16, 1);
+/// let filters = random_filters(3, 2, 3, 2);
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let run = NaiveConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full)?;
+/// run.verify_executed(&problem, &input, &filters, kconv_tensor::CONV_TOL).unwrap();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveConv {
+    /// Threads per block (a 1D launch over output pixels).
+    pub block_threads: usize,
+    /// Whether input reads go through the read-only cache (filter reads
+    /// always do — they are warp-uniform).
+    pub texture: bool,
+}
+
+impl Default for NaiveConv {
+    fn default() -> Self {
+        NaiveConv {
+            block_threads: 256,
+            texture: true,
+        }
+    }
+}
+
+impl Convolution for NaiveConv {
+    fn name(&self) -> String {
+        "naive direct (1 thread/output)".into()
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun> {
+        if !problem.matches(input, filters) {
+            return Err(ConvError::Shape(format!(
+                "input/filter shapes do not match {problem}"
+            )));
+        }
+        if self.block_threads == 0 || self.block_threads > 1024 {
+            return Err(ConvError::Config(format!(
+                "{} threads per block", self.block_threads
+            )));
+        }
+        let (oh, ow) = (problem.out_height(), problem.out_width());
+        let np = oh * ow;
+        // One thread per (filter, output pixel).
+        let total = problem.filters * np;
+        let threads = self.block_threads;
+        let blocks = total.div_ceil(threads);
+
+        let d_in = gpu.alloc_f32(input.as_slice().len() as u64)?;
+        gpu.upload_f32(d_in, input.as_slice())?;
+        let d_flt = gpu.alloc_f32(filters.len() as u64)?;
+        gpu.upload_f32(d_flt, filters.as_slice())?;
+        let d_out = gpu.alloc_f32(total as u64)?;
+
+        let p = *problem;
+        let texture = self.texture;
+        let launch = LaunchConfig::new(format!("naive K={}", p.k), blocks, threads)
+            .with_regs(24)
+            .with_overlap(OverlapMode::Serial);
+        let report = gpu.launch(&launch, mode, |blk| {
+            let base = blk.dims.block_id * threads;
+            let kk = p.k * p.k;
+            blk.each_warp(|w| {
+                let pop = w.population();
+                let mask = LaneMask::from_fn(|lane| {
+                    pop.is_active(lane) && base + w.thread_id(lane) < total
+                });
+                if mask.is_empty() {
+                    return;
+                }
+                let mut acc = [0.0f32; WARP_SIZE];
+                for c in 0..p.channels {
+                    for i in 0..p.k {
+                        for j in 0..p.k {
+                            // Input pixel for each lane's output position.
+                            let gaddrs = lane_addrs_from(|lane| {
+                                let t = (base + w.thread_id(lane)).min(total - 1);
+                                let px = t % np;
+                                let (oy, ox) = (px / ow, px % ow);
+                                d_in.f32_addr(
+                                    ((c * p.height + oy * p.stride + i) * p.width
+                                        + ox * p.stride
+                                        + j) as u64,
+                                )
+                            });
+                            let pix = if texture {
+                                w.ld_global_ro::<1>(&gaddrs, mask)
+                            } else {
+                                w.ld_global::<1>(&gaddrs, mask)
+                            };
+                            // Filter tap: warp lanes share a filter only if
+                            // they compute the same map; in general the
+                            // addresses diverge (counted as-is).
+                            let faddrs = lane_addrs_from(|lane| {
+                                let t = (base + w.thread_id(lane)).min(total - 1);
+                                let f = t / np;
+                                d_flt.f32_addr(((f * p.channels + c) * kk + i * p.k + j) as u64)
+                            });
+                            let tap = w.ld_global_ro::<1>(&faddrs, mask);
+                            for lane in mask.iter() {
+                                acc[lane] += pix[lane][0] * tap[lane][0];
+                            }
+                        }
+                    }
+                }
+                w.count_fma(mask.count() as u64 * (p.channels * kk) as u64);
+                let oaddrs = lane_addrs_from(|lane| {
+                    let t = (base + w.thread_id(lane)).min(total - 1);
+                    d_out.f32_addr(t as u64)
+                });
+                let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [acc[l]]);
+                w.st_global::<1>(&oaddrs, &vals, mask);
+            });
+        })?;
+
+        let flat = gpu.download_f32(d_out)?;
+        let output = FeatureMaps::from_vec(problem.filters, oh, ow, flat);
+
+        // Executed regions: the pixel rows each executed block covered.
+        let mut regions = Vec::new();
+        for &b in &report.executed_blocks {
+            let mut t = b * threads;
+            let t_end = ((b + 1) * threads).min(total);
+            while t < t_end {
+                let f = t / np;
+                let px = t % np;
+                let (y, x) = (px / ow, px % ow);
+                let w_run = (ow - x).min(t_end - t);
+                regions.push(OutRegion {
+                    f0: f,
+                    nf: 1,
+                    y0: y,
+                    x0: x,
+                    h: 1,
+                    w: w_run,
+                });
+                t += w_run;
+            }
+        }
+        Ok(ConvRun {
+            output,
+            report,
+            executed_regions: regions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::{random_filters, random_maps, CONV_TOL};
+
+    fn check(n: usize, c: usize, f: usize, k: usize, mode: SimMode) -> ConvRun {
+        let problem = ConvProblem::general(n, c, f, k);
+        let input = random_maps(c, n, n, 301);
+        let filters = random_filters(f, c, k, 303);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = NaiveConv::default()
+            .run(&mut gpu, &problem, &input, &filters, mode)
+            .expect("launch");
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .expect("output mismatch");
+        run
+    }
+
+    #[test]
+    fn correct_on_small_problems() {
+        check(12, 2, 3, 3, SimMode::Full);
+        check(10, 1, 1, 5, SimMode::Full);
+        check(9, 3, 2, 1, SimMode::Full);
+    }
+
+    #[test]
+    fn sampled_execution_verifies() {
+        let run = check(32, 2, 4, 3, SimMode::Sampled(2));
+        assert!(!run.executed_regions.is_empty());
+    }
+
+    #[test]
+    fn strided_convolutions_are_supported() {
+        let problem = ConvProblem::general(13, 1, 2, 3).with_stride(2);
+        let input = random_maps(1, 13, 13, 371);
+        let filters = random_filters(2, 1, 3, 373);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = NaiveConv::default()
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .expect("strided naive");
+    }
+
+    #[test]
+    fn rereads_input_k_squared_f_times_without_texture() {
+        // Paper section 2.2: an input pixel can be used up to K*K*F times;
+        // the naive kernel pays that in useful load traffic.
+        let problem = ConvProblem::general(20, 1, 4, 3);
+        let input = random_maps(1, 20, 20, 305);
+        let filters = random_filters(4, 1, 3, 307);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let naive = NaiveConv {
+            texture: false,
+            ..NaiveConv::default()
+        };
+        let run = naive
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        // Pixel loads: np * K*K * F; tap loads the same count.
+        let np = 18 * 18;
+        let expected_pixel_bytes = (np * 9 * 4 * 4) as u64;
+        assert!(run.report.stats.gm_ld_bytes_useful >= expected_pixel_bytes);
+    }
+
+    #[test]
+    fn tiled_kernels_crush_it() {
+        let problem = ConvProblem::general(66, 16, 64, 3);
+        let input = random_maps(16, 66, 66, 309);
+        let filters = random_filters(64, 16, 3, 311);
+        let secs = |conv: &dyn Convolution| {
+            let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+            conv.run(&mut gpu, &problem, &input, &filters, SimMode::Sampled(2))
+                .unwrap()
+                .report
+                .seconds()
+        };
+        let naive = secs(&NaiveConv::default());
+        let ours = secs(&crate::GeneralConv::table1(3));
+        assert!(
+            naive > 2.0 * ours,
+            "naive {naive} should be far slower than tiled {ours}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let problem = ConvProblem::general(12, 1, 1, 3);
+        let input = random_maps(1, 12, 12, 1);
+        let filters = random_filters(1, 1, 3, 2);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let bad = NaiveConv {
+            block_threads: 0,
+            texture: true,
+        };
+        assert!(matches!(
+            bad.run(&mut gpu, &problem, &input, &filters, SimMode::Full),
+            Err(ConvError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,246 @@
+//! CPU reference convolution — the correctness oracle for every kernel in
+//! this workspace.
+
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+/// A box of the *output* domain: a slice of filters and a spatial
+/// rectangle, in output coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutRegion {
+    /// First filter (output channel) covered.
+    pub f0: usize,
+    /// Number of filters covered.
+    pub nf: usize,
+    /// First output row.
+    pub y0: usize,
+    /// First output column.
+    pub x0: usize,
+    /// Rows in the region.
+    pub h: usize,
+    /// Columns in the region.
+    pub w: usize,
+}
+
+impl OutRegion {
+    /// The full output of `problem`.
+    pub fn full(problem: &ConvProblem) -> Self {
+        OutRegion {
+            f0: 0,
+            nf: problem.filters,
+            y0: 0,
+            x0: 0,
+            h: problem.out_height(),
+            w: problem.out_width(),
+        }
+    }
+
+    /// Clips the region to the output bounds of `problem`; returns `None`
+    /// when nothing remains.
+    pub fn clipped(&self, problem: &ConvProblem) -> Option<OutRegion> {
+        let (oh, ow) = (problem.out_height(), problem.out_width());
+        if self.y0 >= oh || self.x0 >= ow || self.f0 >= problem.filters {
+            return None;
+        }
+        Some(OutRegion {
+            f0: self.f0,
+            nf: self.nf.min(problem.filters - self.f0),
+            y0: self.y0,
+            x0: self.x0,
+            h: self.h.min(oh - self.y0),
+            w: self.w.min(ow - self.x0),
+        })
+    }
+}
+
+/// Direct "valid" convolution on the CPU, `f64` accumulation:
+///
+/// `out[f][y][x] = sum over (c, i, j) of in[c][y*S+i][x*S+j] * flt[f][c][i][j]`
+/// (stride `S` from the problem).
+///
+/// # Panics
+///
+/// Panics if the shapes do not match `problem`.
+pub fn conv_reference(
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+) -> FeatureMaps {
+    conv_reference_region(problem, input, filters, OutRegion::full(problem))
+}
+
+/// Direct convolution restricted to an output region — cheap validation of
+/// sampled kernel executions. The result has shape
+/// `region.nf x region.h x region.w` (filter `f0 + f` in slot `f`).
+///
+/// # Panics
+///
+/// Panics if the shapes do not match `problem` or the region exceeds the
+/// output.
+pub fn conv_reference_region(
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    region: OutRegion,
+) -> FeatureMaps {
+    assert!(
+        problem.matches(input, filters),
+        "input/filter shapes do not match {problem}"
+    );
+    assert!(
+        region.y0 + region.h <= problem.out_height()
+            && region.x0 + region.w <= problem.out_width()
+            && region.f0 + region.nf <= problem.filters,
+        "region exceeds output"
+    );
+    let k = problem.k;
+    let mut out = FeatureMaps::zeros(region.nf, region.h, region.w);
+    for f in 0..region.nf {
+        for y in 0..region.h {
+            for x in 0..region.w {
+                let mut acc = 0.0f64;
+                let (iy, ix) = ((region.y0 + y) * problem.stride, (region.x0 + x) * problem.stride);
+                for c in 0..problem.channels {
+                    for i in 0..k {
+                        for j in 0..k {
+                            acc += input.get(c, iy + i, ix + j) as f64
+                                * filters.get(region.f0 + f, c, i, j) as f64;
+                        }
+                    }
+                }
+                out.set(f, y, x, acc as f32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_tensor::{random_filters, random_maps};
+
+    #[test]
+    fn identity_one_by_one() {
+        let p = ConvProblem::general(4, 1, 1, 1);
+        let input = FeatureMaps::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let filters = FilterSet::from_vec(1, 1, 1, vec![1.0]);
+        let out = conv_reference(&p, &input, &filters);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn box_filter_sums_patch() {
+        let p = ConvProblem::general(3, 1, 1, 3);
+        let input = FeatureMaps::from_fn(1, 3, 3, |_, _, _| 1.0);
+        let filters = FilterSet::from_vec(1, 1, 3, vec![1.0; 9]);
+        let out = conv_reference(&p, &input, &filters);
+        assert_eq!(out.get(0, 0, 0), 9.0);
+    }
+
+    #[test]
+    fn channels_accumulate() {
+        let p = ConvProblem::general(2, 3, 1, 1);
+        let input = FeatureMaps::from_fn(3, 2, 2, |c, _, _| (c + 1) as f32);
+        let filters = FilterSet::from_fn(1, 3, 1, |_, c, _, _| (c + 1) as f32);
+        let out = conv_reference(&p, &input, &filters);
+        // 1*1 + 2*2 + 3*3 = 14
+        assert_eq!(out.get(0, 1, 1), 14.0);
+    }
+
+    #[test]
+    fn cross_correlation_orientation() {
+        // Filter that picks the bottom-right tap: out(0,0) = in(1,1).
+        let p = ConvProblem::general(2, 1, 1, 2);
+        let input = FeatureMaps::from_fn(1, 2, 2, |_, y, x| (10 * y + x) as f32);
+        let mut filters = FilterSet::zeros(1, 1, 2);
+        filters.set(0, 0, 1, 1, 1.0);
+        let out = conv_reference(&p, &input, &filters);
+        assert_eq!(out.get(0, 0, 0), 11.0);
+    }
+
+    #[test]
+    fn region_matches_full() {
+        let p = ConvProblem::general(10, 2, 3, 3);
+        let input = random_maps(2, 10, 10, 1);
+        let filters = random_filters(3, 2, 3, 2);
+        let full = conv_reference(&p, &input, &filters);
+        let region = OutRegion {
+            f0: 1,
+            nf: 2,
+            y0: 2,
+            x0: 3,
+            h: 4,
+            w: 5,
+        };
+        let part = conv_reference_region(&p, &input, &filters, region);
+        for f in 0..2 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    assert_eq!(part.get(f, y, x), full.get(1 + f, 2 + y, 3 + x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_reference_subsamples() {
+        let p = ConvProblem::general(7, 1, 1, 3).with_stride(2);
+        let input = FeatureMaps::from_fn(1, 7, 7, |_, y, x| (y * 7 + x) as f32);
+        let mut filters = FilterSet::zeros(1, 1, 3);
+        filters.set(0, 0, 0, 0, 1.0); // pick the window origin
+        let out = conv_reference(&p, &input, &filters);
+        assert_eq!(out.height(), 3);
+        assert_eq!(out.get(0, 0, 0), 0.0);
+        assert_eq!(out.get(0, 1, 1), (2 * 7 + 2) as f32);
+        assert_eq!(out.get(0, 2, 2), (4 * 7 + 4) as f32);
+    }
+
+    #[test]
+    fn clipping() {
+        let p = ConvProblem::special(10, 1, 3); // 8x8 output
+        let r = OutRegion {
+            f0: 0,
+            nf: 5,
+            y0: 6,
+            x0: 0,
+            h: 4,
+            w: 12,
+        };
+        let c = r.clipped(&p).unwrap();
+        assert_eq!((c.h, c.w, c.nf), (2, 8, 1));
+        let gone = OutRegion {
+            f0: 0,
+            nf: 1,
+            y0: 8,
+            x0: 0,
+            h: 1,
+            w: 1,
+        };
+        assert!(gone.clipped(&p).is_none());
+        assert_eq!(
+            OutRegion::full(&p),
+            OutRegion { f0: 0, nf: 1, y0: 0, x0: 0, h: 8, w: 8 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "region exceeds output")]
+    fn region_bounds_checked() {
+        let p = ConvProblem::special(4, 1, 3);
+        let input = FeatureMaps::zeros(1, 4, 4);
+        let filters = FilterSet::zeros(1, 1, 3);
+        conv_reference_region(
+            &p,
+            &input,
+            &filters,
+            OutRegion {
+                f0: 0,
+                nf: 1,
+                y0: 0,
+                x0: 0,
+                h: 3,
+                w: 2,
+            },
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! The uniform interface every convolution implementation exposes, and the
+//! result type carrying output, statistics and verification support.
+
+use kconv_sim::{Gpu, LaunchReport, SimMode};
+use kconv_tensor::{worst_mismatch, ConvProblem, FeatureMaps, FilterSet};
+
+use crate::error::Result;
+use crate::reference::{conv_reference_region, OutRegion};
+
+/// Result of running a convolution implementation.
+#[derive(Debug, Clone)]
+pub struct ConvRun {
+    /// The output maps (`F x out_h x out_w`). Under sampled execution only
+    /// the [`ConvRun::executed_regions`] hold computed values; the rest is
+    /// zero.
+    pub output: FeatureMaps,
+    /// Launch counters and modeled timing.
+    pub report: LaunchReport,
+    /// Output regions that were actually computed (clipped to the output).
+    pub executed_regions: Vec<OutRegion>,
+}
+
+impl ConvRun {
+    /// Achieved throughput in GFlop/s, computed from the *algorithmic* flop
+    /// count of `problem` (so baselines doing redundant work are not
+    /// credited for it) over the modeled time.
+    pub fn effective_gflops(&self, problem: &ConvProblem) -> f64 {
+        problem.flops() as f64 / self.report.seconds() / 1e9
+    }
+
+    /// Validates every executed region against the CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching element.
+    pub fn verify_executed(
+        &self,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        tol: f32,
+    ) -> std::result::Result<(), String> {
+        for region in &self.executed_regions {
+            let want = conv_reference_region(problem, input, filters, *region);
+            for f in 0..region.nf {
+                for y in 0..region.h {
+                    let got: Vec<f32> = (0..region.w)
+                        .map(|x| self.output.get(region.f0 + f, region.y0 + y, region.x0 + x))
+                        .collect();
+                    let row: Vec<f32> = (0..region.w).map(|x| want.get(f, y, x)).collect();
+                    if let Some(m) = worst_mismatch(&got, &row, tol) {
+                        return Err(format!(
+                            "filter {}, output ({}, {}): got {} want {} (error {:.2e})",
+                            region.f0 + f,
+                            region.y0 + y,
+                            region.x0 + m.index,
+                            m.lhs,
+                            m.rhs,
+                            m.error
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A convolution implementation runnable on the simulator.
+///
+/// Implemented by the paper's two kernels ([`SpecialConv`], [`GeneralConv`])
+/// and the baselines ([`ImplicitGemmConv`], [`ExplicitGemmConv`]), so
+/// harnesses and applications can switch engines freely.
+///
+/// [`SpecialConv`]: crate::SpecialConv
+/// [`GeneralConv`]: crate::GeneralConv
+/// [`ImplicitGemmConv`]: crate::ImplicitGemmConv
+/// [`ExplicitGemmConv`]: crate::ExplicitGemmConv
+pub trait Convolution {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Runs the convolution on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError`](crate::ConvError) when the problem shape is
+    /// incompatible with the implementation/configuration or the launch is
+    /// invalid.
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun>;
+}
+
+/// Builds the clipped output regions of the executed blocks of a launch:
+/// `block_box` maps a block id to `(tile index, first filter, filter
+/// count)` under the kernel's grid layout (shared by the special and
+/// general kernels).
+pub(crate) fn executed_tile_regions(
+    problem: &ConvProblem,
+    report: &LaunchReport,
+    tiles_x: usize,
+    tile_w: usize,
+    tile_h: usize,
+    block_box: impl Fn(usize) -> (usize, usize, usize),
+) -> Vec<OutRegion> {
+    let mut regions = Vec::new();
+    for &b in &report.executed_blocks {
+        let (tile, f0, nf) = block_box(b);
+        let ty = tile / tiles_x;
+        let tx = tile % tiles_x;
+        if let Some(r) = (OutRegion {
+            f0,
+            nf,
+            y0: ty * tile_h,
+            x0: tx * tile_w,
+            h: tile_h,
+            w: tile_w,
+        })
+        .clipped(problem)
+        {
+            regions.push(r);
+        }
+    }
+    regions
+}
+
+/// Convenience: run an implementation in [`SimMode::Full`] and verify the
+/// whole output, returning the run.
+///
+/// # Errors
+///
+/// Returns the underlying error, or [`ConvError::Shape`] when verification
+/// fails.
+///
+/// [`ConvError::Shape`]: crate::ConvError::Shape
+pub fn run_verified(
+    conv: &dyn Convolution,
+    gpu: &mut Gpu,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+) -> Result<ConvRun> {
+    let run = conv.run(gpu, problem, input, filters, SimMode::Full)?;
+    run.verify_executed(problem, input, filters, kconv_tensor::CONV_TOL)
+        .map_err(|e| crate::error::ConvError::Shape(format!("{} output mismatch: {e}", conv.name())))?;
+    Ok(run)
+}

@@ -1,0 +1,808 @@
+//! The communication-optimized special-case kernel (paper section 3).
+//!
+//! For single-channel input (`C = 1`) — the first layer of CNNs on
+//! grayscale images and most classic image-processing workloads — the
+//! filters fit in constant memory and every pixel a convolution needs can
+//! live in registers. The kernel is built so that
+//!
+//! * each input pixel of a tile is read from global memory **exactly
+//!   once** (the theoretical lower bound, up to tile halos);
+//! * the shared memory provides *horizontal* (inter-thread) data sharing,
+//!   one streamed row at a time, while a `K x (K + n - 1)` register window
+//!   per thread provides *vertical* (intra-thread) sharing;
+//! * every thread reads, computes and writes `n = W_SMB / W_CD` pixels as a
+//!   single unit, matching the computation data width to the shared-memory
+//!   bank width (`float2` on Kepler — [`SpecialConfig::vec_width`] = 2);
+//! * all warps read each filter tap from constant memory at the same
+//!   uniform address (the broadcast fast path), and the next image row is
+//!   prefetched into registers while the current row is convolved
+//!   (Algorithm 1 of the paper).
+//!
+//! Setting `vec_width = 1` yields the *unmatched* kernel of the paper's
+//! Fig. 7b ablation.
+
+use kconv_sim::{
+    lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig,
+    OverlapMode, SimMode, WARP_SIZE,
+};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+use crate::config::{round_up, SpecialConfig};
+use crate::error::{ConvError, Result};
+use crate::run::{executed_tile_regions, ConvRun, Convolution};
+
+/// The special-case (`C = 1`) direct convolution kernel.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_core::{SpecialConv, Convolution};
+/// use kconv_sim::{Gpu, GpuSpec, SimMode};
+/// use kconv_tensor::{random_maps, random_filters, ConvProblem};
+///
+/// # fn main() -> Result<(), kconv_core::ConvError> {
+/// let problem = ConvProblem::special(64, 4, 3);
+/// let input = random_maps(1, 64, 64, 7);
+/// let filters = random_filters(4, 1, 3, 8);
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let run = SpecialConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full)?;
+/// assert!(run
+///     .verify_executed(&problem, &input, &filters, kconv_tensor::CONV_TOL)
+///     .is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecialConv {
+    /// Tiling and vector-width configuration.
+    pub config: SpecialConfig,
+}
+
+impl SpecialConv {
+    /// Creates the kernel with the given configuration.
+    pub fn new(config: SpecialConfig) -> Self {
+        SpecialConv { config }
+    }
+}
+
+/// Result of a fused-batch launch of the special kernel: all images in a
+/// single grid of `batch x tiles` blocks.
+#[derive(Debug, Clone)]
+pub struct FusedBatchRun {
+    /// Per-image outputs, in input order.
+    pub outputs: Vec<FeatureMaps>,
+    /// The single launch's counters and timing.
+    pub report: kconv_sim::LaunchReport,
+    /// Executed `(image, region)` pairs (clipped to the output).
+    pub executed: Vec<(usize, crate::OutRegion)>,
+}
+
+impl FusedBatchRun {
+    /// Validates every executed region of every image against the CPU
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching element.
+    pub fn verify_executed(
+        &self,
+        problem: &ConvProblem,
+        inputs: &[FeatureMaps],
+        filters: &FilterSet,
+        tol: f32,
+    ) -> std::result::Result<(), String> {
+        for &(img, region) in &self.executed {
+            let want =
+                crate::reference::conv_reference_region(problem, &inputs[img], filters, region);
+            for f in 0..region.nf {
+                for y in 0..region.h {
+                    for x in 0..region.w {
+                        let got =
+                            self.outputs[img].get(region.f0 + f, region.y0 + y, region.x0 + x);
+                        let e = kconv_tensor::combined_error(got, want.get(f, y, x));
+                        if e > tol {
+                            return Err(format!(
+                                "image {img}, filter {}, output ({}, {}): got {got} want {} (error {e:.2e})",
+                                region.f0 + f,
+                                region.y0 + y,
+                                region.x0 + x,
+                                want.get(f, y, x)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SpecialConv {
+    /// Runs a whole batch in **one launch**: the grid is `batch x tiles`
+    /// blocks, so small images still fill the machine and the per-launch
+    /// overhead is paid once (compare [`run_batch`](crate::run_batch),
+    /// which launches per image).
+    ///
+    /// # Errors
+    ///
+    /// As [`Convolution::run`], plus [`ConvError::Shape`] for an empty or
+    /// shape-mismatched batch.
+    pub fn run_fused_batch(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        inputs: &[FeatureMaps],
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<FusedBatchRun> {
+        if inputs.is_empty() {
+            return Err(ConvError::Shape("empty batch".into()));
+        }
+        if problem.channels != 1 || problem.stride != 1 {
+            return Err(ConvError::Shape(
+                "fused batch requires the special case (C = 1, stride 1)".into(),
+            ));
+        }
+        for (i, input) in inputs.iter().enumerate() {
+            if !problem.matches(input, filters) {
+                return Err(ConvError::Shape(format!(
+                    "batch image {i} does not match {problem}"
+                )));
+            }
+        }
+        let cfg = &self.config;
+        cfg.validate(gpu.spec(), problem.k, problem.filters)
+            .map_err(ConvError::Config)?;
+        match cfg.vec_width {
+            1 => run_fused::<1>(gpu, cfg, problem, inputs, filters, mode),
+            2 => run_fused::<2>(gpu, cfg, problem, inputs, filters, mode),
+            4 => run_fused::<4>(gpu, cfg, problem, inputs, filters, mode),
+            n => Err(ConvError::Config(format!("unsupported vec_width {n}"))),
+        }
+    }
+}
+
+fn run_fused<const N: usize>(
+    gpu: &mut Gpu,
+    cfg: &SpecialConfig,
+    problem: &ConvProblem,
+    inputs: &[FeatureMaps],
+    filters: &FilterSet,
+    mode: SimMode,
+) -> Result<FusedBatchRun> {
+    let k = problem.k;
+    let batch = inputs.len();
+    let (oh, ow) = (problem.out_height(), problem.out_width());
+    let tiles_x = ow.div_ceil(cfg.width);
+    let tiles_y = oh.div_ceil(cfg.height);
+    let tiles = tiles_x * tiles_y;
+    let row_len = cfg.width + k - 1;
+    let in_pitch = (tiles_x * cfg.width + k - 1)
+        .max((tiles_x - 1) * cfg.width + round_up(row_len, N));
+    let in_rows = tiles_y * cfg.height + k - 1;
+    let out_pitch = tiles_x * cfg.width;
+    let out_rows = tiles_y * cfg.height;
+
+    // One allocation per tensor with per-image slots (256-byte aligned so
+    // vectorized accesses stay aligned in every slot).
+    let in_slot = round_up(in_rows * in_pitch * 4, 256);
+    let out_slot = round_up(problem.filters * out_rows * out_pitch * 4, 256);
+    let d_in_all = gpu.alloc_bytes((batch * in_slot) as u64)?;
+    let d_out_all = gpu.alloc_bytes((batch * out_slot) as u64)?;
+    for (i, input) in inputs.iter().enumerate() {
+        let padded = input.channel(0).padded_to(in_rows, in_pitch);
+        let view = d_in_all.subbuffer((i * in_slot) as u64, (in_rows * in_pitch * 4) as u64);
+        gpu.upload_f32(view, padded.as_slice())?;
+    }
+    gpu.write_const_f32(0, filters.as_slice())?;
+
+    let geom = Geom {
+        k,
+        f: problem.filters,
+        tiles_x,
+        tile_w: cfg.width,
+        tile_h: cfg.height,
+        in_pitch,
+        out_pitch,
+        out_rows,
+        sm_pitch: cfg.smem_pitch(k),
+        row_len,
+    };
+
+    let launch = LaunchConfig::new(
+        format!("special-batch{batch} K={k} n={N}"),
+        batch * tiles,
+        cfg.threads(),
+    )
+    .with_smem(cfg.smem_bytes(k))
+    .with_regs(cfg.regs_per_thread(k))
+    .with_overlap(OverlapMode::Prefetch);
+
+    let report = gpu.launch(&launch, mode, |blk| {
+        let img = blk.dims.block_id / tiles;
+        let tile = blk.dims.block_id % tiles;
+        let d_in = d_in_all.subbuffer((img * in_slot) as u64, (in_rows * in_pitch * 4) as u64);
+        let d_out = d_out_all
+            .subbuffer((img * out_slot) as u64, (problem.filters * out_rows * out_pitch * 4) as u64);
+        // Rewrite the block id so the tile decoding inside the kernel body
+        // sees a per-image grid.
+        let mut dims = blk.dims;
+        dims.block_id = tile;
+        let saved = std::mem::replace(&mut blk.dims, dims);
+        special_block::<N>(blk, &geom, d_in, d_out);
+        blk.dims = saved;
+    })?;
+
+    // Collect outputs and executed regions per image.
+    let mut outputs = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let view = d_out_all.subbuffer(
+            (i * out_slot) as u64,
+            (problem.filters * out_rows * out_pitch * 4) as u64,
+        );
+        let flat = gpu.download_f32(view)?;
+        let mut output = FeatureMaps::zeros(problem.filters, oh, ow);
+        let dst = output.as_mut_slice();
+        for f in 0..problem.filters {
+            for y in 0..oh {
+                let src = (f * out_rows + y) * out_pitch;
+                dst[(f * oh + y) * ow..(f * oh + y) * ow + ow]
+                    .copy_from_slice(&flat[src..src + ow]);
+            }
+        }
+        outputs.push(output);
+    }
+    let mut executed = Vec::new();
+    for &b in &report.executed_blocks {
+        let img = b / tiles;
+        let tile = b % tiles;
+        let ty = tile / tiles_x;
+        let tx = tile % tiles_x;
+        if let Some(r) = (crate::OutRegion {
+            f0: 0,
+            nf: problem.filters,
+            y0: ty * cfg.height,
+            x0: tx * cfg.width,
+            h: cfg.height,
+            w: cfg.width,
+        })
+        .clipped(problem)
+        {
+            executed.push((img, r));
+        }
+    }
+    Ok(FusedBatchRun {
+        outputs,
+        report,
+        executed,
+    })
+}
+
+impl Convolution for SpecialConv {
+    fn name(&self) -> String {
+        let which = if self.config.vec_width > 1 {
+            "matched"
+        } else {
+            "unmatched"
+        };
+        format!("special ({which}, n={})", self.config.vec_width)
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun> {
+        if problem.channels != 1 {
+            return Err(ConvError::Shape(format!(
+                "special-case kernel requires C = 1, got C = {}",
+                problem.channels
+            )));
+        }
+        if problem.stride != 1 {
+            return Err(ConvError::Shape(format!(
+                "the paper's direct kernels are stride-1 only, got S = {} \
+                 (use a GEMM baseline for strided problems)",
+                problem.stride
+            )));
+        }
+        if !problem.matches(input, filters) {
+            return Err(ConvError::Shape(format!(
+                "input/filter shapes do not match {problem}"
+            )));
+        }
+        self.config
+            .validate(gpu.spec(), problem.k, problem.filters)
+            .map_err(ConvError::Config)?;
+        match self.config.vec_width {
+            1 => run_special::<1>(gpu, &self.config, problem, input, filters, mode),
+            2 => run_special::<2>(gpu, &self.config, problem, input, filters, mode),
+            4 => run_special::<4>(gpu, &self.config, problem, input, filters, mode),
+            n => Err(ConvError::Config(format!(
+                "unsupported vec_width {n} (expected 1, 2 or 4)"
+            ))),
+        }
+    }
+}
+
+/// Largest filter size the kernel supports (bounds its per-thread tap
+/// buffer; 13x13 covers every filter the paper and the applications use).
+pub const MAX_K: usize = 13;
+
+/// Geometry shared by the setup code and the per-block closure.
+struct Geom {
+    k: usize,
+    f: usize,
+    tiles_x: usize,
+    tile_w: usize,
+    tile_h: usize,
+    in_pitch: usize,
+    out_pitch: usize,
+    out_rows: usize,
+    sm_pitch: usize,
+    row_len: usize,
+}
+
+fn run_special<const N: usize>(
+    gpu: &mut Gpu,
+    cfg: &SpecialConfig,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    mode: SimMode,
+) -> Result<ConvRun> {
+    let k = problem.k;
+    let (oh, ow) = (problem.out_height(), problem.out_width());
+    let tiles_x = ow.div_ceil(cfg.width);
+    let tiles_y = oh.div_ceil(cfg.height);
+    // Row pitch: the tiled width plus halo, extended so the last tile's
+    // full-vector tail loads stay inside the row (vectorized kernels load
+    // whole vectors; the buffer provides the headroom, as on real CUDA).
+    let row_len = cfg.width + k - 1;
+    let in_pitch = (tiles_x * cfg.width + k - 1)
+        .max((tiles_x - 1) * cfg.width + round_up(row_len, N));
+    let in_rows = tiles_y * cfg.height + k - 1;
+    let out_pitch = tiles_x * cfg.width;
+    let out_rows = tiles_y * cfg.height;
+
+    // Device setup: padded image, padded output, filters in constant memory.
+    let padded = input.channel(0).padded_to(in_rows, in_pitch);
+    let d_in = gpu.alloc_f32((in_rows * in_pitch) as u64)?;
+    gpu.upload_f32(d_in, padded.as_slice())?;
+    let d_out = gpu.alloc_f32((problem.filters * out_rows * out_pitch) as u64)?;
+    gpu.write_const_f32(0, filters.as_slice())?;
+
+    let geom = Geom {
+        k,
+        f: problem.filters,
+        tiles_x,
+        tile_w: cfg.width,
+        tile_h: cfg.height,
+        in_pitch,
+        out_pitch,
+        out_rows,
+        sm_pitch: cfg.smem_pitch(k),
+        row_len,
+    };
+
+    let launch = LaunchConfig::new(
+        format!("special K={k} n={N}"),
+        tiles_x * tiles_y,
+        cfg.threads(),
+    )
+    .with_smem(cfg.smem_bytes(k))
+    .with_regs(cfg.regs_per_thread(k))
+    .with_overlap(OverlapMode::Prefetch);
+
+    let report = gpu.launch(&launch, mode, |blk| {
+        special_block::<N>(blk, &geom, d_in, d_out);
+    })?;
+
+    // Collect the output (zeros where tiles were not executed), row-wise.
+    let flat = gpu.download_f32(d_out)?;
+    let mut output = FeatureMaps::zeros(problem.filters, oh, ow);
+    let dst = output.as_mut_slice();
+    for f in 0..problem.filters {
+        for y in 0..oh {
+            let src = (f * out_rows + y) * out_pitch;
+            let at = (f * oh + y) * ow;
+            dst[at..at + ow].copy_from_slice(&flat[src..src + ow]);
+        }
+    }
+    let regions =
+        executed_tile_regions(problem, &report, tiles_x, cfg.width, cfg.height, |b| {
+            (b, 0, problem.filters)
+        });
+    Ok(ConvRun {
+        output,
+        report,
+        executed_regions: regions,
+    })
+}
+
+/// Algorithm 1 of the paper, executed by one thread block over one tile.
+fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, d_out: GmBuf) {
+    let k = g.k;
+    let threads = blk.dims.threads;
+    let bx = blk.dims.block_id % g.tiles_x;
+    let by = blk.dims.block_id / g.tiles_x;
+    let in_row0 = by * g.tile_h;
+    let in_col0 = bx * g.tile_w;
+
+    let win_w = round_up(k + N - 1, N);
+    // Per-thread register window: K rows of the sliding K x (K+n-1) patch.
+    let mut win = vec![0.0f32; threads * k * win_w];
+    // Register staging for the prefetched row (the row content itself).
+    let rounds = g.row_len.div_ceil(threads * N);
+    let mut pf = vec![0.0f32; rounds * threads * N];
+
+    // Reads one absolute tile row from global memory into `pf`.
+    let gm_row_to_pf =
+        |blk: &mut BlockCtx<'_>, pf: &mut [f32], row: usize| {
+            for r in 0..rounds {
+                blk.each_warp(|w| {
+                    let mask = LaneMask::from_fn(|lane| {
+                        (r * threads + w.thread_id(lane)) * N < g.row_len
+                    });
+                    let addrs = lane_addrs_from(|lane| {
+                        let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
+                        d_in.f32_addr(((in_row0 + row) * g.in_pitch + in_col0 + p) as u64)
+                    });
+                    let vals = w.ld_global::<N>(&addrs, mask);
+                    for lane in mask.iter() {
+                        let p = (r * threads + w.thread_id(lane)) * N;
+                        pf[p..p + N].copy_from_slice(&vals[lane]);
+                    }
+                });
+            }
+        };
+
+    // Writes `pf` into shared-memory ring slot `slot`.
+    let pf_to_smem = |blk: &mut BlockCtx<'_>, pf: &[f32], slot: usize| {
+        for r in 0..rounds {
+            blk.each_warp(|w| {
+                let mask = LaneMask::from_fn(|lane| {
+                    (r * threads + w.thread_id(lane)) * N < g.row_len
+                });
+                let addrs = lane_addrs_from(|lane| {
+                    let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
+                    ((slot * g.sm_pitch + p) * 4) as u64
+                });
+                let mut vals = [[0.0f32; N]; WARP_SIZE];
+                for lane in mask.iter() {
+                    let p = (r * threads + w.thread_id(lane)) * N;
+                    vals[lane].copy_from_slice(&pf[p..p + N]);
+                }
+                w.st_shared::<N>(&addrs, &vals, mask);
+            });
+        }
+    };
+
+    // Loads shared-memory row `slot` into window row `wr` of every thread.
+    let smem_to_window = |blk: &mut BlockCtx<'_>, win: &mut [f32], slot: usize, wr: usize| {
+        for gv in 0..win_w / N {
+            blk.each_warp(|w| {
+                let addrs = lane_addrs_from(|lane| {
+                    ((slot * g.sm_pitch + w.thread_id(lane) * N + gv * N) * 4) as u64
+                });
+                let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
+                for lane in w.population().iter() {
+                    let t = w.thread_id(lane);
+                    let at = (t * k + wr) * win_w + gv * N;
+                    win[at..at + N].copy_from_slice(&vals[lane]);
+                }
+            });
+        }
+    };
+
+    // Lines 1-2: the first K rows go straight to shared memory.
+    for row in 0..k {
+        gm_row_to_pf(blk, &mut pf, row);
+        pf_to_smem(blk, &pf, row % k);
+    }
+    blk.sync();
+    // Line 3: rows 0..K-1 into the register windows.
+    for wr in 0..k - 1 {
+        smem_to_window(blk, &mut win, wr % k, wr);
+    }
+
+    // Lines 4-11: stream the remaining rows.
+    let total_rows = g.tile_h + k - 1;
+    for k_row in (k - 1)..total_rows {
+        // Line 5: prefetch the next row while this one is convolved.
+        let next = k_row + 1;
+        if next < total_rows {
+            gm_row_to_pf(blk, &mut pf, next);
+        }
+        // Line 6: the latest row from shared memory into the window.
+        smem_to_window(blk, &mut win, k_row % k, k - 1);
+
+        // Lines 7-8: every filter, n convolutions per thread, written back.
+        let out_row = k_row - (k - 1);
+        for f in 0..g.f {
+            blk.each_warp(|w| {
+                // All lanes read each tap at the same address: the constant
+                // memory broadcast fast path.
+                let mut taps = [0.0f32; MAX_K * MAX_K];
+                for i in 0..k {
+                    for j in 0..k {
+                        let addr = ((f * k * k + i * k + j) * 4) as u64;
+                        let vals = w.ld_const(&lane_addrs_uniform(addr), LaneMask::ALL);
+                        taps[i * k + j] = vals[0];
+                    }
+                }
+                let pop = w.population();
+                let mut acc = [[0.0f32; N]; WARP_SIZE];
+                for lane in pop.iter() {
+                    let t = w.thread_id(lane);
+                    let base = t * k * win_w;
+                    for v in 0..N {
+                        let mut s = 0.0f32;
+                        for i in 0..k {
+                            for j in 0..k {
+                                s += win[base + i * win_w + j + v] * taps[i * k + j];
+                            }
+                        }
+                        acc[lane][v] = s;
+                    }
+                }
+                w.count_fma(pop.count() as u64 * (N * k * k) as u64);
+                let addrs = lane_addrs_from(|lane| {
+                    let t = w.thread_id(lane);
+                    d_out.f32_addr(
+                        ((f * g.out_rows + in_row0 + out_row) * g.out_pitch
+                            + in_col0
+                            + t * N) as u64,
+                    )
+                });
+                w.st_global::<N>(&addrs, &acc, LaneMask::ALL);
+            });
+        }
+
+        // Lines 9-11: commit the prefetched row to the ring slot it
+        // replaces, then advance the window.
+        blk.sync();
+        if next < total_rows {
+            pf_to_smem(blk, &pf, next % k);
+        }
+        blk.sync();
+        for t in 0..threads {
+            let base = t * k * win_w;
+            for wr in 0..k - 1 {
+                let (dst, src) = (base + wr * win_w, base + (wr + 1) * win_w);
+                win.copy_within(src..src + win_w, dst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::{random_filters, random_maps, CONV_TOL};
+
+    fn check(cfg: SpecialConfig, n: usize, f: usize, k: usize, mode: SimMode) -> ConvRun {
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, 11);
+        let filters = random_filters(f, 1, k, 13);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = SpecialConv::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, mode)
+            .expect("launch");
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .expect("output mismatch");
+        run
+    }
+
+    // Small tile configs keep Full-mode tests fast.
+    fn small(vec_width: usize) -> SpecialConfig {
+        SpecialConfig {
+            width: 32,
+            height: 4,
+            vec_width,
+        }
+    }
+
+    #[test]
+    fn matched_3x3_exact_tiles() {
+        // 66x66 input, K=3 -> 64x64 output = 2x2 tiles of 32x4... exact.
+        let run = check(small(2), 66, 2, 3, SimMode::Full);
+        assert_eq!(run.executed_regions.len(), (64 / 32) * (64 / 4));
+    }
+
+    #[test]
+    fn matched_3x3_ragged_tiles() {
+        // 50x50 input -> 48x48 output; 48 = 1.5 tiles wide: clipping path.
+        check(small(2), 50, 2, 3, SimMode::Full);
+    }
+
+    #[test]
+    fn matched_5x5() {
+        check(small(2), 40, 3, 5, SimMode::Full);
+    }
+
+    #[test]
+    fn matched_7x7() {
+        check(small(2), 40, 2, 7, SimMode::Full);
+    }
+
+    #[test]
+    fn matched_1x1() {
+        check(small(2), 32, 4, 1, SimMode::Full);
+    }
+
+    #[test]
+    fn unmatched_3x3() {
+        check(small(1), 40, 2, 3, SimMode::Full);
+    }
+
+    #[test]
+    fn vec4_3x3() {
+        check(small(4), 40, 2, 3, SimMode::Full);
+    }
+
+    #[test]
+    fn single_filter() {
+        check(small(2), 40, 1, 3, SimMode::Full);
+    }
+
+    #[test]
+    fn sampled_execution_verifies() {
+        let run = check(small(2), 130, 2, 3, SimMode::Sampled(3));
+        assert_eq!(run.executed_regions.len(), 3);
+        assert!(run.report.stats.blocks_total > 3);
+    }
+
+    #[test]
+    fn rejects_multichannel() {
+        let problem = ConvProblem::general(32, 2, 2, 3);
+        let input = random_maps(2, 32, 32, 1);
+        let filters = random_filters(2, 2, 3, 2);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let err = SpecialConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+
+    #[test]
+    fn rejects_strided_problems() {
+        let problem = ConvProblem::special(32, 2, 3).with_stride(2);
+        let input = random_maps(1, 32, 32, 1);
+        let filters = random_filters(2, 1, 3, 2);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let err = SpecialConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+
+    #[test]
+    fn rejects_mismatched_filters() {
+        let problem = ConvProblem::special(32, 2, 3);
+        let input = random_maps(1, 32, 32, 1);
+        let filters = random_filters(2, 1, 5, 2); // wrong K
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let err = SpecialConv::default().run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+
+    #[test]
+    fn input_pixels_read_once() {
+        // The communication-optimality claim: useful GM load bytes equal
+        // the padded tile inputs — each pixel of each tile read exactly
+        // once (halos excepted, counted per tile).
+        let cfg = small(2);
+        let problem = ConvProblem::special(66, 2, 3);
+        let input = random_maps(1, 66, 66, 3);
+        let filters = random_filters(2, 1, 3, 4);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = SpecialConv::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        let tiles = (64 / 32) * (64 / 4);
+        let per_tile = (cfg.width + 2) * (cfg.height + 2) * 4; // (W+K-1)(H+K-1)*4B
+        assert_eq!(
+            run.report.stats.gm_ld_bytes_useful,
+            (tiles * per_tile) as u64
+        );
+    }
+
+    #[test]
+    fn fused_batch_is_correct_per_image() {
+        let cfg = small(2);
+        let problem = ConvProblem::special(40, 2, 3);
+        let inputs: Vec<_> = (0..3).map(|i| random_maps(1, 40, 40, 500 + i)).collect();
+        let filters = random_filters(2, 1, 3, 510);
+        let mut gpu = Gpu::new(kconv_sim::GpuSpec::kepler_k40m());
+        let run = SpecialConv::new(cfg)
+            .run_fused_batch(&mut gpu, &problem, &inputs, &filters, SimMode::Full)
+            .unwrap();
+        assert_eq!(run.outputs.len(), 3);
+        run.verify_executed(&problem, &inputs, &filters, kconv_tensor::CONV_TOL)
+            .expect("fused batch mismatch");
+        // Distinct inputs must give distinct outputs.
+        assert_ne!(run.outputs[0].as_slice(), run.outputs[1].as_slice());
+    }
+
+    #[test]
+    fn fused_batch_beats_per_image_launches_on_small_images() {
+        // 8 small images: the fused grid fills all 15 SMs; per-image
+        // launches leave most idle and pay 8 launch overheads.
+        let cfg = SpecialConfig::kepler_best();
+        let problem = ConvProblem::special(280, 8, 3);
+        let inputs: Vec<_> = (0..8).map(|i| random_maps(1, 280, 280, 520 + i)).collect();
+        let filters = random_filters(8, 1, 3, 530);
+        let mut gpu = Gpu::new(kconv_sim::GpuSpec::kepler_k40m());
+        let fused = SpecialConv::new(cfg)
+            .run_fused_batch(&mut gpu, &problem, &inputs, &filters, SimMode::Sampled(4))
+            .unwrap();
+        let mut gpu = Gpu::new(kconv_sim::GpuSpec::kepler_k40m());
+        let looped = crate::run_batch(
+            &SpecialConv::new(cfg),
+            &mut gpu,
+            &problem,
+            &inputs,
+            &filters,
+            SimMode::Sampled(4),
+        )
+        .unwrap();
+        assert!(
+            fused.report.seconds() < looped.total_seconds(),
+            "fused {} vs looped {}",
+            fused.report.seconds(),
+            looped.total_seconds()
+        );
+    }
+
+    #[test]
+    fn fused_batch_validates_inputs() {
+        let cfg = small(2);
+        let problem = ConvProblem::special(40, 2, 3);
+        let filters = random_filters(2, 1, 3, 1);
+        let mut gpu = Gpu::new(kconv_sim::GpuSpec::kepler_k40m());
+        let err = SpecialConv::new(cfg).run_fused_batch(
+            &mut gpu,
+            &problem,
+            &[],
+            &filters,
+            SimMode::Full,
+        );
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+        let bad = vec![random_maps(1, 20, 20, 1)];
+        let err = SpecialConv::new(cfg).run_fused_batch(
+            &mut gpu,
+            &problem,
+            &bad,
+            &filters,
+            SimMode::Full,
+        );
+        assert!(matches!(err, Err(ConvError::Shape(_))));
+    }
+
+    #[test]
+    fn matched_beats_unmatched() {
+        let t_matched = check(small(2), 66, 8, 3, SimMode::Full).report.seconds();
+        let t_unmatched = check(small(1), 66, 8, 3, SimMode::Full).report.seconds();
+        assert!(
+            t_matched < t_unmatched,
+            "matched {t_matched} vs unmatched {t_unmatched}"
+        );
+    }
+
+    #[test]
+    fn constant_memory_stays_on_broadcast_path() {
+        let run = check(small(2), 40, 4, 3, SimMode::Full);
+        // Every filter-tap read is warp-uniform: zero serialization cycles.
+        assert!(run.report.stats.cm_requests > 0);
+        assert_eq!(run.report.stats.cm_cycles, 0);
+    }
+
+    #[test]
+    fn name_reflects_matching() {
+        assert!(SpecialConv::default().name().contains("matched"));
+        assert!(SpecialConv::new(SpecialConfig::kepler_unmatched())
+            .name()
+            .contains("unmatched"));
+    }
+}

@@ -1,0 +1,851 @@
+//! Narrow-storage special-case kernels (fp16 and int8) — the paper's
+//! section-6 extension made concrete.
+//!
+//! The paper closes by predicting its bank-width model pays off even more
+//! for short data types: `W_CD` = 2 bytes (fp16) gives `n = 4` on Kepler,
+//! `W_CD` = 1 byte (int8 fixed point) gives `n = 8` — and a mismatch exists
+//! even on 4-byte-bank architectures. This module is Algorithm 1 with
+//! narrow **storage** and single-precision **arithmetic**: image rows and
+//! outputs move through global and shared memory as `elem_bytes`-wide
+//! elements, `vec_width` of them per thread per access; values are widened
+//! to `f32` in registers for the FMAs (the standard mixed-precision scheme
+//! of the era).
+//!
+//! Two encodings share the one kernel:
+//!
+//! * [`SpecialConvF16`] — IEEE binary16 storage;
+//! * [`SpecialConvI8`] — symmetric 8-bit fixed point with per-tensor
+//!   scales (chosen on the host from the data and a filter-norm bound).
+//!
+//! Besides restoring the shared-memory fabric, narrow storage divides the
+//! global-memory traffic by 2 (fp16) or 4 (int8) — and the `F`-map write
+//! stream is exactly what bounds the f32 special kernel at large `F`, so
+//! the matched narrow kernels are the fastest convolutions in this
+//! workspace.
+
+use kconv_sim::{
+    lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig,
+    OverlapMode, SimMode, WARP_SIZE,
+};
+use kconv_tensor::{f16_bits_to_f32, f32_to_f16_bits, ConvProblem, FeatureMaps, FilterSet};
+
+use crate::config::{round_up, SpecialConfig};
+use crate::error::{ConvError, Result};
+use crate::run::{executed_tile_regions, ConvRun, Convolution};
+use crate::special::MAX_K;
+
+/// Comparison tolerance for fp16-stored convolutions: output rounding adds
+/// up to `2^-11` relative error on top of reassociation noise.
+pub const F16_TOL: f32 = 2e-3;
+
+/// Comparison tolerance for int8-stored convolutions: with |image| <= 1
+/// inputs and the filter-norm output scale, quantization noise stays well
+/// inside this bound.
+pub const I8_TOL: f32 = 8e-2;
+
+/// How pixel values are stored in device memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Encoding {
+    /// IEEE binary16.
+    F16,
+    /// Symmetric fixed point: `stored_i8 = round(value / scale)`, clamped
+    /// to `[-127, 127]`. Separate scales for input and output tensors.
+    I8 {
+        /// Input quantization step.
+        scale_in: f32,
+        /// Output quantization step.
+        scale_out: f32,
+    },
+}
+
+impl Encoding {
+    /// Storage width `W_CD` in bytes.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            Encoding::F16 => 2,
+            Encoding::I8 { .. } => 1,
+        }
+    }
+
+    fn encode_input(self, v: f32, out: &mut [u8]) {
+        match self {
+            Encoding::F16 => out.copy_from_slice(&f32_to_f16_bits(v).to_le_bytes()),
+            Encoding::I8 { scale_in, .. } => out[0] = quant_i8(v, scale_in) as u8,
+        }
+    }
+
+    fn decode_input(self, bytes: &[u8]) -> f32 {
+        match self {
+            Encoding::F16 => f16_bits_to_f32(u16::from_le_bytes([bytes[0], bytes[1]])),
+            Encoding::I8 { scale_in, .. } => (bytes[0] as i8) as f32 * scale_in,
+        }
+    }
+
+    fn encode_output(self, v: f32, out: &mut [u8]) {
+        match self {
+            Encoding::F16 => out.copy_from_slice(&f32_to_f16_bits(v).to_le_bytes()),
+            Encoding::I8 { scale_out, .. } => out[0] = quant_i8(v, scale_out) as u8,
+        }
+    }
+
+    fn decode_output(self, bytes: &[u8]) -> f32 {
+        match self {
+            Encoding::F16 => f16_bits_to_f32(u16::from_le_bytes([bytes[0], bytes[1]])),
+            Encoding::I8 { scale_out, .. } => (bytes[0] as i8) as f32 * scale_out,
+        }
+    }
+}
+
+fn quant_i8(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes feature maps through an encoding (`f32 -> storage -> f32`) —
+/// the input the narrow kernel effectively convolves; pass the result to
+/// the reference when validating.
+pub fn quantize_maps(maps: &FeatureMaps, enc: Encoding) -> FeatureMaps {
+    let eb = enc.elem_bytes();
+    let mut buf = [0u8; 2];
+    let data = maps
+        .as_slice()
+        .iter()
+        .map(|&v| {
+            enc.encode_input(v, &mut buf[..eb]);
+            enc.decode_input(&buf[..eb])
+        })
+        .collect();
+    FeatureMaps::from_vec(maps.channels(), maps.height(), maps.width(), data)
+}
+
+/// Quantizes feature maps through fp16 (kept for API compatibility with
+/// the fp16 kernel's tests and docs).
+pub fn quantize_maps_f16(maps: &FeatureMaps) -> FeatureMaps {
+    quantize_maps(maps, Encoding::F16)
+}
+
+/// Symmetric per-tensor input scale: `max|x| / 127` (1/127 for all-zero
+/// data so the scale is always usable).
+pub fn i8_input_scale(maps: &FeatureMaps) -> f32 {
+    let max = maps.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    (max / 127.0).max(1.0 / 127.0)
+}
+
+/// Output scale from the worst-case amplification bound
+/// `max_f sum |w_f|` applied to the dequantized input range.
+pub fn i8_output_scale(maps: &FeatureMaps, filters: &FilterSet) -> f32 {
+    let max_in = maps.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let mut worst = 0.0f32;
+    for f in 0..filters.count() {
+        let mut sum = 0.0f32;
+        for c in 0..filters.channels() {
+            for i in 0..filters.k() {
+                for j in 0..filters.k() {
+                    sum += filters.get(f, c, i, j).abs();
+                }
+            }
+        }
+        worst = worst.max(sum);
+    }
+    (max_in * worst / 127.0).max(1.0 / 127.0)
+}
+
+/// The special-case kernel with half-precision storage.
+///
+/// [`SpecialConfig::vec_width`] counts **fp16 elements** per thread per
+/// access: 4 is matched on Kepler (8-byte banks), 2 on 4-byte-bank parts,
+/// 1 is the unmatched ablation.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_core::{SpecialConvF16, Convolution, F16_TOL};
+/// use kconv_sim::{Gpu, GpuSpec, SimMode};
+/// use kconv_tensor::{random_maps, random_filters, ConvProblem};
+///
+/// # fn main() -> Result<(), kconv_core::ConvError> {
+/// let problem = ConvProblem::special(64, 4, 3);
+/// let input = random_maps(1, 64, 64, 7);
+/// let filters = random_filters(4, 1, 3, 8);
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let run = SpecialConvF16::kepler_matched()
+///     .run(&mut gpu, &problem, &input, &filters, SimMode::Full)?;
+/// // Output is compared against the reference on the fp16-quantized input.
+/// let quantized = kconv_core::quantize_maps_f16(&input);
+/// run.verify_executed(&problem, &quantized, &filters, F16_TOL).unwrap();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpecialConvF16 {
+    /// Tiling and element-width configuration (`vec_width` in fp16
+    /// elements).
+    pub config: SpecialConfig,
+}
+
+impl SpecialConvF16 {
+    /// Creates the kernel with the given configuration.
+    pub fn new(config: SpecialConfig) -> Self {
+        SpecialConvF16 { config }
+    }
+
+    /// The Kepler-matched variant: 4 fp16 elements (one 8-byte bank word)
+    /// per thread per access.
+    pub fn kepler_matched() -> Self {
+        SpecialConvF16::new(SpecialConfig {
+            vec_width: 4,
+            ..SpecialConfig::kepler_best()
+        })
+    }
+
+    /// The unmatched ablation: scalar fp16 accesses (one eighth of the
+    /// Kepler fabric).
+    pub fn unmatched() -> Self {
+        SpecialConvF16::new(SpecialConfig {
+            vec_width: 1,
+            ..SpecialConfig::kepler_best()
+        })
+    }
+}
+
+impl Default for SpecialConvF16 {
+    fn default() -> Self {
+        SpecialConvF16::kepler_matched()
+    }
+}
+
+impl Convolution for SpecialConvF16 {
+    fn name(&self) -> String {
+        format!(
+            "special fp16 ({}, n={})",
+            match_label(self.config.vec_width, self.config.vec_width * 2),
+            self.config.vec_width
+        )
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun> {
+        run_narrow(gpu, &self.config, Encoding::F16, problem, input, filters, mode)
+    }
+}
+
+/// The special-case kernel with 8-bit fixed-point storage.
+///
+/// [`SpecialConfig::vec_width`] counts **int8 elements** per thread per
+/// access: 8 is matched on Kepler (8-byte bank words), 4 on 4-byte-bank
+/// parts, 1 is the unmatched ablation. Scales are derived from the data on
+/// each run (symmetric per-tensor quantization).
+///
+/// # Examples
+///
+/// ```
+/// use kconv_core::{SpecialConvI8, Convolution, quantize_maps, Encoding, I8_TOL, i8_input_scale};
+/// use kconv_sim::{Gpu, GpuSpec, SimMode};
+/// use kconv_tensor::{random_maps, random_filters, ConvProblem};
+///
+/// # fn main() -> Result<(), kconv_core::ConvError> {
+/// let problem = ConvProblem::special(64, 2, 3);
+/// let input = random_maps(1, 64, 64, 7);
+/// let filters = random_filters(2, 1, 3, 8);
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let run = SpecialConvI8::kepler_matched()
+///     .run(&mut gpu, &problem, &input, &filters, SimMode::Full)?;
+/// assert_eq!(run.output.channels(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpecialConvI8 {
+    /// Tiling and element-width configuration (`vec_width` in int8
+    /// elements).
+    pub config: SpecialConfig,
+}
+
+impl SpecialConvI8 {
+    /// Creates the kernel with the given configuration.
+    pub fn new(config: SpecialConfig) -> Self {
+        SpecialConvI8 { config }
+    }
+
+    /// The Kepler-matched variant: 8 int8 elements (one bank word) per
+    /// thread per access.
+    pub fn kepler_matched() -> Self {
+        SpecialConvI8::new(SpecialConfig {
+            vec_width: 8,
+            ..SpecialConfig::kepler_best()
+        })
+    }
+
+    /// The unmatched ablation: scalar int8 accesses (one sixteenth of the
+    /// Kepler fabric... the model says one eighth of the cycles' bytes).
+    pub fn unmatched() -> Self {
+        SpecialConvI8::new(SpecialConfig {
+            vec_width: 1,
+            ..SpecialConfig::kepler_best()
+        })
+    }
+}
+
+impl Default for SpecialConvI8 {
+    fn default() -> Self {
+        SpecialConvI8::kepler_matched()
+    }
+}
+
+impl Convolution for SpecialConvI8 {
+    fn name(&self) -> String {
+        format!(
+            "special int8 ({}, n={})",
+            match_label(self.config.vec_width, self.config.vec_width),
+            self.config.vec_width
+        )
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun> {
+        let enc = Encoding::I8 {
+            scale_in: i8_input_scale(input),
+            scale_out: i8_output_scale(input, filters),
+        };
+        run_narrow(gpu, &self.config, enc, problem, input, filters, mode)
+    }
+}
+
+fn match_label(vec_width: usize, bytes_per_access: usize) -> &'static str {
+    if vec_width == 1 {
+        "unmatched"
+    } else if bytes_per_access >= 8 {
+        "matched"
+    } else {
+        "partial"
+    }
+}
+
+struct Geom {
+    k: usize,
+    f: usize,
+    tiles_x: usize,
+    tile_w: usize,
+    tile_h: usize,
+    in_pitch: usize,
+    out_pitch: usize,
+    out_rows: usize,
+    sm_pitch: usize,
+    row_len: usize,
+}
+
+fn run_narrow(
+    gpu: &mut Gpu,
+    cfg: &SpecialConfig,
+    enc: Encoding,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    mode: SimMode,
+) -> Result<ConvRun> {
+    if problem.channels != 1 {
+        return Err(ConvError::Shape(format!(
+            "special-case kernel requires C = 1, got C = {}",
+            problem.channels
+        )));
+    }
+    if problem.stride != 1 {
+        return Err(ConvError::Shape(format!(
+            "the paper's direct kernels are stride-1 only, got S = {}",
+            problem.stride
+        )));
+    }
+    if !problem.matches(input, filters) {
+        return Err(ConvError::Shape(format!(
+            "input/filter shapes do not match {problem}"
+        )));
+    }
+    cfg.validate(gpu.spec(), problem.k, problem.filters)
+        .map_err(ConvError::Config)?;
+    // Dispatch on the per-lane access width in bytes.
+    match cfg.vec_width * enc.elem_bytes() {
+        1 => run_impl::<1>(gpu, cfg, enc, problem, input, filters, mode),
+        2 => run_impl::<2>(gpu, cfg, enc, problem, input, filters, mode),
+        4 => run_impl::<4>(gpu, cfg, enc, problem, input, filters, mode),
+        8 => run_impl::<8>(gpu, cfg, enc, problem, input, filters, mode),
+        b => Err(ConvError::Config(format!(
+            "unsupported access width {b} B (vec_width {} x {} B elements)",
+            cfg.vec_width,
+            enc.elem_bytes()
+        ))),
+    }
+}
+
+/// `B` bytes per lane per access (= `vec_width * elem_bytes`).
+fn run_impl<const B: usize>(
+    gpu: &mut Gpu,
+    cfg: &SpecialConfig,
+    enc: Encoding,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    mode: SimMode,
+) -> Result<ConvRun> {
+    let k = problem.k;
+    let n = cfg.vec_width;
+    let eb = enc.elem_bytes();
+    debug_assert_eq!(B, n * eb);
+    let (oh, ow) = (problem.out_height(), problem.out_width());
+    let tiles_x = ow.div_ceil(cfg.width);
+    let tiles_y = oh.div_ceil(cfg.height);
+    // Pitch headroom for full-vector tail loads (see the f32 kernel).
+    let row_len = cfg.width + k - 1;
+    let in_pitch =
+        (tiles_x * cfg.width + k - 1).max((tiles_x - 1) * cfg.width + round_up(row_len, n));
+    let in_rows = tiles_y * cfg.height + k - 1;
+    let out_pitch = tiles_x * cfg.width;
+    let out_rows = tiles_y * cfg.height;
+
+    // Device setup: narrow image and output, f32 filters in constant
+    // memory.
+    let padded = input.channel(0).padded_to(in_rows, in_pitch);
+    let mut image_bytes = vec![0u8; in_rows * in_pitch * eb];
+    for (i, &v) in padded.as_slice().iter().enumerate() {
+        enc.encode_input(v, &mut image_bytes[i * eb..(i + 1) * eb]);
+    }
+    let d_in = gpu.alloc_bytes(image_bytes.len() as u64)?;
+    upload_bytes(gpu, d_in, &image_bytes)?;
+    let d_out = gpu.alloc_bytes((problem.filters * out_rows * out_pitch * eb) as u64)?;
+    gpu.write_const_f32(0, filters.as_slice())?;
+
+    let geom = Geom {
+        k,
+        f: problem.filters,
+        tiles_x,
+        tile_w: cfg.width,
+        tile_h: cfg.height,
+        in_pitch,
+        out_pitch,
+        out_rows,
+        sm_pitch: cfg.smem_pitch(k),
+        row_len,
+    };
+    let smem_bytes = (k * geom.sm_pitch * eb) as u32;
+
+    let launch = LaunchConfig::new(
+        format!("special-{}B K={k} n={n}", eb),
+        tiles_x * tiles_y,
+        cfg.threads(),
+    )
+    .with_smem(smem_bytes)
+    .with_regs(cfg.regs_per_thread(k))
+    .with_overlap(OverlapMode::Prefetch);
+
+    let report = gpu.launch(&launch, mode, |blk| {
+        narrow_block::<B>(blk, cfg.vec_width, enc, &geom, d_in, d_out);
+    })?;
+
+    // Download and decode the narrow output.
+    let raw = download_bytes(gpu, d_out, problem.filters * out_rows * out_pitch * eb)?;
+    let mut output = FeatureMaps::zeros(problem.filters, oh, ow);
+    let dst = output.as_mut_slice();
+    for f in 0..problem.filters {
+        for y in 0..oh {
+            for x in 0..ow {
+                let src = ((f * out_rows + y) * out_pitch + x) * eb;
+                dst[(f * oh + y) * ow + x] = enc.decode_output(&raw[src..src + eb]);
+            }
+        }
+    }
+    let regions = executed_tile_regions(problem, &report, tiles_x, cfg.width, cfg.height, |b| {
+        (b, 0, problem.filters)
+    });
+    Ok(ConvRun {
+        output,
+        report,
+        executed_regions: regions,
+    })
+}
+
+/// Host upload of raw bytes via the f32 facade (bitwise).
+fn upload_bytes(gpu: &mut Gpu, buf: GmBuf, bytes: &[u8]) -> Result<()> {
+    let mut words = Vec::with_capacity(bytes.len().div_ceil(4));
+    for chunk in bytes.chunks(4) {
+        let mut w = [0u8; 4];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words.push(f32::from_le_bytes(w));
+    }
+    gpu.upload_f32(buf, &words)?;
+    Ok(())
+}
+
+/// Host download of `len` raw bytes via the f32 facade.
+fn download_bytes(gpu: &Gpu, buf: GmBuf, len: usize) -> Result<Vec<u8>> {
+    let words = gpu.download_f32_at(buf, 0, len.div_ceil(4))?;
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.truncate(len);
+    Ok(out)
+}
+
+/// Algorithm 1 with narrow storage. Structurally identical to the f32
+/// version in [`crate::special`]; the element width changes every memory
+/// access, so the two are kept separate and easy to audit side by side.
+fn narrow_block<const B: usize>(
+    blk: &mut BlockCtx<'_>,
+    n: usize,
+    enc: Encoding,
+    g: &Geom,
+    d_in: GmBuf,
+    d_out: GmBuf,
+) {
+    let k = g.k;
+    let eb = enc.elem_bytes();
+    let threads = blk.dims.threads;
+    let bx = blk.dims.block_id % g.tiles_x;
+    let by = blk.dims.block_id / g.tiles_x;
+    let in_row0 = by * g.tile_h;
+    let in_col0 = bx * g.tile_w;
+
+    let win_w = round_up(k + n - 1, n);
+    let mut win = vec![0.0f32; threads * k * win_w];
+    let rounds = g.row_len.div_ceil(threads * n);
+    let mut pf = vec![0.0f32; rounds * threads * n];
+
+    let gm_row_to_pf = |blk: &mut BlockCtx<'_>, pf: &mut [f32], row: usize| {
+        for r in 0..rounds {
+            blk.each_warp(|w| {
+                let mask =
+                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * n < g.row_len);
+                let addrs = lane_addrs_from(|lane| {
+                    let p = ((r * threads + w.thread_id(lane)) * n).min(g.row_len - 1);
+                    d_in.offset() + (((in_row0 + row) * g.in_pitch + in_col0 + p) * eb) as u64
+                });
+                let vals = w.ld_global_bytes::<B>(&addrs, mask);
+                for lane in mask.iter() {
+                    let p = (r * threads + w.thread_id(lane)) * n;
+                    for e in 0..n {
+                        pf[p + e] = enc.decode_input(&vals[lane][e * eb..(e + 1) * eb]);
+                    }
+                }
+            });
+        }
+    };
+
+    let pf_to_smem = |blk: &mut BlockCtx<'_>, pf: &[f32], slot: usize| {
+        for r in 0..rounds {
+            blk.each_warp(|w| {
+                let mask =
+                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * n < g.row_len);
+                let addrs = lane_addrs_from(|lane| {
+                    let p = ((r * threads + w.thread_id(lane)) * n).min(g.row_len - 1);
+                    ((slot * g.sm_pitch + p) * eb) as u64
+                });
+                let mut vals = [[0u8; B]; WARP_SIZE];
+                for lane in mask.iter() {
+                    let p = (r * threads + w.thread_id(lane)) * n;
+                    for e in 0..n {
+                        enc.encode_input(pf[p + e], &mut vals[lane][e * eb..(e + 1) * eb]);
+                    }
+                }
+                w.st_shared_bytes::<B>(&addrs, &vals, mask);
+            });
+        }
+    };
+
+    let smem_to_window = |blk: &mut BlockCtx<'_>, win: &mut [f32], slot: usize, wr: usize| {
+        for gv in 0..win_w / n {
+            blk.each_warp(|w| {
+                let addrs = lane_addrs_from(|lane| {
+                    ((slot * g.sm_pitch + w.thread_id(lane) * n + gv * n) * eb) as u64
+                });
+                let vals = w.ld_shared_bytes::<B>(&addrs, LaneMask::ALL);
+                for lane in w.population().iter() {
+                    let t = w.thread_id(lane);
+                    let at = (t * k + wr) * win_w + gv * n;
+                    for e in 0..n {
+                        win[at + e] = enc.decode_input(&vals[lane][e * eb..(e + 1) * eb]);
+                    }
+                }
+            });
+        }
+    };
+
+    for row in 0..k {
+        gm_row_to_pf(blk, &mut pf, row);
+        pf_to_smem(blk, &pf, row % k);
+    }
+    blk.sync();
+    for wr in 0..k - 1 {
+        smem_to_window(blk, &mut win, wr % k, wr);
+    }
+
+    let total_rows = g.tile_h + k - 1;
+    for k_row in (k - 1)..total_rows {
+        let next = k_row + 1;
+        if next < total_rows {
+            gm_row_to_pf(blk, &mut pf, next);
+        }
+        smem_to_window(blk, &mut win, k_row % k, k - 1);
+
+        let out_row = k_row - (k - 1);
+        for f in 0..g.f {
+            blk.each_warp(|w| {
+                let mut taps = [0.0f32; MAX_K * MAX_K];
+                for i in 0..k {
+                    for j in 0..k {
+                        let addr = ((f * k * k + i * k + j) * 4) as u64;
+                        let vals = w.ld_const(&lane_addrs_uniform(addr), LaneMask::ALL);
+                        taps[i * k + j] = vals[0];
+                    }
+                }
+                let pop = w.population();
+                let mut acc = [[0u8; B]; WARP_SIZE];
+                for lane in pop.iter() {
+                    let t = w.thread_id(lane);
+                    let base = t * k * win_w;
+                    for v in 0..n {
+                        let mut s = 0.0f32;
+                        for i in 0..k {
+                            for j in 0..k {
+                                s += win[base + i * win_w + j + v] * taps[i * k + j];
+                            }
+                        }
+                        enc.encode_output(s, &mut acc[lane][v * eb..(v + 1) * eb]);
+                    }
+                }
+                w.count_fma(pop.count() as u64 * (n * k * k) as u64);
+                let addrs = lane_addrs_from(|lane| {
+                    let t = w.thread_id(lane);
+                    d_out.offset()
+                        + (((f * g.out_rows + in_row0 + out_row) * g.out_pitch
+                            + in_col0
+                            + t * n)
+                            * eb) as u64
+                });
+                w.st_global_bytes::<B>(&addrs, &acc, LaneMask::ALL);
+            });
+        }
+
+        blk.sync();
+        if next < total_rows {
+            pf_to_smem(blk, &pf, next % k);
+        }
+        blk.sync();
+        for t in 0..threads {
+            let base = t * k * win_w;
+            for wr in 0..k - 1 {
+                let (dst, src) = (base + wr * win_w, base + (wr + 1) * win_w);
+                win.copy_within(src..src + win_w, dst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::conv_reference;
+    use kconv_sim::GpuSpec;
+    use kconv_tensor::{random_filters, random_maps};
+
+    fn small(vec_width: usize) -> SpecialConfig {
+        SpecialConfig {
+            width: 32,
+            height: 4,
+            vec_width,
+        }
+    }
+
+    fn check_f16(cfg: SpecialConfig, n: usize, f: usize, k: usize) -> ConvRun {
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, 81);
+        let filters = random_filters(f, 1, k, 83);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = SpecialConvF16::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .expect("launch");
+        let quantized = quantize_maps(&input, Encoding::F16);
+        run.verify_executed(&problem, &quantized, &filters, F16_TOL)
+            .expect("fp16 output mismatch");
+        run
+    }
+
+    fn check_i8(cfg: SpecialConfig, n: usize, f: usize, k: usize) -> ConvRun {
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, 181);
+        let filters = random_filters(f, 1, k, 183);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = SpecialConvI8::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .expect("launch");
+        // Compare against the reference on the int8-quantized input, with
+        // the int8 tolerance (output quantization adds its own noise).
+        let enc = Encoding::I8 {
+            scale_in: i8_input_scale(&input),
+            scale_out: i8_output_scale(&input, &filters),
+        };
+        let quantized = quantize_maps(&input, enc);
+        run.verify_executed(&problem, &quantized, &filters, I8_TOL)
+            .expect("int8 output mismatch");
+        run
+    }
+
+    #[test]
+    fn f16_matched_3x3() {
+        check_f16(small(4), 40, 2, 3);
+    }
+
+    #[test]
+    fn f16_matched_5x5_ragged() {
+        check_f16(small(4), 45, 3, 5);
+    }
+
+    #[test]
+    fn f16_partial_width_2() {
+        check_f16(small(2), 40, 2, 3);
+    }
+
+    #[test]
+    fn f16_unmatched_scalar() {
+        check_f16(small(1), 40, 2, 3);
+    }
+
+    #[test]
+    fn i8_matched_3x3() {
+        check_i8(small(8), 40, 2, 3);
+    }
+
+    #[test]
+    fn i8_matched_5x5_ragged() {
+        check_i8(small(8), 45, 2, 5);
+    }
+
+    #[test]
+    fn i8_partial_and_scalar() {
+        check_i8(small(4), 40, 2, 3);
+        check_i8(small(2), 40, 2, 3);
+        check_i8(small(1), 40, 1, 3);
+    }
+
+    #[test]
+    fn narrow_storage_divides_gm_traffic() {
+        let problem = ConvProblem::special(66, 4, 3);
+        let input = random_maps(1, 66, 66, 85);
+        let filters = random_filters(4, 1, 3, 86);
+        let run_with = |conv: &dyn Convolution| {
+            let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+            conv.run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+                .unwrap()
+                .report
+                .stats
+                .gm_st_bytes_useful
+        };
+        let f32_st = run_with(&crate::SpecialConv::new(small(2)));
+        let f16_st = run_with(&SpecialConvF16::new(small(4)));
+        let i8_st = run_with(&SpecialConvI8::new(small(8)));
+        // Stores halve (fp16) and quarter (int8) exactly.
+        assert_eq!(2 * f16_st, f32_st);
+        assert_eq!(4 * i8_st, f32_st);
+    }
+
+    #[test]
+    fn matched_narrow_keeps_f32_access_count() {
+        // n=4 fp16 and n=8 int8 move 8 bytes per lane per access, exactly
+        // like n=2 f32: same instruction count.
+        let problem = ConvProblem::special(66, 2, 3);
+        let input = random_maps(1, 66, 66, 87);
+        let filters = random_filters(2, 1, 3, 88);
+        let count = |conv: &dyn Convolution| {
+            let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+            conv.run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+                .unwrap()
+                .report
+                .stats
+                .sm_requests()
+        };
+        let f32_req = count(&crate::SpecialConv::new(small(2)));
+        assert_eq!(count(&SpecialConvF16::new(small(4))), f32_req);
+        assert_eq!(count(&SpecialConvI8::new(small(8))), f32_req);
+    }
+
+    #[test]
+    fn unmatched_narrow_is_slower_than_matched() {
+        let problem = ConvProblem::special(66, 8, 3);
+        let input = random_maps(1, 66, 66, 89);
+        let filters = random_filters(8, 1, 3, 90);
+        let secs = |conv: &dyn Convolution| {
+            let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+            conv.run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+                .unwrap()
+                .report
+                .seconds()
+        };
+        assert!(secs(&SpecialConvF16::new(small(4))) < secs(&SpecialConvF16::new(small(1))));
+        assert!(secs(&SpecialConvI8::new(small(8))) < secs(&SpecialConvI8::new(small(1))));
+    }
+
+    #[test]
+    fn f16_quantization_is_visible_but_bounded() {
+        let problem = ConvProblem::special(40, 1, 3);
+        let input = random_maps(1, 40, 40, 89);
+        let filters = random_filters(1, 1, 3, 90);
+        let run = {
+            let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+            SpecialConvF16::new(small(4))
+                .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+                .unwrap()
+        };
+        let exact = conv_reference(&problem, &input, &filters);
+        let worst = kconv_tensor::worst_mismatch(run.output.as_slice(), exact.as_slice(), 0.0);
+        assert!(worst.is_some(), "fp16 must quantize something");
+        assert!(kconv_tensor::all_close(
+            run.output.as_slice(),
+            exact.as_slice(),
+            8e-3
+        ));
+    }
+
+    #[test]
+    fn i8_scales_are_sane() {
+        let maps = random_maps(1, 8, 8, 11);
+        let s = i8_input_scale(&maps);
+        assert!(s > 0.0 && s < 1.0 / 64.0);
+        let zeros = FeatureMaps::zeros(1, 4, 4);
+        assert!(i8_input_scale(&zeros) > 0.0);
+        let filters = random_filters(3, 1, 3, 13);
+        assert!(i8_output_scale(&maps, &filters) >= s);
+    }
+
+    #[test]
+    fn rejects_multichannel() {
+        let problem = ConvProblem::general(20, 2, 2, 3);
+        let input = random_maps(2, 20, 20, 91);
+        let filters = random_filters(2, 2, 3, 92);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        for conv in [
+            Box::new(SpecialConvF16::default()) as Box<dyn Convolution>,
+            Box::new(SpecialConvI8::default()),
+        ] {
+            let err = conv.run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+            assert!(matches!(err, Err(ConvError::Shape(_))));
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert!(SpecialConvF16::kepler_matched().name().contains("matched"));
+        assert!(SpecialConvF16::unmatched().name().contains("unmatched"));
+        assert!(SpecialConvF16::new(small(2)).name().contains("partial"));
+        assert!(SpecialConvI8::kepler_matched().name().contains("matched"));
+        assert!(SpecialConvI8::unmatched().name().contains("unmatched"));
+    }
+}

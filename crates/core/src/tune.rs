@@ -1,0 +1,254 @@
+//! Design-space exploration for the general-case kernel — the process that
+//! produced the paper's Table 1.
+//!
+//! The tuner enumerates the cross product of the paper's tuning knobs
+//! (`W, H, F_TB, W_T, F_T, C_SH`), filters out configurations that violate
+//! the architectural constraints or the problem's divisibility
+//! requirements, measures each survivor on a representative problem with
+//! sampled execution, and ranks by achieved GFlop/s.
+
+use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem};
+
+use crate::config::{GeneralConfig, SpecialConfig};
+use crate::error::Result;
+use crate::general::GeneralConv;
+use crate::special::SpecialConv;
+use crate::run::Convolution;
+
+/// One explored configuration and its measured throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// The configuration.
+    pub config: GeneralConfig,
+    /// Achieved algorithmic GFlop/s on the probe problem.
+    pub gflops: f64,
+}
+
+/// The candidate space explored for Table 1 (the paper's knobs with the
+/// values its result table draws from).
+pub fn candidate_space() -> Vec<GeneralConfig> {
+    let mut out = Vec::new();
+    for &width in &[32usize, 64] {
+        for &height in &[4usize, 8] {
+            for &f_tb in &[32usize, 64] {
+                for &w_t in &[8usize, 16] {
+                    for &f_t in &[4usize, 8] {
+                        for &c_sh in &[1usize, 2] {
+                            out.push(GeneralConfig {
+                                width,
+                                height,
+                                f_tb,
+                                w_t,
+                                f_t,
+                                c_sh,
+                                vec_width: 2,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `cfg` can run `problem` at all (architecture + divisibility).
+pub fn is_feasible(spec: &GpuSpec, cfg: &GeneralConfig, problem: &ConvProblem) -> bool {
+    cfg.validate(spec, problem.k).is_ok()
+        && problem.filters.is_multiple_of(cfg.f_tb)
+        && problem.channels.is_multiple_of(cfg.c_sh)
+}
+
+/// Explores `candidates` on `problem`, returning feasible results sorted
+/// by descending throughput. Uses sampled execution (`blocks` blocks per
+/// candidate) — the kernels are tile-homogeneous, so the scaled counters
+/// are exact for interior tiles.
+///
+/// # Errors
+///
+/// Propagates simulator errors (a candidate that fails validation is
+/// silently skipped; a candidate that fails at launch is a bug).
+pub fn explore_general(
+    spec: &GpuSpec,
+    problem: &ConvProblem,
+    candidates: &[GeneralConfig],
+    blocks: usize,
+) -> Result<Vec<TuneResult>> {
+    let input = random_maps(problem.channels, problem.height, problem.width, 71);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, 73);
+    let mut results = Vec::new();
+    for cfg in candidates {
+        if !is_feasible(spec, cfg, problem) {
+            continue;
+        }
+        let mut gpu = Gpu::new(spec.clone());
+        let run = GeneralConv::new(*cfg).run(
+            &mut gpu,
+            problem,
+            &input,
+            &filters,
+            SimMode::Sampled(blocks),
+        )?;
+        results.push(TuneResult {
+            config: *cfg,
+            gflops: run.effective_gflops(problem),
+        });
+    }
+    results.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).expect("finite gflops"));
+    Ok(results)
+}
+
+/// Convenience: the best configuration for filter size `k` on a
+/// representative problem (`N = 64`, `C = F = 64`), exploring the full
+/// candidate space.
+///
+/// # Errors
+///
+/// Propagates simulator errors; fails if no candidate is feasible.
+pub fn best_general_config(spec: &GpuSpec, k: usize) -> Result<GeneralConfig> {
+    let problem = ConvProblem::general(64 + k - 1, 64, 64, k);
+    let results = explore_general(spec, &problem, &candidate_space(), 2)?;
+    results
+        .first()
+        .map(|r| r.config)
+        .ok_or_else(|| crate::error::ConvError::Config("no feasible configuration".into()))
+}
+
+/// One explored special-case configuration and its measured throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecialTuneResult {
+    /// The configuration.
+    pub config: SpecialConfig,
+    /// Achieved algorithmic GFlop/s on the probe problem.
+    pub gflops: f64,
+}
+
+/// The candidate space for the special-case kernel's tile shape (the
+/// paper: "Through design space exploration, we determined that the best
+/// block size for the special case convolution kernel is W = 256 and
+/// H = 8").
+pub fn special_candidate_space() -> Vec<SpecialConfig> {
+    let mut out = Vec::new();
+    for &width in &[64usize, 128, 256, 512] {
+        for &height in &[2usize, 4, 8, 16] {
+            out.push(SpecialConfig {
+                width,
+                height,
+                vec_width: 2,
+            });
+        }
+    }
+    out
+}
+
+/// Explores special-case tile shapes on `problem`, returning feasible
+/// results sorted by descending throughput.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn explore_special(
+    spec: &GpuSpec,
+    problem: &ConvProblem,
+    candidates: &[SpecialConfig],
+    blocks: usize,
+) -> Result<Vec<SpecialTuneResult>> {
+    let input = random_maps(1, problem.height, problem.width, 75);
+    let filters = random_filters(problem.filters, 1, problem.k, 77);
+    let mut results = Vec::new();
+    for cfg in candidates {
+        if cfg.validate(spec, problem.k, problem.filters).is_err() {
+            continue;
+        }
+        let mut gpu = Gpu::new(spec.clone());
+        let run = SpecialConv::new(*cfg).run(
+            &mut gpu,
+            problem,
+            &input,
+            &filters,
+            SimMode::Sampled(blocks),
+        )?;
+        results.push(SpecialTuneResult {
+            config: *cfg,
+            gflops: run.effective_gflops(problem),
+        });
+    }
+    results.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).expect("finite gflops"));
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_space_size() {
+        // 2^6 knob combinations.
+        assert_eq!(candidate_space().len(), 64);
+    }
+
+    #[test]
+    fn feasibility_filters_divisibility() {
+        let spec = GpuSpec::kepler_k40m();
+        let cfg = GeneralConfig::table1_3x3(); // F_TB = 64
+        let ok = ConvProblem::general(34, 2, 64, 3);
+        let bad_f = ConvProblem::general(34, 2, 48, 3);
+        assert!(is_feasible(&spec, &cfg, &ok));
+        assert!(!is_feasible(&spec, &cfg, &bad_f));
+        let bad_c = ConvProblem::general(34, 3, 64, 3); // C=3 vs C_SH=2
+        assert!(!is_feasible(&spec, &cfg, &bad_c));
+    }
+
+    #[test]
+    fn exploration_ranks_descending() {
+        let spec = GpuSpec::kepler_k40m();
+        let problem = ConvProblem::general(34, 4, 64, 3);
+        // A small probe space to keep the test quick.
+        let cands = [
+            GeneralConfig::table1_3x3(),
+            GeneralConfig {
+                w_t: 8,
+                ..GeneralConfig::table1_3x3()
+            },
+            GeneralConfig {
+                c_sh: 1,
+                ..GeneralConfig::table1_3x3()
+            },
+        ];
+        let results = explore_general(&spec, &problem, &cands, 2).unwrap();
+        assert!(!results.is_empty());
+        for pair in results.windows(2) {
+            assert!(pair[0].gflops >= pair[1].gflops);
+        }
+    }
+
+    #[test]
+    fn special_space_and_exploration() {
+        assert_eq!(special_candidate_space().len(), 16);
+        let spec = GpuSpec::kepler_k40m();
+        let problem = ConvProblem::special(512, 8, 3);
+        let cands = [
+            SpecialConfig { width: 64, height: 4, vec_width: 2 },
+            SpecialConfig { width: 256, height: 8, vec_width: 2 },
+        ];
+        let results = explore_special(&spec, &problem, &cands, 2).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].gflops >= results[1].gflops);
+    }
+
+    #[test]
+    fn infeasible_candidates_are_skipped_not_fatal() {
+        let spec = GpuSpec::kepler_k40m();
+        let problem = ConvProblem::general(34, 4, 64, 3);
+        let cands = [
+            GeneralConfig {
+                c_sh: 32, // shared-memory blowup: infeasible
+                ..GeneralConfig::table1_3x3()
+            },
+            GeneralConfig::table1_3x3(),
+        ];
+        let results = explore_general(&spec, &problem, &cands, 1).unwrap();
+        assert_eq!(results.len(), 1);
+    }
+}

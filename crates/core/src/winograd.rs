@@ -1,0 +1,270 @@
+//! Winograd convolution F(2x2, 3x3) — the related-work comparison point.
+//!
+//! The paper's introduction weighs direct convolution against the Winograd
+//! algorithm (its references [15, 16]): for 3x3 filters Winograd cuts the
+//! multiplication count by 2.25x, "at the cost of increased memory usage
+//! and filter size dependent specialized processing", and concludes direct
+//! convolution is the general-purpose choice. This module substantiates
+//! that discussion with a verified implementation and an arithmetic/memory
+//! model:
+//!
+//! * [`winograd_conv_3x3`] — CPU F(2x2, 3x3) convolution, validated
+//!   against the direct reference in tests;
+//! * [`multiplication_counts`] — direct vs Winograd multiply counts
+//!   (the 2.25x), and [`transformed_filter_bytes`] — the 16/9 filter
+//!   memory blow-up;
+//! * the `winograd_compare` harness in `kconv-bench` prints the trade-off
+//!   for CNN-shaped problems.
+//!
+//! Only `K = 3` is supported — that *is* the related-work point: the
+//! algorithm is filter-size-specialized where the paper's kernels are not.
+
+// Matrix-style index loops mirror the transform definitions.
+#![allow(clippy::needless_range_loop)]
+
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
+
+use crate::error::{ConvError, Result};
+
+/// Filter transform `G g G^T` for one 3x3 filter: returns the 4x4
+/// transformed tile.
+///
+/// `G = [[1,0,0],[1/2,1/2,1/2],[1/2,-1/2,1/2],[0,0,1]]`.
+fn transform_filter(g: &[[f32; 3]; 3]) -> [[f32; 4]; 4] {
+    // Gg: 4x3.
+    let mut gg = [[0.0f32; 3]; 4];
+    for c in 0..3 {
+        gg[0][c] = g[0][c];
+        gg[1][c] = 0.5 * (g[0][c] + g[1][c] + g[2][c]);
+        gg[2][c] = 0.5 * (g[0][c] - g[1][c] + g[2][c]);
+        gg[3][c] = g[2][c];
+    }
+    // (Gg)G^T: 4x4.
+    let mut out = [[0.0f32; 4]; 4];
+    for r in 0..4 {
+        out[r][0] = gg[r][0];
+        out[r][1] = 0.5 * (gg[r][0] + gg[r][1] + gg[r][2]);
+        out[r][2] = 0.5 * (gg[r][0] - gg[r][1] + gg[r][2]);
+        out[r][3] = gg[r][2];
+    }
+    out
+}
+
+/// Input transform `B^T d B` for one 4x4 data tile.
+///
+/// `B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]`.
+fn transform_input(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
+    let mut bd = [[0.0f32; 4]; 4];
+    for c in 0..4 {
+        bd[0][c] = d[0][c] - d[2][c];
+        bd[1][c] = d[1][c] + d[2][c];
+        bd[2][c] = d[2][c] - d[1][c];
+        bd[3][c] = d[1][c] - d[3][c];
+    }
+    let mut out = [[0.0f32; 4]; 4];
+    for r in 0..4 {
+        out[r][0] = bd[r][0] - bd[r][2];
+        out[r][1] = bd[r][1] + bd[r][2];
+        out[r][2] = bd[r][2] - bd[r][1];
+        out[r][3] = bd[r][1] - bd[r][3];
+    }
+    out
+}
+
+/// Output transform `A^T m A` for one 4x4 elementwise-product tile:
+/// returns the 2x2 output tile.
+///
+/// `A^T = [[1,1,1,0],[0,1,-1,-1]]`.
+fn transform_output(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    let mut am = [[0.0f32; 4]; 2];
+    for c in 0..4 {
+        am[0][c] = m[0][c] + m[1][c] + m[2][c];
+        am[1][c] = m[1][c] - m[2][c] - m[3][c];
+    }
+    [
+        [am[0][0] + am[0][1] + am[0][2], am[0][1] - am[0][2] - am[0][3]],
+        [am[1][0] + am[1][1] + am[1][2], am[1][1] - am[1][2] - am[1][3]],
+    ]
+}
+
+/// Winograd F(2x2, 3x3) "valid" convolution on the CPU.
+///
+/// Functionally identical to [`conv_reference`](crate::conv_reference) for
+/// `K = 3` (up to fp rounding — the transforms reassociate heavily), with
+/// 2.25x fewer multiplications.
+///
+/// # Errors
+///
+/// Returns [`ConvError::Shape`] unless `K == 3` and the shapes match.
+pub fn winograd_conv_3x3(
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+) -> Result<FeatureMaps> {
+    if problem.k != 3 {
+        return Err(ConvError::Shape(format!(
+            "Winograd F(2x2, 3x3) requires K = 3, got K = {}",
+            problem.k
+        )));
+    }
+    if !problem.matches(input, filters) {
+        return Err(ConvError::Shape(format!(
+            "input/filter shapes do not match {problem}"
+        )));
+    }
+    let (oh, ow) = (problem.out_height(), problem.out_width());
+    // Pad the output domain to 2x2 tiles; the input needs tile + halo.
+    let th = oh.div_ceil(2);
+    let tw = ow.div_ceil(2);
+    let padded = input.padded_to(2 * th + 2, 2 * tw + 2);
+
+    // Pre-transform every filter (the 16/9 memory increase).
+    let mut u = vec![[[0.0f32; 4]; 4]; problem.filters * problem.channels];
+    for f in 0..problem.filters {
+        for c in 0..problem.channels {
+            let mut g = [[0.0f32; 3]; 3];
+            for i in 0..3 {
+                for j in 0..3 {
+                    g[i][j] = filters.get(f, c, i, j);
+                }
+            }
+            u[f * problem.channels + c] = transform_filter(&g);
+        }
+    }
+
+    let mut out = FeatureMaps::zeros(problem.filters, oh, ow);
+    for ty in 0..th {
+        for tx in 0..tw {
+            // Transform the input tile once per channel, use for all F.
+            let mut v = vec![[[0.0f32; 4]; 4]; problem.channels];
+            for (c, vt) in v.iter_mut().enumerate() {
+                let mut d = [[0.0f32; 4]; 4];
+                for i in 0..4 {
+                    for j in 0..4 {
+                        d[i][j] = padded.get(c, 2 * ty + i, 2 * tx + j);
+                    }
+                }
+                *vt = transform_input(&d);
+            }
+            for f in 0..problem.filters {
+                // Elementwise products accumulated over channels: the
+                // 16-multiplication core replacing 36 direct FMAs.
+                let mut m = [[0.0f32; 4]; 4];
+                for c in 0..problem.channels {
+                    let uf = &u[f * problem.channels + c];
+                    for i in 0..4 {
+                        for j in 0..4 {
+                            m[i][j] += uf[i][j] * v[c][i][j];
+                        }
+                    }
+                }
+                let y = transform_output(&m);
+                for i in 0..2 {
+                    for j in 0..2 {
+                        let (oy, ox) = (2 * ty + i, 2 * tx + j);
+                        if oy < oh && ox < ow {
+                            out.set(f, oy, ox, y[i][j]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplications per output element: `(direct, winograd)` — the paper's
+/// related-work arithmetic comparison. For `K = 3` the ratio is
+/// `36 / 16 = 2.25` in the tile core (transform multiplies by constants
+/// excluded, as in the literature).
+pub fn multiplication_counts(problem: &ConvProblem) -> (u64, u64) {
+    let tiles = (problem.out_height().div_ceil(2) * problem.out_width().div_ceil(2)) as u64;
+    let per_tile_direct = 36u64; // 2x2 outputs x 9 taps
+    let per_tile_wino = 16u64; // one elementwise 4x4 product
+    let cf = (problem.channels * problem.filters) as u64;
+    (tiles * cf * per_tile_direct, tiles * cf * per_tile_wino)
+}
+
+/// Bytes of filter storage: `(direct, winograd-transformed)` — the 16/9
+/// increase the paper counts against the algorithm.
+pub fn transformed_filter_bytes(problem: &ConvProblem) -> (u64, u64) {
+    let cf = (problem.channels * problem.filters) as u64;
+    (cf * 9 * 4, cf * 16 * 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::conv_reference;
+    use kconv_tensor::{assert_close, random_filters, random_maps};
+
+    #[test]
+    fn matches_direct_reference_even_output() {
+        let problem = ConvProblem::general(10, 2, 3, 3); // 8x8 output
+        let input = random_maps(2, 10, 10, 91);
+        let filters = random_filters(3, 2, 3, 93);
+        let wino = winograd_conv_3x3(&problem, &input, &filters).unwrap();
+        let direct = conv_reference(&problem, &input, &filters);
+        assert_close(wino.as_slice(), direct.as_slice(), 1e-4, "winograd");
+    }
+
+    #[test]
+    fn matches_direct_reference_odd_output() {
+        let problem = ConvProblem::general(9, 1, 2, 3); // 7x7 output: ragged tiles
+        let input = random_maps(1, 9, 9, 95);
+        let filters = random_filters(2, 1, 3, 97);
+        let wino = winograd_conv_3x3(&problem, &input, &filters).unwrap();
+        let direct = conv_reference(&problem, &input, &filters);
+        assert_close(wino.as_slice(), direct.as_slice(), 1e-4, "winograd odd");
+    }
+
+    #[test]
+    fn identity_filter_passes_through() {
+        let problem = ConvProblem::general(6, 1, 1, 3);
+        let input = random_maps(1, 6, 6, 99);
+        let mut filters = FilterSet::zeros(1, 1, 3);
+        filters.set(0, 0, 1, 1, 1.0); // center tap
+        let wino = winograd_conv_3x3(&problem, &input, &filters).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                let got = wino.get(0, y, x);
+                let want = input.get(0, y + 1, x + 1);
+                assert!((got - want).abs() < 1e-5, "({y},{x}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_3x3() {
+        let problem = ConvProblem::general(10, 1, 1, 5);
+        let input = random_maps(1, 10, 10, 1);
+        let filters = random_filters(1, 1, 5, 2);
+        assert!(matches!(
+            winograd_conv_3x3(&problem, &input, &filters),
+            Err(ConvError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn arithmetic_reduction_is_2_25x() {
+        let problem = ConvProblem::general(66, 64, 64, 3);
+        let (direct, wino) = multiplication_counts(&problem);
+        assert!((direct as f64 / wino as f64 - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_memory_grows_16_over_9() {
+        let problem = ConvProblem::general(66, 8, 8, 3);
+        let (direct, wino) = transformed_filter_bytes(&problem);
+        assert_eq!(wino * 9, direct * 16);
+    }
+
+    #[test]
+    fn filter_transform_of_ones() {
+        // All-ones filter: G 1 G^T has known corners.
+        let t = transform_filter(&[[1.0; 3]; 3]);
+        assert_eq!(t[0][0], 1.0);
+        assert_eq!(t[3][3], 1.0);
+        assert_eq!(t[1][1], 2.25); // (3/2)^2
+    }
+}

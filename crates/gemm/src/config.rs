@@ -1,0 +1,217 @@
+//! Blocked-GEMM configurations.
+//!
+//! A [`GemmConfig`] describes the classic three-level blocking of a GPU
+//! SGEMM (the paper's reference \[19\], Nath/Tomov/Dongarra's MAGMA kernel):
+//! a thread block computes a `tile_m x tile_n` tile of `C`, staging
+//! `tile_k`-deep slices of `A` and `B` in shared memory, and each thread
+//! accumulates a `thread_m x thread_n` register sub-block.
+//!
+//! The knob the paper turns is [`GemmConfig::vec_width`]: with `1`, threads
+//! read their fragments from shared memory one `float` at a time (the
+//! Fermi-tuned MAGMA pattern — *unmatched* on Kepler's 8-byte banks); with
+//! `2`, fragments are read as `float2` (*matched*, the "MAGMA mod." of the
+//! paper's Fig. 2 and the cuBLAS-like pattern).
+
+/// Shared-memory row padding (in `f32` elements) applied to the transposed
+/// `A` tile to keep its strided stores conflict-free.
+pub const SMEM_PAD: usize = 2;
+
+/// Configuration of a blocked SGEMM kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GemmConfig {
+    /// Display name (used in reports and Fig. 2 output).
+    pub name: &'static str,
+    /// Rows of `C` per thread block.
+    pub tile_m: usize,
+    /// Columns of `C` per thread block.
+    pub tile_n: usize,
+    /// Depth of the shared-memory staging slice.
+    pub tile_k: usize,
+    /// Rows of `C` per thread.
+    pub thread_m: usize,
+    /// Columns of `C` per thread.
+    pub thread_n: usize,
+    /// Shared-memory fragment access width in `f32` elements (1 = scalar,
+    /// 2 = `float2`).
+    pub vec_width: usize,
+}
+
+impl GemmConfig {
+    /// A Kepler-tuned kernel in the spirit of cuBLAS on the K40m: large
+    /// 128x128 tiles, 8x8 register blocks (high FMA density per fragment
+    /// load), matched (`float2`) shared-memory accesses.
+    pub fn kepler_tuned() -> Self {
+        GemmConfig {
+            name: "cuBLAS-like (Kepler-tuned)",
+            tile_m: 128,
+            tile_n: 128,
+            tile_k: 8,
+            thread_m: 8,
+            thread_n: 8,
+            vec_width: 2,
+        }
+    }
+
+    /// The Fermi-tuned MAGMA kernel of the paper's reference \[19\]: smaller
+    /// 64x64 tiles and scalar (`float`) shared-memory accesses — *unmatched*
+    /// on Kepler, wasting half the shared-memory bandwidth.
+    pub fn fermi_tuned() -> Self {
+        GemmConfig {
+            name: "MAGMA (Fermi-tuned)",
+            tile_m: 64,
+            tile_n: 64,
+            tile_k: 16,
+            thread_m: 4,
+            thread_n: 4,
+            vec_width: 1,
+        }
+    }
+
+    /// The paper's "MAGMA mod.": the Fermi kernel with its computation data
+    /// width matched to Kepler's bank width (`float2` fragments), nothing
+    /// else changed.
+    pub fn fermi_tuned_matched() -> Self {
+        GemmConfig {
+            name: "MAGMA mod. (matched)",
+            tile_m: 64,
+            tile_n: 64,
+            tile_k: 16,
+            thread_m: 4,
+            thread_n: 4,
+            vec_width: 2,
+        }
+    }
+
+    /// Threads along the `M` dimension of the tile.
+    pub fn threads_x(&self) -> usize {
+        self.tile_m / self.thread_m
+    }
+
+    /// Threads along the `N` dimension of the tile.
+    pub fn threads_y(&self) -> usize {
+        self.tile_n / self.thread_n
+    }
+
+    /// Total threads per block.
+    pub fn threads(&self) -> usize {
+        self.threads_x() * self.threads_y()
+    }
+
+    /// Shared-memory bytes per block: padded transposed `A` tile plus `B`
+    /// tile.
+    pub fn smem_bytes(&self) -> u32 {
+        let a = self.tile_k * (self.tile_m + SMEM_PAD);
+        let b = self.tile_k * self.tile_n;
+        ((a + b) * 4) as u32
+    }
+
+    /// Architectural register estimate per thread: the accumulator block,
+    /// both fragments, and ~16 for addresses and loop state.
+    pub fn regs_per_thread(&self) -> u32 {
+        (self.thread_m * self.thread_n + self.thread_m + self.thread_n + 16) as u32
+    }
+
+    /// Validates the internal divisibility constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vec_width != 1 && self.vec_width != 2 {
+            return Err(format!("vec_width {} must be 1 or 2", self.vec_width));
+        }
+        if !self.thread_m.is_multiple_of(self.vec_width) || !self.thread_n.is_multiple_of(self.vec_width) {
+            return Err("thread tile must be divisible by vec_width".into());
+        }
+        if !self.tile_m.is_multiple_of(self.thread_m) || !self.tile_n.is_multiple_of(self.thread_n) {
+            return Err("block tile must be divisible by thread tile".into());
+        }
+        if self.threads() == 0 || self.threads() > 1024 {
+            return Err(format!("{} threads per block is not launchable", self.threads()));
+        }
+        if !self.threads().is_multiple_of(32) {
+            return Err("thread count must be a multiple of the warp size".into());
+        }
+        if self.tile_k == 0 {
+            return Err("tile_k must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for GemmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}x{} tiles, {}x{} per thread, {}-wide smem",
+            self.name,
+            self.tile_m,
+            self.tile_n,
+            self.tile_k,
+            self.thread_m,
+            self.thread_n,
+            self.vec_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        GemmConfig::kepler_tuned().validate().unwrap();
+        GemmConfig::fermi_tuned().validate().unwrap();
+        GemmConfig::fermi_tuned_matched().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_thread_counts() {
+        assert_eq!(GemmConfig::kepler_tuned().threads(), 256);
+        assert_eq!(GemmConfig::fermi_tuned().threads(), 256);
+    }
+
+    #[test]
+    fn magma_mod_differs_only_in_width() {
+        let a = GemmConfig::fermi_tuned();
+        let b = GemmConfig::fermi_tuned_matched();
+        assert_eq!(a.tile_m, b.tile_m);
+        assert_eq!(a.thread_m, b.thread_m);
+        assert_ne!(a.vec_width, b.vec_width);
+    }
+
+    #[test]
+    fn smem_accounting() {
+        let c = GemmConfig::fermi_tuned();
+        // (16*(64+2) + 16*64) * 4
+        assert_eq!(c.smem_bytes(), (16 * 66 + 16 * 64) as u32 * 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = GemmConfig::kepler_tuned();
+        c.vec_width = 3;
+        assert!(c.validate().is_err());
+        let mut c = GemmConfig::kepler_tuned();
+        c.thread_m = 3; // not divisible by vec_width 2
+        assert!(c.validate().is_err());
+        let mut c = GemmConfig::kepler_tuned();
+        c.tile_m = 100; // not divisible by thread_m
+        assert!(c.validate().is_err());
+        let mut c = GemmConfig::kepler_tuned();
+        c.thread_m = 1;
+        c.thread_n = 1;
+        c.vec_width = 1; // 128*64 threads
+        assert!(c.validate().is_err());
+        let mut c = GemmConfig::kepler_tuned();
+        c.tile_k = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(GemmConfig::fermi_tuned().to_string().contains("MAGMA"));
+    }
+}

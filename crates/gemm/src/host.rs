@@ -1,0 +1,92 @@
+//! CPU reference GEMM used to validate the simulated kernels.
+
+/// Computes the full `C = A * B` on the host (`A` is `m x k`, `B` is
+/// `k x n`, all row-major). Accumulates in `f64` so the reference is more
+/// accurate than any evaluation order of the device kernels.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn gemm_ref(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    gemm_ref_tile(a, b, m, n, k, 0, m, 0, n)
+}
+
+/// Computes the `rows x cols` sub-tile of `C = A * B` whose top-left corner
+/// is `(row0, col0)` — enough to validate a sampled thread block without
+/// paying for the whole product.
+///
+/// # Panics
+///
+/// Panics if the tile exceeds the output or the slices are too short.
+#[allow(clippy::too_many_arguments)] // a tile is naturally eight scalars
+pub fn gemm_ref_tile(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    rows: usize,
+    col0: usize,
+    cols: usize,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert!(row0 + rows <= m && col0 + cols <= n, "tile exceeds output");
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
+        for c in 0..cols {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += arow[kk] as f64 * b[kk * n + col0 + c] as f64;
+            }
+            out[r * cols + c] = acc as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let c = gemm_ref(&a, &b, 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular() {
+        // 1x3 * 3x2
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let c = gemm_ref(&a, &b, 1, 2, 3);
+        assert_eq!(c, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn tile_matches_full() {
+        let m = 6;
+        let n = 5;
+        let k = 4;
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+        let full = gemm_ref(&a, &b, m, n, k);
+        let tile = gemm_ref_tile(&a, &b, m, n, k, 2, 3, 1, 2);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert_eq!(tile[r * 2 + c], full[(2 + r) * n + 1 + c]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile exceeds output")]
+    fn tile_bounds_checked() {
+        gemm_ref_tile(&[0.0; 4], &[0.0; 4], 2, 2, 2, 1, 2, 0, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # kconv-gemm — blocked SGEMM kernels on the kconv GPU simulator
+//!
+//! Three single-precision GEMM kernels reproducing the paper's Fig. 2
+//! motivation experiment:
+//!
+//! * [`GemmConfig::kepler_tuned`] — a cuBLAS-like kernel with large tiles
+//!   and `float2` (bank-width-matched) shared-memory fragment accesses;
+//! * [`GemmConfig::fermi_tuned`] — the MAGMA kernel of the paper's
+//!   reference \[19\], tuned for Fermi's 4-byte banks: scalar fragment
+//!   accesses that waste half of Kepler's 8-byte-bank bandwidth;
+//! * [`GemmConfig::fermi_tuned_matched`] — the paper's "MAGMA mod.": the
+//!   same kernel with its computation data width matched to the bank width.
+//!
+//! The explicit-GEMM convolution baseline in `kconv-core` also builds on
+//! [`launch_gemm`].
+//!
+//! ## Example
+//!
+//! ```
+//! use kconv_gemm::{launch_gemm, gemm_ref, GemmConfig, GemmShape};
+//! use kconv_sim::{Gpu, GpuSpec, SimMode};
+//!
+//! # fn main() -> Result<(), kconv_sim::SimError> {
+//! let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+//! let shape = GemmShape::square(128);
+//! let av = vec![0.5f32; 128 * 128];
+//! let bv = vec![2.0f32; 128 * 128];
+//! let a = gpu.alloc_f32((128 * 128) as u64)?;
+//! let b = gpu.alloc_f32((128 * 128) as u64)?;
+//! let c = gpu.alloc_f32((128 * 128) as u64)?;
+//! gpu.upload_f32(a, &av)?;
+//! gpu.upload_f32(b, &bv)?;
+//!
+//! let report = launch_gemm(
+//!     &mut gpu, &GemmConfig::kepler_tuned(), shape, a, b, c, SimMode::Full)?;
+//! let got = gpu.download_f32(c)?;
+//! assert_eq!(got[0], gemm_ref(&av, &bv, 128, 128, 128)[0]);
+//! assert!(report.gflops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod host;
+mod kernel;
+
+pub use config::{GemmConfig, SMEM_PAD};
+pub use host::{gemm_ref, gemm_ref_tile};
+pub use kernel::{block_tile, launch_gemm, GemmShape};

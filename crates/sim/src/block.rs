@@ -1,0 +1,371 @@
+//! Cooperative thread-block execution.
+//!
+//! A kernel is a Rust closure invoked once per thread block with a
+//! [`BlockCtx`]. Inside, code is written in the warp-synchronous style: the
+//! block's warps are iterated with [`BlockCtx::each_warp`] between
+//! [`BlockCtx::sync`] barriers. Because warps execute *sequentially* between
+//! barriers, any kernel that is race-free under CUDA semantics (no
+//! inter-warp communication without a barrier) computes exactly the same
+//! result here, while every warp-level access is observed by the memory
+//! models.
+//!
+//! Per-thread "registers" are ordinary host arrays owned by the kernel
+//! closure and indexed by thread id; the launch configuration's
+//! `regs_per_thread` declares their architectural footprint for the
+//! occupancy model.
+
+use crate::mem::{ConstantMemory, GlobalMemory, SharedMemory};
+use crate::spec::WARP_SIZE;
+use crate::stats::KernelStats;
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// Geometry of the executing block within its launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDims {
+    /// Linear index of this block in the grid.
+    pub block_id: usize,
+    /// Total number of blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads in this block.
+    pub threads: usize,
+}
+
+impl BlockDims {
+    /// Number of warps in the block (`ceil(threads / 32)`).
+    pub fn warps(&self) -> usize {
+        self.threads.div_ceil(WARP_SIZE)
+    }
+}
+
+/// Execution context for one thread block.
+///
+/// Holds the device memories, this block's shared memory, and the launch
+/// statistics. All device traffic flows through [`WarpCtx`] methods obtained
+/// from [`BlockCtx::each_warp`].
+pub struct BlockCtx<'a> {
+    /// Block geometry.
+    pub dims: BlockDims,
+    pub(crate) gm: &'a mut GlobalMemory,
+    pub(crate) cm: &'a mut ConstantMemory,
+    pub(crate) smem: SharedMemory,
+    pub(crate) stats: &'a mut KernelStats,
+}
+
+impl std::fmt::Debug for BlockCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCtx")
+            .field("dims", &self.dims)
+            .field("smem_bytes", &self.smem.len_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(
+        dims: BlockDims,
+        gm: &'a mut GlobalMemory,
+        cm: &'a mut ConstantMemory,
+        smem: SharedMemory,
+        stats: &'a mut KernelStats,
+    ) -> Self {
+        BlockCtx {
+            dims,
+            gm,
+            cm,
+            smem,
+            stats,
+        }
+    }
+
+    /// Runs `f` for every warp of the block, in warp-id order.
+    ///
+    /// Call this between barriers for each program phase; warps may keep
+    /// per-thread state in arrays captured by the closure.
+    pub fn each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx<'_, 'a>)) {
+        for wid in 0..self.dims.warps() {
+            let mut warp = WarpCtx { block: self, wid };
+            f(&mut warp);
+        }
+    }
+
+    /// A `__syncthreads()` barrier: records the barrier for the timing
+    /// model. (Warps are already serialized, so no scheduling is needed.)
+    pub fn sync(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// The block's shared-memory size in bytes.
+    pub fn smem_bytes(&self) -> usize {
+        self.smem.len_bytes()
+    }
+}
+
+/// Warp-level operations for one warp of a block.
+///
+/// Every memory method takes per-lane byte addresses and an active-lane
+/// mask; the mask is automatically intersected with the warp's population
+/// (the last warp of a block may be partial).
+pub struct WarpCtx<'b, 'a> {
+    block: &'b mut BlockCtx<'a>,
+    wid: usize,
+}
+
+impl std::fmt::Debug for WarpCtx<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpCtx").field("wid", &self.wid).finish()
+    }
+}
+
+impl WarpCtx<'_, '_> {
+    /// Warp index within the block.
+    pub fn warp_id(&self) -> usize {
+        self.wid
+    }
+
+    /// Global (block-local) thread id of `lane`.
+    pub fn thread_id(&self, lane: usize) -> usize {
+        self.wid * WARP_SIZE + lane
+    }
+
+    /// Mask of lanes that correspond to real threads (all 32 except in a
+    /// trailing partial warp).
+    pub fn population(&self) -> LaneMask {
+        let first = self.wid * WARP_SIZE;
+        let remaining = self.block.dims.threads.saturating_sub(first);
+        LaneMask::first(remaining.min(WARP_SIZE))
+    }
+
+    fn live(&self, mask: LaneMask) -> LaneMask {
+        LaneMask(mask.0 & self.population().0)
+    }
+
+    /// Global-memory warp load of `V` consecutive `f32`s per lane.
+    pub fn ld_global<const V: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let m = self.live(mask);
+        self.block.gm.warp_ld::<V>(self.block.stats, addrs, m)
+    }
+
+    /// Global-memory warp store of `V` consecutive `f32`s per lane.
+    pub fn st_global<const V: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        values: &[[f32; V]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let m = self.live(mask);
+        self.block.gm.warp_st::<V>(self.block.stats, addrs, values, m);
+    }
+
+    /// Shared-memory warp load of `V` consecutive `f32`s per lane
+    /// (block-local byte offsets).
+    pub fn ld_shared<const V: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let m = self.live(mask);
+        self.block.smem.warp_ld::<V>(self.block.stats, addrs, m)
+    }
+
+    /// Shared-memory warp store of `V` consecutive `f32`s per lane.
+    pub fn st_shared<const V: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        values: &[[f32; V]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let m = self.live(mask);
+        self.block
+            .smem
+            .warp_st::<V>(self.block.stats, addrs, values, m);
+    }
+
+    /// Global-memory warp load through the read-only (texture) cache path:
+    /// lines this block already touched are served without bus traffic.
+    pub fn ld_global_ro<const V: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let m = self.live(mask);
+        self.block.gm.warp_ld_ro::<V>(self.block.stats, addrs, m)
+    }
+
+    /// Constant-memory warp load of one `f32` per lane (broadcast-optimized).
+    pub fn ld_const(&mut self, addrs: &WarpAddrs, mask: LaneMask) -> [f32; WARP_SIZE] {
+        let m = self.live(mask);
+        self.block.cm.warp_ld_f32(self.block.stats, addrs, m)
+    }
+
+    /// Global-memory warp load of `W` raw bytes per lane (short data types).
+    pub fn ld_global_bytes<const W: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[u8; W]; WARP_SIZE] {
+        let m = self.live(mask);
+        self.block.gm.warp_ld_bytes::<W>(self.block.stats, addrs, m)
+    }
+
+    /// Global-memory warp store of `W` raw bytes per lane.
+    pub fn st_global_bytes<const W: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        values: &[[u8; W]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let m = self.live(mask);
+        self.block
+            .gm
+            .warp_st_bytes::<W>(self.block.stats, addrs, values, m);
+    }
+
+    /// Shared-memory warp load of `W` raw bytes per lane (short data types).
+    pub fn ld_shared_bytes<const W: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[u8; W]; WARP_SIZE] {
+        let m = self.live(mask);
+        self.block
+            .smem
+            .warp_ld_bytes::<W>(self.block.stats, addrs, m)
+    }
+
+    /// Shared-memory warp store of `W` raw bytes per lane.
+    pub fn st_shared_bytes<const W: usize>(
+        &mut self,
+        addrs: &WarpAddrs,
+        values: &[[u8; W]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let m = self.live(mask);
+        self.block
+            .smem
+            .warp_st_bytes::<W>(self.block.stats, addrs, values, m);
+    }
+
+    /// Records `lane_ops` fused multiply-adds (the arithmetic itself is done
+    /// on the kernel's register arrays in plain Rust).
+    pub fn count_fma(&mut self, lane_ops: u64) {
+        self.block.stats.fma_lane_ops += lane_ops;
+    }
+
+    /// Records `lane_ops` non-FMA arithmetic operations (index math,
+    /// predicates, ...). On real hardware these share issue slots with
+    /// FMAs, which is how the implicit-GEMM baselines pay for their index
+    /// decoding.
+    pub fn count_alu(&mut self, lane_ops: u64) {
+        self.block.stats.alu_lane_ops += lane_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{ConstantMemory, GlobalMemory, SharedMemory};
+    use crate::spec::BankWidth;
+    use crate::warp::lane_addrs;
+
+    fn harness(threads: usize) -> (GlobalMemory, ConstantMemory, KernelStats, BlockDims) {
+        (
+            GlobalMemory::new(1 << 20, 128, 32),
+            ConstantMemory::new(1 << 16, 256),
+            KernelStats::default(),
+            BlockDims {
+                block_id: 0,
+                grid_blocks: 1,
+                threads,
+            },
+        )
+    }
+
+    #[test]
+    fn warps_rounds_up() {
+        let d = BlockDims {
+            block_id: 0,
+            grid_blocks: 1,
+            threads: 33,
+        };
+        assert_eq!(d.warps(), 2);
+    }
+
+    #[test]
+    fn each_warp_visits_all_warps_in_order() {
+        let (mut gm, mut cm, mut stats, dims) = harness(96);
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut seen = Vec::new();
+        blk.each_warp(|w| seen.push(w.warp_id()));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partial_warp_population() {
+        let (mut gm, mut cm, mut stats, dims) = harness(40);
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut pops = Vec::new();
+        blk.each_warp(|w| pops.push(w.population().count()));
+        assert_eq!(pops, vec![32, 8]);
+    }
+
+    #[test]
+    fn population_masks_device_traffic() {
+        let (mut gm, mut cm, mut stats, dims) = harness(8);
+        let buf = gm.alloc_f32(32).unwrap();
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        blk.each_warp(|w| {
+            // Lanes beyond thread 8 must be suppressed even with ALL mask.
+            w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+        });
+        assert_eq!(stats.gm_ld_bytes_useful, 8 * 4);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip_through_warp_ctx() {
+        let (mut gm, mut cm, mut stats, dims) = harness(32);
+        let smem = SharedMemory::new(256, 32, BankWidth::B8);
+        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        blk.each_warp(|w| {
+            let addrs = lane_addrs(0, 4);
+            let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32 + 0.25]);
+            w.st_shared::<1>(&addrs, &vals, LaneMask::ALL);
+            let back = w.ld_shared::<1>(&addrs, LaneMask::ALL);
+            assert_eq!(back[3][0], 3.25);
+        });
+        blk.sync();
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.sm_ld_requests, 1);
+        assert_eq!(stats.sm_st_requests, 1);
+    }
+
+    #[test]
+    fn fma_and_alu_counters() {
+        let (mut gm, mut cm, mut stats, dims) = harness(32);
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        blk.each_warp(|w| {
+            w.count_fma(64);
+            w.count_alu(3);
+        });
+        assert_eq!(stats.fma_lane_ops, 64);
+        assert_eq!(stats.alu_lane_ops, 3);
+        assert_eq!(stats.flops(), 131);
+    }
+
+    #[test]
+    fn thread_ids_are_block_local() {
+        let (mut gm, mut cm, mut stats, dims) = harness(64);
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut ids = Vec::new();
+        blk.each_warp(|w| ids.push(w.thread_id(5)));
+        assert_eq!(ids, vec![5, 37]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the simulator.
+
+/// Errors reported by the simulator's fallible public API (allocation,
+/// launch configuration, host transfers).
+///
+/// Out-of-bounds *device* accesses inside a kernel panic instead: they are
+/// kernel bugs, equivalent to a CUDA fault, and a panic carries the faulting
+/// address straight to the failing test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device allocation did not fit in the remaining memory.
+    AllocTooLarge {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+        /// Which memory space was exhausted (`"global"` or `"constant"`).
+        space: &'static str,
+    },
+    /// A launch configuration is impossible on the target architecture
+    /// (zero threads, too much shared memory, occupancy of zero, ...).
+    InvalidLaunch(String),
+    /// A host transfer referenced a range outside the buffer.
+    HostTransferOutOfBounds {
+        /// First byte accessed.
+        offset: u64,
+        /// Length of the access in bytes.
+        len: u64,
+        /// Size of the buffer in bytes.
+        buffer: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::AllocTooLarge {
+                requested,
+                available,
+                space,
+            } => write!(
+                f,
+                "{space} memory allocation of {requested} bytes exceeds {available} available"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::HostTransferOutOfBounds {
+                offset,
+                len,
+                buffer,
+            } => write!(
+                f,
+                "host transfer of {len} bytes at offset {offset} exceeds buffer of {buffer} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias for simulator results.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::AllocTooLarge {
+            requested: 100,
+            available: 10,
+            space: "global",
+        };
+        assert!(e.to_string().contains("100"));
+        let e = SimError::InvalidLaunch("zero threads".into());
+        assert!(e.to_string().contains("zero threads"));
+        let e = SimError::HostTransferOutOfBounds {
+            offset: 4,
+            len: 8,
+            buffer: 8,
+        };
+        assert!(e.to_string().contains("offset 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,457 @@
+//! Device handle and kernel launching.
+//!
+//! [`Gpu`] owns the device memories; [`Gpu::launch`] runs a kernel closure
+//! over a grid of thread blocks, gathers [`KernelStats`], and evaluates the
+//! [timing model](crate::timing).
+//!
+//! # Sampled execution
+//!
+//! Launches whose blocks are access-pattern homogeneous (every tiled kernel
+//! in this workspace) can run in [`SimMode::Sampled`] mode: a representative
+//! subset of blocks executes functionally, and the counters are scaled to
+//! the full grid. This keeps large parameter sweeps tractable; tests verify
+//! on small grids that sampled counters match full execution.
+
+use crate::block::{BlockCtx, BlockDims};
+use crate::error::{Result, SimError};
+use crate::mem::{ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
+use crate::spec::GpuSpec;
+use crate::stats::KernelStats;
+use crate::timing::{self, OverlapMode, Timing};
+
+/// Launch geometry and resource declaration for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    /// Kernel name (reported in errors and harness output).
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block (<= 1024).
+    pub threads_per_block: usize,
+    /// Shared memory per block in bytes.
+    pub smem_bytes: u32,
+    /// Architectural registers per thread (occupancy model input; the
+    /// kernels document how their estimates are derived).
+    pub regs_per_thread: u32,
+    /// Software-pipelining quality of the kernel.
+    pub overlap: OverlapMode,
+}
+
+impl LaunchConfig {
+    /// Creates a config with no shared memory, a 32-register estimate and
+    /// [`OverlapMode::Prefetch`].
+    pub fn new(name: impl Into<String>, blocks: usize, threads_per_block: usize) -> Self {
+        LaunchConfig {
+            name: name.into(),
+            blocks,
+            threads_per_block,
+            smem_bytes: 0,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+        }
+    }
+
+    /// Sets the shared-memory allocation per block.
+    pub fn with_smem(mut self, bytes: u32) -> Self {
+        self.smem_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-thread register estimate.
+    pub fn with_regs(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Sets the overlap mode.
+    pub fn with_overlap(mut self, overlap: OverlapMode) -> Self {
+        self.overlap = overlap;
+        self
+    }
+}
+
+/// How much of the grid to execute functionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimMode {
+    /// Execute every block (full functional fidelity).
+    Full,
+    /// Execute `n` evenly spaced blocks and scale the counters to the full
+    /// grid. Output buffers are only written for the executed blocks.
+    Sampled(usize),
+    /// Execute exactly these block ids and scale the counters.
+    Blocks(Vec<usize>),
+}
+
+impl SimMode {
+    fn executed_ids(&self, blocks: usize) -> Vec<usize> {
+        match self {
+            SimMode::Full => (0..blocks).collect(),
+            SimMode::Sampled(n) => {
+                let n = (*n).clamp(1, blocks);
+                let mut ids: Vec<usize> = (0..n)
+                    .map(|i| ((i as f64 + 0.5) * blocks as f64 / n as f64) as usize)
+                    .map(|b| b.min(blocks - 1))
+                    .collect();
+                ids.dedup();
+                ids
+            }
+            SimMode::Blocks(ids) => {
+                let mut ids: Vec<usize> = ids.iter().copied().filter(|&b| b < blocks).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+        }
+    }
+}
+
+/// Result of one kernel launch: exact (or scaled) counters, modeled timing,
+/// and which blocks actually executed.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Event counters for the full grid (scaled if sampled).
+    pub stats: KernelStats,
+    /// Timing-model evaluation of those counters.
+    pub timing: Timing,
+    /// Ids of the blocks that executed functionally.
+    pub executed_blocks: Vec<usize>,
+}
+
+impl LaunchReport {
+    /// Achieved throughput in GFlop/s (shorthand for `timing.gflops`).
+    pub fn gflops(&self) -> f64 {
+        self.timing.gflops
+    }
+
+    /// Modeled wall time in seconds (shorthand for `timing.t_total`).
+    pub fn seconds(&self) -> f64 {
+        self.timing.t_total
+    }
+}
+
+/// A simulated GPU: an architecture plus its global and constant memories.
+///
+/// # Examples
+///
+/// Launch a trivial copy kernel and inspect its traffic:
+///
+/// ```
+/// use kconv_sim::{Gpu, GpuSpec, LaunchConfig, LaneMask, SimMode, lane_addrs};
+///
+/// # fn main() -> Result<(), kconv_sim::SimError> {
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let src = gpu.alloc_f32(32)?;
+/// let dst = gpu.alloc_f32(32)?;
+/// gpu.upload_f32(src, &[1.0; 32])?;
+///
+/// let cfg = LaunchConfig::new("copy", 1, 32);
+/// let report = gpu.launch(&cfg, SimMode::Full, |blk| {
+///     blk.each_warp(|w| {
+///         let a = lane_addrs(src.f32_addr(0), 4);
+///         let v = w.ld_global::<1>(&a, LaneMask::ALL);
+///         let b = lane_addrs(dst.f32_addr(0), 4);
+///         w.st_global::<1>(&b, &v, LaneMask::ALL);
+///     });
+/// })?;
+///
+/// assert_eq!(gpu.download_f32(dst)?, vec![1.0; 32]);
+/// assert_eq!(report.stats.gm_ld_transactions, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    spec: GpuSpec,
+    gm: GlobalMemory,
+    cm: ConstantMemory,
+}
+
+/// Device-memory capacity given to every [`Gpu`] (the K40m carries 12 GiB;
+/// backing pages are committed lazily).
+const GM_CAPACITY: u64 = 12 << 30;
+
+impl Gpu {
+    /// Creates a device with the given architecture.
+    pub fn new(spec: GpuSpec) -> Self {
+        let gm = GlobalMemory::new(
+            GM_CAPACITY,
+            spec.gm_transaction_bytes,
+            spec.gm_store_transaction_bytes,
+        );
+        let cm = ConstantMemory::new(spec.cm_bytes, spec.cm_line_bytes);
+        Gpu { spec, gm, cm }
+    }
+
+    /// The architecture of this device.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Allocates `len` `f32` elements of global memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AllocTooLarge`] when device memory is exhausted.
+    pub fn alloc_f32(&mut self, len: u64) -> Result<GmBuf> {
+        self.gm.alloc_f32(len)
+    }
+
+    /// Allocates `bytes` bytes of global memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AllocTooLarge`] when device memory is exhausted.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Result<GmBuf> {
+        self.gm.alloc(bytes)
+    }
+
+    /// Host-to-device copy into the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if `values` exceeds the
+    /// buffer.
+    pub fn upload_f32(&mut self, buf: GmBuf, values: &[f32]) -> Result<()> {
+        self.gm.write_f32s(buf, 0, values)
+    }
+
+    /// Host-to-device copy into `buf` starting at element `elem_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the range exceeds
+    /// the buffer.
+    pub fn upload_f32_at(&mut self, buf: GmBuf, elem_offset: u64, values: &[f32]) -> Result<()> {
+        self.gm.write_f32s(buf, elem_offset, values)
+    }
+
+    /// Device-to-host copy of the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] on descriptor
+    /// corruption (cannot normally happen for a valid `GmBuf`).
+    pub fn download_f32(&self, buf: GmBuf) -> Result<Vec<f32>> {
+        self.gm.read_f32s(buf, 0, buf.len_f32() as usize)
+    }
+
+    /// Device-to-host copy of `len` elements starting at `elem_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the range exceeds
+    /// the buffer.
+    pub fn download_f32_at(&self, buf: GmBuf, elem_offset: u64, len: usize) -> Result<Vec<f32>> {
+        self.gm.read_f32s(buf, elem_offset, len)
+    }
+
+    /// Fills a buffer with a constant (host-side).
+    pub fn fill_f32(&mut self, buf: GmBuf, value: f32) {
+        self.gm.fill_f32(buf, value)
+    }
+
+    /// Writes filter data (or any constants) into constant memory at
+    /// element `elem_offset` (models `cudaMemcpyToSymbol`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the data does not
+    /// fit in constant memory.
+    pub fn write_const_f32(&mut self, elem_offset: u64, values: &[f32]) -> Result<()> {
+        self.cm.write_f32s(elem_offset, values)
+    }
+
+    /// Launches `kernel` over `cfg.blocks` thread blocks.
+    ///
+    /// The closure runs once per executed block (see [`SimMode`]); it
+    /// receives a [`BlockCtx`] through which all device traffic flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidLaunch`] if the configuration cannot run
+    /// on this architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel performs an out-of-bounds device access (a
+    /// kernel bug, mirroring a device fault).
+    pub fn launch(
+        &mut self,
+        cfg: &LaunchConfig,
+        mode: SimMode,
+        mut kernel: impl FnMut(&mut BlockCtx),
+    ) -> Result<LaunchReport> {
+        // Validate before running anything.
+        timing::occupancy(&self.spec, cfg)?;
+        let ids = mode.executed_ids(cfg.blocks);
+        if ids.is_empty() {
+            return Err(SimError::InvalidLaunch(format!(
+                "kernel {}: no blocks selected for execution",
+                cfg.name
+            )));
+        }
+        self.cm.reset_cache();
+        let mut stats = KernelStats::default();
+        for &block_id in &ids {
+            self.gm.reset_ro_cache();
+            let dims = BlockDims {
+                block_id,
+                grid_blocks: cfg.blocks,
+                threads: cfg.threads_per_block,
+            };
+            let smem = SharedMemory::new(cfg.smem_bytes, self.spec.smem_banks, self.spec.bank_width);
+            let mut blk = BlockCtx::new(dims, &mut self.gm, &mut self.cm, smem, &mut stats);
+            kernel(&mut blk);
+            stats.blocks_executed += 1;
+        }
+        let stats = if ids.len() == cfg.blocks {
+            let mut s = stats;
+            s.blocks_total = cfg.blocks as u64;
+            s
+        } else {
+            stats.scaled_to_blocks(cfg.blocks as u64, ids.len() as u64)
+        };
+        let timing = timing::evaluate(&self.spec, cfg, &stats)?;
+        Ok(LaunchReport {
+            stats,
+            timing,
+            executed_blocks: ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{lane_addrs, LaneMask};
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::kepler_k40m())
+    }
+
+    /// A kernel where each block writes `block_id` to its slot and does a
+    /// fixed amount of counted work.
+    fn id_kernel(dst: GmBuf) -> impl FnMut(&mut BlockCtx) {
+        move |blk: &mut BlockCtx| {
+            let id = blk.dims.block_id;
+            blk.each_warp(|w| {
+                let addrs = lane_addrs(dst.f32_addr(id as u64 * 32), 4);
+                let vals = [[id as f32]; 32];
+                w.st_global::<1>(&addrs, &vals, LaneMask::ALL);
+                w.count_fma(32);
+            });
+            blk.sync();
+        }
+    }
+
+    #[test]
+    fn full_mode_runs_every_block() {
+        let mut g = gpu();
+        let dst = g.alloc_f32(8 * 32).unwrap();
+        let cfg = LaunchConfig::new("id", 8, 32);
+        let r = g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
+        assert_eq!(r.executed_blocks.len(), 8);
+        assert_eq!(r.stats.blocks_executed, 8);
+        assert_eq!(r.stats.fma_lane_ops, 8 * 32);
+        for b in 0..8 {
+            assert_eq!(
+                g.download_f32_at(dst, b * 32, 1).unwrap()[0],
+                b as f32,
+                "block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_mode_scales_counters_exactly_for_homogeneous_kernels() {
+        let mut g = gpu();
+        let dst = g.alloc_f32(64 * 32).unwrap();
+        let cfg = LaunchConfig::new("id", 64, 32);
+        let full = g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
+        let sampled = g
+            .launch(&cfg, SimMode::Sampled(4), id_kernel(dst))
+            .unwrap();
+        assert_eq!(sampled.executed_blocks.len(), 4);
+        assert_eq!(sampled.stats.fma_lane_ops, full.stats.fma_lane_ops);
+        assert_eq!(sampled.stats.gm_st_bytes_bus, full.stats.gm_st_bytes_bus);
+        assert_eq!(sampled.stats.barriers, full.stats.barriers);
+        assert_eq!(sampled.stats.blocks_total, 64);
+        // Timing of a homogeneous kernel is identical under sampling.
+        assert!((sampled.seconds() - full.seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_ids_are_spread_and_clamped() {
+        assert_eq!(SimMode::Sampled(4).executed_ids(64), vec![8, 24, 40, 56]);
+        assert_eq!(SimMode::Sampled(10).executed_ids(3), vec![0, 1, 2]);
+        assert_eq!(SimMode::Sampled(1).executed_ids(100), vec![50]);
+    }
+
+    #[test]
+    fn explicit_blocks_mode() {
+        let mut g = gpu();
+        let dst = g.alloc_f32(16 * 32).unwrap();
+        let cfg = LaunchConfig::new("id", 16, 32);
+        let r = g
+            .launch(&cfg, SimMode::Blocks(vec![3, 3, 7, 99]), id_kernel(dst))
+            .unwrap();
+        assert_eq!(r.executed_blocks, vec![3, 7]);
+        assert_eq!(g.download_f32_at(dst, 3 * 32, 1).unwrap()[0], 3.0);
+        assert_eq!(g.download_f32_at(dst, 7 * 32, 1).unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn empty_selection_is_an_error() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("noop", 4, 32);
+        let err = g.launch(&cfg, SimMode::Blocks(vec![100]), |_| {});
+        assert!(matches!(err, Err(SimError::InvalidLaunch(_))));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_execution() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("bad", 1, 2048);
+        let mut ran = false;
+        let err = g.launch(&cfg, SimMode::Full, |_| ran = true);
+        assert!(err.is_err());
+        assert!(!ran);
+    }
+
+    #[test]
+    fn constant_cache_reset_between_launches() {
+        let mut g = gpu();
+        g.write_const_f32(0, &[1.0]).unwrap();
+        let cfg = LaunchConfig::new("cm", 1, 32);
+        let kernel = |blk: &mut BlockCtx| {
+            blk.each_warp(|w| {
+                w.ld_const(&crate::warp::lane_addrs_uniform(0), LaneMask::ALL);
+            });
+        };
+        let a = g.launch(&cfg, SimMode::Full, kernel).unwrap();
+        let b = g.launch(&cfg, SimMode::Full, kernel).unwrap();
+        assert_eq!(a.stats.cm_misses, 1);
+        assert_eq!(b.stats.cm_misses, 1);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = LaunchConfig::new("k", 2, 64)
+            .with_smem(1024)
+            .with_regs(64)
+            .with_overlap(OverlapMode::Serial);
+        assert_eq!(cfg.smem_bytes, 1024);
+        assert_eq!(cfg.regs_per_thread, 64);
+        assert_eq!(cfg.overlap, OverlapMode::Serial);
+    }
+
+    #[test]
+    fn report_shorthands() {
+        let mut g = gpu();
+        let dst = g.alloc_f32(32).unwrap();
+        let cfg = LaunchConfig::new("id", 1, 32);
+        let r = g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
+        assert_eq!(r.gflops(), r.timing.gflops);
+        assert_eq!(r.seconds(), r.timing.t_total);
+    }
+}

@@ -1,0 +1,203 @@
+//! Constant memory with the warp broadcast mechanism and a simple
+//! constant-cache model.
+//!
+//! Constant memory is optimized for the case where **all lanes of a warp
+//! read the same address**: the value is broadcast in a single cycle, and
+//! when served from the constant cache the read is folded into the consuming
+//! instruction (the common `c[bank][offset]` operand on real hardware), so a
+//! fully-uniform cached read costs *zero* extra pipeline cycles here.
+//! Divergent addresses serialize: a warp read of `d` distinct addresses
+//! costs `d - 1` extra cycles. Cache misses are charged one line fetch of
+//! global-memory traffic by the timing model.
+//!
+//! The paper's special-case kernel keeps its filters in constant memory and
+//! is deliberately structured so that "all the threads within a warp always
+//! compute convolutions using the same filter at the same time" — i.e. the
+//! zero-cost path.
+
+use std::collections::HashSet;
+
+use crate::error::{Result, SimError};
+use crate::spec::WARP_SIZE;
+use crate::stats::KernelStats;
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// Constant memory: a small read-only (from the device) space with broadcast
+/// semantics and a line-granular cache model.
+#[derive(Debug)]
+pub struct ConstantMemory {
+    data: Vec<u8>,
+    line_bytes: u64,
+    touched_lines: HashSet<u64>,
+}
+
+impl ConstantMemory {
+    /// Creates a constant memory of `bytes` bytes with `line_bytes` cache
+    /// lines.
+    pub fn new(bytes: u64, line_bytes: u64) -> Self {
+        ConstantMemory {
+            data: vec![0; bytes as usize],
+            line_bytes,
+            touched_lines: HashSet::new(),
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Host write of consecutive `f32`s starting at element `elem_offset`
+    /// (models `cudaMemcpyToSymbol`; uncounted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the range does not
+    /// fit in constant memory.
+    pub fn write_f32s(&mut self, elem_offset: u64, values: &[f32]) -> Result<()> {
+        let byte_off = elem_offset * 4;
+        let byte_len = values.len() as u64 * 4;
+        if byte_off + byte_len > self.data.len() as u64 {
+            return Err(SimError::HostTransferOutOfBounds {
+                offset: byte_off,
+                len: byte_len,
+                buffer: self.data.len() as u64,
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            let p = byte_off as usize + i * 4;
+            self.data[p..p + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// Resets the cache-residency model (called by the launcher at the start
+    /// of each kernel so first-touch misses are attributed per launch).
+    pub(crate) fn reset_cache(&mut self) {
+        self.touched_lines.clear();
+    }
+
+    /// Device warp load of one `f32` per lane.
+    ///
+    /// Cost model: `d` distinct active addresses cost `d - 1` serialization
+    /// cycles (a fully-uniform read is free); each first-touched cache line
+    /// counts one miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane reads outside constant memory.
+    pub(crate) fn warp_ld_f32(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [f32; WARP_SIZE] {
+        let mut out = [0.0f32; WARP_SIZE];
+        let mut distinct = [u64::MAX; WARP_SIZE];
+        let mut n = 0usize;
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            assert!(
+                (a + 4) as usize <= self.data.len(),
+                "constant-memory access out of bounds: addr {a}, size {}",
+                self.data.len()
+            );
+            out[lane] = f32::from_le_bytes(
+                self.data[a as usize..a as usize + 4].try_into().unwrap(),
+            );
+            if !distinct[..n].contains(&a) {
+                distinct[n] = a;
+                n += 1;
+                let line = a / self.line_bytes;
+                if self.touched_lines.insert(line) {
+                    stats.cm_misses += 1;
+                }
+            }
+        }
+        stats.cm_requests += 1;
+        stats.cm_cycles += (n as u64).saturating_sub(1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{lane_addrs, lane_addrs_uniform};
+
+    fn cm() -> ConstantMemory {
+        ConstantMemory::new(64 * 1024, 256)
+    }
+
+    #[test]
+    fn host_write_and_uniform_read() {
+        let mut m = cm();
+        m.write_f32s(4, &[1.5, 2.5]).unwrap();
+        let mut stats = KernelStats::default();
+        let out = m.warp_ld_f32(&mut stats, &lane_addrs_uniform(4 * 4), LaneMask::ALL);
+        assert!(out.iter().all(|&v| v == 1.5));
+        // Uniform cached read is free apart from the request count.
+        assert_eq!(stats.cm_cycles, 0);
+        assert_eq!(stats.cm_requests, 1);
+        assert_eq!(stats.cm_misses, 1); // first touch of the line
+    }
+
+    #[test]
+    fn second_touch_hits_cache() {
+        let mut m = cm();
+        m.write_f32s(0, &[3.0]).unwrap();
+        let mut stats = KernelStats::default();
+        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        assert_eq!(stats.cm_misses, 1);
+        assert_eq!(stats.cm_requests, 2);
+    }
+
+    #[test]
+    fn divergent_read_serializes() {
+        let mut m = cm();
+        let vals: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        m.write_f32s(0, &vals).unwrap();
+        let mut stats = KernelStats::default();
+        let out = m.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::ALL);
+        assert_eq!(out[7], 7.0);
+        // 32 distinct addresses: 31 serialization cycles.
+        assert_eq!(stats.cm_cycles, 31);
+        // 128 bytes within one 256-byte line: one miss.
+        assert_eq!(stats.cm_misses, 1);
+    }
+
+    #[test]
+    fn masked_lanes_do_not_serialize() {
+        let mut m = cm();
+        m.write_f32s(0, &[0.0; 32]).unwrap();
+        let mut stats = KernelStats::default();
+        m.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::first(2));
+        assert_eq!(stats.cm_cycles, 1);
+    }
+
+    #[test]
+    fn cache_reset_recounts_misses() {
+        let mut m = cm();
+        m.write_f32s(0, &[1.0]).unwrap();
+        let mut stats = KernelStats::default();
+        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        m.reset_cache();
+        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        assert_eq!(stats.cm_misses, 2);
+    }
+
+    #[test]
+    fn write_bounds_checked() {
+        let mut m = cm();
+        assert!(m.write_f32s(64 * 1024 / 4 - 1, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn device_oob_panics() {
+        let mut m = ConstantMemory::new(16, 256);
+        let mut stats = KernelStats::default();
+        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(16), LaneMask::ALL);
+    }
+}

@@ -1,0 +1,634 @@
+//! Global (device DRAM) memory with per-warp coalescing analysis.
+//!
+//! A warp memory instruction touching a set of byte ranges is serviced in
+//! units of [`GpuSpec::gm_transaction_bytes`](crate::GpuSpec)-sized aligned
+//! segments (128 B on all modeled parts). The number of distinct segments is
+//! the *transaction count*; fully coalesced accesses (32 contiguous floats)
+//! touch exactly one segment, scattered accesses touch up to 32.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::error::{Result, SimError};
+use crate::spec::WARP_SIZE;
+use crate::stats::KernelStats;
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// A handle to an allocation inside [`GlobalMemory`].
+///
+/// Buffers are plain `(offset, len)` descriptors; copying one does not copy
+/// the underlying data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GmBuf {
+    offset: u64,
+    bytes: u64,
+}
+
+impl GmBuf {
+    /// Absolute device byte address of element `index` assuming elements of
+    /// `size` bytes.
+    ///
+    /// This is the address-arithmetic helper kernels use; bounds are checked
+    /// at access time by [`GlobalMemory`].
+    pub fn addr_of(&self, index: u64, size: u64) -> u64 {
+        self.offset + index * size
+    }
+
+    /// Absolute device byte address of `f32` element `index`.
+    pub fn f32_addr(&self, index: u64) -> u64 {
+        self.addr_of(index, 4)
+    }
+
+    /// A sub-buffer view: `bytes` bytes starting `byte_offset` into this
+    /// buffer. Views alias the parent's storage (copying a `GmBuf` never
+    /// copies data) — the device-side tool for batched layouts where one
+    /// allocation holds per-image slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn subbuffer(&self, byte_offset: u64, bytes: u64) -> GmBuf {
+        assert!(
+            byte_offset + bytes <= self.bytes,
+            "subbuffer {byte_offset}+{bytes} exceeds buffer of {} bytes",
+            self.bytes
+        );
+        GmBuf {
+            offset: self.offset + byte_offset,
+            bytes,
+        }
+    }
+
+    /// First byte address of the buffer.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of `f32` elements that fit in the buffer.
+    pub fn len_f32(&self) -> u64 {
+        self.bytes / 4
+    }
+}
+
+/// Byte-addressable device DRAM with transaction-level instrumentation.
+///
+/// Host-side transfers ([`GlobalMemory::write_f32s`],
+/// [`GlobalMemory::read_f32s`]) move data without recording statistics —
+/// they model `cudaMemcpy`, which the paper's measurements exclude.
+/// Device-side warp accesses are only reachable through
+/// [`WarpCtx`](crate::WarpCtx) and are always recorded.
+#[derive(Debug)]
+pub struct GlobalMemory {
+    data: Vec<u8>,
+    next: u64,
+    capacity: u64,
+    ld_transaction_bytes: u64,
+    st_transaction_bytes: u64,
+    ro_lines: HashSet<u64>,
+    ro_fifo: VecDeque<u64>,
+    ro_capacity_lines: usize,
+}
+
+/// Alignment applied to every allocation (matches `cudaMalloc`'s 256-byte
+/// guarantee, which kernels rely on for vectorized accesses).
+const ALLOC_ALIGN: u64 = 256;
+
+impl GlobalMemory {
+    /// Creates a device memory of `capacity` bytes serviced in
+    /// `ld_transaction_bytes` load segments and `st_transaction_bytes`
+    /// store sectors.
+    ///
+    /// Backing storage is committed lazily by the OS; creating a large
+    /// device memory is cheap until pages are touched.
+    pub fn new(capacity: u64, ld_transaction_bytes: u64, st_transaction_bytes: u64) -> Self {
+        assert!(
+            ld_transaction_bytes.is_power_of_two() && st_transaction_bytes.is_power_of_two(),
+            "transaction sizes must be powers of two"
+        );
+        GlobalMemory {
+            data: Vec::new(),
+            next: 0,
+            capacity,
+            ld_transaction_bytes,
+            st_transaction_bytes,
+            ro_lines: HashSet::new(),
+            ro_fifo: VecDeque::new(),
+            // Kepler's 48 KiB read-only/texture cache per SM.
+            ro_capacity_lines: (48 * 1024 / ld_transaction_bytes) as usize,
+        }
+    }
+
+    /// Clears the read-only cache (called per thread block: only
+    /// intra-block texture reuse is dependable on real hardware).
+    pub(crate) fn reset_ro_cache(&mut self) {
+        self.ro_lines.clear();
+        self.ro_fifo.clear();
+    }
+
+    /// Allocates `bytes` bytes, 256-byte aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AllocTooLarge`] if the allocation does not fit.
+    pub fn alloc(&mut self, bytes: u64) -> Result<GmBuf> {
+        let offset = self.next.next_multiple_of(ALLOC_ALIGN);
+        let end = offset.checked_add(bytes).ok_or(SimError::AllocTooLarge {
+            requested: bytes,
+            available: self.capacity - self.next.min(self.capacity),
+            space: "global",
+        })?;
+        if end > self.capacity {
+            return Err(SimError::AllocTooLarge {
+                requested: bytes,
+                available: self.capacity - self.next.min(self.capacity),
+                space: "global",
+            });
+        }
+        if self.data.len() < end as usize {
+            self.data.resize(end as usize, 0);
+        }
+        self.next = end;
+        Ok(GmBuf { offset, bytes })
+    }
+
+    /// Allocates a buffer of `len` `f32` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AllocTooLarge`] if the allocation does not fit.
+    pub fn alloc_f32(&mut self, len: u64) -> Result<GmBuf> {
+        self.alloc(len * 4)
+    }
+
+    /// Bytes allocated so far (including alignment padding).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next
+    }
+
+    /// Host write of consecutive `f32`s starting at element `elem_offset` of
+    /// `buf` (models `cudaMemcpy` host-to-device; not counted in stats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the range exceeds
+    /// the buffer.
+    pub fn write_f32s(&mut self, buf: GmBuf, elem_offset: u64, values: &[f32]) -> Result<()> {
+        let byte_off = elem_offset * 4;
+        let byte_len = values.len() as u64 * 4;
+        if byte_off + byte_len > buf.bytes {
+            return Err(SimError::HostTransferOutOfBounds {
+                offset: byte_off,
+                len: byte_len,
+                buffer: buf.bytes,
+            });
+        }
+        let start = (buf.offset + byte_off) as usize;
+        for (i, v) in values.iter().enumerate() {
+            self.data[start + i * 4..start + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// Host read of `len` consecutive `f32`s starting at element
+    /// `elem_offset` of `buf` (models `cudaMemcpy` device-to-host).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the range exceeds
+    /// the buffer.
+    pub fn read_f32s(&self, buf: GmBuf, elem_offset: u64, len: usize) -> Result<Vec<f32>> {
+        let byte_off = elem_offset * 4;
+        let byte_len = len as u64 * 4;
+        if byte_off + byte_len > buf.bytes {
+            return Err(SimError::HostTransferOutOfBounds {
+                offset: byte_off,
+                len: byte_len,
+                buffer: buf.bytes,
+            });
+        }
+        let start = (buf.offset + byte_off) as usize;
+        Ok((0..len)
+            .map(|i| {
+                f32::from_le_bytes(self.data[start + i * 4..start + i * 4 + 4].try_into().unwrap())
+            })
+            .collect())
+    }
+
+    /// Fills an entire buffer with a constant (host-side, uncounted).
+    pub fn fill_f32(&mut self, buf: GmBuf, value: f32) {
+        let start = buf.offset as usize;
+        let end = (buf.offset + buf.bytes) as usize;
+        for chunk in self.data[start..end].chunks_exact_mut(4) {
+            chunk.copy_from_slice(&value.to_le_bytes());
+        }
+    }
+
+    fn check_device_range(&self, addr: u64, width: u64) {
+        assert!(
+            addr + width <= self.next && self.data.len() as u64 >= addr + width,
+            "device global-memory access out of bounds: addr {addr} width {width}, allocated {}",
+            self.next
+        );
+    }
+
+    /// Device warp load of `V` consecutive `f32`s per lane (a
+    /// `float`/`float2`/`float4` load for `V` = 1/2/4). Records one request
+    /// and the coalesced transaction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory
+    /// (a kernel bug, equivalent to a device fault).
+    pub(crate) fn warp_ld<const V: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let width = (V * 4) as u64;
+        let mut out = [[0.0f32; V]; WARP_SIZE];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_device_range(a, width);
+            for (v, slot) in out[lane].iter_mut().enumerate() {
+                let p = (a as usize) + v * 4;
+                *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+            }
+        }
+        let segs = segment_count(addrs, width, mask, self.ld_transaction_bytes);
+        stats.gm_ld_requests += 1;
+        stats.gm_ld_transactions += segs;
+        stats.gm_ld_bytes_bus += segs * self.ld_transaction_bytes;
+        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
+        out
+    }
+
+    /// Device warp load of `V` consecutive `f32`s per lane through the
+    /// **read-only (texture) path**: lines already touched by this thread
+    /// block are served from the per-SM read-only cache without bus
+    /// traffic. This is how cuDNN streams its implicit-`im2col` patches,
+    /// whose `K*K`-fold overlap would otherwise all hit DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_ld_ro<const V: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let width = (V * 4) as u64;
+        let mut out = [[0.0f32; V]; WARP_SIZE];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_device_range(a, width);
+            for (v, slot) in out[lane].iter_mut().enumerate() {
+                let p = (a as usize) + v * 4;
+                *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+            }
+        }
+        // Count transactions only for lines missing from the block cache.
+        let seg = self.ld_transaction_bytes;
+        let mut lines = [u64::MAX; 64];
+        let mut n = 0usize;
+        for lane in mask.iter() {
+            let first = addrs[lane] / seg;
+            let last = (addrs[lane] + width - 1) / seg;
+            for l in first..=last {
+                if !lines[..n].contains(&l) {
+                    lines[n] = l;
+                    n += 1;
+                }
+            }
+        }
+        let mut misses = 0u64;
+        for &l in &lines[..n] {
+            if self.ro_lines.contains(&l) {
+                stats.gm_ro_hits += 1;
+            } else {
+                misses += 1;
+                self.ro_lines.insert(l);
+                self.ro_fifo.push_back(l);
+                if self.ro_fifo.len() > self.ro_capacity_lines {
+                    if let Some(old) = self.ro_fifo.pop_front() {
+                        self.ro_lines.remove(&old);
+                    }
+                }
+            }
+        }
+        stats.gm_ld_requests += 1;
+        stats.gm_ld_transactions += misses;
+        stats.gm_ld_bytes_bus += misses * seg;
+        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
+        out
+    }
+
+    /// Device warp store of `V` consecutive `f32`s per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_st<const V: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        values: &[[f32; V]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let width = (V * 4) as u64;
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_device_range(a, width);
+            for (v, val) in values[lane].iter().enumerate() {
+                let p = (a as usize) + v * 4;
+                self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+            }
+        }
+        let segs = segment_count(addrs, width, mask, self.st_transaction_bytes);
+        stats.gm_st_requests += 1;
+        stats.gm_st_transactions += segs;
+        stats.gm_st_bytes_bus += segs * self.st_transaction_bytes;
+        stats.gm_st_bytes_useful += mask.count() as u64 * width;
+    }
+
+    /// Device warp load of `W` raw bytes per lane (used by the short-data-
+    /// type extension: `W` = 2 models `fp16`, `W` = 1 models `int8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_ld_bytes<const W: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[u8; W]; WARP_SIZE] {
+        let width = W as u64;
+        let mut out = [[0u8; W]; WARP_SIZE];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_device_range(a, width);
+            out[lane].copy_from_slice(&self.data[a as usize..a as usize + W]);
+        }
+        let segs = segment_count(addrs, width, mask, self.ld_transaction_bytes);
+        stats.gm_ld_requests += 1;
+        stats.gm_ld_transactions += segs;
+        stats.gm_ld_bytes_bus += segs * self.ld_transaction_bytes;
+        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
+        out
+    }
+
+    /// Device warp store of `W` raw bytes per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_st_bytes<const W: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        values: &[[u8; W]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let width = W as u64;
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_device_range(a, width);
+            self.data[a as usize..a as usize + W].copy_from_slice(&values[lane]);
+        }
+        let segs = segment_count(addrs, width, mask, self.st_transaction_bytes);
+        stats.gm_st_requests += 1;
+        stats.gm_st_transactions += segs;
+        stats.gm_st_bytes_bus += segs * self.st_transaction_bytes;
+        stats.gm_st_bytes_useful += mask.count() as u64 * width;
+    }
+}
+
+/// Number of distinct aligned segments of `seg` bytes covered by the active
+/// lanes' `[addr, addr + width)` ranges — the global-memory transaction
+/// count for one warp instruction.
+fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
+    // At most 32 lanes x (width/seg + 1) segments; widths here are <= 16 B
+    // and segments 128 B, so 64 slots are plenty.
+    let mut segs = [u64::MAX; 64];
+    let mut n = 0usize;
+    for lane in mask.iter() {
+        let first = addrs[lane] / seg;
+        let last = (addrs[lane] + width - 1) / seg;
+        for s in first..=last {
+            if !segs[..n].contains(&s) {
+                segs[n] = s;
+                n += 1;
+            }
+        }
+    }
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform};
+
+    fn gm() -> GlobalMemory {
+        GlobalMemory::new(1 << 20, 128, 32)
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_bounded() {
+        let mut m = gm();
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
+        assert_eq!(a.offset() % 256, 0);
+        assert_eq!(b.offset() % 256, 0);
+        assert!(b.offset() >= a.offset() + 100);
+        assert!(m.alloc(2 << 20).is_err());
+    }
+
+    #[test]
+    fn subbuffer_views_alias_storage() {
+        let mut m = gm();
+        let buf = m.alloc_f32(16).unwrap();
+        m.write_f32s(buf, 0, &(0..16).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
+        let view = buf.subbuffer(8 * 4, 4 * 4);
+        assert_eq!(m.read_f32s(view, 0, 4).unwrap(), vec![8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(view.len_f32(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn subbuffer_bounds_checked() {
+        let mut m = gm();
+        let buf = m.alloc_f32(4).unwrap();
+        buf.subbuffer(8, 16);
+    }
+
+    #[test]
+    fn host_roundtrip() {
+        let mut m = gm();
+        let buf = m.alloc_f32(8).unwrap();
+        let vals: Vec<f32> = (0..8).map(|i| i as f32 * 1.5).collect();
+        m.write_f32s(buf, 0, &vals).unwrap();
+        assert_eq!(m.read_f32s(buf, 0, 8).unwrap(), vals);
+        // Partial read with offset.
+        assert_eq!(m.read_f32s(buf, 2, 2).unwrap(), vec![3.0, 4.5]);
+    }
+
+    #[test]
+    fn host_transfer_bounds_checked() {
+        let mut m = gm();
+        let buf = m.alloc_f32(4).unwrap();
+        assert!(m.write_f32s(buf, 3, &[0.0, 0.0]).is_err());
+        assert!(m.read_f32s(buf, 0, 5).is_err());
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let mut m = gm();
+        let buf = m.alloc_f32(16).unwrap();
+        m.fill_f32(buf, 7.5);
+        assert!(m.read_f32s(buf, 0, 16).unwrap().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn coalesced_load_is_one_transaction() {
+        let mut m = gm();
+        let buf = m.alloc_f32(64).unwrap();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        m.write_f32s(buf, 0, &vals).unwrap();
+        let mut stats = KernelStats::default();
+        // 32 lanes x 4 B contiguous from a 128 B-aligned base = 1 segment.
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        let out = m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(out[5][0], 5.0);
+        assert_eq!(stats.gm_ld_transactions, 1);
+        assert_eq!(stats.gm_ld_bytes_bus, 128);
+        assert_eq!(stats.gm_ld_bytes_useful, 128);
+    }
+
+    #[test]
+    fn strided_load_touches_many_segments() {
+        let mut m = gm();
+        let buf = m.alloc_f32(32 * 64).unwrap();
+        let mut stats = KernelStats::default();
+        // Stride of 256 B: every lane in its own segment.
+        let addrs = lane_addrs(buf.f32_addr(0), 256);
+        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(stats.gm_ld_transactions, 32);
+        assert!((KernelStats {
+            gm_ld_bytes_bus: stats.gm_ld_bytes_bus,
+            gm_ld_bytes_useful: stats.gm_ld_bytes_useful,
+            ..Default::default()
+        })
+        .gm_coalescing_efficiency()
+            < 0.05);
+    }
+
+    #[test]
+    fn vector_load_counts_wide_segments() {
+        let mut m = gm();
+        let buf = m.alloc_f32(64).unwrap();
+        let mut stats = KernelStats::default();
+        // 32 lanes x float2 contiguous = 256 B = 2 segments.
+        let addrs = lane_addrs(buf.f32_addr(0), 8);
+        m.warp_ld::<2>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(stats.gm_ld_transactions, 2);
+        assert_eq!(stats.gm_ld_bytes_useful, 256);
+    }
+
+    #[test]
+    fn masked_lanes_do_not_count() {
+        let mut m = gm();
+        let buf = m.alloc_f32(64).unwrap();
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::first(8));
+        assert_eq!(stats.gm_ld_transactions, 1);
+        assert_eq!(stats.gm_ld_bytes_useful, 32);
+    }
+
+    #[test]
+    fn uniform_access_is_one_transaction() {
+        let mut m = gm();
+        let buf = m.alloc_f32(64).unwrap();
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs_uniform(buf.f32_addr(3));
+        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(stats.gm_ld_transactions, 1);
+    }
+
+    #[test]
+    fn store_roundtrips_and_counts() {
+        let mut m = gm();
+        let buf = m.alloc_f32(32).unwrap();
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
+        m.warp_st::<1>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        // 128 contiguous bytes through 32-byte store sectors.
+        assert_eq!(stats.gm_st_transactions, 4);
+        assert_eq!(stats.gm_st_bytes_bus, 128);
+        assert_eq!(m.read_f32s(buf, 31, 1).unwrap()[0], 31.0);
+    }
+
+    #[test]
+    fn misaligned_warp_spans_two_segments() {
+        let mut m = gm();
+        let buf = m.alloc_f32(64).unwrap();
+        let mut stats = KernelStats::default();
+        // Start 16 bytes into a segment: contiguous 128 B now straddles two.
+        let addrs = lane_addrs(buf.f32_addr(4), 4);
+        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(stats.gm_ld_transactions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn device_oob_panics() {
+        let mut m = gm();
+        let buf = m.alloc_f32(4).unwrap();
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL); // lanes 4..32 OOB
+    }
+
+    #[test]
+    fn byte_access_roundtrip() {
+        let mut m = gm();
+        let buf = m.alloc(64).unwrap();
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.offset(), 2);
+        let vals: [[u8; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as u8, 0xAB]);
+        m.warp_st_bytes::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        let back = m.warp_ld_bytes::<2>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(back[7], [7, 0xAB]);
+        // 64 B contiguous: two 32-byte store sectors, one 128-byte load
+        // segment.
+        assert_eq!(stats.gm_st_transactions, 2);
+        assert_eq!(stats.gm_ld_transactions, 1);
+        assert_eq!(stats.gm_ld_bytes_useful, 64);
+    }
+
+    #[test]
+    fn scattered_from_fn_addresses() {
+        let mut m = gm();
+        let buf = m.alloc_f32(1024).unwrap();
+        let mut stats = KernelStats::default();
+        // Two clusters of 16 lanes: 2 segments.
+        let addrs = lane_addrs_from(|l| {
+            if l < 16 {
+                buf.f32_addr(l as u64)
+            } else {
+                buf.f32_addr(512 + l as u64)
+            }
+        });
+        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(stats.gm_ld_transactions, 2);
+    }
+}

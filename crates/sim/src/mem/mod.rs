@@ -1,0 +1,14 @@
+//! Device memory spaces: global, shared and constant memory.
+//!
+//! Each space is both a **functional** store (kernels move real bytes through
+//! it) and an **instrumented** one (every warp access records transactions,
+//! bank-conflict replays or broadcast serializations into
+//! [`KernelStats`](crate::KernelStats)).
+
+mod constant;
+mod global;
+mod shared;
+
+pub use constant::ConstantMemory;
+pub use global::{GlobalMemory, GmBuf};
+pub use shared::{bank_conflict_cycles, BankAccessOutcome, SharedMemory};

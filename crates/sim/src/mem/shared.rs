@@ -1,0 +1,422 @@
+//! Shared memory with the banked-access model at the heart of the paper.
+//!
+//! Shared memory is divided into [`GpuSpec::smem_banks`](crate::GpuSpec)
+//! banks of [`BankWidth`](crate::BankWidth) bytes each, interleaved at
+//! bank-word granularity:
+//!
+//! ```text
+//! bank(addr) = (addr / bank_width) mod banks
+//! word(addr) =  addr / bank_width
+//! ```
+//!
+//! One warp access is serviced in *replays*: all lanes whose requests fall in
+//! distinct words of the same bank serialize, while lanes hitting the *same*
+//! word are served together by the broadcast mechanism. The access therefore
+//! costs `max over banks of (distinct words in that bank)` cycles, and each
+//! cycle can deliver at most `banks x bank_width` bytes.
+//!
+//! This reproduces the paper's Fig. 1 exactly: on Kepler (8-byte banks), 32
+//! lanes reading consecutive `float`s hit only 16 distinct words — the access
+//! completes in one cycle but moves 128 useful bytes where the fabric could
+//! deliver 256. The *matched* pattern (each lane reads a `float2`) moves the
+//! full 256 bytes per cycle, doubling effective bandwidth.
+
+use crate::spec::{BankWidth, WARP_SIZE};
+use crate::stats::KernelStats;
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// Result of analyzing one warp access against the bank model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAccessOutcome {
+    /// Cycles the access occupies the shared-memory pipeline (>= 1).
+    pub cycles: u64,
+    /// Whether at least two active lanes were served by a same-word
+    /// broadcast.
+    pub broadcast: bool,
+}
+
+/// Computes the cost of one warp access of `width` bytes per lane under the
+/// banked model.
+///
+/// Exposed publicly so that analytic code (and tests) can reason about
+/// access patterns without constructing a memory.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::{bank_conflict_cycles, lane_addrs, BankWidth, LaneMask};
+/// // Kepler, conventional pattern: 32 consecutive floats. One cycle
+/// // (no conflict) but only half the fabric is used.
+/// let out = bank_conflict_cycles(
+///     &lane_addrs(0, 4), 4, LaneMask::ALL, 32, BankWidth::B8);
+/// assert_eq!(out.cycles, 1);
+/// assert!(out.broadcast); // lane pairs share an 8-byte word
+///
+/// // Two-way conflict: lanes stride by a full row of 32 words.
+/// let out = bank_conflict_cycles(
+///     &lane_addrs(0, 32 * 8), 4, LaneMask::ALL, 32, BankWidth::B8);
+/// assert_eq!(out.cycles, 32); // every lane in bank 0, distinct words
+/// ```
+pub fn bank_conflict_cycles(
+    addrs: &WarpAddrs,
+    width: u64,
+    mask: LaneMask,
+    banks: u32,
+    bank_width: BankWidth,
+) -> BankAccessOutcome {
+    let bw = bank_width.bytes();
+    let nb = banks as u64;
+    debug_assert!(nb <= 64, "at most 64 banks supported");
+    // Distinct bank-words touched by the warp. A lane access can span
+    // several words (vector accesses); widths modeled are <= 16 B, so 32
+    // lanes cover at most 128 words before deduplication. Words repeat
+    // heavily in real patterns; a flat scan over a small array is fastest.
+    let mut words = [u64::MAX; 128];
+    let mut n = 0usize;
+    let mut broadcast = false;
+    for lane in mask.iter() {
+        let a = addrs[lane];
+        let first = a / bw;
+        let last = (a + width - 1) / bw;
+        for w in first..=last {
+            if words[..n].contains(&w) {
+                broadcast = true;
+            } else {
+                words[n] = w;
+                n += 1;
+            }
+        }
+    }
+    let mut per_bank = [0u8; 64];
+    let mut max_words = 1u8;
+    for &w in &words[..n] {
+        let b = (w % nb) as usize;
+        per_bank[b] += 1;
+        max_words = max_words.max(per_bank[b]);
+    }
+    BankAccessOutcome {
+        cycles: u64::from(max_words),
+        broadcast,
+    }
+}
+
+/// Per-thread-block shared memory (functional store + bank instrumentation).
+///
+/// Created by the launcher for each block with the size requested in the
+/// [`LaunchConfig`](crate::LaunchConfig); device code addresses it with
+/// block-local byte offsets.
+#[derive(Debug)]
+pub struct SharedMemory {
+    data: Vec<u8>,
+    banks: u32,
+    bank_width: BankWidth,
+}
+
+impl SharedMemory {
+    /// Creates a zero-initialized shared memory of `bytes` bytes.
+    pub fn new(bytes: u32, banks: u32, bank_width: BankWidth) -> Self {
+        SharedMemory {
+            data: vec![0; bytes as usize],
+            banks,
+            bank_width,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check_range(&self, addr: u64, width: u64) {
+        assert!(
+            (addr + width) as usize <= self.data.len(),
+            "shared-memory access out of bounds: addr {addr} width {width}, size {}",
+            self.data.len()
+        );
+    }
+
+    /// Warp load of `V` consecutive `f32`s per lane from block-local byte
+    /// offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range exceeds the allocation.
+    pub(crate) fn warp_ld<const V: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let width = (V * 4) as u64;
+        let mut out = [[0.0f32; V]; WARP_SIZE];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_range(a, width);
+            for (v, slot) in out[lane].iter_mut().enumerate() {
+                let p = (a as usize) + v * 4;
+                *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+            }
+        }
+        let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
+        stats.sm_ld_requests += 1;
+        stats.sm_ld_cycles += outcome.cycles;
+        stats.sm_bytes_useful += mask.count() as u64 * width;
+        stats.sm_broadcasts += u64::from(outcome.broadcast);
+        stats.sm_conflict_histogram[KernelStats::conflict_bucket(outcome.cycles)] += 1;
+        out
+    }
+
+    /// Warp store of `V` consecutive `f32`s per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range exceeds the allocation.
+    pub(crate) fn warp_st<const V: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        values: &[[f32; V]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let width = (V * 4) as u64;
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_range(a, width);
+            for (v, val) in values[lane].iter().enumerate() {
+                let p = (a as usize) + v * 4;
+                self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+            }
+        }
+        let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
+        stats.sm_st_requests += 1;
+        stats.sm_st_cycles += outcome.cycles;
+        stats.sm_bytes_useful += mask.count() as u64 * width;
+        stats.sm_broadcasts += u64::from(outcome.broadcast);
+        stats.sm_conflict_histogram[KernelStats::conflict_bucket(outcome.cycles)] += 1;
+    }
+
+    /// Warp load of `W` raw bytes per lane (short-data-type extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range exceeds the allocation.
+    pub(crate) fn warp_ld_bytes<const W: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[u8; W]; WARP_SIZE] {
+        let width = W as u64;
+        let mut out = [[0u8; W]; WARP_SIZE];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_range(a, width);
+            out[lane].copy_from_slice(&self.data[a as usize..a as usize + W]);
+        }
+        let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
+        stats.sm_ld_requests += 1;
+        stats.sm_ld_cycles += outcome.cycles;
+        stats.sm_bytes_useful += mask.count() as u64 * width;
+        stats.sm_broadcasts += u64::from(outcome.broadcast);
+        stats.sm_conflict_histogram[KernelStats::conflict_bucket(outcome.cycles)] += 1;
+        out
+    }
+
+    /// Warp store of `W` raw bytes per lane (short-data-type extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range exceeds the allocation.
+    pub(crate) fn warp_st_bytes<const W: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        values: &[[u8; W]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let width = W as u64;
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            self.check_range(a, width);
+            self.data[a as usize..a as usize + W].copy_from_slice(&values[lane]);
+        }
+        let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
+        stats.sm_st_requests += 1;
+        stats.sm_st_cycles += outcome.cycles;
+        stats.sm_bytes_useful += mask.count() as u64 * width;
+        stats.sm_broadcasts += u64::from(outcome.broadcast);
+        stats.sm_conflict_histogram[KernelStats::conflict_bucket(outcome.cycles)] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform};
+
+    const B: u32 = 32;
+
+    #[test]
+    fn conventional_float_on_kepler_is_one_cycle_half_bandwidth() {
+        // Paper Fig. 1a: contiguous floats on 8-byte banks.
+        let out = bank_conflict_cycles(&lane_addrs(0, 4), 4, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 1);
+        // 128 useful bytes in a cycle that could carry 256: the mismatch.
+        let useful = 32u64 * 4;
+        let capacity = B as u64 * BankWidth::B8.bytes() * out.cycles;
+        assert_eq!(useful * 2, capacity);
+    }
+
+    #[test]
+    fn matched_float2_on_kepler_is_one_cycle_full_bandwidth() {
+        // Paper Fig. 1b: each lane reads an 8-byte unit.
+        let out = bank_conflict_cycles(&lane_addrs(0, 8), 8, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 1);
+        assert!(!out.broadcast);
+        // 256 useful bytes = full fabric width.
+    }
+
+    #[test]
+    fn conventional_float_on_fermi_is_matched() {
+        let out = bank_conflict_cycles(&lane_addrs(0, 4), 4, LaneMask::ALL, B, BankWidth::B4);
+        assert_eq!(out.cycles, 1);
+        assert!(!out.broadcast);
+    }
+
+    #[test]
+    fn column_access_is_fully_serialized() {
+        // All lanes in bank 0, distinct words: 32-way conflict.
+        let stride = 32 * 8;
+        let out = bank_conflict_cycles(&lane_addrs(0, stride), 4, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 32);
+    }
+
+    #[test]
+    fn padded_column_access_is_conflict_free() {
+        // Classic padding trick: row pitch of 33 words.
+        let stride = 33 * 8;
+        let out = bank_conflict_cycles(&lane_addrs(0, stride), 8, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 1);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        // Lanes 0..16 in words 0..16, lanes 16..32 revisit banks 0..16 with
+        // different words (stride 2 words): 2-way conflict.
+        let out = bank_conflict_cycles(&lane_addrs(0, 16), 8, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 2);
+    }
+
+    #[test]
+    fn uniform_address_broadcasts() {
+        let out =
+            bank_conflict_cycles(&lane_addrs_uniform(40), 4, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 1);
+        assert!(out.broadcast);
+    }
+
+    #[test]
+    fn same_word_different_halves_broadcast_on_kepler() {
+        // Lanes 0 and 1 read the two floats of one 8-byte word.
+        let addrs = lane_addrs_from(|l| (l as u64 % 2) * 4);
+        let out = bank_conflict_cycles(&addrs, 4, LaneMask::first(2), B, BankWidth::B8);
+        assert_eq!(out.cycles, 1);
+        assert!(out.broadcast);
+    }
+
+    #[test]
+    fn float4_on_fermi_spans_four_banks() {
+        // 32 lanes x 16 B = 512 B over 128 B of fabric: 4 cycles.
+        let out = bank_conflict_cycles(&lane_addrs(0, 16), 16, LaneMask::ALL, B, BankWidth::B4);
+        assert_eq!(out.cycles, 4);
+    }
+
+    #[test]
+    fn float4_on_kepler_spans_two_cycles() {
+        // 512 B over 256 B of fabric: 2 cycles.
+        let out = bank_conflict_cycles(&lane_addrs(0, 16), 16, LaneMask::ALL, B, BankWidth::B8);
+        assert_eq!(out.cycles, 2);
+    }
+
+    #[test]
+    fn empty_mask_costs_one_cycle() {
+        let out = bank_conflict_cycles(&lane_addrs(0, 4), 4, LaneMask::NONE, B, BankWidth::B8);
+        assert_eq!(out.cycles, 1);
+        assert!(!out.broadcast);
+    }
+
+    #[test]
+    fn functional_roundtrip_and_stats() {
+        let mut sm = SharedMemory::new(4096, B, BankWidth::B8);
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(0, 8);
+        let vals: [[f32; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as f32, -(l as f32)]);
+        sm.warp_st::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        let back = sm.warp_ld::<2>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(back[9], [9.0, -9.0]);
+        assert_eq!(stats.sm_st_requests, 1);
+        assert_eq!(stats.sm_ld_requests, 1);
+        assert_eq!(stats.sm_st_cycles, 1);
+        assert_eq!(stats.sm_ld_cycles, 1);
+        assert_eq!(stats.sm_bytes_useful, 2 * 32 * 8);
+    }
+
+    #[test]
+    fn unmatched_vs_matched_bandwidth_utilization() {
+        // Move 256 floats through SM both ways; matched should show ~2x the
+        // bandwidth utilization of unmatched on Kepler.
+        let spec_bw = 32 * 8;
+        let mut sm = SharedMemory::new(2048, B, BankWidth::B8);
+
+        let mut unmatched = KernelStats::default();
+        for i in 0..8u64 {
+            let addrs = lane_addrs(i * 128, 4);
+            sm.warp_ld::<1>(&mut unmatched, &addrs, LaneMask::ALL);
+        }
+        let mut matched = KernelStats::default();
+        for i in 0..4u64 {
+            let addrs = lane_addrs(i * 256, 8);
+            sm.warp_ld::<2>(&mut matched, &addrs, LaneMask::ALL);
+        }
+        assert_eq!(unmatched.sm_bytes_useful, matched.sm_bytes_useful);
+        let u_un = unmatched.sm_bandwidth_utilization(spec_bw);
+        let u_ma = matched.sm_bandwidth_utilization(spec_bw);
+        assert!((u_ma / u_un - 2.0).abs() < 1e-9, "{u_ma} vs {u_un}");
+        assert!((u_ma - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_access_roundtrip() {
+        let mut sm = SharedMemory::new(256, B, BankWidth::B4);
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(0, 2);
+        let vals: [[u8; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as u8, 0xCD]);
+        sm.warp_st_bytes::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        let back = sm.warp_ld_bytes::<2>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(back[31], [31, 0xCD]);
+        // fp16-style mismatch on 4-byte banks: lanes pair up in words.
+        assert_eq!(stats.sm_ld_cycles, 1);
+        assert!(stats.sm_broadcasts >= 1);
+    }
+
+    #[test]
+    fn conflict_histogram_is_recorded() {
+        let mut sm = SharedMemory::new(32 * 8 * 32, B, BankWidth::B8);
+        let mut stats = KernelStats::default();
+        // Conflict-free float2 load.
+        sm.warp_ld::<2>(&mut stats, &lane_addrs(0, 8), LaneMask::ALL);
+        // 32-way conflicted column access.
+        sm.warp_ld::<1>(&mut stats, &lane_addrs(0, 32 * 8), LaneMask::ALL);
+        assert_eq!(stats.sm_conflict_histogram[0], 1);
+        assert_eq!(stats.sm_conflict_histogram[5], 1);
+        assert!((stats.sm_conflict_free_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let mut sm = SharedMemory::new(64, B, BankWidth::B8);
+        let mut stats = KernelStats::default();
+        sm.warp_ld::<1>(&mut stats, &lane_addrs(0, 4), LaneMask::ALL);
+    }
+}

@@ -1,0 +1,174 @@
+//! Human-readable rendering of launch results.
+//!
+//! [`render_report`] turns a [`LaunchReport`] into the Markdown-style
+//! summary the examples and harnesses print: the timing breakdown, the
+//! memory-system health indicators (coalescing efficiency, bank-conflict
+//! replay factor, broadcast usage), and the occupancy line.
+
+use crate::launch::LaunchReport;
+use crate::spec::GpuSpec;
+
+/// Renders a multi-line summary of `report` for a device `spec`.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::{render_report, Gpu, GpuSpec, LaunchConfig, LaneMask, SimMode, lane_addrs};
+///
+/// # fn main() -> Result<(), kconv_sim::SimError> {
+/// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+/// let buf = gpu.alloc_f32(32)?;
+/// let report = gpu.launch(&LaunchConfig::new("demo", 1, 32), SimMode::Full, |blk| {
+///     blk.each_warp(|w| {
+///         w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+///         w.count_fma(32);
+///     });
+/// })?;
+/// let text = render_report(&report, &GpuSpec::kepler_k40m());
+/// assert!(text.contains("GFlop/s"));
+/// assert!(text.contains("coalescing"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_report(report: &LaunchReport, spec: &GpuSpec) -> String {
+    let s = &report.stats;
+    let t = &report.timing;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time: {:.3} ms  |  {:.1} GFlop/s ({:.1}% of {} peak)  |  bound by {}\n",
+        t.t_total * 1e3,
+        t.gflops,
+        100.0 * t.gflops / spec.peak_gflops(),
+        spec.name,
+        t.bottleneck(),
+    ));
+    out.push_str(&format!(
+        "breakdown: compute {:.3} ms, smem {:.3} ms, cmem {:.3} ms, gmem {:.3} ms, barriers {:.3} ms, latency floor {:.3} ms\n",
+        t.t_compute * 1e3,
+        t.t_smem * 1e3,
+        t.t_cm * 1e3,
+        t.t_gm * 1e3,
+        t.t_barrier * 1e3,
+        t.t_latency * 1e3,
+    ));
+    out.push_str(&format!(
+        "arithmetic: {} FMA + {} ALU lane-ops ({} flops)\n",
+        s.fma_lane_ops,
+        s.alu_lane_ops,
+        s.flops(),
+    ));
+    out.push_str(&format!(
+        "global mem: {:.2} MB bus / {:.2} MB useful ({:.1}% coalescing), {} ld + {} st transactions\n",
+        s.gm_bytes_bus() as f64 / 1e6,
+        s.gm_bytes_useful() as f64 / 1e6,
+        100.0 * s.gm_coalescing_efficiency(),
+        s.gm_ld_transactions,
+        s.gm_st_transactions,
+    ));
+    if s.gm_ro_hits > 0 {
+        out.push_str(&format!(
+            "read-only cache: {} line hits served without bus traffic\n",
+            s.gm_ro_hits
+        ));
+    }
+    out.push_str(&format!(
+        "shared mem: {} accesses, replay factor {:.3}, {:.1}% fabric utilization, {} broadcasts\n",
+        s.sm_requests(),
+        s.sm_replay_factor(),
+        100.0 * s.sm_bandwidth_utilization(spec.smem_bytes_per_cycle()),
+        s.sm_broadcasts,
+    ));
+    if s.sm_requests() > 0 {
+        let h = s.sm_conflict_histogram;
+        out.push_str(&format!(
+            "bank conflicts: {:.1}% conflict-free (degree 2: {}, 3-4: {}, 5-8: {}, 9-16: {}, 17-32: {})\n",
+            100.0 * s.sm_conflict_free_fraction(),
+            h[1], h[2], h[3], h[4], h[5],
+        ));
+    }
+    if s.cm_requests > 0 {
+        out.push_str(&format!(
+            "constant mem: {} requests, {} serialization cycles, {} line misses\n",
+            s.cm_requests, s.cm_cycles, s.cm_misses,
+        ));
+    }
+    out.push_str(&format!(
+        "occupancy: {} blocks/SM ({} warps resident, limited by {}); {} of {} blocks executed\n",
+        t.occupancy.blocks_per_sm,
+        t.occupancy.resident_warps,
+        t.occupancy.limiter,
+        s.blocks_executed,
+        s.blocks_total,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::{Gpu, LaunchConfig, SimMode};
+    use crate::warp::{lane_addrs, lane_addrs_uniform, LaneMask};
+
+    fn demo_report() -> (LaunchReport, GpuSpec) {
+        let spec = GpuSpec::kepler_k40m();
+        let mut gpu = Gpu::new(spec.clone());
+        let buf = gpu.alloc_f32(64).unwrap();
+        gpu.write_const_f32(0, &[1.0]).unwrap();
+        let cfg = LaunchConfig::new("demo", 4, 64).with_smem(512);
+        let report = gpu
+            .launch(&cfg, SimMode::Full, |blk| {
+                blk.each_warp(|w| {
+                    let v = w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+                    w.st_shared::<1>(&lane_addrs(0, 4), &v, LaneMask::ALL);
+                    w.ld_shared::<1>(&lane_addrs(0, 4), LaneMask::ALL);
+                    w.st_global::<1>(&lane_addrs(buf.f32_addr(32), 4), &v, LaneMask::ALL);
+                    w.ld_const(&lane_addrs_uniform(0), LaneMask::ALL);
+                    w.count_fma(64);
+                    w.count_alu(2);
+                });
+                blk.sync();
+            })
+            .unwrap();
+        (report, spec)
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let (report, spec) = demo_report();
+        let text = render_report(&report, &spec);
+        for needle in [
+            "GFlop/s",
+            "bank conflicts",
+            "breakdown",
+            "arithmetic",
+            "global mem",
+            "shared mem",
+            "constant mem",
+            "occupancy",
+            "coalescing",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn optional_sections_are_omitted_when_empty() {
+        let spec = GpuSpec::kepler_k40m();
+        let mut gpu = Gpu::new(spec.clone());
+        let report = gpu
+            .launch(&LaunchConfig::new("pure", 1, 32), SimMode::Full, |blk| {
+                blk.each_warp(|w| w.count_fma(32));
+            })
+            .unwrap();
+        let text = render_report(&report, &spec);
+        assert!(!text.contains("constant mem"));
+        assert!(!text.contains("read-only cache"));
+    }
+
+    #[test]
+    fn counts_render_plausibly() {
+        let (report, spec) = demo_report();
+        let text = render_report(&report, &spec);
+        assert!(text.contains("4 of 4 blocks executed"));
+    }
+}

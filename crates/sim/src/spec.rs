@@ -1,0 +1,327 @@
+//! GPU architecture descriptors.
+//!
+//! A [`GpuSpec`] captures the handful of architectural parameters that the
+//! paper's memory-efficiency model depends on: the shared-memory **bank
+//! width** (`W_SMB`, 8 bytes on Kepler and 4 bytes on Fermi/Maxwell), the
+//! number of banks, the global-memory transaction size and bandwidth, the
+//! constant-memory broadcast mechanism, and the raw compute rates used by the
+//! timing model.
+//!
+//! Presets are provided for the machines discussed in the paper
+//! ([`GpuSpec::kepler_k40m`], [`GpuSpec::fermi_m2090`]) plus a Maxwell-like
+//! 4-byte-bank part ([`GpuSpec::maxwell_like`]) used by the short-data-type
+//! extension experiments.
+
+/// Number of threads in a warp. Fixed at 32 on every NVIDIA architecture the
+/// paper considers; the simulator hard-codes it for clarity and speed.
+pub const WARP_SIZE: usize = 32;
+
+/// Shared-memory bank width `W_SMB` in bytes.
+///
+/// The central quantity of the paper: when the bank width exceeds the
+/// computation data width `W_CD` of a thread, the conventional
+/// one-element-per-thread access pattern wastes `W_SMB / W_CD` of the
+/// available shared-memory bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::BankWidth;
+/// assert_eq!(BankWidth::B8.bytes(), 8);
+/// assert_eq!(BankWidth::B8.mismatch_factor(4), 2); // float on Kepler
+/// assert_eq!(BankWidth::B4.mismatch_factor(4), 1); // float on Fermi
+/// assert_eq!(BankWidth::B4.mismatch_factor(2), 2); // fp16 on Fermi/Maxwell
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BankWidth {
+    /// 4-byte banks (Fermi, Maxwell, Pascal, ...).
+    B4,
+    /// 8-byte banks (Kepler).
+    B8,
+}
+
+impl BankWidth {
+    /// Bank width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            BankWidth::B4 => 4,
+            BankWidth::B8 => 8,
+        }
+    }
+
+    /// The paper's mismatch factor `n = W_SMB / W_CD` (eq. 1) for a thread
+    /// computing on scalars of `data_width` bytes. A factor of 1 means the
+    /// bank width and the computation data width are matched; a factor of
+    /// `n > 1` means a conventional kernel loses `1/n` of the shared-memory
+    /// bandwidth and should instead access `n` elements per thread as one
+    /// unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_width` is zero or larger than the bank width.
+    pub fn mismatch_factor(self, data_width: u64) -> u64 {
+        assert!(
+            data_width > 0 && data_width <= self.bytes(),
+            "data width {data_width} must be in 1..={}",
+            self.bytes()
+        );
+        self.bytes() / data_width
+    }
+}
+
+impl std::fmt::Display for BankWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}B banks", self.bytes())
+    }
+}
+
+/// Architectural description of a simulated GPU.
+///
+/// All fields are public so that experiment harnesses can build hypothetical
+/// parts (e.g. "Kepler with 4-byte banks") for ablations; use the preset
+/// constructors for the real machines.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::GpuSpec;
+/// let k40 = GpuSpec::kepler_k40m();
+/// // The paper quotes 4290 single-precision GFlop/s for the K40m.
+/// assert!((k40.peak_gflops() - 4290.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable name, e.g. `"Kepler K40m"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors (SMX on Kepler).
+    pub sm_count: u32,
+    /// FMA-capable cores per SM (lanes retired per cycle).
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Number of shared-memory banks (32 on all parts modeled here).
+    pub smem_banks: u32,
+    /// Shared-memory bank width.
+    pub bank_width: BankWidth,
+    /// Shared memory available per SM in bytes (configurable split ignored;
+    /// we model the 48 KiB shared-memory-preferred configuration).
+    pub smem_bytes_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum shared memory a single block may allocate, in bytes.
+    pub max_smem_per_block: u32,
+    /// Peak global-memory bandwidth in GB/s.
+    pub gm_bandwidth_gbs: f64,
+    /// Global-memory load transaction (cache line / segment) size in bytes.
+    pub gm_transaction_bytes: u64,
+    /// Global-memory store transaction size in bytes (GDDR5 parts write
+    /// through 32-byte sectors, so scattered stores are charged less than
+    /// scattered loads).
+    pub gm_store_transaction_bytes: u64,
+    /// Constant memory size in bytes.
+    pub cm_bytes: u64,
+    /// Constant-cache line size in bytes.
+    pub cm_line_bytes: u64,
+    /// Warps needed per SM to fully hide pipeline and memory latency; used
+    /// by the timing model's occupancy term.
+    pub latency_hiding_warps: u32,
+    /// Fraction of peak FMA issue a well-written kernel can sustain.
+    /// Kepler requires dual-issue and high ILP to reach its nominal rate;
+    /// the best hand-tuned SGEMMs reach ~75% (cuBLAS ~3.1 of 4.3 TFlop/s
+    /// on the K40m), so 0.75 is the Kepler ceiling here.
+    pub issue_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// The Tesla K40m used throughout the paper's evaluation: 15 SMX
+    /// x 192 cores at 745 MHz (peak 4290 GFlop/s single precision), 288 GB/s
+    /// GDDR5, 32 x 8-byte shared-memory banks.
+    pub fn kepler_k40m() -> Self {
+        GpuSpec {
+            name: "Kepler K40m",
+            sm_count: 15,
+            cores_per_sm: 192,
+            clock_ghz: 0.745,
+            smem_banks: 32,
+            bank_width: BankWidth::B8,
+            smem_bytes_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 65536,
+            max_smem_per_block: 48 * 1024,
+            gm_bandwidth_gbs: 288.0,
+            gm_transaction_bytes: 128,
+            gm_store_transaction_bytes: 32,
+            cm_bytes: 64 * 1024,
+            cm_line_bytes: 256,
+            latency_hiding_warps: 16,
+            issue_efficiency: 0.75,
+        }
+    }
+
+    /// A Fermi-generation Tesla M2090: 16 SM x 32 cores at 1.3 GHz,
+    /// 177 GB/s, 32 x 4-byte banks. Used to contrast the bank-width model
+    /// (MAGMA was tuned for this part).
+    pub fn fermi_m2090() -> Self {
+        GpuSpec {
+            name: "Fermi M2090",
+            sm_count: 16,
+            cores_per_sm: 32,
+            clock_ghz: 1.3,
+            smem_banks: 32,
+            bank_width: BankWidth::B4,
+            smem_bytes_per_sm: 48 * 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            regs_per_sm: 32768,
+            max_smem_per_block: 48 * 1024,
+            gm_bandwidth_gbs: 177.0,
+            gm_transaction_bytes: 128,
+            gm_store_transaction_bytes: 32,
+            cm_bytes: 64 * 1024,
+            cm_line_bytes: 256,
+            latency_hiding_warps: 12,
+            issue_efficiency: 0.85,
+        }
+    }
+
+    /// A Maxwell-like part with 4-byte banks, used by the short-data-type
+    /// extension (paper section 6): with `fp16` or `int8` the mismatch
+    /// reappears even on 4-byte-bank machines.
+    pub fn maxwell_like() -> Self {
+        GpuSpec {
+            name: "Maxwell-like",
+            sm_count: 16,
+            cores_per_sm: 128,
+            clock_ghz: 1.1,
+            smem_banks: 32,
+            bank_width: BankWidth::B4,
+            smem_bytes_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65536,
+            max_smem_per_block: 48 * 1024,
+            gm_bandwidth_gbs: 224.0,
+            gm_transaction_bytes: 128,
+            gm_store_transaction_bytes: 32,
+            cm_bytes: 64 * 1024,
+            cm_line_bytes: 256,
+            latency_hiding_warps: 16,
+            issue_efficiency: 0.85,
+        }
+    }
+
+    /// Peak single-precision throughput in GFlop/s (2 flops per FMA lane per
+    /// cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        self.sm_count as f64 * self.cores_per_sm as f64 * 2.0 * self.clock_ghz
+    }
+
+    /// Core clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Shared-memory bandwidth per SM in bytes per cycle
+    /// (`banks * bank_width`): the ceiling that the paper's matched access
+    /// pattern saturates and the unmatched pattern halves.
+    pub fn smem_bytes_per_cycle(&self) -> u64 {
+        self.smem_banks as u64 * self.bank_width.bytes()
+    }
+
+    /// The mismatch factor `n` for this architecture and a given thread data
+    /// width in bytes (see [`BankWidth::mismatch_factor`]).
+    pub fn mismatch_factor(&self, data_width: u64) -> u64 {
+        self.bank_width.mismatch_factor(data_width)
+    }
+}
+
+impl Default for GpuSpec {
+    /// Defaults to the paper's evaluation machine, the Kepler K40m.
+    fn default() -> Self {
+        GpuSpec::kepler_k40m()
+    }
+}
+
+impl std::fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} SM x {} cores @ {:.0} MHz, {:.0} GFlop/s peak, {} x {}, {:.0} GB/s)",
+            self.name,
+            self.sm_count,
+            self.cores_per_sm,
+            self.clock_ghz * 1e3,
+            self.peak_gflops(),
+            self.smem_banks,
+            self.bank_width,
+            self.gm_bandwidth_gbs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40m_peak_matches_paper() {
+        let spec = GpuSpec::kepler_k40m();
+        assert!((spec.peak_gflops() - 4291.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn fermi_peak_is_plausible() {
+        let spec = GpuSpec::fermi_m2090();
+        assert!((spec.peak_gflops() - 1331.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn bank_width_bytes() {
+        assert_eq!(BankWidth::B4.bytes(), 4);
+        assert_eq!(BankWidth::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn mismatch_factors() {
+        // Paper section 2.1: n = 2 for float on Kepler.
+        assert_eq!(BankWidth::B8.mismatch_factor(4), 2);
+        // fp16 on Kepler: n = 4.
+        assert_eq!(BankWidth::B8.mismatch_factor(2), 4);
+        // int8 on Kepler: n = 8.
+        assert_eq!(BankWidth::B8.mismatch_factor(1), 8);
+        // Matched cases.
+        assert_eq!(BankWidth::B8.mismatch_factor(8), 1);
+        assert_eq!(BankWidth::B4.mismatch_factor(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "data width")]
+    fn mismatch_factor_rejects_oversized_width() {
+        BankWidth::B4.mismatch_factor(8);
+    }
+
+    #[test]
+    fn smem_bandwidth_doubles_on_kepler() {
+        let k = GpuSpec::kepler_k40m();
+        let f = GpuSpec::fermi_m2090();
+        assert_eq!(k.smem_bytes_per_cycle(), 2 * f.smem_bytes_per_cycle());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", GpuSpec::kepler_k40m());
+        assert!(s.contains("K40m"));
+        let b = format!("{}", BankWidth::B8);
+        assert!(b.contains('8'));
+    }
+
+    #[test]
+    fn default_is_k40m() {
+        assert_eq!(GpuSpec::default(), GpuSpec::kepler_k40m());
+    }
+}

@@ -1,0 +1,428 @@
+//! Event counters collected while a kernel executes.
+//!
+//! Every warp-level memory operation and arithmetic operation performed
+//! through the simulator records into a [`KernelStats`]. The counters are the
+//! ground truth that the [timing model](crate::timing) converts into seconds
+//! and GFlop/s, and the quantity the paper's analytic traffic formulas are
+//! cross-checked against in tests.
+
+/// Counters for one kernel launch (or one sampled subset of its blocks).
+///
+/// All byte counts distinguish **bus** traffic (whole transactions, e.g.
+/// 128-byte global-memory segments) from **useful** traffic (bytes the lanes
+/// actually requested); their ratio is the coalescing efficiency.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::KernelStats;
+/// let mut a = KernelStats::default();
+/// a.fma_lane_ops = 10;
+/// let mut b = KernelStats::default();
+/// b.fma_lane_ops = 5;
+/// a.merge(&b);
+/// assert_eq!(a.fma_lane_ops, 15);
+/// assert_eq!(a.flops(), 30); // 2 flops per FMA
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Fused multiply-add operations summed over all lanes (1 FMA = 2 flops).
+    pub fma_lane_ops: u64,
+    /// Non-FMA arithmetic lane operations (adds, max, ...), 1 flop each.
+    pub alu_lane_ops: u64,
+
+    /// Global-memory load warp instructions issued.
+    pub gm_ld_requests: u64,
+    /// Global-memory store warp instructions issued.
+    pub gm_st_requests: u64,
+    /// 128-byte segments moved by loads (the coalescing-sensitive count).
+    pub gm_ld_transactions: u64,
+    /// 128-byte segments moved by stores.
+    pub gm_st_transactions: u64,
+    /// Bus bytes moved by loads (`transactions * segment size`).
+    pub gm_ld_bytes_bus: u64,
+    /// Bus bytes moved by stores.
+    pub gm_st_bytes_bus: u64,
+    /// Bytes the lanes actually requested on loads.
+    pub gm_ld_bytes_useful: u64,
+    /// Bytes the lanes actually requested on stores.
+    pub gm_st_bytes_useful: u64,
+    /// Read-only (texture-path) load lines served from the per-block cache
+    /// (free of bus traffic).
+    pub gm_ro_hits: u64,
+
+    /// Shared-memory load warp instructions issued.
+    pub sm_ld_requests: u64,
+    /// Shared-memory store warp instructions issued.
+    pub sm_st_requests: u64,
+    /// Total shared-memory cycles consumed by loads, including bank-conflict
+    /// replays (a conflict-free access costs 1).
+    pub sm_ld_cycles: u64,
+    /// Total shared-memory cycles consumed by stores.
+    pub sm_st_cycles: u64,
+    /// Useful bytes moved through shared memory (loads + stores).
+    pub sm_bytes_useful: u64,
+    /// Accesses where at least two lanes hit the same bank *word* and were
+    /// served by the broadcast mechanism instead of a replay.
+    pub sm_broadcasts: u64,
+    /// Histogram of shared-memory accesses by conflict degree: buckets for
+    /// 1 (conflict-free), 2, 3-4, 5-8, 9-16 and 17-32 replays.
+    pub sm_conflict_histogram: [u64; 6],
+
+    /// Constant-memory load warp instructions issued.
+    pub cm_requests: u64,
+    /// Constant-memory cycles: 1 per distinct address within the warp (the
+    /// broadcast mechanism serves identical addresses in one cycle).
+    pub cm_cycles: u64,
+    /// Constant-cache misses (each charged one global-memory line fetch by
+    /// the timing model).
+    pub cm_misses: u64,
+
+    /// `__syncthreads()` barriers executed (summed over blocks).
+    pub barriers: u64,
+    /// Thread blocks actually executed by the simulator.
+    pub blocks_executed: u64,
+    /// Thread blocks the launch logically contains (>= `blocks_executed`
+    /// when sampling).
+    pub blocks_total: u64,
+}
+
+impl KernelStats {
+    /// Creates an all-zero counter set (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Floating-point operations represented by the counted arithmetic
+    /// (2 per FMA lane op, 1 per ALU lane op).
+    pub fn flops(&self) -> u64 {
+        2 * self.fma_lane_ops + self.alu_lane_ops
+    }
+
+    /// Total bus bytes moved through global memory (loads + stores).
+    pub fn gm_bytes_bus(&self) -> u64 {
+        self.gm_ld_bytes_bus + self.gm_st_bytes_bus
+    }
+
+    /// Total useful bytes requested from global memory (loads + stores).
+    pub fn gm_bytes_useful(&self) -> u64 {
+        self.gm_ld_bytes_useful + self.gm_st_bytes_useful
+    }
+
+    /// Total shared-memory pipeline cycles (loads + stores, incl. replays).
+    pub fn sm_cycles(&self) -> u64 {
+        self.sm_ld_cycles + self.sm_st_cycles
+    }
+
+    /// Total shared-memory warp instructions.
+    pub fn sm_requests(&self) -> u64 {
+        self.sm_ld_requests + self.sm_st_requests
+    }
+
+    /// Global-memory coalescing efficiency in `(0, 1]`: useful bytes over
+    /// bus bytes. Returns 1.0 when no traffic occurred.
+    pub fn gm_coalescing_efficiency(&self) -> f64 {
+        if self.gm_bytes_bus() == 0 {
+            1.0
+        } else {
+            self.gm_bytes_useful() as f64 / self.gm_bytes_bus() as f64
+        }
+    }
+
+    /// Average shared-memory cycles per warp access (1.0 = conflict-free).
+    pub fn sm_replay_factor(&self) -> f64 {
+        if self.sm_requests() == 0 {
+            1.0
+        } else {
+            self.sm_cycles() as f64 / self.sm_requests() as f64
+        }
+    }
+
+    /// Shared-memory bandwidth utilization against a bank capacity of
+    /// `bytes_per_cycle`: useful bytes per consumed SM cycle over capacity.
+    ///
+    /// The paper's matched access pattern approaches 1.0; the unmatched
+    /// pattern caps at `1/n`.
+    pub fn sm_bandwidth_utilization(&self, bytes_per_cycle: u64) -> f64 {
+        let cycles = self.sm_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.sm_bytes_useful as f64 / (cycles as f64 * bytes_per_cycle as f64)
+        }
+    }
+
+    /// Histogram bucket index for a conflict degree (1 -> 0, 2 -> 1,
+    /// 3-4 -> 2, 5-8 -> 3, 9-16 -> 4, 17-32 -> 5).
+    pub fn conflict_bucket(degree: u64) -> usize {
+        match degree {
+            0 | 1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        }
+    }
+
+    /// Fraction of shared-memory accesses that were conflict-free.
+    pub fn sm_conflict_free_fraction(&self) -> f64 {
+        let total: u64 = self.sm_conflict_histogram.iter().sum();
+        if total == 0 {
+            1.0
+        } else {
+            self.sm_conflict_histogram[0] as f64 / total as f64
+        }
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.fma_lane_ops += other.fma_lane_ops;
+        self.alu_lane_ops += other.alu_lane_ops;
+        self.gm_ld_requests += other.gm_ld_requests;
+        self.gm_st_requests += other.gm_st_requests;
+        self.gm_ld_transactions += other.gm_ld_transactions;
+        self.gm_st_transactions += other.gm_st_transactions;
+        self.gm_ld_bytes_bus += other.gm_ld_bytes_bus;
+        self.gm_st_bytes_bus += other.gm_st_bytes_bus;
+        self.gm_ld_bytes_useful += other.gm_ld_bytes_useful;
+        self.gm_st_bytes_useful += other.gm_st_bytes_useful;
+        self.gm_ro_hits += other.gm_ro_hits;
+        self.sm_ld_requests += other.sm_ld_requests;
+        self.sm_st_requests += other.sm_st_requests;
+        self.sm_ld_cycles += other.sm_ld_cycles;
+        self.sm_st_cycles += other.sm_st_cycles;
+        self.sm_bytes_useful += other.sm_bytes_useful;
+        self.sm_broadcasts += other.sm_broadcasts;
+        for (a, b) in self
+            .sm_conflict_histogram
+            .iter_mut()
+            .zip(other.sm_conflict_histogram)
+        {
+            *a += b;
+        }
+        self.cm_requests += other.cm_requests;
+        self.cm_cycles += other.cm_cycles;
+        self.cm_misses += other.cm_misses;
+        self.barriers += other.barriers;
+        self.blocks_executed += other.blocks_executed;
+        self.blocks_total += other.blocks_total;
+    }
+
+    /// Returns a copy with every per-work counter multiplied by
+    /// `num / den`, used to extrapolate a sampled execution of `den` blocks
+    /// to a launch of `num` blocks. `blocks_total` is set to `num` and
+    /// `blocks_executed` is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn scaled_to_blocks(&self, num: u64, den: u64) -> KernelStats {
+        assert!(den > 0, "cannot scale stats gathered over zero blocks");
+        let s = |v: u64| -> u64 {
+            // Round to nearest to keep large counters accurate.
+            ((v as u128 * num as u128 + (den as u128 / 2)) / den as u128) as u64
+        };
+        KernelStats {
+            fma_lane_ops: s(self.fma_lane_ops),
+            alu_lane_ops: s(self.alu_lane_ops),
+            gm_ld_requests: s(self.gm_ld_requests),
+            gm_st_requests: s(self.gm_st_requests),
+            gm_ld_transactions: s(self.gm_ld_transactions),
+            gm_st_transactions: s(self.gm_st_transactions),
+            gm_ld_bytes_bus: s(self.gm_ld_bytes_bus),
+            gm_st_bytes_bus: s(self.gm_st_bytes_bus),
+            gm_ld_bytes_useful: s(self.gm_ld_bytes_useful),
+            gm_st_bytes_useful: s(self.gm_st_bytes_useful),
+            gm_ro_hits: s(self.gm_ro_hits),
+            sm_ld_requests: s(self.sm_ld_requests),
+            sm_st_requests: s(self.sm_st_requests),
+            sm_ld_cycles: s(self.sm_ld_cycles),
+            sm_st_cycles: s(self.sm_st_cycles),
+            sm_bytes_useful: s(self.sm_bytes_useful),
+            sm_broadcasts: s(self.sm_broadcasts),
+            sm_conflict_histogram: self.sm_conflict_histogram.map(s),
+            cm_requests: s(self.cm_requests),
+            cm_cycles: s(self.cm_cycles),
+            cm_misses: s(self.cm_misses),
+            barriers: s(self.barriers),
+            blocks_executed: self.blocks_executed,
+            blocks_total: num,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "flops: {} (fma lane ops {})",
+            self.flops(),
+            self.fma_lane_ops
+        )?;
+        writeln!(
+            f,
+            "gm: {} B bus / {} B useful ({:.1}% coalesced), {} ld + {} st requests",
+            self.gm_bytes_bus(),
+            self.gm_bytes_useful(),
+            100.0 * self.gm_coalescing_efficiency(),
+            self.gm_ld_requests,
+            self.gm_st_requests,
+        )?;
+        writeln!(
+            f,
+            "sm: {} cycles / {} requests (replay factor {:.2}), {} B useful, {} broadcasts",
+            self.sm_cycles(),
+            self.sm_requests(),
+            self.sm_replay_factor(),
+            self.sm_bytes_useful,
+            self.sm_broadcasts,
+        )?;
+        writeln!(
+            f,
+            "cm: {} requests, {} cycles, {} misses",
+            self.cm_requests, self.cm_cycles, self.cm_misses
+        )?;
+        write!(
+            f,
+            "barriers: {}, blocks: {}/{} executed",
+            self.barriers, self.blocks_executed, self.blocks_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelStats {
+        KernelStats {
+            fma_lane_ops: 1000,
+            alu_lane_ops: 10,
+            gm_ld_requests: 8,
+            gm_st_requests: 4,
+            gm_ld_transactions: 16,
+            gm_st_transactions: 4,
+            gm_ld_bytes_bus: 2048,
+            gm_st_bytes_bus: 512,
+            gm_ld_bytes_useful: 1024,
+            gm_st_bytes_useful: 512,
+            gm_ro_hits: 1,
+            sm_ld_requests: 10,
+            sm_st_requests: 5,
+            sm_ld_cycles: 20,
+            sm_st_cycles: 5,
+            sm_bytes_useful: 1920,
+            sm_broadcasts: 2,
+            sm_conflict_histogram: [12, 2, 1, 0, 0, 0],
+            cm_requests: 3,
+            cm_cycles: 3,
+            cm_misses: 1,
+            barriers: 6,
+            blocks_executed: 2,
+            blocks_total: 2,
+        }
+    }
+
+    #[test]
+    fn flops_counts_fma_twice() {
+        assert_eq!(sample().flops(), 2010);
+    }
+
+    #[test]
+    fn coalescing_efficiency() {
+        let s = sample();
+        assert!((s.gm_coalescing_efficiency() - 1536.0 / 2560.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalescing_efficiency_empty_is_one() {
+        assert_eq!(KernelStats::default().gm_coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn replay_factor() {
+        let s = sample();
+        assert!((s.sm_replay_factor() - 25.0 / 15.0).abs() < 1e-12);
+        assert_eq!(KernelStats::default().sm_replay_factor(), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_utilization() {
+        let s = sample();
+        // 1920 useful bytes over 25 cycles * 256 B/cycle capacity.
+        let u = s.sm_bandwidth_utilization(256);
+        assert!((u - 1920.0 / (25.0 * 256.0)).abs() < 1e-12);
+        assert_eq!(KernelStats::default().sm_bandwidth_utilization(256), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.fma_lane_ops, 2000);
+        assert_eq!(a.gm_ld_bytes_bus, 4096);
+        assert_eq!(a.barriers, 12);
+        assert_eq!(a.blocks_executed, 4);
+    }
+
+    #[test]
+    fn scaling_extrapolates_linearly() {
+        let s = sample();
+        let t = s.scaled_to_blocks(8, 2);
+        assert_eq!(t.fma_lane_ops, 4000);
+        assert_eq!(t.gm_st_bytes_bus, 2048);
+        assert_eq!(t.blocks_total, 8);
+        assert_eq!(t.blocks_executed, 2);
+    }
+
+    #[test]
+    fn scaling_rounds_to_nearest() {
+        let s = KernelStats {
+            fma_lane_ops: 10,
+            ..Default::default()
+        };
+        // 10 * 3 / 4 = 7.5 -> 8
+        assert_eq!(s.scaled_to_blocks(3, 4).fma_lane_ops, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn scaling_by_zero_panics() {
+        sample().scaled_to_blocks(4, 0);
+    }
+
+    #[test]
+    fn conflict_buckets() {
+        assert_eq!(KernelStats::conflict_bucket(1), 0);
+        assert_eq!(KernelStats::conflict_bucket(2), 1);
+        assert_eq!(KernelStats::conflict_bucket(4), 2);
+        assert_eq!(KernelStats::conflict_bucket(8), 3);
+        assert_eq!(KernelStats::conflict_bucket(16), 4);
+        assert_eq!(KernelStats::conflict_bucket(32), 5);
+    }
+
+    #[test]
+    fn conflict_histogram_merges_and_scales() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.sm_conflict_histogram[0], 24);
+        let t = sample().scaled_to_blocks(4, 2);
+        assert_eq!(t.sm_conflict_histogram[1], 4);
+    }
+
+    #[test]
+    fn conflict_free_fraction() {
+        let s = sample();
+        assert!((s.sm_conflict_free_fraction() - 12.0 / 15.0).abs() < 1e-12);
+        assert_eq!(KernelStats::default().sm_conflict_free_fraction(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let text = sample().to_string();
+        assert!(text.contains("flops"));
+        assert!(text.contains("replay factor"));
+        assert!(text.contains("barriers"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Warp-level primitives: lane masks and address-vector helpers.
+//!
+//! The simulator models execution at warp granularity because every memory
+//! phenomenon the paper exploits — shared-memory bank conflicts, global-memory
+//! coalescing, constant-memory broadcast — is defined over the 32 addresses
+//! issued by one warp in one cycle.
+
+use crate::spec::WARP_SIZE;
+
+/// A set of active lanes within a warp, one bit per lane.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::LaneMask;
+/// let m = LaneMask::first(3);
+/// assert!(m.is_active(0) && m.is_active(2) && !m.is_active(3));
+/// assert_eq!(m.count(), 3);
+/// assert_eq!(LaneMask::ALL.count(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneMask(pub u32);
+
+impl LaneMask {
+    /// All 32 lanes active.
+    pub const ALL: LaneMask = LaneMask(u32::MAX);
+    /// No lane active.
+    pub const NONE: LaneMask = LaneMask(0);
+
+    /// Mask with the first `n` lanes active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn first(n: usize) -> LaneMask {
+        assert!(n <= WARP_SIZE, "lane count {n} exceeds warp size");
+        if n == WARP_SIZE {
+            LaneMask::ALL
+        } else {
+            LaneMask((1u32 << n) - 1)
+        }
+    }
+
+    /// Mask built from a per-lane predicate.
+    pub fn from_fn(f: impl Fn(usize) -> bool) -> LaneMask {
+        let mut bits = 0u32;
+        for lane in 0..WARP_SIZE {
+            if f(lane) {
+                bits |= 1 << lane;
+            }
+        }
+        LaneMask(bits)
+    }
+
+    /// Whether `lane` is active.
+    pub fn is_active(self, lane: usize) -> bool {
+        debug_assert!(lane < WARP_SIZE);
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Number of active lanes.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no lane is active.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over the indices of active lanes.
+    pub fn iter(self) -> LaneIter {
+        LaneIter { bits: self.0 }
+    }
+}
+
+impl Default for LaneMask {
+    fn default() -> Self {
+        LaneMask::ALL
+    }
+}
+
+impl std::fmt::Display for LaneMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// Iterator over active lane indices, produced by [`LaneMask::iter`].
+#[derive(Debug, Clone)]
+pub struct LaneIter {
+    bits: u32,
+}
+
+impl Iterator for LaneIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            let lane = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(lane)
+        }
+    }
+}
+
+/// Per-lane byte addresses for one warp memory instruction.
+pub type WarpAddrs = [u64; WARP_SIZE];
+
+/// Builds the address vector `base + lane * stride` — the conventional
+/// "contiguous threads access contiguous elements" pattern when
+/// `stride == element size`, or the matched pattern when `stride == n *
+/// element size` with a vector access.
+pub fn lane_addrs(base: u64, stride: u64) -> WarpAddrs {
+    std::array::from_fn(|lane| base + lane as u64 * stride)
+}
+
+/// Builds an address vector from a per-lane function.
+pub fn lane_addrs_from(f: impl Fn(usize) -> u64) -> WarpAddrs {
+    std::array::from_fn(f)
+}
+
+/// Address vector where every lane reads the same address (the
+/// constant-memory / shared-memory broadcast pattern).
+pub fn lane_addrs_uniform(addr: u64) -> WarpAddrs {
+    [addr; WARP_SIZE]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_masks() {
+        assert_eq!(LaneMask::first(0), LaneMask::NONE);
+        assert_eq!(LaneMask::first(32), LaneMask::ALL);
+        assert_eq!(LaneMask::first(5).count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp size")]
+    fn first_rejects_oversized() {
+        LaneMask::first(33);
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let m = LaneMask::from_fn(|l| l % 2 == 0);
+        assert_eq!(m.count(), 16);
+        assert!(m.is_active(0));
+        assert!(!m.is_active(1));
+    }
+
+    #[test]
+    fn iter_yields_active_lanes_in_order() {
+        let m = LaneMask::from_fn(|l| l == 1 || l == 30);
+        let lanes: Vec<usize> = m.iter().collect();
+        assert_eq!(lanes, vec![1, 30]);
+        assert_eq!(LaneMask::NONE.iter().count(), 0);
+        assert_eq!(LaneMask::ALL.iter().count(), 32);
+    }
+
+    #[test]
+    fn lane_addrs_strided() {
+        let a = lane_addrs(100, 4);
+        assert_eq!(a[0], 100);
+        assert_eq!(a[31], 100 + 31 * 4);
+    }
+
+    #[test]
+    fn lane_addrs_uniform_broadcasts() {
+        let a = lane_addrs_uniform(64);
+        assert!(a.iter().all(|&x| x == 64));
+    }
+
+    #[test]
+    fn default_mask_is_all() {
+        assert_eq!(LaneMask::default(), LaneMask::ALL);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(LaneMask(0xff).to_string(), "0x000000ff");
+    }
+}

@@ -1,0 +1,120 @@
+//! Floating-point comparison helpers for validating kernel outputs against
+//! CPU references.
+//!
+//! Kernel and reference accumulate in different orders, so results differ by
+//! rounding; comparisons use a combined absolute/relative tolerance.
+
+/// Summary of an elementwise comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mismatch {
+    /// Index of the worst-mismatching element.
+    pub index: usize,
+    /// Value in the first slice.
+    pub lhs: f32,
+    /// Value in the second slice.
+    pub rhs: f32,
+    /// The combined error metric at that element.
+    pub error: f32,
+}
+
+/// Combined absolute/relative error of a pair:
+/// `|a - b| / max(1, |a|, |b|)`.
+pub fn combined_error(a: f32, b: f32) -> f32 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// Returns the worst mismatch beyond `tol`, or `None` when the slices agree.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn worst_mismatch(lhs: &[f32], rhs: &[f32], tol: f32) -> Option<Mismatch> {
+    assert_eq!(lhs.len(), rhs.len(), "length mismatch: {} vs {}", lhs.len(), rhs.len());
+    let mut worst: Option<Mismatch> = None;
+    for (i, (&a, &b)) in lhs.iter().zip(rhs).enumerate() {
+        let e = combined_error(a, b);
+        if e > tol && worst.is_none_or(|w| e > w.error) {
+            worst = Some(Mismatch {
+                index: i,
+                lhs: a,
+                rhs: b,
+                error: e,
+            });
+        }
+    }
+    worst
+}
+
+/// Whether two slices agree elementwise within `tol`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn all_close(lhs: &[f32], rhs: &[f32], tol: f32) -> bool {
+    worst_mismatch(lhs, rhs, tol).is_none()
+}
+
+/// Default tolerance for f32 convolution comparisons: generous enough for
+/// any reassociation over the reduction depths in this workspace.
+pub const CONV_TOL: f32 = 1e-4;
+
+/// Asserts elementwise agreement, printing the worst offender on failure.
+///
+/// # Panics
+///
+/// Panics (with diagnostics) if any element differs by more than `tol`, or
+/// if lengths differ.
+pub fn assert_close(lhs: &[f32], rhs: &[f32], tol: f32, context: &str) {
+    if let Some(m) = worst_mismatch(lhs, rhs, tol) {
+        panic!(
+            "{context}: element {} differs: {} vs {} (error {:.3e} > tol {:.1e})",
+            m.index, m.lhs, m.rhs, m.error, tol
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_slices_are_close() {
+        let v = vec![1.0, -2.0, 3.0e10];
+        assert!(all_close(&v, &v, 0.0));
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        // 1e6 vs 1e6+50: relative error 5e-5.
+        assert!(all_close(&[1.0e6], &[1.0e6 + 50.0], 1e-4));
+        assert!(!all_close(&[1.0e6], &[1.0e6 + 500.0], 1e-4));
+    }
+
+    #[test]
+    fn absolute_floor_for_tiny_values() {
+        // Near zero the metric is absolute.
+        assert!(all_close(&[0.0], &[5e-5], 1e-4));
+        assert!(!all_close(&[0.0], &[5e-3], 1e-4));
+    }
+
+    #[test]
+    fn worst_mismatch_finds_the_biggest() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.1];
+        let m = worst_mismatch(&a, &b, 1e-6).unwrap();
+        assert_eq!(m.index, 1);
+        assert_eq!(m.rhs, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1 differs")]
+    fn assert_close_panics_with_context() {
+        assert_close(&[1.0, 1.0], &[1.0, 2.0], 1e-4, "unit");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        all_close(&[1.0], &[1.0, 2.0], 0.1);
+    }
+}

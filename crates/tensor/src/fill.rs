@@ -1,0 +1,74 @@
+//! Deterministic synthetic workloads.
+//!
+//! The paper's kernels are data-oblivious — performance depends only on
+//! shapes — so experiments run on seeded pseudo-random data, which also
+//! makes every correctness comparison reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::filters::FilterSet;
+use crate::image::Image;
+use crate::maps::FeatureMaps;
+
+/// Fills a slice with uniform values in `[-1, 1)` from a seeded generator.
+pub fn fill_uniform(data: &mut [f32], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in data {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+}
+
+/// A seeded random image.
+pub fn random_image(height: usize, width: usize, seed: u64) -> Image {
+    let mut img = Image::zeros(height, width);
+    fill_uniform(img.as_mut_slice(), seed);
+    img
+}
+
+/// Seeded random feature maps.
+pub fn random_maps(channels: usize, height: usize, width: usize, seed: u64) -> FeatureMaps {
+    let mut maps = FeatureMaps::zeros(channels, height, width);
+    fill_uniform(maps.as_mut_slice(), seed);
+    maps
+}
+
+/// A seeded random filter bank.
+pub fn random_filters(count: usize, channels: usize, k: usize, seed: u64) -> FilterSet {
+    let mut filters = FilterSet::zeros(count, channels, k);
+    fill_uniform(filters.as_mut_slice(), seed);
+    filters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_data() {
+        let a = random_image(8, 8, 42);
+        let b = random_image(8, 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_data() {
+        let a = random_image(8, 8, 1);
+        let b = random_image(8, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_in_range() {
+        let maps = random_maps(2, 4, 4, 7);
+        assert!(maps.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn filters_are_seeded() {
+        let a = random_filters(2, 3, 3, 5);
+        let b = random_filters(2, 3, 3, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2 * 3 * 9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Filter banks: `F` filters of `C` channels and spatial size `K x K`.
+
+/// A bank of `count x channels x k x k` convolution filters, stored
+/// filter-major (`FCHW`): element `(f, c, i, j)` lives at
+/// `((f*C + c)*K + i)*K + j`.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_tensor::FilterSet;
+/// let sobel_x = FilterSet::from_vec(1, 1, 3, vec![
+///     -1.0, 0.0, 1.0,
+///     -2.0, 0.0, 2.0,
+///     -1.0, 0.0, 1.0,
+/// ]);
+/// assert_eq!(sobel_x.get(0, 0, 1, 2), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterSet {
+    count: usize,
+    channels: usize,
+    k: usize,
+    data: Vec<f32>,
+}
+
+impl FilterSet {
+    /// Creates a zero-filled filter bank.
+    pub fn zeros(count: usize, channels: usize, k: usize) -> Self {
+        FilterSet {
+            count,
+            channels,
+            k,
+            data: vec![0.0; count * channels * k * k],
+        }
+    }
+
+    /// Creates a bank from FCHW data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != count * channels * k * k`.
+    pub fn from_vec(count: usize, channels: usize, k: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            count * channels * k * k,
+            "filter data length {} does not match {count}x{channels}x{k}x{k}",
+            data.len()
+        );
+        FilterSet {
+            count,
+            channels,
+            k,
+            data,
+        }
+    }
+
+    /// Creates a bank from a per-tap function of `(filter, channel, i, j)`.
+    pub fn from_fn(
+        count: usize,
+        channels: usize,
+        k: usize,
+        f: impl Fn(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(count * channels * k * k);
+        for fi in 0..count {
+            for c in 0..channels {
+                for i in 0..k {
+                    for j in 0..k {
+                        data.push(f(fi, c, i, j));
+                    }
+                }
+            }
+        }
+        FilterSet {
+            count,
+            channels,
+            k,
+            data,
+        }
+    }
+
+    /// Number of filters `F`.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Channels per filter `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial size `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Linear FCHW index of `(f, c, i, j)`.
+    pub fn index(&self, f: usize, c: usize, i: usize, j: usize) -> usize {
+        debug_assert!(f < self.count && c < self.channels && i < self.k && j < self.k);
+        ((f * self.channels + c) * self.k + i) * self.k + j
+    }
+
+    /// Tap value at `(f, c, i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, f: usize, c: usize, i: usize, j: usize) -> f32 {
+        assert!(
+            f < self.count && c < self.channels && i < self.k && j < self.k,
+            "tap ({f},{c},{i},{j}) out of bounds"
+        );
+        self.data[self.index(f, c, i, j)]
+    }
+
+    /// Sets the tap value at `(f, c, i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, f: usize, c: usize, i: usize, j: usize, value: f32) {
+        assert!(
+            f < self.count && c < self.channels && i < self.k && j < self.k,
+            "tap ({f},{c},{i},{j}) out of bounds"
+        );
+        let idx = self.index(f, c, i, j);
+        self.data[idx] = value;
+    }
+
+    /// FCHW data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable FCHW data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total taps (`F * C * K * K`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the bank has no taps.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_fchw() {
+        let f = FilterSet::from_fn(2, 2, 2, |f, c, i, j| (f * 1000 + c * 100 + i * 10 + j) as f32);
+        assert_eq!(f.index(1, 1, 1, 1), 15);
+        assert_eq!(f.get(1, 0, 1, 0), 1010.0);
+        assert_eq!(f.as_slice()[15], 1111.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = FilterSet::zeros(1, 3, 5);
+        f.set(0, 2, 4, 4, 3.5);
+        assert_eq!(f.get(0, 2, 4, 4), 3.5);
+        assert_eq!(f.len(), 75);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        FilterSet::zeros(1, 1, 3).get(0, 0, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_validates() {
+        FilterSet::from_vec(1, 1, 3, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,180 @@
+//! IEEE 754 half-precision (binary16) conversions.
+//!
+//! The paper's section 6 points at `fp16` workloads as the place where the
+//! bank-width mismatch reappears on every architecture. The simulator moves
+//! raw bytes, so all that is needed host-side is a faithful `f32 <-> f16`
+//! conversion pair (storage in half, arithmetic in single — the standard
+//! "fp16 storage" scheme of the era).
+
+/// Converts an `f32` to binary16 bits, round-to-nearest-even, with
+/// overflow to infinity and gradual underflow to subnormals.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a NaN payload bit if any.
+        return sign | 0x7c00 | if frac != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, rebased to half's bias (15).
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+    if half_exp >= 0x1f {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if half_exp <= 0 {
+        // Subnormal half (or zero): shift the (implicit-1) mantissa right.
+        if half_exp < -10 {
+            return sign; // underflow to zero
+        }
+        let mant = frac | 0x0080_0000; // implicit 1
+        let shift = (14 - half_exp) as u32; // into 10-bit field
+        let halfway = 1u32 << (shift - 1);
+        let rounded = (mant >> shift)
+            + u32::from((mant & (halfway | ((1 << (shift - 1)) - 1))) > halfway
+                || (mant & halfway != 0 && (mant >> shift) & 1 == 1));
+        return sign | rounded as u16;
+    }
+    // Normal: round the 23-bit fraction to 10 bits, to nearest even.
+    let mant = frac >> 13;
+    let rem = frac & 0x1fff;
+    let mut out = ((half_exp as u32) << 10) | mant;
+    if rem > 0x1000 || (rem == 0x1000 && mant & 1 == 1) {
+        out += 1; // may carry into the exponent: that is correct rounding
+    }
+    sign | out as u16
+}
+
+/// Converts binary16 bits to `f32` (exact).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let frac = u32::from(bits & 0x03ff);
+    let out = match exp {
+        0 => {
+            if frac == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = frac * 2^-24.
+                let v = frac as f32 * (-24f32).exp2();
+                return if sign != 0 { -v } else { v };
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (frac << 13), // inf / nan
+        _ => sign | ((u32::from(exp) + 112) << 23) | (frac << 13),
+    };
+    f32::from_bits(out)
+}
+
+/// Quantizes an `f32` through half precision (`f32 -> f16 -> f32`) — what
+/// a value looks like after a round trip through fp16 storage.
+pub fn f16_roundtrip(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Encodes a slice of `f32`s as little-endian half-precision bytes.
+pub fn encode_f16_le(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian half-precision bytes to `f32`s.
+///
+/// # Panics
+///
+/// Panics if `bytes` has odd length.
+pub fn decode_f16_le(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(2), "half-precision data must be even-length");
+    bytes
+        .chunks_exact(2)
+        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            assert_eq!(f16_roundtrip(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16::MAX
+        assert_eq!(f16_bits_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7c00), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(0xfc00), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn subnormals_are_gradual() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = (-24f32).exp2();
+        assert_eq!(f16_roundtrip(tiny), tiny);
+        // Below half of it rounds to zero.
+        assert_eq!(f16_roundtrip(tiny / 4.0), 0.0);
+        // Largest subnormal.
+        let sub_max = 1023.0 * (-24f32).exp2();
+        assert_eq!(f16_roundtrip(sub_max), sub_max);
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+        // ties to even -> 1.0.
+        let v = 1.0 + (-11f32).exp2();
+        assert_eq!(f16_roundtrip(v), 1.0);
+        // Slightly above the tie rounds up.
+        let v = 1.0 + (-11f32).exp2() * 1.01;
+        assert_eq!(f16_roundtrip(v), 1.0 + (-10f32).exp2());
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        // Relative error of normal halves is at most 2^-11.
+        let mut x = 0.001f32;
+        while x < 60000.0 {
+            let r = f16_roundtrip(x);
+            assert!(((r - x) / x).abs() <= (-11f32).exp2(), "{x} -> {r}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn slice_encode_decode() {
+        let vals = [0.5f32, -1.25, 3.0, 0.0];
+        let bytes = encode_f16_le(&vals);
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(decode_f16_le(&bytes), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn odd_length_rejected() {
+        decode_f16_le(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Host-side `im2col` lowering — the transformation behind GEMM-based
+//! convolution (the paper's reference [7], Caffe's default path).
+//!
+//! `im2col` unrolls every `K x K x C` input patch into a column, turning
+//! convolution into the matrix product
+//!
+//! ```text
+//! output[F x P] = filters[F x (C*K*K)] * patches[(C*K*K) x P]
+//! ```
+//!
+//! with `P = out_h * out_w` output positions. Each input pixel is duplicated
+//! up to `K * K` times — the extra memory (and the extra global-memory
+//! traffic when done on the fly) that the paper's direct kernels avoid.
+
+use crate::maps::FeatureMaps;
+use crate::problem::ConvProblem;
+
+/// A dense row-major matrix, the host currency of the GEMM baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// Lowers `input` to the `(C*K*K) x (out_h*out_w)` patch matrix of
+/// `problem`.
+///
+/// Row `(c*K + i)*K + j`, column `y*out_w + x` holds
+/// `input[c][y*S + i][x*S + j]` (stride `S` from the problem).
+///
+/// # Panics
+///
+/// Panics if `input` does not match the problem shape.
+pub fn im2col(problem: &ConvProblem, input: &FeatureMaps) -> Matrix {
+    assert_eq!(input.channels(), problem.channels, "channel mismatch");
+    assert_eq!(input.height(), problem.height, "height mismatch");
+    assert_eq!(input.width(), problem.width, "width mismatch");
+    let k = problem.k;
+    let (oh, ow) = (problem.out_height(), problem.out_width());
+    let mut m = Matrix::zeros(problem.channels * k * k, oh * ow);
+    for c in 0..problem.channels {
+        for i in 0..k {
+            for j in 0..k {
+                let row = (c * k + i) * k + j;
+                for y in 0..oh {
+                    for x in 0..ow {
+                        m.set(
+                            row,
+                            y * ow + x,
+                            input.get(c, y * problem.stride + i, x * problem.stride + j),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_basics() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 4.0);
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_bounds() {
+        Matrix::zeros(2, 2).get(0, 2);
+    }
+
+    #[test]
+    fn im2col_identity_filter_layout() {
+        // 1 channel, 3x3 image, K=2: 4 rows x 4 columns.
+        let input = FeatureMaps::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as f32);
+        let p = ConvProblem::new(1, 3, 3, 1, 2);
+        let m = im2col(&p, &input);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 4);
+        // Column 0 = patch at (0,0): pixels 0,1,3,4.
+        assert_eq!(
+            (0..4).map(|r| m.get(r, 0)).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 3.0, 4.0]
+        );
+        // Column 3 = patch at (1,1): pixels 4,5,7,8.
+        assert_eq!(
+            (0..4).map(|r| m.get(r, 3)).collect::<Vec<_>>(),
+            vec![4.0, 5.0, 7.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn im2col_duplicates_pixels_k_squared_times() {
+        let input = FeatureMaps::from_fn(1, 5, 5, |_, y, x| (y * 5 + x) as f32);
+        let p = ConvProblem::new(1, 5, 5, 1, 3);
+        let m = im2col(&p, &input);
+        // Center pixel 12 appears in all 9 rows (once per offset).
+        let occurrences = m.as_slice().iter().filter(|&&v| v == 12.0).count();
+        assert_eq!(occurrences, 9);
+    }
+
+    #[test]
+    fn im2col_multichannel_rows() {
+        let input = FeatureMaps::from_fn(2, 2, 2, |c, y, x| (c * 10 + y * 2 + x) as f32);
+        let p = ConvProblem::new(2, 2, 2, 1, 2);
+        let m = im2col(&p, &input);
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 1);
+        assert_eq!(
+            (0..8).map(|r| m.get(r, 0)).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]
+        );
+    }
+
+    #[test]
+    fn im2col_honours_stride() {
+        let input = FeatureMaps::from_fn(1, 5, 5, |_, y, x| (y * 5 + x) as f32);
+        let p = ConvProblem::new(1, 5, 5, 1, 3).with_stride(2);
+        let m = im2col(&p, &input);
+        assert_eq!(m.cols(), 4); // 2x2 strided output
+        // Column 3 = patch at output (1,1) = input origin (2,2).
+        assert_eq!(m.get(0, 3), 12.0);
+        assert_eq!(m.get(8, 3), 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn im2col_validates_shapes() {
+        let input = FeatureMaps::zeros(1, 4, 4);
+        let p = ConvProblem::new(2, 4, 4, 1, 3);
+        im2col(&p, &input);
+    }
+}

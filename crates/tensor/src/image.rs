@@ -1,0 +1,232 @@
+//! Single-channel images — the input type of the paper's special-case
+//! kernel and of the image-processing applications.
+
+/// A single-channel `height x width` image of `f32` pixels, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_tensor::Image;
+/// let mut img = Image::zeros(2, 3);
+/// img.set(1, 2, 5.0);
+/// assert_eq!(img.get(1, 2), 5.0);
+/// assert_eq!(img.as_slice().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a zero-filled image.
+    pub fn zeros(height: usize, width: usize) -> Self {
+        Image {
+            height,
+            width,
+            data: vec![0.0; height * width],
+        }
+    }
+
+    /// Creates an image from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != height * width`.
+    pub fn from_vec(height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            height * width,
+            "image data length {} does not match {height}x{width}",
+            data.len()
+        );
+        Image {
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Creates an image from a per-pixel function of `(row, col)`.
+    pub fn from_fn(height: usize, width: usize, f: impl Fn(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(height * width);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(y, x));
+            }
+        }
+        Image {
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.height && col < self.width, "pixel ({row},{col}) out of bounds");
+        self.data[row * self.width + col]
+    }
+
+    /// Sets the pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.height && col < self.width, "pixel ({row},{col}) out of bounds");
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Row-major pixel data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major pixel data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// One row of pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= height`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.height, "row {row} out of bounds");
+        &self.data[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Returns a copy zero-padded (bottom/right) to `height x width` —
+    /// the layout the tiled kernels consume so that every tile, including
+    /// boundary tiles, has a full halo to read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the image.
+    pub fn padded_to(&self, height: usize, width: usize) -> Image {
+        assert!(
+            height >= self.height && width >= self.width,
+            "padded size {height}x{width} smaller than image {}x{}",
+            self.height,
+            self.width
+        );
+        let mut out = Image::zeros(height, width);
+        for y in 0..self.height {
+            out.data[y * width..y * width + self.width].copy_from_slice(self.row(y));
+        }
+        out
+    }
+
+    /// Returns a copy surrounded by a zero border (`top`/`bottom` rows,
+    /// `left`/`right` columns) — the "same"-convolution preparation: pad by
+    /// `(K-1)/2` on each side and the valid convolution returns the
+    /// original geometry.
+    pub fn padded_border(&self, top: usize, bottom: usize, left: usize, right: usize) -> Image {
+        let mut out = Image::zeros(self.height + top + bottom, self.width + left + right);
+        for y in 0..self.height {
+            let dst = (y + top) * out.width + left;
+            out.data[dst..dst + self.width].copy_from_slice(self.row(y));
+        }
+        out
+    }
+
+    /// Extracts the `rows x cols` top-left window (inverse of
+    /// [`Image::padded_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the image.
+    pub fn cropped_to(&self, rows: usize, cols: usize) -> Image {
+        assert!(rows <= self.height && cols <= self.width, "crop exceeds image");
+        Image::from_fn(rows, cols, |y, x| self.get(y, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut img = Image::zeros(4, 5);
+        assert_eq!(img.height(), 4);
+        assert_eq!(img.width(), 5);
+        img.set(3, 4, 2.0);
+        assert_eq!(img.get(3, 4), 2.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let img = Image::from_fn(2, 3, |y, x| (y * 10 + x) as f32);
+        assert_eq!(img.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(img.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_validates_len() {
+        Image::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        Image::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn padding_roundtrip() {
+        let img = Image::from_fn(3, 3, |y, x| (y + x) as f32);
+        let padded = img.padded_to(5, 6);
+        assert_eq!(padded.get(2, 2), 4.0);
+        assert_eq!(padded.get(4, 5), 0.0);
+        assert_eq!(padded.cropped_to(3, 3), img);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than image")]
+    fn padding_cannot_shrink() {
+        Image::zeros(4, 4).padded_to(3, 4);
+    }
+
+    #[test]
+    fn border_padding_centers_the_image() {
+        let img = Image::from_fn(2, 2, |y, x| (y * 2 + x + 1) as f32);
+        let p = img.padded_border(1, 1, 1, 1);
+        assert_eq!(p.height(), 4);
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(1, 1), 1.0);
+        assert_eq!(p.get(2, 2), 4.0);
+        assert_eq!(p.get(3, 3), 0.0);
+    }
+
+    #[test]
+    fn into_vec_returns_data() {
+        let img = Image::from_fn(1, 3, |_, x| x as f32);
+        assert_eq!(img.into_vec(), vec![0.0, 1.0, 2.0]);
+    }
+}

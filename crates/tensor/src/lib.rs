@@ -1,0 +1,41 @@
+//! # kconv-tensor — host-side data structures for the kconv kernels
+//!
+//! Images, feature maps (CHW), filter banks (FCHW), convolution problem
+//! descriptors, deterministic synthetic workloads, the `im2col` lowering
+//! used by the GEMM baselines, and floating-point comparison helpers.
+//!
+//! Everything here is plain host memory; device buffers live in
+//! `kconv-sim` and the kernels in `kconv-core` copy between the two.
+//!
+//! ## Example
+//!
+//! ```
+//! use kconv_tensor::{random_maps, random_filters, ConvProblem};
+//!
+//! let problem = ConvProblem::general(32, 16, 8, 3);
+//! let input = random_maps(16, 32, 32, 1);
+//! let filters = random_filters(8, 16, 3, 2);
+//! assert!(problem.matches(&input, &filters));
+//! assert_eq!(problem.out_pixels(), 30 * 30);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod approx;
+mod fill;
+mod filters;
+mod half;
+mod im2col;
+mod image;
+mod maps;
+mod problem;
+
+pub use approx::{all_close, assert_close, combined_error, worst_mismatch, Mismatch, CONV_TOL};
+pub use fill::{fill_uniform, random_filters, random_image, random_maps};
+pub use filters::FilterSet;
+pub use half::{decode_f16_le, encode_f16_le, f16_bits_to_f32, f16_roundtrip, f32_to_f16_bits};
+pub use im2col::{im2col, Matrix};
+pub use image::Image;
+pub use maps::FeatureMaps;
+pub use problem::ConvProblem;

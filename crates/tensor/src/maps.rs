@@ -1,0 +1,282 @@
+//! Multi-channel feature maps (CHW layout) — the input/output type of the
+//! general-case kernel and the CNN layer stacks.
+
+use crate::image::Image;
+
+/// A `channels x height x width` stack of feature maps, channel-major
+/// (CHW): element `(c, y, x)` lives at `c*H*W + y*W + x`.
+///
+/// This is the layout the paper assumes (Fig. 3a); batch is handled by the
+/// callers as an outer loop / extra grid dimension.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_tensor::FeatureMaps;
+/// let mut maps = FeatureMaps::zeros(2, 3, 4);
+/// maps.set(1, 2, 3, 9.0);
+/// assert_eq!(maps.get(1, 2, 3), 9.0);
+/// assert_eq!(maps.as_slice().len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMaps {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMaps {
+    /// Creates zero-filled maps.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        FeatureMaps {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Creates maps from CHW data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != channels * height * width`.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "data length {} does not match {channels}x{height}x{width}",
+            data.len()
+        );
+        FeatureMaps {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Creates maps from a per-element function of `(channel, row, col)`.
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        f: impl Fn(usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(channels * height * width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        FeatureMaps {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Wraps a single image as a one-channel map stack.
+    pub fn from_image(image: Image) -> Self {
+        let (h, w) = (image.height(), image.width());
+        FeatureMaps {
+            channels: 1,
+            height: h,
+            width: w,
+            data: image.into_vec(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Linear CHW index of `(c, y, x)`.
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Element at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "element ({c},{y},{x}) out of bounds"
+        );
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Sets the element at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: f32) {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "element ({c},{y},{x}) out of bounds"
+        );
+        let i = self.index(c, y, x);
+        self.data[i] = value;
+    }
+
+    /// CHW data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable CHW data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One channel as an [`Image`] copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels`.
+    pub fn channel(&self, c: usize) -> Image {
+        assert!(c < self.channels, "channel {c} out of bounds");
+        let start = c * self.height * self.width;
+        Image::from_vec(
+            self.height,
+            self.width,
+            self.data[start..start + self.height * self.width].to_vec(),
+        )
+    }
+
+    /// Returns a copy with every channel surrounded by a zero border — the
+    /// "same"-convolution preparation (see [`Image::padded_border`]).
+    pub fn padded_border(
+        &self,
+        top: usize,
+        bottom: usize,
+        left: usize,
+        right: usize,
+    ) -> FeatureMaps {
+        let mut out = FeatureMaps::zeros(
+            self.channels,
+            self.height + top + bottom,
+            self.width + left + right,
+        );
+        for c in 0..self.channels {
+            for y in 0..self.height {
+                let src = self.index(c, y, 0);
+                let dst = out.index(c, y + top, left);
+                out.data[dst..dst + self.width]
+                    .copy_from_slice(&self.data[src..src + self.width]);
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with every channel zero-padded (bottom/right) to
+    /// `height x width` (see [`Image::padded_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the maps.
+    pub fn padded_to(&self, height: usize, width: usize) -> FeatureMaps {
+        assert!(
+            height >= self.height && width >= self.width,
+            "padded size smaller than maps"
+        );
+        let mut out = FeatureMaps::zeros(self.channels, height, width);
+        for c in 0..self.channels {
+            for y in 0..self.height {
+                let src = self.index(c, y, 0);
+                let dst = out.index(c, y, 0);
+                out.data[dst..dst + self.width]
+                    .copy_from_slice(&self.data[src..src + self.width]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_chw() {
+        let maps = FeatureMaps::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(
+            maps.as_slice(),
+            &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
+        );
+        assert_eq!(maps.index(1, 1, 0), 6);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut maps = FeatureMaps::zeros(3, 4, 5);
+        maps.set(2, 3, 4, -1.5);
+        assert_eq!(maps.get(2, 3, 4), -1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        FeatureMaps::zeros(1, 1, 1).get(1, 0, 0);
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let maps = FeatureMaps::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        let ch1 = maps.channel(1);
+        assert_eq!(ch1.get(1, 1), 111.0);
+    }
+
+    #[test]
+    fn from_image_is_single_channel() {
+        let img = Image::from_fn(2, 2, |y, x| (y + x) as f32);
+        let maps = FeatureMaps::from_image(img.clone());
+        assert_eq!(maps.channels(), 1);
+        assert_eq!(maps.channel(0), img);
+    }
+
+    #[test]
+    fn padding_pads_every_channel() {
+        let maps = FeatureMaps::from_fn(2, 2, 2, |c, _, _| c as f32 + 1.0);
+        let padded = maps.padded_to(3, 4);
+        assert_eq!(padded.get(1, 1, 1), 2.0);
+        assert_eq!(padded.get(1, 2, 3), 0.0);
+        assert_eq!(padded.get(0, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn border_padding_every_channel() {
+        let maps = FeatureMaps::from_fn(2, 1, 1, |c, _, _| c as f32 + 1.0);
+        let p = maps.padded_border(1, 0, 1, 0);
+        assert_eq!((p.height(), p.width()), (2, 2));
+        assert_eq!(p.get(0, 1, 1), 1.0);
+        assert_eq!(p.get(1, 1, 1), 2.0);
+        assert_eq!(p.get(1, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_validates() {
+        FeatureMaps::from_vec(2, 2, 2, vec![0.0; 7]);
+    }
+}

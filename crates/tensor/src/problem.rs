@@ -1,0 +1,200 @@
+//! Convolution problem descriptors.
+
+use crate::filters::FilterSet;
+use crate::maps::FeatureMaps;
+
+/// Shape of a direct-convolution problem: `C` input channels of
+/// `H x W` pixels, `F` filters of size `K x K`, "valid" semantics
+/// (no implicit padding; output is `(H-K)/S+1 x (W-K)/S+1` for stride
+/// `S`, which defaults to 1 — the only stride the paper's direct kernels
+/// support; the GEMM baselines handle any stride).
+///
+/// The paper's figures sweep `(N, K, F)` for the special case (`C` = 1,
+/// `N x N` images) and `(N, K, C, F)` for the general case.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_tensor::ConvProblem;
+/// let p = ConvProblem::new(64, 128, 128, 32, 3);
+/// assert_eq!(p.out_height(), 126);
+/// assert_eq!(p.flops(), 2 * 64 * 9 * 32 * 126 * 126);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvProblem {
+    /// Input channels `C`.
+    pub channels: usize,
+    /// Input height `H`.
+    pub height: usize,
+    /// Input width `W`.
+    pub width: usize,
+    /// Number of filters `F` (output channels).
+    pub filters: usize,
+    /// Filter spatial size `K`.
+    pub k: usize,
+    /// Spatial stride `S` (1 unless set via [`ConvProblem::with_stride`]).
+    pub stride: usize,
+}
+
+impl ConvProblem {
+    /// Creates a problem descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the filter exceeds the image.
+    pub fn new(channels: usize, height: usize, width: usize, filters: usize, k: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0 && filters > 0 && k > 0,
+            "all problem dimensions must be positive"
+        );
+        assert!(
+            k <= height && k <= width,
+            "filter size {k} exceeds image {height}x{width}"
+        );
+        ConvProblem {
+            channels,
+            height,
+            width,
+            filters,
+            k,
+            stride: 1,
+        }
+    }
+
+    /// Returns the problem with spatial stride `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Special-case problem: one channel, square `n x n` image.
+    pub fn special(n: usize, filters: usize, k: usize) -> Self {
+        ConvProblem::new(1, n, n, filters, k)
+    }
+
+    /// General-case problem: square `n x n` image.
+    pub fn general(n: usize, channels: usize, filters: usize, k: usize) -> Self {
+        ConvProblem::new(channels, n, n, filters, k)
+    }
+
+    /// Output height `(H - K) / S + 1`.
+    pub fn out_height(&self) -> usize {
+        (self.height - self.k) / self.stride + 1
+    }
+
+    /// Output width `(W - K) / S + 1`.
+    pub fn out_width(&self) -> usize {
+        (self.width - self.k) / self.stride + 1
+    }
+
+    /// Output elements per filter.
+    pub fn out_pixels(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+
+    /// Floating-point operations of the direct algorithm
+    /// (`2 * C * K^2` per output element per filter).
+    pub fn flops(&self) -> u64 {
+        2 * self.channels as u64
+            * (self.k * self.k) as u64
+            * self.filters as u64
+            * self.out_pixels() as u64
+    }
+
+    /// Whether `input` and `filters` match this problem's shapes.
+    pub fn matches(&self, input: &FeatureMaps, filters: &FilterSet) -> bool {
+        input.channels() == self.channels
+            && input.height() == self.height
+            && input.width() == self.width
+            && filters.count() == self.filters
+            && filters.channels() == self.channels
+            && filters.k() == self.k
+    }
+}
+
+impl std::fmt::Display for ConvProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conv C={} {}x{} K={} F={} S={}",
+            self.channels, self.height, self.width, self.k, self.filters, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_are_valid_convolution() {
+        let p = ConvProblem::special(32, 4, 5);
+        assert_eq!(p.out_height(), 28);
+        assert_eq!(p.out_width(), 28);
+        assert_eq!(p.out_pixels(), 784);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let p = ConvProblem::general(10, 3, 2, 3);
+        // 2 * 3 * 9 * 2 * 8 * 8
+        assert_eq!(p.flops(), 6912);
+    }
+
+    #[test]
+    fn one_by_one_filter_is_identity_shape() {
+        let p = ConvProblem::special(16, 8, 1);
+        assert_eq!(p.out_height(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        ConvProblem::new(0, 4, 4, 1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds image")]
+    fn oversized_filter_rejected() {
+        ConvProblem::new(1, 2, 2, 1, 3);
+    }
+
+    #[test]
+    fn matches_checks_all_shapes() {
+        let p = ConvProblem::general(8, 2, 3, 3);
+        let input = FeatureMaps::zeros(2, 8, 8);
+        let filters = FilterSet::zeros(3, 2, 3);
+        assert!(p.matches(&input, &filters));
+        assert!(!p.matches(&FeatureMaps::zeros(1, 8, 8), &filters));
+        assert!(!p.matches(&input, &FilterSet::zeros(3, 2, 5)));
+    }
+
+    #[test]
+    fn stride_shrinks_output() {
+        let p = ConvProblem::special(11, 1, 3).with_stride(2);
+        assert_eq!(p.out_height(), 5);
+        assert_eq!(p.out_width(), 5);
+        // Non-exact division truncates (the last window that fits).
+        let p = ConvProblem::special(12, 1, 3).with_stride(2);
+        assert_eq!(p.out_height(), 5);
+        // Default stride is 1.
+        assert_eq!(ConvProblem::special(11, 1, 3).stride, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        ConvProblem::special(8, 1, 3).with_stride(0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = ConvProblem::general(8, 2, 3, 3).to_string();
+        assert!(s.contains("C=2") && s.contains("K=3") && s.contains("F=3") && s.contains("S=1"));
+    }
+}

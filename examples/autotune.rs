@@ -1,0 +1,70 @@
+//! Design-space exploration from the public API — how Table 1 was made.
+//!
+//! Explores the general-kernel configuration space for a user-supplied
+//! problem shape and prints the top candidates with their modeled
+//! throughput and the resources that limit them.
+//!
+//! Run with: `cargo run --release --example autotune [-- K [C] [F]]`
+
+use kconv::core::tune::{candidate_space, explore_general, is_feasible};
+use kconv::prelude::*;
+use kconv::sim::occupancy;
+use kconv_sim::LaunchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let k = args.first().copied().unwrap_or(3);
+    let c = args.get(1).copied().unwrap_or(64);
+    let f = args.get(2).copied().unwrap_or(64);
+
+    let spec = GpuSpec::kepler_k40m();
+    let problem = ConvProblem::general(64 + k - 1, c, f, k);
+    println!("exploring general-kernel configs for {problem} on {spec}\n");
+
+    let space = candidate_space();
+    let feasible = space
+        .iter()
+        .filter(|cfg| is_feasible(&spec, cfg, &problem))
+        .count();
+    println!("{} candidates, {feasible} feasible\n", space.len());
+
+    let results = explore_general(&spec, &problem, &space, 2)?;
+    println!(
+        "{:<4} {:>3} {:>2} {:>5} {:>4} {:>4} {:>5} {:>9}  {:<14} smem",
+        "rank", "W", "H", "F_TB", "W_T", "F_T", "C_SH", "GFlop/s", "limiter"
+    );
+    for (i, r) in results.iter().take(10).enumerate() {
+        let cfg = &r.config;
+        let launch = LaunchConfig::new("probe", 1024, cfg.threads())
+            .with_smem(cfg.smem_bytes(k))
+            .with_regs(cfg.regs_per_thread(k));
+        let occ = occupancy(&spec, &launch)?;
+        println!(
+            "{:<4} {:>3} {:>2} {:>5} {:>4} {:>4} {:>5} {:>9.0}  {:<14} {} B",
+            i + 1,
+            cfg.width,
+            cfg.height,
+            cfg.f_tb,
+            cfg.w_t,
+            cfg.f_t,
+            cfg.c_sh,
+            r.gflops,
+            occ.limiter,
+            cfg.smem_bytes(k)
+        );
+    }
+
+    let paper = GeneralConfig::table1(k);
+    if let Some(pos) = results.iter().position(|r| r.config == paper) {
+        println!(
+            "\nthe paper's Table 1 config for {k}x{k} ranks #{} of {} here\n\
+             (a different machine model reshuffles near-ties; see EXPERIMENTS.md)",
+            pos + 1,
+            results.len()
+        );
+    }
+    Ok(())
+}

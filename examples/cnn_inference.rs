@@ -1,0 +1,73 @@
+//! CNN inference with per-layer engine selection and timing — the paper's
+//! headline workload for the general-case kernel.
+//!
+//! Runs two stacks:
+//! * a LeNet-flavoured stack on a grayscale input, whose first layer is
+//!   exactly the paper's special case (C = 1);
+//! * a VGG-flavoured stack on an RGB input, exercising the general kernel
+//!   at growing channel counts;
+//!
+//! and compares the automatic engine against forcing the cuDNN-like
+//! baseline everywhere.
+//!
+//! Run with: `cargo run --release --example cnn_inference`
+
+use kconv::prelude::*;
+
+fn run_stack(
+    name: &str,
+    stack: &LayerStack,
+    input: FeatureMaps,
+    engine: Engine,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let run = stack.run(&mut gpu, input, engine, SimMode::Sampled(4))?;
+    println!("\n{name} with engine {engine:?}:");
+    println!(
+        "  {:<22} {:<28} {:>9} {:>10}",
+        "layer", "engine", "time(ms)", "GFlop/s"
+    );
+    for layer in &run.layers {
+        println!(
+            "  {:<22} {:<28} {:>9.3} {:>10.1}",
+            layer.name,
+            layer.engine,
+            layer.seconds * 1e3,
+            layer.gflops
+        );
+    }
+    println!(
+        "  total conv time: {:.3} ms; final maps: {}x{}x{}",
+        run.total_seconds() * 1e3,
+        run.output.channels(),
+        run.output.height(),
+        run.output.width()
+    );
+    Ok(run.total_seconds())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "CNN inference on the simulated {}",
+        GpuSpec::kepler_k40m()
+    );
+
+    // LeNet-flavoured, grayscale 68x68.
+    let lenet = LayerStack::lenet_like();
+    let gray = random_maps(1, 68, 68, 7);
+    run_stack("LeNet-like", &lenet, gray.clone(), Engine::Auto)?;
+
+    // VGG-flavoured, RGB 130x130.
+    let vgg = LayerStack::vgg_like();
+    let rgb = random_maps(3, 130, 130, 8);
+    let t_auto = run_stack("VGG-like", &vgg, rgb.clone(), Engine::Auto)?;
+    let t_gemm = run_stack("VGG-like", &vgg, rgb, Engine::ImplicitGemm)?;
+
+    println!(
+        "\nVGG-like stack: the paper's kernels are {:.2}x faster end-to-end than\n\
+         the cuDNN-like baseline under the model (paper: +35.5% on average for\n\
+         individual general-case layers).",
+        t_gemm / t_auto
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Quickstart: run the paper's two kernels and both GEMM baselines on one
+//! problem each, verify their outputs against the CPU reference, and print
+//! the modeled performance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kconv::prelude::*;
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = GpuSpec::kepler_k40m();
+    println!("simulated device: {spec}");
+
+    // ------------------------------------------------------------------
+    // Special case: one input channel (paper section 3).
+    // ------------------------------------------------------------------
+    banner("special case: 512x512 grayscale image, 8 filters of 3x3");
+    let problem = ConvProblem::special(512, 8, 3);
+    let image = random_maps(1, 512, 512, 1);
+    let filters = random_filters(8, 1, 3, 2);
+
+    let engines: Vec<Box<dyn Convolution>> = vec![
+        Box::new(SpecialConv::default()),
+        Box::new(SpecialConv::new(SpecialConfig::kepler_unmatched())),
+        Box::new(ImplicitGemmConv::default()),
+    ];
+    for engine in engines {
+        let mut gpu = Gpu::new(spec.clone());
+        let run = engine.run(&mut gpu, &problem, &image, &filters, SimMode::Full)?;
+        run.verify_executed(&problem, &image, &filters, CONV_TOL)
+            .expect("output verified against the CPU reference");
+        println!(
+            "{:<38} {:>8.3} ms   {:>7.1} GFlop/s   (verified)",
+            engine.name(),
+            run.report.seconds() * 1e3,
+            run.effective_gflops(&problem),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // General case: a CNN layer (paper section 4).
+    // ------------------------------------------------------------------
+    banner("general case: 64x64 feature maps, C=64 -> F=64, 3x3");
+    let problem = ConvProblem::general(66, 64, 64, 3);
+    let maps = random_maps(64, 66, 66, 3);
+    let filters = random_filters(64, 64, 3, 4);
+
+    let engines: Vec<Box<dyn Convolution>> = vec![
+        Box::new(GeneralConv::table1(3)),
+        Box::new(ImplicitGemmConv::default()),
+        Box::new(ExplicitGemmConv::default()),
+    ];
+    for engine in engines {
+        let mut gpu = Gpu::new(spec.clone());
+        let run = engine.run(&mut gpu, &problem, &maps, &filters, SimMode::Full)?;
+        run.verify_executed(&problem, &maps, &filters, CONV_TOL)
+            .expect("output verified against the CPU reference");
+        println!(
+            "{:<38} {:>8.3} ms   {:>7.1} GFlop/s   (verified)",
+            engine.name(),
+            run.report.seconds() * 1e3,
+            run.effective_gflops(&problem),
+        );
+    }
+
+    println!(
+        "\nTimes are the simulator's trace-driven model of a Tesla K40m; see\n\
+         EXPERIMENTS.md for how they compare to the paper's measurements."
+    );
+    Ok(())
+}

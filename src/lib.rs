@@ -1,0 +1,59 @@
+//! # kconv — memory-efficient GPU convolution kernels, reproduced in Rust
+//!
+//! A full reproduction of *"Optimizing Memory Efficiency for Convolution
+//! Kernels on Kepler GPUs"* (Chen, Chen, Chen, Hu — DAC 2017) as a pure-Rust
+//! workspace: the paper's two direct-convolution kernels and its baselines,
+//! running on a warp-level simulator of the Kepler memory hierarchy.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`sim`] — the GPU simulator (shared-memory banks, coalescing,
+//!   constant-memory broadcast, timing model);
+//! * [`tensor`] — host tensors and problem descriptors;
+//! * [`core`] — the paper's kernels, baselines, traffic model and tuner;
+//! * [`gemm`] — the blocked SGEMM kernels of the Fig. 2 motivation
+//!   experiment;
+//! * [`apps`] — image processing and CNN layer stacks on the public API.
+//!
+//! The [`prelude`] pulls in the names a typical user needs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kconv::prelude::*;
+//!
+//! # fn main() -> Result<(), kconv::core::ConvError> {
+//! let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+//! let problem = ConvProblem::special(128, 4, 3);
+//! let image = random_maps(1, 128, 128, 1);
+//! let filters = random_filters(4, 1, 3, 2);
+//!
+//! let run = SpecialConv::default().run(&mut gpu, &problem, &image, &filters, SimMode::Full)?;
+//! println!("{:.1} GFlop/s (modeled)", run.effective_gflops(&problem));
+//! run.verify_executed(&problem, &image, &filters, CONV_TOL).expect("correct");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use kconv_apps as apps;
+pub use kconv_core as core;
+pub use kconv_gemm as gemm;
+pub use kconv_sim as sim;
+pub use kconv_tensor as tensor;
+
+/// The most commonly used names of the workspace, re-exported flat.
+pub mod prelude {
+    pub use kconv_apps::{edge_detect, smooth, template_match, Engine, LayerStack};
+    pub use kconv_core::{
+        conv_reference, ConvRun, Convolution, ExplicitGemmConv, GeneralConfig, GeneralConv,
+        ImplicitGemmConv, SpecialConfig, SpecialConv,
+    };
+    pub use kconv_gemm::{launch_gemm, GemmConfig, GemmShape};
+    pub use kconv_sim::{Gpu, GpuSpec, SimMode};
+    pub use kconv_tensor::{
+        random_filters, random_image, random_maps, ConvProblem, FeatureMaps, FilterSet, Image,
+        CONV_TOL,
+    };
+}

@@ -1,0 +1,105 @@
+//! Property-based fuzzing over *kernel configurations*: any configuration
+//! that passes validation must produce correct output. This hunts for
+//! address-arithmetic bugs in corners the presets never reach (odd tile
+//! shapes, extreme register tiles, every vector width).
+
+use kconv::prelude::*;
+use kconv::core::{SpecialConvF16, SpecialConvI8, F16_TOL, I8_TOL, quantize_maps, Encoding, i8_input_scale, i8_output_scale};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random valid special-case configurations compute the reference.
+    #[test]
+    fn special_config_fuzz(
+        width_pow in 4usize..8,          // W in {16..128}
+        height in prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(8)],
+        vec_width in prop_oneof![Just(1usize), Just(2), Just(4)],
+        k in prop_oneof![Just(1usize), Just(3), Just(5)],
+        f in 1usize..4,
+        extra in 0usize..9,
+    ) {
+        let cfg = SpecialConfig { width: 1 << width_pow, height, vec_width };
+        let spec = GpuSpec::kepler_k40m();
+        prop_assume!(cfg.validate(&spec, k, f).is_ok());
+        let n = (1 << width_pow) + k + extra; // at least one full tile column
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, (width_pow * 31 + extra) as u64);
+        let filters = random_filters(f, 1, k, 71);
+        let mut gpu = Gpu::new(spec);
+        let run = SpecialConv::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .map_err(|e| TestCaseError::fail(format!("{cfg:?}: {e}")))?;
+    }
+
+    /// Random valid general-case configurations compute the reference.
+    #[test]
+    fn general_config_fuzz(
+        width in prop_oneof![Just(8usize), Just(16), Just(32)],
+        height in prop_oneof![Just(2usize), Just(4)],
+        w_t in prop_oneof![Just(2usize), Just(4), Just(8)],
+        f_t in prop_oneof![Just(2usize), Just(4)],
+        f_groups in 1usize..3,
+        c_sh in prop_oneof![Just(1usize), Just(2)],
+        c_mult in 1usize..3,
+        k in prop_oneof![Just(1usize), Just(3), Just(5)],
+    ) {
+        let f_tb = f_t * 2;
+        let cfg = GeneralConfig { width, height, f_tb, w_t, f_t, c_sh, vec_width: 2 };
+        let spec = GpuSpec::kepler_k40m();
+        prop_assume!(cfg.validate(&spec, k).is_ok());
+        prop_assume!(width % w_t == 0);
+        let c = c_sh * c_mult;
+        let f = f_tb * f_groups;
+        let n = width + k + 3; // ragged tiles on purpose
+        let problem = ConvProblem::general(n, c, f, k);
+        let input = random_maps(c, n, n, (width * 7 + k) as u64);
+        let filters = random_filters(f, c, k, 73);
+        let mut gpu = Gpu::new(spec);
+        let run = GeneralConv::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        run.verify_executed(&problem, &input, &filters, CONV_TOL)
+            .map_err(|e| TestCaseError::fail(format!("{cfg:?}: {e}")))?;
+    }
+
+    /// Random narrow-storage configurations compute the quantized
+    /// reference, for both encodings.
+    #[test]
+    fn narrow_config_fuzz(
+        vec_width in prop_oneof![Just(1usize), Just(2), Just(4)],
+        k in prop_oneof![Just(1usize), Just(3), Just(5)],
+        f in 1usize..3,
+        extra in 0usize..7,
+    ) {
+        let cfg = SpecialConfig { width: 32, height: 4, vec_width };
+        let n = 32 + k + extra;
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, 91 + extra as u64);
+        let filters = random_filters(f, 1, k, 93);
+
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = SpecialConvF16::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        let q = quantize_maps(&input, Encoding::F16);
+        run.verify_executed(&problem, &q, &filters, F16_TOL)
+            .map_err(|e| TestCaseError::fail(format!("f16 {cfg:?}: {e}")))?;
+
+        let i8cfg = SpecialConfig { vec_width: vec_width * 2, ..cfg };
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = SpecialConvI8::new(i8cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        let enc = Encoding::I8 {
+            scale_in: i8_input_scale(&input),
+            scale_out: i8_output_scale(&input, &filters),
+        };
+        let q = quantize_maps(&input, enc);
+        run.verify_executed(&problem, &q, &filters, I8_TOL)
+            .map_err(|e| TestCaseError::fail(format!("i8 {i8cfg:?}: {e}")))?;
+    }
+}

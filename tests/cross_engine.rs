@@ -1,0 +1,116 @@
+//! Cross-crate integration: every convolution engine computes the same
+//! function, across problem shapes, including property-based shape
+//! generation.
+
+use kconv::prelude::*;
+use proptest::prelude::*;
+
+fn engines() -> Vec<Box<dyn Convolution>> {
+    vec![
+        Box::new(ImplicitGemmConv::default()),
+        Box::new(ExplicitGemmConv::default()),
+    ]
+}
+
+/// Runs every engine able to handle `problem` and checks all outputs agree
+/// with the CPU reference.
+fn check_all_engines(problem: ConvProblem, seed: u64) {
+    let input = random_maps(problem.channels, problem.height, problem.width, seed);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, seed + 1);
+    let reference = conv_reference(&problem, &input, &filters);
+
+    let mut ran = 0;
+    let mut candidates = engines();
+    if problem.channels == 1 {
+        candidates.push(Box::new(SpecialConv::new(SpecialConfig {
+            width: 32,
+            height: 4,
+            vec_width: 2,
+        })));
+        candidates.push(Box::new(SpecialConv::new(SpecialConfig {
+            width: 32,
+            height: 4,
+            vec_width: 1,
+        })));
+    }
+    if let Some(cfg) = GeneralConfig::for_problem(
+        &GpuSpec::kepler_k40m(),
+        problem.k,
+        problem.channels,
+        problem.filters,
+    ) {
+        candidates.push(Box::new(GeneralConv::new(cfg)));
+    }
+    for engine in candidates {
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let run = engine
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap_or_else(|e| panic!("{} on {problem}: {e}", engine.name()));
+        kconv::tensor::assert_close(
+            run.output.as_slice(),
+            reference.as_slice(),
+            CONV_TOL,
+            &format!("{} on {problem}", engine.name()),
+        );
+        ran += 1;
+    }
+    assert!(ran >= 2, "at least the two baselines must run {problem}");
+}
+
+#[test]
+fn all_engines_agree_on_canonical_shapes() {
+    for (c, n, f, k) in [
+        (1usize, 40usize, 4usize, 3usize),
+        (1, 40, 1, 1),
+        (1, 40, 2, 5),
+        (2, 20, 8, 3),
+        (4, 24, 16, 5),
+        (3, 20, 8, 3), // odd channel count
+        (8, 16, 8, 7),
+    ] {
+        check_all_engines(ConvProblem::general(n, c, f, k), 1000 + k as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Engines agree on arbitrary small shapes.
+    #[test]
+    fn engines_agree_on_random_shapes(
+        c in 1usize..5,
+        extra in 0usize..12,
+        f in 1usize..10,
+        k in prop_oneof![Just(1usize), Just(2), Just(3), Just(5)],
+    ) {
+        let n = k + 8 + extra;
+        check_all_engines(ConvProblem::general(n, c, f, k), 7 + extra as u64);
+    }
+
+    /// The special kernel agrees with the reference over random single-
+    /// channel shapes and both vector widths.
+    #[test]
+    fn special_kernel_random_shapes(
+        extra in 0usize..20,
+        f in 1usize..6,
+        k in prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+        vw in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let n = k + 10 + extra;
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, extra as u64);
+        let filters = random_filters(f, 1, k, extra as u64 + 9);
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let conv = SpecialConv::new(SpecialConfig { width: 32, height: 4, vec_width: vw });
+        let run = conv
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .unwrap();
+        let want = conv_reference(&problem, &input, &filters);
+        kconv::tensor::assert_close(
+            run.output.as_slice(),
+            want.as_slice(),
+            CONV_TOL,
+            "special proptest",
+        );
+    }
+}

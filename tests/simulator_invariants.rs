@@ -1,0 +1,137 @@
+//! Property-based invariants of the simulator substrate: the bank-conflict
+//! model, coalescing, statistics scaling, and sampled-vs-full equivalence.
+
+use kconv::sim::{
+    bank_conflict_cycles, lane_addrs_from, BankWidth, Gpu, GpuSpec, KernelStats, LaneMask,
+    LaunchConfig, SimMode, WARP_SIZE,
+};
+use proptest::prelude::*;
+
+fn arb_addrs() -> impl Strategy<Value = [u64; WARP_SIZE]> {
+    prop::array::uniform32(0u64..4096).prop_map(|a| a.map(|v| v * 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Replay count is bounded by the active lane count (a lane contributes
+    /// at most ceil(width/bank) words to any one bank).
+    #[test]
+    fn conflict_cycles_bounded(addrs in arb_addrs(), mask_bits in any::<u32>()) {
+        let mask = LaneMask(mask_bits);
+        for bw in [BankWidth::B4, BankWidth::B8] {
+            let out = bank_conflict_cycles(&addrs, 4, mask, 32, bw);
+            prop_assert!(out.cycles >= 1);
+            prop_assert!(out.cycles <= (mask.count().max(1)) as u64);
+        }
+    }
+
+    /// For *contiguous* scalar accesses (the pattern every kernel here
+    /// uses for staging), both bank widths are conflict-free from any
+    /// 4-byte-aligned base.
+    #[test]
+    fn contiguous_scalar_accesses_are_conflict_free(base in 0u64..4096) {
+        let addrs = lane_addrs_from(|l| base * 4 + l as u64 * 4);
+        for bw in [BankWidth::B4, BankWidth::B8] {
+            let out = bank_conflict_cycles(&addrs, 4, LaneMask::ALL, 32, bw);
+            prop_assert_eq!(out.cycles, 1);
+        }
+    }
+
+    /// Deactivating lanes never increases the cost.
+    #[test]
+    fn subset_masks_cost_no_more(addrs in arb_addrs(), mask_bits in any::<u32>(), drop in any::<u32>()) {
+        let full = LaneMask(mask_bits);
+        let sub = LaneMask(mask_bits & !drop);
+        let a = bank_conflict_cycles(&addrs, 4, full, 32, BankWidth::B8);
+        let b = bank_conflict_cycles(&addrs, 4, sub, 32, BankWidth::B8);
+        prop_assert!(b.cycles <= a.cycles);
+    }
+
+    /// A uniform warp access always costs one cycle on any geometry.
+    #[test]
+    fn uniform_access_is_always_one_cycle(addr in 0u64..65536, width in prop_oneof![Just(4u64), Just(8)]) {
+        let addrs = [addr * 4; WARP_SIZE];
+        for bw in [BankWidth::B4, BankWidth::B8] {
+            let out = bank_conflict_cycles(&addrs, width, LaneMask::ALL, 32, bw);
+            prop_assert_eq!(out.cycles, 1);
+        }
+    }
+
+    /// Stats scaling is exactly linear for whole multiples.
+    #[test]
+    fn stats_scaling_linear(fma in 0u64..1_000_000, bytes in 0u64..1_000_000, mult in 1u64..64) {
+        let s = KernelStats {
+            fma_lane_ops: fma,
+            gm_ld_bytes_bus: bytes,
+            blocks_total: 1,
+            ..Default::default()
+        };
+        let t = s.scaled_to_blocks(mult, 1);
+        prop_assert_eq!(t.fma_lane_ops, fma * mult);
+        prop_assert_eq!(t.gm_ld_bytes_bus, bytes * mult);
+    }
+}
+
+/// Wider banks are not universally better: two addresses that live in
+/// different 4-byte banks can collide in one 8-byte bank. (This is why the
+/// paper's fix is to *match the computation width*, not to hope the wider
+/// banks absorb the old pattern.)
+#[test]
+fn wider_banks_can_introduce_conflicts() {
+    // addr 0: B4 bank 0; addr 260: B4 word 65 -> bank 1 (no conflict).
+    // Under B8: words 0 and 32 -> both bank 0, different words (conflict).
+    let addrs = lane_addrs_from(|l| if l == 0 { 0 } else { 260 });
+    let narrow = bank_conflict_cycles(&addrs, 4, LaneMask::first(2), 32, BankWidth::B4);
+    let wide = bank_conflict_cycles(&addrs, 4, LaneMask::first(2), 32, BankWidth::B8);
+    assert_eq!(narrow.cycles, 1);
+    assert_eq!(wide.cycles, 2);
+}
+
+/// Sampled execution of a homogeneous kernel reproduces the Full-mode
+/// counters and timing exactly.
+#[test]
+fn sampled_equals_full_for_homogeneous_kernel() {
+    let kernel = |dst: kconv::sim::GmBuf| {
+        move |blk: &mut kconv::sim::BlockCtx<'_>| {
+            let id = blk.dims.block_id as u64;
+            blk.each_warp(|w| {
+                let addrs = lane_addrs_from(|lane| dst.f32_addr(id * 32 + lane as u64));
+                let vals = [[1.5f32]; WARP_SIZE];
+                w.st_global::<1>(&addrs, &vals, LaneMask::ALL);
+                w.count_fma(96);
+            });
+            blk.sync();
+        }
+    };
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let dst = gpu.alloc_f32(120 * 32).unwrap();
+    let cfg = LaunchConfig::new("homog", 120, 32);
+    let full = gpu.launch(&cfg, SimMode::Full, kernel(dst)).unwrap();
+    let sampled = gpu.launch(&cfg, SimMode::Sampled(5), kernel(dst)).unwrap();
+    assert_eq!(full.stats.fma_lane_ops, sampled.stats.fma_lane_ops);
+    assert_eq!(full.stats.gm_st_bytes_bus, sampled.stats.gm_st_bytes_bus);
+    assert_eq!(full.stats.barriers, sampled.stats.barriers);
+    assert!((full.seconds() - sampled.seconds()).abs() < 1e-15);
+}
+
+/// The matched/unmatched bandwidth relationship (the paper's Fig. 1) holds
+/// for every supported bank width and element size combination.
+#[test]
+fn mismatch_model_is_exhaustive() {
+    for bw in [BankWidth::B4, BankWidth::B8] {
+        for width in [1u64, 2, 4, 8] {
+            if width > bw.bytes() {
+                continue;
+            }
+            let n = bw.mismatch_factor(width);
+            // Contiguous elements of `width` bytes across the warp.
+            let addrs = lane_addrs_from(|l| l as u64 * width);
+            let out = bank_conflict_cycles(&addrs, width, LaneMask::ALL, 32, bw);
+            assert_eq!(out.cycles, 1, "{bw:?} width {width}");
+            let useful = 32 * width;
+            let capacity = 32 * bw.bytes();
+            assert_eq!(capacity / useful, n, "{bw:?} width {width}");
+        }
+    }
+}
