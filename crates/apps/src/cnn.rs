@@ -302,7 +302,11 @@ mod tests {
             .run(&mut g, input, Engine::Auto, SimMode::Sampled(2))
             .unwrap();
         // The strided stem takes the GEMM path, the rest the paper's kernel.
-        assert!(run.layers[0].engine.contains("GEMM"), "{}", run.layers[0].engine);
+        assert!(
+            run.layers[0].engine.contains("GEMM"),
+            "{}",
+            run.layers[0].engine
+        );
         assert!(run.layers[1].engine.contains("general"));
         // conv1: (39-7)/2+1 = 17; conv2: 13, pool -> 6; conv3: 4.
         assert_eq!(run.output.height(), 4);
@@ -323,7 +327,9 @@ mod tests {
         let mut g = gpu();
         let input = random_maps(2, 10, 10, 66);
         let layer = ConvLayer::random("probe", 4, 2, 3, 67).with_pool();
-        let stack = LayerStack { layers: vec![layer.clone()] };
+        let stack = LayerStack {
+            layers: vec![layer.clone()],
+        };
         let run = stack
             .run(&mut g, input.clone(), Engine::ImplicitGemm, SimMode::Full)
             .unwrap();

@@ -22,7 +22,8 @@ const THREADS: usize = 256;
 pub fn relu_device(gpu: &mut Gpu, maps: &FeatureMaps) -> Result<(FeatureMaps, LaunchReport)> {
     let total = maps.as_slice().len();
     let d_in = gpu.alloc_f32(total as u64).map_err(ConvError::Sim)?;
-    gpu.upload_f32(d_in, maps.as_slice()).map_err(ConvError::Sim)?;
+    gpu.upload_f32(d_in, maps.as_slice())
+        .map_err(ConvError::Sim)?;
     let d_out = gpu.alloc_f32(total as u64).map_err(ConvError::Sim)?;
 
     let launch = LaunchConfig::new("relu", total.div_ceil(THREADS), THREADS)
@@ -79,7 +80,8 @@ pub fn max_pool2_device(gpu: &mut Gpu, maps: &FeatureMaps) -> Result<(FeatureMap
     let d_in = gpu
         .alloc_f32(maps.as_slice().len() as u64)
         .map_err(ConvError::Sim)?;
-    gpu.upload_f32(d_in, maps.as_slice()).map_err(ConvError::Sim)?;
+    gpu.upload_f32(d_in, maps.as_slice())
+        .map_err(ConvError::Sim)?;
     let d_out = gpu.alloc_f32(total as u64).map_err(ConvError::Sim)?;
 
     let launch = LaunchConfig::new("maxpool2", total.div_ceil(THREADS), THREADS)

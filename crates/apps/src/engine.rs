@@ -68,8 +68,7 @@ impl Engine {
                     // strided layers take the universal GEMM path.
                     Ok(Box::new(ImplicitGemmConv::default()))
                 } else if problem.channels == 1
-                    && (problem.filters * problem.k * problem.k * 4) as u64
-                        <= gpu.spec().cm_bytes
+                    && (problem.filters * problem.k * problem.k * 4) as u64 <= gpu.spec().cm_bytes
                 {
                     Ok(Box::new(SpecialConv::default()))
                 } else if let Some(cfg) = GeneralConfig::for_problem(

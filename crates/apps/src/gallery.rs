@@ -40,12 +40,7 @@ pub fn sobel_pair() -> FilterSet {
 
 /// The 3x3 discrete Laplacian.
 pub fn laplacian() -> FilterSet {
-    FilterSet::from_vec(
-        1,
-        1,
-        3,
-        vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
-    )
+    FilterSet::from_vec(1, 1, 3, vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0])
 }
 
 /// A normalized `k x k` Gaussian smoothing filter with standard deviation

@@ -15,7 +15,13 @@ fn run_on_image(
     filters: &FilterSet,
     engine: Engine,
 ) -> Result<ConvRun, ConvError> {
-    let problem = ConvProblem::new(1, image.height(), image.width(), filters.count(), filters.k());
+    let problem = ConvProblem::new(
+        1,
+        image.height(),
+        image.width(),
+        filters.count(),
+        filters.k(),
+    );
     let input = FeatureMaps::from_image(image.clone());
     engine.run(gpu, &problem, &input, filters, SimMode::Full)
 }
@@ -309,7 +315,7 @@ mod tests {
         // theta = 0, 45, 90, 135 degrees) should peak on the bar column.
         let vertical = &m.peaks[2];
         assert_eq!(vertical.x + 3, 20, "peak at {:?}", vertical); // center offset (K-1)/2
-        // And it must beat the horizontal template's best score.
+                                                                  // And it must beat the horizontal template's best score.
         assert!(vertical.score > m.peaks[0].score);
         // The combined map peaks on the bar too.
         let (h, w) = (m.max_response.height(), m.max_response.width());
@@ -342,7 +348,9 @@ mod tests {
         assert!(edge_count > 30.0, "too few edge pixels: {edge_count}");
         assert_eq!(result.edges.get(20, 20), 0.0, "interior must be clean");
         assert_eq!(result.edges.get(5, 5), 0.0, "background must be clean");
-        let boundary: f32 = (14..26).map(|x| result.edges.get(13, x) + result.edges.get(14, x)).sum();
+        let boundary: f32 = (14..26)
+            .map(|x| result.edges.get(13, x) + result.edges.get(14, x))
+            .sum();
         assert!(boundary >= 10.0, "top boundary weak: {boundary}");
     }
 

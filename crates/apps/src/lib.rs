@@ -40,4 +40,6 @@ pub mod imgproc;
 pub use cnn::{ConvLayer, LayerReport, LayerStack, StackRun};
 pub use device_ops::{max_pool2_device, relu_device};
 pub use engine::Engine;
-pub use imgproc::{canny, edge_detect, smooth, template_match, CannyMap, Detection, EdgeMap, MatchMap};
+pub use imgproc::{
+    canny, edge_detect, smooth, template_match, CannyMap, Detection, EdgeMap, MatchMap,
+};

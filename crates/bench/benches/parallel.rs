@@ -1,0 +1,92 @@
+//! Serial vs parallel launch-path wall-clock comparison on a Fig. 8 layer.
+//!
+//! Runs the general-case 3x3 kernel (Table 1 configuration) over a full
+//! `N' = 64, C = 64, F = 64` grid twice — once with
+//! [`Parallelism::Serial`], once with the auto thread count — and writes
+//! the measurement to `BENCH_parallel.json` in the workspace root:
+//!
+//! ```json
+//! { "serial_seconds": ..., "parallel_seconds": ..., "speedup": ...,
+//!   "threads": ..., "host_cores": ... }
+//! ```
+//!
+//! Counters and outputs are bit-identical between the two runs (asserted
+//! here; proven more broadly by `tests/simulator_invariants.rs`), so the
+//! only thing that changes is wall-clock time. The speedup scales with
+//! physical cores; on a single-core host the parallel path measures the
+//! journaling overhead instead (expect ~1x or slightly below).
+//!
+//! Usage: `cargo bench -p kconv-bench --bench parallel`
+
+use std::time::Instant;
+
+use kconv_core::{Convolution, GeneralConv};
+use kconv_sim::{Gpu, GpuSpec, LaunchReport, Parallelism, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet};
+
+const ITERS: usize = 3;
+
+fn run_once(
+    parallelism: Parallelism,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+) -> (f64, LaunchReport) {
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+    let conv = GeneralConv::table1(3);
+    let t = Instant::now();
+    let run = conv
+        .run(&mut gpu, problem, input, filters, SimMode::Full)
+        .expect("fig8 layer launches");
+    (t.elapsed().as_secs_f64(), run.report)
+}
+
+/// Best-of-N wall time plus the report of the last run (for the
+/// bit-identity check).
+fn measure(
+    parallelism: Parallelism,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+) -> (f64, LaunchReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..ITERS {
+        let (secs, report) = run_once(parallelism, problem, input, filters);
+        best = best.min(secs);
+        last = Some(report);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn main() {
+    let problem = ConvProblem::general(64 + 2, 64, 64, 3);
+    let input = random_maps(problem.channels, problem.height, problem.width, 201);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
+
+    // At least two workers so the journaled parallel path is actually
+    // exercised (one worker degrades to the serial path by design).
+    let threads = Parallelism::env_or_auto().worker_threads().max(2);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("fig8_general 3x3 (N'=64 C=64 F=64), SimMode::Full, best of {ITERS}");
+    let (serial_s, serial_r) = measure(Parallelism::Serial, &problem, &input, &filters);
+    println!("  serial:              {serial_s:.3} s");
+    let (par_s, par_r) = measure(Parallelism::Threads(threads), &problem, &input, &filters);
+    println!("  parallel ({threads} threads): {par_s:.3} s");
+    let speedup = serial_s / par_s;
+    println!("  speedup:             {speedup:.2}x on {host_cores} host core(s)");
+
+    assert_eq!(
+        serial_r.stats, par_r.stats,
+        "parallel counters must be bit-identical to serial"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {par_s:.6},\n  \"speedup\": {speedup:.4},\n  \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \"iters\": {ITERS}\n}}\n"
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_parallel.json");
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}

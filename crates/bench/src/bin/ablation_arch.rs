@@ -13,13 +13,13 @@
 
 use kconv_bench::print_table;
 use kconv_core::{Convolution, SpecialConfig, SpecialConv, SpecialConvF16, SpecialConvI8};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 fn seconds(conv: &dyn Convolution, spec: &GpuSpec, problem: &ConvProblem) -> f64 {
     let input = random_maps(1, problem.height, problem.width, 501);
     let filters = random_filters(problem.filters, 1, problem.k, 503);
-    let mut gpu = Gpu::new(spec.clone());
+    let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
     conv.run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
         .unwrap_or_else(|e| panic!("{} on {}: {e}", conv.name(), spec.name))
         .report

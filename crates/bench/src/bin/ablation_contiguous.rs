@@ -1,6 +1,6 @@
 //! Ablation — contiguous outputs per thread vs the blocked-GEMM layout
 //! (the general kernel's "major difference" from the paper's reference
-//! [19], section 4.2).
+//! \[19\], section 4.2).
 //!
 //! The paper's general kernel assigns each thread `W_T` *contiguous*
 //! output pixels so that one `W_T + K - 1` register row serves `K` FMA
@@ -15,7 +15,7 @@
 use kconv_bench::print_table;
 use kconv_core::model::general_sm_reduction;
 use kconv_core::{Convolution, GeneralConfig, GeneralConv, GeneralConvStrided};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 fn main() {
@@ -27,7 +27,8 @@ fn main() {
         let input = random_maps(64, 64 + k - 1, 64 + k - 1, 701);
         let filters = random_filters(cfg.f_tb, 64, k, 703);
         let run = |conv: &dyn Convolution| {
-            let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+            let mut gpu =
+                Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
             conv.run(&mut gpu, &problem, &input, &filters, SimMode::Sampled(2))
                 .unwrap_or_else(|e| panic!("{}: {e}", conv.name()))
                 .report

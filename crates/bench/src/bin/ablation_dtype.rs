@@ -10,14 +10,14 @@
 
 use kconv_bench::print_table;
 use kconv_core::{BandwidthProbe, DataType};
-use kconv_sim::{Gpu, GpuSpec};
+use kconv_sim::{Gpu, GpuSpec, Parallelism};
 
 fn main() {
     println!("Section 6 — shared-memory fabric utilization by data width\n");
     let mut rows = Vec::new();
     for spec in [GpuSpec::kepler_k40m(), GpuSpec::maxwell_like()] {
         for dtype in [DataType::F32, DataType::F16, DataType::I8] {
-            let mut gpu = Gpu::new(spec.clone());
+            let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
             let un = BandwidthProbe::new(dtype, false)
                 .run(&mut gpu)
                 .expect("probe");

@@ -11,7 +11,7 @@
 
 use kconv_bench::print_table;
 use kconv_core::{Convolution, GeneralConfig, GeneralConv, SpecialConfig, SpecialConv};
-use kconv_sim::{timing, Gpu, GpuSpec, LaunchConfig, OverlapMode, SimMode};
+use kconv_sim::{timing, Gpu, GpuSpec, LaunchConfig, OverlapMode, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 fn main() {
@@ -25,12 +25,16 @@ fn main() {
         let input = random_maps(1, 1024, 1024, 401);
         let filters = random_filters(32, 1, 3, 403);
         let cfg = SpecialConfig::kepler_best();
-        let mut gpu = Gpu::new(spec.clone());
+        let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
         let run = SpecialConv::new(cfg)
             .run(&mut gpu, &problem, &input, &filters, SimMode::Sampled(2))
             .expect("special run");
         let blocks = run.report.stats.blocks_total as usize;
-        for overlap in [OverlapMode::Prefetch, OverlapMode::Moderate, OverlapMode::Serial] {
+        for overlap in [
+            OverlapMode::Prefetch,
+            OverlapMode::Moderate,
+            OverlapMode::Serial,
+        ] {
             let launch = LaunchConfig::new("special", blocks, cfg.threads())
                 .with_smem(cfg.smem_bytes(3))
                 .with_regs(cfg.regs_per_thread(3))
@@ -51,12 +55,16 @@ fn main() {
         let input = random_maps(64, 130, 130, 405);
         let filters = random_filters(64, 64, 3, 407);
         let cfg = GeneralConfig::table1_3x3();
-        let mut gpu = Gpu::new(spec.clone());
+        let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
         let run = GeneralConv::new(cfg)
             .run(&mut gpu, &problem, &input, &filters, SimMode::Sampled(2))
             .expect("general run");
         let blocks = run.report.stats.blocks_total as usize;
-        for overlap in [OverlapMode::Prefetch, OverlapMode::Moderate, OverlapMode::Serial] {
+        for overlap in [
+            OverlapMode::Prefetch,
+            OverlapMode::Moderate,
+            OverlapMode::Serial,
+        ] {
             let launch = LaunchConfig::new("general", blocks, cfg.threads())
                 .with_smem(cfg.smem_bytes(3))
                 .with_regs(cfg.regs_per_thread(3))

@@ -9,16 +9,14 @@
 //! Usage: `cargo run --release -p kconv-bench --bin ablation_unmatched [--quick]`
 
 use kconv_bench::{geomean, print_table};
-use kconv_core::{
-    Convolution, GeneralConfig, GeneralConv, SpecialConfig, SpecialConv,
-};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_core::{Convolution, GeneralConfig, GeneralConv, SpecialConfig, SpecialConv};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 fn gflops(conv: &dyn Convolution, problem: &ConvProblem) -> f64 {
     let input = random_maps(problem.channels, problem.height, problem.width, 301);
     let filters = random_filters(problem.filters, problem.channels, problem.k, 303);
-    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
     conv.run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
         .unwrap_or_else(|e| panic!("{}: {e}", conv.name()))
         .effective_gflops(problem)
@@ -32,7 +30,11 @@ fn main() {
     let mut special_losses = Vec::new();
     let mut general_losses = Vec::new();
 
-    let ns: Vec<usize> = if quick { vec![512] } else { vec![512, 1024, 2048] };
+    let ns: Vec<usize> = if quick {
+        vec![512]
+    } else {
+        vec![512, 1024, 2048]
+    };
     for &n in &ns {
         for f in [8usize, 64] {
             let problem = ConvProblem::special(n, f, 3);
@@ -72,7 +74,13 @@ fn main() {
         }
     }
     print_table(
-        &["kernel", "problem", "matched GF/s", "unmatched GF/s", "loss"],
+        &[
+            "kernel",
+            "problem",
+            "matched GF/s",
+            "unmatched GF/s",
+            "loss",
+        ],
         &rows,
     );
     let sp = 100.0 * (1.0 - 1.0 / geomean(&special_losses));

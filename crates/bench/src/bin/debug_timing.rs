@@ -1,7 +1,7 @@
 //! Developer utility: per-component timing breakdown of each convolution
 //! engine on one problem. Not part of the paper's artifacts.
 use kconv_core::{Convolution, GeneralConv, ImplicitGemmConv};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 fn main() {
@@ -14,15 +14,26 @@ fn main() {
         Box::new(ImplicitGemmConv::default()),
     ];
     for e in engines {
-        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
-        let run = e.run(&mut gpu, &problem, &input, &filters, SimMode::Sampled(2)).unwrap();
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
+        let run = e
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Sampled(2))
+            .unwrap();
         let t = &run.report.timing;
         println!("{}:", e.name());
-        println!("  blocks={} occ={:?}", run.report.stats.blocks_total, t.occupancy);
+        println!(
+            "  blocks={} occ={:?}",
+            run.report.stats.blocks_total, t.occupancy
+        );
         println!("  compute={:.3}ms smem={:.3}ms cm={:.3}ms gm={:.3}ms barrier={:.3}ms latency={:.3}ms total={:.3}ms",
             t.t_compute*1e3, t.t_smem*1e3, t.t_cm*1e3, t.t_gm*1e3, t.t_barrier*1e3, t.t_latency*1e3, t.t_total*1e3);
-        println!("  gflops(alg)={:.0} fma={} alu={} sm_req={} sm_cyc={} replay={:.3}",
-            run.effective_gflops(&problem), run.report.stats.fma_lane_ops, run.report.stats.alu_lane_ops,
-            run.report.stats.sm_requests(), run.report.stats.sm_cycles(), run.report.stats.sm_replay_factor());
+        println!(
+            "  gflops(alg)={:.0} fma={} alu={} sm_req={} sm_cyc={} replay={:.3}",
+            run.effective_gflops(&problem),
+            run.report.stats.fma_lane_ops,
+            run.report.stats.alu_lane_ops,
+            run.report.stats.sm_requests(),
+            run.report.stats.sm_cycles(),
+            run.report.stats.sm_replay_factor()
+        );
     }
 }

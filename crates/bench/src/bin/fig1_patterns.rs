@@ -50,16 +50,24 @@ fn main() {
     ];
 
     for bank in [BankWidth::B8, BankWidth::B4] {
-        println!("--- {bank} ({}) ---", match bank {
-            BankWidth::B8 => "Kepler",
-            BankWidth::B4 => "Fermi/Maxwell",
-        });
+        println!(
+            "--- {bank} ({}) ---",
+            match bank {
+                BankWidth::B8 => "Kepler",
+                BankWidth::B4 => "Fermi/Maxwell",
+            }
+        );
         let capacity = 32 * bank.bytes();
         let rows: Vec<Vec<String>> = patterns
             .iter()
             .map(|p| {
-                let out =
-                    bank_conflict_cycles(&lane_addrs(0, p.stride), p.width, LaneMask::ALL, 32, bank);
+                let out = bank_conflict_cycles(
+                    &lane_addrs(0, p.stride),
+                    p.width,
+                    LaneMask::ALL,
+                    32,
+                    bank,
+                );
                 let useful = WARP_SIZE as u64 * p.width;
                 let bw = useful as f64 / (out.cycles * capacity) as f64;
                 vec![
@@ -72,7 +80,13 @@ fn main() {
             })
             .collect();
         print_table(
-            &["pattern", "cycles", "useful bytes", "fabric use", "broadcast"],
+            &[
+                "pattern",
+                "cycles",
+                "useful bytes",
+                "fabric use",
+                "broadcast",
+            ],
             &rows,
         );
         println!();

@@ -11,12 +11,12 @@
 //! Usage: `cargo run --release -p kconv-bench --bin fig2_gemm [--quick]`
 
 use kconv_bench::{geomean, print_table};
-use kconv_gemm::{gemm_ref_tile, launch_gemm, block_tile, GemmConfig, GemmShape};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_gemm::{block_tile, gemm_ref_tile, launch_gemm, GemmConfig, GemmShape};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::assert_close;
 
 fn run_config(cfg: &GemmConfig, dim: usize, verify: bool) -> f64 {
-    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
     let shape = GemmShape::square(dim);
     let elems = (dim * dim) as u64;
     let a = gpu.alloc_f32(elems).expect("alloc A");
@@ -25,8 +25,12 @@ fn run_config(cfg: &GemmConfig, dim: usize, verify: bool) -> f64 {
 
     // Data is performance-irrelevant; use a cheap deterministic pattern and
     // verify one sampled block against the CPU reference at small sizes.
-    let av: Vec<f32> = (0..dim * dim).map(|i| ((i % 17) as f32 - 8.0) / 8.0).collect();
-    let bv: Vec<f32> = (0..dim * dim).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect();
+    let av: Vec<f32> = (0..dim * dim)
+        .map(|i| ((i % 17) as f32 - 8.0) / 8.0)
+        .collect();
+    let bv: Vec<f32> = (0..dim * dim)
+        .map(|i| ((i % 13) as f32 - 6.0) / 6.0)
+        .collect();
     gpu.upload_f32(a, &av).expect("upload A");
     gpu.upload_f32(b, &bv).expect("upload B");
 
@@ -62,7 +66,10 @@ fn main() {
         GemmConfig::fermi_tuned_matched(),
     ];
 
-    println!("Fig. 2 — SGEMM execution time on simulated {}\n", GpuSpec::kepler_k40m());
+    println!(
+        "Fig. 2 — SGEMM execution time on simulated {}\n",
+        GpuSpec::kepler_k40m()
+    );
     let mut rows = Vec::new();
     let mut magma_over_cublas = Vec::new();
     let mut mod_saving = Vec::new();

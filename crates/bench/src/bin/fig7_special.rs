@@ -13,7 +13,7 @@
 
 use kconv_bench::{geomean, print_table};
 use kconv_core::{Convolution, ImplicitGemmConv, SpecialConfig, SpecialConv};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem, CONV_TOL};
 
 struct Point {
@@ -28,7 +28,7 @@ struct Point {
 fn run_conv(conv: &dyn Convolution, problem: &ConvProblem, verify: bool) -> f64 {
     let input = random_maps(1, problem.height, problem.width, 101);
     let filters = random_filters(problem.filters, 1, problem.k, 103);
-    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
     let run = conv
         .run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
         .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));

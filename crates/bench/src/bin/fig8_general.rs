@@ -10,7 +10,7 @@
 
 use kconv_bench::{geomean, print_table};
 use kconv_core::{Convolution, GeneralConv, ImplicitGemmConv};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem, CONV_TOL};
 
 struct Point {
@@ -25,7 +25,7 @@ struct Point {
 fn run_conv(conv: &dyn Convolution, problem: &ConvProblem, verify: bool) -> f64 {
     let input = random_maps(problem.channels, problem.height, problem.width, 201);
     let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
-    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
     let run = conv
         .run(&mut gpu, problem, &input, &filters, SimMode::Sampled(2))
         .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));
@@ -85,7 +85,15 @@ fn report(k: usize, points: &[Point]) {
         })
         .collect();
     print_table(
-        &["N'", "C", "F", "cuDNN-v5-like", "cuDNN+tex", "our kernel", "improvement"],
+        &[
+            "N'",
+            "C",
+            "F",
+            "cuDNN-v5-like",
+            "cuDNN+tex",
+            "our kernel",
+            "improvement",
+        ],
         &rows,
     );
 

@@ -17,12 +17,10 @@ fn main() {
     let spec = GpuSpec::kepler_k40m();
     let (n, f, k) = if quick { (512, 8, 3) } else { (2048, 32, 3) };
     let problem = ConvProblem::special(n, f, k);
-    println!(
-        "Special-case tile exploration on simulated {spec}\nprobe problem: {problem}\n"
-    );
+    println!("Special-case tile exploration on simulated {spec}\nprobe problem: {problem}\n");
 
-    let results = explore_special(&spec, &problem, &special_candidate_space(), 2)
-        .expect("exploration");
+    let results =
+        explore_special(&spec, &problem, &special_candidate_space(), 2).expect("exploration");
     let rows: Vec<Vec<String>> = results
         .iter()
         .enumerate()

@@ -29,13 +29,16 @@ fn main() {
     let spec = GpuSpec::kepler_k40m();
     println!("Table 1 — best general-case configurations on simulated {spec}\n");
     let (n, c, f) = if quick { (64, 32, 64) } else { (128, 64, 64) };
-    println!("probe problem: N'={n}, C={c}, F={f}; candidate space: {} configs\n", candidate_space().len());
+    println!(
+        "probe problem: N'={n}, C={c}, F={f}; candidate space: {} configs\n",
+        candidate_space().len()
+    );
 
     let mut rows = Vec::new();
     for k in [3usize, 5, 7] {
         let problem = ConvProblem::general(n + k - 1, c, f, k);
-        let results = explore_general(&spec, &problem, &candidate_space(), 2)
-            .expect("exploration failed");
+        let results =
+            explore_general(&spec, &problem, &candidate_space(), 2).expect("exploration failed");
         let best = results.first().expect("no feasible configuration");
         let paper = GeneralConfig::table1(k);
         let mut row = vec![format!("{k}x{k}"), "ours".into()];
@@ -57,7 +60,9 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["K", "config", "W", "H", "F_TB", "W_T", "F_T", "C_SH", "GFlop/s"],
+        &[
+            "K", "config", "W", "H", "F_TB", "W_T", "F_T", "C_SH", "GFlop/s",
+        ],
         &rows,
     );
     println!(

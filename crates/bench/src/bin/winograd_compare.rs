@@ -19,7 +19,7 @@
 use kconv_bench::print_table;
 use kconv_core::winograd::{multiplication_counts, transformed_filter_bytes, winograd_conv_3x3};
 use kconv_core::{conv_reference, Convolution, GeneralConv};
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
         // Measured direct-kernel rate on the simulated K40m.
         let inp = random_maps(c, n + 2, n + 2, 605);
         let flt = random_filters(f, c, 3, 607);
-        let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::env_or_auto());
         let run = GeneralConv::table1(3)
             .run(&mut gpu, &problem, &inp, &flt, SimMode::Sampled(2))
             .expect("direct run");
@@ -79,7 +79,11 @@ fn main() {
         let served = winograd_conv_3x3(&problem, &inp, &flt).is_ok();
         rows.push(vec![
             name.to_string(),
-            if served { "yes".into() } else { "no (filter-size-specialized)".into() },
+            if served {
+                "yes".into()
+            } else {
+                "no (filter-size-specialized)".into()
+            },
         ]);
     }
     print_table(&["filter", "F(2x2,3x3) applicable"], &rows);

@@ -1,0 +1,122 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds in fully offline environments, so it cannot depend
+//! on `criterion`; the bench targets (which set `harness = false`) drive
+//! this instead. It keeps the parts that matter for tracking the
+//! reproduction pipeline — warm-up, automatic iteration calibration, a
+//! name filter from the command line — and none of the statistics
+//! machinery.
+
+use std::time::{Duration, Instant};
+
+/// Runs named benchmarks, skipping those that do not match the optional
+/// command-line filter (`cargo bench -- <substring>`).
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    min_time: Duration,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, treating the first
+    /// non-flag argument as a substring filter on benchmark names.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Harness {
+            filter,
+            min_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Overrides the minimum measurement window.
+    pub fn with_min_time(mut self, min_time: Duration) -> Self {
+        self.min_time = min_time;
+        self
+    }
+
+    /// Times `f`, printing the mean per-iteration wall time.
+    ///
+    /// Returns the mean iteration time, or `None` if the benchmark was
+    /// filtered out.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Option<Duration> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        // Warm-up and calibration: grow the iteration count until one
+        // timed batch fills the measurement window.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_time {
+                break elapsed / iters.max(1) as u32;
+            }
+            let target = self.min_time.as_secs_f64() * 1.2;
+            let scale = if elapsed.is_zero() {
+                16.0
+            } else {
+                (target / elapsed.as_secs_f64()).clamp(2.0, 1024.0)
+            };
+            iters = ((iters as f64) * scale).ceil() as u64;
+        };
+        println!(
+            "{name:<40} {:>12} /iter  (n={iters})",
+            fmt_duration(per_iter)
+        );
+        Some(per_iter)
+    }
+}
+
+/// Formats a duration with an SI prefix matched to its magnitude.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtered_out_benchmarks_are_skipped() {
+        let h = Harness {
+            filter: Some("other".into()),
+            min_time: Duration::from_millis(1),
+        };
+        assert!(h.bench("this_name", || 1 + 1).is_none());
+    }
+
+    #[test]
+    fn matching_benchmarks_report_a_time() {
+        let h = Harness {
+            filter: None,
+            min_time: Duration::from_millis(1),
+        };
+        let t = h.bench("tiny", || std::hint::black_box(3u64).pow(2));
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn durations_format_with_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(150)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(150)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(15)).ends_with(" s"));
+    }
+}

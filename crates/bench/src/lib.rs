@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// Renders a row of fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

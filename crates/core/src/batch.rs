@@ -49,7 +49,10 @@ impl BatchRun {
 }
 
 /// Runs `conv` over every image of a batch (one launch each, shared
-/// filters), validating shapes up front.
+/// filters), validating shapes up front. Each launch honors the caller's
+/// [`Gpu::parallelism`] setting — batch drivers typically opt in with
+/// [`kconv_sim::Parallelism::env_or_auto`], which is bit-identical to
+/// serial execution.
 ///
 /// # Errors
 ///
@@ -89,7 +92,9 @@ mod tests {
 
     fn batch(n: usize) -> (ConvProblem, Vec<FeatureMaps>, FilterSet) {
         let problem = ConvProblem::special(40, 2, 3);
-        let inputs = (0..n).map(|i| random_maps(1, 40, 40, 100 + i as u64)).collect();
+        let inputs = (0..n)
+            .map(|i| random_maps(1, 40, 40, 100 + i as u64))
+            .collect();
         let filters = random_filters(2, 1, 3, 200);
         (problem, inputs, filters)
     }

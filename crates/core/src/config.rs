@@ -232,7 +232,11 @@ impl GeneralConfig {
         filters: usize,
     ) -> Option<GeneralConfig> {
         let base = GeneralConfig::table1(k);
-        let c_sh = if channels.is_multiple_of(base.c_sh) { base.c_sh } else { 1 };
+        let c_sh = if channels.is_multiple_of(base.c_sh) {
+            base.c_sh
+        } else {
+            1
+        };
         for f_tb in [base.f_tb, 64, 32, 16, 8, 4] {
             if !filters.is_multiple_of(f_tb) {
                 continue;
@@ -311,10 +315,16 @@ impl GeneralConfig {
             return Err("all dimensions must be positive".into());
         }
         if !self.f_tb.is_multiple_of(self.f_t) {
-            return Err(format!("F_TB {} not divisible by F_T {}", self.f_tb, self.f_t));
+            return Err(format!(
+                "F_TB {} not divisible by F_T {}",
+                self.f_tb, self.f_t
+            ));
         }
         if !self.width.is_multiple_of(self.w_t) {
-            return Err(format!("W {} not divisible by W_T {}", self.width, self.w_t));
+            return Err(format!(
+                "W {} not divisible by W_T {}",
+                self.width, self.w_t
+            ));
         }
         if !(self.width * self.height).is_multiple_of(self.w_t) {
             return Err("tile pixels not divisible by W_T".into());
@@ -364,7 +374,9 @@ mod tests {
         let spec = GpuSpec::kepler_k40m();
         for k in [1, 3, 5, 7] {
             SpecialConfig::kepler_best().validate(&spec, k, 64).unwrap();
-            SpecialConfig::kepler_unmatched().validate(&spec, k, 64).unwrap();
+            SpecialConfig::kepler_unmatched()
+                .validate(&spec, k, 64)
+                .unwrap();
         }
     }
 

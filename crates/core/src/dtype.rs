@@ -114,7 +114,11 @@ impl BandwidthProbe {
         let threads = 256usize;
         let span = threads * unit; // bytes touched per sweep
         let cfg = LaunchConfig::new(
-            format!("smem probe {} {}", self.dtype, if self.matched { "matched" } else { "unmatched" }),
+            format!(
+                "smem probe {} {}",
+                self.dtype,
+                if self.matched { "matched" } else { "unmatched" }
+            ),
             1,
             threads,
         )
@@ -137,8 +141,7 @@ impl BandwidthProbe {
                         w.st_shared_bytes::<1>(&addrs, &vals, LaneMask::ALL);
                     }
                     2 => {
-                        let vals: [[u8; 2]; WARP_SIZE] =
-                            std::array::from_fn(|l| [l as u8, 2]);
+                        let vals: [[u8; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as u8, 2]);
                         w.st_shared_bytes::<2>(&addrs, &vals, LaneMask::ALL);
                     }
                     4 => {
@@ -182,8 +185,7 @@ impl BandwidthProbe {
 
         let cap = gpu.spec().smem_bytes_per_cycle();
         // Utilization of the load stream only (exclude the setup stores).
-        let load_bytes = report.stats.sm_bytes_useful
-            - (threads * unit) as u64;
+        let load_bytes = report.stats.sm_bytes_useful - (threads * unit) as u64;
         let utilization = load_bytes as f64 / (report.stats.sm_ld_cycles as f64 * cap as f64);
         Ok(ProbeResult {
             utilization,

@@ -16,8 +16,7 @@
 
 use kconv_gemm::{launch_gemm, GemmConfig, GemmShape};
 use kconv_sim::{
-    lane_addrs_from, Gpu, KernelStats, LaneMask, LaunchConfig, LaunchReport, OverlapMode,
-    SimMode,
+    lane_addrs_from, Gpu, KernelStats, LaneMask, LaunchConfig, LaunchReport, OverlapMode, SimMode,
 };
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
@@ -166,9 +165,7 @@ impl Convolution for ExplicitGemmConv {
                     let ow = p.out_width();
                     let (oy, ox) = (px / ow, px % ow);
                     d_in.f32_addr(
-                        ((c * p.height + oy * p.stride + dy) * p.width
-                            + ox * p.stride
-                            + dx) as u64,
+                        ((c * p.height + oy * p.stride + dy) * p.width + ox * p.stride + dx) as u64,
                     )
                 });
                 w.count_alu(mask.count() as u64 * DECODE_ALU);

@@ -26,8 +26,7 @@
 //!   scattered-transaction cost.
 
 use kconv_sim::{
-    lane_addrs_from, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode,
-    WARP_SIZE,
+    lane_addrs_from, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode, WARP_SIZE,
 };
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
@@ -291,8 +290,7 @@ fn general_block<const N: usize>(
                             let ty = t / tx_count;
                             let r_t = ty / cols_per_row;
                             let col_t = (ty % cols_per_row) * w_t;
-                            (((i * slab_rows + r_t + j) * g.img_pitch + col_t + gv * N) * 4)
-                                as u64
+                            (((i * slab_rows + r_t + j) * g.img_pitch + col_t + gv * N) * 4) as u64
                         });
                         let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
                         for lane in w.population().iter() {
@@ -313,9 +311,7 @@ fn general_block<const N: usize>(
                                 let t = wid * WARP_SIZE + lane;
                                 let tx = t % tx_count;
                                 flt_base
-                                    + (((i * kk + j * k + kc) * g.flt_pitch
-                                        + tx * f_t
-                                        + gv * N)
+                                    + (((i * kk + j * k + kc) * g.flt_pitch + tx * f_t + gv * N)
                                         * 4) as u64
                             });
                             let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
@@ -360,8 +356,7 @@ fn general_block<const N: usize>(
                     let col_t = (ty % cols_per_row) * w_t;
                     let f = f0 + tx * f_t + ff;
                     d_out.f32_addr(
-                        ((f * g.out_rows + gy + r_t) * g.out_pitch + gx + col_t + gv * N)
-                            as u64,
+                        ((f * g.out_rows + gy + r_t) * g.out_pitch + gx + col_t + gv * N) as u64,
                     )
                 });
                 let mut vals = [[0.0f32; N]; WARP_SIZE];
@@ -412,9 +407,7 @@ fn stage_tiles(
                 let col = e % g.row_len;
                 let row = (e / g.row_len) % slab_rows;
                 let cc = e / (g.row_len * slab_rows);
-                d_in.f32_addr(
-                    (((c0 + cc) * g.in_rows + gy + row) * g.in_pitch + gx + col) as u64,
-                )
+                d_in.f32_addr((((c0 + cc) * g.in_rows + gy + row) * g.in_pitch + gx + col) as u64)
             });
             let vals = w.ld_global::<1>(&gaddrs, mask);
             let saddrs = lane_addrs_from(|lane| {
@@ -578,10 +571,8 @@ fn general_block_strided(
                                 let t = wid * WARP_SIZE + lane;
                                 let ty = t / tx_count;
                                 let r_t = row_of(ty);
-                                (((i * slab_rows + r_t + j) * g.img_pitch
-                                    + col_of(ty, v)
-                                    + kc)
-                                    * 4) as u64
+                                (((i * slab_rows + r_t + j) * g.img_pitch + col_of(ty, v) + kc) * 4)
+                                    as u64
                             });
                             let vals = w.ld_shared::<1>(&addrs, LaneMask::ALL);
                             for lane in w.population().iter() {
@@ -615,8 +606,7 @@ fn general_block_strided(
                             for ff in 0..f_t {
                                 let fv = rflt[lane][ff];
                                 for v in 0..w_t {
-                                    acc[abase + ff * w_t + v] +=
-                                        fv * rimg[(t * w_t + v) * k + kc];
+                                    acc[abase + ff * w_t + v] += fv * rimg[(t * w_t + v) * k + kc];
                                 }
                             }
                         }
@@ -641,9 +631,8 @@ fn general_block_strided(
                     let (tx, ty) = (t % tx_count, t / tx_count);
                     let f = f0 + tx * f_t + ff;
                     d_out.f32_addr(
-                        ((f * g.out_rows + gy + row_of(ty)) * g.out_pitch
-                            + gx
-                            + col_of(ty, v)) as u64,
+                        ((f * g.out_rows + gy + row_of(ty)) * g.out_pitch + gx + col_of(ty, v))
+                            as u64,
                     )
                 });
                 let mut vals = [[0.0f32; 1]; WARP_SIZE];
@@ -797,8 +786,7 @@ mod tests {
         // contiguous (W_T + K - 1) = 10, strided W_T * K = 24 -> 2.4x. The
         // totals also include (identical) filter reads and staging stores,
         // so require a healthy but smaller ratio on useful bytes.
-        let ratio =
-            gemm_layout.stats.sm_bytes_useful as f64 / ours.stats.sm_bytes_useful as f64;
+        let ratio = gemm_layout.stats.sm_bytes_useful as f64 / ours.stats.sm_bytes_useful as f64;
         assert!(ratio > 1.5, "sm-bytes ratio {ratio}");
         // And the model says the contiguous layout is faster.
         assert!(ours.seconds() < gemm_layout.seconds());
@@ -810,13 +798,15 @@ mod tests {
         let problem = ConvProblem::general(18, 3, 8, 3); // C=3 not divisible by c_sh=2
         let input = random_maps(3, 18, 18, 1);
         let filters = random_filters(8, 3, 3, 1);
-        let err = GeneralConv::new(small_cfg()).run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+        let err =
+            GeneralConv::new(small_cfg()).run(&mut gpu, &problem, &input, &filters, SimMode::Full);
         assert!(matches!(err, Err(ConvError::Shape(_))));
 
         let problem = ConvProblem::general(18, 2, 12, 3); // F=12 not divisible by f_tb=8
         let input = random_maps(2, 18, 18, 1);
         let filters = random_filters(12, 2, 3, 1);
-        let err = GeneralConv::new(small_cfg()).run(&mut gpu, &problem, &input, &filters, SimMode::Full);
+        let err =
+            GeneralConv::new(small_cfg()).run(&mut gpu, &problem, &input, &filters, SimMode::Full);
         assert!(matches!(err, Err(ConvError::Shape(_))));
     }
 

@@ -28,8 +28,7 @@
 //! trade-off the paper's specialization buys its speed with.
 
 use kconv_sim::{
-    lane_addrs_from, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode,
-    WARP_SIZE,
+    lane_addrs_from, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode, WARP_SIZE,
 };
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
@@ -157,7 +156,8 @@ impl ImplicitGemmConfig {
         if !self.thread_n.is_multiple_of(self.vec_width) {
             return bad("thread_n must be divisible by vec_width".into());
         }
-        if !self.tile_m.is_multiple_of(self.thread_m) || !self.tile_n.is_multiple_of(self.thread_n) {
+        if !self.tile_m.is_multiple_of(self.thread_m) || !self.tile_n.is_multiple_of(self.thread_n)
+        {
             return bad("tiles must be divisible by thread tiles".into());
         }
         if self.threads() == 0 || self.threads() > 1024 {
@@ -386,9 +386,7 @@ fn implicit_block(
                     let (dy, dx) = (q / p.k, q % p.k);
                     let (oy, ox) = (px / ow, px % ow);
                     d_in.f32_addr(
-                        ((c * p.height + oy * p.stride + dy) * p.width
-                            + ox * p.stride
-                            + dx) as u64,
+                        ((c * p.height + oy * p.stride + dy) * p.width + ox * p.stride + dx) as u64,
                     )
                 });
                 w.count_alu(mask.count() as u64 * DECODE_ALU);
@@ -487,10 +485,9 @@ fn implicit_block(
                 let addrs = lane_addrs_from(|lane| {
                     let t = (wid * WARP_SIZE + lane).min(threads - 1);
                     let (tx, ty) = (t % tx_count, t / tx_count);
-                    let f = (f_base + fw * tx + (i / fw) * fw * tx_count + i % fw)
-                        .min(p.filters - 1);
-                    let px = (px_base + vw * ty + (j / vw) * vw * ty_count + j % vw)
-                        .min(np - 1);
+                    let f =
+                        (f_base + fw * tx + (i / fw) * fw * tx_count + i % fw).min(p.filters - 1);
+                    let px = (px_base + vw * ty + (j / vw) * vw * ty_count + j % vw).min(np - 1);
                     d_out.f32_addr((f * np + px) as u64)
                 });
                 let mut vals = [[0.0f32; 1]; WARP_SIZE];

@@ -220,10 +220,7 @@ mod tests {
         // Input loads are nonetheless a small share of total GM traffic
         // once F output maps are written.
         let ld = special_gm_load_bytes(&problem, &big) as f64;
-        let st = special_gm_store_bytes(
-            &ConvProblem::special(1024, 32, 3),
-            &big,
-        ) as f64;
+        let st = special_gm_store_bytes(&ConvProblem::special(1024, 32, 3), &big) as f64;
         assert!(ld / (ld + st) < 0.05);
     }
 

@@ -9,9 +9,7 @@
 //! (the exact reuse factor the paper's section 2.2 derives), mitigated
 //! only by the read-only cache when enabled.
 
-use kconv_sim::{
-    lane_addrs_from, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode, WARP_SIZE,
-};
+use kconv_sim::{lane_addrs_from, Gpu, LaneMask, LaunchConfig, OverlapMode, SimMode, WARP_SIZE};
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
 use crate::error::{ConvError, Result};
@@ -75,7 +73,8 @@ impl Convolution for NaiveConv {
         }
         if self.block_threads == 0 || self.block_threads > 1024 {
             return Err(ConvError::Config(format!(
-                "{} threads per block", self.block_threads
+                "{} threads per block",
+                self.block_threads
             )));
         }
         let (oh, ow) = (problem.out_height(), problem.out_width());

@@ -98,7 +98,10 @@ pub fn conv_reference_region(
         for y in 0..region.h {
             for x in 0..region.w {
                 let mut acc = 0.0f64;
-                let (iy, ix) = ((region.y0 + y) * problem.stride, (region.x0 + x) * problem.stride);
+                let (iy, ix) = (
+                    (region.y0 + y) * problem.stride,
+                    (region.x0 + x) * problem.stride,
+                );
                 for c in 0..problem.channels {
                     for i in 0..k {
                         for j in 0..k {
@@ -219,7 +222,14 @@ mod tests {
         assert!(gone.clipped(&p).is_none());
         assert_eq!(
             OutRegion::full(&p),
-            OutRegion { f0: 0, nf: 1, y0: 0, x0: 0, h: 8, w: 8 }
+            OutRegion {
+                f0: 0,
+                nf: 1,
+                y0: 0,
+                x0: 0,
+                h: 8,
+                w: 8
+            }
         );
     }
 

@@ -148,6 +148,8 @@ pub fn run_verified(
 ) -> Result<ConvRun> {
     let run = conv.run(gpu, problem, input, filters, SimMode::Full)?;
     run.verify_executed(problem, input, filters, kconv_tensor::CONV_TOL)
-        .map_err(|e| crate::error::ConvError::Shape(format!("{} output mismatch: {e}", conv.name())))?;
+        .map_err(|e| {
+            crate::error::ConvError::Shape(format!("{} output mismatch: {e}", conv.name()))
+        })?;
     Ok(run)
 }

@@ -22,8 +22,8 @@
 //! Fig. 7b ablation.
 
 use kconv_sim::{
-    lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig,
-    OverlapMode, SimMode, WARP_SIZE,
+    lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode,
+    SimMode, WARP_SIZE,
 };
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
@@ -177,8 +177,8 @@ fn run_fused<const N: usize>(
     let tiles_y = oh.div_ceil(cfg.height);
     let tiles = tiles_x * tiles_y;
     let row_len = cfg.width + k - 1;
-    let in_pitch = (tiles_x * cfg.width + k - 1)
-        .max((tiles_x - 1) * cfg.width + round_up(row_len, N));
+    let in_pitch =
+        (tiles_x * cfg.width + k - 1).max((tiles_x - 1) * cfg.width + round_up(row_len, N));
     let in_rows = tiles_y * cfg.height + k - 1;
     let out_pitch = tiles_x * cfg.width;
     let out_rows = tiles_y * cfg.height;
@@ -222,8 +222,10 @@ fn run_fused<const N: usize>(
         let img = blk.dims.block_id / tiles;
         let tile = blk.dims.block_id % tiles;
         let d_in = d_in_all.subbuffer((img * in_slot) as u64, (in_rows * in_pitch * 4) as u64);
-        let d_out = d_out_all
-            .subbuffer((img * out_slot) as u64, (problem.filters * out_rows * out_pitch * 4) as u64);
+        let d_out = d_out_all.subbuffer(
+            (img * out_slot) as u64,
+            (problem.filters * out_rows * out_pitch * 4) as u64,
+        );
         // Rewrite the block id so the tile decoding inside the kernel body
         // sees a per-image grid.
         let mut dims = blk.dims;
@@ -362,8 +364,8 @@ fn run_special<const N: usize>(
     // full-vector tail loads stay inside the row (vectorized kernels load
     // whole vectors; the buffer provides the headroom, as on real CUDA).
     let row_len = cfg.width + k - 1;
-    let in_pitch = (tiles_x * cfg.width + k - 1)
-        .max((tiles_x - 1) * cfg.width + round_up(row_len, N));
+    let in_pitch =
+        (tiles_x * cfg.width + k - 1).max((tiles_x - 1) * cfg.width + round_up(row_len, N));
     let in_rows = tiles_y * cfg.height + k - 1;
     let out_pitch = tiles_x * cfg.width;
     let out_rows = tiles_y * cfg.height;
@@ -412,10 +414,9 @@ fn run_special<const N: usize>(
             dst[at..at + ow].copy_from_slice(&flat[src..src + ow]);
         }
     }
-    let regions =
-        executed_tile_regions(problem, &report, tiles_x, cfg.width, cfg.height, |b| {
-            (b, 0, problem.filters)
-        });
+    let regions = executed_tile_regions(problem, &report, tiles_x, cfg.width, cfg.height, |b| {
+        (b, 0, problem.filters)
+    });
     Ok(ConvRun {
         output,
         report,
@@ -440,33 +441,30 @@ fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, 
     let mut pf = vec![0.0f32; rounds * threads * N];
 
     // Reads one absolute tile row from global memory into `pf`.
-    let gm_row_to_pf =
-        |blk: &mut BlockCtx<'_>, pf: &mut [f32], row: usize| {
-            for r in 0..rounds {
-                blk.each_warp(|w| {
-                    let mask = LaneMask::from_fn(|lane| {
-                        (r * threads + w.thread_id(lane)) * N < g.row_len
-                    });
-                    let addrs = lane_addrs_from(|lane| {
-                        let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
-                        d_in.f32_addr(((in_row0 + row) * g.in_pitch + in_col0 + p) as u64)
-                    });
-                    let vals = w.ld_global::<N>(&addrs, mask);
-                    for lane in mask.iter() {
-                        let p = (r * threads + w.thread_id(lane)) * N;
-                        pf[p..p + N].copy_from_slice(&vals[lane]);
-                    }
+    let gm_row_to_pf = |blk: &mut BlockCtx<'_>, pf: &mut [f32], row: usize| {
+        for r in 0..rounds {
+            blk.each_warp(|w| {
+                let mask =
+                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * N < g.row_len);
+                let addrs = lane_addrs_from(|lane| {
+                    let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
+                    d_in.f32_addr(((in_row0 + row) * g.in_pitch + in_col0 + p) as u64)
                 });
-            }
-        };
+                let vals = w.ld_global::<N>(&addrs, mask);
+                for lane in mask.iter() {
+                    let p = (r * threads + w.thread_id(lane)) * N;
+                    pf[p..p + N].copy_from_slice(&vals[lane]);
+                }
+            });
+        }
+    };
 
     // Writes `pf` into shared-memory ring slot `slot`.
     let pf_to_smem = |blk: &mut BlockCtx<'_>, pf: &[f32], slot: usize| {
         for r in 0..rounds {
             blk.each_warp(|w| {
-                let mask = LaneMask::from_fn(|lane| {
-                    (r * threads + w.thread_id(lane)) * N < g.row_len
-                });
+                let mask =
+                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * N < g.row_len);
                 let addrs = lane_addrs_from(|lane| {
                     let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
                     ((slot * g.sm_pitch + p) * 4) as u64
@@ -553,9 +551,8 @@ fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, 
                 let addrs = lane_addrs_from(|lane| {
                     let t = w.thread_id(lane);
                     d_out.f32_addr(
-                        ((f * g.out_rows + in_row0 + out_row) * g.out_pitch
-                            + in_col0
-                            + t * N) as u64,
+                        ((f * g.out_rows + in_row0 + out_row) * g.out_pitch + in_col0 + t * N)
+                            as u64,
                     )
                 });
                 w.st_global::<N>(&addrs, &acc, LaneMask::ALL);
@@ -761,13 +758,8 @@ mod tests {
         let problem = ConvProblem::special(40, 2, 3);
         let filters = random_filters(2, 1, 3, 1);
         let mut gpu = Gpu::new(kconv_sim::GpuSpec::kepler_k40m());
-        let err = SpecialConv::new(cfg).run_fused_batch(
-            &mut gpu,
-            &problem,
-            &[],
-            &filters,
-            SimMode::Full,
-        );
+        let err =
+            SpecialConv::new(cfg).run_fused_batch(&mut gpu, &problem, &[], &filters, SimMode::Full);
         assert!(matches!(err, Err(ConvError::Shape(_))));
         let bad = vec![random_maps(1, 20, 20, 1)];
         let err = SpecialConv::new(cfg).run_fused_batch(

@@ -24,8 +24,8 @@
 //! workspace.
 
 use kconv_sim::{
-    lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig,
-    OverlapMode, SimMode, WARP_SIZE,
+    lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode,
+    SimMode, WARP_SIZE,
 };
 use kconv_tensor::{f16_bits_to_f32, f32_to_f16_bits, ConvProblem, FeatureMaps, FilterSet};
 
@@ -230,7 +230,15 @@ impl Convolution for SpecialConvF16 {
         filters: &FilterSet,
         mode: SimMode,
     ) -> Result<ConvRun> {
-        run_narrow(gpu, &self.config, Encoding::F16, problem, input, filters, mode)
+        run_narrow(
+            gpu,
+            &self.config,
+            Encoding::F16,
+            problem,
+            input,
+            filters,
+            mode,
+        )
     }
 }
 
@@ -626,9 +634,7 @@ fn narrow_block<const B: usize>(
                 let addrs = lane_addrs_from(|lane| {
                     let t = w.thread_id(lane);
                     d_out.offset()
-                        + (((f * g.out_rows + in_row0 + out_row) * g.out_pitch
-                            + in_col0
-                            + t * n)
+                        + (((f * g.out_rows + in_row0 + out_row) * g.out_pitch + in_col0 + t * n)
                             * eb) as u64
                 });
                 w.st_global_bytes::<B>(&addrs, &acc, LaneMask::ALL);

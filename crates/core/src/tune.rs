@@ -7,14 +7,14 @@
 //! requirements, measures each survivor on a representative problem with
 //! sampled execution, and ranks by achieved GFlop/s.
 
-use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 use crate::config::{GeneralConfig, SpecialConfig};
 use crate::error::Result;
 use crate::general::GeneralConv;
-use crate::special::SpecialConv;
 use crate::run::Convolution;
+use crate::special::SpecialConv;
 
 /// One explored configuration and its measured throughput.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +63,9 @@ pub fn is_feasible(spec: &GpuSpec, cfg: &GeneralConfig, problem: &ConvProblem) -
 /// Explores `candidates` on `problem`, returning feasible results sorted
 /// by descending throughput. Uses sampled execution (`blocks` blocks per
 /// candidate) — the kernels are tile-homogeneous, so the scaled counters
-/// are exact for interior tiles.
+/// are exact for interior tiles. Launches run with
+/// [`Parallelism::env_or_auto`] (serial results are bit-identical; set
+/// `KCONV_THREADS=serial` to force the single-threaded path).
 ///
 /// # Errors
 ///
@@ -82,7 +84,7 @@ pub fn explore_general(
         if !is_feasible(spec, cfg, problem) {
             continue;
         }
-        let mut gpu = Gpu::new(spec.clone());
+        let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
         let run = GeneralConv::new(*cfg).run(
             &mut gpu,
             problem,
@@ -161,7 +163,7 @@ pub fn explore_special(
         if cfg.validate(spec, problem.k, problem.filters).is_err() {
             continue;
         }
-        let mut gpu = Gpu::new(spec.clone());
+        let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
         let run = SpecialConv::new(*cfg).run(
             &mut gpu,
             problem,
@@ -229,8 +231,16 @@ mod tests {
         let spec = GpuSpec::kepler_k40m();
         let problem = ConvProblem::special(512, 8, 3);
         let cands = [
-            SpecialConfig { width: 64, height: 4, vec_width: 2 },
-            SpecialConfig { width: 256, height: 8, vec_width: 2 },
+            SpecialConfig {
+                width: 64,
+                height: 4,
+                vec_width: 2,
+            },
+            SpecialConfig {
+                width: 256,
+                height: 8,
+                vec_width: 2,
+            },
         ];
         let results = explore_special(&spec, &problem, &cands, 2).unwrap();
         assert_eq!(results.len(), 2);

@@ -82,8 +82,14 @@ fn transform_output(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
         am[1][c] = m[1][c] - m[2][c] - m[3][c];
     }
     [
-        [am[0][0] + am[0][1] + am[0][2], am[0][1] - am[0][2] - am[0][3]],
-        [am[1][0] + am[1][1] + am[1][2], am[1][1] - am[1][2] - am[1][3]],
+        [
+            am[0][0] + am[0][1] + am[0][2],
+            am[0][1] - am[0][2] - am[0][3],
+        ],
+        [
+            am[1][0] + am[1][1] + am[1][2],
+            am[1][1] - am[1][2] - am[1][3],
+        ],
     ]
 }
 

@@ -121,14 +121,20 @@ impl GemmConfig {
         if self.vec_width != 1 && self.vec_width != 2 {
             return Err(format!("vec_width {} must be 1 or 2", self.vec_width));
         }
-        if !self.thread_m.is_multiple_of(self.vec_width) || !self.thread_n.is_multiple_of(self.vec_width) {
+        if !self.thread_m.is_multiple_of(self.vec_width)
+            || !self.thread_n.is_multiple_of(self.vec_width)
+        {
             return Err("thread tile must be divisible by vec_width".into());
         }
-        if !self.tile_m.is_multiple_of(self.thread_m) || !self.tile_n.is_multiple_of(self.thread_n) {
+        if !self.tile_m.is_multiple_of(self.thread_m) || !self.tile_n.is_multiple_of(self.thread_n)
+        {
             return Err("block tile must be divisible by thread tile".into());
         }
         if self.threads() == 0 || self.threads() > 1024 {
-            return Err(format!("{} threads per block is not launchable", self.threads()));
+            return Err(format!(
+                "{} threads per block is not launchable",
+                self.threads()
+            ));
         }
         if !self.threads().is_multiple_of(32) {
             return Err("thread count must be a multiple of the warp size".into());

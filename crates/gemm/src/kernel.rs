@@ -277,7 +277,11 @@ fn gemm_block(
 /// Returns `(row0, rows, col0, cols)`.
 ///
 /// [`gemm_ref_tile`]: crate::gemm_ref_tile
-pub fn block_tile(cfg: &GemmConfig, shape: GemmShape, block_id: usize) -> (usize, usize, usize, usize) {
+pub fn block_tile(
+    cfg: &GemmConfig,
+    shape: GemmShape,
+    block_id: usize,
+) -> (usize, usize, usize, usize) {
     let blocks_x = shape.n / cfg.tile_n;
     let bx = block_id % blocks_x;
     let by = block_id / blocks_x;
@@ -297,12 +301,11 @@ mod tests {
         seed_a: u64,
         seed_b: u64,
     ) -> (Gpu, GmBuf, GmBuf, GmBuf, Vec<f32>, Vec<f32>) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use kconv_tensor::rng::StdRng;
         let mut rng_a = StdRng::seed_from_u64(seed_a);
         let mut rng_b = StdRng::seed_from_u64(seed_b);
-        let av: Vec<f32> = (0..m * k).map(|_| rng_a.gen_range(-1.0..1.0)).collect();
-        let bv: Vec<f32> = (0..k * n).map(|_| rng_b.gen_range(-1.0..1.0)).collect();
+        let av: Vec<f32> = (0..m * k).map(|_| rng_a.gen_range_f32(-1.0, 1.0)).collect();
+        let bv: Vec<f32> = (0..k * n).map(|_| rng_b.gen_range_f32(-1.0, 1.0)).collect();
         let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
         let a = gpu.alloc_f32((m * k) as u64).unwrap();
         let b = gpu.alloc_f32((k * n) as u64).unwrap();
@@ -352,15 +355,15 @@ mod tests {
         let cfg = GemmConfig::fermi_tuned_matched();
         let (mut gpu, a, b, c, av, bv) = device_with(m, n, k, 3, 4);
         let shape = GemmShape::new(m, n, k);
-        let report =
-            launch_gemm(&mut gpu, &cfg, shape, a, b, c, SimMode::Sampled(3)).unwrap();
+        let report = launch_gemm(&mut gpu, &cfg, shape, a, b, c, SimMode::Sampled(3)).unwrap();
         for &blk in &report.executed_blocks {
             let (r0, rs, c0, cs) = block_tile(&cfg, shape, blk);
             let want = gemm_ref_tile(&av, &bv, m, n, k, r0, rs, c0, cs);
             let mut got = Vec::new();
             for r in 0..rs {
                 got.extend(
-                    gpu.download_f32_at(c, ((r0 + r) * n + c0) as u64, cs).unwrap(),
+                    gpu.download_f32_at(c, ((r0 + r) * n + c0) as u64, cs)
+                        .unwrap(),
                 );
             }
             kconv_tensor_assert(&got, &want);
@@ -409,15 +412,22 @@ mod tests {
     fn indivisible_shapes_are_rejected() {
         let (mut gpu, a, b, c, _, _) = device_with(128, 64, 16, 9, 10);
         let cfg = GemmConfig::kepler_tuned();
-        let err = launch_gemm(&mut gpu, &cfg, GemmShape::new(100, 64, 16), a, b, c, SimMode::Full);
+        let err = launch_gemm(
+            &mut gpu,
+            &cfg,
+            GemmShape::new(100, 64, 16),
+            a,
+            b,
+            c,
+            SimMode::Full,
+        );
         assert!(matches!(err, Err(SimError::InvalidLaunch(_))));
     }
 
     #[test]
     fn random_shapes_match_reference() {
         // A light fuzz over tile-aligned shapes and all three presets.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use kconv_tensor::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..6 {
             let cfg = match rng.gen_range(0..3) {
@@ -428,8 +438,8 @@ mod tests {
             let m = cfg.tile_m * rng.gen_range(1..3);
             let n = cfg.tile_n * rng.gen_range(1..3);
             let k = cfg.tile_k * rng.gen_range(1..5);
-            let (mut gpu, a, b, c, av, bv) =
-                device_with(m, n, k, rng.gen(), rng.gen());
+            let (seed_a, seed_b) = (rng.next_u64(), rng.next_u64());
+            let (mut gpu, a, b, c, av, bv) = device_with(m, n, k, seed_a, seed_b);
             let shape = GemmShape::new(m, n, k);
             launch_gemm(&mut gpu, &cfg, shape, a, b, c, SimMode::Full).unwrap();
             let got = gpu.download_f32(c).unwrap();
@@ -442,6 +452,9 @@ mod tests {
     fn shape_helpers() {
         let s = GemmShape::square(64);
         assert_eq!(s.flops(), 2 * 64 * 64 * 64);
-        assert_eq!(block_tile(&GemmConfig::fermi_tuned(), GemmShape::square(128), 3), (64, 64, 64, 64));
+        assert_eq!(
+            block_tile(&GemmConfig::fermi_tuned(), GemmShape::square(128), 3),
+            (64, 64, 64, 64)
+        );
     }
 }

@@ -13,8 +13,15 @@
 //! closure and indexed by thread id; the launch configuration's
 //! `regs_per_thread` declares their architectural footprint for the
 //! occupancy model.
+//!
+//! A `BlockCtx` is fully self-contained: it owns its block's ports to the
+//! device memories ([`GmPlane`], [`CmPlane`]), its shared memory, its
+//! read-only cache, and its own [`KernelStats`]. That is what lets the
+//! launcher run blocks on worker threads and merge their statistics in
+//! block-id order — see [`Gpu::launch`](crate::Gpu::launch).
 
-use crate::mem::{ConstantMemory, GlobalMemory, SharedMemory};
+use crate::mem::plane::{CmPlane, GmPlane, RoCache};
+use crate::mem::SharedMemory;
 use crate::spec::WARP_SIZE;
 use crate::stats::KernelStats;
 use crate::warp::{LaneMask, WarpAddrs};
@@ -39,16 +46,17 @@ impl BlockDims {
 
 /// Execution context for one thread block.
 ///
-/// Holds the device memories, this block's shared memory, and the launch
-/// statistics. All device traffic flows through [`WarpCtx`] methods obtained
-/// from [`BlockCtx::each_warp`].
+/// Holds the block's ports to the device memories, this block's shared
+/// memory, and the block-local statistics. All device traffic flows through
+/// [`WarpCtx`] methods obtained from [`BlockCtx::each_warp`].
 pub struct BlockCtx<'a> {
     /// Block geometry.
     pub dims: BlockDims,
-    pub(crate) gm: &'a mut GlobalMemory,
-    pub(crate) cm: &'a mut ConstantMemory,
+    pub(crate) gm: GmPlane<'a>,
+    pub(crate) cm: CmPlane<'a>,
+    pub(crate) ro: RoCache,
     pub(crate) smem: SharedMemory,
-    pub(crate) stats: &'a mut KernelStats,
+    pub(crate) stats: KernelStats,
 }
 
 impl std::fmt::Debug for BlockCtx<'_> {
@@ -63,17 +71,18 @@ impl std::fmt::Debug for BlockCtx<'_> {
 impl<'a> BlockCtx<'a> {
     pub(crate) fn new(
         dims: BlockDims,
-        gm: &'a mut GlobalMemory,
-        cm: &'a mut ConstantMemory,
+        gm: GmPlane<'a>,
+        cm: CmPlane<'a>,
+        ro: RoCache,
         smem: SharedMemory,
-        stats: &'a mut KernelStats,
     ) -> Self {
         BlockCtx {
             dims,
             gm,
             cm,
+            ro,
             smem,
-            stats,
+            stats: KernelStats::default(),
         }
     }
 
@@ -146,7 +155,7 @@ impl WarpCtx<'_, '_> {
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
         let m = self.live(mask);
-        self.block.gm.warp_ld::<V>(self.block.stats, addrs, m)
+        self.block.gm.warp_ld::<V>(&mut self.block.stats, addrs, m)
     }
 
     /// Global-memory warp store of `V` consecutive `f32`s per lane.
@@ -157,7 +166,9 @@ impl WarpCtx<'_, '_> {
         mask: LaneMask,
     ) {
         let m = self.live(mask);
-        self.block.gm.warp_st::<V>(self.block.stats, addrs, values, m);
+        self.block
+            .gm
+            .warp_st::<V>(&mut self.block.stats, addrs, values, m);
     }
 
     /// Shared-memory warp load of `V` consecutive `f32`s per lane
@@ -168,7 +179,9 @@ impl WarpCtx<'_, '_> {
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
         let m = self.live(mask);
-        self.block.smem.warp_ld::<V>(self.block.stats, addrs, m)
+        self.block
+            .smem
+            .warp_ld::<V>(&mut self.block.stats, addrs, m)
     }
 
     /// Shared-memory warp store of `V` consecutive `f32`s per lane.
@@ -181,7 +194,7 @@ impl WarpCtx<'_, '_> {
         let m = self.live(mask);
         self.block
             .smem
-            .warp_st::<V>(self.block.stats, addrs, values, m);
+            .warp_st::<V>(&mut self.block.stats, addrs, values, m);
     }
 
     /// Global-memory warp load through the read-only (texture) cache path:
@@ -192,13 +205,15 @@ impl WarpCtx<'_, '_> {
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
         let m = self.live(mask);
-        self.block.gm.warp_ld_ro::<V>(self.block.stats, addrs, m)
+        self.block
+            .gm
+            .warp_ld_ro::<V>(&mut self.block.stats, &mut self.block.ro, addrs, m)
     }
 
     /// Constant-memory warp load of one `f32` per lane (broadcast-optimized).
     pub fn ld_const(&mut self, addrs: &WarpAddrs, mask: LaneMask) -> [f32; WARP_SIZE] {
         let m = self.live(mask);
-        self.block.cm.warp_ld_f32(self.block.stats, addrs, m)
+        self.block.cm.warp_ld_f32(&mut self.block.stats, addrs, m)
     }
 
     /// Global-memory warp load of `W` raw bytes per lane (short data types).
@@ -208,7 +223,9 @@ impl WarpCtx<'_, '_> {
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
         let m = self.live(mask);
-        self.block.gm.warp_ld_bytes::<W>(self.block.stats, addrs, m)
+        self.block
+            .gm
+            .warp_ld_bytes::<W>(&mut self.block.stats, addrs, m)
     }
 
     /// Global-memory warp store of `W` raw bytes per lane.
@@ -221,7 +238,7 @@ impl WarpCtx<'_, '_> {
         let m = self.live(mask);
         self.block
             .gm
-            .warp_st_bytes::<W>(self.block.stats, addrs, values, m);
+            .warp_st_bytes::<W>(&mut self.block.stats, addrs, values, m);
     }
 
     /// Shared-memory warp load of `W` raw bytes per lane (short data types).
@@ -233,7 +250,7 @@ impl WarpCtx<'_, '_> {
         let m = self.live(mask);
         self.block
             .smem
-            .warp_ld_bytes::<W>(self.block.stats, addrs, m)
+            .warp_ld_bytes::<W>(&mut self.block.stats, addrs, m)
     }
 
     /// Shared-memory warp store of `W` raw bytes per lane.
@@ -246,7 +263,7 @@ impl WarpCtx<'_, '_> {
         let m = self.live(mask);
         self.block
             .smem
-            .warp_st_bytes::<W>(self.block.stats, addrs, values, m);
+            .warp_st_bytes::<W>(&mut self.block.stats, addrs, values, m);
     }
 
     /// Records `lane_ops` fused multiply-adds (the arithmetic itself is done
@@ -271,17 +288,26 @@ mod tests {
     use crate::spec::BankWidth;
     use crate::warp::lane_addrs;
 
-    fn harness(threads: usize) -> (GlobalMemory, ConstantMemory, KernelStats, BlockDims) {
+    fn harness(threads: usize) -> (GlobalMemory, ConstantMemory, BlockDims) {
         (
             GlobalMemory::new(1 << 20, 128, 32),
             ConstantMemory::new(1 << 16, 256),
-            KernelStats::default(),
             BlockDims {
                 block_id: 0,
                 grid_blocks: 1,
                 threads,
             },
         )
+    }
+
+    fn ctx<'a>(
+        dims: BlockDims,
+        gm: &'a mut GlobalMemory,
+        cm: &'a mut ConstantMemory,
+        smem: SharedMemory,
+    ) -> BlockCtx<'a> {
+        let ro = RoCache::new(gm.ro_capacity_lines());
+        BlockCtx::new(dims, GmPlane::Direct(gm), CmPlane::Direct(cm), ro, smem)
     }
 
     #[test]
@@ -296,9 +322,9 @@ mod tests {
 
     #[test]
     fn each_warp_visits_all_warps_in_order() {
-        let (mut gm, mut cm, mut stats, dims) = harness(96);
+        let (mut gm, mut cm, dims) = harness(96);
         let smem = SharedMemory::new(0, 32, BankWidth::B8);
-        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
         let mut seen = Vec::new();
         blk.each_warp(|w| seen.push(w.warp_id()));
         assert_eq!(seen, vec![0, 1, 2]);
@@ -306,9 +332,9 @@ mod tests {
 
     #[test]
     fn partial_warp_population() {
-        let (mut gm, mut cm, mut stats, dims) = harness(40);
+        let (mut gm, mut cm, dims) = harness(40);
         let smem = SharedMemory::new(0, 32, BankWidth::B8);
-        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
         let mut pops = Vec::new();
         blk.each_warp(|w| pops.push(w.population().count()));
         assert_eq!(pops, vec![32, 8]);
@@ -316,22 +342,22 @@ mod tests {
 
     #[test]
     fn population_masks_device_traffic() {
-        let (mut gm, mut cm, mut stats, dims) = harness(8);
+        let (mut gm, mut cm, dims) = harness(8);
         let buf = gm.alloc_f32(32).unwrap();
         let smem = SharedMemory::new(0, 32, BankWidth::B8);
-        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
         blk.each_warp(|w| {
             // Lanes beyond thread 8 must be suppressed even with ALL mask.
             w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
         });
-        assert_eq!(stats.gm_ld_bytes_useful, 8 * 4);
+        assert_eq!(blk.stats.gm_ld_bytes_useful, 8 * 4);
     }
 
     #[test]
     fn shared_memory_roundtrip_through_warp_ctx() {
-        let (mut gm, mut cm, mut stats, dims) = harness(32);
+        let (mut gm, mut cm, dims) = harness(32);
         let smem = SharedMemory::new(256, 32, BankWidth::B8);
-        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
         blk.each_warp(|w| {
             let addrs = lane_addrs(0, 4);
             let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32 + 0.25]);
@@ -340,30 +366,30 @@ mod tests {
             assert_eq!(back[3][0], 3.25);
         });
         blk.sync();
-        assert_eq!(stats.barriers, 1);
-        assert_eq!(stats.sm_ld_requests, 1);
-        assert_eq!(stats.sm_st_requests, 1);
+        assert_eq!(blk.stats.barriers, 1);
+        assert_eq!(blk.stats.sm_ld_requests, 1);
+        assert_eq!(blk.stats.sm_st_requests, 1);
     }
 
     #[test]
     fn fma_and_alu_counters() {
-        let (mut gm, mut cm, mut stats, dims) = harness(32);
+        let (mut gm, mut cm, dims) = harness(32);
         let smem = SharedMemory::new(0, 32, BankWidth::B8);
-        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
         blk.each_warp(|w| {
             w.count_fma(64);
             w.count_alu(3);
         });
-        assert_eq!(stats.fma_lane_ops, 64);
-        assert_eq!(stats.alu_lane_ops, 3);
-        assert_eq!(stats.flops(), 131);
+        assert_eq!(blk.stats.fma_lane_ops, 64);
+        assert_eq!(blk.stats.alu_lane_ops, 3);
+        assert_eq!(blk.stats.flops(), 131);
     }
 
     #[test]
     fn thread_ids_are_block_local() {
-        let (mut gm, mut cm, mut stats, dims) = harness(64);
+        let (mut gm, mut cm, dims) = harness(64);
         let smem = SharedMemory::new(0, 32, BankWidth::B8);
-        let mut blk = BlockCtx::new(dims, &mut gm, &mut cm, smem, &mut stats);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
         let mut ids = Vec::new();
         blk.each_warp(|w| ids.push(w.thread_id(5)));
         assert_eq!(ids, vec![5, 37]);

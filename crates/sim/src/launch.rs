@@ -11,9 +11,37 @@
 //! subset of blocks executes functionally, and the counters are scaled to
 //! the full grid. This keeps large parameter sweeps tractable; tests verify
 //! on small grids that sampled counters match full execution.
+//!
+//! # Parallel execution
+//!
+//! Simulated thread blocks are independent by construction (CUDA forbids
+//! inter-block communication through global memory within a launch), so the
+//! selected block ids can also be executed across a host thread pool — see
+//! [`Parallelism`]. Every counter and every output byte is **bit-identical**
+//! to serial execution:
+//!
+//! * each block runs against its own [`KernelStats`], merged in block-id
+//!   order (all counters are order-independent sums);
+//! * global-memory stores are journaled per block and replayed into the
+//!   shared memory in block-id order, reproducing the serial store order;
+//!   a block reads its own stores but never another in-flight block's
+//!   (the disjoint-write contract kernels already obey under CUDA);
+//! * the read-only (texture) cache is per block in both modes;
+//! * constant-cache misses are counted at merge time as the ordered union
+//!   of per-block touched-line sets, which equals the serial first-touch
+//!   count exactly because the model never evicts within a launch.
+//!
+//! The default is [`Parallelism::Serial`] unless the `KCONV_THREADS`
+//! environment variable overrides it; the sweep harnesses opt in
+//! explicitly. See `DESIGN.md` for thread-count guidance.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::block::{BlockCtx, BlockDims};
 use crate::error::{Result, SimError};
+use crate::mem::plane::{CmPlane, GmPlane, RoCache, WriteJournal};
 use crate::mem::{ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
 use crate::spec::GpuSpec;
 use crate::stats::KernelStats;
@@ -78,13 +106,14 @@ pub enum SimMode {
     /// Execute `n` evenly spaced blocks and scale the counters to the full
     /// grid. Output buffers are only written for the executed blocks.
     Sampled(usize),
-    /// Execute exactly these block ids and scale the counters.
+    /// Execute exactly these block ids and scale the counters. Ids must be
+    /// in range for the grid; the launch is rejected otherwise.
     Blocks(Vec<usize>),
 }
 
 impl SimMode {
-    fn executed_ids(&self, blocks: usize) -> Vec<usize> {
-        match self {
+    fn executed_ids(&self, blocks: usize) -> Result<Vec<usize>> {
+        Ok(match self {
             SimMode::Full => (0..blocks).collect(),
             SimMode::Sampled(n) => {
                 let n = (*n).clamp(1, blocks);
@@ -96,11 +125,73 @@ impl SimMode {
                 ids
             }
             SimMode::Blocks(ids) => {
-                let mut ids: Vec<usize> = ids.iter().copied().filter(|&b| b < blocks).collect();
+                if let Some(&bad) = ids.iter().find(|&&b| b >= blocks) {
+                    return Err(SimError::InvalidLaunch(format!(
+                        "block id {bad} out of range for a grid of {blocks} blocks"
+                    )));
+                }
+                let mut ids = ids.clone();
                 ids.sort_unstable();
                 ids.dedup();
                 ids
             }
+        })
+    }
+}
+
+/// Host-side execution strategy for the block loop of a launch.
+///
+/// Results are bit-identical across strategies (see the
+/// [module docs](crate::launch)); only wall-clock time differs. The
+/// default for a new [`Gpu`] is `Serial` unless the `KCONV_THREADS`
+/// environment variable says otherwise, so doctests and small examples pay
+/// no threading overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Execute blocks one after another on the calling thread.
+    #[default]
+    Serial,
+    /// Execute blocks across this many worker threads (1 behaves like
+    /// `Serial`).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        Parallelism::Threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Reads the `KCONV_THREADS` environment variable: `serial` forces
+    /// serial execution, `auto` or `0` uses [`Parallelism::auto`], a
+    /// number uses that many threads. Returns `None` when unset or
+    /// unparseable.
+    pub fn from_env() -> Option<Self> {
+        let v = std::env::var("KCONV_THREADS").ok()?;
+        match v.trim() {
+            "serial" => Some(Parallelism::Serial),
+            "auto" | "0" => Some(Parallelism::auto()),
+            s => s.parse().ok().map(Parallelism::Threads),
+        }
+    }
+
+    /// The sweep-harness default: the `KCONV_THREADS` override if set,
+    /// otherwise [`Parallelism::auto`]. Long-running sweeps (tuning,
+    /// figure reproduction) opt in through this; [`Gpu::new`] keeps the
+    /// serial default so examples and doctests pay no threading overhead.
+    pub fn env_or_auto() -> Self {
+        Self::from_env().unwrap_or_else(Self::auto)
+    }
+
+    /// Number of worker threads this strategy runs on.
+    pub fn worker_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
         }
     }
 }
@@ -127,6 +218,14 @@ impl LaunchReport {
     pub fn seconds(&self) -> f64 {
         self.timing.t_total
     }
+}
+
+/// Everything a worker hands back for one executed block, merged by the
+/// launcher in block-id order.
+struct BlockOut {
+    stats: KernelStats,
+    journal: WriteJournal,
+    cm_lines: HashSet<u64>,
 }
 
 /// A simulated GPU: an architecture plus its global and constant memories.
@@ -164,6 +263,7 @@ pub struct Gpu {
     spec: GpuSpec,
     gm: GlobalMemory,
     cm: ConstantMemory,
+    parallelism: Parallelism,
 }
 
 /// Device-memory capacity given to every [`Gpu`] (the K40m carries 12 GiB;
@@ -172,6 +272,9 @@ const GM_CAPACITY: u64 = 12 << 30;
 
 impl Gpu {
     /// Creates a device with the given architecture.
+    ///
+    /// The block loop runs serially unless `KCONV_THREADS` is set (see
+    /// [`Parallelism::from_env`]) or [`Gpu::set_parallelism`] is called.
     pub fn new(spec: GpuSpec) -> Self {
         let gm = GlobalMemory::new(
             GM_CAPACITY,
@@ -179,12 +282,33 @@ impl Gpu {
             spec.gm_store_transaction_bytes,
         );
         let cm = ConstantMemory::new(spec.cm_bytes, spec.cm_line_bytes);
-        Gpu { spec, gm, cm }
+        Gpu {
+            spec,
+            gm,
+            cm,
+            parallelism: Parallelism::from_env().unwrap_or_default(),
+        }
     }
 
     /// The architecture of this device.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// The host-side execution strategy for launches on this device.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Sets the host-side execution strategy for subsequent launches.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Builder-style [`Gpu::set_parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Allocates `len` `f32` elements of global memory.
@@ -265,11 +389,17 @@ impl Gpu {
     ///
     /// The closure runs once per executed block (see [`SimMode`]); it
     /// receives a [`BlockCtx`] through which all device traffic flows.
+    /// Depending on [`Gpu::parallelism`], blocks run serially or across a
+    /// thread pool — with bit-identical counters, timing and output either
+    /// way (see the [module docs](crate::launch) for why). The closure is
+    /// therefore required to be `Fn + Sync`: per-block state belongs
+    /// *inside* the closure body, captured state is shared read-only.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidLaunch`] if the configuration cannot run
-    /// on this architecture.
+    /// on this architecture or [`SimMode::Blocks`] names an out-of-range
+    /// block id.
     ///
     /// # Panics
     ///
@@ -279,11 +409,11 @@ impl Gpu {
         &mut self,
         cfg: &LaunchConfig,
         mode: SimMode,
-        mut kernel: impl FnMut(&mut BlockCtx),
+        kernel: impl Fn(&mut BlockCtx) + Sync,
     ) -> Result<LaunchReport> {
         // Validate before running anything.
         timing::occupancy(&self.spec, cfg)?;
-        let ids = mode.executed_ids(cfg.blocks);
+        let ids = mode.executed_ids(cfg.blocks)?;
         if ids.is_empty() {
             return Err(SimError::InvalidLaunch(format!(
                 "kernel {}: no blocks selected for execution",
@@ -291,19 +421,12 @@ impl Gpu {
             )));
         }
         self.cm.reset_cache();
-        let mut stats = KernelStats::default();
-        for &block_id in &ids {
-            self.gm.reset_ro_cache();
-            let dims = BlockDims {
-                block_id,
-                grid_blocks: cfg.blocks,
-                threads: cfg.threads_per_block,
-            };
-            let smem = SharedMemory::new(cfg.smem_bytes, self.spec.smem_banks, self.spec.bank_width);
-            let mut blk = BlockCtx::new(dims, &mut self.gm, &mut self.cm, smem, &mut stats);
-            kernel(&mut blk);
-            stats.blocks_executed += 1;
-        }
+        let workers = self.parallelism.worker_threads().min(ids.len());
+        let stats = if workers <= 1 {
+            self.run_serial(cfg, &ids, &kernel)
+        } else {
+            self.run_parallel(cfg, &ids, &kernel, workers)
+        };
         let stats = if ids.len() == cfg.blocks {
             let mut s = stats;
             s.blocks_total = cfg.blocks as u64;
@@ -318,20 +441,130 @@ impl Gpu {
             executed_blocks: ids,
         })
     }
+
+    fn run_serial(
+        &mut self,
+        cfg: &LaunchConfig,
+        ids: &[usize],
+        kernel: &(impl Fn(&mut BlockCtx) + Sync),
+    ) -> KernelStats {
+        let mut total = KernelStats::default();
+        for &block_id in ids {
+            let blk = exec_block(
+                &self.spec,
+                cfg,
+                block_id,
+                GmPlane::Direct(&mut self.gm),
+                CmPlane::Direct(&mut self.cm),
+                kernel,
+            );
+            total.merge(&blk.stats);
+        }
+        total
+    }
+
+    fn run_parallel(
+        &mut self,
+        cfg: &LaunchConfig,
+        ids: &[usize],
+        kernel: &(impl Fn(&mut BlockCtx) + Sync),
+        workers: usize,
+    ) -> KernelStats {
+        let slots: Vec<Mutex<Option<BlockOut>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let (spec, gm, cm) = (&self.spec, &self.gm, &self.cm);
+        // A worker panic (device fault in a kernel) propagates when the
+        // scope joins, mirroring the serial path.
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ids.len() {
+                        break;
+                    }
+                    let out = exec_block(
+                        spec,
+                        cfg,
+                        ids[i],
+                        GmPlane::Journaled {
+                            base: gm,
+                            journal: WriteJournal::new(),
+                        },
+                        CmPlane::Shared {
+                            base: cm,
+                            touched: HashSet::new(),
+                        },
+                        kernel,
+                    );
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        // Deterministic merge in block-id order (ids are ascending for
+        // every SimMode): replay journals into global memory, fold each
+        // block's constant-line set into the launch-scoped cache state,
+        // and sum the counters.
+        let mut total = KernelStats::default();
+        for slot in slots {
+            let mut out = slot
+                .into_inner()
+                .expect("no worker panicked")
+                .expect("every slot was filled before the scope joined");
+            self.gm.apply_journal(&out.journal);
+            out.stats.cm_misses += self.cm.absorb_lines(&out.cm_lines);
+            total.merge(&out.stats);
+        }
+        total
+    }
+}
+
+/// Runs one block to completion and packages its side effects.
+fn exec_block(
+    spec: &GpuSpec,
+    cfg: &LaunchConfig,
+    block_id: usize,
+    gm: GmPlane<'_>,
+    cm: CmPlane<'_>,
+    kernel: &(impl Fn(&mut BlockCtx) + Sync),
+) -> BlockOut {
+    let dims = BlockDims {
+        block_id,
+        grid_blocks: cfg.blocks,
+        threads: cfg.threads_per_block,
+    };
+    let smem = SharedMemory::new(cfg.smem_bytes, spec.smem_banks, spec.bank_width);
+    let ro = RoCache::new(gm_ro_capacity(&gm));
+    let mut blk = BlockCtx::new(dims, gm, cm, ro, smem);
+    kernel(&mut blk);
+    blk.stats.blocks_executed += 1;
+    let BlockCtx { gm, cm, stats, .. } = blk;
+    BlockOut {
+        stats,
+        journal: gm.into_journal().unwrap_or_default(),
+        cm_lines: cm.into_touched_lines().unwrap_or_default(),
+    }
+}
+
+fn gm_ro_capacity(gm: &GmPlane<'_>) -> usize {
+    match gm {
+        GmPlane::Direct(m) => m.ro_capacity_lines(),
+        GmPlane::Journaled { base, .. } => base.ro_capacity_lines(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::warp::{lane_addrs, LaneMask};
+    use std::sync::atomic::AtomicBool;
 
     fn gpu() -> Gpu {
-        Gpu::new(GpuSpec::kepler_k40m())
+        Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(Parallelism::Serial)
     }
 
     /// A kernel where each block writes `block_id` to its slot and does a
     /// fixed amount of counted work.
-    fn id_kernel(dst: GmBuf) -> impl FnMut(&mut BlockCtx) {
+    fn id_kernel(dst: GmBuf) -> impl Fn(&mut BlockCtx) + Sync {
         move |blk: &mut BlockCtx| {
             let id = blk.dims.block_id;
             blk.each_warp(|w| {
@@ -368,9 +601,7 @@ mod tests {
         let dst = g.alloc_f32(64 * 32).unwrap();
         let cfg = LaunchConfig::new("id", 64, 32);
         let full = g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
-        let sampled = g
-            .launch(&cfg, SimMode::Sampled(4), id_kernel(dst))
-            .unwrap();
+        let sampled = g.launch(&cfg, SimMode::Sampled(4), id_kernel(dst)).unwrap();
         assert_eq!(sampled.executed_blocks.len(), 4);
         assert_eq!(sampled.stats.fma_lane_ops, full.stats.fma_lane_ops);
         assert_eq!(sampled.stats.gm_st_bytes_bus, full.stats.gm_st_bytes_bus);
@@ -382,9 +613,12 @@ mod tests {
 
     #[test]
     fn sampled_ids_are_spread_and_clamped() {
-        assert_eq!(SimMode::Sampled(4).executed_ids(64), vec![8, 24, 40, 56]);
-        assert_eq!(SimMode::Sampled(10).executed_ids(3), vec![0, 1, 2]);
-        assert_eq!(SimMode::Sampled(1).executed_ids(100), vec![50]);
+        assert_eq!(
+            SimMode::Sampled(4).executed_ids(64).unwrap(),
+            vec![8, 24, 40, 56]
+        );
+        assert_eq!(SimMode::Sampled(10).executed_ids(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(SimMode::Sampled(1).executed_ids(100).unwrap(), vec![50]);
     }
 
     #[test]
@@ -393,7 +627,7 @@ mod tests {
         let dst = g.alloc_f32(16 * 32).unwrap();
         let cfg = LaunchConfig::new("id", 16, 32);
         let r = g
-            .launch(&cfg, SimMode::Blocks(vec![3, 3, 7, 99]), id_kernel(dst))
+            .launch(&cfg, SimMode::Blocks(vec![3, 3, 7]), id_kernel(dst))
             .unwrap();
         assert_eq!(r.executed_blocks, vec![3, 7]);
         assert_eq!(g.download_f32_at(dst, 3 * 32, 1).unwrap()[0], 3.0);
@@ -401,10 +635,26 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_block_ids_are_rejected() {
+        let mut g = gpu();
+        let dst = g.alloc_f32(16 * 32).unwrap();
+        let cfg = LaunchConfig::new("id", 16, 32);
+        let err = g.launch(&cfg, SimMode::Blocks(vec![3, 99]), id_kernel(dst));
+        match err {
+            Err(SimError::InvalidLaunch(msg)) => {
+                assert!(msg.contains("99") && msg.contains("out of range"), "{msg}");
+            }
+            other => panic!("expected InvalidLaunch, got {other:?}"),
+        }
+        // Nothing executed: block 3's slot is untouched.
+        assert_eq!(g.download_f32_at(dst, 3 * 32, 1).unwrap()[0], 0.0);
+    }
+
+    #[test]
     fn empty_selection_is_an_error() {
         let mut g = gpu();
         let cfg = LaunchConfig::new("noop", 4, 32);
-        let err = g.launch(&cfg, SimMode::Blocks(vec![100]), |_| {});
+        let err = g.launch(&cfg, SimMode::Blocks(vec![]), |_| {});
         assert!(matches!(err, Err(SimError::InvalidLaunch(_))));
     }
 
@@ -412,10 +662,10 @@ mod tests {
     fn invalid_config_is_rejected_before_execution() {
         let mut g = gpu();
         let cfg = LaunchConfig::new("bad", 1, 2048);
-        let mut ran = false;
-        let err = g.launch(&cfg, SimMode::Full, |_| ran = true);
+        let ran = AtomicBool::new(false);
+        let err = g.launch(&cfg, SimMode::Full, |_| ran.store(true, Ordering::Relaxed));
         assert!(err.is_err());
-        assert!(!ran);
+        assert!(!ran.load(Ordering::Relaxed));
     }
 
     #[test]
@@ -432,6 +682,84 @@ mod tests {
         let b = g.launch(&cfg, SimMode::Full, kernel).unwrap();
         assert_eq!(a.stats.cm_misses, 1);
         assert_eq!(b.stats.cm_misses, 1);
+    }
+
+    /// A kernel exercising every counter class: global stores, read-only
+    /// loads (shared input lines), constant reads (shared filter lines),
+    /// shared-memory staging, and arithmetic.
+    fn mixed_kernel(src: GmBuf, dst: GmBuf) -> impl Fn(&mut BlockCtx) + Sync {
+        move |blk: &mut BlockCtx| {
+            let id = blk.dims.block_id as u64;
+            blk.each_warp(|w| {
+                // Overlapping read-only loads: blocks share input lines.
+                let a = lane_addrs(src.f32_addr((id % 4) * 8), 4);
+                let x = w.ld_global_ro::<1>(&a, LaneMask::ALL);
+                // Divergent constant reads spanning a few lines.
+                let ca = crate::warp::lane_addrs_from(|l| ((id as usize + l) % 96) as u64 * 4);
+                let c = w.ld_const(&ca, LaneMask::ALL);
+                // Stage through shared memory.
+                let sa = lane_addrs(0, 4);
+                let vals: [[f32; 1]; 32] = std::array::from_fn(|l| [x[l][0] + c[l]]);
+                w.st_shared::<1>(&sa, &vals, LaneMask::ALL);
+                let staged = w.ld_shared::<1>(&sa, LaneMask::ALL);
+                // Write the block's slot.
+                let d = lane_addrs(dst.f32_addr(id * 32), 4);
+                w.st_global::<1>(&d, &staged, LaneMask::ALL);
+                w.count_fma(17);
+                w.count_alu(3);
+            });
+            blk.sync();
+        }
+    }
+
+    #[test]
+    fn parallel_launch_is_bit_identical_to_serial() {
+        let build = |parallelism: Parallelism| {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let src = g.alloc_f32(64).unwrap();
+            let dst = g.alloc_f32(24 * 32).unwrap();
+            let vals: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+            g.upload_f32(src, &vals).unwrap();
+            g.write_const_f32(0, &vec![2.0; 128]).unwrap();
+            let cfg = LaunchConfig::new("mixed", 24, 64).with_smem(1024);
+            let r = g
+                .launch(&cfg, SimMode::Full, mixed_kernel(src, dst))
+                .unwrap();
+            (r, g.download_f32(dst).unwrap())
+        };
+        let (serial, serial_mem) = build(Parallelism::Serial);
+        for threads in [2, 4, 7] {
+            let (par, par_mem) = build(Parallelism::Threads(threads));
+            assert_eq!(par.stats, serial.stats, "{threads} threads");
+            assert_eq!(par_mem, serial_mem, "{threads} threads");
+            assert_eq!(par.executed_blocks, serial.executed_blocks);
+            assert!((par.seconds() - serial.seconds()).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_sampled_launch_matches_serial() {
+        let run = |parallelism: Parallelism| {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let dst = g.alloc_f32(64 * 32).unwrap();
+            let cfg = LaunchConfig::new("id", 64, 32);
+            g.launch(&cfg, SimMode::Sampled(8), id_kernel(dst)).unwrap()
+        };
+        let serial = run(Parallelism::Serial);
+        let par = run(Parallelism::Threads(4));
+        assert_eq!(par.stats, serial.stats);
+        assert_eq!(par.executed_blocks, serial.executed_blocks);
+    }
+
+    #[test]
+    fn parallelism_env_parsing() {
+        // from_env reads the process environment, which tests must not
+        // mutate (other tests run concurrently); exercise the pure parts.
+        assert_eq!(Parallelism::Serial.worker_threads(), 1);
+        assert_eq!(Parallelism::Threads(0).worker_threads(), 1);
+        assert_eq!(Parallelism::Threads(6).worker_threads(), 6);
+        assert!(Parallelism::auto().worker_threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
     }
 
     #[test]

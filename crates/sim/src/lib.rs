@@ -15,7 +15,10 @@
 //! * [`mem::ConstantMemory`] — warp-broadcast semantics and a line-granular
 //!   cache model.
 //! * [`Gpu::launch`] — warp-synchronous execution of kernel closures over a
-//!   grid of thread blocks, with optional block sampling for large sweeps.
+//!   grid of thread blocks, with optional block sampling for large sweeps
+//!   and an optional multi-threaded block loop ([`Parallelism`]) whose
+//!   counters and outputs are bit-identical to serial execution (see the
+//!   [`launch`] module docs for the argument).
 //! * [`timing`] — a documented trace-driven cost model turning the counted
 //!   events into seconds and GFlop/s on the published K40m rates.
 //!
@@ -47,8 +50,8 @@
 
 mod block;
 mod error;
+pub mod launch;
 pub mod mem;
-mod launch;
 mod report;
 mod spec;
 mod stats;
@@ -57,9 +60,11 @@ mod warp;
 
 pub use block::{BlockCtx, BlockDims, WarpCtx};
 pub use error::{Result, SimError};
-pub use launch::{Gpu, LaunchConfig, LaunchReport, SimMode};
+pub use launch::{Gpu, LaunchConfig, LaunchReport, Parallelism, SimMode};
+pub use mem::{
+    bank_conflict_cycles, BankAccessOutcome, ConstantMemory, GlobalMemory, GmBuf, SharedMemory,
+};
 pub use report::render_report;
-pub use mem::{bank_conflict_cycles, BankAccessOutcome, ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
 pub use spec::{BankWidth, GpuSpec, WARP_SIZE};
 pub use stats::KernelStats;
 pub use timing::{occupancy, Occupancy, OverlapMode, Timing};

@@ -14,13 +14,15 @@
 //! is deliberately structured so that "all the threads within a warp always
 //! compute convolutions using the same filter at the same time" — i.e. the
 //! zero-cost path.
+//!
+//! Device-side warp loads flow through a per-block
+//! [`CmPlane`](crate::mem::plane::CmPlane); the launch-scoped first-touch
+//! line set lives here so serial launches count misses inline while
+//! parallel launches count the ordered union at merge time.
 
 use std::collections::HashSet;
 
 use crate::error::{Result, SimError};
-use crate::spec::WARP_SIZE;
-use crate::stats::KernelStats;
-use crate::warp::{LaneMask, WarpAddrs};
 
 /// Constant memory: a small read-only (from the device) space with broadcast
 /// semantics and a line-granular cache model.
@@ -45,6 +47,11 @@ impl ConstantMemory {
     /// Size in bytes.
     pub fn len_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Cache-line size in bytes.
+    pub(crate) fn line_bytes(&self) -> u64 {
+        self.line_bytes
     }
 
     /// Host write of consecutive `f32`s starting at element `elem_offset`
@@ -77,53 +84,53 @@ impl ConstantMemory {
         self.touched_lines.clear();
     }
 
-    /// Device warp load of one `f32` per lane.
-    ///
-    /// Cost model: `d` distinct active addresses cost `d - 1` serialization
-    /// cycles (a fully-uniform read is free); each first-touched cache line
-    /// counts one miss.
+    /// Device read of one `f32` at byte address `addr`.
     ///
     /// # Panics
     ///
-    /// Panics if an active lane reads outside constant memory.
-    pub(crate) fn warp_ld_f32(
-        &mut self,
-        stats: &mut KernelStats,
-        addrs: &WarpAddrs,
-        mask: LaneMask,
-    ) -> [f32; WARP_SIZE] {
-        let mut out = [0.0f32; WARP_SIZE];
-        let mut distinct = [u64::MAX; WARP_SIZE];
-        let mut n = 0usize;
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            assert!(
-                (a + 4) as usize <= self.data.len(),
-                "constant-memory access out of bounds: addr {a}, size {}",
-                self.data.len()
-            );
-            out[lane] = f32::from_le_bytes(
-                self.data[a as usize..a as usize + 4].try_into().unwrap(),
-            );
-            if !distinct[..n].contains(&a) {
-                distinct[n] = a;
-                n += 1;
-                let line = a / self.line_bytes;
-                if self.touched_lines.insert(line) {
-                    stats.cm_misses += 1;
-                }
+    /// Panics if the read falls outside constant memory (a kernel bug,
+    /// mirroring a device fault).
+    pub(crate) fn read_f32(&self, addr: u64) -> f32 {
+        assert!(
+            (addr + 4) as usize <= self.data.len(),
+            "constant-memory access out of bounds: addr {addr}, size {}",
+            self.data.len()
+        );
+        f32::from_le_bytes(
+            self.data[addr as usize..addr as usize + 4]
+                .try_into()
+                .unwrap(),
+        )
+    }
+
+    /// Marks `line` as cache-resident for this launch; returns `true` on
+    /// first touch (a miss).
+    pub(crate) fn touch_line(&mut self, line: u64) -> bool {
+        self.touched_lines.insert(line)
+    }
+
+    /// Merges one block's touched-line set into the launch-scoped cache
+    /// state, returning how many lines were newly touched — the block's
+    /// miss contribution. Calling this per block in block-id order yields
+    /// exactly the serial miss total (the model never evicts within a
+    /// launch, so total misses = |union of per-block sets|).
+    pub(crate) fn absorb_lines(&mut self, lines: &HashSet<u64>) -> u64 {
+        let mut new = 0u64;
+        for &line in lines {
+            if self.touched_lines.insert(line) {
+                new += 1;
             }
         }
-        stats.cm_requests += 1;
-        stats.cm_cycles += (n as u64).saturating_sub(1);
-        out
+        new
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::warp::{lane_addrs, lane_addrs_uniform};
+    use crate::mem::plane::CmPlane;
+    use crate::stats::KernelStats;
+    use crate::warp::{lane_addrs, lane_addrs_uniform, LaneMask};
 
     fn cm() -> ConstantMemory {
         ConstantMemory::new(64 * 1024, 256)
@@ -134,7 +141,8 @@ mod tests {
         let mut m = cm();
         m.write_f32s(4, &[1.5, 2.5]).unwrap();
         let mut stats = KernelStats::default();
-        let out = m.warp_ld_f32(&mut stats, &lane_addrs_uniform(4 * 4), LaneMask::ALL);
+        let mut plane = CmPlane::Direct(&mut m);
+        let out = plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(4 * 4), LaneMask::ALL);
         assert!(out.iter().all(|&v| v == 1.5));
         // Uniform cached read is free apart from the request count.
         assert_eq!(stats.cm_cycles, 0);
@@ -147,8 +155,9 @@ mod tests {
         let mut m = cm();
         m.write_f32s(0, &[3.0]).unwrap();
         let mut stats = KernelStats::default();
-        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
-        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        let mut plane = CmPlane::Direct(&mut m);
+        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
         assert_eq!(stats.cm_misses, 1);
         assert_eq!(stats.cm_requests, 2);
     }
@@ -159,7 +168,8 @@ mod tests {
         let vals: Vec<f32> = (0..32).map(|i| i as f32).collect();
         m.write_f32s(0, &vals).unwrap();
         let mut stats = KernelStats::default();
-        let out = m.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::ALL);
+        let mut plane = CmPlane::Direct(&mut m);
+        let out = plane.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::ALL);
         assert_eq!(out[7], 7.0);
         // 32 distinct addresses: 31 serialization cycles.
         assert_eq!(stats.cm_cycles, 31);
@@ -172,7 +182,8 @@ mod tests {
         let mut m = cm();
         m.write_f32s(0, &[0.0; 32]).unwrap();
         let mut stats = KernelStats::default();
-        m.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::first(2));
+        let mut plane = CmPlane::Direct(&mut m);
+        plane.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::first(2));
         assert_eq!(stats.cm_cycles, 1);
     }
 
@@ -181,9 +192,9 @@ mod tests {
         let mut m = cm();
         m.write_f32s(0, &[1.0]).unwrap();
         let mut stats = KernelStats::default();
-        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        CmPlane::Direct(&mut m).warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
         m.reset_cache();
-        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        CmPlane::Direct(&mut m).warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
         assert_eq!(stats.cm_misses, 2);
     }
 
@@ -198,6 +209,6 @@ mod tests {
     fn device_oob_panics() {
         let mut m = ConstantMemory::new(16, 256);
         let mut stats = KernelStats::default();
-        m.warp_ld_f32(&mut stats, &lane_addrs_uniform(16), LaneMask::ALL);
+        CmPlane::Direct(&mut m).warp_ld_f32(&mut stats, &lane_addrs_uniform(16), LaneMask::ALL);
     }
 }

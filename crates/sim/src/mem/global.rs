@@ -5,12 +5,15 @@
 //! segments (128 B on all modeled parts). The number of distinct segments is
 //! the *transaction count*; fully coalesced accesses (32 contiguous floats)
 //! touch exactly one segment, scattered accesses touch up to 32.
-
-use std::collections::{HashSet, VecDeque};
+//!
+//! Warp-level accesses flow through a per-block
+//! [`GmPlane`](crate::mem::plane::GmPlane), which either writes through to
+//! this memory (serial launches) or journals stores for deterministic
+//! replay (parallel launches). This type holds the storage, the allocator
+//! and the host-transfer paths.
 
 use crate::error::{Result, SimError};
-use crate::spec::WARP_SIZE;
-use crate::stats::KernelStats;
+use crate::mem::plane::WriteJournal;
 use crate::warp::{LaneMask, WarpAddrs};
 
 /// A handle to an allocation inside [`GlobalMemory`].
@@ -88,9 +91,6 @@ pub struct GlobalMemory {
     capacity: u64,
     ld_transaction_bytes: u64,
     st_transaction_bytes: u64,
-    ro_lines: HashSet<u64>,
-    ro_fifo: VecDeque<u64>,
-    ro_capacity_lines: usize,
 }
 
 /// Alignment applied to every allocation (matches `cudaMalloc`'s 256-byte
@@ -115,18 +115,23 @@ impl GlobalMemory {
             capacity,
             ld_transaction_bytes,
             st_transaction_bytes,
-            ro_lines: HashSet::new(),
-            ro_fifo: VecDeque::new(),
-            // Kepler's 48 KiB read-only/texture cache per SM.
-            ro_capacity_lines: (48 * 1024 / ld_transaction_bytes) as usize,
         }
     }
 
-    /// Clears the read-only cache (called per thread block: only
-    /// intra-block texture reuse is dependable on real hardware).
-    pub(crate) fn reset_ro_cache(&mut self) {
-        self.ro_lines.clear();
-        self.ro_fifo.clear();
+    /// Load-transaction (segment) size in bytes.
+    pub(crate) fn ld_transaction_bytes(&self) -> u64 {
+        self.ld_transaction_bytes
+    }
+
+    /// Store-transaction (sector) size in bytes.
+    pub(crate) fn st_transaction_bytes(&self) -> u64 {
+        self.st_transaction_bytes
+    }
+
+    /// Line capacity of the per-SM read-only (texture) cache: Kepler's
+    /// 48 KiB in load-segment-sized lines.
+    pub(crate) fn ro_capacity_lines(&self) -> usize {
+        (48 * 1024 / self.ld_transaction_bytes) as usize
     }
 
     /// Allocates `bytes` bytes, 256-byte aligned.
@@ -213,7 +218,11 @@ impl GlobalMemory {
         let start = (buf.offset + byte_off) as usize;
         Ok((0..len)
             .map(|i| {
-                f32::from_le_bytes(self.data[start + i * 4..start + i * 4 + 4].try_into().unwrap())
+                f32::from_le_bytes(
+                    self.data[start + i * 4..start + i * 4 + 4]
+                        .try_into()
+                        .unwrap(),
+                )
             })
             .collect())
     }
@@ -227,7 +236,13 @@ impl GlobalMemory {
         }
     }
 
-    fn check_device_range(&self, addr: u64, width: u64) {
+    /// Asserts that `[addr, addr + width)` lies inside allocated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds device access (a kernel bug, mirroring a
+    /// device fault).
+    pub(crate) fn check_device_range(&self, addr: u64, width: u64) {
         assert!(
             addr + width <= self.next && self.data.len() as u64 >= addr + width,
             "device global-memory access out of bounds: addr {addr} width {width}, allocated {}",
@@ -235,184 +250,32 @@ impl GlobalMemory {
         );
     }
 
-    /// Device warp load of `V` consecutive `f32`s per lane (a
-    /// `float`/`float2`/`float4` load for `V` = 1/2/4). Records one request
-    /// and the coalesced transaction count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory
-    /// (a kernel bug, equivalent to a device fault).
-    pub(crate) fn warp_ld<const V: usize>(
-        &mut self,
-        stats: &mut KernelStats,
-        addrs: &WarpAddrs,
-        mask: LaneMask,
-    ) -> [[f32; V]; WARP_SIZE] {
-        let width = (V * 4) as u64;
-        let mut out = [[0.0f32; V]; WARP_SIZE];
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.check_device_range(a, width);
-            for (v, slot) in out[lane].iter_mut().enumerate() {
-                let p = (a as usize) + v * 4;
-                *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
-            }
-        }
-        let segs = segment_count(addrs, width, mask, self.ld_transaction_bytes);
-        stats.gm_ld_requests += 1;
-        stats.gm_ld_transactions += segs;
-        stats.gm_ld_bytes_bus += segs * self.ld_transaction_bytes;
-        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
-        out
+    /// Raw storage view (callers bounds-check with
+    /// [`GlobalMemory::check_device_range`] first).
+    pub(crate) fn bytes(&self, addr: u64, len: usize) -> &[u8] {
+        &self.data[addr as usize..addr as usize + len]
     }
 
-    /// Device warp load of `V` consecutive `f32`s per lane through the
-    /// **read-only (texture) path**: lines already touched by this thread
-    /// block are served from the per-SM read-only cache without bus
-    /// traffic. This is how cuDNN streams its implicit-`im2col` patches,
-    /// whose `K*K`-fold overlap would otherwise all hit DRAM.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
-    pub(crate) fn warp_ld_ro<const V: usize>(
-        &mut self,
-        stats: &mut KernelStats,
-        addrs: &WarpAddrs,
-        mask: LaneMask,
-    ) -> [[f32; V]; WARP_SIZE] {
-        let width = (V * 4) as u64;
-        let mut out = [[0.0f32; V]; WARP_SIZE];
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.check_device_range(a, width);
-            for (v, slot) in out[lane].iter_mut().enumerate() {
-                let p = (a as usize) + v * 4;
-                *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
-            }
-        }
-        // Count transactions only for lines missing from the block cache.
-        let seg = self.ld_transaction_bytes;
-        let mut lines = [u64::MAX; 64];
-        let mut n = 0usize;
-        for lane in mask.iter() {
-            let first = addrs[lane] / seg;
-            let last = (addrs[lane] + width - 1) / seg;
-            for l in first..=last {
-                if !lines[..n].contains(&l) {
-                    lines[n] = l;
-                    n += 1;
-                }
-            }
-        }
-        let mut misses = 0u64;
-        for &l in &lines[..n] {
-            if self.ro_lines.contains(&l) {
-                stats.gm_ro_hits += 1;
-            } else {
-                misses += 1;
-                self.ro_lines.insert(l);
-                self.ro_fifo.push_back(l);
-                if self.ro_fifo.len() > self.ro_capacity_lines {
-                    if let Some(old) = self.ro_fifo.pop_front() {
-                        self.ro_lines.remove(&old);
-                    }
-                }
-            }
-        }
-        stats.gm_ld_requests += 1;
-        stats.gm_ld_transactions += misses;
-        stats.gm_ld_bytes_bus += misses * seg;
-        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
-        out
+    /// Mutable raw storage view.
+    pub(crate) fn bytes_mut(&mut self, addr: u64, len: usize) -> &mut [u8] {
+        &mut self.data[addr as usize..addr as usize + len]
     }
 
-    /// Device warp store of `V` consecutive `f32`s per lane.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
-    pub(crate) fn warp_st<const V: usize>(
-        &mut self,
-        stats: &mut KernelStats,
-        addrs: &WarpAddrs,
-        values: &[[f32; V]; WARP_SIZE],
-        mask: LaneMask,
-    ) {
-        let width = (V * 4) as u64;
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.check_device_range(a, width);
-            for (v, val) in values[lane].iter().enumerate() {
-                let p = (a as usize) + v * 4;
-                self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
-            }
+    /// Replays a block's journaled stores into the backing storage, in the
+    /// order they were issued. The launcher calls this once per block in
+    /// block-id order, which reproduces the serial store order exactly.
+    pub(crate) fn apply_journal(&mut self, journal: &WriteJournal) {
+        for (addr, bytes) in journal.entries() {
+            self.check_device_range(addr, bytes.len() as u64);
+            self.bytes_mut(addr, bytes.len()).copy_from_slice(bytes);
         }
-        let segs = segment_count(addrs, width, mask, self.st_transaction_bytes);
-        stats.gm_st_requests += 1;
-        stats.gm_st_transactions += segs;
-        stats.gm_st_bytes_bus += segs * self.st_transaction_bytes;
-        stats.gm_st_bytes_useful += mask.count() as u64 * width;
-    }
-
-    /// Device warp load of `W` raw bytes per lane (used by the short-data-
-    /// type extension: `W` = 2 models `fp16`, `W` = 1 models `int8`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
-    pub(crate) fn warp_ld_bytes<const W: usize>(
-        &mut self,
-        stats: &mut KernelStats,
-        addrs: &WarpAddrs,
-        mask: LaneMask,
-    ) -> [[u8; W]; WARP_SIZE] {
-        let width = W as u64;
-        let mut out = [[0u8; W]; WARP_SIZE];
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.check_device_range(a, width);
-            out[lane].copy_from_slice(&self.data[a as usize..a as usize + W]);
-        }
-        let segs = segment_count(addrs, width, mask, self.ld_transaction_bytes);
-        stats.gm_ld_requests += 1;
-        stats.gm_ld_transactions += segs;
-        stats.gm_ld_bytes_bus += segs * self.ld_transaction_bytes;
-        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
-        out
-    }
-
-    /// Device warp store of `W` raw bytes per lane.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
-    pub(crate) fn warp_st_bytes<const W: usize>(
-        &mut self,
-        stats: &mut KernelStats,
-        addrs: &WarpAddrs,
-        values: &[[u8; W]; WARP_SIZE],
-        mask: LaneMask,
-    ) {
-        let width = W as u64;
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.check_device_range(a, width);
-            self.data[a as usize..a as usize + W].copy_from_slice(&values[lane]);
-        }
-        let segs = segment_count(addrs, width, mask, self.st_transaction_bytes);
-        stats.gm_st_requests += 1;
-        stats.gm_st_transactions += segs;
-        stats.gm_st_bytes_bus += segs * self.st_transaction_bytes;
-        stats.gm_st_bytes_useful += mask.count() as u64 * width;
     }
 }
 
 /// Number of distinct aligned segments of `seg` bytes covered by the active
 /// lanes' `[addr, addr + width)` ranges — the global-memory transaction
 /// count for one warp instruction.
-fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
+pub(crate) fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
     // At most 32 lanes x (width/seg + 1) segments; widths here are <= 16 B
     // and segments 128 B, so 64 slots are plenty.
     let mut segs = [u64::MAX; 64];
@@ -433,6 +296,9 @@ fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mem::plane::GmPlane;
+    use crate::spec::WARP_SIZE;
+    use crate::stats::KernelStats;
     use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform};
 
     fn gm() -> GlobalMemory {
@@ -505,7 +371,8 @@ mod tests {
         let mut stats = KernelStats::default();
         // 32 lanes x 4 B contiguous from a 128 B-aligned base = 1 segment.
         let addrs = lane_addrs(buf.f32_addr(0), 4);
-        let out = m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        let plane = GmPlane::Direct(&mut m);
+        let out = plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(out[5][0], 5.0);
         assert_eq!(stats.gm_ld_transactions, 1);
         assert_eq!(stats.gm_ld_bytes_bus, 128);
@@ -519,15 +386,18 @@ mod tests {
         let mut stats = KernelStats::default();
         // Stride of 256 B: every lane in its own segment.
         let addrs = lane_addrs(buf.f32_addr(0), 256);
-        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 32);
-        assert!((KernelStats {
-            gm_ld_bytes_bus: stats.gm_ld_bytes_bus,
-            gm_ld_bytes_useful: stats.gm_ld_bytes_useful,
-            ..Default::default()
-        })
-        .gm_coalescing_efficiency()
-            < 0.05);
+        assert!(
+            (KernelStats {
+                gm_ld_bytes_bus: stats.gm_ld_bytes_bus,
+                gm_ld_bytes_useful: stats.gm_ld_bytes_useful,
+                ..Default::default()
+            })
+            .gm_coalescing_efficiency()
+                < 0.05
+        );
     }
 
     #[test]
@@ -537,7 +407,8 @@ mod tests {
         let mut stats = KernelStats::default();
         // 32 lanes x float2 contiguous = 256 B = 2 segments.
         let addrs = lane_addrs(buf.f32_addr(0), 8);
-        m.warp_ld::<2>(&mut stats, &addrs, LaneMask::ALL);
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<2>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 2);
         assert_eq!(stats.gm_ld_bytes_useful, 256);
     }
@@ -548,7 +419,8 @@ mod tests {
         let buf = m.alloc_f32(64).unwrap();
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
-        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::first(8));
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::first(8));
         assert_eq!(stats.gm_ld_transactions, 1);
         assert_eq!(stats.gm_ld_bytes_useful, 32);
     }
@@ -559,7 +431,8 @@ mod tests {
         let buf = m.alloc_f32(64).unwrap();
         let mut stats = KernelStats::default();
         let addrs = lane_addrs_uniform(buf.f32_addr(3));
-        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 1);
     }
 
@@ -570,7 +443,8 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
         let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
-        m.warp_st::<1>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        let mut plane = GmPlane::Direct(&mut m);
+        plane.warp_st::<1>(&mut stats, &addrs, &vals, LaneMask::ALL);
         // 128 contiguous bytes through 32-byte store sectors.
         assert_eq!(stats.gm_st_transactions, 4);
         assert_eq!(stats.gm_st_bytes_bus, 128);
@@ -584,7 +458,8 @@ mod tests {
         let mut stats = KernelStats::default();
         // Start 16 bytes into a segment: contiguous 128 B now straddles two.
         let addrs = lane_addrs(buf.f32_addr(4), 4);
-        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 2);
     }
 
@@ -595,7 +470,8 @@ mod tests {
         let buf = m.alloc_f32(4).unwrap();
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
-        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL); // lanes 4..32 OOB
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL); // lanes 4..32 OOB
     }
 
     #[test]
@@ -605,8 +481,9 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.offset(), 2);
         let vals: [[u8; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as u8, 0xAB]);
-        m.warp_st_bytes::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
-        let back = m.warp_ld_bytes::<2>(&mut stats, &addrs, LaneMask::ALL);
+        let mut plane = GmPlane::Direct(&mut m);
+        plane.warp_st_bytes::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        let back = plane.warp_ld_bytes::<2>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(back[7], [7, 0xAB]);
         // 64 B contiguous: two 32-byte store sectors, one 128-byte load
         // segment.
@@ -628,7 +505,8 @@ mod tests {
                 buf.f32_addr(512 + l as u64)
             }
         });
-        m.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        let plane = GmPlane::Direct(&mut m);
+        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 2);
     }
 }

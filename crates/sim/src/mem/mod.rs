@@ -7,6 +7,7 @@
 
 mod constant;
 mod global;
+pub(crate) mod plane;
 mod shared;
 
 pub use constant::ConstantMemory;

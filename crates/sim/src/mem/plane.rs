@@ -1,0 +1,572 @@
+//! Per-block views of the shared device memories.
+//!
+//! The parallel launch path (see [`crate::Gpu::launch`]) runs many thread
+//! blocks concurrently against one [`GlobalMemory`] and one
+//! [`ConstantMemory`]. The types here make that safe **and** keep every
+//! counter bit-identical to serial execution:
+//!
+//! * [`GmPlane`] — a block's access port to global memory. In serial mode
+//!   it writes through (`Direct`); in parallel mode it reads the shared
+//!   base and records stores into a private [`WriteJournal`] (`Journaled`)
+//!   that the launcher replays into the base in block-id order after all
+//!   workers join. A journaled block observes its *own* stores (byte
+//!   overlay) but never another in-flight block's — the disjoint-write
+//!   contract that CUDA grids already obey (blocks may not communicate
+//!   through global memory within one launch without a device-wide sync,
+//!   which this simulator does not provide).
+//! * [`RoCache`] — the per-SM read-only (texture) cache. Its residency was
+//!   always reset per block, so under parallelism it simply becomes a
+//!   per-block value; counts are unchanged by construction.
+//! * [`CmPlane`] — the constant-cache model. Serially, first-touch misses
+//!   accumulate in a launch-scoped line set; in parallel mode each block
+//!   records the lines it touched and the launcher counts
+//!   `|union of all sets|` at merge time, which equals the serial miss
+//!   count exactly because the cache model never evicts within a launch.
+//!
+//! Transaction/coalescing counts, bank conflicts, broadcast serializations
+//! and arithmetic counters are all per-warp functions of addresses alone,
+//! so sharding them per block and summing (`KernelStats::merge`) is exact.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::mem::constant::ConstantMemory;
+use crate::mem::global::{segment_count, GlobalMemory};
+use crate::spec::WARP_SIZE;
+use crate::stats::KernelStats;
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// Widest single-lane access in the ISA modeled here: a `float4` load/store
+/// (the byte paths use at most 8 bytes per lane).
+const MAX_LANE_BYTES: usize = 16;
+
+/// One recorded store: `len` bytes at device address `addr`.
+#[derive(Debug, Clone, Copy)]
+struct WriteRec {
+    addr: u64,
+    len: u8,
+    data: [u8; MAX_LANE_BYTES],
+}
+
+/// A block-private log of global-memory stores.
+///
+/// Stores are appended in program order and replayed into the shared
+/// [`GlobalMemory`] with [`GlobalMemory::apply_journal`] once the launcher
+/// merges blocks in block-id order; a byte-granular overlay gives the
+/// owning block read-your-own-writes semantics meanwhile.
+#[derive(Debug, Default)]
+pub(crate) struct WriteJournal {
+    log: Vec<WriteRec>,
+    overlay: HashMap<u64, u8>,
+    /// Smallest address written so far (fast-path reject for reads).
+    lo: u64,
+    /// One past the largest address written so far.
+    hi: u64,
+}
+
+impl WriteJournal {
+    pub(crate) fn new() -> Self {
+        WriteJournal {
+            log: Vec::new(),
+            overlay: HashMap::new(),
+            lo: u64::MAX,
+            hi: 0,
+        }
+    }
+
+    fn record(&mut self, addr: u64, bytes: &[u8]) {
+        debug_assert!(bytes.len() <= MAX_LANE_BYTES);
+        let mut data = [0u8; MAX_LANE_BYTES];
+        data[..bytes.len()].copy_from_slice(bytes);
+        self.log.push(WriteRec {
+            addr,
+            len: bytes.len() as u8,
+            data,
+        });
+        for (i, &b) in bytes.iter().enumerate() {
+            self.overlay.insert(addr + i as u64, b);
+        }
+        self.lo = self.lo.min(addr);
+        self.hi = self.hi.max(addr + bytes.len() as u64);
+    }
+
+    /// Patches `out` (a copy of base memory at `addr`) with any bytes this
+    /// journal has overwritten.
+    fn patch(&self, addr: u64, out: &mut [u8]) {
+        let end = addr + out.len() as u64;
+        if end <= self.lo || addr >= self.hi {
+            return; // conv kernels read inputs / write outputs in disjoint ranges
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            if let Some(&b) = self.overlay.get(&(addr + i as u64)) {
+                *slot = b;
+            }
+        }
+    }
+
+    /// Recorded stores in program order, as `(addr, bytes)`.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.log.iter().map(|r| (r.addr, &r.data[..r.len as usize]))
+    }
+}
+
+/// Per-block residency model of the 48 KiB per-SM read-only (texture)
+/// cache, FIFO-evicted at line granularity.
+///
+/// Only intra-block reuse is dependable on real hardware, so the serial
+/// launcher always reset this state per block; making it a per-block value
+/// changes nothing about the counts.
+#[derive(Debug)]
+pub(crate) struct RoCache {
+    lines: HashSet<u64>,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl RoCache {
+    pub(crate) fn new(capacity_lines: usize) -> Self {
+        RoCache {
+            lines: HashSet::new(),
+            fifo: VecDeque::new(),
+            capacity: capacity_lines,
+        }
+    }
+
+    /// Returns whether `line` was resident, inserting it (with FIFO
+    /// eviction) if not.
+    fn touch(&mut self, line: u64) -> bool {
+        if self.lines.contains(&line) {
+            return true;
+        }
+        self.lines.insert(line);
+        self.fifo.push_back(line);
+        if self.fifo.len() > self.capacity {
+            if let Some(old) = self.fifo.pop_front() {
+                self.lines.remove(&old);
+            }
+        }
+        false
+    }
+}
+
+/// A thread block's port to global memory.
+///
+/// All warp-level global traffic flows through here; the instrumentation
+/// (requests, coalesced transactions, bus/useful bytes) is identical in
+/// both variants because it depends only on the addresses.
+#[derive(Debug)]
+pub(crate) enum GmPlane<'a> {
+    /// Serial execution: reads and writes go straight to the device memory.
+    Direct(&'a mut GlobalMemory),
+    /// Parallel execution: reads come from the shared base (patched with
+    /// this block's own stores), writes go to the private journal.
+    Journaled {
+        base: &'a GlobalMemory,
+        journal: WriteJournal,
+    },
+}
+
+impl<'a> GmPlane<'a> {
+    fn base(&self) -> &GlobalMemory {
+        match self {
+            GmPlane::Direct(gm) => gm,
+            GmPlane::Journaled { base, .. } => base,
+        }
+    }
+
+    /// Consumes a journaled plane, returning its journal (`None` for
+    /// direct planes, whose writes already landed).
+    pub(crate) fn into_journal(self) -> Option<WriteJournal> {
+        match self {
+            GmPlane::Direct(_) => None,
+            GmPlane::Journaled { journal, .. } => Some(journal),
+        }
+    }
+
+    fn read_into(&self, addr: u64, out: &mut [u8]) {
+        let base = self.base();
+        base.check_device_range(addr, out.len() as u64);
+        out.copy_from_slice(base.bytes(addr, out.len()));
+        if let GmPlane::Journaled { journal, .. } = self {
+            journal.patch(addr, out);
+        }
+    }
+
+    fn write(&mut self, addr: u64, bytes: &[u8]) {
+        match self {
+            GmPlane::Direct(gm) => {
+                gm.check_device_range(addr, bytes.len() as u64);
+                gm.bytes_mut(addr, bytes.len()).copy_from_slice(bytes);
+            }
+            GmPlane::Journaled { base, journal } => {
+                base.check_device_range(addr, bytes.len() as u64);
+                journal.record(addr, bytes);
+            }
+        }
+    }
+
+    /// Device warp load of `V` consecutive `f32`s per lane (a
+    /// `float`/`float2`/`float4` load for `V` = 1/2/4). Records one request
+    /// and the coalesced transaction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory
+    /// (a kernel bug, mirroring a device fault).
+    pub(crate) fn warp_ld<const V: usize>(
+        &self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let width = (V * 4) as u64;
+        let mut out = [[0.0f32; V]; WARP_SIZE];
+        let mut raw = [0u8; MAX_LANE_BYTES];
+        for lane in mask.iter() {
+            self.read_into(addrs[lane], &mut raw[..V * 4]);
+            for (v, slot) in out[lane].iter_mut().enumerate() {
+                *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+            }
+        }
+        let seg = self.base().ld_transaction_bytes();
+        let segs = segment_count(addrs, width, mask, seg);
+        stats.gm_ld_requests += 1;
+        stats.gm_ld_transactions += segs;
+        stats.gm_ld_bytes_bus += segs * seg;
+        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
+        out
+    }
+
+    /// Device warp load of `V` consecutive `f32`s per lane through the
+    /// **read-only (texture) path**: lines already touched by this thread
+    /// block are served from the per-SM read-only cache without bus
+    /// traffic. This is how cuDNN streams its implicit-`im2col` patches,
+    /// whose `K*K`-fold overlap would otherwise all hit DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_ld_ro<const V: usize>(
+        &self,
+        stats: &mut KernelStats,
+        ro: &mut RoCache,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[f32; V]; WARP_SIZE] {
+        let width = (V * 4) as u64;
+        let mut out = [[0.0f32; V]; WARP_SIZE];
+        let mut raw = [0u8; MAX_LANE_BYTES];
+        for lane in mask.iter() {
+            self.read_into(addrs[lane], &mut raw[..V * 4]);
+            for (v, slot) in out[lane].iter_mut().enumerate() {
+                *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+            }
+        }
+        // Count transactions only for lines missing from the block cache.
+        let seg = self.base().ld_transaction_bytes();
+        let mut lines = [u64::MAX; 64];
+        let mut n = 0usize;
+        for lane in mask.iter() {
+            let first = addrs[lane] / seg;
+            let last = (addrs[lane] + width - 1) / seg;
+            for l in first..=last {
+                if !lines[..n].contains(&l) {
+                    lines[n] = l;
+                    n += 1;
+                }
+            }
+        }
+        let mut misses = 0u64;
+        for &l in &lines[..n] {
+            if ro.touch(l) {
+                stats.gm_ro_hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        stats.gm_ld_requests += 1;
+        stats.gm_ld_transactions += misses;
+        stats.gm_ld_bytes_bus += misses * seg;
+        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
+        out
+    }
+
+    /// Device warp store of `V` consecutive `f32`s per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_st<const V: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        values: &[[f32; V]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let width = (V * 4) as u64;
+        let mut raw = [0u8; MAX_LANE_BYTES];
+        for lane in mask.iter() {
+            for (v, val) in values[lane].iter().enumerate() {
+                raw[v * 4..v * 4 + 4].copy_from_slice(&val.to_le_bytes());
+            }
+            self.write(addrs[lane], &raw[..V * 4]);
+        }
+        let seg = self.base().st_transaction_bytes();
+        let segs = segment_count(addrs, width, mask, seg);
+        stats.gm_st_requests += 1;
+        stats.gm_st_transactions += segs;
+        stats.gm_st_bytes_bus += segs * seg;
+        stats.gm_st_bytes_useful += mask.count() as u64 * width;
+    }
+
+    /// Device warp load of `W` raw bytes per lane (used by the short-data-
+    /// type extension: `W` = 2 models `fp16`, `W` = 1 models `int8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_ld_bytes<const W: usize>(
+        &self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [[u8; W]; WARP_SIZE] {
+        let width = W as u64;
+        let mut out = [[0u8; W]; WARP_SIZE];
+        for lane in mask.iter() {
+            self.read_into(addrs[lane], &mut out[lane]);
+        }
+        let seg = self.base().ld_transaction_bytes();
+        let segs = segment_count(addrs, width, mask, seg);
+        stats.gm_ld_requests += 1;
+        stats.gm_ld_transactions += segs;
+        stats.gm_ld_bytes_bus += segs * seg;
+        stats.gm_ld_bytes_useful += mask.count() as u64 * width;
+        out
+    }
+
+    /// Device warp store of `W` raw bytes per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane's range falls outside allocated memory.
+    pub(crate) fn warp_st_bytes<const W: usize>(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        values: &[[u8; W]; WARP_SIZE],
+        mask: LaneMask,
+    ) {
+        let width = W as u64;
+        for lane in mask.iter() {
+            self.write(addrs[lane], &values[lane]);
+        }
+        let seg = self.base().st_transaction_bytes();
+        let segs = segment_count(addrs, width, mask, seg);
+        stats.gm_st_requests += 1;
+        stats.gm_st_transactions += segs;
+        stats.gm_st_bytes_bus += segs * seg;
+        stats.gm_st_bytes_useful += mask.count() as u64 * width;
+    }
+}
+
+/// A thread block's port to constant memory.
+#[derive(Debug)]
+pub(crate) enum CmPlane<'a> {
+    /// Serial execution: first-touch misses are counted against the
+    /// launch-scoped cache state inside [`ConstantMemory`] as they happen.
+    Direct(&'a mut ConstantMemory),
+    /// Parallel execution: the block records which lines it touched;
+    /// misses are counted at merge time as the ordered union of all
+    /// blocks' sets (exactly the serial count, since the cache model
+    /// never evicts within a launch).
+    Shared {
+        base: &'a ConstantMemory,
+        touched: HashSet<u64>,
+    },
+}
+
+impl<'a> CmPlane<'a> {
+    fn base(&self) -> &ConstantMemory {
+        match self {
+            CmPlane::Direct(cm) => cm,
+            CmPlane::Shared { base, .. } => base,
+        }
+    }
+
+    /// Consumes a shared plane, returning the touched-line set (`None`
+    /// for direct planes, whose misses were counted inline).
+    pub(crate) fn into_touched_lines(self) -> Option<HashSet<u64>> {
+        match self {
+            CmPlane::Direct(_) => None,
+            CmPlane::Shared { touched, .. } => Some(touched),
+        }
+    }
+
+    /// Device warp load of one `f32` per lane.
+    ///
+    /// Cost model: `d` distinct active addresses cost `d - 1` serialization
+    /// cycles (a fully-uniform read is free); each first-touched cache line
+    /// counts one miss (deferred to merge time in `Shared` mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active lane reads outside constant memory.
+    pub(crate) fn warp_ld_f32(
+        &mut self,
+        stats: &mut KernelStats,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+    ) -> [f32; WARP_SIZE] {
+        let mut out = [0.0f32; WARP_SIZE];
+        let mut distinct = [u64::MAX; WARP_SIZE];
+        let mut n = 0usize;
+        let line_bytes = self.base().line_bytes();
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            out[lane] = self.base().read_f32(a);
+            if !distinct[..n].contains(&a) {
+                distinct[n] = a;
+                n += 1;
+                let line = a / line_bytes;
+                match self {
+                    CmPlane::Direct(cm) => {
+                        if cm.touch_line(line) {
+                            stats.cm_misses += 1;
+                        }
+                    }
+                    CmPlane::Shared { touched, .. } => {
+                        touched.insert(line);
+                    }
+                }
+            }
+        }
+        stats.cm_requests += 1;
+        stats.cm_cycles += (n as u64).saturating_sub(1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{lane_addrs, lane_addrs_uniform};
+
+    fn gm() -> GlobalMemory {
+        GlobalMemory::new(1 << 20, 128, 32)
+    }
+
+    fn seeded(gm: &mut GlobalMemory, n: u64) -> crate::mem::GmBuf {
+        let buf = gm.alloc_f32(n).unwrap();
+        let vals: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        gm.write_f32s(buf, 0, &vals).unwrap();
+        buf
+    }
+
+    #[test]
+    fn journaled_reads_see_base_data() {
+        let mut m = gm();
+        let buf = seeded(&mut m, 64);
+        let plane = GmPlane::Journaled {
+            base: &m,
+            journal: WriteJournal::new(),
+        };
+        let mut stats = KernelStats::default();
+        let out = plane.warp_ld::<1>(&mut stats, &lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+        assert_eq!(out[5][0], 5.0);
+        assert_eq!(stats.gm_ld_transactions, 1);
+    }
+
+    #[test]
+    fn journaled_block_reads_its_own_writes() {
+        let mut m = gm();
+        let buf = seeded(&mut m, 64);
+        let mut plane = GmPlane::Journaled {
+            base: &m,
+            journal: WriteJournal::new(),
+        };
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32 + 100.0]);
+        plane.warp_st::<1>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        let back = plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        assert_eq!(back[7][0], 107.0);
+        // The base is untouched until the journal is replayed.
+        assert_eq!(m.read_f32s(buf, 7, 1).unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn journal_replay_matches_direct_execution() {
+        // Same store sequence through Direct and Journaled planes must
+        // leave identical memory and counters.
+        let run = |journaled: bool| -> (Vec<f32>, KernelStats) {
+            let mut m = gm();
+            let buf = seeded(&mut m, 64);
+            let mut stats = KernelStats::default();
+            let addrs = lane_addrs(buf.f32_addr(0), 4);
+            let v1: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32 * 2.0]);
+            let v2: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32 * 3.0]);
+            if journaled {
+                let mut plane = GmPlane::Journaled {
+                    base: &m,
+                    journal: WriteJournal::new(),
+                };
+                plane.warp_st::<1>(&mut stats, &addrs, &v1, LaneMask::ALL);
+                plane.warp_st::<1>(&mut stats, &addrs, &v2, LaneMask::first(8));
+                let journal = plane.into_journal().unwrap();
+                m.apply_journal(&journal);
+            } else {
+                let mut plane = GmPlane::Direct(&mut m);
+                plane.warp_st::<1>(&mut stats, &addrs, &v1, LaneMask::ALL);
+                plane.warp_st::<1>(&mut stats, &addrs, &v2, LaneMask::first(8));
+            }
+            (m.read_f32s(buf, 0, 64).unwrap(), stats)
+        };
+        let (direct_mem, direct_stats) = run(false);
+        let (journal_mem, journal_stats) = run(true);
+        assert_eq!(direct_mem, journal_mem);
+        assert_eq!(direct_stats, journal_stats);
+    }
+
+    #[test]
+    fn ro_cache_hits_do_not_count_bus_traffic() {
+        let mut m = gm();
+        let buf = seeded(&mut m, 64);
+        let plane = GmPlane::Direct(&mut m);
+        let mut ro = RoCache::new(16);
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        plane.warp_ld_ro::<1>(&mut stats, &mut ro, &addrs, LaneMask::ALL);
+        plane.warp_ld_ro::<1>(&mut stats, &mut ro, &addrs, LaneMask::ALL);
+        assert_eq!(stats.gm_ld_transactions, 1); // second read fully cached
+        assert_eq!(stats.gm_ro_hits, 1);
+    }
+
+    #[test]
+    fn ro_cache_evicts_fifo() {
+        let mut ro = RoCache::new(2);
+        assert!(!ro.touch(1));
+        assert!(!ro.touch(2));
+        assert!(ro.touch(1));
+        assert!(!ro.touch(3)); // evicts 1
+        assert!(!ro.touch(1));
+    }
+
+    #[test]
+    fn shared_cm_plane_defers_miss_counting() {
+        let mut cm = ConstantMemory::new(1 << 16, 256);
+        cm.write_f32s(0, &[1.0, 2.0]).unwrap();
+        let mut plane = CmPlane::Shared {
+            base: &cm,
+            touched: HashSet::new(),
+        };
+        let mut stats = KernelStats::default();
+        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(4), LaneMask::ALL);
+        assert_eq!(stats.cm_misses, 0); // deferred
+        assert_eq!(stats.cm_requests, 2);
+        let touched = plane.into_touched_lines().unwrap();
+        assert_eq!(touched.len(), 1); // both addresses in line 0
+        assert_eq!(cm.absorb_lines(&touched), 1);
+        assert_eq!(cm.absorb_lines(&touched), 0); // union: no double count
+    }
+}

@@ -309,8 +309,7 @@ mod tests {
 
     #[test]
     fn uniform_address_broadcasts() {
-        let out =
-            bank_conflict_cycles(&lane_addrs_uniform(40), 4, LaneMask::ALL, B, BankWidth::B8);
+        let out = bank_conflict_cycles(&lane_addrs_uniform(40), 4, LaneMask::ALL, B, BankWidth::B8);
         assert_eq!(out.cycles, 1);
         assert!(out.broadcast);
     }

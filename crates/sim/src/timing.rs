@@ -231,10 +231,7 @@ pub fn evaluate(spec: &GpuSpec, cfg: &LaunchConfig, stats: &KernelStats) -> Resu
     // Latency floor: each barrier-delimited phase of each block has a
     // dependent global-memory round trip; resident blocks interleave to
     // cover it.
-    let interleave = occ
-        .blocks_per_sm
-        .min(blocks.div_ceil(sm) as u32)
-        .max(1) as f64;
+    let interleave = occ.blocks_per_sm.min(blocks.div_ceil(sm) as u32).max(1) as f64;
     let t_latency = per_sm(stats.barriers as f64 * GM_LATENCY_CYCLES) / interleave;
 
     let comp = t_compute + t_barrier;

@@ -29,7 +29,13 @@ pub fn combined_error(a: f32, b: f32) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn worst_mismatch(lhs: &[f32], rhs: &[f32], tol: f32) -> Option<Mismatch> {
-    assert_eq!(lhs.len(), rhs.len(), "length mismatch: {} vs {}", lhs.len(), rhs.len());
+    assert_eq!(
+        lhs.len(),
+        rhs.len(),
+        "length mismatch: {} vs {}",
+        lhs.len(),
+        rhs.len()
+    );
     let mut worst: Option<Mismatch> = None;
     for (i, (&a, &b)) in lhs.iter().zip(rhs).enumerate() {
         let e = combined_error(a, b);

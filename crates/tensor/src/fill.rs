@@ -4,18 +4,16 @@
 //! shapes — so experiments run on seeded pseudo-random data, which also
 //! makes every correctness comparison reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::filters::FilterSet;
 use crate::image::Image;
 use crate::maps::FeatureMaps;
+use crate::rng::StdRng;
 
 /// Fills a slice with uniform values in `[-1, 1)` from a seeded generator.
 pub fn fill_uniform(data: &mut [f32], seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     for v in data {
-        *v = rng.gen_range(-1.0..1.0);
+        *v = rng.gen_range_f32(-1.0, 1.0);
     }
 }
 

@@ -154,7 +154,9 @@ mod tests {
 
     #[test]
     fn layout_is_fchw() {
-        let f = FilterSet::from_fn(2, 2, 2, |f, c, i, j| (f * 1000 + c * 100 + i * 10 + j) as f32);
+        let f = FilterSet::from_fn(2, 2, 2, |f, c, i, j| {
+            (f * 1000 + c * 100 + i * 10 + j) as f32
+        });
         assert_eq!(f.index(1, 1, 1, 1), 15);
         assert_eq!(f.get(1, 0, 1, 0), 1010.0);
         assert_eq!(f.as_slice()[15], 1111.0);

@@ -33,8 +33,10 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
         let shift = (14 - half_exp) as u32; // into 10-bit field
         let halfway = 1u32 << (shift - 1);
         let rounded = (mant >> shift)
-            + u32::from((mant & (halfway | ((1 << (shift - 1)) - 1))) > halfway
-                || (mant & halfway != 0 && (mant >> shift) & 1 == 1));
+            + u32::from(
+                (mant & (halfway | ((1 << (shift - 1)) - 1))) > halfway
+                    || (mant & halfway != 0 && (mant >> shift) & 1 == 1),
+            );
         return sign | rounded as u16;
     }
     // Normal: round the 23-bit fraction to 10 bits, to nearest even.
@@ -89,7 +91,10 @@ pub fn encode_f16_le(values: &[f32]) -> Vec<u8> {
 ///
 /// Panics if `bytes` has odd length.
 pub fn decode_f16_le(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len().is_multiple_of(2), "half-precision data must be even-length");
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "half-precision data must be even-length"
+    );
     bytes
         .chunks_exact(2)
         .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))

@@ -187,7 +187,7 @@ mod tests {
         let p = ConvProblem::new(1, 5, 5, 1, 3).with_stride(2);
         let m = im2col(&p, &input);
         assert_eq!(m.cols(), 4); // 2x2 strided output
-        // Column 3 = patch at output (1,1) = input origin (2,2).
+                                 // Column 3 = patch at output (1,1) = input origin (2,2).
         assert_eq!(m.get(0, 3), 12.0);
         assert_eq!(m.get(8, 3), 24.0);
     }

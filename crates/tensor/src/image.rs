@@ -79,7 +79,10 @@ impl Image {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.height && col < self.width, "pixel ({row},{col}) out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "pixel ({row},{col}) out of bounds"
+        );
         self.data[row * self.width + col]
     }
 
@@ -89,7 +92,10 @@ impl Image {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.height && col < self.width, "pixel ({row},{col}) out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "pixel ({row},{col}) out of bounds"
+        );
         self.data[row * self.width + col] = value;
     }
 
@@ -159,7 +165,10 @@ impl Image {
     ///
     /// Panics if the window exceeds the image.
     pub fn cropped_to(&self, rows: usize, cols: usize) -> Image {
-        assert!(rows <= self.height && cols <= self.width, "crop exceeds image");
+        assert!(
+            rows <= self.height && cols <= self.width,
+            "crop exceeds image"
+        );
         Image::from_fn(rows, cols, |y, x| self.get(y, x))
     }
 }

@@ -30,6 +30,7 @@ mod im2col;
 mod image;
 mod maps;
 mod problem;
+pub mod rng;
 
 pub use approx::{all_close, assert_close, combined_error, worst_mismatch, Mismatch, CONV_TOL};
 pub use fill::{fill_uniform, random_filters, random_image, random_maps};

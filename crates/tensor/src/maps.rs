@@ -182,8 +182,7 @@ impl FeatureMaps {
             for y in 0..self.height {
                 let src = self.index(c, y, 0);
                 let dst = out.index(c, y + top, left);
-                out.data[dst..dst + self.width]
-                    .copy_from_slice(&self.data[src..src + self.width]);
+                out.data[dst..dst + self.width].copy_from_slice(&self.data[src..src + self.width]);
             }
         }
         out
@@ -205,8 +204,7 @@ impl FeatureMaps {
             for y in 0..self.height {
                 let src = self.index(c, y, 0);
                 let dst = out.index(c, y, 0);
-                out.data[dst..dst + self.width]
-                    .copy_from_slice(&self.data[src..src + self.width]);
+                out.data[dst..dst + self.width].copy_from_slice(&self.data[src..src + self.width]);
             }
         }
         out

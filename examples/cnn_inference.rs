@@ -47,10 +47,7 @@ fn run_stack(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "CNN inference on the simulated {}",
-        GpuSpec::kepler_k40m()
-    );
+    println!("CNN inference on the simulated {}", GpuSpec::kepler_k40m());
 
     // LeNet-flavoured, grayscale 68x68.
     let lenet = LayerStack::lenet_like();

@@ -51,7 +51,7 @@ pub mod prelude {
         ImplicitGemmConv, SpecialConfig, SpecialConv,
     };
     pub use kconv_gemm::{launch_gemm, GemmConfig, GemmShape};
-    pub use kconv_sim::{Gpu, GpuSpec, SimMode};
+    pub use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
     pub use kconv_tensor::{
         random_filters, random_image, random_maps, ConvProblem, FeatureMaps, FilterSet, Image,
         CONV_TOL,

@@ -149,8 +149,8 @@ fn general_gm_traffic_beats_gemm_measured() {
     let gemm = ImplicitGemmConv::era2016(&problem)
         .run(&mut gpu, &problem, &input, &filters, Mode::Full)
         .unwrap();
-    let ratio = ours.report.stats.gm_ld_bytes_useful as f64
-        / gemm.report.stats.gm_ld_bytes_useful as f64;
+    let ratio =
+        ours.report.stats.gm_ld_bytes_useful as f64 / gemm.report.stats.gm_ld_bytes_useful as f64;
     assert!(ratio < 0.75, "load-traffic ratio {ratio} (expected ~1/K)");
 }
 

@@ -1,66 +1,95 @@
-//! Property-based invariants of the simulator substrate: the bank-conflict
+//! Randomized invariants of the simulator substrate: the bank-conflict
 //! model, coalescing, statistics scaling, and sampled-vs-full equivalence.
+//!
+//! These were originally `proptest` properties; they now run as seeded
+//! loops over the workspace's own deterministic PRNG so the suite builds
+//! offline. The case counts match the old `ProptestConfig` settings.
 
 use kconv::sim::{
     bank_conflict_cycles, lane_addrs_from, BankWidth, Gpu, GpuSpec, KernelStats, LaneMask,
     LaunchConfig, SimMode, WARP_SIZE,
 };
-use proptest::prelude::*;
+use kconv::tensor::rng::StdRng;
 
-fn arb_addrs() -> impl Strategy<Value = [u64; WARP_SIZE]> {
-    prop::array::uniform32(0u64..4096).prop_map(|a| a.map(|v| v * 4))
+fn arb_addrs(rng: &mut StdRng) -> [u64; WARP_SIZE] {
+    let mut a = [0u64; WARP_SIZE];
+    for v in &mut a {
+        *v = rng.gen_range(0..4096) as u64 * 4;
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Replay count is bounded by the active lane count (a lane contributes
-    /// at most ceil(width/bank) words to any one bank).
-    #[test]
-    fn conflict_cycles_bounded(addrs in arb_addrs(), mask_bits in any::<u32>()) {
-        let mask = LaneMask(mask_bits);
+/// Replay count is bounded by the active lane count (a lane contributes
+/// at most ceil(width/bank) words to any one bank).
+#[test]
+fn conflict_cycles_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..128 {
+        let addrs = arb_addrs(&mut rng);
+        let mask = LaneMask(rng.next_u64() as u32);
         for bw in [BankWidth::B4, BankWidth::B8] {
             let out = bank_conflict_cycles(&addrs, 4, mask, 32, bw);
-            prop_assert!(out.cycles >= 1);
-            prop_assert!(out.cycles <= (mask.count().max(1)) as u64);
+            assert!(out.cycles >= 1);
+            assert!(out.cycles <= (mask.count().max(1)) as u64);
         }
     }
+}
 
-    /// For *contiguous* scalar accesses (the pattern every kernel here
-    /// uses for staging), both bank widths are conflict-free from any
-    /// 4-byte-aligned base.
-    #[test]
-    fn contiguous_scalar_accesses_are_conflict_free(base in 0u64..4096) {
+/// For *contiguous* scalar accesses (the pattern every kernel here
+/// uses for staging), both bank widths are conflict-free from any
+/// 4-byte-aligned base.
+#[test]
+fn contiguous_scalar_accesses_are_conflict_free() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    for _ in 0..128 {
+        let base = rng.gen_range(0..4096) as u64;
         let addrs = lane_addrs_from(|l| base * 4 + l as u64 * 4);
         for bw in [BankWidth::B4, BankWidth::B8] {
             let out = bank_conflict_cycles(&addrs, 4, LaneMask::ALL, 32, bw);
-            prop_assert_eq!(out.cycles, 1);
+            assert_eq!(out.cycles, 1);
         }
     }
+}
 
-    /// Deactivating lanes never increases the cost.
-    #[test]
-    fn subset_masks_cost_no_more(addrs in arb_addrs(), mask_bits in any::<u32>(), drop in any::<u32>()) {
+/// Deactivating lanes never increases the cost.
+#[test]
+fn subset_masks_cost_no_more() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..128 {
+        let addrs = arb_addrs(&mut rng);
+        let mask_bits = rng.next_u64() as u32;
+        let drop = rng.next_u64() as u32;
         let full = LaneMask(mask_bits);
         let sub = LaneMask(mask_bits & !drop);
         let a = bank_conflict_cycles(&addrs, 4, full, 32, BankWidth::B8);
         let b = bank_conflict_cycles(&addrs, 4, sub, 32, BankWidth::B8);
-        prop_assert!(b.cycles <= a.cycles);
+        assert!(b.cycles <= a.cycles);
     }
+}
 
-    /// A uniform warp access always costs one cycle on any geometry.
-    #[test]
-    fn uniform_access_is_always_one_cycle(addr in 0u64..65536, width in prop_oneof![Just(4u64), Just(8)]) {
+/// A uniform warp access always costs one cycle on any geometry.
+#[test]
+fn uniform_access_is_always_one_cycle() {
+    let mut rng = StdRng::seed_from_u64(0x0A11);
+    for _ in 0..128 {
+        let addr = rng.gen_range(0..65536) as u64;
+        let width = *rng.choose(&[4u64, 8]);
         let addrs = [addr * 4; WARP_SIZE];
         for bw in [BankWidth::B4, BankWidth::B8] {
             let out = bank_conflict_cycles(&addrs, width, LaneMask::ALL, 32, bw);
-            prop_assert_eq!(out.cycles, 1);
+            assert_eq!(out.cycles, 1);
         }
     }
+}
 
-    /// Stats scaling is exactly linear for whole multiples.
-    #[test]
-    fn stats_scaling_linear(fma in 0u64..1_000_000, bytes in 0u64..1_000_000, mult in 1u64..64) {
+/// Stats scaling is exactly linear for whole multiples.
+#[test]
+fn stats_scaling_linear() {
+    let mut rng = StdRng::seed_from_u64(0x11EA);
+    for _ in 0..128 {
+        let fma = rng.gen_range(0..1_000_000) as u64;
+        let bytes = rng.gen_range(0..1_000_000) as u64;
+        let mult = rng.gen_range(1..64) as u64;
         let s = KernelStats {
             fma_lane_ops: fma,
             gm_ld_bytes_bus: bytes,
@@ -68,8 +97,8 @@ proptest! {
             ..Default::default()
         };
         let t = s.scaled_to_blocks(mult, 1);
-        prop_assert_eq!(t.fma_lane_ops, fma * mult);
-        prop_assert_eq!(t.gm_ld_bytes_bus, bytes * mult);
+        assert_eq!(t.fma_lane_ops, fma * mult);
+        assert_eq!(t.gm_ld_bytes_bus, bytes * mult);
     }
 }
 
@@ -133,5 +162,98 @@ fn mismatch_model_is_exhaustive() {
             let capacity = 32 * bw.bytes();
             assert_eq!(capacity / useful, n, "{bw:?} width {width}");
         }
+    }
+}
+
+/// A parallel launch is bit-identical to serial execution: same counters,
+/// same modeled timing, same output bytes. Exercised over randomized
+/// kernels (random grid geometry, per-block access patterns drawn from a
+/// per-block PRNG, every traffic class represented).
+#[test]
+fn parallel_launch_equals_serial_launch() {
+    let mut rng = StdRng::seed_from_u64(0xD15C0);
+    for case in 0..12 {
+        let blocks = rng.gen_range(1..24) + 1;
+        let threads = 32 * (rng.gen_range(0..3) + 1);
+        let seed = rng.next_u64();
+        let smem_bytes = 4096u32;
+
+        // Per-block behavior is a pure function of (seed, block id), so the
+        // closure is `Fn + Sync` while every block still does different,
+        // randomized work.
+        let kernel = move |src: kconv::sim::GmBuf, dst: kconv::sim::GmBuf| {
+            move |blk: &mut kconv::sim::BlockCtx<'_>| {
+                let id = blk.dims.block_id as u64;
+                let mut brng = StdRng::seed_from_u64(seed ^ (id * 0x9E37_79B9));
+                let src_base = brng.gen_range(0..512) as u64;
+                let cm_elem = brng.gen_range(0..512) as u64;
+                let fmas = brng.gen_range(1..128) as u64;
+                let strided_cm = brng.gen_bool(0.5);
+                let threads_per = blk.dims.threads as u64;
+                blk.each_warp(|w| {
+                    // Shared input lines: overlapping read-only loads.
+                    let a = lane_addrs_from(|l| src.f32_addr(src_base + l as u64));
+                    let x = w.ld_global_ro::<1>(&a, LaneMask::ALL);
+                    // Plain global loads of the same shared data.
+                    let x2 = w.ld_global::<1>(&a, LaneMask::ALL);
+                    // Constant reads, uniform or strided.
+                    let ca = if strided_cm {
+                        lane_addrs_from(|l| (cm_elem + l as u64 % 96) * 4)
+                    } else {
+                        kconv::sim::lane_addrs_uniform(cm_elem * 4)
+                    };
+                    let c = w.ld_const(&ca, LaneMask::ALL);
+                    // Stage through shared memory.
+                    let sa = lane_addrs_from(|l| l as u64 * 4);
+                    let staged: [[f32; 1]; WARP_SIZE] =
+                        std::array::from_fn(|l| [x[l][0] + x2[l][0] + c[l]]);
+                    w.st_shared::<1>(&sa, &staged, LaneMask::ALL);
+                    let y = w.ld_shared::<1>(&sa, LaneMask::ALL);
+                    // Disjoint per-block output slot.
+                    let d = lane_addrs_from(|l| dst.f32_addr(id * threads_per + l as u64));
+                    w.st_global::<1>(&d, &y, LaneMask::ALL);
+                    w.count_fma(fmas);
+                });
+                blk.sync();
+            }
+        };
+
+        let run = |parallelism: kconv::sim::Parallelism| {
+            let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let src = gpu.alloc_f32(1024).unwrap();
+            let dst = gpu.alloc_f32((blocks * threads) as u64).unwrap();
+            let data: Vec<f32> = (0..1024).map(|i| (i as f32).sin()).collect();
+            gpu.upload_f32(src, &data).unwrap();
+            let consts: Vec<f32> = (0..1024).map(|i| i as f32 * 0.25).collect();
+            gpu.write_const_f32(0, &consts).unwrap();
+            let cfg = LaunchConfig::new("prop", blocks, threads).with_smem(smem_bytes);
+            let r = gpu.launch(&cfg, SimMode::Full, kernel(src, dst)).unwrap();
+            (
+                r,
+                gpu.download_f32(dst).unwrap(),
+                gpu.download_f32(src).unwrap(),
+            )
+        };
+
+        let (serial, serial_dst, serial_src) = run(kconv::sim::Parallelism::Serial);
+        let workers = rng.gen_range(2..6);
+        let (par, par_dst, par_src) = run(kconv::sim::Parallelism::Threads(workers));
+        assert_eq!(par.stats, serial.stats, "case {case}: counters diverged");
+        assert_eq!(par.timing, serial.timing, "case {case}: timing diverged");
+        assert_eq!(par.executed_blocks, serial.executed_blocks, "case {case}");
+        assert!(
+            par_dst
+                .iter()
+                .zip(&serial_dst)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "case {case}: output bytes diverged"
+        );
+        assert!(
+            par_src
+                .iter()
+                .zip(&serial_src)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "case {case}: input buffer disturbed"
+        );
     }
 }
