@@ -1,8 +1,8 @@
 //! Engine selection: map a convolution problem to the right kernel.
 
 use kconv_core::{
-    ConvError, ConvRun, Convolution, ExplicitGemmConv, GeneralConfig, GeneralConv,
-    ImplicitGemmConv, SpecialConv,
+    run_with_fallback, ConvError, ConvRun, Convolution, ExplicitGemmConv, FaultRecord,
+    GeneralConfig, GeneralConv, ImplicitGemmConv, NaiveConv, SpecialConv,
 };
 use kconv_sim::{Gpu, SimMode};
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
@@ -101,6 +101,58 @@ impl Engine {
         self.resolve(gpu, problem)?
             .run(gpu, problem, input, filters, mode)
     }
+
+    /// Resolves and runs with **graceful degradation**: when the chosen
+    /// kernel trips a device-side fault (an out-of-bounds access, a shared
+    /// memory race or barrier divergence under the sanitizer, a watchdog
+    /// timeout, a contained panic — see [`kconv_sim::DeviceFault`]), the
+    /// computation falls back to the implicit-GEMM baseline and finally to
+    /// the [`NaiveConv`] reference, which accepts every shape. Every
+    /// absorbed failure — including a failed resolution — is recorded in
+    /// [`ConvRun::faults`] of the returned run, so callers still learn
+    /// exactly which kernel misbehaved and where.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when even the reference implementation fails
+    /// (or a non-recoverable host-side error occurs, e.g. a failed
+    /// allocation).
+    pub fn run_resilient(
+        self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun, ConvError> {
+        let mut resolve_fault = None;
+        let mut chain: Vec<Box<dyn Convolution>> = Vec::new();
+        match self.resolve(gpu, problem) {
+            Ok(primary) => chain.push(primary),
+            // A forced engine that cannot run the shape degrades too; the
+            // rejection is recorded like any other fault.
+            Err(e) => {
+                resolve_fault = Some(FaultRecord {
+                    engine: format!("{self:?} (resolution)"),
+                    error: e,
+                });
+            }
+        }
+        for fallback in [
+            Box::new(ImplicitGemmConv::default()) as Box<dyn Convolution>,
+            Box::new(NaiveConv::default()),
+        ] {
+            if !chain.iter().any(|c| c.name() == fallback.name()) {
+                chain.push(fallback);
+            }
+        }
+        let refs: Vec<&dyn Convolution> = chain.iter().map(AsRef::as_ref).collect();
+        let mut run = run_with_fallback(&refs, gpu, problem, input, filters, mode)?;
+        if let Some(fault) = resolve_fault {
+            run.faults.insert(0, fault);
+        }
+        Ok(run)
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +219,37 @@ mod tests {
             Engine::General.resolve(&g, &p),
             Err(ConvError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn resilient_run_absorbs_resolution_failure() {
+        // Forcing the special kernel on a multi-channel problem cannot
+        // resolve; the resilient path must degrade to a working engine and
+        // record why.
+        let p = ConvProblem::general(20, 2, 8, 3);
+        let input = random_maps(2, 20, 20, 61);
+        let filters = random_filters(8, 2, 3, 63);
+        let mut g = gpu();
+        let run = Engine::Special
+            .run_resilient(&mut g, &p, &input, &filters, SimMode::Full)
+            .unwrap();
+        assert_eq!(run.faults.len(), 1);
+        assert!(run.faults[0].engine.contains("Special"));
+        assert!(matches!(run.faults[0].error, ConvError::Shape(_)));
+        run.verify_executed(&p, &input, &filters, CONV_TOL).unwrap();
+    }
+
+    #[test]
+    fn resilient_run_is_faultless_on_the_happy_path() {
+        let p = ConvProblem::special(64, 4, 3);
+        let input = random_maps(1, 64, 64, 65);
+        let filters = random_filters(4, 1, 3, 67);
+        let mut g = gpu();
+        let run = Engine::Auto
+            .run_resilient(&mut g, &p, &input, &filters, SimMode::Full)
+            .unwrap();
+        assert!(run.faults.is_empty());
+        run.verify_executed(&p, &input, &filters, CONV_TOL).unwrap();
     }
 
     #[test]

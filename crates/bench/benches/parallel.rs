@@ -16,23 +16,37 @@
 //! physical cores; on a single-core host the parallel path measures the
 //! journaling overhead instead (expect ~1x or slightly below).
 //!
+//! A second measurement runs the same layer serially with the device-side
+//! sanitizer off and fully on, writing `BENCH_sanitizer.json`:
+//!
+//! ```json
+//! { "off_seconds": ..., "full_seconds": ..., "overhead": ... }
+//! ```
+//!
+//! `SanitizerMode::Off` is the default path (the tools are opt-in and cost
+//! nothing when disabled); `overhead` is the wall-clock factor the full
+//! memcheck + racecheck + synccheck suite pays for its shadow state.
+//!
 //! Usage: `cargo bench -p kconv-bench --bench parallel`
 
 use std::time::Instant;
 
 use kconv_core::{Convolution, GeneralConv};
-use kconv_sim::{Gpu, GpuSpec, LaunchReport, Parallelism, SimMode};
+use kconv_sim::{Gpu, GpuSpec, LaunchReport, Parallelism, SanitizerMode, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet};
 
 const ITERS: usize = 3;
 
 fn run_once(
     parallelism: Parallelism,
+    sanitizer: SanitizerMode,
     problem: &ConvProblem,
     input: &FeatureMaps,
     filters: &FilterSet,
 ) -> (f64, LaunchReport) {
-    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
+        .with_parallelism(parallelism)
+        .with_sanitizer(sanitizer);
     let conv = GeneralConv::table1(3);
     let t = Instant::now();
     let run = conv
@@ -45,6 +59,7 @@ fn run_once(
 /// bit-identity check).
 fn measure(
     parallelism: Parallelism,
+    sanitizer: SanitizerMode,
     problem: &ConvProblem,
     input: &FeatureMaps,
     filters: &FilterSet,
@@ -52,7 +67,7 @@ fn measure(
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..ITERS {
-        let (secs, report) = run_once(parallelism, problem, input, filters);
+        let (secs, report) = run_once(parallelism, sanitizer, problem, input, filters);
         best = best.min(secs);
         last = Some(report);
     }
@@ -70,9 +85,21 @@ fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("fig8_general 3x3 (N'=64 C=64 F=64), SimMode::Full, best of {ITERS}");
-    let (serial_s, serial_r) = measure(Parallelism::Serial, &problem, &input, &filters);
+    let (serial_s, serial_r) = measure(
+        Parallelism::Serial,
+        SanitizerMode::Off,
+        &problem,
+        &input,
+        &filters,
+    );
     println!("  serial:              {serial_s:.3} s");
-    let (par_s, par_r) = measure(Parallelism::Threads(threads), &problem, &input, &filters);
+    let (par_s, par_r) = measure(
+        Parallelism::Threads(threads),
+        SanitizerMode::Off,
+        &problem,
+        &input,
+        &filters,
+    );
     println!("  parallel ({threads} threads): {par_s:.3} s");
     let speedup = serial_s / par_s;
     println!("  speedup:             {speedup:.2}x on {host_cores} host core(s)");
@@ -88,5 +115,39 @@ fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_parallel.json");
     std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+
+    // Sanitizer overhead on the same layer, serial path. `Off` is the
+    // exact configuration measured above; `Full` adds shadow-bitmap and
+    // race/barrier bookkeeping on every access.
+    println!("sanitizer overhead, serial, best of {ITERS}");
+    let (off_s, off_r) = measure(
+        Parallelism::Serial,
+        SanitizerMode::Off,
+        &problem,
+        &input,
+        &filters,
+    );
+    println!("  sanitizer off:       {off_s:.3} s");
+    let (full_s, full_r) = measure(
+        Parallelism::Serial,
+        SanitizerMode::Full,
+        &problem,
+        &input,
+        &filters,
+    );
+    println!("  sanitizer full:      {full_s:.3} s");
+    let overhead = full_s / off_s;
+    println!("  overhead:            {overhead:.2}x");
+    assert_eq!(
+        off_r.stats, full_r.stats,
+        "the sanitizer must not change modeled counters"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"off_seconds\": {off_s:.6},\n  \"full_seconds\": {full_s:.6},\n  \"overhead\": {overhead:.4},\n  \"iters\": {ITERS}\n}}\n"
+    );
+    let path = format!("{root}/BENCH_sanitizer.json");
+    std::fs::write(&path, &json).expect("write BENCH_sanitizer.json");
     println!("wrote {path}");
 }

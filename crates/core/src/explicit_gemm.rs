@@ -129,7 +129,7 @@ impl Convolution for ExplicitGemmConv {
         let d_in = gpu.alloc_f32(input.as_slice().len() as u64)?;
         gpu.upload_f32(d_in, input.as_slice())?;
         let d_a = gpu.alloc_f32((mp * kp) as u64)?;
-        gpu.fill_f32(d_a, 0.0);
+        gpu.fill_f32(d_a, 0.0)?;
         // Filters are already the row-major F x kd matrix; upload row-wise
         // into the padded pitch.
         for f in 0..problem.filters {
@@ -137,7 +137,7 @@ impl Convolution for ExplicitGemmConv {
             gpu.upload_f32_at(d_a, (f * kp) as u64, row)?;
         }
         let d_b = gpu.alloc_f32((kp * npad) as u64)?;
-        gpu.fill_f32(d_b, 0.0);
+        gpu.fill_f32(d_b, 0.0)?;
         let d_c = gpu.alloc_f32((mp * npad) as u64)?;
 
         // Stage 1: the im2col kernel (always full — the GEMM depends on
@@ -225,6 +225,7 @@ impl Convolution for ExplicitGemmConv {
             output,
             report: combine(im2col_report, gemm_report),
             executed_regions: regions,
+            faults: Vec::new(),
         })
     }
 }

@@ -234,6 +234,7 @@ fn run_general_inner<const N: usize>(
         output,
         report,
         executed_regions: regions,
+        faults: Vec::new(),
     })
 }
 
@@ -420,6 +421,28 @@ fn stage_tiles(
             w.st_shared::<1>(&saddrs, &vals, mask);
         });
         e0 += threads;
+    }
+    // The pitch extends past the `W + K - 1` data columns so aligned
+    // `n`-wide window loads stay in bounds; zero the pad columns so those
+    // loads never touch undefined shared memory.
+    let pad = g.img_pitch - g.row_len;
+    if pad > 0 {
+        let pad_elems = c_sh * slab_rows * pad;
+        let mut e0 = 0usize;
+        while e0 < pad_elems {
+            blk.each_warp(|w| {
+                let mask = LaneMask::from_fn(|lane| e0 + w.thread_id(lane) < pad_elems);
+                let saddrs = lane_addrs_from(|lane| {
+                    let e = (e0 + w.thread_id(lane)).min(pad_elems - 1);
+                    let col = g.row_len + e % pad;
+                    let row = (e / pad) % slab_rows;
+                    let cc = e / (pad * slab_rows);
+                    (((cc * slab_rows + row) * g.img_pitch + col) * 4) as u64
+                });
+                w.st_shared::<1>(&saddrs, &[[0.0f32; 1]; WARP_SIZE], mask);
+            });
+            e0 += threads;
+        }
     }
     // Filters: read (nearly) coalesced from FCHW, store transposed with
     // padded pitch (the gray box of the paper's Fig. 6).

@@ -296,6 +296,7 @@ impl Convolution for ImplicitGemmConv {
             output,
             report,
             executed_regions: regions,
+            faults: Vec::new(),
         })
     }
 }
@@ -343,10 +344,14 @@ fn implicit_block(
         let mut e0 = 0usize;
         while e0 < a_elems {
             blk.each_warp(|w| {
-                let mask = LaneMask::from_fn(|lane| {
+                let valid = LaneMask::from_fn(|lane| {
                     let e = e0 + w.thread_id(lane);
                     e < a_elems && f_base + e / kslice < p.filters
                 });
+                // Every in-tile slot gets stored — slots past the last
+                // filter as zeros — so the compute phase below never reads
+                // undefined shared memory in tail blocks.
+                let staged = LaneMask::from_fn(|lane| e0 + w.thread_id(lane) < a_elems);
                 let gaddrs = lane_addrs_from(|lane| {
                     let e = (e0 + w.thread_id(lane)).min(a_elems - 1);
                     let f = (f_base + e / kslice).min(p.filters - 1);
@@ -356,15 +361,15 @@ fn implicit_block(
                 // enabled): one 128-byte line covers several K-slices of a
                 // filter row, so successive slices hit the cache.
                 let vals = if cfg.texture {
-                    w.ld_global_ro::<1>(&gaddrs, mask)
+                    w.ld_global_ro::<1>(&gaddrs, valid)
                 } else {
-                    w.ld_global::<1>(&gaddrs, mask)
+                    w.ld_global::<1>(&gaddrs, valid)
                 };
                 let saddrs = lane_addrs_from(|lane| {
                     let e = (e0 + w.thread_id(lane)).min(a_elems - 1);
                     (((e % kslice) * a_pitch + e / kslice) * 4) as u64
                 });
-                w.st_shared::<1>(&saddrs, &vals, mask);
+                w.st_shared::<1>(&saddrs, &vals, staged);
             });
             e0 += threads;
         }
@@ -374,10 +379,12 @@ fn implicit_block(
         let mut e0 = 0usize;
         while e0 < b_elems {
             blk.each_warp(|w| {
-                let mask = LaneMask::from_fn(|lane| {
+                let valid = LaneMask::from_fn(|lane| {
                     let e = e0 + w.thread_id(lane);
                     e < b_elems && px_base + e % tn < np
                 });
+                // As above: stage zeros for out-of-range pixels.
+                let staged = LaneMask::from_fn(|lane| e0 + w.thread_id(lane) < b_elems);
                 let gaddrs = lane_addrs_from(|lane| {
                     let e = (e0 + w.thread_id(lane)).min(b_elems - 1);
                     let kq = k0 + e / tn;
@@ -389,20 +396,20 @@ fn implicit_block(
                         ((c * p.height + oy * p.stride + dy) * p.width + ox * p.stride + dx) as u64,
                     )
                 });
-                w.count_alu(mask.count() as u64 * DECODE_ALU);
+                w.count_alu(valid.count() as u64 * DECODE_ALU);
                 // Modern cuDNN streams the patch matrix through the
                 // read-only (texture) path so its K*K-fold overlap is
                 // cache-served.
                 let vals = if cfg.texture {
-                    w.ld_global_ro::<1>(&gaddrs, mask)
+                    w.ld_global_ro::<1>(&gaddrs, valid)
                 } else {
-                    w.ld_global::<1>(&gaddrs, mask)
+                    w.ld_global::<1>(&gaddrs, valid)
                 };
                 let saddrs = lane_addrs_from(|lane| {
                     let e = (e0 + w.thread_id(lane)).min(b_elems - 1);
                     bs_base + (e * 4) as u64
                 });
-                w.st_shared::<1>(&saddrs, &vals, mask);
+                w.st_shared::<1>(&saddrs, &vals, staged);
             });
             e0 += threads;
         }

@@ -82,7 +82,7 @@ pub use general::{GeneralConv, GeneralConvStrided};
 pub use implicit_gemm::{ImplicitGemmConfig, ImplicitGemmConv};
 pub use naive::NaiveConv;
 pub use reference::{conv_reference, conv_reference_region, OutRegion};
-pub use run::{run_verified, ConvRun, Convolution};
+pub use run::{run_verified, run_with_fallback, ConvRun, Convolution, FaultRecord};
 pub use special::{FusedBatchRun, SpecialConv, MAX_K};
 pub use special_narrow::{
     i8_input_scale, i8_output_scale, quantize_maps, quantize_maps_f16, Encoding, SpecialConvF16,

@@ -179,6 +179,7 @@ impl Convolution for NaiveConv {
             output,
             report,
             executed_regions: regions,
+            faults: Vec::new(),
         })
     }
 }

@@ -4,8 +4,27 @@
 use kconv_sim::{Gpu, LaunchReport, SimMode};
 use kconv_tensor::{worst_mismatch, ConvProblem, FeatureMaps, FilterSet};
 
-use crate::error::Result;
+use crate::error::{ConvError, Result};
 use crate::reference::{conv_reference_region, OutRegion};
+
+/// A failure observed while attempting an engine in a fallback chain
+/// (see [`run_with_fallback`]): which implementation failed and how.
+///
+/// When the error wraps a device-side [`kconv_sim::DeviceFault`], it names
+/// the exact kernel, block, warp and thread that misbehaved.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// [`Convolution::name`] of the implementation that failed.
+    pub engine: String,
+    /// The error it failed with.
+    pub error: ConvError,
+}
+
+impl std::fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed: {}", self.engine, self.error)
+    }
+}
 
 /// Result of running a convolution implementation.
 #[derive(Debug, Clone)]
@@ -18,6 +37,10 @@ pub struct ConvRun {
     pub report: LaunchReport,
     /// Output regions that were actually computed (clipped to the output).
     pub executed_regions: Vec<OutRegion>,
+    /// Faults absorbed on the way to this result. Empty for a direct
+    /// [`Convolution::run`]; [`run_with_fallback`] records here every
+    /// engine that faulted before one completed.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl ConvRun {
@@ -152,4 +175,61 @@ pub fn run_verified(
             crate::error::ConvError::Shape(format!("{} output mismatch: {e}", conv.name()))
         })?;
     Ok(run)
+}
+
+/// Whether an engine failure should be absorbed and the next engine in a
+/// fallback chain tried: device-side kernel faults (the sanitizer or the
+/// containment layer stopped the kernel) and shape/configuration rejections
+/// are recoverable; host-side simulator errors (failed allocations, invalid
+/// launches) indicate the *chain* is misused and propagate.
+fn is_recoverable(e: &ConvError) -> bool {
+    match e {
+        ConvError::Sim(sim) => sim.device_fault().is_some(),
+        ConvError::Config(_) | ConvError::Shape(_) => true,
+    }
+}
+
+/// Runs `engines` in order until one completes, absorbing recoverable
+/// failures (device-side kernel faults and shape/config rejections) into
+/// [`ConvRun::faults`] of the successful run.
+///
+/// This is the containment counterpart of [`Gpu::launch`]'s fault
+/// reporting: a kernel that trips the sanitizer or faults on a device
+/// access does not abort the computation — the next (typically simpler and
+/// better-trusted) engine produces the answer, and the record of what
+/// failed travels with it. End the chain with a reference implementation
+/// such as [`NaiveConv`](crate::NaiveConv), which accepts every shape.
+///
+/// # Errors
+///
+/// Returns the last engine's error when every engine fails, a
+/// non-recoverable error (e.g. a failed allocation) as soon as one occurs,
+/// or [`ConvError::Config`] when `engines` is empty.
+pub fn run_with_fallback(
+    engines: &[&dyn Convolution],
+    gpu: &mut Gpu,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    mode: SimMode,
+) -> Result<ConvRun> {
+    let mut faults = Vec::new();
+    for (i, conv) in engines.iter().enumerate() {
+        match conv.run(gpu, problem, input, filters, mode.clone()) {
+            Ok(mut run) => {
+                run.faults = faults;
+                return Ok(run);
+            }
+            Err(e) if is_recoverable(&e) && i + 1 < engines.len() => {
+                faults.push(FaultRecord {
+                    engine: conv.name(),
+                    error: e,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ConvError::Config(
+        "run_with_fallback called with no engines".into(),
+    ))
 }

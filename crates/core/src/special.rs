@@ -421,6 +421,7 @@ fn run_special<const N: usize>(
         output,
         report,
         executed_regions: regions,
+        faults: Vec::new(),
     })
 }
 

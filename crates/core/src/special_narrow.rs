@@ -478,6 +478,7 @@ fn run_impl<const B: usize>(
         output,
         report,
         executed_regions: regions,
+        faults: Vec::new(),
     })
 }
 

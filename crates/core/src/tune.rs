@@ -11,7 +11,7 @@ use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 use crate::config::{GeneralConfig, SpecialConfig};
-use crate::error::Result;
+use crate::error::{ConvError, Result};
 use crate::general::GeneralConv;
 use crate::run::Convolution;
 use crate::special::SpecialConv;
@@ -67,10 +67,16 @@ pub fn is_feasible(spec: &GpuSpec, cfg: &GeneralConfig, problem: &ConvProblem) -
 /// [`Parallelism::env_or_auto`] (serial results are bit-identical; set
 /// `KCONV_THREADS=serial` to force the single-threaded path).
 ///
+/// Candidates whose kernel trips a device-side fault (a sanitizer report
+/// or a contained kernel panic — see [`kconv_sim::DeviceFault`]) are
+/// skipped rather than aborting the exploration: one poisoned
+/// configuration should not take down a 64-point sweep.
+///
 /// # Errors
 ///
-/// Propagates simulator errors (a candidate that fails validation is
-/// silently skipped; a candidate that fails at launch is a bug).
+/// Propagates host-side simulator errors (a candidate that fails
+/// validation is silently skipped; a candidate that fails at launch setup
+/// is a bug).
 pub fn explore_general(
     spec: &GpuSpec,
     problem: &ConvProblem,
@@ -85,13 +91,18 @@ pub fn explore_general(
             continue;
         }
         let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
-        let run = GeneralConv::new(*cfg).run(
+        let run = match GeneralConv::new(*cfg).run(
             &mut gpu,
             problem,
             &input,
             &filters,
             SimMode::Sampled(blocks),
-        )?;
+        ) {
+            Ok(run) => run,
+            // A device-side fault poisons this candidate, not the sweep.
+            Err(ConvError::Sim(e)) if e.device_fault().is_some() => continue,
+            Err(e) => return Err(e),
+        };
         results.push(TuneResult {
             config: *cfg,
             gflops: run.effective_gflops(problem),
@@ -149,7 +160,8 @@ pub fn special_candidate_space() -> Vec<SpecialConfig> {
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
+/// Propagates host-side simulator errors; candidates that trip a
+/// device-side fault are skipped (see [`explore_general`]).
 pub fn explore_special(
     spec: &GpuSpec,
     problem: &ConvProblem,
@@ -164,13 +176,18 @@ pub fn explore_special(
             continue;
         }
         let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
-        let run = SpecialConv::new(*cfg).run(
+        let run = match SpecialConv::new(*cfg).run(
             &mut gpu,
             problem,
             &input,
             &filters,
             SimMode::Sampled(blocks),
-        )?;
+        ) {
+            Ok(run) => run,
+            // A device-side fault poisons this candidate, not the sweep.
+            Err(ConvError::Sim(e)) if e.device_fault().is_some() => continue,
+            Err(e) => return Err(e),
+        };
         results.push(SpecialTuneResult {
             config: *cfg,
             gflops: run.effective_gflops(problem),

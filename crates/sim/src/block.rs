@@ -19,7 +19,18 @@
 //! read-only cache, and its own [`KernelStats`]. That is what lets the
 //! launcher run blocks on worker threads and merge their statistics in
 //! block-id order — see [`Gpu::launch`](crate::Gpu::launch).
+//!
+//! ## Fault containment
+//!
+//! Every warp operation carries its *site* (warp id + barrier phase) into
+//! the memory models, so an out-of-bounds access or sanitizer finding
+//! raises a typed [`DeviceFault`](crate::DeviceFault) naming the exact
+//! warp/lane, contained at the block boundary by the launcher. The block
+//! also hosts the watchdog (a step budget against runaway kernels), the
+//! synccheck barrier-participation counters, and the test-only fault
+//! injector.
 
+use crate::fault::{self, FaultKind, Site};
 use crate::mem::plane::{CmPlane, GmPlane, RoCache};
 use crate::mem::SharedMemory;
 use crate::spec::WARP_SIZE;
@@ -44,6 +55,16 @@ impl BlockDims {
     }
 }
 
+/// Block-scoped slice of a [`FaultInjection`](crate::FaultInjection): flip
+/// one lane's address on the `op_index`-th warp memory operation of this
+/// block.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Inject {
+    pub(crate) op_index: u64,
+    pub(crate) lane: usize,
+    pub(crate) addr_xor: u64,
+}
+
 /// Execution context for one thread block.
 ///
 /// Holds the block's ports to the device memories, this block's shared
@@ -57,6 +78,19 @@ pub struct BlockCtx<'a> {
     pub(crate) ro: RoCache,
     pub(crate) smem: SharedMemory,
     pub(crate) stats: KernelStats,
+    /// Barrier interval index: incremented by [`BlockCtx::sync`]. Accesses
+    /// in the same phase by different warps are unordered (racecheck's
+    /// hazard window).
+    phase: u32,
+    /// Per-warp count of `bar_sync()` calls (synccheck).
+    bar_counts: Vec<u64>,
+    synccheck: bool,
+    /// Watchdog: warp operations executed so far / allowed budget.
+    steps: u64,
+    step_budget: u64,
+    /// Test-only fault injector and its per-block memory-op counter.
+    inj: Option<Inject>,
+    op_counter: u64,
 }
 
 impl std::fmt::Debug for BlockCtx<'_> {
@@ -76,6 +110,7 @@ impl<'a> BlockCtx<'a> {
         ro: RoCache,
         smem: SharedMemory,
     ) -> Self {
+        let warps = dims.warps();
         BlockCtx {
             dims,
             gm,
@@ -83,7 +118,94 @@ impl<'a> BlockCtx<'a> {
             ro,
             smem,
             stats: KernelStats::default(),
+            phase: 0,
+            bar_counts: vec![0; warps],
+            synccheck: false,
+            steps: 0,
+            step_budget: u64::MAX,
+            inj: None,
+            op_counter: 0,
         }
+    }
+
+    /// Enables synccheck: warps' `bar_sync()` participation counts are
+    /// verified at every [`BlockCtx::sync`] and at block end.
+    pub(crate) fn with_synccheck(mut self) -> Self {
+        self.synccheck = true;
+        self
+    }
+
+    /// Sets the watchdog budget (total warp operations per block).
+    pub(crate) fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Arms the test-only fault injector for this block.
+    pub(crate) fn with_injection(mut self, inj: Inject) -> Self {
+        self.inj = Some(inj);
+        self
+    }
+
+    /// Watchdog tick: one warp operation. Past the budget, the block is
+    /// presumed hung (the simulator equivalent of a kernel timeout).
+    fn step(&mut self, warp: usize) {
+        self.steps += 1;
+        if self.steps > self.step_budget {
+            fault::raise(FaultKind::Timeout { steps: self.steps }, warp, 0);
+        }
+    }
+
+    /// Fault injector: returns patched addresses when this is the armed
+    /// memory operation, else `None`.
+    fn inject(&mut self, addrs: &WarpAddrs) -> Option<WarpAddrs> {
+        let inj = self.inj.as_ref()?;
+        let idx = self.op_counter;
+        self.op_counter += 1;
+        if idx != inj.op_index {
+            return None;
+        }
+        let mut patched = *addrs;
+        patched[inj.lane] ^= inj.addr_xor;
+        Some(patched)
+    }
+
+    /// Verifies synccheck's barrier-participation counters: every warp
+    /// must have executed the same number of `bar_sync()` calls.
+    fn verify_barriers(&self) {
+        if !self.synccheck || self.bar_counts.is_empty() {
+            return;
+        }
+        let (warp_min, &count_min) = self
+            .bar_counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, c)| c)
+            .unwrap();
+        let (warp_max, &count_max) = self
+            .bar_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .unwrap();
+        if count_min != count_max {
+            fault::raise(
+                FaultKind::BarrierDivergence {
+                    warp_min,
+                    count_min,
+                    warp_max,
+                    count_max,
+                },
+                warp_max,
+                0,
+            );
+        }
+    }
+
+    /// End-of-block hook run by the launcher before the block's results
+    /// are harvested (final synccheck verification).
+    pub(crate) fn finish(&self) {
+        self.verify_barriers();
     }
 
     /// Runs `f` for every warp of the block, in warp-id order.
@@ -92,15 +214,21 @@ impl<'a> BlockCtx<'a> {
     /// per-thread state in arrays captured by the closure.
     pub fn each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx<'_, 'a>)) {
         for wid in 0..self.dims.warps() {
+            self.step(wid);
             let mut warp = WarpCtx { block: self, wid };
             f(&mut warp);
         }
     }
 
     /// A `__syncthreads()` barrier: records the barrier for the timing
-    /// model. (Warps are already serialized, so no scheduling is needed.)
+    /// model and advances the racecheck phase. (Warps are already
+    /// serialized, so no scheduling is needed.) Under synccheck it also
+    /// verifies that every warp reached the barrier the same number of
+    /// times.
     pub fn sync(&mut self) {
+        self.verify_barriers();
         self.stats.barriers += 1;
+        self.phase += 1;
     }
 
     /// The block's shared-memory size in bytes.
@@ -148,14 +276,45 @@ impl WarpCtx<'_, '_> {
         LaneMask(mask.0 & self.population().0)
     }
 
+    /// This warp's current site (warp id + barrier phase) for the memory
+    /// models' fault reports.
+    fn site(&self) -> Site {
+        Site {
+            warp: self.wid,
+            phase: self.block.phase,
+        }
+    }
+
+    /// Watchdog tick + injection for one memory op: returns the (possibly
+    /// patched) addresses to use.
+    fn pre_op(&mut self, addrs: &WarpAddrs) -> Option<WarpAddrs> {
+        self.block.step(self.wid);
+        self.block.inject(addrs)
+    }
+
+    /// Records this warp's arrival at a barrier for synccheck. The
+    /// repository's kernels call [`BlockCtx::sync`] uniformly from block
+    /// scope, which is inherently convergent; a kernel that makes barrier
+    /// participation warp-dependent calls this from inside `each_warp` so
+    /// that synccheck can observe (and flag) the divergence.
+    pub fn bar_sync(&mut self) {
+        self.block.step(self.wid);
+        self.block.bar_counts[self.wid] += 1;
+    }
+
     /// Global-memory warp load of `V` consecutive `f32`s per lane.
     pub fn ld_global<const V: usize>(
         &mut self,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
-        self.block.gm.warp_ld::<V>(&mut self.block.stats, addrs, m)
+        let site = self.site();
+        self.block
+            .gm
+            .warp_ld::<V>(&mut self.block.stats, site, addrs, m)
     }
 
     /// Global-memory warp store of `V` consecutive `f32`s per lane.
@@ -165,10 +324,13 @@ impl WarpCtx<'_, '_> {
         values: &[[f32; V]; WARP_SIZE],
         mask: LaneMask,
     ) {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .gm
-            .warp_st::<V>(&mut self.block.stats, addrs, values, m);
+            .warp_st::<V>(&mut self.block.stats, site, addrs, values, m);
     }
 
     /// Shared-memory warp load of `V` consecutive `f32`s per lane
@@ -178,10 +340,13 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .smem
-            .warp_ld::<V>(&mut self.block.stats, addrs, m)
+            .warp_ld::<V>(&mut self.block.stats, site, addrs, m)
     }
 
     /// Shared-memory warp store of `V` consecutive `f32`s per lane.
@@ -191,10 +356,13 @@ impl WarpCtx<'_, '_> {
         values: &[[f32; V]; WARP_SIZE],
         mask: LaneMask,
     ) {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .smem
-            .warp_st::<V>(&mut self.block.stats, addrs, values, m);
+            .warp_st::<V>(&mut self.block.stats, site, addrs, values, m);
     }
 
     /// Global-memory warp load through the read-only (texture) cache path:
@@ -204,16 +372,24 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .gm
-            .warp_ld_ro::<V>(&mut self.block.stats, &mut self.block.ro, addrs, m)
+            .warp_ld_ro::<V>(&mut self.block.stats, &mut self.block.ro, site, addrs, m)
     }
 
     /// Constant-memory warp load of one `f32` per lane (broadcast-optimized).
     pub fn ld_const(&mut self, addrs: &WarpAddrs, mask: LaneMask) -> [f32; WARP_SIZE] {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
-        self.block.cm.warp_ld_f32(&mut self.block.stats, addrs, m)
+        let site = self.site();
+        self.block
+            .cm
+            .warp_ld_f32(&mut self.block.stats, site, addrs, m)
     }
 
     /// Global-memory warp load of `W` raw bytes per lane (short data types).
@@ -222,10 +398,13 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .gm
-            .warp_ld_bytes::<W>(&mut self.block.stats, addrs, m)
+            .warp_ld_bytes::<W>(&mut self.block.stats, site, addrs, m)
     }
 
     /// Global-memory warp store of `W` raw bytes per lane.
@@ -235,10 +414,13 @@ impl WarpCtx<'_, '_> {
         values: &[[u8; W]; WARP_SIZE],
         mask: LaneMask,
     ) {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .gm
-            .warp_st_bytes::<W>(&mut self.block.stats, addrs, values, m);
+            .warp_st_bytes::<W>(&mut self.block.stats, site, addrs, values, m);
     }
 
     /// Shared-memory warp load of `W` raw bytes per lane (short data types).
@@ -247,10 +429,13 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .smem
-            .warp_ld_bytes::<W>(&mut self.block.stats, addrs, m)
+            .warp_ld_bytes::<W>(&mut self.block.stats, site, addrs, m)
     }
 
     /// Shared-memory warp store of `W` raw bytes per lane.
@@ -260,15 +445,19 @@ impl WarpCtx<'_, '_> {
         values: &[[u8; W]; WARP_SIZE],
         mask: LaneMask,
     ) {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
         let m = self.live(mask);
+        let site = self.site();
         self.block
             .smem
-            .warp_st_bytes::<W>(&mut self.block.stats, addrs, values, m);
+            .warp_st_bytes::<W>(&mut self.block.stats, site, addrs, values, m);
     }
 
     /// Records `lane_ops` fused multiply-adds (the arithmetic itself is done
     /// on the kernel's register arrays in plain Rust).
     pub fn count_fma(&mut self, lane_ops: u64) {
+        self.block.step(self.wid);
         self.block.stats.fma_lane_ops += lane_ops;
     }
 
@@ -277,6 +466,7 @@ impl WarpCtx<'_, '_> {
     /// FMAs, which is how the implicit-GEMM baselines pay for their index
     /// decoding.
     pub fn count_alu(&mut self, lane_ops: u64) {
+        self.block.step(self.wid);
         self.block.stats.alu_lane_ops += lane_ops;
     }
 }
@@ -284,6 +474,7 @@ impl WarpCtx<'_, '_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{install_quiet_hook, FaultPayload};
     use crate::mem::{ConstantMemory, GlobalMemory, SharedMemory};
     use crate::spec::BankWidth;
     use crate::warp::lane_addrs;
@@ -308,6 +499,15 @@ mod tests {
     ) -> BlockCtx<'a> {
         let ro = RoCache::new(gm.ro_capacity_lines());
         BlockCtx::new(dims, GmPlane::Direct(gm), CmPlane::Direct(cm), ro, smem)
+    }
+
+    /// Runs `f`, which must raise a device fault, and returns the payload.
+    fn trap(f: impl FnOnce() + std::panic::UnwindSafe) -> FaultPayload {
+        install_quiet_hook();
+        let payload = std::panic::catch_unwind(f).unwrap_err();
+        *payload
+            .downcast::<FaultPayload>()
+            .expect("expected a typed device fault")
     }
 
     #[test]
@@ -393,5 +593,80 @@ mod tests {
         let mut ids = Vec::new();
         blk.each_warp(|w| ids.push(w.thread_id(5)));
         assert_eq!(ids, vec![5, 37]);
+    }
+
+    #[test]
+    fn watchdog_trips_past_step_budget() {
+        let p = trap(|| {
+            let (mut gm, mut cm, dims) = harness(32);
+            let smem = SharedMemory::new(0, 32, BankWidth::B8);
+            let mut blk = ctx(dims, &mut gm, &mut cm, smem).with_step_budget(100);
+            loop {
+                blk.each_warp(|w| w.count_alu(1));
+            }
+        });
+        assert!(matches!(p.kind, FaultKind::Timeout { steps } if steps > 100));
+    }
+
+    #[test]
+    fn injection_flips_one_lane_address() {
+        let p = trap(|| {
+            let (mut gm, mut cm, dims) = harness(32);
+            let buf = gm.alloc_f32(64).unwrap();
+            let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+            gm.write_f32s(buf, 0, &vals).unwrap();
+            let smem = SharedMemory::new(0, 32, BankWidth::B8);
+            let mut blk = ctx(dims, &mut gm, &mut cm, smem).with_injection(Inject {
+                op_index: 1,
+                lane: 7,
+                addr_xor: 1 << 41,
+            });
+            blk.each_warp(|w| {
+                // Op 0: untouched. Op 1: lane 7's address is flipped OOB.
+                w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+                w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+            });
+        });
+        assert_eq!(p.lane, 7);
+        assert!(matches!(p.kind, FaultKind::OutOfBounds { addr, .. } if addr >= 1 << 41));
+    }
+
+    #[test]
+    fn synccheck_flags_divergent_barrier_counts() {
+        let p = trap(|| {
+            let (mut gm, mut cm, dims) = harness(64);
+            let smem = SharedMemory::new(0, 32, BankWidth::B8);
+            let mut blk = ctx(dims, &mut gm, &mut cm, smem).with_synccheck();
+            // Only warp 0 participates in the barrier: divergence.
+            blk.each_warp(|w| {
+                if w.warp_id() == 0 {
+                    w.bar_sync();
+                }
+            });
+            blk.finish();
+        });
+        match p.kind {
+            FaultKind::BarrierDivergence {
+                warp_min,
+                count_min,
+                warp_max,
+                count_max,
+            } => {
+                assert_eq!((warp_min, count_min), (1, 0));
+                assert_eq!((warp_max, count_max), (0, 1));
+            }
+            other => panic!("expected BarrierDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synccheck_accepts_uniform_barrier_counts() {
+        let (mut gm, mut cm, dims) = harness(64);
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem).with_synccheck();
+        blk.each_warp(|w| w.bar_sync());
+        blk.sync();
+        blk.each_warp(|w| w.bar_sync());
+        blk.finish();
     }
 }

@@ -1,11 +1,15 @@
 //! Error type for the simulator.
 
+use crate::fault::DeviceFault;
+
 /// Errors reported by the simulator's fallible public API (allocation,
-/// launch configuration, host transfers).
+/// launch configuration, host transfers, kernel execution).
 ///
-/// Out-of-bounds *device* accesses inside a kernel panic instead: they are
-/// kernel bugs, equivalent to a CUDA fault, and a panic carries the faulting
-/// address straight to the failing test.
+/// Out-of-bounds *device* accesses inside a kernel no longer panic across
+/// the launch boundary: they are contained per block and surface as
+/// [`SimError::KernelFault`] carrying the faulting kernel/block/warp/thread
+/// and address — the simulator's equivalent of the CUDA driver reporting a
+/// sticky device fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// A device allocation did not fit in the remaining memory.
@@ -29,6 +33,25 @@ pub enum SimError {
         /// Size of the buffer in bytes.
         buffer: u64,
     },
+    /// A kernel faulted on the device: out-of-bounds access, a sanitizer
+    /// finding (uninitialized read, race hazard, barrier divergence), a
+    /// watchdog timeout, or a contained kernel panic. The launch's side
+    /// effects on device memory are unspecified (partial), exactly as on
+    /// real hardware.
+    KernelFault(Box<DeviceFault>),
+    /// An internal invariant of the launcher failed (a bug in the
+    /// simulator itself, not in the kernel under test).
+    Internal(String),
+}
+
+impl SimError {
+    /// The contained [`DeviceFault`] when this error is a kernel fault.
+    pub fn device_fault(&self) -> Option<&DeviceFault> {
+        match self {
+            SimError::KernelFault(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -51,11 +74,19 @@ impl std::fmt::Display for SimError {
                 f,
                 "host transfer of {len} bytes at offset {offset} exceeds buffer of {buffer} bytes"
             ),
+            SimError::KernelFault(fault) => write!(f, "kernel fault: {fault}"),
+            SimError::Internal(msg) => write!(f, "simulator internal error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<DeviceFault> for SimError {
+    fn from(fault: DeviceFault) -> Self {
+        SimError::KernelFault(Box::new(fault))
+    }
+}
 
 /// Convenience alias for simulator results.
 pub type Result<T> = std::result::Result<T, SimError>;
@@ -63,6 +94,7 @@ pub type Result<T> = std::result::Result<T, SimError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, MemSpace};
 
     #[test]
     fn display_messages() {
@@ -80,6 +112,30 @@ mod tests {
             buffer: 8,
         };
         assert!(e.to_string().contains("offset 4"));
+        let e = SimError::Internal("slot not filled".into());
+        assert!(e.to_string().contains("internal"));
+    }
+
+    #[test]
+    fn kernel_fault_display_and_accessor() {
+        let fault = DeviceFault {
+            kernel: "gemm 64x64".into(),
+            block: 11,
+            warp: 3,
+            lane: 17,
+            kind: FaultKind::UninitializedRead {
+                space: MemSpace::Shared,
+                addr: 0x40,
+                width: 4,
+            },
+        };
+        let e = SimError::from(fault.clone());
+        assert_eq!(e.device_fault(), Some(&fault));
+        let s = e.to_string();
+        assert!(s.contains("kernel fault"), "{s}");
+        assert!(s.contains("block 11"), "{s}");
+        assert!(s.contains("uninitialized"), "{s}");
+        assert_eq!(SimError::InvalidLaunch("x".into()).device_fault(), None);
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Device faults and the opt-in sanitizer.
+//!
+//! Real GPUs kill a kernel that touches memory it does not own; the driver
+//! reports a fault with the offending address and the launch is lost, not
+//! the process. This module gives the simulator the same containment
+//! boundary: every illegal device access inside a kernel closure is turned
+//! into a structured [`DeviceFault`] that [`Gpu::launch`](crate::Gpu::launch)
+//! returns as [`SimError::KernelFault`](crate::SimError::KernelFault) —
+//! never a raw panic across the launch boundary.
+//!
+//! # Fault transport
+//!
+//! Kernel closures are arbitrary user code with no `Result` channel, so a
+//! fault unwinds out of the closure as a panic carrying a typed payload and
+//! is caught at the per-block boundary (`exec_block`), where it is enriched
+//! with the block id and kernel name. A process-wide panic hook suppresses
+//! the default "thread panicked" banner for these internal payloads only;
+//! genuine kernel panics (`panic!` in kernel code) are also contained and
+//! surface as [`FaultKind::KernelPanic`].
+//!
+//! # Sanitizer
+//!
+//! Bounds checking is always on — it protects the host process. The opt-in
+//! [`SanitizerMode`] (or the `KCONV_SANITIZE` environment variable) adds
+//! the compute-sanitizer-style tools on top:
+//!
+//! * **memcheck** — reads of never-written memory, tracked by shadow
+//!   bitmaps over global, shared and constant memory;
+//! * **racecheck** — shared-memory write/write, read/write and write/read
+//!   hazards between two warps inside the same barrier interval;
+//! * **synccheck** — warps of one block arriving at different numbers of
+//!   [`WarpCtx::bar_sync`](crate::WarpCtx::bar_sync) barriers.
+//!
+//! All checks are per-access branches on state that only exists when the
+//! corresponding tool is enabled; `SanitizerMode::Off` costs one `None`
+//! check per launch and nothing per access.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Which device memory space an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSpace {
+    /// Global (device DRAM) memory.
+    Global,
+    /// Per-block shared memory.
+    Shared,
+    /// Constant memory.
+    Constant,
+}
+
+impl std::fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Constant => "constant",
+        })
+    }
+}
+
+/// Whether the faulting access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        })
+    }
+}
+
+/// The two access orders racecheck distinguishes for an inter-warp hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hazard {
+    /// Two warps wrote the same byte in one barrier interval.
+    WriteWrite,
+    /// A warp read a byte another warp wrote in the same barrier interval.
+    ReadAfterWrite,
+    /// A warp wrote a byte another warp read in the same barrier interval.
+    WriteAfterRead,
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Hazard::WriteWrite => "write/write",
+            Hazard::ReadAfterWrite => "read-after-write",
+            Hazard::WriteAfterRead => "write-after-read",
+        })
+    }
+}
+
+/// What went wrong inside the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An access fell outside the addressable/allocated range of a memory
+    /// space. Always checked, sanitizer or not.
+    OutOfBounds {
+        /// Memory space of the access.
+        space: MemSpace,
+        /// Load or store.
+        access: AccessKind,
+        /// Faulting byte address (block-local for shared memory).
+        addr: u64,
+        /// Bytes the lane tried to access.
+        width: u64,
+        /// One past the last valid byte of the space at fault time.
+        limit: u64,
+    },
+    /// memcheck: a read of memory no one ever wrote.
+    UninitializedRead {
+        /// Memory space of the read.
+        space: MemSpace,
+        /// First never-written byte in the accessed range.
+        addr: u64,
+        /// Bytes the lane read.
+        width: u64,
+    },
+    /// racecheck: two warps touched a shared-memory byte in conflicting
+    /// ways within one barrier interval.
+    RaceHazard {
+        /// The conflicting access pair.
+        hazard: Hazard,
+        /// Block-local shared-memory byte address.
+        addr: u64,
+        /// The other warp involved in the hazard.
+        other_warp: usize,
+    },
+    /// synccheck: the block finished (or reached a block-wide barrier)
+    /// with warps having issued different numbers of
+    /// [`bar_sync`](crate::WarpCtx::bar_sync) barriers.
+    BarrierDivergence {
+        /// A warp with the smallest barrier count.
+        warp_min: usize,
+        /// Its barrier count.
+        count_min: u64,
+        /// A warp with the largest barrier count.
+        warp_max: usize,
+        /// Its barrier count.
+        count_max: u64,
+    },
+    /// The watchdog step budget ran out (see
+    /// [`Gpu::set_step_budget`](crate::Gpu::set_step_budget)).
+    Timeout {
+        /// Steps executed when the budget tripped.
+        steps: u64,
+    },
+    /// The kernel closure itself panicked (an `assert!`, an index slip in
+    /// host-side register arrays, ...). Contained like a device fault.
+    KernelPanic {
+        /// The panic message, if it was a string.
+        message: String,
+    },
+}
+
+impl FaultKind {
+    /// The memory space involved, when the fault is about one.
+    pub fn space(&self) -> Option<MemSpace> {
+        match self {
+            FaultKind::OutOfBounds { space, .. } | FaultKind::UninitializedRead { space, .. } => {
+                Some(*space)
+            }
+            FaultKind::RaceHazard { .. } => Some(MemSpace::Shared),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::OutOfBounds {
+                space,
+                access,
+                addr,
+                width,
+                limit,
+            } => write!(
+                f,
+                "{space}-memory {access} out of bounds: addr {addr:#x} width {width} (limit {limit:#x})"
+            ),
+            FaultKind::UninitializedRead { space, addr, width } => write!(
+                f,
+                "memcheck: read of uninitialized {space} memory at addr {addr:#x} (width {width})"
+            ),
+            FaultKind::RaceHazard {
+                hazard,
+                addr,
+                other_warp,
+            } => write!(
+                f,
+                "racecheck: {hazard} hazard on shared-memory byte {addr:#x} with warp {other_warp}"
+            ),
+            FaultKind::BarrierDivergence {
+                warp_min,
+                count_min,
+                warp_max,
+                count_max,
+            } => write!(
+                f,
+                "synccheck: barrier divergence (warp {warp_min}: {count_min} barriers, warp {warp_max}: {count_max})"
+            ),
+            FaultKind::Timeout { steps } => {
+                write!(f, "watchdog: step budget exhausted after {steps} steps")
+            }
+            FaultKind::KernelPanic { message } => write!(f, "kernel panicked: {message}"),
+        }
+    }
+}
+
+/// A contained device-side failure: what happened and exactly where.
+///
+/// Produced by [`Gpu::launch`](crate::Gpu::launch) inside
+/// [`SimError::KernelFault`](crate::SimError::KernelFault). The first
+/// faulting block id is deterministic and identical between serial and
+/// parallel execution (see the [`launch`](crate::launch) module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// Name of the launched kernel ([`LaunchConfig::name`](crate::LaunchConfig)).
+    pub kernel: String,
+    /// Grid block id of the faulting block.
+    pub block: usize,
+    /// Warp index within the block.
+    pub warp: usize,
+    /// Lane index within the warp (0 when the fault has no single lane,
+    /// e.g. barrier divergence or a kernel panic).
+    pub lane: usize,
+    /// What went wrong.
+    pub kind: FaultKind,
+}
+
+impl DeviceFault {
+    /// Block-local thread id of the faulting lane (`warp * 32 + lane`).
+    pub fn thread(&self) -> usize {
+        self.warp * crate::spec::WARP_SIZE + self.lane
+    }
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in kernel '{}', block {}, warp {}, thread {} (lane {})",
+            self.kind,
+            self.kernel,
+            self.block,
+            self.warp,
+            self.thread(),
+            self.lane
+        )
+    }
+}
+
+/// Which sanitizer tools a [`Gpu`](crate::Gpu) runs with.
+///
+/// The default is `Off`; set it per device with
+/// [`Gpu::set_sanitizer`](crate::Gpu::set_sanitizer) or process-wide with
+/// the `KCONV_SANITIZE` environment variable (`off`, `memcheck`,
+/// `racecheck`, `synccheck`, `full`). Bounds checks and the fault
+/// containment boundary are always active regardless of mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizerMode {
+    /// No extra checking (bounds checks still apply).
+    #[default]
+    Off,
+    /// Uninitialized-read tracking via shadow bitmaps.
+    Memcheck,
+    /// Shared-memory hazard detection between barriers.
+    Racecheck,
+    /// Barrier-count divergence detection across warps.
+    Synccheck,
+    /// All of the above.
+    Full,
+}
+
+impl SanitizerMode {
+    /// Reads the `KCONV_SANITIZE` environment variable. Returns `None` when
+    /// unset or unrecognized.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("KCONV_SANITIZE").ok()?.trim() {
+            "off" | "0" => Some(SanitizerMode::Off),
+            "memcheck" => Some(SanitizerMode::Memcheck),
+            "racecheck" => Some(SanitizerMode::Racecheck),
+            "synccheck" => Some(SanitizerMode::Synccheck),
+            "full" | "1" | "all" => Some(SanitizerMode::Full),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn memcheck(self) -> bool {
+        matches!(self, SanitizerMode::Memcheck | SanitizerMode::Full)
+    }
+
+    pub(crate) fn racecheck(self) -> bool {
+        matches!(self, SanitizerMode::Racecheck | SanitizerMode::Full)
+    }
+
+    pub(crate) fn synccheck(self) -> bool {
+        matches!(self, SanitizerMode::Synccheck | SanitizerMode::Full)
+    }
+}
+
+/// A deterministic single-access fault injector for testing the sanitizer.
+///
+/// When armed on a [`Gpu`](crate::Gpu), the `op_index`-th warp memory
+/// operation executed by block `block` (counting every global / shared /
+/// constant warp access of that block, in program order) has `lane`'s byte
+/// address XORed with `addr_xor` before the access is performed. An
+/// `addr_xor` with a high bit set (e.g. `1 << 41`) is out of range for
+/// every modeled memory space, so the injected access faults regardless of
+/// the kernel — and the reported [`DeviceFault`] must name exactly this
+/// block and lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Only kernels whose [`LaunchConfig::name`](crate::LaunchConfig)
+    /// contains this substring are targeted (empty matches every kernel).
+    pub kernel_substr: String,
+    /// Grid block id to corrupt.
+    pub block: usize,
+    /// Index of the warp memory operation (within the block) to corrupt.
+    pub op_index: u64,
+    /// Lane whose address is corrupted.
+    pub lane: usize,
+    /// XOR mask applied to that lane's byte address.
+    pub addr_xor: u64,
+}
+
+/// Where (within a block) a warp memory operation is executing: the warp id
+/// and the barrier-interval counter. Threaded from [`WarpCtx`](crate::WarpCtx)
+/// into the memory planes so faults and racecheck phases are attributed
+/// without the planes knowing about blocks.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Site {
+    pub(crate) warp: usize,
+    /// Barrier-interval index: incremented at every block-wide
+    /// [`sync`](crate::BlockCtx::sync). Racecheck treats accesses with
+    /// equal phases as concurrent.
+    pub(crate) phase: u32,
+}
+
+impl Site {
+    /// A fixed site for unit tests exercising the memory layers directly.
+    #[cfg(test)]
+    pub(crate) const ZERO: Site = Site { warp: 0, phase: 0 };
+}
+
+/// The panic payload used for fault transport inside the crate. Private:
+/// the only way to observe a fault is [`SimError::KernelFault`](crate::SimError::KernelFault).
+pub(crate) struct FaultPayload {
+    pub(crate) kind: FaultKind,
+    pub(crate) warp: usize,
+    pub(crate) lane: usize,
+}
+
+/// Unwinds out of the kernel closure with a typed fault. Caught by
+/// [`contain`] at the block boundary.
+#[cold]
+#[inline(never)]
+pub(crate) fn raise(kind: FaultKind, warp: usize, lane: usize) -> ! {
+    panic::panic_any(FaultPayload { kind, warp, lane });
+}
+
+/// Installs (once, process-wide) a panic hook that silences the default
+/// banner for [`FaultPayload`] panics and delegates everything else to the
+/// previous hook.
+pub(crate) fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<FaultPayload>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs one block's worth of kernel code, converting any panic into a
+/// [`DeviceFault`] attributed to `kernel`/`block`.
+pub(crate) fn contain<T>(
+    kernel: &str,
+    block: usize,
+    f: impl FnOnce() -> T,
+) -> Result<T, DeviceFault> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let (kind, warp, lane) = match payload.downcast::<FaultPayload>() {
+                Ok(p) => (p.kind, p.warp, p.lane),
+                Err(other) => {
+                    let message = if let Some(s) = other.downcast_ref::<String>() {
+                        s.clone()
+                    } else if let Some(s) = other.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    (FaultKind::KernelPanic { message }, 0, 0)
+                }
+            };
+            Err(DeviceFault {
+                kernel: kernel.to_string(),
+                block,
+                warp,
+                lane,
+                kind,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_combines_warp_and_lane() {
+        let f = DeviceFault {
+            kernel: "k".into(),
+            block: 3,
+            warp: 2,
+            lane: 5,
+            kind: FaultKind::Timeout { steps: 10 },
+        };
+        assert_eq!(f.thread(), 69);
+    }
+
+    #[test]
+    fn display_names_the_site() {
+        let f = DeviceFault {
+            kernel: "special K=3".into(),
+            block: 7,
+            warp: 1,
+            lane: 4,
+            kind: FaultKind::OutOfBounds {
+                space: MemSpace::Global,
+                access: AccessKind::Load,
+                addr: 0x1000,
+                width: 4,
+                limit: 0x800,
+            },
+        };
+        let s = f.to_string();
+        assert!(s.contains("global-memory load out of bounds"), "{s}");
+        assert!(s.contains("block 7"), "{s}");
+        assert!(s.contains("warp 1"), "{s}");
+        assert!(s.contains("thread 36"), "{s}");
+    }
+
+    #[test]
+    fn contain_catches_typed_faults() {
+        let err = contain::<()>("k", 9, || {
+            raise(FaultKind::Timeout { steps: 1 }, 2, 3);
+        })
+        .unwrap_err();
+        assert_eq!(err.block, 9);
+        assert_eq!(err.warp, 2);
+        assert_eq!(err.lane, 3);
+        assert_eq!(err.kind, FaultKind::Timeout { steps: 1 });
+    }
+
+    #[test]
+    fn contain_catches_plain_panics() {
+        install_quiet_hook();
+        // A plain panic still prints through the delegated previous hook;
+        // capture it as a fault regardless.
+        let err = contain::<()>("k", 0, || panic!("kernel assertion failed: {}", 42)).unwrap_err();
+        match err.kind {
+            FaultKind::KernelPanic { ref message } => {
+                assert!(message.contains("kernel assertion failed: 42"))
+            }
+            ref other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contain_passes_values_through() {
+        assert_eq!(contain("k", 0, || 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn sanitizer_mode_flags() {
+        assert!(!SanitizerMode::Off.memcheck());
+        assert!(SanitizerMode::Memcheck.memcheck());
+        assert!(!SanitizerMode::Memcheck.racecheck());
+        assert!(SanitizerMode::Racecheck.racecheck());
+        assert!(SanitizerMode::Synccheck.synccheck());
+        assert!(
+            SanitizerMode::Full.memcheck()
+                && SanitizerMode::Full.racecheck()
+                && SanitizerMode::Full.synccheck()
+        );
+    }
+
+    #[test]
+    fn fault_kind_space() {
+        let k = FaultKind::UninitializedRead {
+            space: MemSpace::Shared,
+            addr: 0,
+            width: 4,
+        };
+        assert_eq!(k.space(), Some(MemSpace::Shared));
+        assert_eq!(FaultKind::Timeout { steps: 0 }.space(), None);
+        assert_eq!(
+            FaultKind::RaceHazard {
+                hazard: Hazard::WriteWrite,
+                addr: 0,
+                other_warp: 1
+            }
+            .space(),
+            Some(MemSpace::Shared)
+        );
+    }
+}

@@ -34,13 +34,32 @@
 //! The default is [`Parallelism::Serial`] unless the `KCONV_THREADS`
 //! environment variable overrides it; the sweep harnesses opt in
 //! explicitly. See `DESIGN.md` for thread-count guidance.
+//!
+//! # Fault containment
+//!
+//! A kernel bug — out-of-bounds device access, a sanitizer finding, a
+//! watchdog timeout, or a plain panic inside the closure — no longer tears
+//! down the process. Each block runs inside a containment boundary
+//! ([`crate::fault`]); the first fault (in block-id order, identical under
+//! serial and parallel execution) surfaces as
+//! [`SimError::KernelFault`] carrying the kernel name, block, warp, lane
+//! and fault detail. After a faulted launch the device memories hold
+//! unspecified partial results, exactly as on real hardware; host-visible
+//! state is otherwise intact and the `Gpu` remains usable.
+//!
+//! The opt-in sanitizer tools ([`SanitizerMode`], `KCONV_SANITIZE`) add
+//! memcheck (uninitialized reads), racecheck (cross-warp shared-memory
+//! hazards between barriers) and synccheck (barrier divergence); with the
+//! default [`SanitizerMode::Off`] no shadow state exists and no per-access
+//! checks run.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::block::{BlockCtx, BlockDims};
+use crate::block::{BlockCtx, BlockDims, Inject};
 use crate::error::{Result, SimError};
+use crate::fault::{self, DeviceFault, FaultInjection, SanitizerMode};
 use crate::mem::plane::{CmPlane, GmPlane, RoCache, WriteJournal};
 use crate::mem::{ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
 use crate::spec::GpuSpec;
@@ -264,29 +283,52 @@ pub struct Gpu {
     gm: GlobalMemory,
     cm: ConstantMemory,
     parallelism: Parallelism,
+    sanitizer: SanitizerMode,
+    step_budget: u64,
+    injection: Option<FaultInjection>,
 }
 
 /// Device-memory capacity given to every [`Gpu`] (the K40m carries 12 GiB;
 /// backing pages are committed lazily).
 const GM_CAPACITY: u64 = 12 << 30;
 
+fn step_budget_from_env() -> u64 {
+    std::env::var("KCONV_STEP_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(u64::MAX)
+}
+
 impl Gpu {
     /// Creates a device with the given architecture.
     ///
     /// The block loop runs serially unless `KCONV_THREADS` is set (see
     /// [`Parallelism::from_env`]) or [`Gpu::set_parallelism`] is called.
+    /// The sanitizer starts in the mode named by `KCONV_SANITIZE` (default
+    /// off — see [`SanitizerMode::from_env`]), and the watchdog budget
+    /// comes from `KCONV_STEP_BUDGET` (default unlimited).
     pub fn new(spec: GpuSpec) -> Self {
-        let gm = GlobalMemory::new(
+        let mut gm = GlobalMemory::new(
             GM_CAPACITY,
             spec.gm_transaction_bytes,
             spec.gm_store_transaction_bytes,
         );
-        let cm = ConstantMemory::new(spec.cm_bytes, spec.cm_line_bytes);
+        let mut cm = ConstantMemory::new(spec.cm_bytes, spec.cm_line_bytes);
+        let sanitizer = SanitizerMode::from_env().unwrap_or_default();
+        if sanitizer.memcheck() {
+            // The memories are brand new: track from a fresh (nothing
+            // written) state for full precision.
+            gm.enable_uninit_tracking(false);
+            cm.enable_uninit_tracking(false);
+        }
         Gpu {
             spec,
             gm,
             cm,
             parallelism: Parallelism::from_env().unwrap_or_default(),
+            sanitizer,
+            step_budget: step_budget_from_env(),
+            injection: None,
         }
     }
 
@@ -308,6 +350,64 @@ impl Gpu {
     /// Builder-style [`Gpu::set_parallelism`].
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// The sanitizer mode for subsequent launches.
+    pub fn sanitizer(&self) -> SanitizerMode {
+        self.sanitizer
+    }
+
+    /// Sets the sanitizer mode for subsequent launches.
+    ///
+    /// Enabling memcheck after allocations or uploads already happened is
+    /// conservative: existing global/constant contents are presumed
+    /// initialized (only reads of bytes never written *from now on* can
+    /// fault). Create the `Gpu` under `KCONV_SANITIZE` for full-precision
+    /// tracking from the first byte.
+    pub fn set_sanitizer(&mut self, mode: SanitizerMode) {
+        let was = self.sanitizer.memcheck();
+        self.sanitizer = mode;
+        let now = mode.memcheck();
+        if now && !was {
+            self.gm.enable_uninit_tracking(true);
+            self.cm.enable_uninit_tracking(true);
+        } else if !now && was {
+            self.gm.disable_uninit_tracking();
+            self.cm.disable_uninit_tracking();
+        }
+    }
+
+    /// Builder-style [`Gpu::set_sanitizer`].
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.set_sanitizer(mode);
+        self
+    }
+
+    /// Sets the watchdog budget: total warp operations one block may
+    /// execute before the launch is aborted with a
+    /// [`FaultKind::Timeout`](crate::FaultKind::Timeout) fault.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget;
+    }
+
+    /// Builder-style [`Gpu::set_step_budget`].
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Arms (or, with `None`, disarms) the test-only fault injector: the
+    /// next launches matching the injection's kernel filter flip one
+    /// lane's address on one memory operation of one block. Used by the
+    /// robustness tests to prove the sanitizer pinpoints the exact site.
+    pub fn set_fault_injection(&mut self, injection: Option<FaultInjection>) {
+        self.injection = injection;
+    }
+
+    /// Builder-style [`Gpu::set_fault_injection`].
+    pub fn with_fault_injection(mut self, injection: FaultInjection) -> Self {
+        self.injection = Some(injection);
         self
     }
 
@@ -370,7 +470,12 @@ impl Gpu {
     }
 
     /// Fills a buffer with a constant (host-side).
-    pub fn fill_f32(&mut self, buf: GmBuf, value: f32) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] on descriptor
+    /// corruption (cannot normally happen for a valid `GmBuf`).
+    pub fn fill_f32(&mut self, buf: GmBuf, value: f32) -> Result<()> {
         self.gm.fill_f32(buf, value)
     }
 
@@ -401,16 +506,19 @@ impl Gpu {
     /// on this architecture or [`SimMode::Blocks`] names an out-of-range
     /// block id.
     ///
-    /// # Panics
-    ///
-    /// Panics if the kernel performs an out-of-bounds device access (a
-    /// kernel bug, mirroring a device fault).
+    /// Returns [`SimError::KernelFault`] when the kernel faults on the
+    /// device: out-of-bounds access, an enabled sanitizer finding, a
+    /// watchdog timeout, or a panic inside the closure. The reported fault
+    /// is the one from the lowest faulting block id regardless of
+    /// [`Parallelism`]; device memory afterwards holds unspecified partial
+    /// results, and the `Gpu` stays usable for further launches.
     pub fn launch(
         &mut self,
         cfg: &LaunchConfig,
         mode: SimMode,
         kernel: impl Fn(&mut BlockCtx) + Sync,
     ) -> Result<LaunchReport> {
+        fault::install_quiet_hook();
         // Validate before running anything.
         timing::occupancy(&self.spec, cfg)?;
         let ids = mode.executed_ids(cfg.blocks)?;
@@ -423,9 +531,9 @@ impl Gpu {
         self.cm.reset_cache();
         let workers = self.parallelism.worker_threads().min(ids.len());
         let stats = if workers <= 1 {
-            self.run_serial(cfg, &ids, &kernel)
+            self.run_serial(cfg, &ids, &kernel)?
         } else {
-            self.run_parallel(cfg, &ids, &kernel, workers)
+            self.run_parallel(cfg, &ids, &kernel, workers)?
         };
         let stats = if ids.len() == cfg.blocks {
             let mut s = stats;
@@ -442,25 +550,40 @@ impl Gpu {
         })
     }
 
+    /// This launch's injection slice for `block_id`, if the armed injection
+    /// targets this kernel and block.
+    fn block_inject(&self, cfg: &LaunchConfig, block_id: usize) -> Option<Inject> {
+        let i = self.injection.as_ref()?;
+        (cfg.name.contains(&i.kernel_substr) && i.block == block_id).then_some(Inject {
+            op_index: i.op_index,
+            lane: i.lane,
+            addr_xor: i.addr_xor,
+        })
+    }
+
     fn run_serial(
         &mut self,
         cfg: &LaunchConfig,
         ids: &[usize],
         kernel: &(impl Fn(&mut BlockCtx) + Sync),
-    ) -> KernelStats {
+    ) -> Result<KernelStats> {
         let mut total = KernelStats::default();
         for &block_id in ids {
+            let inject = self.block_inject(cfg, block_id);
             let blk = exec_block(
                 &self.spec,
                 cfg,
                 block_id,
                 GmPlane::Direct(&mut self.gm),
                 CmPlane::Direct(&mut self.cm),
+                self.sanitizer,
+                self.step_budget,
+                inject,
                 kernel,
-            );
+            )?;
             total.merge(&blk.stats);
         }
-        total
+        Ok(total)
     }
 
     fn run_parallel(
@@ -469,12 +592,17 @@ impl Gpu {
         ids: &[usize],
         kernel: &(impl Fn(&mut BlockCtx) + Sync),
         workers: usize,
-    ) -> KernelStats {
-        let slots: Vec<Mutex<Option<BlockOut>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+    ) -> Result<KernelStats> {
+        type Slot = Mutex<Option<std::result::Result<BlockOut, DeviceFault>>>;
+        let slots: Vec<Slot> = ids.iter().map(|_| Mutex::new(None)).collect();
+        let injects: Vec<Option<Inject>> = ids.iter().map(|&b| self.block_inject(cfg, b)).collect();
         let next = AtomicUsize::new(0);
         let (spec, gm, cm) = (&self.spec, &self.gm, &self.cm);
-        // A worker panic (device fault in a kernel) propagates when the
-        // scope joins, mirroring the serial path.
+        let (sanitizer, step_budget) = (self.sanitizer, self.step_budget);
+        // Device faults are contained per block, so workers never panic on
+        // kernel bugs; every selected block runs to a verdict and the merge
+        // below picks the fault (if any) with the lowest block id —
+        // identical to what serial execution reports.
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -494,55 +622,80 @@ impl Gpu {
                             base: cm,
                             touched: HashSet::new(),
                         },
+                        sanitizer,
+                        step_budget,
+                        injects[i],
                         kernel,
                     );
-                    *slots[i].lock().unwrap() = Some(out);
+                    match slots[i].lock() {
+                        Ok(mut slot) => *slot = Some(out),
+                        Err(poisoned) => *poisoned.into_inner() = Some(out),
+                    }
                 });
             }
         });
         // Deterministic merge in block-id order (ids are ascending for
         // every SimMode): replay journals into global memory, fold each
         // block's constant-line set into the launch-scoped cache state,
-        // and sum the counters.
+        // and sum the counters. The first faulting block (lowest id) stops
+        // the merge, leaving memory in the documented unspecified state.
         let mut total = KernelStats::default();
         for slot in slots {
-            let mut out = slot
+            let out = slot
                 .into_inner()
-                .expect("no worker panicked")
-                .expect("every slot was filled before the scope joined");
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .ok_or_else(|| {
+                    SimError::Internal("a block slot was never filled by the worker pool".into())
+                })?;
+            let mut out = out?;
             self.gm.apply_journal(&out.journal);
             out.stats.cm_misses += self.cm.absorb_lines(&out.cm_lines);
             total.merge(&out.stats);
         }
-        total
+        Ok(total)
     }
 }
 
-/// Runs one block to completion and packages its side effects.
+/// Runs one block to completion inside the fault-containment boundary and
+/// packages its side effects.
+#[allow(clippy::too_many_arguments)]
 fn exec_block(
     spec: &GpuSpec,
     cfg: &LaunchConfig,
     block_id: usize,
     gm: GmPlane<'_>,
     cm: CmPlane<'_>,
+    sanitizer: SanitizerMode,
+    step_budget: u64,
+    inject: Option<Inject>,
     kernel: &(impl Fn(&mut BlockCtx) + Sync),
-) -> BlockOut {
+) -> std::result::Result<BlockOut, DeviceFault> {
     let dims = BlockDims {
         block_id,
         grid_blocks: cfg.blocks,
         threads: cfg.threads_per_block,
     };
-    let smem = SharedMemory::new(cfg.smem_bytes, spec.smem_banks, spec.bank_width);
+    let smem = SharedMemory::new(cfg.smem_bytes, spec.smem_banks, spec.bank_width)
+        .with_sanitizer(sanitizer.memcheck(), sanitizer.racecheck());
     let ro = RoCache::new(gm_ro_capacity(&gm));
-    let mut blk = BlockCtx::new(dims, gm, cm, ro, smem);
-    kernel(&mut blk);
-    blk.stats.blocks_executed += 1;
-    let BlockCtx { gm, cm, stats, .. } = blk;
-    BlockOut {
-        stats,
-        journal: gm.into_journal().unwrap_or_default(),
-        cm_lines: cm.into_touched_lines().unwrap_or_default(),
+    let mut blk = BlockCtx::new(dims, gm, cm, ro, smem).with_step_budget(step_budget);
+    if sanitizer.synccheck() {
+        blk = blk.with_synccheck();
     }
+    if let Some(inj) = inject {
+        blk = blk.with_injection(inj);
+    }
+    fault::contain(&cfg.name, block_id, move || {
+        kernel(&mut blk);
+        blk.finish();
+        blk.stats.blocks_executed += 1;
+        let BlockCtx { gm, cm, stats, .. } = blk;
+        BlockOut {
+            stats,
+            journal: gm.into_journal().unwrap_or_default(),
+            cm_lines: cm.into_touched_lines().unwrap_or_default(),
+        }
+    })
 }
 
 fn gm_ro_capacity(gm: &GmPlane<'_>) -> usize {
@@ -555,6 +708,7 @@ fn gm_ro_capacity(gm: &GmPlane<'_>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use crate::warp::{lane_addrs, LaneMask};
     use std::sync::atomic::AtomicBool;
 
@@ -686,7 +840,9 @@ mod tests {
 
     /// A kernel exercising every counter class: global stores, read-only
     /// loads (shared input lines), constant reads (shared filter lines),
-    /// shared-memory staging, and arithmetic.
+    /// shared-memory staging, and arithmetic. Each warp stages through its
+    /// own shared-memory slice, so the kernel is also race-free under the
+    /// sanitizer's racecheck tool.
     fn mixed_kernel(src: GmBuf, dst: GmBuf) -> impl Fn(&mut BlockCtx) + Sync {
         move |blk: &mut BlockCtx| {
             let id = blk.dims.block_id as u64;
@@ -697,8 +853,8 @@ mod tests {
                 // Divergent constant reads spanning a few lines.
                 let ca = crate::warp::lane_addrs_from(|l| ((id as usize + l) % 96) as u64 * 4);
                 let c = w.ld_const(&ca, LaneMask::ALL);
-                // Stage through shared memory.
-                let sa = lane_addrs(0, 4);
+                // Stage through this warp's own shared-memory slice.
+                let sa = lane_addrs(w.warp_id() as u64 * 128, 4);
                 let vals: [[f32; 1]; 32] = std::array::from_fn(|l| [x[l][0] + c[l]]);
                 w.st_shared::<1>(&sa, &vals, LaneMask::ALL);
                 let staged = w.ld_shared::<1>(&sa, LaneMask::ALL);
@@ -781,5 +937,127 @@ mod tests {
         let r = g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
         assert_eq!(r.gflops(), r.timing.gflops);
         assert_eq!(r.seconds(), r.timing.t_total);
+    }
+
+    #[test]
+    fn fill_f32_reports_success() {
+        let mut g = gpu();
+        let buf = g.alloc_f32(16).unwrap();
+        g.fill_f32(buf, 2.5).unwrap();
+        assert_eq!(g.download_f32(buf).unwrap(), vec![2.5; 16]);
+    }
+
+    /// A kernel whose block 2 runs one lane off the end of `buf`.
+    fn oob_kernel(buf: GmBuf, len: u64) -> impl Fn(&mut BlockCtx) + Sync {
+        move |blk: &mut BlockCtx| {
+            let id = blk.dims.block_id;
+            blk.each_warp(|w| {
+                let base = if id == 2 { len - 16 } else { 0 };
+                let addrs = lane_addrs(buf.f32_addr(base), 4);
+                w.ld_global::<1>(&addrs, LaneMask::ALL);
+            });
+        }
+    }
+
+    #[test]
+    fn device_fault_surfaces_as_kernel_fault_error() {
+        let mut g = gpu();
+        let buf = g.alloc_f32(64).unwrap();
+        g.fill_f32(buf, 0.0).unwrap();
+        let cfg = LaunchConfig::new("oob test", 4, 32);
+        let err = g
+            .launch(&cfg, SimMode::Full, oob_kernel(buf, 64))
+            .unwrap_err();
+        let fault = err.device_fault().expect("expected a kernel fault");
+        assert_eq!(fault.kernel, "oob test");
+        assert_eq!(fault.block, 2);
+        assert_eq!(fault.warp, 0);
+        // Lanes 0..16 still read in-bounds floats; lane 16 runs off the end.
+        assert_eq!(fault.lane, 16);
+        assert!(matches!(fault.kind, FaultKind::OutOfBounds { .. }));
+        // The device remains usable after the fault.
+        let cfg_ok = LaunchConfig::new("id", 2, 32);
+        let dst = g.alloc_f32(2 * 32).unwrap();
+        g.launch(&cfg_ok, SimMode::Full, id_kernel(dst)).unwrap();
+    }
+
+    #[test]
+    fn parallel_fault_matches_serial_fault() {
+        let run = |parallelism: Parallelism| {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let buf = g.alloc_f32(64).unwrap();
+            g.fill_f32(buf, 0.0).unwrap();
+            let cfg = LaunchConfig::new("oob test", 8, 32);
+            g.launch(&cfg, SimMode::Full, oob_kernel(buf, 64))
+                .unwrap_err()
+        };
+        let serial = run(Parallelism::Serial);
+        let par = run(Parallelism::Threads(4));
+        assert_eq!(serial.device_fault(), par.device_fault());
+    }
+
+    #[test]
+    fn kernel_panic_is_contained() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("panicky", 2, 32);
+        let err = g
+            .launch(&cfg, SimMode::Full, |blk: &mut BlockCtx| {
+                if blk.dims.block_id == 1 {
+                    panic!("boom {}", blk.dims.block_id);
+                }
+            })
+            .unwrap_err();
+        let fault = err.device_fault().expect("expected a kernel fault");
+        assert_eq!(fault.block, 1);
+        match &fault.kind {
+            FaultKind::KernelPanic { message } => assert!(message.contains("boom"), "{message}"),
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_aborts_runaway_kernels() {
+        let mut g = gpu().with_step_budget(1_000);
+        let cfg = LaunchConfig::new("runaway", 1, 32);
+        let err = g
+            .launch(&cfg, SimMode::Full, |blk: &mut BlockCtx| loop {
+                blk.each_warp(|w| w.count_alu(1));
+            })
+            .unwrap_err();
+        let fault = err.device_fault().expect("expected a kernel fault");
+        assert!(matches!(fault.kind, FaultKind::Timeout { steps } if steps > 1_000));
+    }
+
+    #[test]
+    fn injection_targets_exact_block_and_lane() {
+        let mut g = gpu().with_fault_injection(FaultInjection {
+            kernel_substr: "id".into(),
+            block: 5,
+            op_index: 0,
+            lane: 3,
+            addr_xor: 1 << 41,
+        });
+        let dst = g.alloc_f32(8 * 32).unwrap();
+        let cfg = LaunchConfig::new("id", 8, 32);
+        let err = g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap_err();
+        let fault = err.device_fault().expect("expected a kernel fault");
+        assert_eq!((fault.block, fault.lane), (5, 3));
+        // Disarm: the same launch now succeeds.
+        g.set_fault_injection(None);
+        g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
+    }
+
+    #[test]
+    fn injection_skips_non_matching_kernels() {
+        let mut g = gpu().with_fault_injection(FaultInjection {
+            kernel_substr: "does-not-match".into(),
+            block: 0,
+            op_index: 0,
+            lane: 0,
+            addr_xor: 1 << 41,
+        });
+        let dst = g.alloc_f32(32).unwrap();
+        let cfg = LaunchConfig::new("id", 1, 32);
+        g.launch(&cfg, SimMode::Full, id_kernel(dst)).unwrap();
     }
 }

@@ -21,6 +21,10 @@
 //!   [`launch`] module docs for the argument).
 //! * [`timing`] — a documented trace-driven cost model turning the counted
 //!   events into seconds and GFlop/s on the published K40m rates.
+//! * [`fault`] — device-side fault containment and the opt-in sanitizer
+//!   tools (memcheck / racecheck / synccheck, `KCONV_SANITIZE`): kernel
+//!   bugs surface as typed [`SimError::KernelFault`] values naming the
+//!   exact kernel/block/warp/thread instead of tearing down the process.
 //!
 //! Kernels written against this API move **real data**: outputs are
 //! validated against CPU references in the kernel crates. Timing is a model
@@ -50,6 +54,7 @@
 
 mod block;
 mod error;
+pub mod fault;
 pub mod launch;
 pub mod mem;
 mod report;
@@ -60,6 +65,9 @@ mod warp;
 
 pub use block::{BlockCtx, BlockDims, WarpCtx};
 pub use error::{Result, SimError};
+pub use fault::{
+    AccessKind, DeviceFault, FaultInjection, FaultKind, Hazard, MemSpace, SanitizerMode,
+};
 pub use launch::{Gpu, LaunchConfig, LaunchReport, Parallelism, SimMode};
 pub use mem::{
     bank_conflict_cycles, BankAccessOutcome, ConstantMemory, GlobalMemory, GmBuf, SharedMemory,

@@ -18,11 +18,16 @@
 //! Device-side warp loads flow through a per-block
 //! [`CmPlane`](crate::mem::plane::CmPlane); the launch-scoped first-touch
 //! line set lives here so serial launches count misses inline while
-//! parallel launches count the ordered union at merge time.
+//! parallel launches count the ordered union at merge time. Out-of-bounds
+//! device reads raise a typed [`DeviceFault`](crate::DeviceFault) contained
+//! at the block boundary; with memcheck enabled, reads of constants never
+//! written by the host fault as uninitialized.
 
 use std::collections::HashSet;
 
 use crate::error::{Result, SimError};
+use crate::fault::{self, AccessKind, FaultKind, MemSpace, Site};
+use crate::mem::shadow::Shadow;
 
 /// Constant memory: a small read-only (from the device) space with broadcast
 /// semantics and a line-granular cache model.
@@ -31,6 +36,7 @@ pub struct ConstantMemory {
     data: Vec<u8>,
     line_bytes: u64,
     touched_lines: HashSet<u64>,
+    shadow: Option<Shadow>,
 }
 
 impl ConstantMemory {
@@ -41,7 +47,25 @@ impl ConstantMemory {
             data: vec![0; bytes as usize],
             line_bytes,
             touched_lines: HashSet::new(),
+            shadow: None,
         }
+    }
+
+    /// Enables memcheck's uninitialized-read tracking. With
+    /// `mark_existing`, current contents are presumed valid (conservative
+    /// enable after host writes may already have happened); without it,
+    /// only bytes written from now on count as initialized.
+    pub fn enable_uninit_tracking(&mut self, mark_existing: bool) {
+        let mut shadow = Shadow::new(self.data.len() as u64);
+        if mark_existing {
+            shadow.mark_all();
+        }
+        self.shadow = Some(shadow);
+    }
+
+    /// Disables uninitialized-read tracking and frees the shadow.
+    pub fn disable_uninit_tracking(&mut self) {
+        self.shadow = None;
     }
 
     /// Size in bytes.
@@ -75,6 +99,9 @@ impl ConstantMemory {
             let p = byte_off as usize + i * 4;
             self.data[p..p + 4].copy_from_slice(&v.to_le_bytes());
         }
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark(byte_off, byte_len);
+        }
         Ok(())
     }
 
@@ -84,18 +111,39 @@ impl ConstantMemory {
         self.touched_lines.clear();
     }
 
-    /// Device read of one `f32` at byte address `addr`.
+    /// Device read of one `f32` at byte address `addr` by `lane` at `site`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the read falls outside constant memory (a kernel bug,
-    /// mirroring a device fault).
-    pub(crate) fn read_f32(&self, addr: u64) -> f32 {
-        assert!(
-            (addr + 4) as usize <= self.data.len(),
-            "constant-memory access out of bounds: addr {addr}, size {}",
-            self.data.len()
-        );
+    /// An out-of-bounds read — or, under memcheck, a read of bytes the host
+    /// never wrote — raises a typed [`DeviceFault`](crate::DeviceFault)
+    /// contained at the block boundary.
+    pub(crate) fn read_f32(&self, addr: u64, site: Site, lane: usize) -> f32 {
+        let limit = self.data.len() as u64;
+        if addr.checked_add(4).is_none_or(|end| end > limit) {
+            fault::raise(
+                FaultKind::OutOfBounds {
+                    space: MemSpace::Constant,
+                    access: AccessKind::Load,
+                    addr,
+                    width: 4,
+                    limit,
+                },
+                site.warp,
+                lane,
+            );
+        }
+        if let Some(shadow) = &self.shadow {
+            if let Some(bad) = shadow.first_unmarked(addr, 4) {
+                fault::raise(
+                    FaultKind::UninitializedRead {
+                        space: MemSpace::Constant,
+                        addr: bad,
+                        width: 4,
+                    },
+                    site.warp,
+                    lane,
+                );
+            }
+        }
         f32::from_le_bytes(
             self.data[addr as usize..addr as usize + 4]
                 .try_into()
@@ -128,6 +176,7 @@ impl ConstantMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{install_quiet_hook, FaultPayload};
     use crate::mem::plane::CmPlane;
     use crate::stats::KernelStats;
     use crate::warp::{lane_addrs, lane_addrs_uniform, LaneMask};
@@ -136,13 +185,27 @@ mod tests {
         ConstantMemory::new(64 * 1024, 256)
     }
 
+    /// Runs `f`, which must raise a device fault, and returns the payload.
+    fn trap(f: impl FnOnce() + std::panic::UnwindSafe) -> FaultPayload {
+        install_quiet_hook();
+        let payload = std::panic::catch_unwind(f).unwrap_err();
+        *payload
+            .downcast::<FaultPayload>()
+            .expect("expected a typed device fault")
+    }
+
     #[test]
     fn host_write_and_uniform_read() {
         let mut m = cm();
         m.write_f32s(4, &[1.5, 2.5]).unwrap();
         let mut stats = KernelStats::default();
         let mut plane = CmPlane::Direct(&mut m);
-        let out = plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(4 * 4), LaneMask::ALL);
+        let out = plane.warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(4 * 4),
+            LaneMask::ALL,
+        );
         assert!(out.iter().all(|&v| v == 1.5));
         // Uniform cached read is free apart from the request count.
         assert_eq!(stats.cm_cycles, 0);
@@ -156,8 +219,18 @@ mod tests {
         m.write_f32s(0, &[3.0]).unwrap();
         let mut stats = KernelStats::default();
         let mut plane = CmPlane::Direct(&mut m);
-        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
-        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        plane.warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(0),
+            LaneMask::ALL,
+        );
+        plane.warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(0),
+            LaneMask::ALL,
+        );
         assert_eq!(stats.cm_misses, 1);
         assert_eq!(stats.cm_requests, 2);
     }
@@ -169,7 +242,7 @@ mod tests {
         m.write_f32s(0, &vals).unwrap();
         let mut stats = KernelStats::default();
         let mut plane = CmPlane::Direct(&mut m);
-        let out = plane.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::ALL);
+        let out = plane.warp_ld_f32(&mut stats, Site::ZERO, &lane_addrs(0, 4), LaneMask::ALL);
         assert_eq!(out[7], 7.0);
         // 32 distinct addresses: 31 serialization cycles.
         assert_eq!(stats.cm_cycles, 31);
@@ -183,7 +256,12 @@ mod tests {
         m.write_f32s(0, &[0.0; 32]).unwrap();
         let mut stats = KernelStats::default();
         let mut plane = CmPlane::Direct(&mut m);
-        plane.warp_ld_f32(&mut stats, &lane_addrs(0, 4), LaneMask::first(2));
+        plane.warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs(0, 4),
+            LaneMask::first(2),
+        );
         assert_eq!(stats.cm_cycles, 1);
     }
 
@@ -192,9 +270,19 @@ mod tests {
         let mut m = cm();
         m.write_f32s(0, &[1.0]).unwrap();
         let mut stats = KernelStats::default();
-        CmPlane::Direct(&mut m).warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        CmPlane::Direct(&mut m).warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(0),
+            LaneMask::ALL,
+        );
         m.reset_cache();
-        CmPlane::Direct(&mut m).warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
+        CmPlane::Direct(&mut m).warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(0),
+            LaneMask::ALL,
+        );
         assert_eq!(stats.cm_misses, 2);
     }
 
@@ -205,10 +293,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn device_oob_panics() {
-        let mut m = ConstantMemory::new(16, 256);
+    fn device_oob_raises_typed_fault() {
+        let p = trap(|| {
+            let mut m = ConstantMemory::new(16, 256);
+            let mut stats = KernelStats::default();
+            CmPlane::Direct(&mut m).warp_ld_f32(
+                &mut stats,
+                Site { warp: 2, phase: 0 },
+                &lane_addrs_uniform(16),
+                LaneMask::ALL,
+            );
+        });
+        assert_eq!(p.warp, 2);
+        assert_eq!(p.lane, 0);
+        match p.kind {
+            FaultKind::OutOfBounds {
+                space,
+                access,
+                addr,
+                width,
+                limit,
+            } => {
+                assert_eq!(space, MemSpace::Constant);
+                assert_eq!(access, AccessKind::Load);
+                assert_eq!(addr, 16);
+                assert_eq!(width, 4);
+                assert_eq!(limit, 16);
+            }
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninit_read_detected_when_tracking() {
+        let p = trap(|| {
+            let mut m = cm();
+            m.enable_uninit_tracking(false);
+            m.write_f32s(0, &[1.0]).unwrap();
+            let mut stats = KernelStats::default();
+            // Element 1 was never written by the host.
+            CmPlane::Direct(&mut m).warp_ld_f32(
+                &mut stats,
+                Site::ZERO,
+                &lane_addrs_uniform(4),
+                LaneMask::ALL,
+            );
+        });
+        match p.kind {
+            FaultKind::UninitializedRead { space, addr, .. } => {
+                assert_eq!(space, MemSpace::Constant);
+                assert_eq!(addr, 4);
+            }
+            other => panic!("expected UninitializedRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conservative_enable_marks_existing_contents() {
+        let mut m = cm();
+        m.enable_uninit_tracking(true);
         let mut stats = KernelStats::default();
-        CmPlane::Direct(&mut m).warp_ld_f32(&mut stats, &lane_addrs_uniform(16), LaneMask::ALL);
+        // Never host-written, but conservative enable presumes it valid.
+        let out = CmPlane::Direct(&mut m).warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(128),
+            LaneMask::ALL,
+        );
+        assert_eq!(out[0], 0.0);
     }
 }

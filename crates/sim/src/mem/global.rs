@@ -9,11 +9,13 @@
 //! Warp-level accesses flow through a per-block
 //! [`GmPlane`](crate::mem::plane::GmPlane), which either writes through to
 //! this memory (serial launches) or journals stores for deterministic
-//! replay (parallel launches). This type holds the storage, the allocator
-//! and the host-transfer paths.
+//! replay (parallel launches). This type holds the storage, the allocator,
+//! the host-transfer paths, and — when memcheck is enabled — the shadow
+//! bitmap that tracks which bytes have ever been written.
 
 use crate::error::{Result, SimError};
 use crate::mem::plane::WriteJournal;
+use crate::mem::shadow::Shadow;
 use crate::warp::{LaneMask, WarpAddrs};
 
 /// A handle to an allocation inside [`GlobalMemory`].
@@ -91,6 +93,9 @@ pub struct GlobalMemory {
     capacity: u64,
     ld_transaction_bytes: u64,
     st_transaction_bytes: u64,
+    /// memcheck shadow: present only when uninitialized-read tracking is
+    /// enabled.
+    shadow: Option<Shadow>,
 }
 
 /// Alignment applied to every allocation (matches `cudaMalloc`'s 256-byte
@@ -115,7 +120,25 @@ impl GlobalMemory {
             capacity,
             ld_transaction_bytes,
             st_transaction_bytes,
+            shadow: None,
         }
+    }
+
+    /// Turns uninitialized-read tracking (memcheck) on. With
+    /// `mark_existing`, every byte allocated so far is presumed valid —
+    /// the conservative choice when enabling after allocations were made;
+    /// without it, only writes from this point on count.
+    pub fn enable_uninit_tracking(&mut self, mark_existing: bool) {
+        let mut shadow = Shadow::new(self.next);
+        if mark_existing {
+            shadow.mark_all();
+        }
+        self.shadow = Some(shadow);
+    }
+
+    /// Turns uninitialized-read tracking off and drops the shadow.
+    pub fn disable_uninit_tracking(&mut self) {
+        self.shadow = None;
     }
 
     /// Load-transaction (segment) size in bytes.
@@ -157,6 +180,9 @@ impl GlobalMemory {
             self.data.resize(end as usize, 0);
         }
         self.next = end;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.grow(end);
+        }
         Ok(GmBuf { offset, bytes })
     }
 
@@ -195,6 +221,7 @@ impl GlobalMemory {
         for (i, v) in values.iter().enumerate() {
             self.data[start + i * 4..start + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
+        self.mark_init(buf.offset + byte_off, byte_len);
         Ok(())
     }
 
@@ -228,30 +255,52 @@ impl GlobalMemory {
     }
 
     /// Fills an entire buffer with a constant (host-side, uncounted).
-    pub fn fill_f32(&mut self, buf: GmBuf, value: f32) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HostTransferOutOfBounds`] if the buffer
+    /// descriptor does not lie inside allocated device memory (a corrupt
+    /// or stale `GmBuf`).
+    pub fn fill_f32(&mut self, buf: GmBuf, value: f32) -> Result<()> {
+        if buf.offset + buf.bytes > self.next {
+            return Err(SimError::HostTransferOutOfBounds {
+                offset: buf.offset,
+                len: buf.bytes,
+                buffer: self.next,
+            });
+        }
         let start = buf.offset as usize;
         let end = (buf.offset + buf.bytes) as usize;
         for chunk in self.data[start..end].chunks_exact_mut(4) {
             chunk.copy_from_slice(&value.to_le_bytes());
         }
+        self.mark_init(buf.offset, buf.bytes);
+        Ok(())
     }
 
-    /// Asserts that `[addr, addr + width)` lies inside allocated memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an out-of-bounds device access (a kernel bug, mirroring a
-    /// device fault).
-    pub(crate) fn check_device_range(&self, addr: u64, width: u64) {
-        assert!(
-            addr + width <= self.next && self.data.len() as u64 >= addr + width,
-            "device global-memory access out of bounds: addr {addr} width {width}, allocated {}",
-            self.next
-        );
+    /// One past the last device-addressable byte: the bound every device
+    /// access is checked against (by [`GmPlane`](crate::mem::plane::GmPlane),
+    /// which raises a typed [`DeviceFault`](crate::DeviceFault) on
+    /// violation).
+    pub(crate) fn device_limit(&self) -> u64 {
+        self.next
     }
 
-    /// Raw storage view (callers bounds-check with
-    /// [`GlobalMemory::check_device_range`] first).
+    /// The memcheck shadow, when tracking is enabled.
+    pub(crate) fn shadow(&self) -> Option<&Shadow> {
+        self.shadow.as_ref()
+    }
+
+    /// Marks `[addr, addr + width)` as initialized (no-op when tracking is
+    /// off).
+    pub(crate) fn mark_init(&mut self, addr: u64, width: u64) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark(addr, width);
+        }
+    }
+
+    /// Raw storage view (callers bounds-check against
+    /// [`GlobalMemory::device_limit`] first).
     pub(crate) fn bytes(&self, addr: u64, len: usize) -> &[u8] {
         &self.data[addr as usize..addr as usize + len]
     }
@@ -264,10 +313,14 @@ impl GlobalMemory {
     /// Replays a block's journaled stores into the backing storage, in the
     /// order they were issued. The launcher calls this once per block in
     /// block-id order, which reproduces the serial store order exactly.
+    /// Journal entries were bounds-checked when the block recorded them.
     pub(crate) fn apply_journal(&mut self, journal: &WriteJournal) {
         for (addr, bytes) in journal.entries() {
-            self.check_device_range(addr, bytes.len() as u64);
-            self.bytes_mut(addr, bytes.len()).copy_from_slice(bytes);
+            let len = bytes.len();
+            self.data[addr as usize..addr as usize + len].copy_from_slice(bytes);
+            if let Some(shadow) = &mut self.shadow {
+                shadow.mark(addr, len as u64);
+            }
         }
     }
 }
@@ -296,6 +349,7 @@ pub(crate) fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{AccessKind, FaultKind, MemSpace, Site};
     use crate::mem::plane::GmPlane;
     use crate::spec::WARP_SIZE;
     use crate::stats::KernelStats;
@@ -358,8 +412,24 @@ mod tests {
     fn fill_sets_every_element() {
         let mut m = gm();
         let buf = m.alloc_f32(16).unwrap();
-        m.fill_f32(buf, 7.5);
+        m.fill_f32(buf, 7.5).unwrap();
         assert!(m.read_f32s(buf, 0, 16).unwrap().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn fill_rejects_corrupt_descriptor() {
+        let mut m = gm();
+        let _real = m.alloc_f32(16).unwrap();
+        // A descriptor from a different (larger) device would point past
+        // everything this one allocated.
+        let stale = GmBuf {
+            offset: 1 << 18,
+            bytes: 64,
+        };
+        assert!(matches!(
+            m.fill_f32(stale, 0.0),
+            Err(SimError::HostTransferOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -372,7 +442,7 @@ mod tests {
         // 32 lanes x 4 B contiguous from a 128 B-aligned base = 1 segment.
         let addrs = lane_addrs(buf.f32_addr(0), 4);
         let plane = GmPlane::Direct(&mut m);
-        let out = plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        let out = plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(out[5][0], 5.0);
         assert_eq!(stats.gm_ld_transactions, 1);
         assert_eq!(stats.gm_ld_bytes_bus, 128);
@@ -387,7 +457,7 @@ mod tests {
         // Stride of 256 B: every lane in its own segment.
         let addrs = lane_addrs(buf.f32_addr(0), 256);
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 32);
         assert!(
             (KernelStats {
@@ -408,7 +478,7 @@ mod tests {
         // 32 lanes x float2 contiguous = 256 B = 2 segments.
         let addrs = lane_addrs(buf.f32_addr(0), 8);
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<2>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_ld::<2>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 2);
         assert_eq!(stats.gm_ld_bytes_useful, 256);
     }
@@ -420,7 +490,7 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::first(8));
+        plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::first(8));
         assert_eq!(stats.gm_ld_transactions, 1);
         assert_eq!(stats.gm_ld_bytes_useful, 32);
     }
@@ -432,7 +502,7 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs_uniform(buf.f32_addr(3));
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 1);
     }
 
@@ -444,7 +514,7 @@ mod tests {
         let addrs = lane_addrs(buf.f32_addr(0), 4);
         let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
         let mut plane = GmPlane::Direct(&mut m);
-        plane.warp_st::<1>(&mut stats, &addrs, &vals, LaneMask::ALL);
+        plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
         // 128 contiguous bytes through 32-byte store sectors.
         assert_eq!(stats.gm_st_transactions, 4);
         assert_eq!(stats.gm_st_bytes_bus, 128);
@@ -459,19 +529,88 @@ mod tests {
         // Start 16 bytes into a segment: contiguous 128 B now straddles two.
         let addrs = lane_addrs(buf.f32_addr(4), 4);
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 2);
     }
 
+    /// Runs `f`, expecting it to raise a device fault; returns the kind.
+    fn trap(f: impl FnOnce() + std::panic::UnwindSafe) -> FaultKind {
+        crate::fault::install_quiet_hook();
+        let payload = std::panic::catch_unwind(f).unwrap_err();
+        payload
+            .downcast::<crate::fault::FaultPayload>()
+            .expect("expected a typed device fault")
+            .kind
+    }
+
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn device_oob_panics() {
+    fn device_oob_raises_typed_fault() {
+        let kind = trap(|| {
+            let mut m = gm();
+            let buf = m.alloc_f32(4).unwrap();
+            let mut stats = KernelStats::default();
+            let addrs = lane_addrs(buf.f32_addr(0), 4);
+            let plane = GmPlane::Direct(&mut m);
+            plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL); // lanes 4..32 OOB
+        });
+        match kind {
+            FaultKind::OutOfBounds {
+                space: MemSpace::Global,
+                access: AccessKind::Load,
+                ..
+            } => {}
+            other => panic!("unexpected fault {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninit_read_detected_when_tracking() {
+        let kind = trap(|| {
+            let mut m = gm();
+            m.enable_uninit_tracking(false);
+            let buf = m.alloc_f32(32).unwrap();
+            // Initialize only the first 16 elements.
+            m.write_f32s(buf, 0, &[1.0; 16]).unwrap();
+            let mut stats = KernelStats::default();
+            let addrs = lane_addrs(buf.f32_addr(0), 4);
+            let plane = GmPlane::Direct(&mut m);
+            plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
+        });
+        match kind {
+            FaultKind::UninitializedRead {
+                space: MemSpace::Global,
+                addr,
+                ..
+            } => assert_eq!(addr % 256, 64), // first untouched element
+            other => panic!("unexpected fault {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_stores_mark_shadow() {
         let mut m = gm();
-        let buf = m.alloc_f32(4).unwrap();
+        m.enable_uninit_tracking(false);
+        let buf = m.alloc_f32(32).unwrap();
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
+        let mut plane = GmPlane::Direct(&mut m);
+        plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        // Reading back what the device just wrote is clean.
+        let out = plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
+        assert_eq!(out[3][0], 3.0);
+    }
+
+    #[test]
+    fn conservative_enable_marks_existing_allocations() {
+        let mut m = gm();
+        let buf = m.alloc_f32(8).unwrap();
+        m.enable_uninit_tracking(true);
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL); // lanes 4..32 OOB
+        // No fault: pre-existing allocation presumed initialized.
+        plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::first(8));
     }
 
     #[test]
@@ -482,8 +621,8 @@ mod tests {
         let addrs = lane_addrs(buf.offset(), 2);
         let vals: [[u8; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as u8, 0xAB]);
         let mut plane = GmPlane::Direct(&mut m);
-        plane.warp_st_bytes::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
-        let back = plane.warp_ld_bytes::<2>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_st_bytes::<2>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        let back = plane.warp_ld_bytes::<2>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(back[7], [7, 0xAB]);
         // 64 B contiguous: two 32-byte store sectors, one 128-byte load
         // segment.
@@ -506,7 +645,7 @@ mod tests {
             }
         });
         let plane = GmPlane::Direct(&mut m);
-        plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 2);
     }
 }

@@ -8,6 +8,7 @@
 mod constant;
 mod global;
 pub(crate) mod plane;
+pub(crate) mod shadow;
 mod shared;
 
 pub use constant::ConstantMemory;

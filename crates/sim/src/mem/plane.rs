@@ -26,9 +26,18 @@
 //! Transaction/coalescing counts, bank conflicts, broadcast serializations
 //! and arithmetic counters are all per-warp functions of addresses alone,
 //! so sharding them per block and summing (`KernelStats::merge`) is exact.
+//!
+//! Every access is bounds-checked against the owning memory; violations
+//! raise a typed [`DeviceFault`](crate::DeviceFault) that unwinds to the
+//! per-block containment boundary instead of panicking the process (see
+//! [`crate::fault`]). With memcheck enabled, loads additionally verify that
+//! every byte read was written at some point — in journaled mode a byte
+//! counts as initialized if either the shared base's shadow marks it or
+//! this block's own journal covers it.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use crate::fault::{self, AccessKind, FaultKind, MemSpace, Site};
 use crate::mem::constant::ConstantMemory;
 use crate::mem::global::{segment_count, GlobalMemory};
 use crate::spec::WARP_SIZE;
@@ -101,6 +110,12 @@ impl WriteJournal {
                 *slot = b;
             }
         }
+    }
+
+    /// Whether this block already stored byte `addr` (used by memcheck:
+    /// a journaled byte is initialized for the owning block).
+    fn has_byte(&self, addr: u64) -> bool {
+        addr >= self.lo && addr < self.hi && self.overlay.contains_key(&addr)
     }
 
     /// Recorded stores in program order, as `(addr, bytes)`.
@@ -182,23 +197,63 @@ impl<'a> GmPlane<'a> {
         }
     }
 
-    fn read_into(&self, addr: u64, out: &mut [u8]) {
+    /// Raises a typed fault unless `[addr, addr + width)` is device-valid.
+    fn check(&self, addr: u64, width: u64, access: AccessKind, site: Site, lane: usize) {
+        let limit = self.base().device_limit();
+        if addr.checked_add(width).is_none_or(|end| end > limit) {
+            fault::raise(
+                FaultKind::OutOfBounds {
+                    space: MemSpace::Global,
+                    access,
+                    addr,
+                    width,
+                    limit,
+                },
+                site.warp,
+                lane,
+            );
+        }
+    }
+
+    fn read_into(&self, addr: u64, out: &mut [u8], site: Site, lane: usize) {
+        self.check(addr, out.len() as u64, AccessKind::Load, site, lane);
         let base = self.base();
-        base.check_device_range(addr, out.len() as u64);
         out.copy_from_slice(base.bytes(addr, out.len()));
         if let GmPlane::Journaled { journal, .. } = self {
             journal.patch(addr, out);
         }
+        // memcheck: every byte read must have been written by someone —
+        // the base shadow (host transfers, earlier blocks in serial mode)
+        // or, in journaled mode, this block's own store journal.
+        if let Some(shadow) = base.shadow() {
+            let journal = match self {
+                GmPlane::Direct(_) => None,
+                GmPlane::Journaled { journal, .. } => Some(journal),
+            };
+            for b in addr..addr + out.len() as u64 {
+                if !shadow.is_marked(b) && !journal.is_some_and(|j| j.has_byte(b)) {
+                    fault::raise(
+                        FaultKind::UninitializedRead {
+                            space: MemSpace::Global,
+                            addr: b,
+                            width: out.len() as u64,
+                        },
+                        site.warp,
+                        lane,
+                    );
+                }
+            }
+        }
     }
 
-    fn write(&mut self, addr: u64, bytes: &[u8]) {
+    fn write(&mut self, addr: u64, bytes: &[u8], site: Site, lane: usize) {
+        self.check(addr, bytes.len() as u64, AccessKind::Store, site, lane);
         match self {
             GmPlane::Direct(gm) => {
-                gm.check_device_range(addr, bytes.len() as u64);
                 gm.bytes_mut(addr, bytes.len()).copy_from_slice(bytes);
+                gm.mark_init(addr, bytes.len() as u64);
             }
-            GmPlane::Journaled { base, journal } => {
-                base.check_device_range(addr, bytes.len() as u64);
+            GmPlane::Journaled { journal, .. } => {
                 journal.record(addr, bytes);
             }
         }
@@ -208,13 +263,13 @@ impl<'a> GmPlane<'a> {
     /// `float`/`float2`/`float4` load for `V` = 1/2/4). Records one request
     /// and the coalesced transaction count.
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory
-    /// (a kernel bug, mirroring a device fault).
+    /// An out-of-bounds active lane (or, under memcheck, a read of
+    /// never-written bytes) raises a [`DeviceFault`](crate::DeviceFault)
+    /// contained at the block boundary.
     pub(crate) fn warp_ld<const V: usize>(
         &self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
@@ -222,7 +277,7 @@ impl<'a> GmPlane<'a> {
         let mut out = [[0.0f32; V]; WARP_SIZE];
         let mut raw = [0u8; MAX_LANE_BYTES];
         for lane in mask.iter() {
-            self.read_into(addrs[lane], &mut raw[..V * 4]);
+            self.read_into(addrs[lane], &mut raw[..V * 4], site, lane);
             for (v, slot) in out[lane].iter_mut().enumerate() {
                 *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
             }
@@ -242,13 +297,12 @@ impl<'a> GmPlane<'a> {
     /// traffic. This is how cuDNN streams its implicit-`im2col` patches,
     /// whose `K*K`-fold overlap would otherwise all hit DRAM.
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
+    /// Faults like [`GmPlane::warp_ld`].
     pub(crate) fn warp_ld_ro<const V: usize>(
         &self,
         stats: &mut KernelStats,
         ro: &mut RoCache,
+        site: Site,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
@@ -256,7 +310,7 @@ impl<'a> GmPlane<'a> {
         let mut out = [[0.0f32; V]; WARP_SIZE];
         let mut raw = [0u8; MAX_LANE_BYTES];
         for lane in mask.iter() {
-            self.read_into(addrs[lane], &mut raw[..V * 4]);
+            self.read_into(addrs[lane], &mut raw[..V * 4], site, lane);
             for (v, slot) in out[lane].iter_mut().enumerate() {
                 *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
             }
@@ -292,12 +346,12 @@ impl<'a> GmPlane<'a> {
 
     /// Device warp store of `V` consecutive `f32`s per lane.
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
+    /// An out-of-bounds active lane raises a
+    /// [`DeviceFault`](crate::DeviceFault) contained at the block boundary.
     pub(crate) fn warp_st<const V: usize>(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         values: &[[f32; V]; WARP_SIZE],
         mask: LaneMask,
@@ -308,7 +362,7 @@ impl<'a> GmPlane<'a> {
             for (v, val) in values[lane].iter().enumerate() {
                 raw[v * 4..v * 4 + 4].copy_from_slice(&val.to_le_bytes());
             }
-            self.write(addrs[lane], &raw[..V * 4]);
+            self.write(addrs[lane], &raw[..V * 4], site, lane);
         }
         let seg = self.base().st_transaction_bytes();
         let segs = segment_count(addrs, width, mask, seg);
@@ -321,19 +375,18 @@ impl<'a> GmPlane<'a> {
     /// Device warp load of `W` raw bytes per lane (used by the short-data-
     /// type extension: `W` = 2 models `fp16`, `W` = 1 models `int8`).
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
+    /// Faults like [`GmPlane::warp_ld`].
     pub(crate) fn warp_ld_bytes<const W: usize>(
         &self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
         let width = W as u64;
         let mut out = [[0u8; W]; WARP_SIZE];
         for lane in mask.iter() {
-            self.read_into(addrs[lane], &mut out[lane]);
+            self.read_into(addrs[lane], &mut out[lane], site, lane);
         }
         let seg = self.base().ld_transaction_bytes();
         let segs = segment_count(addrs, width, mask, seg);
@@ -346,19 +399,18 @@ impl<'a> GmPlane<'a> {
 
     /// Device warp store of `W` raw bytes per lane.
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range falls outside allocated memory.
+    /// Faults like [`GmPlane::warp_st`].
     pub(crate) fn warp_st_bytes<const W: usize>(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         values: &[[u8; W]; WARP_SIZE],
         mask: LaneMask,
     ) {
         let width = W as u64;
         for lane in mask.iter() {
-            self.write(addrs[lane], &values[lane]);
+            self.write(addrs[lane], &values[lane], site, lane);
         }
         let seg = self.base().st_transaction_bytes();
         let segs = segment_count(addrs, width, mask, seg);
@@ -408,12 +460,13 @@ impl<'a> CmPlane<'a> {
     /// cycles (a fully-uniform read is free); each first-touched cache line
     /// counts one miss (deferred to merge time in `Shared` mode).
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane reads outside constant memory.
+    /// An active lane reading outside constant memory (or, under memcheck,
+    /// reading never-written constants) raises a
+    /// [`DeviceFault`](crate::DeviceFault) contained at the block boundary.
     pub(crate) fn warp_ld_f32(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [f32; WARP_SIZE] {
@@ -423,7 +476,7 @@ impl<'a> CmPlane<'a> {
         let line_bytes = self.base().line_bytes();
         for lane in mask.iter() {
             let a = addrs[lane];
-            out[lane] = self.base().read_f32(a);
+            out[lane] = self.base().read_f32(a, site, lane);
             if !distinct[..n].contains(&a) {
                 distinct[n] = a;
                 n += 1;
@@ -449,6 +502,7 @@ impl<'a> CmPlane<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPayload;
     use crate::warp::{lane_addrs, lane_addrs_uniform};
 
     fn gm() -> GlobalMemory {
@@ -471,7 +525,12 @@ mod tests {
             journal: WriteJournal::new(),
         };
         let mut stats = KernelStats::default();
-        let out = plane.warp_ld::<1>(&mut stats, &lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+        let out = plane.warp_ld::<1>(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs(buf.f32_addr(0), 4),
+            LaneMask::ALL,
+        );
         assert_eq!(out[5][0], 5.0);
         assert_eq!(stats.gm_ld_transactions, 1);
     }
@@ -487,8 +546,8 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
         let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32 + 100.0]);
-        plane.warp_st::<1>(&mut stats, &addrs, &vals, LaneMask::ALL);
-        let back = plane.warp_ld::<1>(&mut stats, &addrs, LaneMask::ALL);
+        plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        let back = plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(back[7][0], 107.0);
         // The base is untouched until the journal is replayed.
         assert_eq!(m.read_f32s(buf, 7, 1).unwrap()[0], 7.0);
@@ -510,14 +569,14 @@ mod tests {
                     base: &m,
                     journal: WriteJournal::new(),
                 };
-                plane.warp_st::<1>(&mut stats, &addrs, &v1, LaneMask::ALL);
-                plane.warp_st::<1>(&mut stats, &addrs, &v2, LaneMask::first(8));
+                plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &v1, LaneMask::ALL);
+                plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &v2, LaneMask::first(8));
                 let journal = plane.into_journal().unwrap();
                 m.apply_journal(&journal);
             } else {
                 let mut plane = GmPlane::Direct(&mut m);
-                plane.warp_st::<1>(&mut stats, &addrs, &v1, LaneMask::ALL);
-                plane.warp_st::<1>(&mut stats, &addrs, &v2, LaneMask::first(8));
+                plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &v1, LaneMask::ALL);
+                plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &v2, LaneMask::first(8));
             }
             (m.read_f32s(buf, 0, 64).unwrap(), stats)
         };
@@ -528,6 +587,49 @@ mod tests {
     }
 
     #[test]
+    fn journaled_uninit_check_honors_own_writes() {
+        let mut m = gm();
+        m.enable_uninit_tracking(false);
+        let buf = m.alloc_f32(32).unwrap();
+        let mut plane = GmPlane::Journaled {
+            base: &m,
+            journal: WriteJournal::new(),
+        };
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(buf.f32_addr(0), 4);
+        let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
+        // Nothing in the base shadow, but the block's own journal covers
+        // the bytes: the read-back is clean.
+        plane.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        let back = plane.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
+        assert_eq!(back[9][0], 9.0);
+    }
+
+    #[test]
+    fn journaled_uninit_read_raises() {
+        crate::fault::install_quiet_hook();
+        let payload = std::panic::catch_unwind(|| {
+            let mut m = gm();
+            m.enable_uninit_tracking(false);
+            let buf = m.alloc_f32(32).unwrap();
+            let plane = GmPlane::Journaled {
+                base: &m,
+                journal: WriteJournal::new(),
+            };
+            let mut stats = KernelStats::default();
+            plane.warp_ld::<1>(
+                &mut stats,
+                Site::ZERO,
+                &lane_addrs(buf.f32_addr(0), 4),
+                LaneMask::ALL,
+            );
+        })
+        .unwrap_err();
+        let p = payload.downcast::<FaultPayload>().unwrap();
+        assert!(matches!(p.kind, FaultKind::UninitializedRead { .. }));
+    }
+
+    #[test]
     fn ro_cache_hits_do_not_count_bus_traffic() {
         let mut m = gm();
         let buf = seeded(&mut m, 64);
@@ -535,8 +637,8 @@ mod tests {
         let mut ro = RoCache::new(16);
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(buf.f32_addr(0), 4);
-        plane.warp_ld_ro::<1>(&mut stats, &mut ro, &addrs, LaneMask::ALL);
-        plane.warp_ld_ro::<1>(&mut stats, &mut ro, &addrs, LaneMask::ALL);
+        plane.warp_ld_ro::<1>(&mut stats, &mut ro, Site::ZERO, &addrs, LaneMask::ALL);
+        plane.warp_ld_ro::<1>(&mut stats, &mut ro, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 1); // second read fully cached
         assert_eq!(stats.gm_ro_hits, 1);
     }
@@ -560,8 +662,18 @@ mod tests {
             touched: HashSet::new(),
         };
         let mut stats = KernelStats::default();
-        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(0), LaneMask::ALL);
-        plane.warp_ld_f32(&mut stats, &lane_addrs_uniform(4), LaneMask::ALL);
+        plane.warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(0),
+            LaneMask::ALL,
+        );
+        plane.warp_ld_f32(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs_uniform(4),
+            LaneMask::ALL,
+        );
         assert_eq!(stats.cm_misses, 0); // deferred
         assert_eq!(stats.cm_requests, 2);
         let touched = plane.into_touched_lines().unwrap();

@@ -1,0 +1,103 @@
+//! Shadow bitmap for uninitialized-memory tracking (memcheck).
+//!
+//! One bit per byte of the tracked space: set = the byte has been written
+//! (by the host or by a device store) since the memory was created. Only
+//! allocated when the sanitizer's memcheck tool is enabled, so the off
+//! mode carries neither the memory nor the per-access checks.
+
+/// A 1-bit-per-byte "has been written" map.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Shadow {
+    bits: Vec<u64>,
+    len: u64,
+}
+
+impl Shadow {
+    /// A shadow for `len` bytes, all unmarked (nothing written yet).
+    pub(crate) fn new(len: u64) -> Self {
+        Shadow {
+            bits: vec![0u64; (len as usize).div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Grows the tracked range to `len` bytes (new bytes unmarked).
+    pub(crate) fn grow(&mut self, len: u64) {
+        if len > self.len {
+            self.bits.resize((len as usize).div_ceil(64), 0);
+            self.len = len;
+        }
+    }
+
+    /// Marks `[addr, addr + width)` as written.
+    pub(crate) fn mark(&mut self, addr: u64, width: u64) {
+        debug_assert!(addr + width <= self.len);
+        for b in addr..addr + width {
+            self.bits[(b / 64) as usize] |= 1u64 << (b % 64);
+        }
+    }
+
+    /// Marks every tracked byte as written (conservative enable after the
+    /// fact: existing contents are presumed valid).
+    pub(crate) fn mark_all(&mut self) {
+        self.bits.fill(u64::MAX);
+    }
+
+    /// Whether byte `addr` has been written.
+    pub(crate) fn is_marked(&self, addr: u64) -> bool {
+        self.bits[(addr / 64) as usize] & (1u64 << (addr % 64)) != 0
+    }
+
+    /// First never-written byte in `[addr, addr + width)`, if any.
+    pub(crate) fn first_unmarked(&self, addr: u64, width: u64) -> Option<u64> {
+        (addr..addr + width).find(|&b| !self.is_marked(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_shadow_is_unmarked() {
+        let s = Shadow::new(100);
+        assert_eq!(s.first_unmarked(0, 100), Some(0));
+        assert!(!s.is_marked(63));
+    }
+
+    #[test]
+    fn mark_and_query_ranges() {
+        let mut s = Shadow::new(256);
+        s.mark(10, 20);
+        assert_eq!(s.first_unmarked(10, 20), None);
+        assert_eq!(s.first_unmarked(5, 10), Some(5));
+        assert_eq!(s.first_unmarked(25, 10), Some(30));
+        assert!(s.is_marked(29));
+        assert!(!s.is_marked(30));
+    }
+
+    #[test]
+    fn mark_crosses_word_boundaries() {
+        let mut s = Shadow::new(256);
+        s.mark(60, 10);
+        assert_eq!(s.first_unmarked(60, 10), None);
+        assert!(s.is_marked(63) && s.is_marked(64));
+        assert!(!s.is_marked(70));
+    }
+
+    #[test]
+    fn grow_keeps_marks_and_adds_unmarked() {
+        let mut s = Shadow::new(64);
+        s.mark(0, 64);
+        s.grow(128);
+        assert_eq!(s.first_unmarked(0, 64), None);
+        assert_eq!(s.first_unmarked(0, 128), Some(64));
+    }
+
+    #[test]
+    fn mark_all_covers_everything() {
+        let mut s = Shadow::new(1000);
+        s.mark_all();
+        assert_eq!(s.first_unmarked(0, 1000), None);
+    }
+}

@@ -20,7 +20,29 @@
 //! completes in one cycle but moves 128 useful bytes where the fabric could
 //! deliver 256. The *matched* pattern (each lane reads a `float2`) moves the
 //! full 256 bytes per cycle, doubling effective bandwidth.
+//!
+//! ## Sanitizer hooks
+//!
+//! When the launcher enables sanitizer tools (see
+//! [`SanitizerMode`](crate::SanitizerMode)), each block's shared memory
+//! additionally carries:
+//!
+//! * a memcheck shadow (1 bit/byte) — reading a byte no warp has written
+//!   since the block started raises an uninitialized-read fault, exactly
+//!   like `cuda-memcheck --tool initcheck`;
+//! * a racecheck shadow — per byte, the last write and the readers of the
+//!   **current barrier interval** (phase). The simulator executes warps
+//!   warp-synchronously, so intra-warp ordering is defined and exempt; a
+//!   cross-warp write/write, read-after-write, or write-after-read on the
+//!   same byte *within one phase* is a hazard, because nothing orders the
+//!   two warps between barriers. Accesses separated by `__syncthreads()`
+//!   land in different phases and never conflict.
+//!
+//! All violations raise a typed [`DeviceFault`](crate::DeviceFault)
+//! contained at the block boundary instead of panicking the process.
 
+use crate::fault::{self, AccessKind, FaultKind, Hazard, MemSpace, Site};
+use crate::mem::shadow::Shadow;
 use crate::spec::{BankWidth, WARP_SIZE};
 use crate::stats::KernelStats;
 use crate::warp::{LaneMask, WarpAddrs};
@@ -100,6 +122,110 @@ pub fn bank_conflict_cycles(
     }
 }
 
+/// Sentinel: no warp recorded.
+const NEVER: u32 = u32::MAX;
+
+/// Per-byte racecheck state: the last write and up to two distinct reader
+/// warps of the current barrier phase.
+#[derive(Debug, Clone, Copy)]
+struct RaceCell {
+    w_phase: u32,
+    w_warp: u32,
+    r_phase: u32,
+    /// First warp to read this byte in `r_phase`.
+    r_warp: u32,
+    /// A second, distinct warp that read it in `r_phase` (if any). Two
+    /// distinct readers are enough: any writer conflicts with at least one.
+    r_warp2: u32,
+}
+
+const FRESH_CELL: RaceCell = RaceCell {
+    w_phase: NEVER,
+    w_warp: NEVER,
+    r_phase: NEVER,
+    r_warp: NEVER,
+    r_warp2: NEVER,
+};
+
+/// Byte-granular cross-warp hazard detector for one block's shared memory.
+#[derive(Debug)]
+struct RaceShadow {
+    cells: Vec<RaceCell>,
+}
+
+impl RaceShadow {
+    fn new(len: usize) -> Self {
+        RaceShadow {
+            cells: vec![FRESH_CELL; len],
+        }
+    }
+
+    fn on_read(&mut self, addr: u64, width: u64, site: Site, lane: usize) {
+        let warp = site.warp as u32;
+        for b in addr..addr + width {
+            let c = &mut self.cells[b as usize];
+            if c.w_phase == site.phase && c.w_warp != warp {
+                fault::raise(
+                    FaultKind::RaceHazard {
+                        hazard: Hazard::ReadAfterWrite,
+                        addr: b,
+                        other_warp: c.w_warp as usize,
+                    },
+                    site.warp,
+                    lane,
+                );
+            }
+            if c.r_phase != site.phase {
+                c.r_phase = site.phase;
+                c.r_warp = warp;
+                c.r_warp2 = NEVER;
+            } else if c.r_warp != warp && c.r_warp2 == NEVER {
+                c.r_warp2 = warp;
+            }
+        }
+    }
+
+    fn on_write(&mut self, addr: u64, width: u64, site: Site, lane: usize) {
+        let warp = site.warp as u32;
+        for b in addr..addr + width {
+            let c = &mut self.cells[b as usize];
+            if c.w_phase == site.phase && c.w_warp != warp {
+                fault::raise(
+                    FaultKind::RaceHazard {
+                        hazard: Hazard::WriteWrite,
+                        addr: b,
+                        other_warp: c.w_warp as usize,
+                    },
+                    site.warp,
+                    lane,
+                );
+            }
+            if c.r_phase == site.phase {
+                let other = if c.r_warp != NEVER && c.r_warp != warp {
+                    Some(c.r_warp)
+                } else if c.r_warp2 != NEVER && c.r_warp2 != warp {
+                    Some(c.r_warp2)
+                } else {
+                    None
+                };
+                if let Some(other_warp) = other {
+                    fault::raise(
+                        FaultKind::RaceHazard {
+                            hazard: Hazard::WriteAfterRead,
+                            addr: b,
+                            other_warp: other_warp as usize,
+                        },
+                        site.warp,
+                        lane,
+                    );
+                }
+            }
+            c.w_phase = site.phase;
+            c.w_warp = warp;
+        }
+    }
+}
+
 /// Per-thread-block shared memory (functional store + bank instrumentation).
 ///
 /// Created by the launcher for each block with the size requested in the
@@ -110,6 +236,8 @@ pub struct SharedMemory {
     data: Vec<u8>,
     banks: u32,
     bank_width: BankWidth,
+    shadow: Option<Shadow>,
+    races: Option<RaceShadow>,
 }
 
 impl SharedMemory {
@@ -119,7 +247,23 @@ impl SharedMemory {
             data: vec![0; bytes as usize],
             banks,
             bank_width,
+            shadow: None,
+            races: None,
         }
+    }
+
+    /// Enables sanitizer tools for this block's shared memory: `memcheck`
+    /// tracks uninitialized reads, `racecheck` tracks cross-warp hazards
+    /// between barriers. Both start from a fresh (nothing written) state —
+    /// shared memory has no defined contents at block start.
+    pub(crate) fn with_sanitizer(mut self, memcheck: bool, racecheck: bool) -> Self {
+        if memcheck {
+            self.shadow = Some(Shadow::new(self.data.len() as u64));
+        }
+        if racecheck {
+            self.races = Some(RaceShadow::new(self.data.len()));
+        }
+        self
     }
 
     /// Size in bytes.
@@ -127,23 +271,68 @@ impl SharedMemory {
         self.data.len()
     }
 
-    fn check_range(&self, addr: u64, width: u64) {
-        assert!(
-            (addr + width) as usize <= self.data.len(),
-            "shared-memory access out of bounds: addr {addr} width {width}, size {}",
-            self.data.len()
-        );
+    /// Raises a typed fault unless `[addr, addr + width)` fits the
+    /// allocation.
+    fn check_range(&self, addr: u64, width: u64, access: AccessKind, site: Site, lane: usize) {
+        let limit = self.data.len() as u64;
+        if addr.checked_add(width).is_none_or(|end| end > limit) {
+            fault::raise(
+                FaultKind::OutOfBounds {
+                    space: MemSpace::Shared,
+                    access,
+                    addr,
+                    width,
+                    limit,
+                },
+                site.warp,
+                lane,
+            );
+        }
+    }
+
+    /// Sanitizer checks for one lane's load: bounds, race hazard, uninit.
+    fn pre_read(&mut self, addr: u64, width: u64, site: Site, lane: usize) {
+        self.check_range(addr, width, AccessKind::Load, site, lane);
+        if let Some(races) = &mut self.races {
+            races.on_read(addr, width, site, lane);
+        }
+        if let Some(shadow) = &self.shadow {
+            if let Some(bad) = shadow.first_unmarked(addr, width) {
+                fault::raise(
+                    FaultKind::UninitializedRead {
+                        space: MemSpace::Shared,
+                        addr: bad,
+                        width,
+                    },
+                    site.warp,
+                    lane,
+                );
+            }
+        }
+    }
+
+    /// Sanitizer checks for one lane's store: bounds, race hazard; marks
+    /// the bytes initialized.
+    fn pre_write(&mut self, addr: u64, width: u64, site: Site, lane: usize) {
+        self.check_range(addr, width, AccessKind::Store, site, lane);
+        if let Some(races) = &mut self.races {
+            races.on_write(addr, width, site, lane);
+        }
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark(addr, width);
+        }
     }
 
     /// Warp load of `V` consecutive `f32`s per lane from block-local byte
     /// offsets.
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range exceeds the allocation.
+    /// An out-of-bounds active lane — or a sanitizer finding (uninitialized
+    /// read, cross-warp hazard) — raises a
+    /// [`DeviceFault`](crate::DeviceFault) contained at the block boundary.
     pub(crate) fn warp_ld<const V: usize>(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
@@ -151,7 +340,7 @@ impl SharedMemory {
         let mut out = [[0.0f32; V]; WARP_SIZE];
         for lane in mask.iter() {
             let a = addrs[lane];
-            self.check_range(a, width);
+            self.pre_read(a, width, site, lane);
             for (v, slot) in out[lane].iter_mut().enumerate() {
                 let p = (a as usize) + v * 4;
                 *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
@@ -168,12 +357,11 @@ impl SharedMemory {
 
     /// Warp store of `V` consecutive `f32`s per lane.
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range exceeds the allocation.
+    /// Faults like [`SharedMemory::warp_ld`].
     pub(crate) fn warp_st<const V: usize>(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         values: &[[f32; V]; WARP_SIZE],
         mask: LaneMask,
@@ -181,7 +369,7 @@ impl SharedMemory {
         let width = (V * 4) as u64;
         for lane in mask.iter() {
             let a = addrs[lane];
-            self.check_range(a, width);
+            self.pre_write(a, width, site, lane);
             for (v, val) in values[lane].iter().enumerate() {
                 let p = (a as usize) + v * 4;
                 self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
@@ -197,12 +385,11 @@ impl SharedMemory {
 
     /// Warp load of `W` raw bytes per lane (short-data-type extension).
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range exceeds the allocation.
+    /// Faults like [`SharedMemory::warp_ld`].
     pub(crate) fn warp_ld_bytes<const W: usize>(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
@@ -210,7 +397,7 @@ impl SharedMemory {
         let mut out = [[0u8; W]; WARP_SIZE];
         for lane in mask.iter() {
             let a = addrs[lane];
-            self.check_range(a, width);
+            self.pre_read(a, width, site, lane);
             out[lane].copy_from_slice(&self.data[a as usize..a as usize + W]);
         }
         let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
@@ -224,12 +411,11 @@ impl SharedMemory {
 
     /// Warp store of `W` raw bytes per lane (short-data-type extension).
     ///
-    /// # Panics
-    ///
-    /// Panics if an active lane's range exceeds the allocation.
+    /// Faults like [`SharedMemory::warp_ld`].
     pub(crate) fn warp_st_bytes<const W: usize>(
         &mut self,
         stats: &mut KernelStats,
+        site: Site,
         addrs: &WarpAddrs,
         values: &[[u8; W]; WARP_SIZE],
         mask: LaneMask,
@@ -237,7 +423,7 @@ impl SharedMemory {
         let width = W as u64;
         for lane in mask.iter() {
             let a = addrs[lane];
-            self.check_range(a, width);
+            self.pre_write(a, width, site, lane);
             self.data[a as usize..a as usize + W].copy_from_slice(&values[lane]);
         }
         let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
@@ -252,9 +438,23 @@ impl SharedMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{install_quiet_hook, FaultPayload};
     use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform};
 
     const B: u32 = 32;
+
+    /// Runs `f`, which must raise a device fault, and returns the payload.
+    fn trap(f: impl FnOnce() + std::panic::UnwindSafe) -> FaultPayload {
+        install_quiet_hook();
+        let payload = std::panic::catch_unwind(f).unwrap_err();
+        *payload
+            .downcast::<FaultPayload>()
+            .expect("expected a typed device fault")
+    }
+
+    fn site(warp: usize, phase: u32) -> Site {
+        Site { warp, phase }
+    }
 
     #[test]
     fn conventional_float_on_kepler_is_one_cycle_half_bandwidth() {
@@ -350,8 +550,8 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(0, 8);
         let vals: [[f32; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as f32, -(l as f32)]);
-        sm.warp_st::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
-        let back = sm.warp_ld::<2>(&mut stats, &addrs, LaneMask::ALL);
+        sm.warp_st::<2>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        let back = sm.warp_ld::<2>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(back[9], [9.0, -9.0]);
         assert_eq!(stats.sm_st_requests, 1);
         assert_eq!(stats.sm_ld_requests, 1);
@@ -370,12 +570,12 @@ mod tests {
         let mut unmatched = KernelStats::default();
         for i in 0..8u64 {
             let addrs = lane_addrs(i * 128, 4);
-            sm.warp_ld::<1>(&mut unmatched, &addrs, LaneMask::ALL);
+            sm.warp_ld::<1>(&mut unmatched, Site::ZERO, &addrs, LaneMask::ALL);
         }
         let mut matched = KernelStats::default();
         for i in 0..4u64 {
             let addrs = lane_addrs(i * 256, 8);
-            sm.warp_ld::<2>(&mut matched, &addrs, LaneMask::ALL);
+            sm.warp_ld::<2>(&mut matched, Site::ZERO, &addrs, LaneMask::ALL);
         }
         assert_eq!(unmatched.sm_bytes_useful, matched.sm_bytes_useful);
         let u_un = unmatched.sm_bandwidth_utilization(spec_bw);
@@ -390,8 +590,8 @@ mod tests {
         let mut stats = KernelStats::default();
         let addrs = lane_addrs(0, 2);
         let vals: [[u8; 2]; WARP_SIZE] = std::array::from_fn(|l| [l as u8, 0xCD]);
-        sm.warp_st_bytes::<2>(&mut stats, &addrs, &vals, LaneMask::ALL);
-        let back = sm.warp_ld_bytes::<2>(&mut stats, &addrs, LaneMask::ALL);
+        sm.warp_st_bytes::<2>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        let back = sm.warp_ld_bytes::<2>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(back[31], [31, 0xCD]);
         // fp16-style mismatch on 4-byte banks: lanes pair up in words.
         assert_eq!(stats.sm_ld_cycles, 1);
@@ -403,19 +603,184 @@ mod tests {
         let mut sm = SharedMemory::new(32 * 8 * 32, B, BankWidth::B8);
         let mut stats = KernelStats::default();
         // Conflict-free float2 load.
-        sm.warp_ld::<2>(&mut stats, &lane_addrs(0, 8), LaneMask::ALL);
+        sm.warp_ld::<2>(&mut stats, Site::ZERO, &lane_addrs(0, 8), LaneMask::ALL);
         // 32-way conflicted column access.
-        sm.warp_ld::<1>(&mut stats, &lane_addrs(0, 32 * 8), LaneMask::ALL);
+        sm.warp_ld::<1>(
+            &mut stats,
+            Site::ZERO,
+            &lane_addrs(0, 32 * 8),
+            LaneMask::ALL,
+        );
         assert_eq!(stats.sm_conflict_histogram[0], 1);
         assert_eq!(stats.sm_conflict_histogram[5], 1);
         assert!((stats.sm_conflict_free_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn oob_access_panics() {
-        let mut sm = SharedMemory::new(64, B, BankWidth::B8);
+    fn oob_access_raises_typed_fault() {
+        let p = trap(|| {
+            let mut sm = SharedMemory::new(64, B, BankWidth::B8);
+            let mut stats = KernelStats::default();
+            sm.warp_ld::<1>(&mut stats, site(1, 0), &lane_addrs(0, 4), LaneMask::ALL);
+        });
+        // Lane 16 is the first whose 4-byte read at offset 64 overflows.
+        assert_eq!(p.warp, 1);
+        assert_eq!(p.lane, 16);
+        match p.kind {
+            FaultKind::OutOfBounds {
+                space,
+                access,
+                addr,
+                limit,
+                ..
+            } => {
+                assert_eq!(space, MemSpace::Shared);
+                assert_eq!(access, AccessKind::Load);
+                assert_eq!(addr, 64);
+                assert_eq!(limit, 64);
+            }
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninit_read_detected_when_tracking() {
+        let p = trap(|| {
+            let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(true, false);
+            let mut stats = KernelStats::default();
+            sm.warp_ld::<1>(&mut stats, Site::ZERO, &lane_addrs(0, 4), LaneMask::ALL);
+        });
+        assert!(matches!(
+            p.kind,
+            FaultKind::UninitializedRead {
+                space: MemSpace::Shared,
+                addr: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn write_then_read_is_clean_under_memcheck() {
+        let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(true, false);
         let mut stats = KernelStats::default();
-        sm.warp_ld::<1>(&mut stats, &lane_addrs(0, 4), LaneMask::ALL);
+        let addrs = lane_addrs(0, 4);
+        let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
+        sm.warp_st::<1>(&mut stats, Site::ZERO, &addrs, &vals, LaneMask::ALL);
+        let back = sm.warp_ld::<1>(&mut stats, Site::ZERO, &addrs, LaneMask::ALL);
+        assert_eq!(back[3][0], 3.0);
+    }
+
+    #[test]
+    fn write_write_race_between_warps_detected() {
+        let p = trap(|| {
+            let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(false, true);
+            let mut stats = KernelStats::default();
+            let addrs = lane_addrs(0, 4);
+            let vals: [[f32; 1]; WARP_SIZE] = [[0.0]; WARP_SIZE];
+            // Two warps store to the same bytes in the same phase.
+            sm.warp_st::<1>(&mut stats, site(0, 0), &addrs, &vals, LaneMask::ALL);
+            sm.warp_st::<1>(&mut stats, site(1, 0), &addrs, &vals, LaneMask::ALL);
+        });
+        assert_eq!(p.warp, 1);
+        match p.kind {
+            FaultKind::RaceHazard {
+                hazard,
+                addr,
+                other_warp,
+            } => {
+                assert_eq!(hazard, Hazard::WriteWrite);
+                assert_eq!(addr, 0);
+                assert_eq!(other_warp, 0);
+            }
+            other => panic!("expected RaceHazard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_after_write_race_detected() {
+        let p = trap(|| {
+            let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(false, true);
+            let mut stats = KernelStats::default();
+            let addrs = lane_addrs(0, 4);
+            let vals: [[f32; 1]; WARP_SIZE] = [[1.0]; WARP_SIZE];
+            sm.warp_st::<1>(&mut stats, site(0, 0), &addrs, &vals, LaneMask::ALL);
+            sm.warp_ld::<1>(&mut stats, site(1, 0), &addrs, LaneMask::ALL);
+        });
+        assert!(matches!(
+            p.kind,
+            FaultKind::RaceHazard {
+                hazard: Hazard::ReadAfterWrite,
+                other_warp: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn write_after_read_race_detected() {
+        let p = trap(|| {
+            let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(false, true);
+            let mut stats = KernelStats::default();
+            let addrs = lane_addrs(0, 4);
+            let vals: [[f32; 1]; WARP_SIZE] = [[1.0]; WARP_SIZE];
+            // Warp 0 writes and reads in phase 0; barrier; warp 2 reads in
+            // phase 1, then warp 5 overwrites in the same phase.
+            sm.warp_st::<1>(&mut stats, site(0, 0), &addrs, &vals, LaneMask::ALL);
+            sm.warp_ld::<1>(&mut stats, site(2, 1), &addrs, LaneMask::ALL);
+            sm.warp_st::<1>(&mut stats, site(5, 1), &addrs, &vals, LaneMask::ALL);
+        });
+        assert_eq!(p.warp, 5);
+        assert!(matches!(
+            p.kind,
+            FaultKind::RaceHazard {
+                hazard: Hazard::WriteAfterRead,
+                other_warp: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn barrier_separated_accesses_do_not_race() {
+        let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(true, true);
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(0, 4);
+        let vals: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [l as f32]);
+        // Warp 0 writes in phase 0; after a barrier every warp may read.
+        sm.warp_st::<1>(&mut stats, site(0, 0), &addrs, &vals, LaneMask::ALL);
+        for w in 0..4 {
+            let back = sm.warp_ld::<1>(&mut stats, site(w, 1), &addrs, LaneMask::ALL);
+            assert_eq!(back[11][0], 11.0);
+        }
+    }
+
+    #[test]
+    fn same_warp_accesses_never_race() {
+        // Warp-synchronous execution orders a warp's own accesses.
+        let mut sm = SharedMemory::new(256, B, BankWidth::B8).with_sanitizer(true, true);
+        let mut stats = KernelStats::default();
+        let addrs = lane_addrs(0, 4);
+        let vals: [[f32; 1]; WARP_SIZE] = [[2.0]; WARP_SIZE];
+        sm.warp_st::<1>(&mut stats, site(3, 0), &addrs, &vals, LaneMask::ALL);
+        sm.warp_st::<1>(&mut stats, site(3, 0), &addrs, &vals, LaneMask::ALL);
+        sm.warp_ld::<1>(&mut stats, site(3, 0), &addrs, LaneMask::ALL);
+    }
+
+    #[test]
+    fn disjoint_warp_writes_do_not_race() {
+        let mut sm = SharedMemory::new(1024, B, BankWidth::B8).with_sanitizer(false, true);
+        let mut stats = KernelStats::default();
+        let vals: [[f32; 1]; WARP_SIZE] = [[1.0]; WARP_SIZE];
+        for w in 0..4u64 {
+            let addrs = lane_addrs(w * 128, 4);
+            sm.warp_st::<1>(
+                &mut stats,
+                site(w as usize, 0),
+                &addrs,
+                &vals,
+                LaneMask::ALL,
+            );
+        }
     }
 }

@@ -18,6 +18,7 @@ use crate::spec::GpuSpec;
 /// # fn main() -> Result<(), kconv_sim::SimError> {
 /// let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
 /// let buf = gpu.alloc_f32(32)?;
+/// gpu.fill_f32(buf, 1.0)?;
 /// let report = gpu.launch(&LaunchConfig::new("demo", 1, 32), SimMode::Full, |blk| {
 ///     blk.each_warp(|w| {
 ///         w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
@@ -113,14 +114,17 @@ mod tests {
         let spec = GpuSpec::kepler_k40m();
         let mut gpu = Gpu::new(spec.clone());
         let buf = gpu.alloc_f32(64).unwrap();
+        gpu.fill_f32(buf, 1.0).unwrap();
         gpu.write_const_f32(0, &[1.0]).unwrap();
         let cfg = LaunchConfig::new("demo", 4, 64).with_smem(512);
         let report = gpu
             .launch(&cfg, SimMode::Full, |blk| {
                 blk.each_warp(|w| {
+                    // Per-warp shared slices keep the demo racecheck-clean.
+                    let sbase = w.warp_id() as u64 * 128;
                     let v = w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
-                    w.st_shared::<1>(&lane_addrs(0, 4), &v, LaneMask::ALL);
-                    w.ld_shared::<1>(&lane_addrs(0, 4), LaneMask::ALL);
+                    w.st_shared::<1>(&lane_addrs(sbase, 4), &v, LaneMask::ALL);
+                    w.ld_shared::<1>(&lane_addrs(sbase, 4), LaneMask::ALL);
                     w.st_global::<1>(&lane_addrs(buf.f32_addr(32), 4), &v, LaneMask::ALL);
                     w.ld_const(&lane_addrs_uniform(0), LaneMask::ALL);
                     w.count_fma(64);

@@ -94,8 +94,8 @@ fn fig2_ordering_holds() {
         let a = gpu.alloc_f32(elems).unwrap();
         let b = gpu.alloc_f32(elems).unwrap();
         let c = gpu.alloc_f32(elems).unwrap();
-        gpu.fill_f32(a, 0.5);
-        gpu.fill_f32(b, 0.25);
+        gpu.fill_f32(a, 0.5).unwrap();
+        gpu.fill_f32(b, 0.25).unwrap();
         launch_gemm(&mut gpu, cfg, shape, a, b, c, Mode::Sampled(2))
             .unwrap()
             .seconds()

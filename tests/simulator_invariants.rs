@@ -203,8 +203,10 @@ fn parallel_launch_equals_serial_launch() {
                         kconv::sim::lane_addrs_uniform(cm_elem * 4)
                     };
                     let c = w.ld_const(&ca, LaneMask::ALL);
-                    // Stage through shared memory.
-                    let sa = lane_addrs_from(|l| l as u64 * 4);
+                    // Stage through shared memory (per-warp slices so the
+                    // kernel stays clean under racecheck).
+                    let warp_base = w.warp_id() as u64 * 128;
+                    let sa = lane_addrs_from(|l| warp_base + l as u64 * 4);
                     let staged: [[f32; 1]; WARP_SIZE] =
                         std::array::from_fn(|l| [x[l][0] + x2[l][0] + c[l]]);
                     w.st_shared::<1>(&sa, &staged, LaneMask::ALL);
