@@ -1,0 +1,66 @@
+//! Single-thread hot-path speedup on a Fig. 8 layer.
+//!
+//! Runs the general-case 3x3 kernel (Table 1 configuration) over a full
+//! `N' = 64, C = 64, F = 64` grid serially with the sanitizer off — the
+//! exact configuration of the committed pre-overhaul baseline — and writes
+//! the measurement to `BENCH_hotpath.json` in the workspace root:
+//!
+//! ```json
+//! { "bench": "fig8_general_3x3_full", "baseline_seconds": ...,
+//!   "current_seconds": ..., "speedup": ..., "iters": ... }
+//! ```
+//!
+//! The baseline is the `off_seconds` value `BENCH_sanitizer.json` carried
+//! immediately before the allocation-free hot-path overhaul (paged write
+//! journal, bitmap dedup in the bank-conflict and coalescing models,
+//! hoisted sanitizer checks), measured on the same reference host. Like
+//! every wall-clock number in this workspace it is host-specific: treat
+//! the ratio as meaningful on comparable hardware and regenerate the JSON
+//! when the reference host changes. Counter exactness is *not* this
+//! harness's job — `bench_smoke` pins all fig8 counters to
+//! `GOLDEN_fig8.json`.
+//!
+//! Usage: `cargo bench -p kconv-bench --bench hotpath`
+
+use std::time::Instant;
+
+use kconv_core::{Convolution, GeneralConv};
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SanitizerMode, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem};
+
+/// Serial sanitizer-off wall time of this layer on the reference host
+/// before the hot-path overhaul (see the module docs).
+const BASELINE_SECONDS: f64 = 0.377588;
+
+const ITERS: usize = 5;
+
+fn main() {
+    let problem = ConvProblem::general(64 + 2, 64, 64, 3);
+    let input = random_maps(problem.channels, problem.height, problem.width, 201);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
+    let conv = GeneralConv::table1(3);
+
+    println!("fig8_general 3x3 (N'=64 C=64 F=64), serial, sanitizer off, best of {ITERS}");
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
+            .with_parallelism(Parallelism::Serial)
+            .with_sanitizer(SanitizerMode::Off);
+        let t = Instant::now();
+        conv.run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .expect("fig8 layer launches");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let speedup = BASELINE_SECONDS / best;
+    println!("  baseline: {BASELINE_SECONDS:.3} s (pre-overhaul, reference host)");
+    println!("  current:  {best:.3} s");
+    println!("  speedup:  {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"baseline_seconds\": {BASELINE_SECONDS:.6},\n  \"current_seconds\": {best:.6},\n  \"speedup\": {speedup:.4},\n  \"iters\": {ITERS}\n}}\n"
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_hotpath.json");
+    std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
+    println!("wrote {path}");
+}

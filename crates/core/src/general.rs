@@ -270,6 +270,29 @@ fn general_block<const N: usize>(
     // rImg: the W_T + K - 1 row window per thread.
     let win_w = round_up(w_t + k - 1, N);
     let mut rimg = vec![0.0f32; threads * win_w];
+    // rFlt fragments per lane; fully overwritten before every use, so one
+    // buffer serves the whole block instead of being zeroed per access.
+    let mut rflt = [[0.0f32; 16]; WARP_SIZE];
+
+    // Per-thread geometry, decoded once per block: the div/mod chains in
+    // the per-lane address closures ran once per lane per shared-memory
+    // access and were the hottest instructions of the whole launch.
+    // Trailing slots past `threads` use the same formulas, so dead lanes
+    // see exactly the addresses they always did.
+    let lanes = threads.div_ceil(WARP_SIZE) * WARP_SIZE;
+    let mut t_tx = vec![0usize; lanes];
+    let mut t_r = vec![0usize; lanes];
+    let mut t_col = vec![0usize; lanes];
+    let mut img_off = vec![0usize; lanes]; // r_t * img_pitch + col_t
+    for t in 0..lanes {
+        let ty = t / tx_count;
+        let r_t = ty / cols_per_row;
+        let col_t = (ty % cols_per_row) * w_t;
+        t_tx[t] = t % tx_count;
+        t_r[t] = r_t;
+        t_col[t] = col_t;
+        img_off[t] = r_t * g.img_pitch + col_t;
+    }
 
     let mut c0 = 0usize;
     while c0 < g.channels {
@@ -284,15 +307,11 @@ fn general_block<const N: usize>(
                 // (W_T + K - 1 pixels, n at a time). Threads sharing a
                 // T_Y row read identical addresses: broadcast.
                 for gv in 0..win_w / N {
+                    let base = (i * slab_rows + j) * g.img_pitch + gv * N;
                     blk.each_warp(|w| {
-                        let wid = w.warp_id();
-                        let addrs = lane_addrs_from(|lane| {
-                            let t = wid * WARP_SIZE + lane;
-                            let ty = t / tx_count;
-                            let r_t = ty / cols_per_row;
-                            let col_t = (ty % cols_per_row) * w_t;
-                            (((i * slab_rows + r_t + j) * g.img_pitch + col_t + gv * N) * 4) as u64
-                        });
+                        let lane0 = w.warp_id() * WARP_SIZE;
+                        let addrs =
+                            lane_addrs_from(|lane| ((base + img_off[lane0 + lane]) * 4) as u64);
                         let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
                         for lane in w.population().iter() {
                             let t = w.thread_id(lane);
@@ -304,16 +323,12 @@ fn general_block<const N: usize>(
                 for kc in 0..k {
                     // Line 14: F_T filter values, n-wide, contiguous
                     // across T_X threads: conflict-free.
+                    let row = (i * kk + j * k + kc) * g.flt_pitch;
                     blk.each_warp(|w| {
-                        let wid = w.warp_id();
-                        let mut rflt = [[0.0f32; 16]; WARP_SIZE];
+                        let lane0 = w.warp_id() * WARP_SIZE;
                         for gv in 0..f_t / N {
                             let addrs = lane_addrs_from(|lane| {
-                                let t = wid * WARP_SIZE + lane;
-                                let tx = t % tx_count;
-                                flt_base
-                                    + (((i * kk + j * k + kc) * g.flt_pitch + tx * f_t + gv * N)
-                                        * 4) as u64
+                                flt_base + ((row + t_tx[lane0 + lane] * f_t + gv * N) * 4) as u64
                             });
                             let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
                             for lane in 0..WARP_SIZE {
@@ -321,16 +336,19 @@ fn general_block<const N: usize>(
                             }
                         }
                         // Line 15: the rank-1 update
-                        // rAcc[ff][v] += rFlt[ff] * rImg[kc + v].
+                        // rAcc[ff][v] += rFlt[ff] * rImg[kc + v]. Slice
+                        // windows keep the per-element FMA order of the
+                        // indexed loop while letting the adds vectorize.
                         let pop = w.population();
                         for lane in pop.iter() {
                             let t = w.thread_id(lane);
                             let abase = t * f_t * w_t;
-                            let ibase = t * win_w + kc;
+                            let arow = &mut acc[abase..abase + f_t * w_t];
+                            let img = &rimg[t * win_w + kc..t * win_w + kc + w_t];
                             for ff in 0..f_t {
                                 let fv = rflt[lane][ff];
-                                for v in 0..w_t {
-                                    acc[abase + ff * w_t + v] += fv * rimg[ibase + v];
+                                for (a, &x) in arow[ff * w_t..ff * w_t + w_t].iter_mut().zip(img) {
+                                    *a += fv * x;
                                 }
                             }
                         }
@@ -352,12 +370,10 @@ fn general_block<const N: usize>(
                 let wid = w.warp_id();
                 let addrs = lane_addrs_from(|lane| {
                     let t = wid * WARP_SIZE + lane;
-                    let (tx, ty) = (t % tx_count, t / tx_count);
-                    let r_t = ty / cols_per_row;
-                    let col_t = (ty % cols_per_row) * w_t;
-                    let f = f0 + tx * f_t + ff;
+                    let f = f0 + t_tx[t] * f_t + ff;
                     d_out.f32_addr(
-                        ((f * g.out_rows + gy + r_t) * g.out_pitch + gx + col_t + gv * N) as u64,
+                        ((f * g.out_rows + gy + t_r[t]) * g.out_pitch + gx + t_col[t] + gv * N)
+                            as u64,
                     )
                 });
                 let mut vals = [[0.0f32; N]; WARP_SIZE];
@@ -403,21 +419,35 @@ fn stage_tiles(
     while e0 < img_elems {
         blk.each_warp(|w| {
             let mask = LaneMask::from_fn(|lane| e0 + w.thread_id(lane) < img_elems);
-            let gaddrs = lane_addrs_from(|lane| {
-                let e = (e0 + w.thread_id(lane)).min(img_elems - 1);
-                let col = e % g.row_len;
-                let row = (e / g.row_len) % slab_rows;
-                let cc = e / (g.row_len * slab_rows);
-                d_in.f32_addr((((c0 + cc) * g.in_rows + gy + row) * g.in_pitch + gx + col) as u64)
-            });
+            // Consecutive lanes stage consecutive elements, so the
+            // (channel, row, col) decode is an odometer carried across the
+            // warp — and shared by the load and store streams — instead of
+            // three divisions per lane per address.
+            let mut e = (e0 + w.thread_id(0)).min(img_elems - 1);
+            let mut col = e % g.row_len;
+            let rows = e / g.row_len;
+            let mut row = rows % slab_rows;
+            let mut cc = rows / slab_rows;
+            let mut gaddrs = [0u64; WARP_SIZE];
+            let mut saddrs = [0u64; WARP_SIZE];
+            for (ga, sa) in gaddrs.iter_mut().zip(saddrs.iter_mut()) {
+                *ga = d_in
+                    .f32_addr((((c0 + cc) * g.in_rows + gy + row) * g.in_pitch + gx + col) as u64);
+                *sa = (((cc * slab_rows + row) * g.img_pitch + col) * 4) as u64;
+                if e + 1 < img_elems {
+                    e += 1;
+                    col += 1;
+                    if col == g.row_len {
+                        col = 0;
+                        row += 1;
+                        if row == slab_rows {
+                            row = 0;
+                            cc += 1;
+                        }
+                    }
+                }
+            }
             let vals = w.ld_global::<1>(&gaddrs, mask);
-            let saddrs = lane_addrs_from(|lane| {
-                let e = (e0 + w.thread_id(lane)).min(img_elems - 1);
-                let col = e % g.row_len;
-                let row = (e / g.row_len) % slab_rows;
-                let cc = e / (g.row_len * slab_rows);
-                (((cc * slab_rows + row) * g.img_pitch + col) * 4) as u64
-            });
             w.st_shared::<1>(&saddrs, &vals, mask);
         });
         e0 += threads;
@@ -453,19 +483,26 @@ fn stage_tiles(
     while e0 < flt_elems {
         blk.each_warp(|w| {
             let mask = LaneMask::from_fn(|lane| e0 + w.thread_id(lane) < flt_elems);
-            let gaddrs = lane_addrs_from(|lane| {
-                let e = (e0 + w.thread_id(lane)).min(flt_elems - 1);
-                let qq = e % per_f;
-                let f = e / per_f;
-                d_flt.f32_addr(((f0 + f) * g.channels * kk + c0 * kk + qq) as u64)
-            });
+            // Same odometer decode as the image loop: one division per
+            // warp, carried across lanes and shared by both streams.
+            let mut e = (e0 + w.thread_id(0)).min(flt_elems - 1);
+            let mut qq = e % per_f;
+            let mut f = e / per_f;
+            let mut gaddrs = [0u64; WARP_SIZE];
+            let mut saddrs = [0u64; WARP_SIZE];
+            for (ga, sa) in gaddrs.iter_mut().zip(saddrs.iter_mut()) {
+                *ga = d_flt.f32_addr(((f0 + f) * g.channels * kk + c0 * kk + qq) as u64);
+                *sa = flt_base + ((qq * g.flt_pitch + f) * 4) as u64;
+                if e + 1 < flt_elems {
+                    e += 1;
+                    qq += 1;
+                    if qq == per_f {
+                        qq = 0;
+                        f += 1;
+                    }
+                }
+            }
             let vals = w.ld_global::<1>(&gaddrs, mask);
-            let saddrs = lane_addrs_from(|lane| {
-                let e = (e0 + w.thread_id(lane)).min(flt_elems - 1);
-                let qq = e % per_f;
-                let f = e / per_f;
-                flt_base + ((qq * g.flt_pitch + f) * 4) as u64
-            });
             w.st_shared::<1>(&saddrs, &vals, mask);
         });
         e0 += threads;

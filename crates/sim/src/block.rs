@@ -148,8 +148,14 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Watchdog tick: one warp operation. Past the budget, the block is
-    /// presumed hung (the simulator equivalent of a kernel timeout).
+    /// presumed hung (the simulator equivalent of a kernel timeout). With
+    /// the default unlimited budget the tick is a single compare — the
+    /// step counter is only observable through the `Timeout` fault, so
+    /// not maintaining it then is free.
     fn step(&mut self, warp: usize) {
+        if self.step_budget == u64::MAX {
+            return;
+        }
         self.steps += 1;
         if self.steps > self.step_budget {
             fault::raise(FaultKind::Timeout { steps: self.steps }, warp, 0);

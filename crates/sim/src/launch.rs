@@ -20,15 +20,18 @@
 //! [`Parallelism`]. Every counter and every output byte is **bit-identical**
 //! to serial execution:
 //!
-//! * each block runs against its own [`KernelStats`], merged in block-id
-//!   order (all counters are order-independent sums);
-//! * global-memory stores are journaled per block and replayed into the
-//!   shared memory in block-id order, reproducing the serial store order;
-//!   a block reads its own stores but never another in-flight block's
-//!   (the disjoint-write contract kernels already obey under CUDA);
+//! * each block runs against its own [`KernelStats`]; every worker folds
+//!   its blocks' counters into one thread-local shard and the shards are
+//!   summed once at the end — bit-identical to the serial block-id-order
+//!   merge because every counter is an order-independent sum;
+//! * global-memory stores are journaled per block (a paged overlay holding
+//!   each byte's final value) and replayed into the shared memory in
+//!   block-id order, reproducing the serial outcome byte for byte; a block
+//!   reads its own stores but never another in-flight block's (the
+//!   disjoint-write contract kernels already obey under CUDA);
 //! * the read-only (texture) cache is per block in both modes;
 //! * constant-cache misses are counted at merge time as the ordered union
-//!   of per-block touched-line sets, which equals the serial first-touch
+//!   of per-block touched-line bitmaps, which equals the serial first-touch
 //!   count exactly because the model never evicts within a launch.
 //!
 //! The default is [`Parallelism::Serial`] unless the `KCONV_THREADS`
@@ -53,13 +56,13 @@
 //! default [`SanitizerMode::Off`] no shadow state exists and no per-access
 //! checks run.
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::block::{BlockCtx, BlockDims, Inject};
 use crate::error::{Result, SimError};
 use crate::fault::{self, DeviceFault, FaultInjection, SanitizerMode};
+use crate::mem::constant::LineBitmap;
 use crate::mem::plane::{CmPlane, GmPlane, RoCache, WriteJournal};
 use crate::mem::{ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
 use crate::spec::GpuSpec;
@@ -239,12 +242,13 @@ impl LaunchReport {
     }
 }
 
-/// Everything a worker hands back for one executed block, merged by the
-/// launcher in block-id order.
+/// Everything one executed block produces. In parallel launches the
+/// counters travel worker-sharded while the side effects (journal,
+/// constant-line bitmap) are merged in block-id order.
 struct BlockOut {
     stats: KernelStats,
     journal: WriteJournal,
-    cm_lines: HashSet<u64>,
+    cm_lines: LineBitmap,
 }
 
 /// A simulated GPU: an architecture plus its global and constant memories.
@@ -519,7 +523,16 @@ impl Gpu {
         kernel: impl Fn(&mut BlockCtx) + Sync,
     ) -> Result<LaunchReport> {
         fault::install_quiet_hook();
-        // Validate before running anything.
+        // Validate before running anything — in particular, an oversized
+        // shared-memory request must surface as a typed error before any
+        // worker thread is spawned or any block executes.
+        if cfg.smem_bytes > self.spec.max_smem_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "kernel {}: shared-memory request of {} bytes exceeds the device limit of {} \
+                 bytes per block",
+                cfg.name, cfg.smem_bytes, self.spec.max_smem_per_block
+            )));
+        }
         timing::occupancy(&self.spec, cfg)?;
         let ids = mode.executed_ids(cfg.blocks)?;
         if ids.is_empty() {
@@ -593,10 +606,18 @@ impl Gpu {
         kernel: &(impl Fn(&mut BlockCtx) + Sync),
         workers: usize,
     ) -> Result<KernelStats> {
-        type Slot = Mutex<Option<std::result::Result<BlockOut, DeviceFault>>>;
+        /// Side effects a worker hands back for one block. The counters do
+        /// NOT ride along: they are folded into the worker's thread-local
+        /// shard so the merge loop never clones or queues `KernelStats`.
+        struct BlockSide {
+            journal: WriteJournal,
+            cm_lines: LineBitmap,
+        }
+        type Slot = Mutex<Option<std::result::Result<BlockSide, DeviceFault>>>;
         let slots: Vec<Slot> = ids.iter().map(|_| Mutex::new(None)).collect();
         let injects: Vec<Option<Inject>> = ids.iter().map(|&b| self.block_inject(cfg, b)).collect();
         let next = AtomicUsize::new(0);
+        let shards = Mutex::new(KernelStats::default());
         let (spec, gm, cm) = (&self.spec, &self.gm, &self.cm);
         let (sanitizer, step_budget) = (self.sanitizer, self.step_budget);
         // Device faults are contained per block, so workers never panic on
@@ -605,52 +626,68 @@ impl Gpu {
         // identical to what serial execution reports.
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= ids.len() {
-                        break;
+                s.spawn(|| {
+                    let mut local = KernelStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ids.len() {
+                            break;
+                        }
+                        let out = exec_block(
+                            spec,
+                            cfg,
+                            ids[i],
+                            GmPlane::Journaled {
+                                base: gm,
+                                journal: WriteJournal::new(),
+                            },
+                            CmPlane::shared(cm),
+                            sanitizer,
+                            step_budget,
+                            injects[i],
+                            kernel,
+                        )
+                        .map(|out| {
+                            local.merge(&out.stats);
+                            BlockSide {
+                                journal: out.journal,
+                                cm_lines: out.cm_lines,
+                            }
+                        });
+                        match slots[i].lock() {
+                            Ok(mut slot) => *slot = Some(out),
+                            Err(poisoned) => *poisoned.into_inner() = Some(out),
+                        }
                     }
-                    let out = exec_block(
-                        spec,
-                        cfg,
-                        ids[i],
-                        GmPlane::Journaled {
-                            base: gm,
-                            journal: WriteJournal::new(),
-                        },
-                        CmPlane::Shared {
-                            base: cm,
-                            touched: HashSet::new(),
-                        },
-                        sanitizer,
-                        step_budget,
-                        injects[i],
-                        kernel,
-                    );
-                    match slots[i].lock() {
-                        Ok(mut slot) => *slot = Some(out),
-                        Err(poisoned) => *poisoned.into_inner() = Some(out),
+                    // One merge per worker, not per block. Counter sums
+                    // commute, so the shard order cannot be observed.
+                    match shards.lock() {
+                        Ok(mut total) => total.merge(&local),
+                        Err(poisoned) => poisoned.into_inner().merge(&local),
                     }
                 });
             }
         });
+        let mut total = shards
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Deterministic merge in block-id order (ids are ascending for
-        // every SimMode): replay journals into global memory, fold each
-        // block's constant-line set into the launch-scoped cache state,
-        // and sum the counters. The first faulting block (lowest id) stops
-        // the merge, leaving memory in the documented unspecified state.
-        let mut total = KernelStats::default();
+        // every SimMode): replay journals into global memory and fold each
+        // block's constant-line bitmap into the launch-scoped cache state.
+        // The first faulting block (lowest id) stops the merge, leaving
+        // memory in the documented unspecified state.
         for slot in slots {
-            let out = slot
+            let side = slot
                 .into_inner()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .ok_or_else(|| {
                     SimError::Internal("a block slot was never filled by the worker pool".into())
                 })?;
-            let mut out = out?;
-            self.gm.apply_journal(&out.journal);
-            out.stats.cm_misses += self.cm.absorb_lines(&out.cm_lines);
-            total.merge(&out.stats);
+            let side = side?;
+            if !side.journal.is_empty() {
+                self.gm.apply_journal(&side.journal);
+            }
+            total.cm_misses += self.cm.absorb_lines(&side.cm_lines);
         }
         Ok(total)
     }
@@ -709,6 +746,7 @@ fn gm_ro_capacity(gm: &GmPlane<'_>) -> usize {
 mod tests {
     use super::*;
     use crate::fault::FaultKind;
+    use crate::spec::WARP_SIZE;
     use crate::warp::{lane_addrs, LaneMask};
     use std::sync::atomic::AtomicBool;
 
@@ -890,6 +928,92 @@ mod tests {
             assert_eq!(par_mem, serial_mem, "{threads} threads");
             assert_eq!(par.executed_blocks, serial.executed_blocks);
             assert!((par.seconds() - serial.seconds()).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn oversized_smem_request_is_rejected_before_any_block_runs() {
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let limit = g.spec().max_smem_per_block;
+            let cfg = LaunchConfig::new("fat smem", 4, 32).with_smem(limit + 1);
+            let ran = AtomicBool::new(false);
+            let err = g
+                .launch(&cfg, SimMode::Full, |_| ran.store(true, Ordering::Relaxed))
+                .unwrap_err();
+            match err {
+                SimError::InvalidLaunch(msg) => {
+                    assert!(
+                        msg.contains("fat smem")
+                            && msg.contains("shared-memory")
+                            && msg.contains(&limit.to_string()),
+                        "{msg}"
+                    );
+                }
+                other => panic!("expected InvalidLaunch, got {other:?} ({parallelism:?})"),
+            }
+            assert!(!ran.load(Ordering::Relaxed), "{parallelism:?}");
+        }
+    }
+
+    /// A randomized scatter/gather kernel: every warp stores to random
+    /// (possibly colliding) addresses inside its block's private slice
+    /// under a random lane mask, immediately loads the same addresses back
+    /// (read-your-own-writes through the parallel-mode journal), and
+    /// scatters the loaded values again. Everything derives from a PRNG
+    /// seeded by (block, warp, round), so serial and parallel execution
+    /// face exactly the same traffic.
+    fn scatter_kernel(dst: GmBuf, slice: u64) -> impl Fn(&mut BlockCtx) + Sync {
+        use crate::testrng::Xoshiro;
+        use crate::warp::lane_addrs_from;
+        move |blk: &mut BlockCtx| {
+            let id = blk.dims.block_id as u64;
+            for round in 0..3u64 {
+                blk.each_warp(|w| {
+                    let mut rng = Xoshiro::seeded(
+                        0x5CA7_7E21 ^ (id << 20) ^ ((w.warp_id() as u64) << 8) ^ round,
+                    );
+                    let mut offs = [0u64; WARP_SIZE];
+                    for o in offs.iter_mut() {
+                        *o = id * slice + rng.next() % slice;
+                    }
+                    let addrs = lane_addrs_from(|l| dst.f32_addr(offs[l]));
+                    let vals: [[f32; 1]; WARP_SIZE] =
+                        std::array::from_fn(|_| [(rng.next() % 997) as f32]);
+                    let mask = LaneMask(rng.next() as u32);
+                    w.st_global::<1>(&addrs, &vals, mask);
+                    let back = w.ld_global::<1>(&addrs, mask);
+                    let mut offs2 = [0u64; WARP_SIZE];
+                    for o in offs2.iter_mut() {
+                        *o = id * slice + rng.next() % slice;
+                    }
+                    let addrs2 = lane_addrs_from(|l| dst.f32_addr(offs2[l]));
+                    w.st_global::<1>(&addrs2, &back, mask);
+                });
+                blk.sync();
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_scatter_is_bit_identical_across_parallelism() {
+        const BLOCKS: u64 = 12;
+        const SLICE: u64 = 192;
+        let run = |parallelism: Parallelism| {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let dst = g.alloc_f32(BLOCKS * SLICE).unwrap();
+            g.fill_f32(dst, -1.0).unwrap();
+            let cfg = LaunchConfig::new("scatter", BLOCKS as usize, 64);
+            let r = g
+                .launch(&cfg, SimMode::Full, scatter_kernel(dst, SLICE))
+                .unwrap();
+            (r, g.download_f32(dst).unwrap())
+        };
+        let (serial, serial_mem) = run(Parallelism::Serial);
+        for threads in [2, 3, 5] {
+            let (par, par_mem) = run(Parallelism::Threads(threads));
+            assert_eq!(par.stats, serial.stats, "{threads} threads");
+            assert_eq!(par_mem, serial_mem, "{threads} threads");
         }
     }
 

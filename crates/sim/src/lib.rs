@@ -60,6 +60,8 @@ pub mod mem;
 mod report;
 mod spec;
 mod stats;
+#[cfg(test)]
+pub(crate) mod testrng;
 pub mod timing;
 mod warp;
 

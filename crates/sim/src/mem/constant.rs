@@ -17,17 +17,70 @@
 //!
 //! Device-side warp loads flow through a per-block
 //! [`CmPlane`](crate::mem::plane::CmPlane); the launch-scoped first-touch
-//! line set lives here so serial launches count misses inline while
+//! line bitmap lives here so serial launches count misses inline while
 //! parallel launches count the ordered union at merge time. Out-of-bounds
 //! device reads raise a typed [`DeviceFault`](crate::DeviceFault) contained
 //! at the block boundary; with memcheck enabled, reads of constants never
 //! written by the host fault as uninitialized.
 
-use std::collections::HashSet;
-
 use crate::error::{Result, SimError};
 use crate::fault::{self, AccessKind, FaultKind, MemSpace, Site};
 use crate::mem::shadow::Shadow;
+
+/// A bitmap over constant-cache line indices — the compact replacement for
+/// the `HashSet<u64>` touched-line sets the cache model used to keep (the
+/// full 64 KiB constant segment in 256-byte lines is 256 lines = four
+/// words, so set/union/count are a handful of word ops).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LineBitmap {
+    words: Vec<u64>,
+}
+
+impl LineBitmap {
+    /// An empty bitmap able to hold lines `0..num_lines` without growing.
+    pub(crate) fn new(num_lines: u64) -> Self {
+        LineBitmap {
+            words: vec![0; num_lines.div_ceil(64) as usize],
+        }
+    }
+
+    /// Sets `line`, returning `true` if it was not set before (growing the
+    /// bitmap if the line is beyond the sized range).
+    pub(crate) fn set(&mut self, line: u64) -> bool {
+        let (w, bit) = ((line / 64) as usize, 1u64 << (line % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let new = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        new
+    }
+
+    /// Number of set lines.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn count(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Clears every line.
+    pub(crate) fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Unions `other` into `self`, returning how many of its lines were
+    /// not already set — the newly-touched count.
+    pub(crate) fn absorb(&mut self, other: &LineBitmap) -> u64 {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut new = 0u64;
+        for (mine, &theirs) in self.words.iter_mut().zip(&other.words) {
+            new += u64::from((theirs & !*mine).count_ones());
+            *mine |= theirs;
+        }
+        new
+    }
+}
 
 /// Constant memory: a small read-only (from the device) space with broadcast
 /// semantics and a line-granular cache model.
@@ -35,7 +88,7 @@ use crate::mem::shadow::Shadow;
 pub struct ConstantMemory {
     data: Vec<u8>,
     line_bytes: u64,
-    touched_lines: HashSet<u64>,
+    touched_lines: LineBitmap,
     shadow: Option<Shadow>,
 }
 
@@ -46,7 +99,7 @@ impl ConstantMemory {
         ConstantMemory {
             data: vec![0; bytes as usize],
             line_bytes,
-            touched_lines: HashSet::new(),
+            touched_lines: LineBitmap::new(bytes.div_ceil(line_bytes)),
             shadow: None,
         }
     }
@@ -76,6 +129,12 @@ impl ConstantMemory {
     /// Cache-line size in bytes.
     pub(crate) fn line_bytes(&self) -> u64 {
         self.line_bytes
+    }
+
+    /// Number of cache lines covering the constant segment (sizes per-block
+    /// touched-line bitmaps in parallel mode).
+    pub(crate) fn num_lines(&self) -> u64 {
+        (self.data.len() as u64).div_ceil(self.line_bytes)
     }
 
     /// Host write of consecutive `f32`s starting at element `elem_offset`
@@ -109,6 +168,21 @@ impl ConstantMemory {
     /// of each kernel so first-touch misses are attributed per launch).
     pub(crate) fn reset_cache(&mut self) {
         self.touched_lines.clear();
+    }
+
+    /// Marks `line` as cache-resident for this launch; returns `true` on
+    /// first touch (a miss).
+    pub(crate) fn touch_line(&mut self, line: u64) -> bool {
+        self.touched_lines.set(line)
+    }
+
+    /// Merges one block's touched-line bitmap into the launch-scoped cache
+    /// state, returning how many lines were newly touched — the block's
+    /// miss contribution. Calling this per block in block-id order yields
+    /// exactly the serial miss total (the model never evicts within a
+    /// launch, so total misses = |union of per-block bitmaps|).
+    pub(crate) fn absorb_lines(&mut self, lines: &LineBitmap) -> u64 {
+        self.touched_lines.absorb(lines)
     }
 
     /// Device read of one `f32` at byte address `addr` by `lane` at `site`.
@@ -149,27 +223,6 @@ impl ConstantMemory {
                 .try_into()
                 .unwrap(),
         )
-    }
-
-    /// Marks `line` as cache-resident for this launch; returns `true` on
-    /// first touch (a miss).
-    pub(crate) fn touch_line(&mut self, line: u64) -> bool {
-        self.touched_lines.insert(line)
-    }
-
-    /// Merges one block's touched-line set into the launch-scoped cache
-    /// state, returning how many lines were newly touched — the block's
-    /// miss contribution. Calling this per block in block-id order yields
-    /// exactly the serial miss total (the model never evicts within a
-    /// launch, so total misses = |union of per-block sets|).
-    pub(crate) fn absorb_lines(&mut self, lines: &HashSet<u64>) -> u64 {
-        let mut new = 0u64;
-        for &line in lines {
-            if self.touched_lines.insert(line) {
-                new += 1;
-            }
-        }
-        new
     }
 }
 
@@ -346,6 +399,36 @@ mod tests {
             }
             other => panic!("expected UninitializedRead, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn line_bitmap_matches_hashset_reference() {
+        // Differential property test: the bitmap must agree with the naive
+        // HashSet model it replaced on random touch/absorb sequences.
+        use crate::testrng::Xoshiro;
+        use std::collections::HashSet;
+
+        let mut rng = Xoshiro::seeded(0xB17_BA5E);
+        const LINES: u64 = 256;
+        let mut launch = LineBitmap::new(LINES);
+        let mut launch_ref: HashSet<u64> = HashSet::new();
+        for _ in 0..200 {
+            // One block's touched lines, built by random touches...
+            let mut block = LineBitmap::new(LINES);
+            let mut block_ref: HashSet<u64> = HashSet::new();
+            for _ in 0..rng.next() % 64 {
+                let line = rng.next() % LINES;
+                assert_eq!(block.set(line), block_ref.insert(line));
+            }
+            assert_eq!(block.count(), block_ref.len() as u64);
+            // ...then absorbed into the launch state, like the merge loop.
+            let new_ref = block_ref.difference(&launch_ref).count() as u64;
+            assert_eq!(launch.absorb(&block), new_ref);
+            launch_ref.extend(&block_ref);
+            assert_eq!(launch.count(), launch_ref.len() as u64);
+        }
+        launch.clear();
+        assert_eq!(launch.count(), 0);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Stack-allocated dedup of the address units touched by one warp access.
+//!
+//! Every memory-pipeline counter in this simulator is a function of the
+//! *distinct* aligned units a warp instruction covers: 128-byte segments for
+//! global-memory coalescing, bank words for shared-memory replays, cache
+//! lines for the read-only and constant caches. The naive way to find them —
+//! a linear `contains` scan over everything seen so far — is O(n²) in the
+//! unit count and dominated the interpreter's hot path (a 32-lane `float2`
+//! shared-memory access scans up to 64 entries 64 times).
+//!
+//! [`for_each_unit`] replaces that with a bitmap over the warp's unit
+//! *range*: one pre-pass finds the minimum unit, then membership is one
+//! test-and-set. Warp accesses are spatially local by construction (a block
+//! addresses at most its shared-memory allocation, and coalesced global
+//! patterns span a handful of segments), so the range almost always fits in
+//! a two-word register bitmap — zeroing a wider scratch bitmap per access
+//! would itself dominate the op. Ranges up to [`BITMAP_UNITS`] use a 2 KiB
+//! stack bitmap; a pathological scatter wider than that falls back to the
+//! original scan, keeping the counts identical for any input.
+//!
+//! Units are visited in lane order (then ascending within one lane's span),
+//! exactly like the scans this replaces, so order-sensitive consumers — the
+//! read-only cache's FIFO insertion order — are unchanged.
+
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// Units representable by the stack bitmap: 16384 bits = 2 KiB. Large
+/// enough for any block-local space (48 KiB of shared memory is 12288
+/// four-byte bank words) and any coalesced global pattern.
+const BITMAP_UNITS: u64 = 16384;
+
+/// Worst-case distinct units for the scan fallback: 32 lanes, at most 16
+/// bytes per lane over units of >= 4 bytes, misaligned.
+const MAX_UNITS: usize = 128;
+
+/// Visits every `unit`-sized aligned index covered by the active lanes'
+/// `[addr, addr + width)` ranges, in lane order, calling
+/// `visit(unit_index, first_occurrence)` for each. `unit` must be a power
+/// of two.
+#[inline]
+pub(crate) fn for_each_unit(
+    addrs: &WarpAddrs,
+    width: u64,
+    mask: LaneMask,
+    unit: u64,
+    mut visit: impl FnMut(u64, bool),
+) {
+    debug_assert!(unit.is_power_of_two());
+    // `unit` is a power of two, so unit arithmetic is a shift — a hardware
+    // divide here would cost more than the rest of the routine combined
+    // (up to 128 of them per warp access).
+    let shift = unit.trailing_zeros();
+    // Pre-pass: the warp's unit range, to anchor the bitmap.
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for lane in mask.iter() {
+        let a = addrs[lane];
+        lo = lo.min(a >> shift);
+        hi = hi.max((a + width - 1) >> shift);
+    }
+    if lo == u64::MAX {
+        return; // no active lanes
+    }
+    if hi - lo < 128 {
+        // The common case by far — a full warp of `float2`s spans 64 bank
+        // words, a coalesced global access a handful of segments — fits in
+        // two registers, with no bitmap to clear.
+        let mut seen = [0u64; 2];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            let first = a >> shift;
+            let last = (a + width - 1) >> shift;
+            for u in first..=last {
+                let idx = (u - lo) as usize;
+                let bit = 1u64 << (idx % 64);
+                let word = &mut seen[idx / 64];
+                let new = *word & bit == 0;
+                *word |= bit;
+                visit(u, new);
+            }
+        }
+    } else if hi - lo < BITMAP_UNITS {
+        let mut seen = [0u64; (BITMAP_UNITS / 64) as usize];
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            let first = a >> shift;
+            let last = (a + width - 1) >> shift;
+            for u in first..=last {
+                let idx = (u - lo) as usize;
+                let bit = 1u64 << (idx % 64);
+                let word = &mut seen[idx / 64];
+                let new = *word & bit == 0;
+                *word |= bit;
+                visit(u, new);
+            }
+        }
+    } else {
+        // Scatter wider than the bitmap: the original linear-scan dedup.
+        let mut units = [u64::MAX; MAX_UNITS];
+        let mut n = 0usize;
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            let first = a >> shift;
+            let last = (a + width - 1) >> shift;
+            for u in first..=last {
+                let new = !units[..n].contains(&u);
+                if new {
+                    units[n] = u;
+                    n += 1;
+                }
+                visit(u, new);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform};
+
+    /// Reference model: the plain scan over every covered unit.
+    fn reference(addrs: &WarpAddrs, width: u64, mask: LaneMask, unit: u64) -> Vec<(u64, bool)> {
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for lane in mask.iter() {
+            let a = addrs[lane];
+            for u in a / unit..=(a + width - 1) / unit {
+                let new = !seen.contains(&u);
+                if new {
+                    seen.push(u);
+                }
+                out.push((u, new));
+            }
+        }
+        out
+    }
+
+    fn check(addrs: &WarpAddrs, width: u64, mask: LaneMask, unit: u64) {
+        let mut got = Vec::new();
+        for_each_unit(addrs, width, mask, unit, |u, new| got.push((u, new)));
+        assert_eq!(got, reference(addrs, width, mask, unit));
+    }
+
+    #[test]
+    fn matches_reference_on_common_patterns() {
+        check(&lane_addrs(0, 4), 4, LaneMask::ALL, 128);
+        check(&lane_addrs(0, 8), 8, LaneMask::ALL, 8);
+        check(&lane_addrs(64, 256), 4, LaneMask::ALL, 128);
+        check(&lane_addrs_uniform(40), 4, LaneMask::ALL, 8);
+        check(&lane_addrs(0, 16), 16, LaneMask::first(7), 4);
+        check(&lane_addrs(0, 4), 4, LaneMask::NONE, 128);
+    }
+
+    #[test]
+    fn mid_range_spans_take_the_stack_bitmap_and_still_match() {
+        // ~4096 units between the register tier (128) and the bitmap cap
+        // (16384): strided lanes with duplicates.
+        let addrs = lane_addrs_from(|l| (l as u64 % 16) * 1024);
+        check(&addrs, 8, LaneMask::ALL, 4);
+        check(&addrs, 16, LaneMask::from_fn(|l| l % 3 != 0), 8);
+    }
+
+    #[test]
+    fn wide_scatter_takes_the_fallback_and_still_matches() {
+        // Lanes spread over ~2^21 bytes: far wider than the bitmap range.
+        let addrs = lane_addrs_from(|l| (l as u64) * 65536 + (l as u64 % 3));
+        check(&addrs, 16, LaneMask::ALL, 128);
+        check(&addrs, 4, LaneMask::from_fn(|l| l % 2 == 0), 32);
+    }
+
+    #[test]
+    fn misaligned_spans_cover_two_units() {
+        // 16-byte access starting 4 bytes into a 4-byte unit grid covers 4
+        // units per lane; every boundary case must match the scan.
+        let addrs = lane_addrs_from(|l| 4 * l as u64 + 2);
+        check(&addrs, 16, LaneMask::ALL, 4);
+        check(&addrs, 16, LaneMask::ALL, 8);
+    }
+}

@@ -14,6 +14,7 @@
 //! bitmap that tracks which bytes have ever been written.
 
 use crate::error::{Result, SimError};
+use crate::mem::dedup;
 use crate::mem::plane::WriteJournal;
 use crate::mem::shadow::Shadow;
 use crate::warp::{LaneMask, WarpAddrs};
@@ -310,18 +311,23 @@ impl GlobalMemory {
         &mut self.data[addr as usize..addr as usize + len]
     }
 
-    /// Replays a block's journaled stores into the backing storage, in the
-    /// order they were issued. The launcher calls this once per block in
-    /// block-id order, which reproduces the serial store order exactly.
-    /// Journal entries were bounds-checked when the block recorded them.
+    /// Replays a block's journaled stores into the backing storage, one
+    /// maximal run of written bytes at a time. The journal's pages hold
+    /// each byte's *last* value, so this address-ordered replay leaves
+    /// memory (and the memcheck shadow) identical to replaying the stores
+    /// in issue order — while touching each byte once. The launcher calls
+    /// this once per block in block-id order, which reproduces the serial
+    /// cross-block store order exactly. Journal entries were bounds-checked
+    /// when the block recorded them.
     pub(crate) fn apply_journal(&mut self, journal: &WriteJournal) {
-        for (addr, bytes) in journal.entries() {
-            let len = bytes.len();
-            self.data[addr as usize..addr as usize + len].copy_from_slice(bytes);
-            if let Some(shadow) = &mut self.shadow {
-                shadow.mark(addr, len as u64);
+        let data = &mut self.data;
+        let shadow = &mut self.shadow;
+        journal.for_each_run(|addr, bytes| {
+            data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+            if let Some(shadow) = shadow {
+                shadow.mark(addr, bytes.len() as u64);
             }
-        }
+        });
     }
 }
 
@@ -329,21 +335,11 @@ impl GlobalMemory {
 /// lanes' `[addr, addr + width)` ranges — the global-memory transaction
 /// count for one warp instruction.
 pub(crate) fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
-    // At most 32 lanes x (width/seg + 1) segments; widths here are <= 16 B
-    // and segments 128 B, so 64 slots are plenty.
-    let mut segs = [u64::MAX; 64];
-    let mut n = 0usize;
-    for lane in mask.iter() {
-        let first = addrs[lane] / seg;
-        let last = (addrs[lane] + width - 1) / seg;
-        for s in first..=last {
-            if !segs[..n].contains(&s) {
-                segs[n] = s;
-                n += 1;
-            }
-        }
-    }
-    n as u64
+    let mut n = 0u64;
+    dedup::for_each_unit(addrs, width, mask, seg, |_, first_visit| {
+        n += u64::from(first_visit);
+    });
+    n
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! bank-conflict replays or broadcast serializations into
 //! [`KernelStats`](crate::KernelStats)).
 
-mod constant;
+pub(crate) mod constant;
+pub(crate) mod dedup;
 mod global;
 pub(crate) mod plane;
 pub(crate) mod shadow;

@@ -9,7 +9,7 @@
 //!   it writes through (`Direct`); in parallel mode it reads the shared
 //!   base and records stores into a private [`WriteJournal`] (`Journaled`)
 //!   that the launcher replays into the base in block-id order after all
-//!   workers join. A journaled block observes its *own* stores (byte
+//!   workers join. A journaled block observes its *own* stores (paged
 //!   overlay) but never another in-flight block's — the disjoint-write
 //!   contract that CUDA grids already obey (blocks may not communicate
 //!   through global memory within one launch without a device-wide sync,
@@ -18,14 +18,24 @@
 //!   always reset per block, so under parallelism it simply becomes a
 //!   per-block value; counts are unchanged by construction.
 //! * [`CmPlane`] — the constant-cache model. Serially, first-touch misses
-//!   accumulate in a launch-scoped line set; in parallel mode each block
+//!   accumulate in a launch-scoped line bitmap; in parallel mode each block
 //!   records the lines it touched and the launcher counts
-//!   `|union of all sets|` at merge time, which equals the serial miss
+//!   `|union of all bitmaps|` at merge time, which equals the serial miss
 //!   count exactly because the cache model never evicts within a launch.
 //!
 //! Transaction/coalescing counts, bank conflicts, broadcast serializations
 //! and arithmetic counters are all per-warp functions of addresses alone,
 //! so sharding them per block and summing (`KernelStats::merge`) is exact.
+//!
+//! ## Hot-path layout
+//!
+//! These types sit on the interpreter's innermost loop, so every structure
+//! is flat and allocation-free per access (see DESIGN.md §9): the store
+//! journal is a short sorted vector of 4 KiB pages (data + a 1-bit-per-byte
+//! written mask) with an `[lo, hi)` range reject so reads that never touch
+//! journaled bytes cost two compares; constant-line tracking is a bitmap
+//! over the constant segment's ≤ 256 lines; and the distinct-unit scans all
+//! share [`dedup::for_each_unit`]'s stack bitmap instead of O(n²) scans.
 //!
 //! Every access is bounds-checked against the owning memory; violations
 //! raise a typed [`DeviceFault`](crate::DeviceFault) that unwinds to the
@@ -33,12 +43,17 @@
 //! [`crate::fault`]). With memcheck enabled, loads additionally verify that
 //! every byte read was written at some point — in journaled mode a byte
 //! counts as initialized if either the shared base's shadow marks it or
-//! this block's own journal covers it.
+//! this block's own journal covers it. When no sanitizer tool is attached,
+//! a single warp-level bounds check replaces the per-lane checks; any
+//! violation re-runs the per-lane path so faults name the same lane, in
+//! the same order, with the same partially-applied stores as before.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
+use std::hash::BuildHasherDefault;
 
 use crate::fault::{self, AccessKind, FaultKind, MemSpace, Site};
-use crate::mem::constant::ConstantMemory;
+use crate::mem::constant::{ConstantMemory, LineBitmap};
+use crate::mem::dedup;
 use crate::mem::global::{segment_count, GlobalMemory};
 use crate::spec::WARP_SIZE;
 use crate::stats::KernelStats;
@@ -48,24 +63,75 @@ use crate::warp::{LaneMask, WarpAddrs};
 /// (the byte paths use at most 8 bytes per lane).
 const MAX_LANE_BYTES: usize = 16;
 
-/// One recorded store: `len` bytes at device address `addr`.
-#[derive(Debug, Clone, Copy)]
-struct WriteRec {
-    addr: u64,
-    len: u8,
-    data: [u8; MAX_LANE_BYTES],
+/// Journal page granularity. 4 KiB balances per-page overhead (4.5 KiB
+/// resident per touched page) against page-table length — a block's output
+/// tile spans a handful of pages.
+const PAGE_BYTES: usize = 4096;
+/// Words in a page's 1-bit-per-byte written mask.
+const PAGE_WORDS: usize = PAGE_BYTES / 64;
+
+/// One page of journaled stores: the block's bytes plus a bitmask of which
+/// of them were actually written.
+#[derive(Debug)]
+struct JournalPage {
+    /// Page-aligned device base address.
+    base: u64,
+    data: Box<[u8; PAGE_BYTES]>,
+    /// 1 bit per byte of `data`: set iff this block wrote that byte.
+    written: Box<[u64; PAGE_WORDS]>,
 }
 
-/// A block-private log of global-memory stores.
+impl JournalPage {
+    fn fresh(base: u64) -> Self {
+        JournalPage {
+            base,
+            data: Box::new([0u8; PAGE_BYTES]),
+            written: Box::new([0u64; PAGE_WORDS]),
+        }
+    }
+
+    fn has_byte(&self, off: usize) -> bool {
+        self.written[off / 64] >> (off % 64) & 1 == 1
+    }
+}
+
+/// Index of the first bit at or after `from` whose value equals `target`
+/// (`true` = set), or `None` if no such bit exists in the mask.
+fn next_bit(words: &[u64; PAGE_WORDS], from: usize, target: bool) -> Option<usize> {
+    let mut w = from / 64;
+    let select = |x: u64| if target { x } else { !x };
+    let mut masked = select(words[w]) & (!0u64 << (from % 64));
+    loop {
+        if masked != 0 {
+            return Some(w * 64 + masked.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w >= PAGE_WORDS {
+            return None;
+        }
+        masked = select(words[w]);
+    }
+}
+
+/// A block-private journal of global-memory stores, kept as sorted 4 KiB
+/// pages.
 ///
-/// Stores are appended in program order and replayed into the shared
-/// [`GlobalMemory`] with [`GlobalMemory::apply_journal`] once the launcher
-/// merges blocks in block-id order; a byte-granular overlay gives the
-/// owning block read-your-own-writes semantics meanwhile.
+/// The launcher replays it into the shared [`GlobalMemory`] with
+/// [`GlobalMemory::apply_journal`] once per block, in block-id order. Pages
+/// hold each byte's **last** value, so replaying maximal written runs in
+/// address order leaves memory identical to an issue-order replay — while
+/// touching each byte once instead of once per store. The written mask
+/// doubles as the read-your-own-writes overlay for the owning block, with
+/// an `[lo, hi)` range reject so loads outside everything the block ever
+/// stored (the common case: conv kernels read inputs and write outputs in
+/// disjoint ranges) cost two compares.
 #[derive(Debug, Default)]
 pub(crate) struct WriteJournal {
-    log: Vec<WriteRec>,
-    overlay: HashMap<u64, u8>,
+    /// Touched pages, sorted by base address.
+    pages: Vec<JournalPage>,
+    /// Most recently written page index: stores are spatially local, so
+    /// this usually skips the binary search.
+    mru: usize,
     /// Smallest address written so far (fast-path reject for reads).
     lo: u64,
     /// One past the largest address written so far.
@@ -75,27 +141,66 @@ pub(crate) struct WriteJournal {
 impl WriteJournal {
     pub(crate) fn new() -> Self {
         WriteJournal {
-            log: Vec::new(),
-            overlay: HashMap::new(),
+            pages: Vec::new(),
+            mru: 0,
             lo: u64::MAX,
             hi: 0,
         }
     }
 
+    /// Whether the block stored anything at all.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The page with base address `base`, created (keeping `pages` sorted)
+    /// if the block has not touched it yet.
+    fn page_for_write(&mut self, base: u64) -> &mut JournalPage {
+        if let Some(p) = self.pages.get(self.mru) {
+            if p.base == base {
+                return &mut self.pages[self.mru];
+            }
+        }
+        let idx = match self.pages.binary_search_by_key(&base, |p| p.base) {
+            Ok(i) => i,
+            Err(i) => {
+                self.pages.insert(i, JournalPage::fresh(base));
+                i
+            }
+        };
+        self.mru = idx;
+        &mut self.pages[idx]
+    }
+
+    fn page(&self, base: u64) -> Option<&JournalPage> {
+        self.pages
+            .binary_search_by_key(&base, |p| p.base)
+            .ok()
+            .map(|i| &self.pages[i])
+    }
+
     fn record(&mut self, addr: u64, bytes: &[u8]) {
         debug_assert!(bytes.len() <= MAX_LANE_BYTES);
-        let mut data = [0u8; MAX_LANE_BYTES];
-        data[..bytes.len()].copy_from_slice(bytes);
-        self.log.push(WriteRec {
-            addr,
-            len: bytes.len() as u8,
-            data,
-        });
-        for (i, &b) in bytes.iter().enumerate() {
-            self.overlay.insert(addr + i as u64, b);
-        }
         self.lo = self.lo.min(addr);
         self.hi = self.hi.max(addr + bytes.len() as u64);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let base = addr & !(PAGE_BYTES as u64 - 1);
+            let off = (addr - base) as usize;
+            let take = rest.len().min(PAGE_BYTES - off);
+            let page = self.page_for_write(base);
+            page.data[off..off + take].copy_from_slice(&rest[..take]);
+            let mut b = off;
+            while b < off + take {
+                let span = (64 - b % 64).min(off + take - b);
+                let mask = (!0u64 >> (64 - span)) << (b % 64);
+                page.written[b / 64] |= mask;
+                b += span;
+            }
+            addr += take as u64;
+            rest = &rest[take..];
+        }
     }
 
     /// Patches `out` (a copy of base memory at `addr`) with any bytes this
@@ -105,24 +210,77 @@ impl WriteJournal {
         if end <= self.lo || addr >= self.hi {
             return; // conv kernels read inputs / write outputs in disjoint ranges
         }
-        for (i, slot) in out.iter_mut().enumerate() {
-            if let Some(&b) = self.overlay.get(&(addr + i as u64)) {
-                *slot = b;
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr + done as u64;
+            let base = a & !(PAGE_BYTES as u64 - 1);
+            let off = (a - base) as usize;
+            let take = (out.len() - done).min(PAGE_BYTES - off);
+            if let Some(page) = self.page(base) {
+                for i in 0..take {
+                    if page.has_byte(off + i) {
+                        out[done + i] = page.data[off + i];
+                    }
+                }
             }
+            done += take;
         }
     }
 
     /// Whether this block already stored byte `addr` (used by memcheck:
     /// a journaled byte is initialized for the owning block).
     fn has_byte(&self, addr: u64) -> bool {
-        addr >= self.lo && addr < self.hi && self.overlay.contains_key(&addr)
+        if addr < self.lo || addr >= self.hi {
+            return false;
+        }
+        let base = addr & !(PAGE_BYTES as u64 - 1);
+        self.page(base)
+            .is_some_and(|p| p.has_byte((addr - base) as usize))
     }
 
-    /// Recorded stores in program order, as `(addr, bytes)`.
-    pub(crate) fn entries(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        self.log.iter().map(|r| (r.addr, &r.data[..r.len as usize]))
+    /// Visits every maximal run of journaled bytes as `(addr, bytes)`, in
+    /// ascending address order. Each byte appears exactly once, holding the
+    /// last value the block stored to it.
+    pub(crate) fn for_each_run(&self, mut f: impl FnMut(u64, &[u8])) {
+        for page in &self.pages {
+            let mut b = 0usize;
+            while let Some(start) = next_bit(&page.written, b, true) {
+                let end = next_bit(&page.written, start, false).unwrap_or(PAGE_BYTES);
+                f(page.base + start as u64, &page.data[start..end]);
+                if end >= PAGE_BYTES {
+                    break;
+                }
+                b = end;
+            }
+        }
     }
 }
+
+/// Multiplicative mixer for cache-line indices. Line numbers are small,
+/// dense integers; the std `HashSet` default (SipHash) costs more than the
+/// rest of the cache probe combined, and no untrusted input reaches these
+/// sets.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(self.0.rotate_left(8) ^ u64::from(b));
+        }
+    }
+}
+
+type LineSet = HashSet<u64, BuildHasherDefault<LineHasher>>;
 
 /// Per-block residency model of the 48 KiB per-SM read-only (texture)
 /// cache, FIFO-evicted at line granularity.
@@ -132,7 +290,7 @@ impl WriteJournal {
 /// changes nothing about the counts.
 #[derive(Debug)]
 pub(crate) struct RoCache {
-    lines: HashSet<u64>,
+    lines: LineSet,
     fifo: VecDeque<u64>,
     capacity: usize,
 }
@@ -140,7 +298,7 @@ pub(crate) struct RoCache {
 impl RoCache {
     pub(crate) fn new(capacity_lines: usize) -> Self {
         RoCache {
-            lines: HashSet::new(),
+            lines: LineSet::default(),
             fifo: VecDeque::new(),
             capacity: capacity_lines,
         }
@@ -215,6 +373,28 @@ impl<'a> GmPlane<'a> {
         }
     }
 
+    /// True when this is a direct plane with memcheck off and every active
+    /// lane's `[addr, addr + width)` fits device memory — the precondition
+    /// for the check-free copy loops in the warp accessors. Journaled
+    /// planes always take the general path (loads must consult the store
+    /// overlay). The warp-level bound uses `saturating_add` so a wrapping
+    /// address still fails into the faulting path.
+    #[inline]
+    fn plain_in_bounds(&self, addrs: &WarpAddrs, width: u64, mask: LaneMask) -> bool {
+        let GmPlane::Direct(gm) = self else {
+            return false;
+        };
+        if gm.shadow().is_some() {
+            return false;
+        }
+        let limit = gm.device_limit();
+        let mut max_end = 0u64;
+        for lane in mask.iter() {
+            max_end = max_end.max(addrs[lane].saturating_add(width));
+        }
+        max_end <= limit
+    }
+
     fn read_into(&self, addr: u64, out: &mut [u8], site: Site, lane: usize) {
         self.check(addr, out.len() as u64, AccessKind::Load, site, lane);
         let base = self.base();
@@ -275,11 +455,21 @@ impl<'a> GmPlane<'a> {
     ) -> [[f32; V]; WARP_SIZE] {
         let width = (V * 4) as u64;
         let mut out = [[0.0f32; V]; WARP_SIZE];
-        let mut raw = [0u8; MAX_LANE_BYTES];
-        for lane in mask.iter() {
-            self.read_into(addrs[lane], &mut raw[..V * 4], site, lane);
-            for (v, slot) in out[lane].iter_mut().enumerate() {
-                *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+        if self.plain_in_bounds(addrs, width, mask) {
+            let base = self.base();
+            for lane in mask.iter() {
+                let raw = base.bytes(addrs[lane], V * 4);
+                for (v, slot) in out[lane].iter_mut().enumerate() {
+                    *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+                }
+            }
+        } else {
+            let mut raw = [0u8; MAX_LANE_BYTES];
+            for lane in mask.iter() {
+                self.read_into(addrs[lane], &mut raw[..V * 4], site, lane);
+                for (v, slot) in out[lane].iter_mut().enumerate() {
+                    *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+                }
             }
         }
         let seg = self.base().ld_transaction_bytes();
@@ -308,35 +498,37 @@ impl<'a> GmPlane<'a> {
     ) -> [[f32; V]; WARP_SIZE] {
         let width = (V * 4) as u64;
         let mut out = [[0.0f32; V]; WARP_SIZE];
-        let mut raw = [0u8; MAX_LANE_BYTES];
-        for lane in mask.iter() {
-            self.read_into(addrs[lane], &mut raw[..V * 4], site, lane);
-            for (v, slot) in out[lane].iter_mut().enumerate() {
-                *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+        if self.plain_in_bounds(addrs, width, mask) {
+            let base = self.base();
+            for lane in mask.iter() {
+                let raw = base.bytes(addrs[lane], V * 4);
+                for (v, slot) in out[lane].iter_mut().enumerate() {
+                    *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
+                }
             }
-        }
-        // Count transactions only for lines missing from the block cache.
-        let seg = self.base().ld_transaction_bytes();
-        let mut lines = [u64::MAX; 64];
-        let mut n = 0usize;
-        for lane in mask.iter() {
-            let first = addrs[lane] / seg;
-            let last = (addrs[lane] + width - 1) / seg;
-            for l in first..=last {
-                if !lines[..n].contains(&l) {
-                    lines[n] = l;
-                    n += 1;
+        } else {
+            let mut raw = [0u8; MAX_LANE_BYTES];
+            for lane in mask.iter() {
+                self.read_into(addrs[lane], &mut raw[..V * 4], site, lane);
+                for (v, slot) in out[lane].iter_mut().enumerate() {
+                    *slot = f32::from_le_bytes(raw[v * 4..v * 4 + 4].try_into().unwrap());
                 }
             }
         }
+        // Count transactions only for lines missing from the block cache;
+        // lines are touched in first-occurrence order, preserving the FIFO's
+        // insertion order.
+        let seg = self.base().ld_transaction_bytes();
         let mut misses = 0u64;
-        for &l in &lines[..n] {
-            if ro.touch(l) {
-                stats.gm_ro_hits += 1;
-            } else {
-                misses += 1;
+        dedup::for_each_unit(addrs, width, mask, seg, |line, first_visit| {
+            if first_visit {
+                if ro.touch(line) {
+                    stats.gm_ro_hits += 1;
+                } else {
+                    misses += 1;
+                }
             }
-        }
+        });
         stats.gm_ld_requests += 1;
         stats.gm_ld_transactions += misses;
         stats.gm_ld_bytes_bus += misses * seg;
@@ -358,11 +550,24 @@ impl<'a> GmPlane<'a> {
     ) {
         let width = (V * 4) as u64;
         let mut raw = [0u8; MAX_LANE_BYTES];
-        for lane in mask.iter() {
-            for (v, val) in values[lane].iter().enumerate() {
-                raw[v * 4..v * 4 + 4].copy_from_slice(&val.to_le_bytes());
+        if self.plain_in_bounds(addrs, width, mask) {
+            let GmPlane::Direct(gm) = self else {
+                unreachable!("plain_in_bounds only holds for direct planes")
+            };
+            for lane in mask.iter() {
+                for (v, val) in values[lane].iter().enumerate() {
+                    raw[v * 4..v * 4 + 4].copy_from_slice(&val.to_le_bytes());
+                }
+                gm.bytes_mut(addrs[lane], V * 4)
+                    .copy_from_slice(&raw[..V * 4]);
             }
-            self.write(addrs[lane], &raw[..V * 4], site, lane);
+        } else {
+            for lane in mask.iter() {
+                for (v, val) in values[lane].iter().enumerate() {
+                    raw[v * 4..v * 4 + 4].copy_from_slice(&val.to_le_bytes());
+                }
+                self.write(addrs[lane], &raw[..V * 4], site, lane);
+            }
         }
         let seg = self.base().st_transaction_bytes();
         let segs = segment_count(addrs, width, mask, seg);
@@ -385,8 +590,15 @@ impl<'a> GmPlane<'a> {
     ) -> [[u8; W]; WARP_SIZE] {
         let width = W as u64;
         let mut out = [[0u8; W]; WARP_SIZE];
-        for lane in mask.iter() {
-            self.read_into(addrs[lane], &mut out[lane], site, lane);
+        if self.plain_in_bounds(addrs, width, mask) {
+            let base = self.base();
+            for lane in mask.iter() {
+                out[lane].copy_from_slice(base.bytes(addrs[lane], W));
+            }
+        } else {
+            for lane in mask.iter() {
+                self.read_into(addrs[lane], &mut out[lane], site, lane);
+            }
         }
         let seg = self.base().ld_transaction_bytes();
         let segs = segment_count(addrs, width, mask, seg);
@@ -409,8 +621,17 @@ impl<'a> GmPlane<'a> {
         mask: LaneMask,
     ) {
         let width = W as u64;
-        for lane in mask.iter() {
-            self.write(addrs[lane], &values[lane], site, lane);
+        if self.plain_in_bounds(addrs, width, mask) {
+            let GmPlane::Direct(gm) = self else {
+                unreachable!("plain_in_bounds only holds for direct planes")
+            };
+            for lane in mask.iter() {
+                gm.bytes_mut(addrs[lane], W).copy_from_slice(&values[lane]);
+            }
+        } else {
+            for lane in mask.iter() {
+                self.write(addrs[lane], &values[lane], site, lane);
+            }
         }
         let seg = self.base().st_transaction_bytes();
         let segs = segment_count(addrs, width, mask, seg);
@@ -427,17 +648,26 @@ pub(crate) enum CmPlane<'a> {
     /// Serial execution: first-touch misses are counted against the
     /// launch-scoped cache state inside [`ConstantMemory`] as they happen.
     Direct(&'a mut ConstantMemory),
-    /// Parallel execution: the block records which lines it touched;
-    /// misses are counted at merge time as the ordered union of all
-    /// blocks' sets (exactly the serial count, since the cache model
+    /// Parallel execution: the block records which lines it touched in a
+    /// bitmap; misses are counted at merge time as the union of all
+    /// blocks' bitmaps (exactly the serial count, since the cache model
     /// never evicts within a launch).
     Shared {
         base: &'a ConstantMemory,
-        touched: HashSet<u64>,
+        touched: LineBitmap,
     },
 }
 
 impl<'a> CmPlane<'a> {
+    /// A parallel-mode plane for one block, with its touched-line bitmap
+    /// sized to `base`'s line range.
+    pub(crate) fn shared(base: &'a ConstantMemory) -> Self {
+        CmPlane::Shared {
+            touched: LineBitmap::new(base.num_lines()),
+            base,
+        }
+    }
+
     fn base(&self) -> &ConstantMemory {
         match self {
             CmPlane::Direct(cm) => cm,
@@ -445,9 +675,9 @@ impl<'a> CmPlane<'a> {
         }
     }
 
-    /// Consumes a shared plane, returning the touched-line set (`None`
+    /// Consumes a shared plane, returning the touched-line bitmap (`None`
     /// for direct planes, whose misses were counted inline).
-    pub(crate) fn into_touched_lines(self) -> Option<HashSet<u64>> {
+    pub(crate) fn into_touched_lines(self) -> Option<LineBitmap> {
         match self {
             CmPlane::Direct(_) => None,
             CmPlane::Shared { touched, .. } => Some(touched),
@@ -471,30 +701,35 @@ impl<'a> CmPlane<'a> {
         mask: LaneMask,
     ) -> [f32; WARP_SIZE] {
         let mut out = [0.0f32; WARP_SIZE];
-        let mut distinct = [u64::MAX; WARP_SIZE];
-        let mut n = 0usize;
         let line_bytes = self.base().line_bytes();
         for lane in mask.iter() {
-            let a = addrs[lane];
-            out[lane] = self.base().read_f32(a, site, lane);
-            if !distinct[..n].contains(&a) {
-                distinct[n] = a;
-                n += 1;
-                let line = a / line_bytes;
-                match self {
-                    CmPlane::Direct(cm) => {
-                        if cm.touch_line(line) {
+            out[lane] = self.base().read_f32(addrs[lane], site, lane);
+        }
+        // Serialization counts distinct addresses; each one touches its
+        // cache line (first touch of a line is a miss).
+        let mut distinct = 0u64;
+        match self {
+            CmPlane::Direct(cm) => {
+                dedup::for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
+                    if first_visit {
+                        distinct += 1;
+                        if cm.touch_line(a / line_bytes) {
                             stats.cm_misses += 1;
                         }
                     }
-                    CmPlane::Shared { touched, .. } => {
-                        touched.insert(line);
+                });
+            }
+            CmPlane::Shared { touched, .. } => {
+                dedup::for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
+                    if first_visit {
+                        distinct += 1;
+                        touched.set(a / line_bytes);
                     }
-                }
+                });
             }
         }
         stats.cm_requests += 1;
-        stats.cm_cycles += (n as u64).saturating_sub(1);
+        stats.cm_cycles += distinct.saturating_sub(1);
         out
     }
 }
@@ -503,7 +738,9 @@ impl<'a> CmPlane<'a> {
 mod tests {
     use super::*;
     use crate::fault::FaultPayload;
+    use crate::testrng::Xoshiro;
     use crate::warp::{lane_addrs, lane_addrs_uniform};
+    use std::collections::HashMap;
 
     fn gm() -> GlobalMemory {
         GlobalMemory::new(1 << 20, 128, 32)
@@ -630,6 +867,69 @@ mod tests {
     }
 
     #[test]
+    fn paged_journal_matches_byte_map_reference() {
+        // Differential property test: the paged overlay must agree with a
+        // naive byte map (the structure it replaced) on random store/load
+        // sequences, including journaled read-your-own-writes.
+        let mut rng = Xoshiro::seeded(0xC0FFEE);
+        let mut journal = WriteJournal::new();
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        // Several pages with gaps, plus stores straddling page boundaries.
+        const SPAN: u64 = 40_000;
+        for _ in 0..4000 {
+            let r = rng.next();
+            let addr = r % SPAN;
+            let len = 1 + (r >> 32) as usize % MAX_LANE_BYTES;
+            let mut bytes = [0u8; MAX_LANE_BYTES];
+            for (i, b) in bytes[..len].iter_mut().enumerate() {
+                *b = (rng.next() >> (i % 8)) as u8;
+            }
+            journal.record(addr, &bytes[..len]);
+            for (i, &b) in bytes[..len].iter().enumerate() {
+                reference.insert(addr + i as u64, b);
+            }
+            // Read-your-own-writes probe through patch().
+            let raddr = rng.next() % SPAN;
+            let rlen = 1 + (rng.next() % 24) as usize;
+            let mut got = vec![0xA5u8; rlen];
+            journal.patch(raddr, &mut got);
+            for (i, &g) in got.iter().enumerate() {
+                let want = reference.get(&(raddr + i as u64)).copied().unwrap_or(0xA5);
+                assert_eq!(g, want, "patched byte at {raddr}+{i}");
+            }
+            let probe = rng.next() % SPAN;
+            assert_eq!(journal.has_byte(probe), reference.contains_key(&probe));
+        }
+        assert!(!journal.is_empty());
+        // Replay: ascending disjoint runs covering exactly the written
+        // bytes, each holding its last-stored value.
+        let mut replayed: HashMap<u64, u8> = HashMap::new();
+        let mut last_end = 0u64;
+        journal.for_each_run(|addr, bytes| {
+            assert!(addr >= last_end, "runs must be disjoint and ascending");
+            last_end = addr + bytes.len() as u64;
+            for (i, &b) in bytes.iter().enumerate() {
+                replayed.insert(addr + i as u64, b);
+            }
+        });
+        assert_eq!(replayed, reference);
+    }
+
+    #[test]
+    fn journal_run_spans_page_boundary_writes() {
+        // A store straddling two pages must replay as its exact bytes.
+        let mut journal = WriteJournal::new();
+        let addr = PAGE_BYTES as u64 - 7;
+        let bytes: Vec<u8> = (1..=14).collect();
+        journal.record(addr, &bytes);
+        let mut runs = Vec::new();
+        journal.for_each_run(|a, b| runs.push((a, b.to_vec())));
+        assert_eq!(runs.len(), 2); // one run per page
+        assert_eq!(runs[0], (addr, bytes[..7].to_vec()));
+        assert_eq!(runs[1], (PAGE_BYTES as u64, bytes[7..].to_vec()));
+    }
+
+    #[test]
     fn ro_cache_hits_do_not_count_bus_traffic() {
         let mut m = gm();
         let buf = seeded(&mut m, 64);
@@ -657,10 +957,7 @@ mod tests {
     fn shared_cm_plane_defers_miss_counting() {
         let mut cm = ConstantMemory::new(1 << 16, 256);
         cm.write_f32s(0, &[1.0, 2.0]).unwrap();
-        let mut plane = CmPlane::Shared {
-            base: &cm,
-            touched: HashSet::new(),
-        };
+        let mut plane = CmPlane::shared(&cm);
         let mut stats = KernelStats::default();
         plane.warp_ld_f32(
             &mut stats,
@@ -677,7 +974,7 @@ mod tests {
         assert_eq!(stats.cm_misses, 0); // deferred
         assert_eq!(stats.cm_requests, 2);
         let touched = plane.into_touched_lines().unwrap();
-        assert_eq!(touched.len(), 1); // both addresses in line 0
+        assert_eq!(touched.count(), 1); // both addresses in line 0
         assert_eq!(cm.absorb_lines(&touched), 1);
         assert_eq!(cm.absorb_lines(&touched), 0); // union: no double count
     }

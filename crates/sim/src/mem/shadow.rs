@@ -29,11 +29,18 @@ impl Shadow {
         }
     }
 
-    /// Marks `[addr, addr + width)` as written.
+    /// Marks `[addr, addr + width)` as written, one word-sized mask at a
+    /// time (this sits on the sanitizer's store path, where the per-byte
+    /// loop it replaces was measurable).
     pub(crate) fn mark(&mut self, addr: u64, width: u64) {
         debug_assert!(addr + width <= self.len);
-        for b in addr..addr + width {
-            self.bits[(b / 64) as usize] |= 1u64 << (b % 64);
+        let end = addr + width;
+        let mut b = addr;
+        while b < end {
+            let span = (64 - b % 64).min(end - b);
+            let mask = (!0u64 >> (64 - span)) << (b % 64);
+            self.bits[(b / 64) as usize] |= mask;
+            b += span;
         }
     }
 

@@ -42,6 +42,7 @@
 //! contained at the block boundary instead of panicking the process.
 
 use crate::fault::{self, AccessKind, FaultKind, Hazard, MemSpace, Site};
+use crate::mem::dedup;
 use crate::mem::shadow::Shadow;
 use crate::spec::{BankWidth, WARP_SIZE};
 use crate::stats::KernelStats;
@@ -89,33 +90,86 @@ pub fn bank_conflict_cycles(
     let bw = bank_width.bytes();
     let nb = banks as u64;
     debug_assert!(nb <= 64, "at most 64 banks supported");
-    // Distinct bank-words touched by the warp. A lane access can span
-    // several words (vector accesses); widths modeled are <= 16 B, so 32
-    // lanes cover at most 128 words before deduplication. Words repeat
-    // heavily in real patterns; a flat scan over a small array is fastest.
-    let mut words = [u64::MAX; 128];
+    // Every real bank count is a power of two; sparing the hardware divide
+    // matters at this call frequency.
+    let pow2 = nb.is_power_of_two();
+    let shift = bw.trailing_zeros();
+
+    // Fast path: every active lane's span lies in one bank word and the
+    // warp's word range fits a two-word bitmap — true of every aligned
+    // scalar or vector access, i.e. nearly always. One pass collects the
+    // words; the dedup-and-count loop then runs over a dense array with a
+    // single-cache-line bank table and no visitor indirection. At most one
+    // word per lane, so the u8 counters cannot saturate.
+    let mut words = [0u64; WARP_SIZE];
     let mut n = 0usize;
-    let mut broadcast = false;
-    for lane in mask.iter() {
-        let a = addrs[lane];
-        let first = a / bw;
-        let last = (a + width - 1) / bw;
-        for w in first..=last {
-            if words[..n].contains(&w) {
-                broadcast = true;
-            } else {
-                words[n] = w;
-                n += 1;
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    let mut single = true;
+    {
+        let mut collect = |a: u64| {
+            let w = a >> shift;
+            single &= (a + width - 1) >> shift == w;
+            lo = lo.min(w);
+            hi = hi.max(w);
+            words[n] = w;
+            n += 1;
+        };
+        if mask.is_all() {
+            for &a in addrs.iter() {
+                collect(a);
+            }
+        } else {
+            for lane in mask.iter() {
+                collect(addrs[lane]);
             }
         }
     }
-    let mut per_bank = [0u8; 64];
-    let mut max_words = 1u8;
-    for &w in &words[..n] {
-        let b = (w % nb) as usize;
-        per_bank[b] += 1;
-        max_words = max_words.max(per_bank[b]);
+    if n == 0 {
+        return BankAccessOutcome {
+            cycles: 1,
+            broadcast: false,
+        };
     }
+    if single && hi - lo < 128 {
+        let mut seen = [0u64; 2];
+        let mut per_bank = [0u8; 64];
+        let mut max_words = 1u8;
+        let mut broadcast = false;
+        for &w in &words[..n] {
+            let idx = (w - lo) as usize;
+            let bit = 1u64 << (idx % 64);
+            let slot = &mut seen[idx / 64];
+            if *slot & bit == 0 {
+                *slot |= bit;
+                let b = if pow2 { w & (nb - 1) } else { w % nb } as usize;
+                per_bank[b] += 1;
+                max_words = max_words.max(per_bank[b]);
+            } else {
+                broadcast = true;
+            }
+        }
+        return BankAccessOutcome {
+            cycles: u64::from(max_words),
+            broadcast,
+        };
+    }
+
+    // General path: distinct bank-words touched by the warp, via the shared
+    // bitmap dedup (a revisited word is a same-word broadcast, a fresh one
+    // loads its bank). Handles misaligned and multi-word-per-lane spans.
+    let mut per_bank = [0u32; 64];
+    let mut max_words = 1u32;
+    let mut broadcast = false;
+    dedup::for_each_unit(addrs, width, mask, bw, |w, first_visit| {
+        if first_visit {
+            let b = if pow2 { w & (nb - 1) } else { w % nb } as usize;
+            per_bank[b] += 1;
+            max_words = max_words.max(per_bank[b]);
+        } else {
+            broadcast = true;
+        }
+    });
     BankAccessOutcome {
         cycles: u64::from(max_words),
         broadcast,
@@ -323,6 +377,33 @@ impl SharedMemory {
         }
     }
 
+    /// True when no sanitizer tool is attached and every active lane's
+    /// `[addr, addr + width)` fits the allocation — the precondition for
+    /// the check-free copy loops in the warp accessors. Anything else
+    /// (sanitizer attached, or some lane out of bounds) takes the original
+    /// per-lane path, which raises faults at exactly the same lane, in the
+    /// same order, with the same partially-applied stores as before. The
+    /// warp-level bound uses `saturating_add` so a wrapping address still
+    /// fails into the faulting path.
+    #[inline]
+    fn plain_in_bounds(&self, addrs: &WarpAddrs, width: u64, mask: LaneMask) -> bool {
+        if self.shadow.is_some() || self.races.is_some() {
+            return false;
+        }
+        let limit = self.data.len() as u64;
+        let mut max_end = 0u64;
+        if mask.is_all() {
+            for &a in addrs.iter() {
+                max_end = max_end.max(a.saturating_add(width));
+            }
+        } else {
+            for lane in mask.iter() {
+                max_end = max_end.max(addrs[lane].saturating_add(width));
+            }
+        }
+        max_end <= limit
+    }
+
     /// Warp load of `V` consecutive `f32`s per lane from block-local byte
     /// offsets.
     ///
@@ -338,12 +419,32 @@ impl SharedMemory {
     ) -> [[f32; V]; WARP_SIZE] {
         let width = (V * 4) as u64;
         let mut out = [[0.0f32; V]; WARP_SIZE];
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.pre_read(a, width, site, lane);
-            for (v, slot) in out[lane].iter_mut().enumerate() {
-                let p = (a as usize) + v * 4;
-                *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+        if self.plain_in_bounds(addrs, width, mask) {
+            if mask.is_all() {
+                for lane in 0..WARP_SIZE {
+                    let a = addrs[lane] as usize;
+                    for (v, slot) in out[lane].iter_mut().enumerate() {
+                        let p = a + v * 4;
+                        *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+                    }
+                }
+            } else {
+                for lane in mask.iter() {
+                    let a = addrs[lane] as usize;
+                    for (v, slot) in out[lane].iter_mut().enumerate() {
+                        let p = a + v * 4;
+                        *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+                    }
+                }
+            }
+        } else {
+            for lane in mask.iter() {
+                let a = addrs[lane];
+                self.pre_read(a, width, site, lane);
+                for (v, slot) in out[lane].iter_mut().enumerate() {
+                    let p = (a as usize) + v * 4;
+                    *slot = f32::from_le_bytes(self.data[p..p + 4].try_into().unwrap());
+                }
             }
         }
         let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
@@ -367,12 +468,32 @@ impl SharedMemory {
         mask: LaneMask,
     ) {
         let width = (V * 4) as u64;
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.pre_write(a, width, site, lane);
-            for (v, val) in values[lane].iter().enumerate() {
-                let p = (a as usize) + v * 4;
-                self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+        if self.plain_in_bounds(addrs, width, mask) {
+            if mask.is_all() {
+                for lane in 0..WARP_SIZE {
+                    let a = addrs[lane] as usize;
+                    for (v, val) in values[lane].iter().enumerate() {
+                        let p = a + v * 4;
+                        self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+                    }
+                }
+            } else {
+                for lane in mask.iter() {
+                    let a = addrs[lane] as usize;
+                    for (v, val) in values[lane].iter().enumerate() {
+                        let p = a + v * 4;
+                        self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+                    }
+                }
+            }
+        } else {
+            for lane in mask.iter() {
+                let a = addrs[lane];
+                self.pre_write(a, width, site, lane);
+                for (v, val) in values[lane].iter().enumerate() {
+                    let p = (a as usize) + v * 4;
+                    self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+                }
             }
         }
         let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
@@ -395,10 +516,17 @@ impl SharedMemory {
     ) -> [[u8; W]; WARP_SIZE] {
         let width = W as u64;
         let mut out = [[0u8; W]; WARP_SIZE];
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.pre_read(a, width, site, lane);
-            out[lane].copy_from_slice(&self.data[a as usize..a as usize + W]);
+        if self.plain_in_bounds(addrs, width, mask) {
+            for lane in mask.iter() {
+                let a = addrs[lane] as usize;
+                out[lane].copy_from_slice(&self.data[a..a + W]);
+            }
+        } else {
+            for lane in mask.iter() {
+                let a = addrs[lane];
+                self.pre_read(a, width, site, lane);
+                out[lane].copy_from_slice(&self.data[a as usize..a as usize + W]);
+            }
         }
         let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
         stats.sm_ld_requests += 1;
@@ -421,10 +549,17 @@ impl SharedMemory {
         mask: LaneMask,
     ) {
         let width = W as u64;
-        for lane in mask.iter() {
-            let a = addrs[lane];
-            self.pre_write(a, width, site, lane);
-            self.data[a as usize..a as usize + W].copy_from_slice(&values[lane]);
+        if self.plain_in_bounds(addrs, width, mask) {
+            for lane in mask.iter() {
+                let a = addrs[lane] as usize;
+                self.data[a..a + W].copy_from_slice(&values[lane]);
+            }
+        } else {
+            for lane in mask.iter() {
+                let a = addrs[lane];
+                self.pre_write(a, width, site, lane);
+                self.data[a as usize..a as usize + W].copy_from_slice(&values[lane]);
+            }
         }
         let outcome = bank_conflict_cycles(addrs, width, mask, self.banks, self.bank_width);
         stats.sm_st_requests += 1;

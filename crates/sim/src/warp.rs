@@ -68,6 +68,14 @@ impl LaneMask {
         self.0 == 0
     }
 
+    /// Whether every lane is active. Hot loops branch on this to iterate
+    /// `0..WARP_SIZE` directly: the sparse iterator's `bits &= bits - 1`
+    /// step is a serial dependency chain 32 deep for a full mask.
+    #[inline]
+    pub fn is_all(self) -> bool {
+        self == LaneMask::ALL
+    }
+
     /// Iterator over the indices of active lanes.
     pub fn iter(self) -> LaneIter {
         LaneIter { bits: self.0 }
