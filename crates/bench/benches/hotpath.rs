@@ -24,9 +24,9 @@
 
 use std::time::Instant;
 
-use kconv_core::{Convolution, GeneralConv};
+use kconv_bench::fig8;
+use kconv_core::Convolution;
 use kconv_sim::{Gpu, GpuSpec, Parallelism, SanitizerMode, SimMode};
-use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 /// Serial sanitizer-off wall time of this layer on the reference host
 /// before the hot-path overhaul (see the module docs).
@@ -35,10 +35,8 @@ const BASELINE_SECONDS: f64 = 0.377588;
 const ITERS: usize = 5;
 
 fn main() {
-    let problem = ConvProblem::general(64 + 2, 64, 64, 3);
-    let input = random_maps(problem.channels, problem.height, problem.width, 201);
-    let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
-    let conv = GeneralConv::table1(3);
+    let (problem, input, filters) = fig8::workload();
+    let conv = fig8::conv();
 
     println!("fig8_general 3x3 (N'=64 C=64 F=64), serial, sanitizer off, best of {ITERS}");
     let mut best = f64::INFINITY;
@@ -59,8 +57,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"baseline_seconds\": {BASELINE_SECONDS:.6},\n  \"current_seconds\": {best:.6},\n  \"speedup\": {speedup:.4},\n  \"iters\": {ITERS}\n}}\n"
     );
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_hotpath.json");
+    let path = fig8::workspace_file("BENCH_hotpath.json");
     std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
     println!("wrote {path}");
 }

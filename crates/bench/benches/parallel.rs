@@ -31,9 +31,10 @@
 
 use std::time::Instant;
 
-use kconv_core::{Convolution, GeneralConv};
+use kconv_bench::fig8;
+use kconv_core::Convolution;
 use kconv_sim::{Gpu, GpuSpec, LaunchReport, Parallelism, SanitizerMode, SimMode};
-use kconv_tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet};
+use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
 const ITERS: usize = 3;
 
@@ -47,7 +48,7 @@ fn run_once(
     let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
         .with_parallelism(parallelism)
         .with_sanitizer(sanitizer);
-    let conv = GeneralConv::table1(3);
+    let conv = fig8::conv();
     let t = Instant::now();
     let run = conv
         .run(&mut gpu, problem, input, filters, SimMode::Full)
@@ -75,9 +76,7 @@ fn measure(
 }
 
 fn main() {
-    let problem = ConvProblem::general(64 + 2, 64, 64, 3);
-    let input = random_maps(problem.channels, problem.height, problem.width, 201);
-    let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
+    let (problem, input, filters) = fig8::workload();
 
     // Worker count comes from the host (or the KCONV_THREADS override),
     // never from a hard-coded floor: oversubscribing a small host measures
@@ -115,8 +114,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {par_s:.6},\n  \"speedup\": {speedup:.4},\n  \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \"iters\": {ITERS}\n}}\n"
     );
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_parallel.json");
+    let path = fig8::workspace_file("BENCH_parallel.json");
     std::fs::write(&path, &json).expect("write BENCH_parallel.json");
     println!("wrote {path}");
 
@@ -150,7 +148,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"off_seconds\": {off_s:.6},\n  \"full_seconds\": {full_s:.6},\n  \"overhead\": {overhead:.4},\n  \"iters\": {ITERS}\n}}\n"
     );
-    let path = format!("{root}/BENCH_sanitizer.json");
+    let path = fig8::workspace_file("BENCH_sanitizer.json");
     std::fs::write(&path, &json).expect("write BENCH_sanitizer.json");
     println!("wrote {path}");
 }

@@ -6,7 +6,9 @@
 //! stack-array dedup) are justified by being *bit-identical* to the naive
 //! models they replaced; this binary is the tripwire that keeps them honest
 //! on the real workload. Any counter drift fails the run with a field-level
-//! diff.
+//! diff. The workload, the canonical JSON rendering and the golden path all
+//! come from [`kconv_bench::fig8`], shared with the `hotpath`/`parallel`
+//! benches and `trace_report`.
 //!
 //! Usage:
 //!   cargo run --release -p kconv-bench --bin bench_smoke            # verify
@@ -15,64 +17,23 @@
 //! `--write` regenerates the golden file; only do that when a modeling
 //! change (not an optimization) intentionally moves the counters.
 
-use kconv_core::{Convolution, GeneralConv};
-use kconv_sim::{Gpu, GpuSpec, KernelStats, Parallelism, SanitizerMode, SimMode};
-use kconv_tensor::{random_filters, random_maps, ConvProblem};
-
-/// Canonical JSON rendering of every counter, one line per field, so a
-/// drift shows up as a readable diff.
-fn stats_json(s: &KernelStats) -> String {
-    let h = s.sm_conflict_histogram;
-    format!(
-        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"fma_lane_ops\": {},\n  \"alu_lane_ops\": {},\n  \"gm_ld_requests\": {},\n  \"gm_st_requests\": {},\n  \"gm_ld_transactions\": {},\n  \"gm_st_transactions\": {},\n  \"gm_ld_bytes_bus\": {},\n  \"gm_st_bytes_bus\": {},\n  \"gm_ld_bytes_useful\": {},\n  \"gm_st_bytes_useful\": {},\n  \"gm_ro_hits\": {},\n  \"sm_ld_requests\": {},\n  \"sm_st_requests\": {},\n  \"sm_ld_cycles\": {},\n  \"sm_st_cycles\": {},\n  \"sm_bytes_useful\": {},\n  \"sm_broadcasts\": {},\n  \"sm_conflict_histogram\": [{}, {}, {}, {}, {}, {}],\n  \"cm_requests\": {},\n  \"cm_cycles\": {},\n  \"cm_misses\": {},\n  \"barriers\": {},\n  \"blocks_executed\": {},\n  \"blocks_total\": {}\n}}\n",
-        s.fma_lane_ops,
-        s.alu_lane_ops,
-        s.gm_ld_requests,
-        s.gm_st_requests,
-        s.gm_ld_transactions,
-        s.gm_st_transactions,
-        s.gm_ld_bytes_bus,
-        s.gm_st_bytes_bus,
-        s.gm_ld_bytes_useful,
-        s.gm_st_bytes_useful,
-        s.gm_ro_hits,
-        s.sm_ld_requests,
-        s.sm_st_requests,
-        s.sm_ld_cycles,
-        s.sm_st_cycles,
-        s.sm_bytes_useful,
-        s.sm_broadcasts,
-        h[0],
-        h[1],
-        h[2],
-        h[3],
-        h[4],
-        h[5],
-        s.cm_requests,
-        s.cm_cycles,
-        s.cm_misses,
-        s.barriers,
-        s.blocks_executed,
-        s.blocks_total,
-    )
-}
+use kconv_bench::fig8;
+use kconv_core::Convolution;
+use kconv_sim::{Gpu, GpuSpec, Parallelism, SanitizerMode, SimMode};
 
 fn main() {
     let write = std::env::args().any(|a| a == "--write");
 
-    let problem = ConvProblem::general(64 + 2, 64, 64, 3);
-    let input = random_maps(problem.channels, problem.height, problem.width, 201);
-    let filters = random_filters(problem.filters, problem.channels, problem.k, 203);
+    let (problem, input, filters) = fig8::workload();
     let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
         .with_parallelism(Parallelism::Serial)
         .with_sanitizer(SanitizerMode::Off);
-    let run = GeneralConv::table1(3)
+    let run = fig8::conv()
         .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
         .expect("fig8 layer launches");
-    let current = stats_json(&run.report.stats);
+    let current = fig8::stats_json(&run.report.stats);
 
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/GOLDEN_fig8.json");
+    let path = fig8::workspace_file("GOLDEN_fig8.json");
     if write {
         std::fs::write(&path, &current).expect("write GOLDEN_fig8.json");
         println!("wrote {path}");
@@ -86,11 +47,6 @@ fn main() {
         return;
     }
     eprintln!("bench_smoke: counter drift against {path}");
-    for (g, c) in golden.lines().zip(current.lines()) {
-        if g != c {
-            eprintln!("  golden:  {}", g.trim());
-            eprintln!("  current: {}", c.trim());
-        }
-    }
+    fig8::print_json_diff(&golden, &current);
     std::process::exit(1);
 }

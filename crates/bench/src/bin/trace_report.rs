@@ -1,0 +1,412 @@
+//! Trace-level verification of the paper's analytical traffic claims.
+//!
+//! Runs the paper kernels with a [`TraceWriter`] attached, rolls the binary
+//! traces into [`TraceSummary`]/[`EfficiencyReport`]s, and machine-checks
+//! the measured traffic against the closed-form model of
+//! `kconv_core::model`:
+//!
+//! 1. **Special-kernel optimality** (paper §3.2): useful GM load/store
+//!    bytes equal the model exactly; no input word is read more than twice
+//!    (interior once, vertical-halo rows twice), with the duplicate count
+//!    and halo factor matching the tiling arithmetic.
+//! 2. **General-kernel 1/K** (paper §4.2): useful GM load bytes equal the
+//!    model exactly for K in {3, 5, 7} on the Fig. 8 layer set, and the
+//!    traffic ratio against the GEMM-style model sits near 1/K.
+//! 3. **Shared-memory layout** (paper §4.2): on the contiguous-vs-strided
+//!    output-layout ablation, image pixels read from shared memory obey
+//!    `contig / strided = (W_T + K - 1) / (W_T * K)` as an exact integer
+//!    identity, with identical filter-fragment traffic.
+//! 4. **Determinism**: the serial and `Threads(4)` traces of the same
+//!    launch are byte-identical.
+//! 5. **Zero observer effect**: traced and untraced runs produce
+//!    bit-identical `KernelStats`.
+//!
+//! Usage:
+//!   cargo run --release -p kconv-bench --bin trace_report            # report
+//!   cargo run --release -p kconv-bench --bin trace_report -- --check # exit 1 on FAIL
+//!
+//! Every check prints a PASS/FAIL line; `--check` (the CI mode) turns any
+//! FAIL into a nonzero exit.
+
+use kconv_bench::fig8;
+use kconv_core::model::{
+    gemm_gm_load_bytes, general_gm_load_bytes, general_sm_reduction, general_vs_gemm_gm_ratio,
+    special_gm_load_bytes, special_gm_store_bytes, special_halo_factor,
+};
+use kconv_core::{
+    Convolution, GeneralConfig, GeneralConv, GeneralConvStrided, SpecialConfig, SpecialConv,
+};
+use kconv_sim::{Gpu, GpuSpec, KernelStats, Parallelism, SanitizerMode, SimMode};
+use kconv_tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet};
+use kconv_trace::{EfficiencyReport, KernelMeta, SharedBuffer, TraceSummary, TraceWriter};
+
+fn round_up(v: usize, to: usize) -> usize {
+    v.div_ceil(to) * to
+}
+
+/// Running PASS/FAIL tally; every check prints one line.
+#[derive(Default)]
+struct Checker {
+    checks: usize,
+    failures: usize,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        self.checks += 1;
+        if ok {
+            println!("  PASS {name}: {detail}");
+        } else {
+            self.failures += 1;
+            println!("  FAIL {name}: {detail}");
+        }
+    }
+
+    fn eq_u64(&mut self, name: &str, measured: u64, expected: u64) {
+        self.check(
+            name,
+            measured == expected,
+            &format!("measured {measured}, expected {expected}"),
+        );
+    }
+}
+
+/// Runs `conv` with a trace writer attached; returns the final stats and
+/// the binary trace.
+fn traced_run(
+    conv: &dyn Convolution,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    parallelism: Parallelism,
+) -> (KernelStats, Vec<u8>) {
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
+        .with_parallelism(parallelism)
+        .with_sanitizer(SanitizerMode::Off);
+    let buf = SharedBuffer::new();
+    gpu.set_trace_sink(Some(Box::new(TraceWriter::new(buf.clone()))));
+    let run = conv
+        .run(&mut gpu, problem, input, filters, SimMode::Full)
+        .unwrap_or_else(|e| panic!("{}: {e}", conv.name()));
+    gpu.set_trace_sink(None);
+    (run.report.stats, buf.take())
+}
+
+fn untraced_run(
+    conv: &dyn Convolution,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+) -> KernelStats {
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
+        .with_parallelism(Parallelism::Serial)
+        .with_sanitizer(SanitizerMode::Off);
+    conv.run(&mut gpu, problem, input, filters, SimMode::Full)
+        .unwrap_or_else(|e| panic!("{}: {e}", conv.name()))
+        .report
+        .stats
+}
+
+/// §3.2 — the special kernel reads each interior input word exactly once.
+fn check_special(c: &mut Checker) {
+    let cfg = SpecialConfig::kepler_best();
+    let problem = ConvProblem::special(130, 32, 3);
+    let input = random_maps(1, 130, 130, 101);
+    let filters = random_filters(32, 1, 3, 103);
+    println!("\n[special] {problem}, {cfg}");
+
+    let (stats, bytes) = traced_run(
+        &SpecialConv::new(cfg),
+        &problem,
+        &input,
+        &filters,
+        Parallelism::Serial,
+    );
+    let meta = KernelMeta {
+        out_pixels: problem.out_pixels() as u64,
+        sm_image_split: None,
+    };
+    let report = &EfficiencyReport::analyze(&bytes, &meta).expect("readable trace")[0];
+    let s = &report.summary;
+    println!(
+        "  trace: {} blocks, {} events, {} B ({:.1} B/event)",
+        s.blocks,
+        s.events,
+        bytes.len(),
+        bytes.len() as f64 / s.events.max(1) as f64
+    );
+    println!(
+        "  GM: {:.2} load B/px, {:.2} store B/px, {} transactions",
+        report.gm_ld_bytes_per_out_pixel(),
+        report.gm_st_bytes_per_out_pixel(),
+        s.gm_transactions()
+    );
+
+    c.eq_u64(
+        "gm.ld useful bytes == model",
+        s.gm_ld_useful_bytes(),
+        special_gm_load_bytes(&problem, &cfg),
+    );
+    c.eq_u64(
+        "gm.st useful bytes == model",
+        s.gm_st_useful_bytes(),
+        special_gm_store_bytes(&problem, &cfg),
+    );
+    c.eq_u64(
+        "trace GM totals == KernelStats",
+        s.gm_ld_useful_bytes() + s.gm_st_useful_bytes(),
+        stats.gm_ld_bytes_useful + stats.gm_st_bytes_useful,
+    );
+
+    // The padded input the kernel actually covers (the kernel's own
+    // geometry, replicated): every word of it is read, none three times.
+    let (tiles_x, tiles_y) = (
+        problem.out_width().div_ceil(cfg.width),
+        problem.out_height().div_ceil(cfg.height),
+    );
+    let row_len = cfg.width + problem.k - 1;
+    let in_pitch = (tiles_x * cfg.width + problem.k - 1)
+        .max((tiles_x - 1) * cfg.width + round_up(row_len, cfg.vec_width));
+    let in_rows = tiles_y * cfg.height + problem.k - 1;
+    let covered_words = (in_pitch * in_rows) as u64;
+    c.eq_u64(
+        "distinct input words read",
+        report.gm_ld_distinct_words,
+        covered_words,
+    );
+    // Vertical halo: the K-1 boundary rows between vertically adjacent
+    // tiles are the only words read twice.
+    let halo_words = ((tiles_y - 1) * (problem.k - 1) * in_pitch) as u64;
+    c.eq_u64(
+        "duplicate word reads == vertical halo",
+        report.duplicate_word_reads(),
+        halo_words,
+    );
+    c.check(
+        "no word read more than twice",
+        report.gm_ld_word_reads_max <= 2,
+        &format!("max multiplicity {}", report.gm_ld_word_reads_max),
+    );
+    let measured_halo =
+        s.gm_ld_useful_bytes() as f64 / (covered_words * kconv_trace::WORD_BYTES) as f64;
+    let model_halo = special_halo_factor(&problem, &cfg);
+    c.check(
+        "halo factor == model",
+        (measured_halo - model_halo).abs() < 1e-12,
+        &format!("measured {measured_halo:.4}, model {model_halo:.4}"),
+    );
+}
+
+/// §4.2 — the general kernel's GM traffic equals the model and beats the
+/// GEMM formulation by about 1/K, on the Fig. 8 layer set.
+fn check_general_gm(c: &mut Checker, k: usize) -> Option<(KernelStats, Vec<u8>)> {
+    let cfg = GeneralConfig::table1(k);
+    let (problem, input, filters) = if k == 3 {
+        fig8::workload()
+    } else {
+        let problem = ConvProblem::general(64 + k - 1, 64, 64, k);
+        let input = random_maps(
+            problem.channels,
+            problem.height,
+            problem.width,
+            fig8::INPUT_SEED,
+        );
+        let filters = random_filters(
+            problem.filters,
+            problem.channels,
+            problem.k,
+            fig8::FILTER_SEED,
+        );
+        (problem, input, filters)
+    };
+    println!("\n[general {k}x{k}] {problem}, {cfg}");
+
+    let (stats, bytes) = traced_run(
+        &GeneralConv::new(cfg),
+        &problem,
+        &input,
+        &filters,
+        Parallelism::Serial,
+    );
+    let s = &TraceSummary::from_bytes(&bytes).expect("readable trace")[0];
+    println!(
+        "  trace: {} blocks, {} events, {} B",
+        s.blocks,
+        s.events,
+        bytes.len()
+    );
+    println!(
+        "  GM: {:.2} load B/px, sm cycles/FMA {:.4}",
+        s.gm_ld_useful_bytes() as f64 / problem.out_pixels() as f64,
+        s.sm_cycles_per_fma().unwrap_or(0.0)
+    );
+
+    c.eq_u64(
+        &format!("K={k}: gm.ld useful bytes == model"),
+        s.gm_ld_useful_bytes(),
+        general_gm_load_bytes(&problem, &cfg),
+    );
+    c.eq_u64(
+        &format!("K={k}: trace gm.ld == KernelStats"),
+        s.gm_ld_useful_bytes(),
+        stats.gm_ld_bytes_useful,
+    );
+    let ratio = s.gm_ld_useful_bytes() as f64
+        / gemm_gm_load_bytes(&problem, cfg.width * cfg.height, cfg.f_tb) as f64;
+    let model_ratio = general_vs_gemm_gm_ratio(&problem, &cfg);
+    c.check(
+        &format!("K={k}: measured ratio == model ratio"),
+        (ratio - model_ratio).abs() < 1e-12,
+        &format!("measured {ratio:.4}, model {model_ratio:.4}"),
+    );
+    c.check(
+        &format!("K={k}: GM ratio vs GEMM near 1/K"),
+        ratio > 0.2 / k as f64 && ratio < 2.5 / k as f64,
+        &format!("ratio {ratio:.4}, 1/K = {:.4}", 1.0 / k as f64),
+    );
+    (k == 3).then_some((stats, bytes))
+}
+
+/// §4.2 — contiguous vs strided output layout: the shared-memory image
+/// traffic obeys (W_T + K - 1)/(W_T * K) as an exact integer identity.
+fn check_sm_layout(c: &mut Checker) {
+    let k = 3;
+    let cfg = GeneralConfig::table1_3x3();
+    let problem = ConvProblem::general(34, 4, 64, k);
+    let input = random_maps(problem.channels, 34, 34, 29);
+    let filters = random_filters(problem.filters, problem.channels, k, 31);
+    println!("\n[sm layout] {problem}, contiguous vs strided outputs");
+
+    // The block's shared-memory layout: image slab below, transposed
+    // filters above (same formula as the kernels).
+    let slab_rows = cfg.height + k - 1;
+    let flt_base = (cfg.c_sh * slab_rows * cfg.img_pitch(k) * 4) as u64;
+    let meta = KernelMeta {
+        out_pixels: problem.out_pixels() as u64,
+        sm_image_split: Some(flt_base),
+    };
+
+    let (_, contig_bytes) = traced_run(
+        &GeneralConv::new(cfg),
+        &problem,
+        &input,
+        &filters,
+        Parallelism::Serial,
+    );
+    let (_, strided_bytes) = traced_run(
+        &GeneralConvStrided::new(cfg),
+        &problem,
+        &input,
+        &filters,
+        Parallelism::Serial,
+    );
+    let contig = &EfficiencyReport::analyze(&contig_bytes, &meta).expect("readable trace")[0];
+    let strided = &EfficiencyReport::analyze(&strided_bytes, &meta).expect("readable trace")[0];
+
+    // Lane reads -> pixels: the contiguous kernel reads vec_width pixels
+    // per lane access, the strided ablation is scalar by construction.
+    let contig_px = contig.sm_image_lane_reads * cfg.vec_width as u64;
+    let strided_px = strided.sm_image_lane_reads;
+    println!(
+        "  image pixels from SM: contiguous {contig_px}, strided {strided_px} (ratio {:.4})",
+        contig_px as f64 / strided_px as f64
+    );
+    println!(
+        "  SM conflict histogram (contig):  {:?}",
+        contig.summary.sm_conflict_histogram
+    );
+    println!(
+        "  SM conflict histogram (strided): {:?}",
+        strided.summary.sm_conflict_histogram
+    );
+
+    // Expected absolute counts: every thread refills its row window
+    // (W_T + K - 1 pixels, vectorized) K times per channel vs one scalar
+    // K-window per output pixel (W_T * K); all C channels, all blocks.
+    let blocks = (problem.filters / cfg.f_tb)
+        * problem.out_width().div_ceil(cfg.width)
+        * problem.out_height().div_ceil(cfg.height);
+    let per_thread_contig = round_up(cfg.w_t + k - 1, cfg.vec_width);
+    let expect_contig = (problem.channels * k * per_thread_contig * cfg.threads() * blocks) as u64;
+    let expect_strided = (problem.channels * k * cfg.w_t * k * cfg.threads() * blocks) as u64;
+    c.eq_u64("contiguous image pixels", contig_px, expect_contig);
+    c.eq_u64("strided image pixels", strided_px, expect_strided);
+    // The paper's reduction as an exact cross-multiplication (here the
+    // vector window W_T + K - 1 = 18 needs no alignment padding, so the
+    // identity is exact, not approximate).
+    c.check(
+        "contig/strided == (W_T+K-1)/(W_T*K)",
+        contig_px * (cfg.w_t * k) as u64 == strided_px * (cfg.w_t + k - 1) as u64,
+        &format!(
+            "{contig_px} * {} == {strided_px} * {} (model {:.4})",
+            cfg.w_t * k,
+            cfg.w_t + k - 1,
+            general_sm_reduction(&cfg, k)
+        ),
+    );
+    c.eq_u64(
+        "filter-fragment SM reads identical",
+        contig.sm_filter_lane_reads,
+        strided.sm_filter_lane_reads,
+    );
+}
+
+/// Serial and threaded captures of the same launch must be byte-identical,
+/// and tracing must not perturb the simulation.
+fn check_determinism(c: &mut Checker, serial: &(KernelStats, Vec<u8>)) {
+    let (problem, input, filters) = fig8::workload();
+    let conv = fig8::conv();
+    println!("\n[determinism] {problem}, serial vs Threads(4), traced vs untraced");
+
+    let (par_stats, par_bytes) =
+        traced_run(&conv, &problem, &input, &filters, Parallelism::Threads(4));
+    c.check(
+        "serial and threaded traces byte-identical",
+        serial.1 == par_bytes,
+        &format!("{} B each", serial.1.len()),
+    );
+    c.check(
+        "serial and threaded stats bit-identical",
+        serial.0 == par_stats,
+        "KernelStats compared field-wise",
+    );
+    let untraced = untraced_run(&conv, &problem, &input, &filters);
+    c.check(
+        "tracing does not change KernelStats",
+        serial.0 == untraced,
+        "traced vs untraced serial run",
+    );
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!(
+        "trace_report — measured traffic vs the paper's analytical model, on simulated {}",
+        GpuSpec::kepler_k40m()
+    );
+
+    let mut c = Checker::default();
+    check_special(&mut c);
+    let mut fig8_trace = None;
+    for k in [3, 5, 7] {
+        if let Some(t) = check_general_gm(&mut c, k) {
+            fig8_trace = Some(t);
+        }
+    }
+    check_sm_layout(&mut c);
+    check_determinism(&mut c, &fig8_trace.expect("K=3 ran"));
+
+    println!(
+        "\n{}/{} checks passed{}",
+        c.checks - c.failures,
+        c.checks,
+        if c.failures > 0 {
+            " — FAILURES ABOVE"
+        } else {
+            ""
+        }
+    );
+    if check && c.failures > 0 {
+        std::process::exit(1);
+    }
+}

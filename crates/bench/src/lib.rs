@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fig8;
 pub mod harness;
 
 /// Renders a row of fixed-width columns.

@@ -608,9 +608,22 @@ fn general_block_strided(
     // Per-thread image registers: one K-window per owned output.
     let mut rimg = vec![0.0f32; threads * w_t * k];
 
-    // Interleaved column of output v for pixel-thread index ty.
-    let col_of = |ty: usize, v: usize| (ty % cols_per_row) + v * cols_per_row;
-    let row_of = |ty: usize| ty / cols_per_row;
+    // Per-thread geometry, decoded once per block — the same tables
+    // general_block uses; these closures were the last per-lane div/mod
+    // chains on the shared-memory path. Output v of pixel-thread ty is
+    // column s_col0[t] + v * cols_per_row (the interleaved layout).
+    // Trailing slots past `threads` use the same formulas, so dead lanes
+    // see exactly the addresses they always did.
+    let lanes = threads.div_ceil(WARP_SIZE) * WARP_SIZE;
+    let mut t_tx = vec![0usize; lanes];
+    let mut s_row = vec![0usize; lanes];
+    let mut s_col0 = vec![0usize; lanes];
+    for t in 0..lanes {
+        let ty = t / tx_count;
+        t_tx[t] = t % tx_count;
+        s_row[t] = ty / cols_per_row;
+        s_col0[t] = ty % cols_per_row;
+    }
 
     let mut c0 = 0usize;
     while c0 < g.channels {
@@ -626,13 +639,14 @@ fn general_block_strided(
                 for v in 0..w_t {
                     for kc in 0..k {
                         blk.each_warp(|w| {
-                            let wid = w.warp_id();
+                            let lane0 = w.warp_id() * WARP_SIZE;
                             let addrs = lane_addrs_from(|lane| {
-                                let t = wid * WARP_SIZE + lane;
-                                let ty = t / tx_count;
-                                let r_t = row_of(ty);
-                                (((i * slab_rows + r_t + j) * g.img_pitch + col_of(ty, v) + kc) * 4)
-                                    as u64
+                                let t = lane0 + lane;
+                                (((i * slab_rows + s_row[t] + j) * g.img_pitch
+                                    + s_col0[t]
+                                    + v * cols_per_row
+                                    + kc)
+                                    * 4) as u64
                             });
                             let vals = w.ld_shared::<1>(&addrs, LaneMask::ALL);
                             for lane in w.population().iter() {
@@ -644,14 +658,14 @@ fn general_block_strided(
                 }
                 for kc in 0..k {
                     blk.each_warp(|w| {
-                        let wid = w.warp_id();
+                        let lane0 = w.warp_id() * WARP_SIZE;
                         let mut rflt = [[0.0f32; 16]; WARP_SIZE];
                         for gv in 0..f_t / 2 {
                             let addrs = lane_addrs_from(|lane| {
-                                let t = wid * WARP_SIZE + lane;
-                                let tx = t % tx_count;
                                 flt_base
-                                    + (((i * kk + j * k + kc) * g.flt_pitch + tx * f_t + gv * 2)
+                                    + (((i * kk + j * k + kc) * g.flt_pitch
+                                        + t_tx[lane0 + lane] * f_t
+                                        + gv * 2)
                                         * 4) as u64
                             });
                             let vals = w.ld_shared::<2>(&addrs, LaneMask::ALL);
@@ -688,11 +702,12 @@ fn general_block_strided(
                 let wid = w.warp_id();
                 let addrs = lane_addrs_from(|lane| {
                     let t = wid * WARP_SIZE + lane;
-                    let (tx, ty) = (t % tx_count, t / tx_count);
-                    let f = f0 + tx * f_t + ff;
+                    let f = f0 + t_tx[t] * f_t + ff;
                     d_out.f32_addr(
-                        ((f * g.out_rows + gy + row_of(ty)) * g.out_pitch + gx + col_of(ty, v))
-                            as u64,
+                        ((f * g.out_rows + gy + s_row[t]) * g.out_pitch
+                            + gx
+                            + s_col0[t]
+                            + v * cols_per_row) as u64,
                     )
                 });
                 let mut vals = [[0.0f32; 1]; WARP_SIZE];

@@ -35,6 +35,7 @@ use crate::mem::plane::{CmPlane, GmPlane, RoCache};
 use crate::mem::SharedMemory;
 use crate::spec::WARP_SIZE;
 use crate::stats::KernelStats;
+use crate::trace::{cost_counters, TraceEvent, TraceOp};
 use crate::warp::{LaneMask, WarpAddrs};
 
 /// Geometry of the executing block within its launch.
@@ -91,6 +92,10 @@ pub struct BlockCtx<'a> {
     /// Test-only fault injector and its per-block memory-op counter.
     inj: Option<Inject>,
     op_counter: u64,
+    /// Trace buffer: `Some` when the launcher armed tracing; every warp
+    /// memory instruction appends one event, harvested at block end and
+    /// flushed to the [`TraceSink`](crate::TraceSink) in block-id order.
+    pub(crate) events: Option<Vec<TraceEvent>>,
 }
 
 impl std::fmt::Debug for BlockCtx<'_> {
@@ -125,7 +130,15 @@ impl<'a> BlockCtx<'a> {
             step_budget: u64::MAX,
             inj: None,
             op_counter: 0,
+            events: None,
         }
+    }
+
+    /// Arms per-instruction tracing: warp memory ops append to the block's
+    /// event buffer instead of running counter-only.
+    pub(crate) fn with_tracing(mut self) -> Self {
+        self.events = Some(Vec::new());
+        self
     }
 
     /// Enables synccheck: warps' `bar_sync()` participation counts are
@@ -298,6 +311,45 @@ impl WarpCtx<'_, '_> {
         self.block.inject(addrs)
     }
 
+    /// Shared prologue/epilogue for every warp memory instruction: watchdog
+    /// tick, fault injection, population masking — and, when the launcher
+    /// armed tracing, a [`TraceEvent`] capturing the cost delta the memory
+    /// model charged for this access (the `op`-specific counter pair from
+    /// [`cost_counters`]). With tracing off the extra work is a single
+    /// `Option` discriminant check; `access` inlines into the same code the
+    /// ops previously open-coded.
+    #[inline(always)]
+    fn mem_op<R>(
+        &mut self,
+        addrs: &WarpAddrs,
+        mask: LaneMask,
+        op: TraceOp,
+        lane_bytes: u32,
+        access: impl FnOnce(&mut BlockCtx<'_>, Site, &WarpAddrs, LaneMask) -> R,
+    ) -> R {
+        let patched = self.pre_op(addrs);
+        let addrs = patched.as_ref().unwrap_or(addrs);
+        let m = self.live(mask);
+        let site = self.site();
+        if self.block.events.is_none() {
+            return access(self.block, site, addrs, m);
+        }
+        let (t0, c0) = cost_counters(&self.block.stats, op);
+        let out = access(self.block, site, addrs, m);
+        let (t1, c1) = cost_counters(&self.block.stats, op);
+        let ev = TraceEvent {
+            op,
+            warp: self.wid as u32,
+            mask: m,
+            lane_bytes,
+            transactions: (t1 - t0) as u32,
+            cycles: (c1 - c0) as u32,
+            addrs: *addrs,
+        };
+        self.block.events.as_mut().expect("tracing armed").push(ev);
+        out
+    }
+
     /// Records this warp's arrival at a barrier for synccheck. The
     /// repository's kernels call [`BlockCtx::sync`] uniformly from block
     /// scope, which is inherently convergent; a kernel that makes barrier
@@ -314,13 +366,9 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .gm
-            .warp_ld::<V>(&mut self.block.stats, site, addrs, m)
+        self.mem_op(addrs, mask, TraceOp::GmLd, 4 * V as u32, |b, site, a, m| {
+            b.gm.warp_ld::<V>(&mut b.stats, site, a, m)
+        })
     }
 
     /// Global-memory warp store of `V` consecutive `f32`s per lane.
@@ -330,13 +378,9 @@ impl WarpCtx<'_, '_> {
         values: &[[f32; V]; WARP_SIZE],
         mask: LaneMask,
     ) {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .gm
-            .warp_st::<V>(&mut self.block.stats, site, addrs, values, m);
+        self.mem_op(addrs, mask, TraceOp::GmSt, 4 * V as u32, |b, site, a, m| {
+            b.gm.warp_st::<V>(&mut b.stats, site, a, values, m)
+        })
     }
 
     /// Shared-memory warp load of `V` consecutive `f32`s per lane
@@ -346,13 +390,9 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .smem
-            .warp_ld::<V>(&mut self.block.stats, site, addrs, m)
+        self.mem_op(addrs, mask, TraceOp::SmLd, 4 * V as u32, |b, site, a, m| {
+            b.smem.warp_ld::<V>(&mut b.stats, site, a, m)
+        })
     }
 
     /// Shared-memory warp store of `V` consecutive `f32`s per lane.
@@ -362,13 +402,9 @@ impl WarpCtx<'_, '_> {
         values: &[[f32; V]; WARP_SIZE],
         mask: LaneMask,
     ) {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .smem
-            .warp_st::<V>(&mut self.block.stats, site, addrs, values, m);
+        self.mem_op(addrs, mask, TraceOp::SmSt, 4 * V as u32, |b, site, a, m| {
+            b.smem.warp_st::<V>(&mut b.stats, site, a, values, m)
+        })
     }
 
     /// Global-memory warp load through the read-only (texture) cache path:
@@ -378,24 +414,20 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[f32; V]; WARP_SIZE] {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .gm
-            .warp_ld_ro::<V>(&mut self.block.stats, &mut self.block.ro, site, addrs, m)
+        self.mem_op(
+            addrs,
+            mask,
+            TraceOp::GmLdRo,
+            4 * V as u32,
+            |b, site, a, m| b.gm.warp_ld_ro::<V>(&mut b.stats, &mut b.ro, site, a, m),
+        )
     }
 
     /// Constant-memory warp load of one `f32` per lane (broadcast-optimized).
     pub fn ld_const(&mut self, addrs: &WarpAddrs, mask: LaneMask) -> [f32; WARP_SIZE] {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .cm
-            .warp_ld_f32(&mut self.block.stats, site, addrs, m)
+        self.mem_op(addrs, mask, TraceOp::CmLd, 4, |b, site, a, m| {
+            b.cm.warp_ld_f32(&mut b.stats, site, a, m)
+        })
     }
 
     /// Global-memory warp load of `W` raw bytes per lane (short data types).
@@ -404,13 +436,9 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .gm
-            .warp_ld_bytes::<W>(&mut self.block.stats, site, addrs, m)
+        self.mem_op(addrs, mask, TraceOp::GmLd, W as u32, |b, site, a, m| {
+            b.gm.warp_ld_bytes::<W>(&mut b.stats, site, a, m)
+        })
     }
 
     /// Global-memory warp store of `W` raw bytes per lane.
@@ -420,13 +448,9 @@ impl WarpCtx<'_, '_> {
         values: &[[u8; W]; WARP_SIZE],
         mask: LaneMask,
     ) {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .gm
-            .warp_st_bytes::<W>(&mut self.block.stats, site, addrs, values, m);
+        self.mem_op(addrs, mask, TraceOp::GmSt, W as u32, |b, site, a, m| {
+            b.gm.warp_st_bytes::<W>(&mut b.stats, site, a, values, m)
+        })
     }
 
     /// Shared-memory warp load of `W` raw bytes per lane (short data types).
@@ -435,13 +459,9 @@ impl WarpCtx<'_, '_> {
         addrs: &WarpAddrs,
         mask: LaneMask,
     ) -> [[u8; W]; WARP_SIZE] {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .smem
-            .warp_ld_bytes::<W>(&mut self.block.stats, site, addrs, m)
+        self.mem_op(addrs, mask, TraceOp::SmLd, W as u32, |b, site, a, m| {
+            b.smem.warp_ld_bytes::<W>(&mut b.stats, site, a, m)
+        })
     }
 
     /// Shared-memory warp store of `W` raw bytes per lane.
@@ -451,13 +471,9 @@ impl WarpCtx<'_, '_> {
         values: &[[u8; W]; WARP_SIZE],
         mask: LaneMask,
     ) {
-        let patched = self.pre_op(addrs);
-        let addrs = patched.as_ref().unwrap_or(addrs);
-        let m = self.live(mask);
-        let site = self.site();
-        self.block
-            .smem
-            .warp_st_bytes::<W>(&mut self.block.stats, site, addrs, values, m);
+        self.mem_op(addrs, mask, TraceOp::SmSt, W as u32, |b, site, a, m| {
+            b.smem.warp_st_bytes::<W>(&mut b.stats, site, a, values, m)
+        })
     }
 
     /// Records `lane_ops` fused multiply-adds (the arithmetic itself is done
@@ -663,6 +679,57 @@ mod tests {
             }
             other => panic!("expected BarrierDivergence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracing_records_one_event_per_memory_op_with_cost_deltas() {
+        let (mut gm, mut cm, dims) = harness(40);
+        let buf = gm.alloc_f32(1024).unwrap();
+        let vals: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        gm.write_f32s(buf, 0, &vals).unwrap();
+        let smem = SharedMemory::new(8192, 32, BankWidth::B8);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem).with_tracing();
+        blk.each_warp(|w| {
+            let gaddrs = lane_addrs(buf.f32_addr(0), 4);
+            let got = w.ld_global::<1>(&gaddrs, LaneMask::ALL);
+            let saddrs = lane_addrs(0, 256); // every lane hits bank 0: replays
+            w.st_shared::<1>(&saddrs, &got, LaneMask::ALL);
+        });
+        let events = blk.events.take().unwrap();
+        assert_eq!(events.len(), 4); // 2 warps x (1 gm.ld + 1 sm.st)
+        assert_eq!(events[0].op, TraceOp::GmLd);
+        assert_eq!(events[1].op, TraceOp::SmSt);
+        assert_eq!(events[2].warp, 1);
+        // Partial warp (threads=40): warp 1 has 8 live lanes.
+        assert_eq!(events[2].mask.count(), 8);
+        assert_eq!(events[0].mask.count(), 32);
+        assert_eq!(events[0].lane_bytes, 4);
+        assert_eq!(events[0].addrs[5], buf.f32_addr(0) + 20);
+        // Per-event cost deltas sum back to the aggregate counters.
+        let tx: u64 = events.iter().map(|e| u64::from(e.transactions)).sum();
+        assert_eq!(tx, blk.stats.gm_ld_transactions);
+        let st_cycles: u64 = events
+            .iter()
+            .filter(|e| e.op == TraceOp::SmSt)
+            .map(|e| u64::from(e.cycles))
+            .sum();
+        assert_eq!(st_cycles, blk.stats.sm_st_cycles);
+        // The bank-0 pile-up really replays: full warp serializes 32-deep.
+        assert_eq!(events[1].cycles, 32);
+        assert_eq!(events[3].cycles, 8);
+    }
+
+    #[test]
+    fn untraced_block_buffers_no_events() {
+        let (mut gm, mut cm, dims) = harness(32);
+        let buf = gm.alloc_f32(32).unwrap();
+        let smem = SharedMemory::new(0, 32, BankWidth::B8);
+        let mut blk = ctx(dims, &mut gm, &mut cm, smem);
+        blk.each_warp(|w| {
+            w.ld_global::<1>(&lane_addrs(buf.f32_addr(0), 4), LaneMask::ALL);
+        });
+        assert!(blk.events.is_none());
+        assert_eq!(blk.stats.gm_ld_requests, 1);
     }
 
     #[test]

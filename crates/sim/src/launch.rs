@@ -68,6 +68,7 @@ use crate::mem::{ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
 use crate::spec::GpuSpec;
 use crate::stats::KernelStats;
 use crate::timing::{self, OverlapMode, Timing};
+use crate::trace::{TraceEvent, TraceLaunch, TraceSink};
 
 /// Launch geometry and resource declaration for one kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,6 +250,7 @@ struct BlockOut {
     stats: KernelStats,
     journal: WriteJournal,
     cm_lines: LineBitmap,
+    events: Vec<TraceEvent>,
 }
 
 /// A simulated GPU: an architecture plus its global and constant memories.
@@ -281,7 +283,6 @@ struct BlockOut {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Gpu {
     spec: GpuSpec,
     gm: GlobalMemory,
@@ -290,6 +291,23 @@ pub struct Gpu {
     sanitizer: SanitizerMode,
     step_budget: u64,
     injection: Option<FaultInjection>,
+    /// Opt-in per-warp memory-instruction observer (see [`TraceSink`]).
+    trace: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("spec", &self.spec)
+            .field("gm", &self.gm)
+            .field("cm", &self.cm)
+            .field("parallelism", &self.parallelism)
+            .field("sanitizer", &self.sanitizer)
+            .field("step_budget", &self.step_budget)
+            .field("injection", &self.injection)
+            .field("trace", &self.trace.as_ref().map(|_| "dyn TraceSink"))
+            .finish()
+    }
 }
 
 /// Device-memory capacity given to every [`Gpu`] (the K40m carries 12 GiB;
@@ -333,6 +351,7 @@ impl Gpu {
             sanitizer,
             step_budget: step_budget_from_env(),
             injection: None,
+            trace: None,
         }
     }
 
@@ -413,6 +432,28 @@ impl Gpu {
     pub fn with_fault_injection(mut self, injection: FaultInjection) -> Self {
         self.injection = Some(injection);
         self
+    }
+
+    /// Installs (or, with `None`, removes) the per-warp trace sink for
+    /// subsequent launches. See [`TraceSink`] for the delivery contract:
+    /// one event per warp memory instruction, flushed per block in
+    /// ascending block-id order on the launching thread, identically under
+    /// serial and threaded execution. With no sink installed the hook costs
+    /// one branch per memory instruction and buffers nothing.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.trace = sink;
+    }
+
+    /// Builder-style [`Gpu::set_trace_sink`].
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Removes and returns the installed trace sink — the usual way to
+    /// finalize a trace writer and recover its output stream.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
     }
 
     /// Allocates `len` `f32` elements of global memory.
@@ -542,6 +583,15 @@ impl Gpu {
             )));
         }
         self.cm.reset_cache();
+        if let Some(sink) = self.trace.as_mut() {
+            sink.launch_begin(&TraceLaunch {
+                kernel: &cfg.name,
+                grid_blocks: cfg.blocks,
+                executed_blocks: ids.len(),
+                threads_per_block: cfg.threads_per_block,
+                smem_bytes: cfg.smem_bytes,
+            });
+        }
         let workers = self.parallelism.worker_threads().min(ids.len());
         let stats = if workers <= 1 {
             self.run_serial(cfg, &ids, &kernel)?
@@ -555,6 +605,9 @@ impl Gpu {
         } else {
             stats.scaled_to_blocks(cfg.blocks as u64, ids.len() as u64)
         };
+        if let Some(sink) = self.trace.as_mut() {
+            sink.launch_end(&stats);
+        }
         let timing = timing::evaluate(&self.spec, cfg, &stats)?;
         Ok(LaunchReport {
             stats,
@@ -580,6 +633,7 @@ impl Gpu {
         ids: &[usize],
         kernel: &(impl Fn(&mut BlockCtx) + Sync),
     ) -> Result<KernelStats> {
+        let tracing = self.trace.is_some();
         let mut total = KernelStats::default();
         for &block_id in ids {
             let inject = self.block_inject(cfg, block_id);
@@ -592,9 +646,13 @@ impl Gpu {
                 self.sanitizer,
                 self.step_budget,
                 inject,
+                tracing,
                 kernel,
             )?;
             total.merge(&blk.stats);
+            if let Some(sink) = self.trace.as_mut() {
+                sink.block_events(block_id, &blk.events);
+            }
         }
         Ok(total)
     }
@@ -609,9 +667,13 @@ impl Gpu {
         /// Side effects a worker hands back for one block. The counters do
         /// NOT ride along: they are folded into the worker's thread-local
         /// shard so the merge loop never clones or queues `KernelStats`.
+        /// Trace events do ride along (they are inherently per block) and
+        /// are flushed by the ordered merge below, which is what makes a
+        /// threaded trace byte-identical to the serial one.
         struct BlockSide {
             journal: WriteJournal,
             cm_lines: LineBitmap,
+            events: Vec<TraceEvent>,
         }
         type Slot = Mutex<Option<std::result::Result<BlockSide, DeviceFault>>>;
         let slots: Vec<Slot> = ids.iter().map(|_| Mutex::new(None)).collect();
@@ -620,6 +682,7 @@ impl Gpu {
         let shards = Mutex::new(KernelStats::default());
         let (spec, gm, cm) = (&self.spec, &self.gm, &self.cm);
         let (sanitizer, step_budget) = (self.sanitizer, self.step_budget);
+        let tracing = self.trace.is_some();
         // Device faults are contained per block, so workers never panic on
         // kernel bugs; every selected block runs to a verdict and the merge
         // below picks the fault (if any) with the lowest block id —
@@ -645,6 +708,7 @@ impl Gpu {
                             sanitizer,
                             step_budget,
                             injects[i],
+                            tracing,
                             kernel,
                         )
                         .map(|out| {
@@ -652,6 +716,7 @@ impl Gpu {
                             BlockSide {
                                 journal: out.journal,
                                 cm_lines: out.cm_lines,
+                                events: out.events,
                             }
                         });
                         match slots[i].lock() {
@@ -672,11 +737,13 @@ impl Gpu {
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Deterministic merge in block-id order (ids are ascending for
-        // every SimMode): replay journals into global memory and fold each
-        // block's constant-line bitmap into the launch-scoped cache state.
-        // The first faulting block (lowest id) stops the merge, leaving
-        // memory in the documented unspecified state.
-        for slot in slots {
+        // every SimMode): replay journals into global memory, fold each
+        // block's constant-line bitmap into the launch-scoped cache state,
+        // and flush each block's trace events to the sink. The first
+        // faulting block (lowest id) stops the merge, leaving memory in the
+        // documented unspecified state and the sink with exactly the clean
+        // prefix of blocks a serial run would have delivered.
+        for (i, slot) in slots.into_iter().enumerate() {
             let side = slot
                 .into_inner()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -688,6 +755,9 @@ impl Gpu {
                 self.gm.apply_journal(&side.journal);
             }
             total.cm_misses += self.cm.absorb_lines(&side.cm_lines);
+            if let Some(sink) = self.trace.as_mut() {
+                sink.block_events(ids[i], &side.events);
+            }
         }
         Ok(total)
     }
@@ -705,6 +775,7 @@ fn exec_block(
     sanitizer: SanitizerMode,
     step_budget: u64,
     inject: Option<Inject>,
+    tracing: bool,
     kernel: &(impl Fn(&mut BlockCtx) + Sync),
 ) -> std::result::Result<BlockOut, DeviceFault> {
     let dims = BlockDims {
@@ -722,15 +793,25 @@ fn exec_block(
     if let Some(inj) = inject {
         blk = blk.with_injection(inj);
     }
+    if tracing {
+        blk = blk.with_tracing();
+    }
     fault::contain(&cfg.name, block_id, move || {
         kernel(&mut blk);
         blk.finish();
         blk.stats.blocks_executed += 1;
-        let BlockCtx { gm, cm, stats, .. } = blk;
+        let BlockCtx {
+            gm,
+            cm,
+            stats,
+            events,
+            ..
+        } = blk;
         BlockOut {
             stats,
             journal: gm.into_journal().unwrap_or_default(),
             cm_lines: cm.into_touched_lines().unwrap_or_default(),
+            events: events.unwrap_or_default(),
         }
     })
 }
@@ -928,6 +1009,119 @@ mod tests {
             assert_eq!(par_mem, serial_mem, "{threads} threads");
             assert_eq!(par.executed_blocks, serial.executed_blocks);
             assert!((par.seconds() - serial.seconds()).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_events_are_ordered_and_identical_across_parallelism() {
+        use crate::trace::{TraceEvent, TraceLaunch, TraceSink};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Log {
+            begins: usize,
+            ends: usize,
+            blocks: Vec<(usize, Vec<TraceEvent>)>,
+        }
+        struct Collect(Arc<Mutex<Log>>);
+        impl TraceSink for Collect {
+            fn launch_begin(&mut self, launch: &TraceLaunch<'_>) {
+                assert_eq!(launch.kernel, "mixed");
+                assert_eq!(launch.grid_blocks, 24);
+                assert_eq!(launch.executed_blocks, 24);
+                self.0.lock().unwrap().begins += 1;
+            }
+            fn block_events(&mut self, block_id: usize, events: &[TraceEvent]) {
+                let mut log = self.0.lock().unwrap();
+                log.blocks.push((block_id, events.to_vec()));
+            }
+            fn launch_end(&mut self, stats: &KernelStats) {
+                assert!(stats.gm_st_transactions > 0);
+                self.0.lock().unwrap().ends += 1;
+            }
+        }
+
+        let run = |parallelism: Parallelism, traced: bool| {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let src = g.alloc_f32(64).unwrap();
+            let dst = g.alloc_f32(24 * 32).unwrap();
+            let vals: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+            g.upload_f32(src, &vals).unwrap();
+            g.write_const_f32(0, &vec![2.0; 128]).unwrap();
+            let log = Arc::new(Mutex::new(Log::default()));
+            if traced {
+                g.set_trace_sink(Some(Box::new(Collect(log.clone()))));
+            }
+            let cfg = LaunchConfig::new("mixed", 24, 64).with_smem(1024);
+            let r = g
+                .launch(&cfg, SimMode::Full, mixed_kernel(src, dst))
+                .unwrap();
+            g.set_trace_sink(None);
+            let log = Arc::try_unwrap(log).ok().unwrap().into_inner().unwrap();
+            (r, g.download_f32(dst).unwrap(), log)
+        };
+
+        let (serial, serial_mem, serial_log) = run(Parallelism::Serial, true);
+        assert_eq!((serial_log.begins, serial_log.ends), (1, 1));
+        let ids: Vec<usize> = serial_log.blocks.iter().map(|(b, _)| *b).collect();
+        assert_eq!(ids, (0..24).collect::<Vec<_>>());
+        assert!(serial_log.blocks.iter().all(|(_, ev)| !ev.is_empty()));
+
+        // Tracing must not perturb execution...
+        let (bare, bare_mem, _) = run(Parallelism::Serial, false);
+        assert_eq!(serial.stats, bare.stats);
+        assert_eq!(serial_mem, bare_mem);
+
+        // ...and a threaded launch must deliver the identical event stream
+        // in the identical order.
+        for threads in [2, 4, 7] {
+            let (par, par_mem, par_log) = run(Parallelism::Threads(threads), true);
+            assert_eq!(par.stats, serial.stats, "{threads} threads");
+            assert_eq!(par_mem, serial_mem, "{threads} threads");
+            assert_eq!((par_log.begins, par_log.ends), (1, 1));
+            assert_eq!(par_log.blocks, serial_log.blocks, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn faulted_traced_launch_delivers_clean_prefix_and_no_end() {
+        use crate::trace::{TraceEvent, TraceLaunch, TraceSink};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Log {
+            ends: usize,
+            block_ids: Vec<usize>,
+        }
+        struct Collect(Arc<Mutex<Log>>);
+        impl TraceSink for Collect {
+            fn launch_begin(&mut self, _launch: &TraceLaunch<'_>) {}
+            fn block_events(&mut self, block_id: usize, _events: &[TraceEvent]) {
+                self.0.lock().unwrap().block_ids.push(block_id);
+            }
+            fn launch_end(&mut self, _stats: &KernelStats) {
+                self.0.lock().unwrap().ends += 1;
+            }
+        }
+
+        let run = |parallelism: Parallelism| {
+            let mut g = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+            let buf = g.alloc_f32(64).unwrap();
+            g.fill_f32(buf, 0.0).unwrap();
+            let log = Arc::new(Mutex::new(Log::default()));
+            g.set_trace_sink(Some(Box::new(Collect(log.clone()))));
+            let cfg = LaunchConfig::new("oob test", 8, 32);
+            g.launch(&cfg, SimMode::Full, oob_kernel(buf, 64))
+                .unwrap_err();
+            g.set_trace_sink(None);
+            Arc::try_unwrap(log).ok().unwrap().into_inner().unwrap()
+        };
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let log = run(parallelism);
+            // Block 2 faults: only the clean prefix 0..2 reaches the sink,
+            // and the launch never ends.
+            assert_eq!(log.block_ids, vec![0, 1], "{parallelism:?}");
+            assert_eq!(log.ends, 0, "{parallelism:?}");
         }
     }
 

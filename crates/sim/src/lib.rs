@@ -63,6 +63,7 @@ mod stats;
 #[cfg(test)]
 pub(crate) mod testrng;
 pub mod timing;
+pub mod trace;
 mod warp;
 
 pub use block::{BlockCtx, BlockDims, WarpCtx};
@@ -78,4 +79,5 @@ pub use report::render_report;
 pub use spec::{BankWidth, GpuSpec, WARP_SIZE};
 pub use stats::KernelStats;
 pub use timing::{occupancy, Occupancy, OverlapMode, Timing};
+pub use trace::{TraceEvent, TraceLaunch, TraceOp, TraceSink};
 pub use warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform, LaneIter, LaneMask, WarpAddrs};

@@ -1,0 +1,270 @@
+//! Per-warp memory-instruction trace hooks.
+//!
+//! The paper's claims are *traffic* claims — how many bytes move, through
+//! which memory, with how many transactions and replays. The aggregate
+//! [`KernelStats`] counters prove totals; this module exposes the
+//! per-instruction stream those totals are summed from, so tools can check
+//! per-access properties (e.g. "each interior pixel is read from global
+//! memory exactly once") that no aggregate can express.
+//!
+//! A [`TraceSink`] installed on a [`Gpu`](crate::Gpu) observes one
+//! [`TraceEvent`] per warp memory instruction: the op kind and memory
+//! space, the live lane mask, the per-lane byte addresses, and the cost the
+//! memory model charged (global-memory transactions, shared-memory
+//! pipeline cycles including bank-conflict replays, constant-memory
+//! serialization cycles).
+//!
+//! # Cost and determinism
+//!
+//! With no sink installed the hook is one `Option` check per warp memory
+//! instruction — the same discipline as
+//! [`SanitizerMode::Off`](crate::SanitizerMode): no shadow state, no event
+//! construction, nothing to buffer.
+//!
+//! With a sink installed, events are buffered per block and delivered in
+//! ascending block-id order on the launching thread — mirroring how the
+//! parallel launch path replays write journals (see
+//! [`crate::launch`]). A trace captured under
+//! [`Parallelism::Threads`](crate::Parallelism) is therefore byte-for-byte
+//! identical to the serial trace of the same launch.
+
+use crate::fault::MemSpace;
+use crate::stats::KernelStats;
+use crate::warp::{LaneMask, WarpAddrs};
+
+/// Which warp memory instruction produced a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TraceOp {
+    /// Global-memory load ([`WarpCtx::ld_global`](crate::WarpCtx::ld_global)
+    /// / [`ld_global_bytes`](crate::WarpCtx::ld_global_bytes)).
+    GmLd = 0,
+    /// Global-memory store ([`WarpCtx::st_global`](crate::WarpCtx::st_global)
+    /// / [`st_global_bytes`](crate::WarpCtx::st_global_bytes)).
+    GmSt = 1,
+    /// Global-memory load through the read-only (texture) cache path
+    /// ([`WarpCtx::ld_global_ro`](crate::WarpCtx::ld_global_ro)).
+    GmLdRo = 2,
+    /// Shared-memory load ([`WarpCtx::ld_shared`](crate::WarpCtx::ld_shared)
+    /// / [`ld_shared_bytes`](crate::WarpCtx::ld_shared_bytes)).
+    SmLd = 3,
+    /// Shared-memory store ([`WarpCtx::st_shared`](crate::WarpCtx::st_shared)
+    /// / [`st_shared_bytes`](crate::WarpCtx::st_shared_bytes)).
+    SmSt = 4,
+    /// Constant-memory load ([`WarpCtx::ld_const`](crate::WarpCtx::ld_const)).
+    CmLd = 5,
+}
+
+impl TraceOp {
+    /// Number of distinct op kinds (array-index bound for per-op tables).
+    pub const COUNT: usize = 6;
+
+    /// All op kinds, in tag order.
+    pub const ALL: [TraceOp; TraceOp::COUNT] = [
+        TraceOp::GmLd,
+        TraceOp::GmSt,
+        TraceOp::GmLdRo,
+        TraceOp::SmLd,
+        TraceOp::SmSt,
+        TraceOp::CmLd,
+    ];
+
+    /// The memory space this op touches.
+    pub fn space(self) -> MemSpace {
+        match self {
+            TraceOp::GmLd | TraceOp::GmSt | TraceOp::GmLdRo => MemSpace::Global,
+            TraceOp::SmLd | TraceOp::SmSt => MemSpace::Shared,
+            TraceOp::CmLd => MemSpace::Constant,
+        }
+    }
+
+    /// Whether this op writes (rather than reads) its space.
+    pub fn is_store(self) -> bool {
+        matches!(self, TraceOp::GmSt | TraceOp::SmSt)
+    }
+
+    /// Dense index for per-op tables (`0..COUNT`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of the `u8` tag used by trace encodings.
+    pub fn from_u8(v: u8) -> Option<TraceOp> {
+        TraceOp::ALL.get(v as usize).copied()
+    }
+}
+
+impl std::fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceOp::GmLd => "gm.ld",
+            TraceOp::GmSt => "gm.st",
+            TraceOp::GmLdRo => "gm.ld.ro",
+            TraceOp::SmLd => "sm.ld",
+            TraceOp::SmSt => "sm.st",
+            TraceOp::CmLd => "cm.ld",
+        })
+    }
+}
+
+/// One warp memory instruction as observed by the memory models.
+///
+/// Addresses are byte addresses in the op's space (block-local for shared
+/// memory); only lanes active in `mask` are meaningful — inactive lanes
+/// carry whatever the kernel's address vector held and must be ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Which memory instruction this is.
+    pub op: TraceOp,
+    /// Warp id within the block.
+    pub warp: u32,
+    /// Live lanes: the kernel's mask intersected with the warp population.
+    pub mask: LaneMask,
+    /// Bytes accessed per active lane (e.g. 8 for a `float2` access).
+    pub lane_bytes: u32,
+    /// Bus segments this instruction moved (global memory only; a fully
+    /// read-only-cached load moves 0). Zero for shared/constant ops.
+    pub transactions: u32,
+    /// Pipeline cycles the instruction consumed beyond free: for shared
+    /// memory the full access cycles including bank-conflict replays
+    /// (conflict-free = 1), for constant memory the serialization cycles
+    /// (distinct addresses − 1). Zero for global-memory ops.
+    pub cycles: u32,
+    /// Per-lane byte addresses.
+    pub addrs: WarpAddrs,
+}
+
+impl TraceEvent {
+    /// Bytes the active lanes actually requested.
+    pub fn useful_bytes(&self) -> u64 {
+        u64::from(self.mask.count()) * u64::from(self.lane_bytes)
+    }
+
+    /// Copy with the addresses of inactive lanes zeroed — the canonical
+    /// form trace encodings round-trip through (inactive-lane addresses
+    /// are not recorded).
+    pub fn canonical(&self) -> TraceEvent {
+        let mut ev = *self;
+        for lane in 0..ev.addrs.len() {
+            if !ev.mask.is_active(lane) {
+                ev.addrs[lane] = 0;
+            }
+        }
+        ev
+    }
+}
+
+/// Launch metadata handed to [`TraceSink::launch_begin`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceLaunch<'a> {
+    /// Kernel name from the [`LaunchConfig`](crate::LaunchConfig).
+    pub kernel: &'a str,
+    /// Blocks the grid logically contains.
+    pub grid_blocks: usize,
+    /// Blocks that will execute functionally (fewer when sampling).
+    pub executed_blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Shared memory per block in bytes.
+    pub smem_bytes: u32,
+}
+
+/// Observer for per-warp memory-instruction traces.
+///
+/// Contract (all methods run on the launching thread):
+///
+/// 1. [`launch_begin`](TraceSink::launch_begin) once per traced launch,
+///    after validation and before any block executes;
+/// 2. [`block_events`](TraceSink::block_events) once per executed block in
+///    **ascending block-id order**, regardless of
+///    [`Parallelism`](crate::Parallelism) — the events inside a block are
+///    in program order;
+/// 3. [`launch_end`](TraceSink::launch_end) once with the launch's final
+///    (scaled) stats — only for successful launches. A faulted launch
+///    delivers the events of the clean blocks that precede the fault and
+///    no `launch_end`; sinks that frame launches should treat a
+///    `launch_begin` (or drop) while a launch is open as an abort.
+pub trait TraceSink: Send {
+    /// A traced launch is starting.
+    fn launch_begin(&mut self, launch: &TraceLaunch<'_>);
+    /// All events of one executed block, in program order.
+    fn block_events(&mut self, block_id: usize, events: &[TraceEvent]);
+    /// The launch completed with these final stats.
+    fn launch_end(&mut self, stats: &KernelStats);
+}
+
+/// The [`KernelStats`] counters a [`TraceEvent`] for `op` is charged
+/// against, as (transaction-like, cycle-like) values: the hook records the
+/// per-instruction delta of this pair.
+pub(crate) fn cost_counters(stats: &KernelStats, op: TraceOp) -> (u64, u64) {
+    match op {
+        TraceOp::GmLd | TraceOp::GmLdRo => (stats.gm_ld_transactions, 0),
+        TraceOp::GmSt => (stats.gm_st_transactions, 0),
+        TraceOp::SmLd => (0, stats.sm_ld_cycles),
+        TraceOp::SmSt => (0, stats.sm_st_cycles),
+        TraceOp::CmLd => (0, stats.cm_cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_tags_round_trip() {
+        for op in TraceOp::ALL {
+            assert_eq!(TraceOp::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(TraceOp::from_u8(6), None);
+    }
+
+    #[test]
+    fn op_spaces_and_stores() {
+        assert_eq!(TraceOp::GmLdRo.space(), MemSpace::Global);
+        assert_eq!(TraceOp::SmSt.space(), MemSpace::Shared);
+        assert_eq!(TraceOp::CmLd.space(), MemSpace::Constant);
+        assert!(TraceOp::GmSt.is_store() && TraceOp::SmSt.is_store());
+        assert!(!TraceOp::GmLd.is_store() && !TraceOp::CmLd.is_store());
+    }
+
+    #[test]
+    fn useful_bytes_counts_active_lanes() {
+        let ev = TraceEvent {
+            op: TraceOp::SmLd,
+            warp: 0,
+            mask: LaneMask::first(3),
+            lane_bytes: 8,
+            transactions: 0,
+            cycles: 1,
+            addrs: [7; 32],
+        };
+        assert_eq!(ev.useful_bytes(), 24);
+        let canon = ev.canonical();
+        assert_eq!(canon.addrs[2], 7);
+        assert_eq!(canon.addrs[3], 0);
+    }
+
+    #[test]
+    fn cost_counters_select_the_op_counter() {
+        let stats = KernelStats {
+            gm_ld_transactions: 3,
+            gm_st_transactions: 5,
+            sm_ld_cycles: 7,
+            sm_st_cycles: 11,
+            cm_cycles: 13,
+            ..Default::default()
+        };
+        assert_eq!(cost_counters(&stats, TraceOp::GmLd), (3, 0));
+        assert_eq!(cost_counters(&stats, TraceOp::GmLdRo), (3, 0));
+        assert_eq!(cost_counters(&stats, TraceOp::GmSt), (5, 0));
+        assert_eq!(cost_counters(&stats, TraceOp::SmLd), (0, 7));
+        assert_eq!(cost_counters(&stats, TraceOp::SmSt), (0, 11));
+        assert_eq!(cost_counters(&stats, TraceOp::CmLd), (0, 13));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TraceOp::GmLdRo.to_string(), "gm.ld.ro");
+        assert_eq!(TraceOp::CmLd.to_string(), "cm.ld");
+    }
+}

@@ -1,0 +1,295 @@
+//! Address-level memory-efficiency analysis of binary traces.
+//!
+//! Where [`TraceSummary`] answers "how much traffic", this module answers
+//! the paper's sharper questions: *which* global-memory words were read
+//! and how many times each (communication optimality — §3 of the paper
+//! claims each interior input pixel is fetched exactly once), how many
+//! distinct 128-byte lines were touched, and how shared-memory reads split
+//! between image pixels and filter fragments (the (W_T+K−1)/(W_T·K)
+//! layout claim).
+
+use std::collections::HashMap;
+
+use kconv_sim::{TraceEvent, TraceOp};
+
+use crate::format::{read_trace, LaunchEnd, LaunchHeader, TraceVisitor};
+use crate::summary::TraceSummary;
+use crate::TraceError;
+
+/// Global-memory transaction (line) size the distinct-line count uses.
+pub const LINE_BYTES: u64 = 128;
+/// Word size for read-multiplicity accounting (one `f32`).
+pub const WORD_BYTES: u64 = 4;
+
+/// Per-kernel facts the trace alone cannot know, supplied by the caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelMeta {
+    /// Output pixels the launch produced (denominator for bytes/pixel).
+    pub out_pixels: u64,
+    /// Shared-memory byte threshold splitting the block's layout: `SmLd`
+    /// lanes with address below it are image reads, at or above it filter
+    /// reads. `None` disables the split (both counters read 0).
+    pub sm_image_split: Option<u64>,
+}
+
+/// One launch's trace analyzed at address granularity.
+#[derive(Debug, Clone)]
+pub struct EfficiencyReport {
+    /// The O(1) roll-up of the same launch.
+    pub summary: TraceSummary,
+    /// Output pixels (copied from [`KernelMeta`]).
+    pub out_pixels: u64,
+    /// Distinct 4-byte global-memory words loaded (plain + read-only path).
+    pub gm_ld_distinct_words: u64,
+    /// Distinct 128-byte global-memory lines loaded.
+    pub gm_ld_distinct_lines: u64,
+    /// Word read-multiplicity histogram: words read exactly 1, 2, 3, and
+    /// ≥ 4 times.
+    pub gm_read_multiplicity: [u64; 4],
+    /// The most times any single word was loaded.
+    pub gm_ld_word_reads_max: u64,
+    /// `SmLd` lane reads below the image/filter split.
+    pub sm_image_lane_reads: u64,
+    /// `SmLd` lane reads at or above the split.
+    pub sm_filter_lane_reads: u64,
+}
+
+impl EfficiencyReport {
+    /// Analyzes every launch in a binary trace, applying the same
+    /// [`KernelMeta`] to each (traces produced by `trace_report` hold one
+    /// launch per buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`read_trace`](crate::read_trace)'s errors.
+    pub fn analyze(bytes: &[u8], meta: &KernelMeta) -> Result<Vec<EfficiencyReport>, TraceError> {
+        struct Pass {
+            meta: KernelMeta,
+            done: Vec<EfficiencyReport>,
+            open: Option<Acc>,
+        }
+        struct Acc {
+            summary: TraceSummary,
+            word_reads: HashMap<u64, u64>,
+            sm_image: u64,
+            sm_filter: u64,
+        }
+        impl TraceVisitor for Pass {
+            fn launch_begin(&mut self, header: &LaunchHeader) {
+                self.open = Some(Acc {
+                    summary: TraceSummary::new(header.kernel.clone()),
+                    word_reads: HashMap::new(),
+                    sm_image: 0,
+                    sm_filter: 0,
+                });
+            }
+            fn block_begin(&mut self, _block_id: u64, _event_count: u64) {
+                if let Some(acc) = self.open.as_mut() {
+                    acc.summary.blocks += 1;
+                }
+            }
+            fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
+                let Some(acc) = self.open.as_mut() else {
+                    return;
+                };
+                acc.summary.absorb(ev);
+                match ev.op {
+                    TraceOp::GmLd | TraceOp::GmLdRo => {
+                        for lane in ev.mask.iter() {
+                            let a = ev.addrs[lane];
+                            let first = a / WORD_BYTES;
+                            let last = (a + u64::from(ev.lane_bytes).max(1) - 1) / WORD_BYTES;
+                            for w in first..=last {
+                                *acc.word_reads.entry(w).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    TraceOp::SmLd => {
+                        if let Some(split) = self.meta.sm_image_split {
+                            for lane in ev.mask.iter() {
+                                if ev.addrs[lane] < split {
+                                    acc.sm_image += 1;
+                                } else {
+                                    acc.sm_filter += 1;
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            fn launch_end(&mut self, end: &LaunchEnd) {
+                let Some(mut acc) = self.open.take() else {
+                    return;
+                };
+                acc.summary.aborted = end.aborted;
+                acc.summary.fma_lane_ops = end.fma_lane_ops;
+                let mut multiplicity = [0u64; 4];
+                let mut max_reads = 0u64;
+                let mut lines = std::collections::HashSet::new();
+                for (&word, &reads) in &acc.word_reads {
+                    multiplicity[(reads.min(4) - 1) as usize] += 1;
+                    max_reads = max_reads.max(reads);
+                    lines.insert(word * WORD_BYTES / LINE_BYTES);
+                }
+                self.done.push(EfficiencyReport {
+                    summary: acc.summary,
+                    out_pixels: self.meta.out_pixels,
+                    gm_ld_distinct_words: acc.word_reads.len() as u64,
+                    gm_ld_distinct_lines: lines.len() as u64,
+                    gm_read_multiplicity: multiplicity,
+                    gm_ld_word_reads_max: max_reads,
+                    sm_image_lane_reads: acc.sm_image,
+                    sm_filter_lane_reads: acc.sm_filter,
+                });
+            }
+        }
+        let mut pass = Pass {
+            meta: *meta,
+            done: Vec::new(),
+            open: None,
+        };
+        read_trace(bytes, &mut pass)?;
+        Ok(pass.done)
+    }
+
+    /// Useful global-memory load bytes per output pixel.
+    pub fn gm_ld_bytes_per_out_pixel(&self) -> f64 {
+        ratio(self.summary.gm_ld_useful_bytes(), self.out_pixels)
+    }
+
+    /// Useful global-memory store bytes per output pixel.
+    pub fn gm_st_bytes_per_out_pixel(&self) -> f64 {
+        ratio(self.summary.gm_st_useful_bytes(), self.out_pixels)
+    }
+
+    /// Words loaded exactly once.
+    pub fn words_read_once(&self) -> u64 {
+        self.gm_read_multiplicity[0]
+    }
+
+    /// Word-granular loads beyond the first touch of each word — 0 means
+    /// communication-optimal traffic.
+    pub fn duplicate_word_reads(&self) -> u64 {
+        let total_word_reads: u64 = self
+            .summary
+            .op(TraceOp::GmLd)
+            .useful_bytes
+            .div_ceil(WORD_BYTES)
+            + self
+                .summary
+                .op(TraceOp::GmLdRo)
+                .useful_bytes
+                .div_ceil(WORD_BYTES);
+        total_word_reads - self.gm_ld_distinct_words
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+    use crate::SharedBuffer;
+    use kconv_sim::{KernelStats, LaneMask, TraceLaunch, TraceSink, WARP_SIZE};
+
+    fn gm_ld(base: u64, stride: u64, lanes: usize) -> TraceEvent {
+        let mut addrs = [0u64; WARP_SIZE];
+        for (lane, a) in addrs.iter_mut().enumerate().take(lanes) {
+            *a = base + lane as u64 * stride;
+        }
+        TraceEvent {
+            op: TraceOp::GmLd,
+            warp: 0,
+            mask: LaneMask::first(lanes),
+            lane_bytes: 4,
+            transactions: 1,
+            cycles: 0,
+            addrs,
+        }
+    }
+
+    fn sm_ld(base: u64, stride: u64, lanes: usize) -> TraceEvent {
+        let mut ev = gm_ld(base, stride, lanes);
+        ev.op = TraceOp::SmLd;
+        ev.transactions = 0;
+        ev.cycles = 1;
+        ev
+    }
+
+    #[test]
+    fn multiplicity_lines_and_sm_split() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&TraceLaunch {
+            kernel: "k",
+            grid_blocks: 1,
+            executed_blocks: 1,
+            threads_per_block: 32,
+            smem_bytes: 4096,
+        });
+        w.block_events(
+            0,
+            &[
+                gm_ld(0, 4, 32),   // words 0..32, once
+                gm_ld(64, 4, 16),  // words 16..32 again -> read twice
+                sm_ld(0, 4, 32),   // 32 image reads (< 1024)
+                sm_ld(1024, 4, 8), // 8 filter reads (>= 1024)
+                sm_ld(1020, 4, 2), // addrs 1020, 1024: one of each
+            ],
+        );
+        w.launch_end(&KernelStats {
+            fma_lane_ops: 256,
+            ..Default::default()
+        });
+        let meta = KernelMeta {
+            out_pixels: 64,
+            sm_image_split: Some(1024),
+        };
+        let reports = EfficiencyReport::analyze(&buf.take(), &meta).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.gm_ld_distinct_words, 32);
+        // Words 0..16 once, 16..32 twice.
+        assert_eq!(r.gm_read_multiplicity, [16, 16, 0, 0]);
+        assert_eq!(r.gm_ld_word_reads_max, 2);
+        assert_eq!(r.duplicate_word_reads(), 16);
+        assert_eq!(r.words_read_once(), 16);
+        // 32 words * 4 B = 128 B = exactly one line.
+        assert_eq!(r.gm_ld_distinct_lines, 1);
+        assert_eq!(r.sm_image_lane_reads, 33);
+        assert_eq!(r.sm_filter_lane_reads, 9);
+        assert_eq!(r.gm_ld_bytes_per_out_pixel(), (48.0 * 4.0) / 64.0);
+        // The embedded summary matches the standalone one.
+        assert_eq!(r.summary.events, 5);
+        assert_eq!(r.summary.fma_lane_ops, 256);
+        assert!(!r.summary.aborted);
+    }
+
+    #[test]
+    fn wide_lane_bytes_cover_multiple_words() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&TraceLaunch {
+            kernel: "k",
+            grid_blocks: 1,
+            executed_blocks: 1,
+            threads_per_block: 32,
+            smem_bytes: 0,
+        });
+        let mut ev = gm_ld(0, 8, 4); // float2 per lane: 8 bytes
+        ev.lane_bytes = 8;
+        w.block_events(0, &[ev]);
+        w.launch_end(&KernelStats::default());
+        let reports = EfficiencyReport::analyze(&buf.take(), &KernelMeta::default()).unwrap();
+        assert_eq!(reports[0].gm_ld_distinct_words, 8);
+        assert_eq!(reports[0].duplicate_word_reads(), 0);
+    }
+}

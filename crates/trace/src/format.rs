@@ -1,0 +1,631 @@
+//! The compact binary trace format: writer (a [`TraceSink`]) and reader.
+//!
+//! # Layout
+//!
+//! A trace file is a 5-byte header (`"KTRC"` + version) followed by a
+//! stream of tagged records; all integers are LEB128 varints (see
+//! [`crate::varint`]):
+//!
+//! | tag | record | fields |
+//! |-----|--------|--------|
+//! | 1 | launch begin | kernel-name length + UTF-8 bytes, grid blocks, executed blocks, threads/block, smem bytes |
+//! | 2 | block | block id, event count, events (below) |
+//! | 3 | launch end | aborted flag (u8), FMA lane-ops from the final stats |
+//!
+//! Each event is: op tag (u8), warp, lane mask, bytes/lane, transactions,
+//! cycles — then the addresses of the **active lanes only**, as one
+//! absolute address followed by zigzag deltas between successive active
+//! lanes. Convolution kernels issue overwhelmingly unit- or
+//! constant-strided warps, so the deltas are one byte each and a 32-lane
+//! event costs ≈40 bytes instead of 256.
+//!
+//! A `launch begin` arriving while a launch is open, or end-of-file inside
+//! a launch, marks the open launch aborted — exactly the sink contract for
+//! faulted launches ([`TraceSink`] docs).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use kconv_sim::{KernelStats, LaneMask, TraceEvent, TraceLaunch, TraceOp, TraceSink, WARP_SIZE};
+
+use crate::varint::{write_u64, zigzag, Cursor};
+use crate::TraceError;
+
+/// File magic: the first four bytes of every trace.
+pub const MAGIC: [u8; 4] = *b"KTRC";
+/// Format version written and accepted by this crate.
+pub const VERSION: u8 = 1;
+
+const TAG_LAUNCH_BEGIN: u8 = 1;
+const TAG_BLOCK: u8 = 2;
+const TAG_LAUNCH_END: u8 = 3;
+
+fn encode_event(buf: &mut Vec<u8>, ev: &TraceEvent) {
+    buf.push(ev.op as u8);
+    write_u64(buf, u64::from(ev.warp));
+    write_u64(buf, u64::from(ev.mask.0));
+    write_u64(buf, u64::from(ev.lane_bytes));
+    write_u64(buf, u64::from(ev.transactions));
+    write_u64(buf, u64::from(ev.cycles));
+    let mut prev: Option<u64> = None;
+    for lane in 0..WARP_SIZE {
+        if !ev.mask.is_active(lane) {
+            continue;
+        }
+        let addr = ev.addrs[lane];
+        match prev {
+            None => write_u64(buf, addr),
+            Some(p) => write_u64(buf, zigzag(addr.wrapping_sub(p) as i64)),
+        }
+        prev = Some(addr);
+    }
+}
+
+fn decode_event(cur: &mut Cursor<'_>) -> Result<TraceEvent, TraceError> {
+    let op_tag = cur.read_u8("event op")?;
+    let op = TraceOp::from_u8(op_tag).ok_or_else(|| TraceError::Malformed {
+        offset: cur.pos(),
+        reason: format!("unknown trace op tag {op_tag}"),
+    })?;
+    let warp = cur.read_u64("event warp")? as u32;
+    let mask = LaneMask(cur.read_u64("event mask")? as u32);
+    let lane_bytes = cur.read_u64("event lane bytes")? as u32;
+    let transactions = cur.read_u64("event transactions")? as u32;
+    let cycles = cur.read_u64("event cycles")? as u32;
+    let mut addrs = [0u64; WARP_SIZE];
+    let mut prev: Option<u64> = None;
+    for (lane, slot) in addrs.iter_mut().enumerate() {
+        if !mask.is_active(lane) {
+            continue;
+        }
+        let addr = match prev {
+            None => cur.read_u64("event first address")?,
+            Some(p) => p.wrapping_add(cur.read_i64("event address delta")? as u64),
+        };
+        *slot = addr;
+        prev = Some(addr);
+    }
+    Ok(TraceEvent {
+        op,
+        warp,
+        mask,
+        lane_bytes,
+        transactions,
+        cycles,
+        addrs,
+    })
+}
+
+/// Streams [`TraceSink`] callbacks into a [`Write`] target as the binary
+/// trace format.
+///
+/// The sink callbacks cannot return errors, so the first I/O failure is
+/// latched and the writer goes inert; recover it (and the output) with
+/// [`TraceWriter::into_inner`].
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    scratch: Vec<u8>,
+    wrote_header: bool,
+    launch_open: bool,
+    err: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps an output stream; nothing is written until the first launch.
+    pub fn new(out: W) -> Self {
+        TraceWriter {
+            out,
+            scratch: Vec::new(),
+            wrote_header: false,
+            launch_open: false,
+            err: None,
+        }
+    }
+
+    /// The first I/O error the writer hit, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.err.as_ref()
+    }
+
+    /// Flushes and returns the output stream plus any latched I/O error.
+    pub fn into_inner(mut self) -> (W, Option<std::io::Error>) {
+        if self.err.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.err = Some(e);
+            }
+        }
+        (self.out, self.err)
+    }
+
+    fn emit(&mut self) {
+        if self.err.is_some() {
+            self.scratch.clear();
+            return;
+        }
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let mut header = Vec::with_capacity(5);
+            header.extend_from_slice(&MAGIC);
+            header.push(VERSION);
+            if let Err(e) = self.out.write_all(&header) {
+                self.err = Some(e);
+                self.scratch.clear();
+                return;
+            }
+        }
+        if let Err(e) = self.out.write_all(&self.scratch) {
+            self.err = Some(e);
+        }
+        self.scratch.clear();
+    }
+
+    fn end_record(&mut self, aborted: bool, fma_lane_ops: u64) {
+        self.scratch.push(TAG_LAUNCH_END);
+        self.scratch.push(u8::from(aborted));
+        write_u64(&mut self.scratch, fma_lane_ops);
+        self.launch_open = false;
+        self.emit();
+    }
+}
+
+impl<W: Write + Send> TraceSink for TraceWriter<W> {
+    fn launch_begin(&mut self, launch: &TraceLaunch<'_>) {
+        if self.launch_open {
+            // The previous launch never ended: it faulted. Close it so the
+            // stream stays parseable.
+            self.end_record(true, 0);
+        }
+        self.scratch.push(TAG_LAUNCH_BEGIN);
+        write_u64(&mut self.scratch, launch.kernel.len() as u64);
+        self.scratch.extend_from_slice(launch.kernel.as_bytes());
+        write_u64(&mut self.scratch, launch.grid_blocks as u64);
+        write_u64(&mut self.scratch, launch.executed_blocks as u64);
+        write_u64(&mut self.scratch, launch.threads_per_block as u64);
+        write_u64(&mut self.scratch, u64::from(launch.smem_bytes));
+        self.launch_open = true;
+        self.emit();
+    }
+
+    fn block_events(&mut self, block_id: usize, events: &[TraceEvent]) {
+        self.scratch.push(TAG_BLOCK);
+        write_u64(&mut self.scratch, block_id as u64);
+        write_u64(&mut self.scratch, events.len() as u64);
+        for ev in events {
+            encode_event(&mut self.scratch, ev);
+        }
+        self.emit();
+    }
+
+    fn launch_end(&mut self, stats: &KernelStats) {
+        self.end_record(false, stats.fma_lane_ops);
+    }
+}
+
+/// An `Arc<Mutex<Vec<u8>>>` [`Write`] target, for keeping a handle on the
+/// trace bytes while the [`TraceWriter`] is boxed away inside the `Gpu`.
+///
+/// ```
+/// use kconv_trace::{SharedBuffer, TraceWriter};
+///
+/// let buf = SharedBuffer::new();
+/// let writer = TraceWriter::new(buf.clone());
+/// // gpu.set_trace_sink(Some(Box::new(writer)));
+/// // ... launches ...
+/// // gpu.set_trace_sink(None);
+/// let bytes = buf.take();
+/// # let _ = bytes;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Removes and returns the accumulated bytes.
+    pub fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Copies out the accumulated bytes, leaving them in place.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.lock().clone()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Metadata of one launch, as recorded by the writer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchHeader {
+    /// Kernel name.
+    pub kernel: String,
+    /// Blocks the grid logically contained.
+    pub grid_blocks: u64,
+    /// Blocks that executed functionally (fewer when sampled).
+    pub executed_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u64,
+    /// Shared memory per block in bytes.
+    pub smem_bytes: u64,
+}
+
+/// How a launch ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchEnd {
+    /// `true` when the launch faulted (or the trace was cut off) before
+    /// completing — its event stream is the clean prefix of blocks.
+    pub aborted: bool,
+    /// `fma_lane_ops` from the launch's final (scaled) stats; 0 for
+    /// aborted launches.
+    pub fma_lane_ops: u64,
+}
+
+/// Streaming consumer for [`read_trace`]. All methods default to no-ops;
+/// implement only what the analysis needs.
+pub trait TraceVisitor {
+    /// A launch's header record was read.
+    fn launch_begin(&mut self, _header: &LaunchHeader) {}
+    /// A block record was opened (its events follow).
+    fn block_begin(&mut self, _block_id: u64, _event_count: u64) {}
+    /// One event of the current block.
+    fn event(&mut self, _block_id: u64, _ev: &TraceEvent) {}
+    /// The launch ended. Synthesized with `aborted: true` when the stream
+    /// stops inside a launch.
+    fn launch_end(&mut self, _end: &LaunchEnd) {}
+}
+
+/// Parses a binary trace, streaming records into `visitor` without
+/// materializing event buffers.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Malformed`] on bad magic, an unsupported version,
+/// or a corrupt/truncated record.
+pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), TraceError> {
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.read_bytes(MAGIC.len(), "file magic")?;
+    if magic != MAGIC {
+        return Err(TraceError::Malformed {
+            offset: 0,
+            reason: "bad magic: not a kconv trace".into(),
+        });
+    }
+    let version = cur.read_u8("format version")?;
+    if version != VERSION {
+        return Err(TraceError::Malformed {
+            offset: cur.pos(),
+            reason: format!("unsupported trace version {version} (expected {VERSION})"),
+        });
+    }
+    let mut launch_open = false;
+    while !cur.is_empty() {
+        let tag = cur.read_u8("record tag")?;
+        match tag {
+            TAG_LAUNCH_BEGIN => {
+                if launch_open {
+                    visitor.launch_end(&LaunchEnd {
+                        aborted: true,
+                        fma_lane_ops: 0,
+                    });
+                }
+                let name_len = cur.read_u64("kernel-name length")? as usize;
+                let name = cur.read_bytes(name_len, "kernel name")?;
+                let kernel = std::str::from_utf8(name)
+                    .map_err(|_| TraceError::Malformed {
+                        offset: cur.pos(),
+                        reason: "kernel name is not UTF-8".into(),
+                    })?
+                    .to_owned();
+                let header = LaunchHeader {
+                    kernel,
+                    grid_blocks: cur.read_u64("grid blocks")?,
+                    executed_blocks: cur.read_u64("executed blocks")?,
+                    threads_per_block: cur.read_u64("threads per block")?,
+                    smem_bytes: cur.read_u64("smem bytes")?,
+                };
+                launch_open = true;
+                visitor.launch_begin(&header);
+            }
+            TAG_BLOCK => {
+                if !launch_open {
+                    return Err(TraceError::Malformed {
+                        offset: cur.pos(),
+                        reason: "block record outside a launch".into(),
+                    });
+                }
+                let block_id = cur.read_u64("block id")?;
+                let count = cur.read_u64("event count")?;
+                visitor.block_begin(block_id, count);
+                for _ in 0..count {
+                    let ev = decode_event(&mut cur)?;
+                    visitor.event(block_id, &ev);
+                }
+            }
+            TAG_LAUNCH_END => {
+                if !launch_open {
+                    return Err(TraceError::Malformed {
+                        offset: cur.pos(),
+                        reason: "launch-end record outside a launch".into(),
+                    });
+                }
+                let aborted = cur.read_u8("aborted flag")? != 0;
+                let fma_lane_ops = cur.read_u64("fma lane ops")?;
+                launch_open = false;
+                visitor.launch_end(&LaunchEnd {
+                    aborted,
+                    fma_lane_ops,
+                });
+            }
+            other => {
+                return Err(TraceError::Malformed {
+                    offset: cur.pos(),
+                    reason: format!("unknown record tag {other}"),
+                });
+            }
+        }
+    }
+    if launch_open {
+        visitor.launch_end(&LaunchEnd {
+            aborted: true,
+            fma_lane_ops: 0,
+        });
+    }
+    Ok(())
+}
+
+/// One fully materialized launch from [`read_launches`].
+#[derive(Debug, Clone)]
+pub struct LaunchTrace {
+    /// Launch metadata.
+    pub header: LaunchHeader,
+    /// `(block_id, events)` in delivery (= block-id) order.
+    pub blocks: Vec<(u64, Vec<TraceEvent>)>,
+    /// How the launch ended.
+    pub end: LaunchEnd,
+}
+
+/// Parses a binary trace into fully materialized launches (convenient for
+/// tests and small traces; large traces should stream via [`read_trace`]).
+///
+/// # Errors
+///
+/// Propagates [`read_trace`]'s errors.
+pub fn read_launches(bytes: &[u8]) -> Result<Vec<LaunchTrace>, TraceError> {
+    #[derive(Default)]
+    struct Collect {
+        done: Vec<LaunchTrace>,
+        open: Option<LaunchTrace>,
+    }
+    impl TraceVisitor for Collect {
+        fn launch_begin(&mut self, header: &LaunchHeader) {
+            self.open = Some(LaunchTrace {
+                header: header.clone(),
+                blocks: Vec::new(),
+                end: LaunchEnd {
+                    aborted: true,
+                    fma_lane_ops: 0,
+                },
+            });
+        }
+        fn block_begin(&mut self, block_id: u64, event_count: u64) {
+            if let Some(open) = self.open.as_mut() {
+                open.blocks
+                    .push((block_id, Vec::with_capacity(event_count as usize)));
+            }
+        }
+        fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
+            if let Some((_, events)) = self.open.as_mut().and_then(|o| o.blocks.last_mut()) {
+                events.push(*ev);
+            }
+        }
+        fn launch_end(&mut self, end: &LaunchEnd) {
+            if let Some(mut open) = self.open.take() {
+                open.end = *end;
+                self.done.push(open);
+            }
+        }
+    }
+    let mut collect = Collect::default();
+    read_trace(bytes, &mut collect)?;
+    Ok(collect.done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: TraceOp, warp: u32, mask: u32, stride: u64, base: u64) -> TraceEvent {
+        let mut addrs = [0u64; WARP_SIZE];
+        for (lane, a) in addrs.iter_mut().enumerate() {
+            if LaneMask(mask).is_active(lane) {
+                *a = base + lane as u64 * stride;
+            }
+        }
+        TraceEvent {
+            op,
+            warp,
+            mask: LaneMask(mask),
+            lane_bytes: 4,
+            transactions: u32::from(op.space() == kconv_sim::MemSpace::Global),
+            cycles: u32::from(op.space() != kconv_sim::MemSpace::Global),
+            addrs,
+        }
+    }
+
+    fn launch<'a>(name: &'a str, blocks: usize) -> TraceLaunch<'a> {
+        TraceLaunch {
+            kernel: name,
+            grid_blocks: blocks,
+            executed_blocks: blocks,
+            threads_per_block: 64,
+            smem_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let events = vec![
+            ev(TraceOp::GmLd, 0, u32::MAX, 4, 1 << 20),
+            ev(TraceOp::SmSt, 1, 0x0000_ffff, 8, 128),
+            ev(TraceOp::CmLd, 2, 0x8000_0001, 0, 16),
+            ev(TraceOp::GmSt, 3, 0, 4, 0), // fully masked-off warp
+        ];
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&launch("k1", 2));
+        w.block_events(0, &events);
+        w.block_events(1, &events[..2]);
+        let stats = KernelStats {
+            fma_lane_ops: 4242,
+            ..Default::default()
+        };
+        w.launch_end(&stats);
+        let (_, err) = w.into_inner();
+        assert!(err.is_none());
+
+        let launches = read_launches(&buf.take()).unwrap();
+        assert_eq!(launches.len(), 1);
+        let l = &launches[0];
+        assert_eq!(
+            l.header,
+            LaunchHeader {
+                kernel: "k1".into(),
+                grid_blocks: 2,
+                executed_blocks: 2,
+                threads_per_block: 64,
+                smem_bytes: 1024,
+            }
+        );
+        assert_eq!(
+            l.end,
+            LaunchEnd {
+                aborted: false,
+                fma_lane_ops: 4242
+            }
+        );
+        assert_eq!(l.blocks.len(), 2);
+        assert_eq!(l.blocks[0].0, 0);
+        assert_eq!(l.blocks[1].0, 1);
+        // Inactive-lane addresses are not stored: compare canonical forms.
+        let want: Vec<TraceEvent> = events.iter().map(|e| e.canonical()).collect();
+        assert_eq!(l.blocks[0].1, want);
+        assert_eq!(l.blocks[1].1, want[..2]);
+    }
+
+    #[test]
+    fn strided_warps_encode_compactly() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&launch("k", 1));
+        let events: Vec<TraceEvent> = (0..100)
+            .map(|i| ev(TraceOp::GmLd, 0, u32::MAX, 4, i * 128))
+            .collect();
+        w.block_events(0, &events);
+        w.launch_end(&KernelStats::default());
+        // 32 lanes x 8-byte addresses = 256 B/event raw; delta coding must
+        // stay well under a fifth of that.
+        let bytes_per_event = buf.len() as f64 / events.len() as f64;
+        assert!(bytes_per_event < 50.0, "{bytes_per_event} B/event");
+    }
+
+    #[test]
+    fn begin_while_open_marks_previous_launch_aborted() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&launch("faulty", 4));
+        w.block_events(0, &[ev(TraceOp::GmLd, 0, 0xff, 4, 0)]);
+        // No launch_end: the launch faulted. A new launch begins.
+        w.launch_begin(&launch("clean", 1));
+        w.block_events(0, &[]);
+        w.launch_end(&KernelStats::default());
+        let launches = read_launches(&buf.take()).unwrap();
+        assert_eq!(launches.len(), 2);
+        assert!(launches[0].end.aborted);
+        assert_eq!(launches[0].header.kernel, "faulty");
+        assert_eq!(launches[0].blocks.len(), 1);
+        assert!(!launches[1].end.aborted);
+    }
+
+    #[test]
+    fn eof_inside_launch_synthesizes_aborted_end() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&launch("cut", 4));
+        w.block_events(0, &[ev(TraceOp::SmLd, 0, 0xff, 8, 64)]);
+        drop(w);
+        let launches = read_launches(&buf.take()).unwrap();
+        assert_eq!(launches.len(), 1);
+        assert!(launches[0].end.aborted);
+        assert_eq!(launches[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_streams_error_instead_of_panicking() {
+        assert!(read_launches(b"").is_err());
+        assert!(read_launches(b"NOPE\x01").is_err());
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(&MAGIC);
+        bad_version.push(99);
+        assert!(read_launches(&bad_version).is_err());
+        // Valid header, garbage record tag.
+        let mut bad_tag = Vec::new();
+        bad_tag.extend_from_slice(&MAGIC);
+        bad_tag.push(VERSION);
+        bad_tag.push(77);
+        assert!(read_launches(&bad_tag).is_err());
+        // Truncate a valid stream at every byte: must never panic.
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&launch("k", 1));
+        w.block_events(0, &[ev(TraceOp::GmLd, 0, u32::MAX, 4, 1000)]);
+        w.launch_end(&KernelStats::default());
+        let bytes = buf.take();
+        for cut in 0..bytes.len() {
+            let _ = read_launches(&bytes[..cut]);
+        }
+        assert!(read_launches(&bytes).is_ok());
+    }
+
+    #[test]
+    fn block_record_outside_launch_is_malformed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(TAG_BLOCK);
+        bytes.push(0); // block id
+        bytes.push(0); // event count
+        assert!(matches!(
+            read_launches(&bytes),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+}

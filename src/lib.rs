@@ -13,6 +13,8 @@
 //! * [`core`] — the paper's kernels, baselines, traffic model and tuner;
 //! * [`gemm`] — the blocked SGEMM kernels of the Fig. 2 motivation
 //!   experiment;
+//! * [`trace`] — binary warp traces and memory-efficiency analysis on top
+//!   of the simulator's [`TraceSink`](kconv_sim::TraceSink) hook;
 //! * [`apps`] — image processing and CNN layer stacks on the public API.
 //!
 //! The [`prelude`] pulls in the names a typical user needs.
@@ -42,6 +44,7 @@ pub use kconv_core as core;
 pub use kconv_gemm as gemm;
 pub use kconv_sim as sim;
 pub use kconv_tensor as tensor;
+pub use kconv_trace as trace;
 
 /// The most commonly used names of the workspace, re-exported flat.
 pub mod prelude {

@@ -1,0 +1,93 @@
+//! Trace-subsystem integration: attaching a [`TraceSink`] must be a pure
+//! observer. Traced and untraced launches of a real kernel produce
+//! bit-identical `KernelStats` and outputs, under both serial and threaded
+//! execution — and the trace itself is identical however it was captured.
+
+use kconv::core::{Convolution, GeneralConv, SpecialConv};
+use kconv::sim::{Gpu, GpuSpec, KernelStats, Parallelism, SimMode};
+use kconv::tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet};
+use kconv::trace::{SharedBuffer, TraceSummary, TraceWriter};
+
+/// Runs `conv`, optionally traced; returns stats, flat output and the
+/// trace bytes (empty when untraced).
+fn run(
+    conv: &dyn Convolution,
+    problem: &ConvProblem,
+    input: &FeatureMaps,
+    filters: &FilterSet,
+    parallelism: Parallelism,
+    traced: bool,
+) -> (KernelStats, Vec<f32>, Vec<u8>) {
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+    let buf = SharedBuffer::new();
+    if traced {
+        gpu.set_trace_sink(Some(Box::new(TraceWriter::new(buf.clone()))));
+    }
+    let run = conv
+        .run(&mut gpu, problem, input, filters, SimMode::Full)
+        .expect("launch");
+    gpu.set_trace_sink(None);
+    (run.report.stats, run.output.as_slice().to_vec(), buf.take())
+}
+
+fn check_observer_effect(conv: &dyn Convolution, problem: ConvProblem, seed: u64) {
+    let input = random_maps(problem.channels, problem.height, problem.width, seed);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, seed + 1);
+
+    let (base_stats, base_out, _) =
+        run(conv, &problem, &input, &filters, Parallelism::Serial, false);
+    let mut traces = Vec::new();
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+        for traced in [false, true] {
+            let (stats, out, bytes) = run(conv, &problem, &input, &filters, parallelism, traced);
+            assert_eq!(
+                stats,
+                base_stats,
+                "{}: stats drifted ({parallelism:?}, traced={traced})",
+                conv.name()
+            );
+            assert_eq!(
+                out,
+                base_out,
+                "{}: output drifted ({parallelism:?}, traced={traced})",
+                conv.name()
+            );
+            if traced {
+                traces.push(bytes);
+            } else {
+                assert!(bytes.is_empty());
+            }
+        }
+    }
+    // The serial and threaded captures are the same byte stream.
+    assert_eq!(traces[0], traces[1], "{}: trace differs", conv.name());
+
+    // And the trace's roll-up agrees with the launch counters.
+    let s = &TraceSummary::from_bytes(&traces[0]).expect("readable trace")[0];
+    assert_eq!(s.gm_ld_useful_bytes(), base_stats.gm_ld_bytes_useful);
+    assert_eq!(s.gm_st_useful_bytes(), base_stats.gm_st_bytes_useful);
+    assert_eq!(
+        s.gm_transactions(),
+        base_stats.gm_ld_transactions + base_stats.gm_st_transactions
+    );
+    assert_eq!(
+        s.sm_cycles(),
+        base_stats.sm_ld_cycles + base_stats.sm_st_cycles
+    );
+    assert_eq!(s.fma_lane_ops, base_stats.fma_lane_ops);
+    assert!(!s.aborted);
+}
+
+#[test]
+fn tracing_is_a_pure_observer_on_the_general_kernel() {
+    check_observer_effect(
+        &GeneralConv::table1(3),
+        ConvProblem::general(34, 4, 64, 3),
+        41,
+    );
+}
+
+#[test]
+fn tracing_is_a_pure_observer_on_the_special_kernel() {
+    check_observer_effect(&SpecialConv::default(), ConvProblem::special(130, 8, 3), 43);
+}
