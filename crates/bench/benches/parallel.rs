@@ -7,8 +7,12 @@
 //!
 //! ```json
 //! { "serial_seconds": ..., "parallel_seconds": ..., "speedup": ...,
-//!   "threads": ..., "host_cores": ... }
+//!   "threads": ..., "host_cores": ..., "valid_scaling": ... }
 //! ```
+//!
+//! `valid_scaling` is `false` when the host exposes fewer than two cores:
+//! the speedup column then measures scheduler noise, not the launch path,
+//! and downstream tooling must not read it as a scaling result.
 //!
 //! Counters and outputs are bit-identical between the two runs (asserted
 //! here; proven more broadly by `tests/simulator_invariants.rs`), so the
@@ -85,6 +89,14 @@ fn main() {
     // speedup is honestly ~1.
     let threads = Parallelism::env_or_auto().worker_threads();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let valid_scaling = host_cores >= 2;
+    if !valid_scaling {
+        eprintln!(
+            "WARNING: only {host_cores} host core(s) visible — the parallel/serial \
+             speedup below measures scheduler noise, not scaling. \
+             BENCH_parallel.json will carry \"valid_scaling\": false."
+        );
+    }
 
     println!("fig8_general 3x3 (N'=64 C=64 F=64), SimMode::Full, best of {ITERS}");
     let (serial_s, serial_r) = measure(
@@ -112,7 +124,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {par_s:.6},\n  \"speedup\": {speedup:.4},\n  \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \"iters\": {ITERS}\n}}\n"
+        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {par_s:.6},\n  \"speedup\": {speedup:.4},\n  \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \"valid_scaling\": {valid_scaling},\n  \"iters\": {ITERS}\n}}\n"
     );
     let path = fig8::workspace_file("BENCH_parallel.json");
     std::fs::write(&path, &json).expect("write BENCH_parallel.json");

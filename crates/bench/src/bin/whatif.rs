@@ -1,0 +1,360 @@
+//! What-if replay: re-price the captured Fig. 8 kernel under other GPUs.
+//!
+//! Captures one KTRC trace of the Fig. 8 general 3x3 layer on the Kepler
+//! K40m spec, then uses `kconv-replay` to answer two questions without
+//! ever re-running the kernel:
+//!
+//! 1. **Differential gate** — replaying the trace under its own capture
+//!    spec must reproduce the live launch's `KernelStats` and timing bit
+//!    for bit, for both the serial and `Threads(4)` captures (whose byte
+//!    streams must themselves be identical). This proves the replay
+//!    engine charges with exactly the live pricing functions.
+//! 2. **Spec sweep** — the same trace re-priced under Kepler (8 B banks),
+//!    a 4-byte-bank Kepler variant, Fermi M2090 and a Maxwell-class spec:
+//!    coalesced GM transactions, SM conflict cycles, bandwidth waste and
+//!    modeled time per architecture, with drift guards against embedded
+//!    expected values.
+//!
+//! A second, synthetic pair of traces isolates the paper's eq. 1 claim:
+//! full-warp unvectorized `float` loads (stride 4 B) replayed on 8-byte
+//! banks waste exactly the mismatch factor `n = W_SMB / W_CD = 2` of the
+//! SM bandwidth, and the waste vanishes (1.0) on 4-byte banks; the
+//! `float2` pattern (stride 8 B) is matched on both, trading exactly 2x
+//! the replay cycles on 4-byte banks.
+//!
+//! Usage:
+//!   cargo run --release -p kconv-bench --bin whatif            # report
+//!   cargo run --release -p kconv-bench --bin whatif -- --check # exit 1 on FAIL
+//!
+//! Writes `BENCH_whatif.json` to the workspace root either way.
+
+use kconv_bench::fig8;
+use kconv_core::Convolution;
+use kconv_replay::{replay, ReplayReport, TargetSpec};
+use kconv_sim::{
+    Gpu, GpuSpec, KernelStats, LaneMask, LaunchReport, OverlapMode, Parallelism, SanitizerMode,
+    SimMode, TraceEvent, TraceLaunch, TraceOp, TraceSink, WARP_SIZE,
+};
+use kconv_trace::{SharedBuffer, TraceWriter};
+
+/// Specs the sweep re-prices the capture under (preset aliases).
+const SWEEP: [&str; 4] = ["kepler", "kepler-4b", "fermi", "maxwell"];
+
+/// Expected replayed SM cycles (ld + st) of the Fig. 8 trace per sweep
+/// spec — drift guards for `--check`. These move only when the kernel,
+/// the workload seeds, or the bank-conflict model change.
+const EXPECT_SM_CYCLES: [(&str, u64); 4] = [
+    ("kepler", 450_560),
+    ("kepler-4b", 602_112),
+    ("fermi", 602_112),
+    ("maxwell", 602_112),
+];
+
+/// Expected replayed GM transactions (ld + st) per sweep spec. All four
+/// presets share 128 B load / 32 B store segments, so the capture's
+/// coalescing carries over unchanged.
+const EXPECT_GM_TRANSACTIONS: [(&str, u64); 4] = [
+    ("kepler", 293_888),
+    ("kepler-4b", 293_888),
+    ("fermi", 293_888),
+    ("maxwell", 293_888),
+];
+
+/// Running PASS/FAIL tally; every check prints one line.
+#[derive(Default)]
+struct Checker {
+    checks: usize,
+    failures: usize,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        self.checks += 1;
+        if ok {
+            println!("  PASS {name}: {detail}");
+        } else {
+            self.failures += 1;
+            println!("  FAIL {name}: {detail}");
+        }
+    }
+
+    fn eq_u64(&mut self, name: &str, measured: u64, expected: u64) {
+        self.check(
+            name,
+            measured == expected,
+            &format!("measured {measured}, expected {expected}"),
+        );
+    }
+
+    fn eq_f64(&mut self, name: &str, measured: f64, expected: f64) {
+        self.check(
+            name,
+            measured == expected,
+            &format!("measured {measured}, expected {expected}"),
+        );
+    }
+}
+
+/// Runs the Fig. 8 workload with a trace writer attached.
+fn captured_fig8(parallelism: Parallelism) -> (LaunchReport, Vec<u8>) {
+    let (problem, input, filters) = fig8::workload();
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
+        .with_parallelism(parallelism)
+        .with_sanitizer(SanitizerMode::Off);
+    let buf = SharedBuffer::new();
+    gpu.set_trace_sink(Some(Box::new(TraceWriter::new(buf.clone()))));
+    let run = fig8::conv()
+        .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+        .expect("fig8 workload runs");
+    gpu.set_trace_sink(None);
+    (run.report, buf.take())
+}
+
+/// Builds a synthetic one-block trace of full-mask shared-memory loads
+/// with the given per-lane width and byte stride — the paper's Fig. 1
+/// access patterns distilled to their addresses.
+fn sm_pattern_trace(name: &str, lane_bytes: u32, stride: u64, events: usize) -> Vec<u8> {
+    let spec = GpuSpec::kepler_k40m();
+    let buf = SharedBuffer::new();
+    let mut w = TraceWriter::new(buf.clone());
+    w.launch_begin(&TraceLaunch {
+        kernel: name,
+        grid_blocks: 1,
+        executed_blocks: 1,
+        threads_per_block: 256,
+        smem_bytes: 4096,
+        regs_per_thread: 32,
+        overlap: OverlapMode::Prefetch,
+        spec: &spec,
+    });
+    let evs: Vec<TraceEvent> = (0..events)
+        .map(|_| {
+            let mut addrs = [0u64; WARP_SIZE];
+            for (lane, a) in addrs.iter_mut().enumerate() {
+                *a = lane as u64 * stride;
+            }
+            TraceEvent {
+                op: TraceOp::SmLd,
+                warp: 0,
+                mask: LaneMask::ALL,
+                lane_bytes,
+                transactions: 0,
+                cycles: 1,
+                addrs,
+            }
+        })
+        .collect();
+    w.block_events(0, &evs);
+    w.launch_end(&KernelStats::default());
+    buf.take()
+}
+
+/// One sweep row rendered for the report and the JSON file.
+struct Row {
+    spec_name: String,
+    bank_bytes: u64,
+    report: ReplayReport,
+}
+
+fn sweep_fig8(bytes: &[u8]) -> Vec<Row> {
+    SWEEP
+        .iter()
+        .map(|alias| {
+            let spec = GpuSpec::preset(alias).expect("known preset alias");
+            let report = replay(bytes, &TargetSpec::Spec(spec.clone()))
+                .expect("fig8 trace replays")
+                .remove(0);
+            Row {
+                spec_name: spec.name.to_string(),
+                bank_bytes: spec.bank_width.bytes(),
+                report,
+            }
+        })
+        .collect()
+}
+
+fn expect_for(table: &[(&str, u64)], alias: &str) -> u64 {
+    table
+        .iter()
+        .find(|(a, _)| *a == alias)
+        .map(|(_, v)| *v)
+        .expect("alias in expectation table")
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!(
+        "whatif — trace-driven replay of the Fig. 8 layer under {} target specs",
+        SWEEP.len()
+    );
+    let mut c = Checker::default();
+
+    // --- Differential gate: replay(capture spec) == live, bit for bit ---
+    let (live, bytes) = captured_fig8(Parallelism::Serial);
+    let (live_par, bytes_par) = captured_fig8(Parallelism::Threads(4));
+    println!("\n[gate] capture: {} B of KTRC v2 trace", bytes.len());
+    c.check(
+        "serial and threaded captures byte-identical",
+        bytes == bytes_par,
+        &format!("{} B each", bytes.len()),
+    );
+    c.check(
+        "serial and threaded live stats bit-identical",
+        live.stats == live_par.stats,
+        "KernelStats compared field-wise",
+    );
+    let under_capture = &replay(&bytes, &TargetSpec::Capture).expect("replayable")[0];
+    c.check(
+        "replay(capture spec) == live KernelStats",
+        under_capture.stats == live.stats,
+        "all 23 counters + histogram, bit-exact",
+    );
+    c.check(
+        "replay(capture spec) == live timing",
+        under_capture.timing == Some(live.timing),
+        &format!(
+            "replayed {:.3} ms",
+            under_capture.timing.map_or(f64::NAN, |t| t.t_total * 1e3)
+        ),
+    );
+
+    // --- Spec sweep over the same captured bytes ---
+    let rows = sweep_fig8(&bytes);
+    println!(
+        "\n[sweep] fig8 general 3x3, one capture, {} re-pricings",
+        rows.len()
+    );
+    println!(
+        "  {:<22} {:>5} {:>12} {:>9} {:>12} {:>10}  bottleneck",
+        "spec", "bank", "sm cycles", "waste", "gm txns", "t (ms)"
+    );
+    for row in &rows {
+        let r = &row.report;
+        println!(
+            "  {:<22} {:>4}B {:>12} {:>9.3} {:>12} {:>10}  {}",
+            row.spec_name,
+            row.bank_bytes,
+            r.sm_cycles(),
+            r.sm_waste(),
+            r.gm_transactions(),
+            r.timing
+                .map_or("n/a".into(), |t| format!("{:.3}", t.t_total * 1e3)),
+            r.timing.map_or_else(
+                || r.timing_error.clone().unwrap_or_default(),
+                |t| t.bottleneck().to_string()
+            ),
+        );
+    }
+    for (alias, row) in SWEEP.iter().zip(&rows) {
+        let r = &row.report;
+        c.eq_u64(
+            &format!("{alias}: replayed SM cycles match expectation"),
+            r.sm_cycles(),
+            expect_for(&EXPECT_SM_CYCLES, alias),
+        );
+        c.eq_u64(
+            &format!("{alias}: replayed GM transactions match expectation"),
+            r.gm_transactions(),
+            expect_for(&EXPECT_GM_TRANSACTIONS, alias),
+        );
+        // Useful bytes are trace facts, invariant under any target spec.
+        c.check(
+            &format!("{alias}: useful bytes invariant"),
+            r.stats.sm_bytes_useful == live.stats.sm_bytes_useful
+                && r.stats.gm_ld_bytes_useful == live.stats.gm_ld_bytes_useful
+                && r.stats.gm_st_bytes_useful == live.stats.gm_st_bytes_useful,
+            "sm/gm.ld/gm.st useful bytes equal the capture's",
+        );
+    }
+
+    // --- Synthetic patterns: the eq. 1 mismatch factor, exactly ---
+    println!("\n[patterns] full-warp SmLd, 10 events each; waste = moved/useful bytes");
+    let b8 = TargetSpec::Spec(GpuSpec::kepler_k40m());
+    let b4 = TargetSpec::Spec(GpuSpec::kepler_k40m_4b());
+    let float_trace = sm_pattern_trace("float-stride4", 4, 4, 10);
+    let float2_trace = sm_pattern_trace("float2-stride8", 8, 8, 10);
+    let f_b8 = &replay(&float_trace, &b8).expect("pattern replays")[0];
+    let f_b4 = &replay(&float_trace, &b4).expect("pattern replays")[0];
+    let v_b8 = &replay(&float2_trace, &b8).expect("pattern replays")[0];
+    let v_b4 = &replay(&float2_trace, &b4).expect("pattern replays")[0];
+    println!(
+        "  float  stride 4: waste {} on 8B banks, {} on 4B banks (cycles {} / {})",
+        f_b8.sm_waste(),
+        f_b4.sm_waste(),
+        f_b8.sm_cycles(),
+        f_b4.sm_cycles()
+    );
+    println!(
+        "  float2 stride 8: waste {} on 8B banks, {} on 4B banks (cycles {} / {})",
+        v_b8.sm_waste(),
+        v_b4.sm_waste(),
+        v_b8.sm_cycles(),
+        v_b4.sm_cycles()
+    );
+    let n = GpuSpec::kepler_k40m().mismatch_factor(4) as f64;
+    c.eq_f64(
+        "float pattern wastes n = W_SMB/W_CD on 8B banks",
+        f_b8.sm_waste(),
+        n,
+    );
+    c.eq_f64(
+        "float pattern waste vanishes on 4B banks",
+        f_b4.sm_waste(),
+        1.0,
+    );
+    c.eq_f64("float2 pattern matched on 8B banks", v_b8.sm_waste(), 1.0);
+    c.eq_f64("float2 pattern matched on 4B banks", v_b4.sm_waste(), 1.0);
+    c.eq_u64(
+        "float2 pattern: 4B-bank cycles exactly n x 8B-bank cycles",
+        v_b4.sm_cycles(),
+        n as u64 * v_b8.sm_cycles(),
+    );
+
+    // --- JSON artifact ---
+    let mut sweep_json = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        sweep_json.push_str(&format!(
+            "    {{\"spec\": \"{}\", \"bank_bytes\": {}, \"sm_cycles\": {}, \"sm_waste\": {:.6}, \"gm_transactions\": {}, \"t_total_ms\": {}, \"bottleneck\": \"{}\"}}{}\n",
+            row.spec_name,
+            row.bank_bytes,
+            r.sm_cycles(),
+            r.sm_waste(),
+            r.gm_transactions(),
+            r.timing
+                .map_or("null".into(), |t| format!("{:.6}", t.t_total * 1e3)),
+            r.timing.map_or("", |t| t.bottleneck()),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"whatif_fig8_replay\",\n  \"trace_bytes\": {},\n  \"gate_bit_identical\": {},\n  \"sweep\": [\n{}  ],\n  \"patterns\": {{\n    \"mismatch_factor\": {n},\n    \"float_waste_8b\": {},\n    \"float_waste_4b\": {},\n    \"float2_waste_8b\": {},\n    \"float2_waste_4b\": {},\n    \"float2_cycles_ratio_4b_over_8b\": {}\n  }},\n  \"checks\": {},\n  \"failures\": {}\n}}\n",
+        bytes.len(),
+        under_capture.stats == live.stats,
+        sweep_json,
+        f_b8.sm_waste(),
+        f_b4.sm_waste(),
+        v_b8.sm_waste(),
+        v_b4.sm_waste(),
+        v_b4.sm_cycles() as f64 / v_b8.sm_cycles() as f64,
+        c.checks,
+        c.failures,
+    );
+    let path = fig8::workspace_file("BENCH_whatif.json");
+    std::fs::write(&path, &json).expect("write BENCH_whatif.json");
+    println!("\nwrote {path}");
+
+    println!(
+        "\n{}/{} checks passed{}",
+        c.checks - c.failures,
+        c.checks,
+        if c.failures > 0 {
+            " — FAILURES ABOVE"
+        } else {
+            ""
+        }
+    );
+    if check && c.failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,741 @@
+//! # kconv-replay — re-price captured kernel traces under any [`GpuSpec`]
+//!
+//! The paper's central observation is that memory cost is a function of
+//! *addresses* and *architecture*, not of kernel code: the same warp
+//! access pattern that runs conflict-free on Fermi's 4-byte shared-memory
+//! banks wastes half the SM bandwidth on Kepler's 8-byte banks (the
+//! bank-width mismatch factor, eq. 1). A KTRC v2 trace records exactly
+//! the address side of that function — per-lane byte addresses, live
+//! masks and lane widths for every warp memory instruction — so the cost
+//! side can be recomputed offline for an architecture the kernel never
+//! ran on.
+//!
+//! [`replay`] is that recomputation. It consumes a binary trace and a
+//! [`TargetSpec`], re-derives every architecture-dependent counter
+//! (global-memory coalesced transactions, read-only-cache residency,
+//! shared-memory bank-conflict replay cycles, constant-cache
+//! serialization and misses) from the recorded addresses using the *same*
+//! pricing functions the live simulator charges with
+//! ([`kconv_sim::pricing`]), and re-runs the timing model on the result.
+//! Replaying a trace under its own capture spec therefore reproduces the
+//! live launch's [`KernelStats`] bit for bit — the differential gate the
+//! `trace_report` harness and CI enforce — while replaying under a
+//! different spec answers the what-if question directly: *what would this
+//! exact kernel execution have cost on that machine?*
+//!
+//! What is recomputable from the trace alone and what is not:
+//!
+//! * **Recomputed per event**: GM transactions/bus bytes (coalescing is
+//!   `segment_count` over addresses), read-only-cache hits vs misses
+//!   (FIFO residency per block), SM conflict cycles/broadcasts (bank
+//!   math over addresses), CM serialization/misses (distinct words and
+//!   first-touch lines). These may all legitimately differ from the
+//!   values recorded in the trace events when the target spec differs
+//!   from the capture spec.
+//! * **Grafted from the launch-end record** (architecture-independent,
+//!   not re-derivable from memory events): `fma_lane_ops`,
+//!   `alu_lane_ops`, `barriers`.
+//! * **Reconstructed from the header**: launch geometry and resource
+//!   declaration, which feed occupancy and the timing model; sampled
+//!   launches are re-scaled with the same round-to-nearest rule the
+//!   live launcher uses.
+//!
+//! ```
+//! use kconv_replay::{replay, TargetSpec};
+//! use kconv_sim::{lane_addrs, Gpu, GpuSpec, LaneMask, LaunchConfig, SimMode};
+//! use kconv_trace::{SharedBuffer, TraceWriter};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+//! let src = gpu.alloc_f32(32)?;
+//! gpu.upload_f32(src, &[1.0; 32])?;
+//! let buf = SharedBuffer::new();
+//! gpu.set_trace_sink(Some(Box::new(TraceWriter::new(buf.clone()))));
+//! let report = gpu.launch(&LaunchConfig::new("read", 1, 32), SimMode::Full, |blk| {
+//!     blk.each_warp(|w| {
+//!         w.ld_global::<1>(&lane_addrs(src.f32_addr(0), 4), LaneMask::ALL);
+//!     });
+//! })?;
+//! gpu.set_trace_sink(None);
+//!
+//! // Under the capture spec the replay is bit-identical to the live run.
+//! let replayed = replay(&buf.take(), &TargetSpec::Capture)?;
+//! assert_eq!(replayed[0].stats, report.stats);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashSet;
+
+use kconv_sim::pricing::{
+    bank_conflict_cycles, for_each_unit, ro_capacity_lines, segment_count, RoCache,
+};
+use kconv_sim::{
+    timing, GpuSpec, KernelStats, LaunchConfig, Timing, TraceEvent, TraceOp, WarpAddrs,
+};
+use kconv_trace::{read_trace, LaunchEnd, LaunchHeader, TraceVisitor};
+
+pub use kconv_trace::TraceError;
+
+/// Which architecture to price the replay under.
+#[derive(Debug, Clone)]
+pub enum TargetSpec {
+    /// The spec embedded in each launch header (KTRC v2). Replaying a v2
+    /// trace this way reproduces the live counters bit-exactly; v1 traces
+    /// carry no spec and fail with [`ReplayError::MissingCaptureSpec`].
+    Capture,
+    /// An explicit spec — the what-if case, and the only way to replay a
+    /// v1 trace (`--assume-spec` in the CLIs).
+    Spec(GpuSpec),
+}
+
+/// Errors from [`replay`].
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace bytes could not be parsed.
+    Trace(TraceError),
+    /// [`TargetSpec::Capture`] was requested but a launch header carries
+    /// no embedded spec (a v1 trace).
+    MissingCaptureSpec {
+        /// Kernel name of the offending launch.
+        kernel: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Trace(e) => write!(f, "replay: {e}"),
+            ReplayError::MissingCaptureSpec { kernel } => write!(
+                f,
+                "replay: launch '{kernel}' has no embedded capture spec (v1 trace); \
+                 pass an explicit target spec (--assume-spec)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Trace(e) => Some(e),
+            ReplayError::MissingCaptureSpec { .. } => None,
+        }
+    }
+}
+
+impl From<TraceError> for ReplayError {
+    fn from(e: TraceError) -> Self {
+        ReplayError::Trace(e)
+    }
+}
+
+/// Replayed totals for one [`TraceOp`] kind (unscaled: the events actually
+/// present in the trace, before any sampled-launch extrapolation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Warp instructions of this kind.
+    pub events: u64,
+    /// Active lanes summed over those instructions.
+    pub lane_accesses: u64,
+    /// Bytes the active lanes requested (`mask.count() * lane_bytes`).
+    /// Spec-independent: a sweep over target specs must leave this fixed.
+    pub useful_bytes: u64,
+    /// Re-priced global-memory bus transactions (0 for SM/CM ops).
+    pub transactions: u64,
+    /// Re-priced SM/CM pipeline cycles (0 for GM ops).
+    pub cycles: u64,
+}
+
+/// One launch of a trace, re-priced under a target architecture.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Kernel name from the launch header.
+    pub kernel: String,
+    /// Blocks the captured grid logically contained.
+    pub grid_blocks: u64,
+    /// Blocks whose events are in the trace (fewer when sampled).
+    pub executed_blocks: u64,
+    /// The spec embedded in the launch header (`None` for v1 traces).
+    pub capture_spec: Option<GpuSpec>,
+    /// The spec this replay was priced under.
+    pub target_spec: GpuSpec,
+    /// Re-priced counters for the full grid — scaled with the live
+    /// launcher's rule when the capture was sampled. Under the capture
+    /// spec these equal the live launch's stats bit for bit.
+    pub stats: KernelStats,
+    /// Unscaled per-op totals, indexed by [`TraceOp::index`].
+    pub per_op: [OpCost; TraceOp::COUNT],
+    /// Timing-model evaluation of `stats` under the target spec. `None`
+    /// for aborted launches or when the launch cannot run on the target
+    /// (see `timing_error`).
+    pub timing: Option<Timing>,
+    /// Why the timing model could not run (e.g. the captured block shape
+    /// exceeds the target's occupancy limits), if it could not.
+    pub timing_error: Option<String>,
+    /// Whether the capture aborted (faulted launch / truncated trace) —
+    /// the stats then cover only the clean prefix of blocks, unscaled.
+    pub aborted: bool,
+}
+
+impl ReplayReport {
+    /// Replayed totals for one op kind.
+    pub fn op(&self, op: TraceOp) -> &OpCost {
+        &self.per_op[op.index()]
+    }
+
+    /// Total shared-memory pipeline cycles (loads + stores, replays
+    /// included) of the full-grid stats.
+    pub fn sm_cycles(&self) -> u64 {
+        self.stats.sm_ld_cycles + self.stats.sm_st_cycles
+    }
+
+    /// Shared-memory bandwidth waste: bytes the SM pipeline *moved*
+    /// (cycles × full bank-row width) per byte the lanes *requested*.
+    /// 1.0 is a perfectly matched access pattern; the paper's bank-width
+    /// mismatch inflates this by exactly the mismatch factor `n` (eq. 1).
+    /// 0.0 when the launch touched no shared memory.
+    pub fn sm_waste(&self) -> f64 {
+        if self.stats.sm_bytes_useful == 0 {
+            return 0.0;
+        }
+        (self.sm_cycles() * self.target_spec.smem_bytes_per_cycle()) as f64
+            / self.stats.sm_bytes_useful as f64
+    }
+
+    /// Total re-priced global-memory bus transactions (loads + stores).
+    pub fn gm_transactions(&self) -> u64 {
+        self.stats.gm_ld_transactions + self.stats.gm_st_transactions
+    }
+}
+
+/// One launch being accumulated by the replay visitor.
+struct OpenLaunch {
+    header: LaunchHeader,
+    spec: GpuSpec,
+    stats: KernelStats,
+    per_op: [OpCost; TraceOp::COUNT],
+    /// Per-block read-only (texture) cache, fresh at each `block_begin` —
+    /// the same reset discipline as the live simulator.
+    ro: RoCache,
+    /// Launch-scoped constant-cache residency: lines (address ÷ line
+    /// bytes) touched so far. The live model never evicts within a
+    /// launch, so a `HashSet` reproduces its miss count exactly.
+    cm_lines: HashSet<u64>,
+}
+
+/// The replay engine: a [`TraceVisitor`] that re-prices every event.
+struct Engine<'t> {
+    target: &'t TargetSpec,
+    done: Vec<ReplayReport>,
+    open: Option<OpenLaunch>,
+    missing_spec: Option<String>,
+}
+
+impl Engine<'_> {
+    /// Re-prices one event against `spec`, updating `stats` exactly the
+    /// way the live memory models charge their counters (`GmPlane`,
+    /// `SharedMemory`, `CmPlane` in `kconv-sim`). Returns the
+    /// (transactions, cycles) pair for the per-op table.
+    fn price(
+        spec: &GpuSpec,
+        stats: &mut KernelStats,
+        ro: &mut RoCache,
+        cm_lines: &mut HashSet<u64>,
+        ev: &TraceEvent,
+    ) -> (u64, u64) {
+        let width = u64::from(ev.lane_bytes);
+        let addrs: &WarpAddrs = &ev.addrs;
+        let useful = u64::from(ev.mask.count()) * width;
+        match ev.op {
+            TraceOp::GmLd => {
+                let seg = spec.gm_transaction_bytes;
+                let segs = segment_count(addrs, width, ev.mask, seg);
+                stats.gm_ld_requests += 1;
+                stats.gm_ld_transactions += segs;
+                stats.gm_ld_bytes_bus += segs * seg;
+                stats.gm_ld_bytes_useful += useful;
+                (segs, 0)
+            }
+            TraceOp::GmSt => {
+                let seg = spec.gm_store_transaction_bytes;
+                let segs = segment_count(addrs, width, ev.mask, seg);
+                stats.gm_st_requests += 1;
+                stats.gm_st_transactions += segs;
+                stats.gm_st_bytes_bus += segs * seg;
+                stats.gm_st_bytes_useful += useful;
+                (segs, 0)
+            }
+            TraceOp::GmLdRo => {
+                let seg = spec.gm_transaction_bytes;
+                let mut misses = 0u64;
+                for_each_unit(addrs, width, ev.mask, seg, |line, first_visit| {
+                    if first_visit {
+                        if ro.touch(line) {
+                            stats.gm_ro_hits += 1;
+                        } else {
+                            misses += 1;
+                        }
+                    }
+                });
+                stats.gm_ld_requests += 1;
+                stats.gm_ld_transactions += misses;
+                stats.gm_ld_bytes_bus += misses * seg;
+                stats.gm_ld_bytes_useful += useful;
+                (misses, 0)
+            }
+            TraceOp::SmLd | TraceOp::SmSt => {
+                let out =
+                    bank_conflict_cycles(addrs, width, ev.mask, spec.smem_banks, spec.bank_width);
+                if ev.op == TraceOp::SmLd {
+                    stats.sm_ld_requests += 1;
+                    stats.sm_ld_cycles += out.cycles;
+                } else {
+                    stats.sm_st_requests += 1;
+                    stats.sm_st_cycles += out.cycles;
+                }
+                stats.sm_bytes_useful += useful;
+                stats.sm_broadcasts += u64::from(out.broadcast);
+                stats.sm_conflict_histogram[KernelStats::conflict_bucket(out.cycles)] += 1;
+                (0, out.cycles)
+            }
+            TraceOp::CmLd => {
+                // The live model dedups at word (not lane-width)
+                // granularity and counts a first-touched line as a miss.
+                let mut distinct = 0u64;
+                for_each_unit(addrs, 1, ev.mask, 1, |a, first_visit| {
+                    if first_visit {
+                        distinct += 1;
+                        if cm_lines.insert(a / spec.cm_line_bytes) {
+                            stats.cm_misses += 1;
+                        }
+                    }
+                });
+                let cycles = distinct.saturating_sub(1);
+                stats.cm_requests += 1;
+                stats.cm_cycles += cycles;
+                (0, cycles)
+            }
+        }
+    }
+}
+
+impl TraceVisitor for Engine<'_> {
+    fn launch_begin(&mut self, header: &LaunchHeader) {
+        let spec = match self.target {
+            TargetSpec::Spec(s) => Some(s.clone()),
+            TargetSpec::Capture => header.spec.clone(),
+        };
+        let Some(spec) = spec else {
+            if self.missing_spec.is_none() {
+                self.missing_spec = Some(header.kernel.clone());
+            }
+            self.open = None;
+            return;
+        };
+        let ro_capacity = ro_capacity_lines(spec.gm_transaction_bytes);
+        self.open = Some(OpenLaunch {
+            header: header.clone(),
+            spec,
+            stats: KernelStats::default(),
+            per_op: [OpCost::default(); TraceOp::COUNT],
+            ro: RoCache::new(ro_capacity),
+            cm_lines: HashSet::new(),
+        });
+    }
+
+    fn block_begin(&mut self, _block_id: u64, _event_count: u64) {
+        if let Some(open) = self.open.as_mut() {
+            open.stats.blocks_executed += 1;
+            // The read-only cache is per-SM, per-block residency in the
+            // live model: fresh for every block.
+            open.ro = RoCache::new(ro_capacity_lines(open.spec.gm_transaction_bytes));
+        }
+    }
+
+    fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
+        let Some(open) = self.open.as_mut() else {
+            return;
+        };
+        let (tx, cycles) = Engine::price(
+            &open.spec,
+            &mut open.stats,
+            &mut open.ro,
+            &mut open.cm_lines,
+            ev,
+        );
+        let t = &mut open.per_op[ev.op.index()];
+        t.events += 1;
+        t.lane_accesses += u64::from(ev.mask.count());
+        t.useful_bytes += ev.useful_bytes();
+        t.transactions += tx;
+        t.cycles += cycles;
+    }
+
+    fn launch_end(&mut self, end: &LaunchEnd) {
+        let Some(mut open) = self.open.take() else {
+            return;
+        };
+        let grid = open.header.grid_blocks;
+        let executed = open.stats.blocks_executed;
+        if end.aborted {
+            // A faulted capture has no final live stats: report the clean
+            // prefix as-is, unscaled.
+            open.stats.blocks_total = grid;
+        } else if executed == grid {
+            open.stats.blocks_total = grid;
+        } else {
+            // Sampled capture: extrapolate with the live launcher's
+            // round-to-nearest rule.
+            open.stats = open.stats.scaled_to_blocks(grid, executed.max(1));
+        }
+        // Arithmetic and barrier counts are not memory events — graft
+        // them from the (already scaled) launch-end stats. v1 ends carry
+        // only the FMA count.
+        if let Some(live) = &end.stats {
+            open.stats.fma_lane_ops = live.fma_lane_ops;
+            open.stats.alu_lane_ops = live.alu_lane_ops;
+            open.stats.barriers = live.barriers;
+        } else {
+            open.stats.fma_lane_ops = end.fma_lane_ops;
+        }
+        let (timing, timing_error) = if end.aborted {
+            (None, None)
+        } else {
+            let cfg = LaunchConfig {
+                name: open.header.kernel.clone(),
+                blocks: grid as usize,
+                threads_per_block: open.header.threads_per_block as usize,
+                smem_bytes: open.header.smem_bytes as u32,
+                regs_per_thread: open.header.regs_per_thread as u32,
+                overlap: open.header.overlap,
+            };
+            match timing::evaluate(&open.spec, &cfg, &open.stats) {
+                Ok(t) => (Some(t), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        };
+        self.done.push(ReplayReport {
+            kernel: open.header.kernel,
+            grid_blocks: grid,
+            executed_blocks: executed,
+            capture_spec: open.header.spec,
+            target_spec: open.spec,
+            stats: open.stats,
+            per_op: open.per_op,
+            timing,
+            timing_error,
+            aborted: end.aborted,
+        });
+    }
+}
+
+/// Re-prices every launch in a binary KTRC trace under `target`.
+///
+/// # Errors
+///
+/// [`ReplayError::Trace`] when the bytes are not a well-formed trace;
+/// [`ReplayError::MissingCaptureSpec`] when `target` is
+/// [`TargetSpec::Capture`] and a launch header has no embedded spec (v1).
+pub fn replay(bytes: &[u8], target: &TargetSpec) -> Result<Vec<ReplayReport>, ReplayError> {
+    let mut engine = Engine {
+        target,
+        done: Vec::new(),
+        open: None,
+        missing_spec: None,
+    };
+    read_trace(bytes, &mut engine)?;
+    if let Some(kernel) = engine.missing_spec {
+        return Err(ReplayError::MissingCaptureSpec { kernel });
+    }
+    Ok(engine.done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconv_sim::{
+        lane_addrs, lane_addrs_uniform, Gpu, KernelStats, LaneMask, LaunchConfig, LaunchReport,
+        OverlapMode, Parallelism, SimMode, TraceLaunch, TraceSink, WARP_SIZE,
+    };
+    use kconv_trace::varint::{write_u64, zigzag};
+    use kconv_trace::{SharedBuffer, TraceWriter, MAGIC, V1};
+
+    /// A kernel exercising every traced op: plain/read-only/store global
+    /// traffic, matched and mismatched shared-memory patterns, divergent
+    /// constant reads, FMAs and barriers.
+    fn all_ops_launch(parallelism: Parallelism, mode: SimMode) -> (LaunchReport, Vec<u8>) {
+        let mut gpu = Gpu::new(GpuSpec::kepler_k40m()).with_parallelism(parallelism);
+        let src = gpu.alloc_f32(1024).unwrap();
+        let dst = gpu.alloc_f32(1024).unwrap();
+        let vals: Vec<f32> = (0..1024).map(|i| i as f32 * 0.5).collect();
+        gpu.upload_f32(src, &vals).unwrap();
+        gpu.write_const_f32(0, &[2.0; 64]).unwrap();
+        let buf = SharedBuffer::new();
+        gpu.set_trace_sink(Some(Box::new(TraceWriter::new(buf.clone()))));
+        let cfg = LaunchConfig::new("all-ops", 6, 64)
+            .with_smem(4096)
+            .with_regs(40);
+        let report = gpu
+            .launch(&cfg, mode, |blk| {
+                let id = blk.dims.block_id as u64;
+                blk.each_warp(|w| {
+                    let wid = w.warp_id() as u64;
+                    let g = lane_addrs(src.f32_addr((id * 64 + wid * 32) % 512), 4);
+                    let x = w.ld_global::<1>(&g, LaneMask::ALL);
+                    // Read-only path with block overlap: the second warp
+                    // re-touches lines the first warp cached.
+                    let r = lane_addrs(src.f32_addr((id % 4) * 64), 8);
+                    let y = w.ld_global_ro::<2>(&r, LaneMask::first(20));
+                    let c = w.ld_const(&lane_addrs_uniform(4 * (id % 16)), LaneMask::ALL);
+                    // Unvectorized float store: stride 4 B — conflict-free
+                    // on 4 B banks, half-bandwidth on Kepler's 8 B banks.
+                    let s4 = lane_addrs(wid * 512, 4);
+                    let v: [[f32; 1]; WARP_SIZE] =
+                        std::array::from_fn(|l| [x[l][0] + y[l % 20][0] + c[l]]);
+                    w.st_shared::<1>(&s4, &v, LaneMask::ALL);
+                    let z = w.ld_shared::<1>(&s4, LaneMask::ALL);
+                    // float2 pattern: stride 8 B, one lane per 8 B bank.
+                    let s8 = lane_addrs(1024 + wid * 512, 8);
+                    let v2: [[f32; 2]; WARP_SIZE] =
+                        std::array::from_fn(|l| [z[l][0], z[(l + 1) % 32][0]]);
+                    w.st_shared::<2>(&s8, &v2, LaneMask::ALL);
+                    let q = w.ld_shared::<2>(&s8, LaneMask::ALL);
+                    let d = lane_addrs(dst.f32_addr(id * 64 + wid * 32), 4);
+                    let out: [[f32; 1]; WARP_SIZE] = std::array::from_fn(|l| [q[l][0] + q[l][1]]);
+                    w.st_global::<1>(&d, &out, LaneMask::ALL);
+                    w.count_fma(96);
+                });
+                blk.sync();
+            })
+            .unwrap();
+        gpu.set_trace_sink(None);
+        (report, buf.take())
+    }
+
+    #[test]
+    fn replay_under_capture_spec_is_bit_identical_to_live() {
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(3)] {
+            let (live, bytes) = all_ops_launch(parallelism, SimMode::Full);
+            let reports = replay(&bytes, &TargetSpec::Capture).unwrap();
+            assert_eq!(reports.len(), 1);
+            let r = &reports[0];
+            assert_eq!(r.kernel, "all-ops");
+            assert!(!r.aborted);
+            assert_eq!(r.stats, live.stats, "{parallelism:?}");
+            assert_eq!(r.timing, Some(live.timing), "{parallelism:?}");
+            assert_eq!(r.capture_spec.as_ref().unwrap(), &r.target_spec);
+            // The kernel exercised every op kind.
+            for op in TraceOp::ALL {
+                assert!(r.op(op).events > 0, "no {op} events replayed");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_sampled_launch_scaling() {
+        let (live, bytes) = all_ops_launch(Parallelism::Serial, SimMode::Sampled(2));
+        let r = &replay(&bytes, &TargetSpec::Capture).unwrap()[0];
+        assert_eq!(r.executed_blocks, 2);
+        assert_eq!(r.grid_blocks, 6);
+        assert_eq!(r.stats, live.stats);
+        assert_eq!(r.timing, Some(live.timing));
+    }
+
+    #[test]
+    fn replay_under_other_specs_keeps_useful_bytes_and_repriced_costs_move() {
+        let (_, bytes) = all_ops_launch(Parallelism::Serial, SimMode::Full);
+        let kepler = &replay(&bytes, &TargetSpec::Capture).unwrap()[0];
+        let four_byte = &replay(&bytes, &TargetSpec::Spec(GpuSpec::kepler_k40m_4b())).unwrap()[0];
+        // Useful bytes are a property of the access pattern, not the spec.
+        assert_eq!(
+            kepler.stats.sm_bytes_useful,
+            four_byte.stats.sm_bytes_useful
+        );
+        assert_eq!(
+            kepler.stats.gm_ld_bytes_useful,
+            four_byte.stats.gm_ld_bytes_useful
+        );
+        // Per-op lane counts are pure trace facts: identical in any sweep.
+        for op in TraceOp::ALL {
+            assert_eq!(kepler.op(op).lane_accesses, four_byte.op(op).lane_accesses);
+            assert_eq!(kepler.op(op).useful_bytes, four_byte.op(op).useful_bytes);
+        }
+        // Every shared access here is full-mask and aligned, so 4-byte
+        // banks serve them with zero wasted bytes (the float2 pattern
+        // takes 2x the cycles there, but moves only requested data);
+        // Kepler's 8-byte banks waste half of each row the unvectorized
+        // float pattern touches, pushing the blended waste above 1.
+        assert_eq!(four_byte.sm_waste(), 1.0);
+        assert!(kepler.sm_waste() > 1.0);
+    }
+
+    /// Builds a synthetic one-block trace of full-mask shared-memory loads
+    /// with the given per-lane width and byte stride.
+    fn sm_pattern_trace(lane_bytes: u32, stride: u64, events: usize) -> Vec<u8> {
+        let spec = GpuSpec::kepler_k40m();
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&TraceLaunch {
+            kernel: "pattern",
+            grid_blocks: 1,
+            executed_blocks: 1,
+            threads_per_block: 256,
+            smem_bytes: 4096,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+            spec: &spec,
+        });
+        let evs: Vec<TraceEvent> = (0..events)
+            .map(|_| {
+                let mut addrs = [0u64; WARP_SIZE];
+                for (lane, a) in addrs.iter_mut().enumerate() {
+                    *a = lane as u64 * stride;
+                }
+                TraceEvent {
+                    op: TraceOp::SmLd,
+                    warp: 0,
+                    mask: LaneMask::ALL,
+                    lane_bytes,
+                    transactions: 0,
+                    cycles: 1,
+                    addrs,
+                }
+            })
+            .collect();
+        w.block_events(0, &evs);
+        w.launch_end(&KernelStats::default());
+        buf.take()
+    }
+
+    #[test]
+    fn bank_width_mismatch_factor_appears_and_vanishes() {
+        let b8 = TargetSpec::Spec(GpuSpec::kepler_k40m());
+        let b4 = TargetSpec::Spec(GpuSpec::kepler_k40m_4b());
+
+        // Unvectorized floats, stride 4: each 8-byte Kepler bank serves
+        // two lanes' words in its one-cycle row, so the pattern is
+        // conflict-free on both widths — but on 8-byte banks only half of
+        // every fetched row is requested: waste = n = 2 (eq. 1).
+        let float_trace = sm_pattern_trace(4, 4, 10);
+        let f_b8 = &replay(&float_trace, &b8).unwrap()[0];
+        let f_b4 = &replay(&float_trace, &b4).unwrap()[0];
+        assert_eq!(f_b8.sm_cycles(), 10);
+        assert_eq!(f_b4.sm_cycles(), 10);
+        assert_eq!(f_b8.sm_waste(), 2.0);
+        assert_eq!(f_b4.sm_waste(), 1.0);
+
+        // float2, stride 8: one lane per 8-byte bank — fully matched on
+        // Kepler. On 4-byte banks each lane spans two banks, halving the
+        // row throughput: exactly 2x the cycles, but no wasted bytes.
+        let float2_trace = sm_pattern_trace(8, 8, 10);
+        let v_b8 = &replay(&float2_trace, &b8).unwrap()[0];
+        let v_b4 = &replay(&float2_trace, &b4).unwrap()[0];
+        assert_eq!(v_b8.sm_waste(), 1.0);
+        assert_eq!(v_b4.sm_waste(), 1.0);
+        assert_eq!(v_b4.sm_cycles(), 2 * v_b8.sm_cycles());
+    }
+
+    /// Hand-encodes a v1 (spec-less) trace: one launch, one block, one
+    /// full-mask stride-4 shared-memory load, fma count 64.
+    fn v1_trace() -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&MAGIC);
+        b.push(V1);
+        b.push(1); // launch begin
+        write_u64(&mut b, 6);
+        b.extend_from_slice(b"legacy");
+        write_u64(&mut b, 1); // grid
+        write_u64(&mut b, 1); // executed
+        write_u64(&mut b, 32); // threads
+        write_u64(&mut b, 2048); // smem
+        b.push(2); // block record
+        write_u64(&mut b, 0); // block id
+        write_u64(&mut b, 1); // event count
+        b.push(TraceOp::SmLd as u8);
+        write_u64(&mut b, 0); // warp
+        write_u64(&mut b, u64::from(LaneMask::ALL.0));
+        write_u64(&mut b, 4); // lane bytes
+        write_u64(&mut b, 0); // transactions
+        write_u64(&mut b, 1); // cycles
+        write_u64(&mut b, 0); // first address
+        for _ in 1..WARP_SIZE {
+            write_u64(&mut b, zigzag(4)); // +4 B per lane
+        }
+        b.push(3); // launch end
+        b.push(0); // not aborted
+        write_u64(&mut b, 64); // fma lane ops
+        b
+    }
+
+    #[test]
+    fn v1_trace_requires_an_explicit_spec() {
+        let bytes = v1_trace();
+        match replay(&bytes, &TargetSpec::Capture) {
+            Err(ReplayError::MissingCaptureSpec { kernel }) => assert_eq!(kernel, "legacy"),
+            other => panic!("expected MissingCaptureSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_trace_replays_under_an_assumed_spec() {
+        let bytes = v1_trace();
+        let r = &replay(&bytes, &TargetSpec::Spec(GpuSpec::kepler_k40m())).unwrap()[0];
+        assert_eq!(r.kernel, "legacy");
+        assert!(r.capture_spec.is_none());
+        assert_eq!(r.stats.sm_ld_requests, 1);
+        assert_eq!(r.stats.sm_ld_cycles, 1); // stride 4 on 8 B banks: pairs share a row
+        assert_eq!(r.stats.sm_bytes_useful, 32 * 4);
+        assert_eq!(r.stats.fma_lane_ops, 64); // grafted from the v1 end record
+        assert_eq!(r.stats.blocks_total, 1);
+        assert!(r.timing.is_some(), "v1 headers default to runnable configs");
+        // The same pattern on 4-byte banks is fully matched.
+        let r4 = &replay(&bytes, &TargetSpec::Spec(GpuSpec::fermi_m2090())).unwrap()[0];
+        assert_eq!(r4.sm_waste(), 1.0);
+        assert_eq!(r.sm_waste(), 2.0);
+    }
+
+    #[test]
+    fn aborted_captures_report_the_clean_prefix_without_timing() {
+        // A trace cut off mid-launch: header + one block, no end record.
+        let spec = GpuSpec::kepler_k40m();
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&TraceLaunch {
+            kernel: "cut",
+            grid_blocks: 4,
+            executed_blocks: 4,
+            threads_per_block: 32,
+            smem_bytes: 0,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+            spec: &spec,
+        });
+        let mut addrs = [0u64; WARP_SIZE];
+        for (lane, a) in addrs.iter_mut().enumerate() {
+            *a = lane as u64 * 4;
+        }
+        w.block_events(
+            0,
+            &[TraceEvent {
+                op: TraceOp::GmLd,
+                warp: 0,
+                mask: LaneMask::ALL,
+                lane_bytes: 4,
+                transactions: 1,
+                cycles: 0,
+                addrs,
+            }],
+        );
+        drop(w);
+        let r = &replay(&buf.take(), &TargetSpec::Capture).unwrap()[0];
+        assert!(r.aborted);
+        assert!(r.timing.is_none());
+        assert_eq!(r.stats.blocks_executed, 1);
+        assert_eq!(r.stats.blocks_total, 4); // prefix is NOT extrapolated
+        assert_eq!(r.stats.gm_ld_transactions, 1);
+    }
+}

@@ -31,8 +31,9 @@
 //! injector.
 
 use crate::fault::{self, FaultKind, Site};
-use crate::mem::plane::{CmPlane, GmPlane, RoCache};
+use crate::mem::plane::{CmPlane, GmPlane};
 use crate::mem::SharedMemory;
+use crate::pricing::RoCache;
 use crate::spec::WARP_SIZE;
 use crate::stats::KernelStats;
 use crate::trace::{cost_counters, TraceEvent, TraceOp};

@@ -63,8 +63,9 @@ use crate::block::{BlockCtx, BlockDims, Inject};
 use crate::error::{Result, SimError};
 use crate::fault::{self, DeviceFault, FaultInjection, SanitizerMode};
 use crate::mem::constant::LineBitmap;
-use crate::mem::plane::{CmPlane, GmPlane, RoCache, WriteJournal};
+use crate::mem::plane::{CmPlane, GmPlane, WriteJournal};
 use crate::mem::{ConstantMemory, GlobalMemory, GmBuf, SharedMemory};
+use crate::pricing::RoCache;
 use crate::spec::GpuSpec;
 use crate::stats::KernelStats;
 use crate::timing::{self, OverlapMode, Timing};
@@ -590,6 +591,9 @@ impl Gpu {
                 executed_blocks: ids.len(),
                 threads_per_block: cfg.threads_per_block,
                 smem_bytes: cfg.smem_bytes,
+                regs_per_thread: cfg.regs_per_thread,
+                overlap: cfg.overlap,
+                spec: &self.spec,
             });
         }
         let workers = self.parallelism.worker_threads().min(ids.len());

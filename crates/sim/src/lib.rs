@@ -57,6 +57,7 @@ mod error;
 pub mod fault;
 pub mod launch;
 pub mod mem;
+pub mod pricing;
 mod report;
 mod spec;
 mod stats;

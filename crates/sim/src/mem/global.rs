@@ -14,10 +14,8 @@
 //! bitmap that tracks which bytes have ever been written.
 
 use crate::error::{Result, SimError};
-use crate::mem::dedup;
 use crate::mem::plane::WriteJournal;
 use crate::mem::shadow::Shadow;
-use crate::warp::{LaneMask, WarpAddrs};
 
 /// A handle to an allocation inside [`GlobalMemory`].
 ///
@@ -155,7 +153,7 @@ impl GlobalMemory {
     /// Line capacity of the per-SM read-only (texture) cache: Kepler's
     /// 48 KiB in load-segment-sized lines.
     pub(crate) fn ro_capacity_lines(&self) -> usize {
-        (48 * 1024 / self.ld_transaction_bytes) as usize
+        crate::pricing::ro_capacity_lines(self.ld_transaction_bytes)
     }
 
     /// Allocates `bytes` bytes, 256-byte aligned.
@@ -331,17 +329,6 @@ impl GlobalMemory {
     }
 }
 
-/// Number of distinct aligned segments of `seg` bytes covered by the active
-/// lanes' `[addr, addr + width)` ranges — the global-memory transaction
-/// count for one warp instruction.
-pub(crate) fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
-    let mut n = 0u64;
-    dedup::for_each_unit(addrs, width, mask, seg, |_, first_visit| {
-        n += u64::from(first_visit);
-    });
-    n
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,7 +336,7 @@ mod tests {
     use crate::mem::plane::GmPlane;
     use crate::spec::WARP_SIZE;
     use crate::stats::KernelStats;
-    use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform};
+    use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform, LaneMask};
 
     fn gm() -> GlobalMemory {
         GlobalMemory::new(1 << 20, 128, 32)

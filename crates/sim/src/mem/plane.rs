@@ -48,13 +48,11 @@
 //! violation re-runs the per-lane path so faults name the same lane, in
 //! the same order, with the same partially-applied stores as before.
 
-use std::collections::{HashSet, VecDeque};
-use std::hash::BuildHasherDefault;
-
 use crate::fault::{self, AccessKind, FaultKind, MemSpace, Site};
 use crate::mem::constant::{ConstantMemory, LineBitmap};
 use crate::mem::dedup;
-use crate::mem::global::{segment_count, GlobalMemory};
+use crate::mem::global::GlobalMemory;
+use crate::pricing::{segment_count, RoCache};
 use crate::spec::WARP_SIZE;
 use crate::stats::KernelStats;
 use crate::warp::{LaneMask, WarpAddrs};
@@ -253,71 +251,6 @@ impl WriteJournal {
                 b = end;
             }
         }
-    }
-}
-
-/// Multiplicative mixer for cache-line indices. Line numbers are small,
-/// dense integers; the std `HashSet` default (SipHash) costs more than the
-/// rest of the cache probe combined, and no untrusted input reaches these
-/// sets.
-#[derive(Default)]
-struct LineHasher(u64);
-
-impl std::hash::Hasher for LineHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 = h ^ (h >> 29);
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(self.0.rotate_left(8) ^ u64::from(b));
-        }
-    }
-}
-
-type LineSet = HashSet<u64, BuildHasherDefault<LineHasher>>;
-
-/// Per-block residency model of the 48 KiB per-SM read-only (texture)
-/// cache, FIFO-evicted at line granularity.
-///
-/// Only intra-block reuse is dependable on real hardware, so the serial
-/// launcher always reset this state per block; making it a per-block value
-/// changes nothing about the counts.
-#[derive(Debug)]
-pub(crate) struct RoCache {
-    lines: LineSet,
-    fifo: VecDeque<u64>,
-    capacity: usize,
-}
-
-impl RoCache {
-    pub(crate) fn new(capacity_lines: usize) -> Self {
-        RoCache {
-            lines: LineSet::default(),
-            fifo: VecDeque::new(),
-            capacity: capacity_lines,
-        }
-    }
-
-    /// Returns whether `line` was resident, inserting it (with FIFO
-    /// eviction) if not.
-    fn touch(&mut self, line: u64) -> bool {
-        if self.lines.contains(&line) {
-            return true;
-        }
-        self.lines.insert(line);
-        self.fifo.push_back(line);
-        if self.fifo.len() > self.capacity {
-            if let Some(old) = self.fifo.pop_front() {
-                self.lines.remove(&old);
-            }
-        }
-        false
     }
 }
 
@@ -941,16 +874,6 @@ mod tests {
         plane.warp_ld_ro::<1>(&mut stats, &mut ro, Site::ZERO, &addrs, LaneMask::ALL);
         assert_eq!(stats.gm_ld_transactions, 1); // second read fully cached
         assert_eq!(stats.gm_ro_hits, 1);
-    }
-
-    #[test]
-    fn ro_cache_evicts_fifo() {
-        let mut ro = RoCache::new(2);
-        assert!(!ro.touch(1));
-        assert!(!ro.touch(2));
-        assert!(ro.touch(1));
-        assert!(!ro.touch(3)); // evicts 1
-        assert!(!ro.touch(1));
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Spec-parameterized pricing primitives shared by the live memory models
+//! and the offline trace replayer.
+//!
+//! Every counter the simulator charges for a warp memory instruction is a
+//! pure function of *(per-lane addresses, active mask, bytes per lane)* and
+//! a handful of [`GpuSpec`](crate::GpuSpec) parameters — transaction
+//! (segment) size for global-memory coalescing, bank count and
+//! [`BankWidth`](crate::BankWidth) for shared-memory replays, line sizes
+//! for the read-only and constant caches. This module exposes those
+//! functions directly, with the spec parameters as plain arguments, so that
+//! a consumer holding only recorded addresses (the `kconv-replay` crate
+//! re-pricing a binary trace under a foreign `GpuSpec`) charges **exactly**
+//! the same counters as the live memory models in [`crate::mem`] — the two
+//! paths share this code, which is what makes
+//! replay-under-capture-spec bit-identical to the live counters by
+//! construction rather than by coincidence.
+//!
+//! What lives here:
+//!
+//! * [`for_each_unit`] — the distinct-unit scan under all dedup-based
+//!   counters (segments, cache lines, distinct constant addresses);
+//! * [`segment_count`] — global-memory transactions for one warp access;
+//! * [`RoCache`] — the per-block FIFO residency model of the read-only
+//!   (texture) cache, with [`ro_capacity_lines`] giving its line capacity
+//!   for a given transaction size;
+//! * re-exports of [`bank_conflict_cycles`] / [`BankAccessOutcome`], the
+//!   shared-memory bank model (defined in [`crate::mem`], already
+//!   spec-parameterized by bank count and width).
+//!
+//! What deliberately does *not* live here: anything that needs the data
+//! values or the kernel itself — functional outputs, sanitizer shadows,
+//! fault checks. A trace records addresses, not bytes, so replay can
+//! recompute costs but never results (see DESIGN.md §11).
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::BuildHasherDefault;
+
+use crate::mem::dedup;
+use crate::warp::{LaneMask, WarpAddrs};
+
+pub use crate::mem::{bank_conflict_cycles, BankAccessOutcome};
+
+/// Size of the per-SM read-only (texture) cache modeled by [`RoCache`]:
+/// Kepler's 48 KiB.
+pub const RO_CACHE_BYTES: u64 = 48 * 1024;
+
+/// Visits every `unit`-sized aligned index covered by the active lanes'
+/// `[addr, addr + width)` byte ranges, in lane order (ascending within one
+/// lane's span), calling `visit(unit_index, first_occurrence)` for each.
+/// `unit` must be a power of two.
+///
+/// This is the one distinct-unit scan behind every dedup-based counter:
+/// global-memory segments, read-only/constant cache lines, distinct
+/// constant addresses. Visit order is part of the contract — the read-only
+/// cache's FIFO inserts lines in first-visit order.
+pub fn for_each_unit(
+    addrs: &WarpAddrs,
+    width: u64,
+    mask: LaneMask,
+    unit: u64,
+    visit: impl FnMut(u64, bool),
+) {
+    dedup::for_each_unit(addrs, width, mask, unit, visit);
+}
+
+/// Number of distinct aligned segments of `seg` bytes covered by the active
+/// lanes' `[addr, addr + width)` ranges — the global-memory transaction
+/// count for one warp instruction on a part with `seg`-byte transactions.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::{lane_addrs, pricing, LaneMask};
+/// // A fully coalesced warp of floats: one 128-byte transaction.
+/// assert_eq!(pricing::segment_count(&lane_addrs(0, 4), 4, LaneMask::ALL, 128), 1);
+/// // The same addresses on a 32-byte-sector part: four transactions.
+/// assert_eq!(pricing::segment_count(&lane_addrs(0, 4), 4, LaneMask::ALL, 32), 4);
+/// ```
+pub fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
+    let mut n = 0u64;
+    for_each_unit(addrs, width, mask, seg, |_, first_visit| {
+        n += u64::from(first_visit);
+    });
+    n
+}
+
+/// Line capacity of the per-SM read-only (texture) cache for a part whose
+/// load transactions (= cache lines) are `ld_transaction_bytes` wide:
+/// [`RO_CACHE_BYTES`] divided into lines.
+pub fn ro_capacity_lines(ld_transaction_bytes: u64) -> usize {
+    (RO_CACHE_BYTES / ld_transaction_bytes) as usize
+}
+
+/// Multiplicative mixer for cache-line indices. Line numbers are small,
+/// dense integers; the std `HashSet` default (SipHash) costs more than the
+/// rest of the cache probe combined, and no untrusted input reaches these
+/// sets.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(self.0.rotate_left(8) ^ u64::from(b));
+        }
+    }
+}
+
+type LineSet = HashSet<u64, BuildHasherDefault<LineHasher>>;
+
+/// Per-block residency model of the 48 KiB per-SM read-only (texture)
+/// cache, FIFO-evicted at line granularity.
+///
+/// Only intra-block reuse is dependable on real hardware, so the serial
+/// launcher always reset this state per block; making it a per-block value
+/// changes nothing about the counts.
+#[derive(Debug)]
+pub struct RoCache {
+    lines: LineSet,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl RoCache {
+    /// An empty cache holding at most `capacity_lines` lines (see
+    /// [`ro_capacity_lines`]).
+    pub fn new(capacity_lines: usize) -> Self {
+        RoCache {
+            lines: LineSet::default(),
+            fifo: VecDeque::new(),
+            capacity: capacity_lines,
+        }
+    }
+
+    /// Returns whether `line` was resident, inserting it (with FIFO
+    /// eviction) if not.
+    pub fn touch(&mut self, line: u64) -> bool {
+        if self.lines.contains(&line) {
+            return true;
+        }
+        self.lines.insert(line);
+        self.fifo.push_back(line);
+        if self.fifo.len() > self.capacity {
+            if let Some(old) = self.fifo.pop_front() {
+                self.lines.remove(&old);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::lane_addrs;
+
+    #[test]
+    fn segment_count_is_spec_parameterized() {
+        let a = lane_addrs(0, 4);
+        assert_eq!(segment_count(&a, 4, LaneMask::ALL, 128), 1);
+        assert_eq!(segment_count(&a, 4, LaneMask::ALL, 32), 4);
+        assert_eq!(segment_count(&a, 4, LaneMask::NONE, 128), 0);
+        // Strided by a full line: one segment per active lane.
+        assert_eq!(
+            segment_count(&lane_addrs(0, 128), 4, LaneMask::first(7), 128),
+            7
+        );
+    }
+
+    #[test]
+    fn ro_cache_fifo_evicts_in_insertion_order() {
+        let mut ro = RoCache::new(2);
+        assert!(!ro.touch(1)); // miss
+        assert!(!ro.touch(2)); // miss
+        assert!(ro.touch(1)); // hit
+        assert!(!ro.touch(3)); // miss, evicts 1 (FIFO ignores the re-touch)
+        assert!(!ro.touch(1)); // miss again
+        assert!(ro.touch(3)); // still resident
+    }
+
+    #[test]
+    fn ro_capacity_tracks_line_size() {
+        assert_eq!(ro_capacity_lines(128), 384);
+        assert_eq!(ro_capacity_lines(32), 1536);
+    }
+}

@@ -215,6 +215,33 @@ impl GpuSpec {
         }
     }
 
+    /// The paper's central ablation: a K40m with 4-byte banks instead of
+    /// 8-byte ones. Everything else — SM count, clocks, DRAM, caches — is
+    /// the real K40m, so comparing a kernel on [`GpuSpec::kepler_k40m`]
+    /// versus this part isolates the bank-width mismatch effect (eq. 1)
+    /// from every other architectural difference.
+    pub fn kepler_k40m_4b() -> Self {
+        GpuSpec {
+            name: "Kepler K40m (4B banks)",
+            bank_width: BankWidth::B4,
+            ..Self::kepler_k40m()
+        }
+    }
+
+    /// Resolves a preset by CLI-friendly alias (`"kepler"`, `"kepler-4b"`,
+    /// `"fermi"`, `"maxwell"`) or by the exact `name` a preset carries
+    /// (`"Kepler K40m"`, ...) — the latter is how trace decoding maps a
+    /// recorded spec name back to a known part.
+    pub fn preset(name: &str) -> Option<GpuSpec> {
+        match name {
+            "kepler" | "k40m" | "Kepler K40m" => Some(Self::kepler_k40m()),
+            "kepler-4b" | "Kepler K40m (4B banks)" => Some(Self::kepler_k40m_4b()),
+            "fermi" | "m2090" | "Fermi M2090" => Some(Self::fermi_m2090()),
+            "maxwell" | "Maxwell-like" => Some(Self::maxwell_like()),
+            _ => None,
+        }
+    }
+
     /// Peak single-precision throughput in GFlop/s (2 flops per FMA lane per
     /// cycle).
     pub fn peak_gflops(&self) -> f64 {
@@ -323,5 +350,41 @@ mod tests {
     #[test]
     fn default_is_k40m() {
         assert_eq!(GpuSpec::default(), GpuSpec::kepler_k40m());
+    }
+
+    #[test]
+    fn hypothetical_4b_kepler_differs_only_in_bank_width() {
+        let real = GpuSpec::kepler_k40m();
+        let flat = GpuSpec::kepler_k40m_4b();
+        assert_eq!(flat.bank_width, BankWidth::B4);
+        assert_eq!(flat.smem_bytes_per_cycle(), real.smem_bytes_per_cycle() / 2);
+        assert_eq!(
+            GpuSpec {
+                name: real.name,
+                bank_width: real.bank_width,
+                ..flat
+            },
+            real
+        );
+    }
+
+    #[test]
+    fn presets_resolve_by_alias_and_exact_name() {
+        assert_eq!(GpuSpec::preset("kepler"), Some(GpuSpec::kepler_k40m()));
+        assert_eq!(
+            GpuSpec::preset("kepler-4b"),
+            Some(GpuSpec::kepler_k40m_4b())
+        );
+        assert_eq!(GpuSpec::preset("fermi"), Some(GpuSpec::fermi_m2090()));
+        assert_eq!(GpuSpec::preset("maxwell"), Some(GpuSpec::maxwell_like()));
+        for spec in [
+            GpuSpec::kepler_k40m(),
+            GpuSpec::kepler_k40m_4b(),
+            GpuSpec::fermi_m2090(),
+            GpuSpec::maxwell_like(),
+        ] {
+            assert_eq!(GpuSpec::preset(spec.name), Some(spec));
+        }
+        assert_eq!(GpuSpec::preset("volta"), None);
     }
 }

@@ -66,6 +66,25 @@ impl OverlapMode {
             OverlapMode::Serial => 0.15,
         }
     }
+
+    /// Stable single-byte encoding used by the KTRC v2 trace format.
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            OverlapMode::Prefetch => 0,
+            OverlapMode::Moderate => 1,
+            OverlapMode::Serial => 2,
+        }
+    }
+
+    /// Inverse of [`OverlapMode::as_u8`]; `None` for unknown encodings.
+    pub const fn from_u8(v: u8) -> Option<OverlapMode> {
+        match v {
+            0 => Some(OverlapMode::Prefetch),
+            1 => Some(OverlapMode::Moderate),
+            2 => Some(OverlapMode::Serial),
+            _ => None,
+        }
+    }
 }
 
 /// Residency of a launch on one SM, computed from the architectural limits.

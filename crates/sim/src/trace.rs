@@ -29,7 +29,9 @@
 //! identical to the serial trace of the same launch.
 
 use crate::fault::MemSpace;
+use crate::spec::GpuSpec;
 use crate::stats::KernelStats;
+use crate::timing::OverlapMode;
 use crate::warp::{LaneMask, WarpAddrs};
 
 /// Which warp memory instruction produced a [`TraceEvent`].
@@ -155,6 +157,13 @@ impl TraceEvent {
 }
 
 /// Launch metadata handed to [`TraceSink::launch_begin`].
+///
+/// Carries everything an offline consumer needs to re-price the launch
+/// without the kernel: the full launch geometry and resource declaration
+/// (enough to rebuild a [`LaunchConfig`](crate::LaunchConfig) for the
+/// timing model) plus the capture [`GpuSpec`] the costs were charged
+/// under. Binary trace formats that persist this header are
+/// self-describing — see the KTRC v2 layout in `kconv-trace`.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceLaunch<'a> {
     /// Kernel name from the [`LaunchConfig`](crate::LaunchConfig).
@@ -167,6 +176,14 @@ pub struct TraceLaunch<'a> {
     pub threads_per_block: usize,
     /// Shared memory per block in bytes.
     pub smem_bytes: u32,
+    /// Registers per thread declared by the launch (occupancy input).
+    pub regs_per_thread: u32,
+    /// The launch's compute/communication overlap declaration (timing-model
+    /// input).
+    pub overlap: OverlapMode,
+    /// The architecture the launch executed on — the spec every recorded
+    /// cost (transactions, conflict cycles) was charged under.
+    pub spec: &'a GpuSpec,
 }
 
 /// Observer for per-warp memory-instruction traces.

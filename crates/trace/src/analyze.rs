@@ -198,7 +198,9 @@ mod tests {
     use super::*;
     use crate::format::TraceWriter;
     use crate::SharedBuffer;
-    use kconv_sim::{KernelStats, LaneMask, TraceLaunch, TraceSink, WARP_SIZE};
+    use kconv_sim::{
+        GpuSpec, KernelStats, LaneMask, OverlapMode, TraceLaunch, TraceSink, WARP_SIZE,
+    };
 
     fn gm_ld(base: u64, stride: u64, lanes: usize) -> TraceEvent {
         let mut addrs = [0u64; WARP_SIZE];
@@ -228,12 +230,16 @@ mod tests {
     fn multiplicity_lines_and_sm_split() {
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
+        let spec = GpuSpec::kepler_k40m();
         w.launch_begin(&TraceLaunch {
             kernel: "k",
             grid_blocks: 1,
             executed_blocks: 1,
             threads_per_block: 32,
             smem_bytes: 4096,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+            spec: &spec,
         });
         w.block_events(
             0,
@@ -277,12 +283,16 @@ mod tests {
     fn wide_lane_bytes_cover_multiple_words() {
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
+        let spec = GpuSpec::kepler_k40m();
         w.launch_begin(&TraceLaunch {
             kernel: "k",
             grid_blocks: 1,
             executed_blocks: 1,
             threads_per_block: 32,
             smem_bytes: 0,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+            spec: &spec,
         });
         let mut ev = gm_ld(0, 8, 4); // float2 per lane: 8 bytes
         ev.lane_bytes = 8;

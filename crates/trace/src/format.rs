@@ -6,11 +6,25 @@
 //! stream of tagged records; all integers are LEB128 varints (see
 //! [`crate::varint`]):
 //!
-//! | tag | record | fields |
-//! |-----|--------|--------|
-//! | 1 | launch begin | kernel-name length + UTF-8 bytes, grid blocks, executed blocks, threads/block, smem bytes |
+//! | tag | record | fields (version 2) |
+//! |-----|--------|--------------------|
+//! | 1 | launch begin | kernel-name length + UTF-8 bytes, grid blocks, executed blocks, threads/block, smem bytes, regs/thread, overlap mode (u8), capture [`GpuSpec`] (below) |
 //! | 2 | block | block id, event count, events (below) |
-//! | 3 | launch end | aborted flag (u8), FMA lane-ops from the final stats |
+//! | 3 | launch end | aborted flag (u8), full final [`KernelStats`] in field-declaration order (histogram as 6 varints) |
+//!
+//! The embedded spec is: name length + UTF-8 bytes, then varints for every
+//! [`GpuSpec`] field in declaration order — `f64` rates travel as their
+//! IEEE-754 bit patterns, the bank width as a raw byte (4 or 8). A v2
+//! trace is therefore **self-describing**: an offline consumer can
+//! re-price the recorded addresses under the capture spec (or any other)
+//! and rebuild the timing model's launch inputs without the kernel — see
+//! the `kconv-replay` crate and DESIGN.md §11.
+//!
+//! Version 1 (still accepted by the reader) lacks the last three
+//! launch-begin fields and carries only `fma_lane_ops` in the launch-end
+//! record; its headers decode with [`LaunchHeader::spec`] `None`, so
+//! replaying a v1 trace requires the caller to assert the capture spec
+//! explicitly (`--assume-spec`).
 //!
 //! Each event is: op tag (u8), warp, lane mask, bytes/lane, transactions,
 //! cycles — then the addresses of the **active lanes only**, as one
@@ -26,15 +40,20 @@
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use kconv_sim::{KernelStats, LaneMask, TraceEvent, TraceLaunch, TraceOp, TraceSink, WARP_SIZE};
+use kconv_sim::{
+    BankWidth, GpuSpec, KernelStats, LaneMask, OverlapMode, TraceEvent, TraceLaunch, TraceOp,
+    TraceSink, WARP_SIZE,
+};
 
 use crate::varint::{write_u64, zigzag, Cursor};
 use crate::TraceError;
 
 /// File magic: the first four bytes of every trace.
 pub const MAGIC: [u8; 4] = *b"KTRC";
-/// Format version written and accepted by this crate.
-pub const VERSION: u8 = 1;
+/// Format version the writer emits. The reader also accepts [`V1`].
+pub const VERSION: u8 = 2;
+/// The legacy spec-less format version (readable, no longer written).
+pub const V1: u8 = 1;
 
 const TAG_LAUNCH_BEGIN: u8 = 1;
 const TAG_BLOCK: u8 = 2;
@@ -94,6 +113,148 @@ fn decode_event(cur: &mut Cursor<'_>) -> Result<TraceEvent, TraceError> {
         cycles,
         addrs,
     })
+}
+
+fn encode_spec(buf: &mut Vec<u8>, spec: &GpuSpec) {
+    write_u64(buf, spec.name.len() as u64);
+    buf.extend_from_slice(spec.name.as_bytes());
+    write_u64(buf, u64::from(spec.sm_count));
+    write_u64(buf, u64::from(spec.cores_per_sm));
+    write_u64(buf, spec.clock_ghz.to_bits());
+    write_u64(buf, u64::from(spec.smem_banks));
+    buf.push(spec.bank_width.bytes() as u8);
+    write_u64(buf, u64::from(spec.smem_bytes_per_sm));
+    write_u64(buf, u64::from(spec.max_threads_per_sm));
+    write_u64(buf, u64::from(spec.max_blocks_per_sm));
+    write_u64(buf, u64::from(spec.regs_per_sm));
+    write_u64(buf, u64::from(spec.max_smem_per_block));
+    write_u64(buf, spec.gm_bandwidth_gbs.to_bits());
+    write_u64(buf, spec.gm_transaction_bytes);
+    write_u64(buf, spec.gm_store_transaction_bytes);
+    write_u64(buf, spec.cm_bytes);
+    write_u64(buf, spec.cm_line_bytes);
+    write_u64(buf, u64::from(spec.latency_hiding_warps));
+    write_u64(buf, spec.issue_efficiency.to_bits());
+}
+
+fn decode_spec(cur: &mut Cursor<'_>) -> Result<GpuSpec, TraceError> {
+    let name_len = cur.read_u64("spec name length")? as usize;
+    let name_bytes = cur.read_bytes(name_len, "spec name")?;
+    let recorded_name = std::str::from_utf8(name_bytes)
+        .map_err(|_| TraceError::Malformed {
+            offset: cur.pos(),
+            reason: "spec name is not UTF-8".into(),
+        })?
+        .to_owned();
+    // `GpuSpec::name` is `&'static str`; map recorded names back to the
+    // known presets' literals, anything else to a generic label. Every
+    // numeric parameter still comes from the trace, so an unrecognized
+    // name only loses the display string, never the pricing inputs.
+    let name = GpuSpec::preset(&recorded_name).map_or("captured", |p| p.name);
+    let sm_count = cur.read_u64("spec sm count")? as u32;
+    let cores_per_sm = cur.read_u64("spec cores per sm")? as u32;
+    let clock_ghz = f64::from_bits(cur.read_u64("spec clock bits")?);
+    let smem_banks = cur.read_u64("spec smem banks")? as u32;
+    let bank_width = match cur.read_u8("spec bank width")? {
+        4 => BankWidth::B4,
+        8 => BankWidth::B8,
+        other => {
+            return Err(TraceError::Malformed {
+                offset: cur.pos(),
+                reason: format!("unknown bank width {other} (expected 4 or 8)"),
+            })
+        }
+    };
+    Ok(GpuSpec {
+        name,
+        sm_count,
+        cores_per_sm,
+        clock_ghz,
+        smem_banks,
+        bank_width,
+        smem_bytes_per_sm: cur.read_u64("spec smem bytes per sm")? as u32,
+        max_threads_per_sm: cur.read_u64("spec max threads per sm")? as u32,
+        max_blocks_per_sm: cur.read_u64("spec max blocks per sm")? as u32,
+        regs_per_sm: cur.read_u64("spec regs per sm")? as u32,
+        max_smem_per_block: cur.read_u64("spec max smem per block")? as u32,
+        gm_bandwidth_gbs: f64::from_bits(cur.read_u64("spec gm bandwidth bits")?),
+        gm_transaction_bytes: cur.read_u64("spec gm transaction bytes")?,
+        gm_store_transaction_bytes: cur.read_u64("spec gm store transaction bytes")?,
+        cm_bytes: cur.read_u64("spec cm bytes")?,
+        cm_line_bytes: cur.read_u64("spec cm line bytes")?,
+        latency_hiding_warps: cur.read_u64("spec latency hiding warps")? as u32,
+        issue_efficiency: f64::from_bits(cur.read_u64("spec issue efficiency bits")?),
+    })
+}
+
+fn encode_stats(buf: &mut Vec<u8>, s: &KernelStats) {
+    for v in [
+        s.fma_lane_ops,
+        s.alu_lane_ops,
+        s.gm_ld_requests,
+        s.gm_st_requests,
+        s.gm_ld_transactions,
+        s.gm_st_transactions,
+        s.gm_ld_bytes_bus,
+        s.gm_st_bytes_bus,
+        s.gm_ld_bytes_useful,
+        s.gm_st_bytes_useful,
+        s.gm_ro_hits,
+        s.sm_ld_requests,
+        s.sm_st_requests,
+        s.sm_ld_cycles,
+        s.sm_st_cycles,
+        s.sm_bytes_useful,
+        s.sm_broadcasts,
+    ] {
+        write_u64(buf, v);
+    }
+    for v in s.sm_conflict_histogram {
+        write_u64(buf, v);
+    }
+    for v in [
+        s.cm_requests,
+        s.cm_cycles,
+        s.cm_misses,
+        s.barriers,
+        s.blocks_executed,
+        s.blocks_total,
+    ] {
+        write_u64(buf, v);
+    }
+}
+
+fn decode_stats(cur: &mut Cursor<'_>) -> Result<KernelStats, TraceError> {
+    let mut s = KernelStats {
+        fma_lane_ops: cur.read_u64("stats fma lane ops")?,
+        alu_lane_ops: cur.read_u64("stats alu lane ops")?,
+        gm_ld_requests: cur.read_u64("stats gm ld requests")?,
+        gm_st_requests: cur.read_u64("stats gm st requests")?,
+        gm_ld_transactions: cur.read_u64("stats gm ld transactions")?,
+        gm_st_transactions: cur.read_u64("stats gm st transactions")?,
+        gm_ld_bytes_bus: cur.read_u64("stats gm ld bytes bus")?,
+        gm_st_bytes_bus: cur.read_u64("stats gm st bytes bus")?,
+        gm_ld_bytes_useful: cur.read_u64("stats gm ld bytes useful")?,
+        gm_st_bytes_useful: cur.read_u64("stats gm st bytes useful")?,
+        gm_ro_hits: cur.read_u64("stats gm ro hits")?,
+        sm_ld_requests: cur.read_u64("stats sm ld requests")?,
+        sm_st_requests: cur.read_u64("stats sm st requests")?,
+        sm_ld_cycles: cur.read_u64("stats sm ld cycles")?,
+        sm_st_cycles: cur.read_u64("stats sm st cycles")?,
+        sm_bytes_useful: cur.read_u64("stats sm bytes useful")?,
+        sm_broadcasts: cur.read_u64("stats sm broadcasts")?,
+        ..Default::default()
+    };
+    for slot in &mut s.sm_conflict_histogram {
+        *slot = cur.read_u64("stats conflict histogram")?;
+    }
+    s.cm_requests = cur.read_u64("stats cm requests")?;
+    s.cm_cycles = cur.read_u64("stats cm cycles")?;
+    s.cm_misses = cur.read_u64("stats cm misses")?;
+    s.barriers = cur.read_u64("stats barriers")?;
+    s.blocks_executed = cur.read_u64("stats blocks executed")?;
+    s.blocks_total = cur.read_u64("stats blocks total")?;
+    Ok(s)
 }
 
 /// Streams [`TraceSink`] callbacks into a [`Write`] target as the binary
@@ -160,10 +321,10 @@ impl<W: Write> TraceWriter<W> {
         self.scratch.clear();
     }
 
-    fn end_record(&mut self, aborted: bool, fma_lane_ops: u64) {
+    fn end_record(&mut self, aborted: bool, stats: &KernelStats) {
         self.scratch.push(TAG_LAUNCH_END);
         self.scratch.push(u8::from(aborted));
-        write_u64(&mut self.scratch, fma_lane_ops);
+        encode_stats(&mut self.scratch, stats);
         self.launch_open = false;
         self.emit();
     }
@@ -174,7 +335,7 @@ impl<W: Write + Send> TraceSink for TraceWriter<W> {
         if self.launch_open {
             // The previous launch never ended: it faulted. Close it so the
             // stream stays parseable.
-            self.end_record(true, 0);
+            self.end_record(true, &KernelStats::default());
         }
         self.scratch.push(TAG_LAUNCH_BEGIN);
         write_u64(&mut self.scratch, launch.kernel.len() as u64);
@@ -183,6 +344,9 @@ impl<W: Write + Send> TraceSink for TraceWriter<W> {
         write_u64(&mut self.scratch, launch.executed_blocks as u64);
         write_u64(&mut self.scratch, launch.threads_per_block as u64);
         write_u64(&mut self.scratch, u64::from(launch.smem_bytes));
+        write_u64(&mut self.scratch, u64::from(launch.regs_per_thread));
+        self.scratch.push(launch.overlap.as_u8());
+        encode_spec(&mut self.scratch, launch.spec);
         self.launch_open = true;
         self.emit();
     }
@@ -198,7 +362,7 @@ impl<W: Write + Send> TraceSink for TraceWriter<W> {
     }
 
     fn launch_end(&mut self, stats: &KernelStats) {
-        self.end_record(false, stats.fma_lane_ops);
+        self.end_record(false, stats);
     }
 }
 
@@ -264,7 +428,7 @@ impl Write for SharedBuffer {
 }
 
 /// Metadata of one launch, as recorded by the writer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaunchHeader {
     /// Kernel name.
     pub kernel: String,
@@ -276,6 +440,16 @@ pub struct LaunchHeader {
     pub threads_per_block: u64,
     /// Shared memory per block in bytes.
     pub smem_bytes: u64,
+    /// Registers per thread the launch declared (v1 traces default to 32,
+    /// the simulator's `LaunchConfig::new` default).
+    pub regs_per_thread: u64,
+    /// The launch's compute/communication overlap declaration (v1 traces
+    /// default to [`OverlapMode::Prefetch`]).
+    pub overlap: OverlapMode,
+    /// The architecture the trace was captured on. `None` for v1 traces,
+    /// which predate the embedded spec — replaying those requires the
+    /// caller to assert a capture spec explicitly.
+    pub spec: Option<GpuSpec>,
 }
 
 /// How a launch ended.
@@ -287,6 +461,10 @@ pub struct LaunchEnd {
     /// `fma_lane_ops` from the launch's final (scaled) stats; 0 for
     /// aborted launches.
     pub fma_lane_ops: u64,
+    /// The launch's full final (scaled) [`KernelStats`]. `None` for v1
+    /// traces (which recorded only `fma_lane_ops`) and for synthesized
+    /// aborted ends.
+    pub stats: Option<KernelStats>,
 }
 
 /// Streaming consumer for [`read_trace`]. All methods default to no-ops;
@@ -320,10 +498,10 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
         });
     }
     let version = cur.read_u8("format version")?;
-    if version != VERSION {
+    if version != VERSION && version != V1 {
         return Err(TraceError::Malformed {
             offset: cur.pos(),
-            reason: format!("unsupported trace version {version} (expected {VERSION})"),
+            reason: format!("unsupported trace version {version} (expected {V1} or {VERSION})"),
         });
     }
     let mut launch_open = false;
@@ -335,6 +513,7 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
                     visitor.launch_end(&LaunchEnd {
                         aborted: true,
                         fma_lane_ops: 0,
+                        stats: None,
                     });
                 }
                 let name_len = cur.read_u64("kernel-name length")? as usize;
@@ -345,13 +524,27 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
                         reason: "kernel name is not UTF-8".into(),
                     })?
                     .to_owned();
-                let header = LaunchHeader {
+                let mut header = LaunchHeader {
                     kernel,
                     grid_blocks: cur.read_u64("grid blocks")?,
                     executed_blocks: cur.read_u64("executed blocks")?,
                     threads_per_block: cur.read_u64("threads per block")?,
                     smem_bytes: cur.read_u64("smem bytes")?,
+                    // v1 defaults: the simulator's LaunchConfig::new values.
+                    regs_per_thread: 32,
+                    overlap: OverlapMode::Prefetch,
+                    spec: None,
                 };
+                if version >= 2 {
+                    header.regs_per_thread = cur.read_u64("regs per thread")?;
+                    let overlap_tag = cur.read_u8("overlap mode")?;
+                    header.overlap =
+                        OverlapMode::from_u8(overlap_tag).ok_or_else(|| TraceError::Malformed {
+                            offset: cur.pos(),
+                            reason: format!("unknown overlap mode {overlap_tag}"),
+                        })?;
+                    header.spec = Some(decode_spec(&mut cur)?);
+                }
                 launch_open = true;
                 visitor.launch_begin(&header);
             }
@@ -378,12 +571,22 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
                     });
                 }
                 let aborted = cur.read_u8("aborted flag")? != 0;
-                let fma_lane_ops = cur.read_u64("fma lane ops")?;
+                let end = if version >= 2 {
+                    let stats = decode_stats(&mut cur)?;
+                    LaunchEnd {
+                        aborted,
+                        fma_lane_ops: stats.fma_lane_ops,
+                        stats: Some(stats),
+                    }
+                } else {
+                    LaunchEnd {
+                        aborted,
+                        fma_lane_ops: cur.read_u64("fma lane ops")?,
+                        stats: None,
+                    }
+                };
                 launch_open = false;
-                visitor.launch_end(&LaunchEnd {
-                    aborted,
-                    fma_lane_ops,
-                });
+                visitor.launch_end(&end);
             }
             other => {
                 return Err(TraceError::Malformed {
@@ -397,6 +600,7 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
         visitor.launch_end(&LaunchEnd {
             aborted: true,
             fma_lane_ops: 0,
+            stats: None,
         });
     }
     Ok(())
@@ -433,6 +637,7 @@ pub fn read_launches(bytes: &[u8]) -> Result<Vec<LaunchTrace>, TraceError> {
                 end: LaunchEnd {
                     aborted: true,
                     fma_lane_ops: 0,
+                    stats: None,
                 },
             });
         }
@@ -481,13 +686,20 @@ mod tests {
         }
     }
 
-    fn launch<'a>(name: &'a str, blocks: usize) -> TraceLaunch<'a> {
+    fn capture_spec() -> GpuSpec {
+        GpuSpec::kepler_k40m()
+    }
+
+    fn launch<'a>(name: &'a str, blocks: usize, spec: &'a GpuSpec) -> TraceLaunch<'a> {
         TraceLaunch {
             kernel: name,
             grid_blocks: blocks,
             executed_blocks: blocks,
             threads_per_block: 64,
             smem_bytes: 1024,
+            regs_per_thread: 48,
+            overlap: OverlapMode::Moderate,
+            spec,
         }
     }
 
@@ -501,11 +713,18 @@ mod tests {
         ];
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
-        w.launch_begin(&launch("k1", 2));
+        let spec = capture_spec();
+        w.launch_begin(&launch("k1", 2, &spec));
         w.block_events(0, &events);
         w.block_events(1, &events[..2]);
         let stats = KernelStats {
             fma_lane_ops: 4242,
+            gm_ld_transactions: 17,
+            sm_ld_cycles: 99,
+            sm_conflict_histogram: [1, 2, 3, 4, 5, 6],
+            barriers: 7,
+            blocks_executed: 2,
+            blocks_total: 2,
             ..Default::default()
         };
         w.launch_end(&stats);
@@ -523,13 +742,17 @@ mod tests {
                 executed_blocks: 2,
                 threads_per_block: 64,
                 smem_bytes: 1024,
+                regs_per_thread: 48,
+                overlap: OverlapMode::Moderate,
+                spec: Some(spec),
             }
         );
         assert_eq!(
             l.end,
             LaunchEnd {
                 aborted: false,
-                fma_lane_ops: 4242
+                fma_lane_ops: 4242,
+                stats: Some(stats),
             }
         );
         assert_eq!(l.blocks.len(), 2);
@@ -545,7 +768,8 @@ mod tests {
     fn strided_warps_encode_compactly() {
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
-        w.launch_begin(&launch("k", 1));
+        let spec = capture_spec();
+        w.launch_begin(&launch("k", 1, &spec));
         let events: Vec<TraceEvent> = (0..100)
             .map(|i| ev(TraceOp::GmLd, 0, u32::MAX, 4, i * 128))
             .collect();
@@ -561,10 +785,11 @@ mod tests {
     fn begin_while_open_marks_previous_launch_aborted() {
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
-        w.launch_begin(&launch("faulty", 4));
+        let spec = capture_spec();
+        w.launch_begin(&launch("faulty", 4, &spec));
         w.block_events(0, &[ev(TraceOp::GmLd, 0, 0xff, 4, 0)]);
         // No launch_end: the launch faulted. A new launch begins.
-        w.launch_begin(&launch("clean", 1));
+        w.launch_begin(&launch("clean", 1, &spec));
         w.block_events(0, &[]);
         w.launch_end(&KernelStats::default());
         let launches = read_launches(&buf.take()).unwrap();
@@ -579,7 +804,8 @@ mod tests {
     fn eof_inside_launch_synthesizes_aborted_end() {
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
-        w.launch_begin(&launch("cut", 4));
+        let spec = capture_spec();
+        w.launch_begin(&launch("cut", 4, &spec));
         w.block_events(0, &[ev(TraceOp::SmLd, 0, 0xff, 8, 64)]);
         drop(w);
         let launches = read_launches(&buf.take()).unwrap();
@@ -605,7 +831,8 @@ mod tests {
         // Truncate a valid stream at every byte: must never panic.
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
-        w.launch_begin(&launch("k", 1));
+        let spec = capture_spec();
+        w.launch_begin(&launch("k", 1, &spec));
         w.block_events(0, &[ev(TraceOp::GmLd, 0, u32::MAX, 4, 1000)]);
         w.launch_end(&KernelStats::default());
         let bytes = buf.take();
@@ -627,5 +854,220 @@ mod tests {
             read_launches(&bytes),
             Err(TraceError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn non_preset_spec_round_trips_numerically() {
+        // A hypothetical part: the name degrades to "captured" (it cannot
+        // be interned back to a &'static str) but every pricing parameter
+        // must survive bit-exactly, including the f64 rates.
+        let spec = GpuSpec {
+            name: "Frankenstein",
+            clock_ghz: 1.234_567_891,
+            bank_width: BankWidth::B4,
+            gm_transaction_bytes: 64,
+            issue_efficiency: 0.333_333_333,
+            ..GpuSpec::kepler_k40m()
+        };
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        w.launch_begin(&launch("k", 1, &spec));
+        w.block_events(0, &[]);
+        w.launch_end(&KernelStats::default());
+        let launches = read_launches(&buf.take()).unwrap();
+        let got = launches[0].header.spec.as_ref().unwrap();
+        assert_eq!(got.name, "captured");
+        assert_eq!(
+            GpuSpec {
+                name: spec.name,
+                ..got.clone()
+            },
+            spec,
+            "all numeric fields must round-trip"
+        );
+    }
+
+    /// Hand-encodes a v1 (spec-less) stream: the frozen legacy layout the
+    /// reader must keep accepting.
+    fn encode_v1_stream(events: &[TraceEvent], fma_lane_ops: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(V1);
+        bytes.push(TAG_LAUNCH_BEGIN);
+        write_u64(&mut bytes, 2);
+        bytes.extend_from_slice(b"v1");
+        write_u64(&mut bytes, 3); // grid blocks
+        write_u64(&mut bytes, 3); // executed blocks
+        write_u64(&mut bytes, 64); // threads per block
+        write_u64(&mut bytes, 2048); // smem bytes
+        bytes.push(TAG_BLOCK);
+        write_u64(&mut bytes, 0);
+        write_u64(&mut bytes, events.len() as u64);
+        for ev in events {
+            encode_event(&mut bytes, ev);
+        }
+        bytes.push(TAG_LAUNCH_END);
+        bytes.push(0); // not aborted
+        write_u64(&mut bytes, fma_lane_ops);
+        bytes
+    }
+
+    #[test]
+    fn v1_traces_still_decode_with_defaults() {
+        let events = vec![
+            ev(TraceOp::GmLd, 0, u32::MAX, 4, 4096),
+            ev(TraceOp::SmLd, 1, 0x00ff_00ff, 8, 0),
+        ];
+        let bytes = encode_v1_stream(&events, 777);
+        let launches = read_launches(&bytes).unwrap();
+        assert_eq!(launches.len(), 1);
+        let l = &launches[0];
+        assert_eq!(l.header.kernel, "v1");
+        assert_eq!(l.header.grid_blocks, 3);
+        // v1 defaults: LaunchConfig::new's values, and no capture spec.
+        assert_eq!(l.header.regs_per_thread, 32);
+        assert_eq!(l.header.overlap, OverlapMode::Prefetch);
+        assert_eq!(l.header.spec, None);
+        assert_eq!(
+            l.end,
+            LaunchEnd {
+                aborted: false,
+                fma_lane_ops: 777,
+                stats: None,
+            }
+        );
+        let want: Vec<TraceEvent> = events.iter().map(|e| e.canonical()).collect();
+        assert_eq!(l.blocks[0].1, want);
+    }
+
+    #[test]
+    fn v1_truncation_never_panics() {
+        let bytes = encode_v1_stream(&[ev(TraceOp::CmLd, 0, 0x0f, 0, 99)], 5);
+        for cut in 0..bytes.len() {
+            let _ = read_launches(&bytes[..cut]);
+        }
+        assert!(read_launches(&bytes).is_ok());
+    }
+
+    /// splitmix64: a tiny seeded generator so the property test needs no
+    /// external crate.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Seeded-random streams through the writer must come back field-exact
+    /// through the streaming reader, across the varint/zigzag edge cases:
+    /// `u64::MAX` addresses (deltas wrap), single-lane and empty masks,
+    /// zero-transaction events, and multi-launch streams.
+    #[test]
+    fn random_streams_round_trip_bit_exactly() {
+        for seed in 0..8u64 {
+            let mut rng = Rng(0xD1CE_0000 + seed);
+            let spec = capture_spec();
+            let buf = SharedBuffer::new();
+            let mut w = TraceWriter::new(buf.clone());
+            let mut want: Vec<LaunchTrace> = Vec::new();
+            for li in 0..1 + (seed % 3) {
+                let name = format!("kernel-{seed}-{li}");
+                let blocks = 1 + (rng.next() % 4);
+                let threads_per_block = 32 * (1 + (rng.next() % 8) as usize);
+                let smem_bytes = (rng.next() % 48_000) as u32;
+                let regs_per_thread = 16 + (rng.next() % 200) as u32;
+                let overlap = OverlapMode::from_u8((rng.next() % 3) as u8).unwrap();
+                w.launch_begin(&TraceLaunch {
+                    kernel: &name,
+                    grid_blocks: blocks as usize,
+                    executed_blocks: blocks as usize,
+                    threads_per_block,
+                    smem_bytes,
+                    regs_per_thread,
+                    overlap,
+                    spec: &spec,
+                });
+                let mut blocks_want = Vec::new();
+                for block_id in 0..blocks {
+                    let n = rng.next() % 20;
+                    let events: Vec<TraceEvent> = (0..n)
+                        .map(|_| {
+                            let mask = match rng.next() % 5 {
+                                0 => LaneMask(0),                      // empty
+                                1 => LaneMask(1 << (rng.next() % 32)), // single lane
+                                2 => LaneMask(u32::MAX),               // full warp
+                                _ => LaneMask(rng.next() as u32),      // arbitrary
+                            };
+                            let mut addrs = [0u64; WARP_SIZE];
+                            for (lane, slot) in addrs.iter_mut().enumerate() {
+                                if mask.is_active(lane) {
+                                    *slot = match rng.next() % 4 {
+                                        0 => u64::MAX - (rng.next() % 3), // wraparound deltas
+                                        1 => rng.next(),                  // scattered
+                                        _ => 1024 + lane as u64 * 4,      // strided
+                                    };
+                                }
+                            }
+                            TraceEvent {
+                                op: TraceOp::ALL[(rng.next() % 6) as usize],
+                                warp: rng.next() as u32,
+                                mask,
+                                lane_bytes: (rng.next() % 17) as u32,
+                                transactions: if rng.next().is_multiple_of(3) {
+                                    0
+                                } else {
+                                    rng.next() as u32
+                                },
+                                cycles: rng.next() as u32,
+                                addrs,
+                            }
+                        })
+                        .collect();
+                    w.block_events(block_id as usize, &events);
+                    blocks_want.push((block_id, events.iter().map(|e| e.canonical()).collect()));
+                }
+                let stats = KernelStats {
+                    fma_lane_ops: rng.next(),
+                    gm_ld_transactions: rng.next(),
+                    sm_ld_cycles: rng.next(),
+                    sm_conflict_histogram: std::array::from_fn(|_| rng.next()),
+                    blocks_total: blocks,
+                    ..Default::default()
+                };
+                w.launch_end(&stats);
+                want.push(LaunchTrace {
+                    header: LaunchHeader {
+                        kernel: name,
+                        grid_blocks: blocks,
+                        executed_blocks: blocks,
+                        threads_per_block: threads_per_block as u64,
+                        smem_bytes: u64::from(smem_bytes),
+                        regs_per_thread: u64::from(regs_per_thread),
+                        overlap,
+                        spec: Some(spec.clone()),
+                    },
+                    blocks: blocks_want,
+                    end: LaunchEnd {
+                        aborted: false,
+                        fma_lane_ops: stats.fma_lane_ops,
+                        stats: Some(stats),
+                    },
+                });
+            }
+            let (_, err) = w.into_inner();
+            assert!(err.is_none());
+            let got = read_launches(&buf.take()).unwrap();
+            assert_eq!(got.len(), want.len(), "seed {seed}");
+            for (g, w_) in got.iter().zip(&want) {
+                assert_eq!(g.header, w_.header, "seed {seed}");
+                assert_eq!(g.end, w_.end, "seed {seed}");
+                assert_eq!(g.blocks, w_.blocks, "seed {seed}");
+            }
+        }
     }
 }

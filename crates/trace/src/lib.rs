@@ -58,7 +58,7 @@ pub mod varint;
 pub use analyze::{EfficiencyReport, KernelMeta, LINE_BYTES, WORD_BYTES};
 pub use format::{
     read_launches, read_trace, LaunchEnd, LaunchHeader, LaunchTrace, SharedBuffer, TraceVisitor,
-    TraceWriter, MAGIC, VERSION,
+    TraceWriter, MAGIC, V1, VERSION,
 };
 pub use summary::{OpTotals, TraceSummary};
 

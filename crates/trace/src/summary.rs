@@ -157,7 +157,7 @@ mod tests {
     use super::*;
     use crate::format::TraceWriter;
     use crate::SharedBuffer;
-    use kconv_sim::{LaneMask, TraceLaunch, TraceSink, WARP_SIZE};
+    use kconv_sim::{GpuSpec, LaneMask, OverlapMode, TraceLaunch, TraceSink, WARP_SIZE};
 
     fn ev(op: TraceOp, lanes: usize, cycles: u32, tx: u32) -> TraceEvent {
         TraceEvent {
@@ -175,12 +175,16 @@ mod tests {
     fn totals_and_histogram() {
         let buf = SharedBuffer::new();
         let mut w = TraceWriter::new(buf.clone());
+        let spec = GpuSpec::kepler_k40m();
         w.launch_begin(&TraceLaunch {
             kernel: "k",
             grid_blocks: 2,
             executed_blocks: 2,
             threads_per_block: 32,
             smem_bytes: 0,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+            spec: &spec,
         });
         w.block_events(
             0,

@@ -15,6 +15,9 @@
 //!   experiment;
 //! * [`trace`] — binary warp traces and memory-efficiency analysis on top
 //!   of the simulator's [`TraceSink`](kconv_sim::TraceSink) hook;
+//! * [`replay`] — the trace-driven replay engine: re-prices captured
+//!   traces under an arbitrary [`GpuSpec`](kconv_sim::GpuSpec) without
+//!   re-executing the kernel;
 //! * [`apps`] — image processing and CNN layer stacks on the public API.
 //!
 //! The [`prelude`] pulls in the names a typical user needs.
@@ -42,6 +45,7 @@
 pub use kconv_apps as apps;
 pub use kconv_core as core;
 pub use kconv_gemm as gemm;
+pub use kconv_replay as replay;
 pub use kconv_sim as sim;
 pub use kconv_tensor as tensor;
 pub use kconv_trace as trace;
