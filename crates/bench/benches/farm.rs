@@ -1,0 +1,18 @@
+//! Wall-clock farm bench: what decode-once buys at corpus scale.
+//!
+//! Runs the same code path as the `farm` binary with more timing
+//! iterations, so `BENCH_farm.json` carries best-of-3 numbers for the two
+//! wall-clock comparisons:
+//!
+//! * `sweep`: serial vs scoped-thread-pool pricing of the full
+//!   trace × spec grid (only a scaling result when `valid_scaling`);
+//! * `decode_once`: replays/s when every spec re-decodes the KTRC byte
+//!   stream vs when each trace is decoded once and re-priced N times —
+//!   the amortization the decoded [`kconv_trace::Trace`] slabs exist for.
+//!
+//! Usage: `cargo bench -p kconv-bench --bench farm`
+
+fn main() {
+    let c = kconv_bench::farm::run(3);
+    assert_eq!(c.failures, 0, "farm self-checks failed");
+}

@@ -9,11 +9,12 @@
 //!    for bit, for both the serial and `Threads(4)` captures (whose byte
 //!    streams must themselves be identical). This proves the replay
 //!    engine charges with exactly the live pricing functions.
-//! 2. **Spec sweep** — the same trace re-priced under Kepler (8 B banks),
-//!    a 4-byte-bank Kepler variant, Fermi M2090 and a Maxwell-class spec:
-//!    coalesced GM transactions, SM conflict cycles, bandwidth waste and
-//!    modeled time per architecture, with drift guards against embedded
-//!    expected values.
+//! 2. **Spec sweep** — the same trace re-priced under every preset
+//!    ([`GpuSpec::presets_all`]): coalesced GM transactions, SM conflict
+//!    cycles, bandwidth waste and modeled time per architecture, with
+//!    drift guards against embedded expected values. The KTRC byte
+//!    stream is decoded **once** into [`Trace`] slabs; the gate and
+//!    every sweep preset re-price the same decoded form.
 //!
 //! A second, synthetic pair of traces isolates the paper's eq. 1 claim:
 //! full-warp unvectorized `float` loads (stride 4 B) replayed on 8-byte
@@ -28,72 +29,35 @@
 //!
 //! Writes `BENCH_whatif.json` to the workspace root either way.
 
-use kconv_bench::fig8;
+use kconv_bench::{fig8, Checker};
 use kconv_core::Convolution;
-use kconv_replay::{replay, ReplayReport, TargetSpec};
+use kconv_replay::{replay_decoded, ReplayReport, TargetSpec};
 use kconv_sim::{
     Gpu, GpuSpec, KernelStats, LaneMask, LaunchReport, OverlapMode, Parallelism, SanitizerMode,
     SimMode, TraceEvent, TraceLaunch, TraceOp, TraceSink, WARP_SIZE,
 };
-use kconv_trace::{SharedBuffer, TraceWriter};
-
-/// Specs the sweep re-prices the capture under (preset aliases).
-const SWEEP: [&str; 4] = ["kepler", "kepler-4b", "fermi", "maxwell"];
+use kconv_trace::{SharedBuffer, Trace, TraceWriter};
 
 /// Expected replayed SM cycles (ld + st) of the Fig. 8 trace per sweep
-/// spec — drift guards for `--check`. These move only when the kernel,
-/// the workload seeds, or the bank-conflict model change.
+/// preset (keyed by `GpuSpec::name`) — drift guards for `--check`. These
+/// move only when the kernel, the workload seeds, or the bank-conflict
+/// model change.
 const EXPECT_SM_CYCLES: [(&str, u64); 4] = [
-    ("kepler", 450_560),
-    ("kepler-4b", 602_112),
-    ("fermi", 602_112),
-    ("maxwell", 602_112),
+    ("Kepler K40m", 450_560),
+    ("Kepler K40m (4B banks)", 602_112),
+    ("Fermi M2090", 602_112),
+    ("Maxwell-like", 602_112),
 ];
 
-/// Expected replayed GM transactions (ld + st) per sweep spec. All four
+/// Expected replayed GM transactions (ld + st) per sweep preset. All four
 /// presets share 128 B load / 32 B store segments, so the capture's
 /// coalescing carries over unchanged.
 const EXPECT_GM_TRANSACTIONS: [(&str, u64); 4] = [
-    ("kepler", 293_888),
-    ("kepler-4b", 293_888),
-    ("fermi", 293_888),
-    ("maxwell", 293_888),
+    ("Kepler K40m", 293_888),
+    ("Kepler K40m (4B banks)", 293_888),
+    ("Fermi M2090", 293_888),
+    ("Maxwell-like", 293_888),
 ];
-
-/// Running PASS/FAIL tally; every check prints one line.
-#[derive(Default)]
-struct Checker {
-    checks: usize,
-    failures: usize,
-}
-
-impl Checker {
-    fn check(&mut self, name: &str, ok: bool, detail: &str) {
-        self.checks += 1;
-        if ok {
-            println!("  PASS {name}: {detail}");
-        } else {
-            self.failures += 1;
-            println!("  FAIL {name}: {detail}");
-        }
-    }
-
-    fn eq_u64(&mut self, name: &str, measured: u64, expected: u64) {
-        self.check(
-            name,
-            measured == expected,
-            &format!("measured {measured}, expected {expected}"),
-        );
-    }
-
-    fn eq_f64(&mut self, name: &str, measured: f64, expected: f64) {
-        self.check(
-            name,
-            measured == expected,
-            &format!("measured {measured}, expected {expected}"),
-        );
-    }
-}
 
 /// Runs the Fig. 8 workload with a trace writer attached.
 fn captured_fig8(parallelism: Parallelism) -> (LaunchReport, Vec<u8>) {
@@ -156,12 +120,11 @@ struct Row {
     report: ReplayReport,
 }
 
-fn sweep_fig8(bytes: &[u8]) -> Vec<Row> {
-    SWEEP
-        .iter()
-        .map(|alias| {
-            let spec = GpuSpec::preset(alias).expect("known preset alias");
-            let report = replay(bytes, &TargetSpec::Spec(spec.clone()))
+fn sweep_fig8(trace: &Trace) -> Vec<Row> {
+    GpuSpec::presets_all()
+        .into_iter()
+        .map(|spec| {
+            let report = replay_decoded(trace, &TargetSpec::Spec(spec.clone()))
                 .expect("fig8 trace replays")
                 .remove(0);
             Row {
@@ -173,26 +136,26 @@ fn sweep_fig8(bytes: &[u8]) -> Vec<Row> {
         .collect()
 }
 
-fn expect_for(table: &[(&str, u64)], alias: &str) -> u64 {
+fn expect_for(table: &[(&str, u64)], name: &str) -> u64 {
     table
         .iter()
-        .find(|(a, _)| *a == alias)
+        .find(|(a, _)| *a == name)
         .map(|(_, v)| *v)
-        .expect("alias in expectation table")
+        .expect("preset name in expectation table")
 }
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     println!(
         "whatif — trace-driven replay of the Fig. 8 layer under {} target specs",
-        SWEEP.len()
+        GpuSpec::presets_all().len()
     );
     let mut c = Checker::default();
 
     // --- Differential gate: replay(capture spec) == live, bit for bit ---
     let (live, bytes) = captured_fig8(Parallelism::Serial);
     let (live_par, bytes_par) = captured_fig8(Parallelism::Threads(4));
-    println!("\n[gate] capture: {} B of KTRC v2 trace", bytes.len());
+    println!("\n[gate] capture: {} B of KTRC trace", bytes.len());
     c.check(
         "serial and threaded captures byte-identical",
         bytes == bytes_par,
@@ -203,7 +166,10 @@ fn main() {
         live.stats == live_par.stats,
         "KernelStats compared field-wise",
     );
-    let under_capture = &replay(&bytes, &TargetSpec::Capture).expect("replayable")[0];
+    // Decode the byte stream exactly once; the gate and every sweep
+    // preset re-price the same decoded slabs.
+    let trace = Trace::decode(&bytes).expect("fig8 trace decodes");
+    let under_capture = &replay_decoded(&trace, &TargetSpec::Capture).expect("replayable")[0];
     c.check(
         "replay(capture spec) == live KernelStats",
         under_capture.stats == live.stats,
@@ -218,8 +184,8 @@ fn main() {
         ),
     );
 
-    // --- Spec sweep over the same captured bytes ---
-    let rows = sweep_fig8(&bytes);
+    // --- Spec sweep over the same decoded trace ---
+    let rows = sweep_fig8(&trace);
     println!(
         "\n[sweep] fig8 general 3x3, one capture, {} re-pricings",
         rows.len()
@@ -245,21 +211,22 @@ fn main() {
             ),
         );
     }
-    for (alias, row) in SWEEP.iter().zip(&rows) {
+    for row in &rows {
+        let name = row.spec_name.as_str();
         let r = &row.report;
         c.eq_u64(
-            &format!("{alias}: replayed SM cycles match expectation"),
+            &format!("{name}: replayed SM cycles match expectation"),
             r.sm_cycles(),
-            expect_for(&EXPECT_SM_CYCLES, alias),
+            expect_for(&EXPECT_SM_CYCLES, name),
         );
         c.eq_u64(
-            &format!("{alias}: replayed GM transactions match expectation"),
+            &format!("{name}: replayed GM transactions match expectation"),
             r.gm_transactions(),
-            expect_for(&EXPECT_GM_TRANSACTIONS, alias),
+            expect_for(&EXPECT_GM_TRANSACTIONS, name),
         );
         // Useful bytes are trace facts, invariant under any target spec.
         c.check(
-            &format!("{alias}: useful bytes invariant"),
+            &format!("{name}: useful bytes invariant"),
             r.stats.sm_bytes_useful == live.stats.sm_bytes_useful
                 && r.stats.gm_ld_bytes_useful == live.stats.gm_ld_bytes_useful
                 && r.stats.gm_st_bytes_useful == live.stats.gm_st_bytes_useful,
@@ -271,12 +238,14 @@ fn main() {
     println!("\n[patterns] full-warp SmLd, 10 events each; waste = moved/useful bytes");
     let b8 = TargetSpec::Spec(GpuSpec::kepler_k40m());
     let b4 = TargetSpec::Spec(GpuSpec::kepler_k40m_4b());
-    let float_trace = sm_pattern_trace("float-stride4", 4, 4, 10);
-    let float2_trace = sm_pattern_trace("float2-stride8", 8, 8, 10);
-    let f_b8 = &replay(&float_trace, &b8).expect("pattern replays")[0];
-    let f_b4 = &replay(&float_trace, &b4).expect("pattern replays")[0];
-    let v_b8 = &replay(&float2_trace, &b8).expect("pattern replays")[0];
-    let v_b4 = &replay(&float2_trace, &b4).expect("pattern replays")[0];
+    let float_trace =
+        Trace::decode(&sm_pattern_trace("float-stride4", 4, 4, 10)).expect("pattern trace decodes");
+    let float2_trace = Trace::decode(&sm_pattern_trace("float2-stride8", 8, 8, 10))
+        .expect("pattern trace decodes");
+    let f_b8 = &replay_decoded(&float_trace, &b8).expect("pattern replays")[0];
+    let f_b4 = &replay_decoded(&float_trace, &b4).expect("pattern replays")[0];
+    let v_b8 = &replay_decoded(&float2_trace, &b8).expect("pattern replays")[0];
+    let v_b4 = &replay_decoded(&float2_trace, &b4).expect("pattern replays")[0];
     println!(
         "  float  stride 4: waste {} on 8B banks, {} on 4B banks (cycles {} / {})",
         f_b8.sm_waste(),
@@ -344,16 +313,7 @@ fn main() {
     std::fs::write(&path, &json).expect("write BENCH_whatif.json");
     println!("\nwrote {path}");
 
-    println!(
-        "\n{}/{} checks passed{}",
-        c.checks - c.failures,
-        c.checks,
-        if c.failures > 0 {
-            " — FAILURES ABOVE"
-        } else {
-            ""
-        }
-    );
+    c.summary();
     if check && c.failures > 0 {
         std::process::exit(1);
     }

@@ -11,13 +11,71 @@
 //! | `ablation_dtype` | Section 6 — short-data-type bank mismatch |
 //! | `ablation_overlap` | prefetch/overlap contribution |
 //!
-//! This library holds the small shared pieces: table rendering and
-//! geometric-mean helpers.
+//! This library holds the small shared pieces: table rendering,
+//! geometric-mean helpers, the PASS/FAIL [`Checker`] driving the
+//! `--check` harnesses, and the replay-farm corpus ([`farm`]).
 
 #![warn(missing_docs)]
 
+pub mod farm;
 pub mod fig8;
 pub mod harness;
+
+/// Running PASS/FAIL tally for the self-checking harnesses (`whatif`,
+/// `farm`): every check prints one line, and `--check` runs exit non-zero
+/// when any failed.
+#[derive(Debug, Default)]
+pub struct Checker {
+    /// Checks recorded so far.
+    pub checks: usize,
+    /// Checks that failed.
+    pub failures: usize,
+}
+
+impl Checker {
+    /// Records one named check, printing a `PASS`/`FAIL` line.
+    pub fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        self.checks += 1;
+        if ok {
+            println!("  PASS {name}: {detail}");
+        } else {
+            self.failures += 1;
+            println!("  FAIL {name}: {detail}");
+        }
+    }
+
+    /// Checks an exact `u64` measurement against its expected value.
+    pub fn eq_u64(&mut self, name: &str, measured: u64, expected: u64) {
+        self.check(
+            name,
+            measured == expected,
+            &format!("measured {measured}, expected {expected}"),
+        );
+    }
+
+    /// Checks an exact `f64` measurement against its expected value.
+    pub fn eq_f64(&mut self, name: &str, measured: f64, expected: f64) {
+        self.check(
+            name,
+            measured == expected,
+            &format!("measured {measured}, expected {expected}"),
+        );
+    }
+
+    /// Prints the closing `passed/total` summary line.
+    pub fn summary(&self) {
+        println!(
+            "\n{}/{} checks passed{}",
+            self.checks - self.failures,
+            self.checks,
+            if self.failures > 0 {
+                " — FAILURES ABOVE"
+            } else {
+                ""
+            }
+        );
+    }
+}
 
 /// Renders a row of fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {

@@ -4,7 +4,7 @@
 //! *addresses* and *architecture*, not of kernel code: the same warp
 //! access pattern that runs conflict-free on Fermi's 4-byte shared-memory
 //! banks wastes half the SM bandwidth on Kepler's 8-byte banks (the
-//! bank-width mismatch factor, eq. 1). A KTRC v2 trace records exactly
+//! bank-width mismatch factor, eq. 1). A KTRC v2+ trace records exactly
 //! the address side of that function — per-lane byte addresses, live
 //! masks and lane widths for every warp memory instruction — so the cost
 //! side can be recomputed offline for an architecture the kernel never
@@ -40,6 +40,15 @@
 //!   launches are re-scaled with the same round-to-nearest rule the
 //!   live launcher uses.
 //!
+//! The crate is a **batch facility**, fast in both loops. Inner loop:
+//! [`Trace::decode`] parses the byte stream once into flat slabs, and
+//! [`replay_decoded`] / [`replay_launch`] re-price the in-memory form —
+//! an N-spec sweep pays the varint decoder exactly once ([`replay`] is
+//! the decode-once wrapper; [`replay_streamed`] keeps the single-pass
+//! byte path for one-shot replay of huge traces). Outer loop: the
+//! [`farm`] module fans the pure trace×spec cells of a sweep over a
+//! scoped thread pool with deterministic, thread-count-invariant output.
+//!
 //! ```
 //! use kconv_replay::{replay, TargetSpec};
 //! use kconv_sim::{lane_addrs, Gpu, GpuSpec, LaneMask, LaunchConfig, SimMode};
@@ -68,17 +77,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod farm;
+
 use std::collections::HashSet;
 
 use kconv_sim::pricing::{
     bank_conflict_cycles, for_each_unit, ro_capacity_lines, segment_count, RoCache,
 };
 use kconv_sim::{
-    timing, GpuSpec, KernelStats, LaunchConfig, Timing, TraceEvent, TraceOp, WarpAddrs,
+    timing, GpuSpec, KernelStats, LaneMask, LaunchConfig, Timing, TraceEvent, TraceOp, WarpAddrs,
 };
 use kconv_trace::{read_trace, LaunchEnd, LaunchHeader, TraceVisitor};
 
-pub use kconv_trace::TraceError;
+pub use farm::{sweep, sweep_cells, SweepCell};
+pub use kconv_trace::{DecodedLaunch, Trace, TraceError};
 
 /// Which architecture to price the replay under.
 #[derive(Debug, Clone)]
@@ -151,7 +163,7 @@ pub struct OpCost {
 }
 
 /// One launch of a trace, re-priced under a target architecture.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayReport {
     /// Kernel name from the launch header.
     pub kernel: String,
@@ -212,8 +224,12 @@ impl ReplayReport {
     }
 }
 
-/// One launch being accumulated by the replay visitor.
-struct OpenLaunch {
+/// The shared pricing core: one launch being re-priced, fed either by the
+/// streaming byte visitor ([`replay_streamed`]) or by the decoded slab
+/// walker ([`replay_launch`]). Both paths go through the same three
+/// methods, which is what makes the decoded ≡ streamed differential hold
+/// by construction.
+struct LaunchAccum {
     header: LaunchHeader,
     spec: GpuSpec,
     stats: KernelStats,
@@ -227,33 +243,60 @@ struct OpenLaunch {
     cm_lines: HashSet<u64>,
 }
 
-/// The replay engine: a [`TraceVisitor`] that re-prices every event.
-struct Engine<'t> {
-    target: &'t TargetSpec,
-    done: Vec<ReplayReport>,
-    open: Option<OpenLaunch>,
-    missing_spec: Option<String>,
-}
+impl LaunchAccum {
+    fn begin(header: LaunchHeader, spec: GpuSpec) -> Self {
+        let ro_capacity = ro_capacity_lines(spec.ro_cache_bytes, spec.gm_transaction_bytes);
+        LaunchAccum {
+            header,
+            spec,
+            stats: KernelStats::default(),
+            per_op: [OpCost::default(); TraceOp::COUNT],
+            ro: RoCache::new(ro_capacity),
+            cm_lines: HashSet::new(),
+        }
+    }
 
-impl Engine<'_> {
-    /// Re-prices one event against `spec`, updating `stats` exactly the
-    /// way the live memory models charge their counters (`GmPlane`,
-    /// `SharedMemory`, `CmPlane` in `kconv-sim`). Returns the
-    /// (transactions, cycles) pair for the per-op table.
+    fn block_begin(&mut self) {
+        self.stats.blocks_executed += 1;
+        // The read-only cache is per-SM, per-block residency in the live
+        // model: fresh for every block.
+        self.ro = RoCache::new(ro_capacity_lines(
+            self.spec.ro_cache_bytes,
+            self.spec.gm_transaction_bytes,
+        ));
+    }
+
+    /// Re-prices one event, updating the stats exactly the way the live
+    /// memory models charge their counters (`GmPlane`, `SharedMemory`,
+    /// `CmPlane` in `kconv-sim`).
+    fn event(&mut self, op: TraceOp, mask: LaneMask, lane_bytes: u32, addrs: &WarpAddrs) {
+        let (tx, cycles) = self.price(op, mask, lane_bytes, addrs);
+        let t = &mut self.per_op[op.index()];
+        t.events += 1;
+        t.lane_accesses += u64::from(mask.count());
+        t.useful_bytes += u64::from(mask.count()) * u64::from(lane_bytes);
+        t.transactions += tx;
+        t.cycles += cycles;
+    }
+
+    /// Returns the (transactions, cycles) pair for the per-op table.
     fn price(
-        spec: &GpuSpec,
-        stats: &mut KernelStats,
-        ro: &mut RoCache,
-        cm_lines: &mut HashSet<u64>,
-        ev: &TraceEvent,
+        &mut self,
+        op: TraceOp,
+        mask: LaneMask,
+        lane_bytes: u32,
+        addrs: &WarpAddrs,
     ) -> (u64, u64) {
-        let width = u64::from(ev.lane_bytes);
-        let addrs: &WarpAddrs = &ev.addrs;
-        let useful = u64::from(ev.mask.count()) * width;
-        match ev.op {
+        let spec = &self.spec;
+        let stats = &mut self.stats;
+        let ro = &mut self.ro;
+        let cm_lines = &mut self.cm_lines;
+        let width = u64::from(lane_bytes);
+        let useful = u64::from(mask.count()) * width;
+        match op {
             TraceOp::GmLd => {
                 let seg = spec.gm_transaction_bytes;
-                let segs = segment_count(addrs, width, ev.mask, seg);
+                let segs = segment_count(addrs, width, mask, seg);
                 stats.gm_ld_requests += 1;
                 stats.gm_ld_transactions += segs;
                 stats.gm_ld_bytes_bus += segs * seg;
@@ -262,7 +305,7 @@ impl Engine<'_> {
             }
             TraceOp::GmSt => {
                 let seg = spec.gm_store_transaction_bytes;
-                let segs = segment_count(addrs, width, ev.mask, seg);
+                let segs = segment_count(addrs, width, mask, seg);
                 stats.gm_st_requests += 1;
                 stats.gm_st_transactions += segs;
                 stats.gm_st_bytes_bus += segs * seg;
@@ -272,7 +315,7 @@ impl Engine<'_> {
             TraceOp::GmLdRo => {
                 let seg = spec.gm_transaction_bytes;
                 let mut misses = 0u64;
-                for_each_unit(addrs, width, ev.mask, seg, |line, first_visit| {
+                for_each_unit(addrs, width, mask, seg, |line, first_visit| {
                     if first_visit {
                         if ro.touch(line) {
                             stats.gm_ro_hits += 1;
@@ -289,8 +332,8 @@ impl Engine<'_> {
             }
             TraceOp::SmLd | TraceOp::SmSt => {
                 let out =
-                    bank_conflict_cycles(addrs, width, ev.mask, spec.smem_banks, spec.bank_width);
-                if ev.op == TraceOp::SmLd {
+                    bank_conflict_cycles(addrs, width, mask, spec.smem_banks, spec.bank_width);
+                if op == TraceOp::SmLd {
                     stats.sm_ld_requests += 1;
                     stats.sm_ld_cycles += out.cycles;
                 } else {
@@ -306,7 +349,7 @@ impl Engine<'_> {
                 // The live model dedups at word (not lane-width)
                 // granularity and counts a first-touched line as a miss.
                 let mut distinct = 0u64;
-                for_each_unit(addrs, 1, ev.mask, 1, |a, first_visit| {
+                for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
                     if first_visit {
                         distinct += 1;
                         if cm_lines.insert(a / spec.cm_line_bytes) {
@@ -321,119 +364,119 @@ impl Engine<'_> {
             }
         }
     }
-}
 
-impl TraceVisitor for Engine<'_> {
-    fn launch_begin(&mut self, header: &LaunchHeader) {
-        let spec = match self.target {
-            TargetSpec::Spec(s) => Some(s.clone()),
-            TargetSpec::Capture => header.spec.clone(),
-        };
-        let Some(spec) = spec else {
-            if self.missing_spec.is_none() {
-                self.missing_spec = Some(header.kernel.clone());
-            }
-            self.open = None;
-            return;
-        };
-        let ro_capacity = ro_capacity_lines(spec.gm_transaction_bytes);
-        self.open = Some(OpenLaunch {
-            header: header.clone(),
-            spec,
-            stats: KernelStats::default(),
-            per_op: [OpCost::default(); TraceOp::COUNT],
-            ro: RoCache::new(ro_capacity),
-            cm_lines: HashSet::new(),
-        });
-    }
-
-    fn block_begin(&mut self, _block_id: u64, _event_count: u64) {
-        if let Some(open) = self.open.as_mut() {
-            open.stats.blocks_executed += 1;
-            // The read-only cache is per-SM, per-block residency in the
-            // live model: fresh for every block.
-            open.ro = RoCache::new(ro_capacity_lines(open.spec.gm_transaction_bytes));
-        }
-    }
-
-    fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
-        let Some(open) = self.open.as_mut() else {
-            return;
-        };
-        let (tx, cycles) = Engine::price(
-            &open.spec,
-            &mut open.stats,
-            &mut open.ro,
-            &mut open.cm_lines,
-            ev,
-        );
-        let t = &mut open.per_op[ev.op.index()];
-        t.events += 1;
-        t.lane_accesses += u64::from(ev.mask.count());
-        t.useful_bytes += ev.useful_bytes();
-        t.transactions += tx;
-        t.cycles += cycles;
-    }
-
-    fn launch_end(&mut self, end: &LaunchEnd) {
-        let Some(mut open) = self.open.take() else {
-            return;
-        };
-        let grid = open.header.grid_blocks;
-        let executed = open.stats.blocks_executed;
+    fn finish(mut self, end: &LaunchEnd) -> ReplayReport {
+        let grid = self.header.grid_blocks;
+        let executed = self.stats.blocks_executed;
         if end.aborted {
             // A faulted capture has no final live stats: report the clean
             // prefix as-is, unscaled.
-            open.stats.blocks_total = grid;
+            self.stats.blocks_total = grid;
         } else if executed == grid {
-            open.stats.blocks_total = grid;
+            self.stats.blocks_total = grid;
         } else {
             // Sampled capture: extrapolate with the live launcher's
             // round-to-nearest rule.
-            open.stats = open.stats.scaled_to_blocks(grid, executed.max(1));
+            self.stats = self.stats.scaled_to_blocks(grid, executed.max(1));
         }
         // Arithmetic and barrier counts are not memory events — graft
         // them from the (already scaled) launch-end stats. v1 ends carry
         // only the FMA count.
         if let Some(live) = &end.stats {
-            open.stats.fma_lane_ops = live.fma_lane_ops;
-            open.stats.alu_lane_ops = live.alu_lane_ops;
-            open.stats.barriers = live.barriers;
+            self.stats.fma_lane_ops = live.fma_lane_ops;
+            self.stats.alu_lane_ops = live.alu_lane_ops;
+            self.stats.barriers = live.barriers;
         } else {
-            open.stats.fma_lane_ops = end.fma_lane_ops;
+            self.stats.fma_lane_ops = end.fma_lane_ops;
         }
         let (timing, timing_error) = if end.aborted {
             (None, None)
         } else {
             let cfg = LaunchConfig {
-                name: open.header.kernel.clone(),
+                name: self.header.kernel.clone(),
                 blocks: grid as usize,
-                threads_per_block: open.header.threads_per_block as usize,
-                smem_bytes: open.header.smem_bytes as u32,
-                regs_per_thread: open.header.regs_per_thread as u32,
-                overlap: open.header.overlap,
+                threads_per_block: self.header.threads_per_block as usize,
+                smem_bytes: self.header.smem_bytes as u32,
+                regs_per_thread: self.header.regs_per_thread as u32,
+                overlap: self.header.overlap,
             };
-            match timing::evaluate(&open.spec, &cfg, &open.stats) {
+            match timing::evaluate(&self.spec, &cfg, &self.stats) {
                 Ok(t) => (Some(t), None),
                 Err(e) => (None, Some(e.to_string())),
             }
         };
-        self.done.push(ReplayReport {
-            kernel: open.header.kernel,
+        ReplayReport {
+            kernel: self.header.kernel,
             grid_blocks: grid,
             executed_blocks: executed,
-            capture_spec: open.header.spec,
-            target_spec: open.spec,
-            stats: open.stats,
-            per_op: open.per_op,
+            capture_spec: self.header.spec,
+            target_spec: self.spec,
+            stats: self.stats,
+            per_op: self.per_op,
             timing,
             timing_error,
             aborted: end.aborted,
-        });
+        }
     }
 }
 
-/// Re-prices every launch in a binary KTRC trace under `target`.
+/// Resolves the pricing spec for one launch header under `target`.
+fn resolve_spec(header: &LaunchHeader, target: &TargetSpec) -> Result<GpuSpec, ReplayError> {
+    match target {
+        TargetSpec::Spec(s) => Ok(s.clone()),
+        TargetSpec::Capture => header
+            .spec
+            .clone()
+            .ok_or_else(|| ReplayError::MissingCaptureSpec {
+                kernel: header.kernel.clone(),
+            }),
+    }
+}
+
+/// The streaming replay engine: a [`TraceVisitor`] feeding [`LaunchAccum`].
+struct Engine<'t> {
+    target: &'t TargetSpec,
+    done: Vec<ReplayReport>,
+    open: Option<LaunchAccum>,
+    missing_spec: Option<String>,
+}
+
+impl TraceVisitor for Engine<'_> {
+    fn launch_begin(&mut self, header: &LaunchHeader) {
+        match resolve_spec(header, self.target) {
+            Ok(spec) => self.open = Some(LaunchAccum::begin(header.clone(), spec)),
+            Err(_) => {
+                if self.missing_spec.is_none() {
+                    self.missing_spec = Some(header.kernel.clone());
+                }
+                self.open = None;
+            }
+        }
+    }
+
+    fn block_begin(&mut self, _block_id: u64, _event_count: u64) {
+        if let Some(open) = self.open.as_mut() {
+            open.block_begin();
+        }
+    }
+
+    fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
+        if let Some(open) = self.open.as_mut() {
+            open.event(ev.op, ev.mask, ev.lane_bytes, &ev.addrs);
+        }
+    }
+
+    fn launch_end(&mut self, end: &LaunchEnd) {
+        if let Some(open) = self.open.take() {
+            self.done.push(open.finish(end));
+        }
+    }
+}
+
+/// Re-prices every launch in a binary KTRC trace under `target`, decoding
+/// the byte stream **once** into a [`Trace`] and replaying the in-memory
+/// form. Re-pricing the same capture under many specs should decode once
+/// with [`Trace::decode`] and call [`replay_decoded`] per spec instead.
 ///
 /// # Errors
 ///
@@ -441,6 +484,23 @@ impl TraceVisitor for Engine<'_> {
 /// [`ReplayError::MissingCaptureSpec`] when `target` is
 /// [`TargetSpec::Capture`] and a launch header has no embedded spec (v1).
 pub fn replay(bytes: &[u8], target: &TargetSpec) -> Result<Vec<ReplayReport>, ReplayError> {
+    let trace = Trace::decode(bytes)?;
+    replay_decoded(&trace, target)
+}
+
+/// Re-prices every launch without materializing the trace: a single
+/// streaming pass over the byte stream. Same results as [`replay`], bit
+/// for bit (both drive the same [`LaunchAccum`] core — the differential
+/// tests pin it); use this for one-shot replay of very large traces where
+/// the decoded slabs are not worth holding.
+///
+/// # Errors
+///
+/// As [`replay`].
+pub fn replay_streamed(
+    bytes: &[u8],
+    target: &TargetSpec,
+) -> Result<Vec<ReplayReport>, ReplayError> {
     let mut engine = Engine {
         target,
         done: Vec::new(),
@@ -452,6 +512,46 @@ pub fn replay(bytes: &[u8], target: &TargetSpec) -> Result<Vec<ReplayReport>, Re
         return Err(ReplayError::MissingCaptureSpec { kernel });
     }
     Ok(engine.done)
+}
+
+/// Re-prices every launch of an already-decoded [`Trace`] under `target`.
+/// This is the farm's inner loop: decode once, call this per grid cell.
+///
+/// # Errors
+///
+/// [`ReplayError::MissingCaptureSpec`] as in [`replay`] (the trace itself
+/// is already parsed, so no [`ReplayError::Trace`]).
+pub fn replay_decoded(
+    trace: &Trace,
+    target: &TargetSpec,
+) -> Result<Vec<ReplayReport>, ReplayError> {
+    trace
+        .launches()
+        .iter()
+        .map(|launch| replay_launch(launch, target))
+        .collect()
+}
+
+/// Re-prices one decoded launch under `target`: walks the flat slabs,
+/// borrowing each event's lane addresses zero-copy.
+///
+/// # Errors
+///
+/// [`ReplayError::MissingCaptureSpec`] when `target` is
+/// [`TargetSpec::Capture`] and the launch header has no embedded spec.
+pub fn replay_launch(
+    launch: &DecodedLaunch,
+    target: &TargetSpec,
+) -> Result<ReplayReport, ReplayError> {
+    let spec = resolve_spec(&launch.header, target)?;
+    let mut accum = LaunchAccum::begin(launch.header.clone(), spec);
+    for block in launch.blocks() {
+        accum.block_begin();
+        for (head, addrs) in block.events() {
+            accum.event(head.op, head.mask, head.lane_bytes, addrs);
+        }
+    }
+    Ok(accum.finish(&launch.end))
 }
 
 #[cfg(test)]
@@ -531,6 +631,107 @@ mod tests {
             // The kernel exercised every op kind.
             for op in TraceOp::ALL {
                 assert!(r.op(op).events > 0, "no {op} events replayed");
+            }
+            // Three-way differential: the streamed byte path and the
+            // decoded slab path drive the same accumulator and must agree
+            // with each other — and, under the capture spec, with the
+            // live counters — bit for bit.
+            let streamed = replay_streamed(&bytes, &TargetSpec::Capture).unwrap();
+            assert_eq!(streamed, reports, "{parallelism:?}");
+            let decoded =
+                replay_decoded(&Trace::decode(&bytes).unwrap(), &TargetSpec::Capture).unwrap();
+            assert_eq!(decoded, reports, "{parallelism:?}");
+        }
+    }
+
+    /// splitmix64, as in the trace-format property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Decoded-vs-byte differential on seeded random streams: for
+    /// arbitrary (not just kernel-shaped) event soup, under every preset,
+    /// both replay paths must produce identical reports.
+    #[test]
+    fn decoded_and_streamed_replay_agree_on_random_streams() {
+        for seed in 0..6u64 {
+            let mut rng = Rng(0xFA21_0000 + seed);
+            let spec = GpuSpec::kepler_k40m();
+            let buf = SharedBuffer::new();
+            let mut w = TraceWriter::new(buf.clone());
+            for li in 0..1 + (seed % 3) {
+                let blocks = 1 + rng.next() % 5;
+                w.launch_begin(&TraceLaunch {
+                    kernel: &format!("rand-{seed}-{li}"),
+                    grid_blocks: blocks as usize,
+                    executed_blocks: blocks as usize,
+                    threads_per_block: 32 * (1 + (rng.next() % 8) as usize),
+                    smem_bytes: (rng.next() % 40_000) as u32,
+                    regs_per_thread: 16 + (rng.next() % 48) as u32,
+                    overlap: OverlapMode::from_u8((rng.next() % 3) as u8).unwrap(),
+                    spec: &spec,
+                });
+                for block_id in 0..blocks {
+                    let events: Vec<TraceEvent> = (0..rng.next() % 24)
+                        .map(|_| {
+                            let mask = LaneMask(match rng.next() % 4 {
+                                0 => 0,
+                                1 => 1 << (rng.next() % 32),
+                                2 => u32::MAX,
+                                _ => rng.next() as u32,
+                            });
+                            let mut addrs = [0u64; WARP_SIZE];
+                            for (lane, slot) in addrs.iter_mut().enumerate() {
+                                if mask.is_active(lane) {
+                                    *slot = match rng.next() % 3 {
+                                        0 => rng.next() % (1 << 30), // scattered
+                                        _ => 4096 + lane as u64 * (rng.next() % 40),
+                                    };
+                                }
+                            }
+                            TraceEvent {
+                                op: TraceOp::ALL[(rng.next() % 6) as usize],
+                                warp: rng.next() as u32 % 8,
+                                mask,
+                                lane_bytes: 1 << (rng.next() % 4),
+                                transactions: 0,
+                                cycles: 0,
+                                addrs,
+                            }
+                        })
+                        .collect();
+                    w.block_events(block_id as usize, &events);
+                }
+                w.launch_end(&KernelStats {
+                    fma_lane_ops: rng.next() % (1 << 40),
+                    alu_lane_ops: rng.next() % (1 << 40),
+                    barriers: rng.next() % 100,
+                    blocks_total: blocks,
+                    ..Default::default()
+                });
+            }
+            let (_, err) = w.into_inner();
+            assert!(err.is_none());
+            let bytes = buf.take();
+            let trace = Trace::decode(&bytes).unwrap();
+            for target in [
+                TargetSpec::Capture,
+                TargetSpec::Spec(GpuSpec::kepler_k40m_4b()),
+                TargetSpec::Spec(GpuSpec::fermi_m2090()),
+                TargetSpec::Spec(GpuSpec::maxwell_like()),
+            ] {
+                let streamed = replay_streamed(&bytes, &target).unwrap();
+                let decoded = replay_decoded(&trace, &target).unwrap();
+                assert_eq!(streamed, decoded, "seed {seed}");
+                assert_eq!(replay(&bytes, &target).unwrap(), decoded, "seed {seed}");
             }
         }
     }

@@ -504,7 +504,7 @@ mod tests {
 
     fn harness(threads: usize) -> (GlobalMemory, ConstantMemory, BlockDims) {
         (
-            GlobalMemory::new(1 << 20, 128, 32),
+            GlobalMemory::new(1 << 20, 128, 32, 48 * 1024),
             ConstantMemory::new(1 << 16, 256),
             BlockDims {
                 block_id: 0,

@@ -335,6 +335,7 @@ impl Gpu {
             GM_CAPACITY,
             spec.gm_transaction_bytes,
             spec.gm_store_transaction_bytes,
+            spec.ro_cache_bytes,
         );
         let mut cm = ConstantMemory::new(spec.cm_bytes, spec.cm_line_bytes);
         let sanitizer = SanitizerMode::from_env().unwrap_or_default();

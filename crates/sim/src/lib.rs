@@ -77,7 +77,7 @@ pub use mem::{
     bank_conflict_cycles, BankAccessOutcome, ConstantMemory, GlobalMemory, GmBuf, SharedMemory,
 };
 pub use report::render_report;
-pub use spec::{BankWidth, GpuSpec, WARP_SIZE};
+pub use spec::{BankWidth, GpuSpec, SpecGrid, WARP_SIZE};
 pub use stats::KernelStats;
 pub use timing::{occupancy, Occupancy, OverlapMode, Timing};
 pub use trace::{TraceEvent, TraceLaunch, TraceOp, TraceSink};

@@ -92,6 +92,7 @@ pub struct GlobalMemory {
     capacity: u64,
     ld_transaction_bytes: u64,
     st_transaction_bytes: u64,
+    ro_cache_bytes: u64,
     /// memcheck shadow: present only when uninitialized-read tracking is
     /// enabled.
     shadow: Option<Shadow>,
@@ -104,14 +105,24 @@ const ALLOC_ALIGN: u64 = 256;
 impl GlobalMemory {
     /// Creates a device memory of `capacity` bytes serviced in
     /// `ld_transaction_bytes` load segments and `st_transaction_bytes`
-    /// store sectors.
+    /// store sectors, fronted by a per-SM read-only cache of
+    /// `ro_cache_bytes`.
     ///
     /// Backing storage is committed lazily by the OS; creating a large
     /// device memory is cheap until pages are touched.
-    pub fn new(capacity: u64, ld_transaction_bytes: u64, st_transaction_bytes: u64) -> Self {
+    pub fn new(
+        capacity: u64,
+        ld_transaction_bytes: u64,
+        st_transaction_bytes: u64,
+        ro_cache_bytes: u64,
+    ) -> Self {
         assert!(
             ld_transaction_bytes.is_power_of_two() && st_transaction_bytes.is_power_of_two(),
             "transaction sizes must be powers of two"
+        );
+        assert!(
+            ro_cache_bytes >= ld_transaction_bytes,
+            "read-only cache must hold at least one line"
         );
         GlobalMemory {
             data: Vec::new(),
@@ -119,6 +130,7 @@ impl GlobalMemory {
             capacity,
             ld_transaction_bytes,
             st_transaction_bytes,
+            ro_cache_bytes,
             shadow: None,
         }
     }
@@ -150,10 +162,10 @@ impl GlobalMemory {
         self.st_transaction_bytes
     }
 
-    /// Line capacity of the per-SM read-only (texture) cache: Kepler's
-    /// 48 KiB in load-segment-sized lines.
+    /// Line capacity of the per-SM read-only (texture) cache: its capacity
+    /// in load-segment-sized lines.
     pub(crate) fn ro_capacity_lines(&self) -> usize {
-        crate::pricing::ro_capacity_lines(self.ld_transaction_bytes)
+        crate::pricing::ro_capacity_lines(self.ro_cache_bytes, self.ld_transaction_bytes)
     }
 
     /// Allocates `bytes` bytes, 256-byte aligned.
@@ -339,7 +351,7 @@ mod tests {
     use crate::warp::{lane_addrs, lane_addrs_from, lane_addrs_uniform, LaneMask};
 
     fn gm() -> GlobalMemory {
-        GlobalMemory::new(1 << 20, 128, 32)
+        GlobalMemory::new(1 << 20, 128, 32, 48 * 1024)
     }
 
     #[test]

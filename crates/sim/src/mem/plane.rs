@@ -676,7 +676,7 @@ mod tests {
     use std::collections::HashMap;
 
     fn gm() -> GlobalMemory {
-        GlobalMemory::new(1 << 20, 128, 32)
+        GlobalMemory::new(1 << 20, 128, 32, 48 * 1024)
     }
 
     fn seeded(gm: &mut GlobalMemory, n: u64) -> crate::mem::GmBuf {

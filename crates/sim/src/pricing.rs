@@ -84,11 +84,14 @@ pub fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) ->
     n
 }
 
-/// Line capacity of the per-SM read-only (texture) cache for a part whose
-/// load transactions (= cache lines) are `ld_transaction_bytes` wide:
-/// [`RO_CACHE_BYTES`] divided into lines.
-pub fn ro_capacity_lines(ld_transaction_bytes: u64) -> usize {
-    (RO_CACHE_BYTES / ld_transaction_bytes) as usize
+/// Line capacity of a per-SM read-only (texture) cache of `ro_cache_bytes`
+/// on a part whose load transactions (= cache lines) are
+/// `ld_transaction_bytes` wide. Pass [`RO_CACHE_BYTES`] for the 48 KiB cache
+/// every real part here carries, or a swept
+/// [`GpuSpec::ro_cache_bytes`](crate::GpuSpec::ro_cache_bytes) for what-if
+/// grids.
+pub fn ro_capacity_lines(ro_cache_bytes: u64, ld_transaction_bytes: u64) -> usize {
+    (ro_cache_bytes / ld_transaction_bytes) as usize
 }
 
 /// Multiplicative mixer for cache-line indices. Line numbers are small,
@@ -188,8 +191,9 @@ mod tests {
     }
 
     #[test]
-    fn ro_capacity_tracks_line_size() {
-        assert_eq!(ro_capacity_lines(128), 384);
-        assert_eq!(ro_capacity_lines(32), 1536);
+    fn ro_capacity_tracks_line_size_and_cache_size() {
+        assert_eq!(ro_capacity_lines(RO_CACHE_BYTES, 128), 384);
+        assert_eq!(ro_capacity_lines(RO_CACHE_BYTES, 32), 1536);
+        assert_eq!(ro_capacity_lines(24 * 1024, 128), 192);
     }
 }

@@ -122,6 +122,10 @@ pub struct GpuSpec {
     /// through 32-byte sectors, so scattered stores are charged less than
     /// scattered loads).
     pub gm_store_transaction_bytes: u64,
+    /// Per-SM read-only (texture) cache capacity in bytes. 48 KiB on every
+    /// part the paper discusses; a sweepable axis for the replay farm's
+    /// what-if grids.
+    pub ro_cache_bytes: u64,
     /// Constant memory size in bytes.
     pub cm_bytes: u64,
     /// Constant-cache line size in bytes.
@@ -156,6 +160,7 @@ impl GpuSpec {
             gm_bandwidth_gbs: 288.0,
             gm_transaction_bytes: 128,
             gm_store_transaction_bytes: 32,
+            ro_cache_bytes: 48 * 1024,
             cm_bytes: 64 * 1024,
             cm_line_bytes: 256,
             latency_hiding_warps: 16,
@@ -182,6 +187,7 @@ impl GpuSpec {
             gm_bandwidth_gbs: 177.0,
             gm_transaction_bytes: 128,
             gm_store_transaction_bytes: 32,
+            ro_cache_bytes: 48 * 1024,
             cm_bytes: 64 * 1024,
             cm_line_bytes: 256,
             latency_hiding_warps: 12,
@@ -208,6 +214,7 @@ impl GpuSpec {
             gm_bandwidth_gbs: 224.0,
             gm_transaction_bytes: 128,
             gm_store_transaction_bytes: 32,
+            ro_cache_bytes: 48 * 1024,
             cm_bytes: 64 * 1024,
             cm_line_bytes: 256,
             latency_hiding_warps: 16,
@@ -242,6 +249,32 @@ impl GpuSpec {
         }
     }
 
+    /// Every preset in canonical sweep order: the paper's evaluation machine
+    /// first, then its 4-byte-bank ablation, then the contrast parts. This is
+    /// the anchored preset list experiment harnesses (`whatif`, the replay
+    /// farm) sweep instead of keeping their own ad-hoc copies.
+    pub fn presets_all() -> Vec<GpuSpec> {
+        vec![
+            Self::kepler_k40m(),
+            Self::kepler_k40m_4b(),
+            Self::fermi_m2090(),
+            Self::maxwell_like(),
+        ]
+    }
+
+    /// Cartesian what-if grid builder anchored at this spec: every axis not
+    /// explicitly swept keeps this spec's value. See [`SpecGrid`].
+    pub fn grid(self) -> SpecGrid {
+        SpecGrid::anchored(self)
+    }
+
+    /// Line capacity of this part's per-SM read-only (texture) cache:
+    /// [`ro_cache_bytes`](Self::ro_cache_bytes) divided into load-transaction
+    /// sized lines.
+    pub fn ro_capacity_lines(&self) -> usize {
+        (self.ro_cache_bytes / self.gm_transaction_bytes) as usize
+    }
+
     /// Peak single-precision throughput in GFlop/s (2 flops per FMA lane per
     /// cycle).
     pub fn peak_gflops(&self) -> f64 {
@@ -271,6 +304,145 @@ impl Default for GpuSpec {
     /// Defaults to the paper's evaluation machine, the Kepler K40m.
     fn default() -> Self {
         GpuSpec::kepler_k40m()
+    }
+}
+
+/// Cartesian grid of hypothetical parts, anchored at a base spec.
+///
+/// The replay farm sweeps the four architectural axes the paper's
+/// memory-efficiency terms depend on — shared-memory bank width (eq. 1),
+/// global-memory load transaction (line) size, read-only cache capacity and
+/// SMX count — while every other parameter keeps the anchor's value, so each
+/// grid cell isolates those axes exactly like [`GpuSpec::kepler_k40m_4b`]
+/// isolates bank width.
+///
+/// Axes default to the anchor's own value; `build` validates every value and
+/// emits specs in deterministic nested order (bank width, then line size,
+/// then RO capacity, then SM count — last axis fastest).
+///
+/// # Examples
+///
+/// ```
+/// use kconv_sim::{BankWidth, GpuSpec};
+/// let grid = GpuSpec::kepler_k40m()
+///     .grid()
+///     .bank_widths(&[BankWidth::B4, BankWidth::B8])
+///     .line_sizes(&[64, 128])
+///     .build()
+///     .unwrap();
+/// assert_eq!(grid.len(), 4);
+/// // Unswept axes anchor to the base part.
+/// assert!(grid.iter().all(|s| s.sm_count == 15));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecGrid {
+    base: GpuSpec,
+    bank_widths: Vec<BankWidth>,
+    line_sizes: Vec<u64>,
+    ro_cache_bytes: Vec<u64>,
+    sm_counts: Vec<u32>,
+}
+
+impl SpecGrid {
+    /// A degenerate grid whose every axis holds just the anchor's value;
+    /// building it unchanged yields exactly `vec![base]`.
+    pub fn anchored(base: GpuSpec) -> Self {
+        SpecGrid {
+            bank_widths: vec![base.bank_width],
+            line_sizes: vec![base.gm_transaction_bytes],
+            ro_cache_bytes: vec![base.ro_cache_bytes],
+            sm_counts: vec![base.sm_count],
+            base,
+        }
+    }
+
+    /// Sweep the shared-memory bank width (`W_SMB`).
+    pub fn bank_widths(mut self, widths: &[BankWidth]) -> Self {
+        self.bank_widths = widths.to_vec();
+        self
+    }
+
+    /// Sweep the global-memory load transaction (cache line) size in bytes.
+    pub fn line_sizes(mut self, bytes: &[u64]) -> Self {
+        self.line_sizes = bytes.to_vec();
+        self
+    }
+
+    /// Sweep the per-SM read-only cache capacity in bytes.
+    pub fn ro_cache_bytes(mut self, bytes: &[u64]) -> Self {
+        self.ro_cache_bytes = bytes.to_vec();
+        self
+    }
+
+    /// Sweep the number of streaming multiprocessors.
+    pub fn sm_counts(mut self, counts: &[u32]) -> Self {
+        self.sm_counts = counts.to_vec();
+        self
+    }
+
+    /// Number of cells the grid will produce.
+    pub fn len(&self) -> usize {
+        self.bank_widths.len()
+            * self.line_sizes.len()
+            * self.ro_cache_bytes.len()
+            * self.sm_counts.len()
+    }
+
+    /// Whether any axis is empty (in which case [`build`](Self::build) errs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the cartesian product in deterministic nested axis order.
+    /// Derived specs keep the anchor's `name`; validation rejects empty axes,
+    /// non-power-of-two or out-of-range line sizes, RO capacities smaller
+    /// than one line, and zero SM counts.
+    pub fn build(self) -> Result<Vec<GpuSpec>, String> {
+        for (axis, len) in [
+            ("bank_widths", self.bank_widths.len()),
+            ("line_sizes", self.line_sizes.len()),
+            ("ro_cache_bytes", self.ro_cache_bytes.len()),
+            ("sm_counts", self.sm_counts.len()),
+        ] {
+            if len == 0 {
+                return Err(format!("spec grid axis `{axis}` is empty"));
+            }
+        }
+        for &line in &self.line_sizes {
+            if !line.is_power_of_two() || !(32..=1024).contains(&line) {
+                return Err(format!(
+                    "line size {line} must be a power of two in 32..=1024"
+                ));
+            }
+        }
+        for &ro in &self.ro_cache_bytes {
+            let min_line = *self.line_sizes.iter().max().unwrap();
+            if ro < min_line {
+                return Err(format!(
+                    "ro cache of {ro} B holds less than one {min_line} B line"
+                ));
+            }
+        }
+        if self.sm_counts.contains(&0) {
+            return Err("sm_counts must be positive".into());
+        }
+        let mut specs = Vec::with_capacity(self.len());
+        for &bank_width in &self.bank_widths {
+            for &line in &self.line_sizes {
+                for &ro in &self.ro_cache_bytes {
+                    for &sm_count in &self.sm_counts {
+                        specs.push(GpuSpec {
+                            bank_width,
+                            gm_transaction_bytes: line,
+                            ro_cache_bytes: ro,
+                            sm_count,
+                            ..self.base.clone()
+                        });
+                    }
+                }
+            }
+        }
+        Ok(specs)
     }
 }
 
@@ -386,5 +558,90 @@ mod tests {
             assert_eq!(GpuSpec::preset(spec.name), Some(spec));
         }
         assert_eq!(GpuSpec::preset("volta"), None);
+    }
+
+    #[test]
+    fn presets_all_matches_individual_constructors() {
+        let all = GpuSpec::presets_all();
+        assert_eq!(
+            all,
+            vec![
+                GpuSpec::kepler_k40m(),
+                GpuSpec::kepler_k40m_4b(),
+                GpuSpec::fermi_m2090(),
+                GpuSpec::maxwell_like(),
+            ]
+        );
+    }
+
+    #[test]
+    fn degenerate_grid_is_the_anchor() {
+        let grid = GpuSpec::kepler_k40m().grid().build().unwrap();
+        assert_eq!(grid, vec![GpuSpec::kepler_k40m()]);
+    }
+
+    #[test]
+    fn grid_order_is_deterministic_nested() {
+        let grid = GpuSpec::kepler_k40m()
+            .grid()
+            .bank_widths(&[BankWidth::B4, BankWidth::B8])
+            .line_sizes(&[64, 128])
+            .ro_cache_bytes(&[24 * 1024, 48 * 1024])
+            .sm_counts(&[8, 15])
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 16);
+        // Last axis varies fastest; first axis slowest.
+        assert_eq!(grid[0].sm_count, 8);
+        assert_eq!(grid[1].sm_count, 15);
+        assert_eq!(grid[0].ro_cache_bytes, 24 * 1024);
+        assert_eq!(grid[2].ro_cache_bytes, 48 * 1024);
+        assert_eq!(grid[0].gm_transaction_bytes, 64);
+        assert_eq!(grid[4].gm_transaction_bytes, 128);
+        assert_eq!(grid[0].bank_width, BankWidth::B4);
+        assert_eq!(grid[8].bank_width, BankWidth::B8);
+        // Unswept axes anchor to the base spec.
+        assert!(grid.iter().all(|s| {
+            s.name == "Kepler K40m" && s.cores_per_sm == 192 && s.gm_store_transaction_bytes == 32
+        }));
+    }
+
+    #[test]
+    fn grid_validates_axes() {
+        assert!(GpuSpec::kepler_k40m()
+            .grid()
+            .line_sizes(&[])
+            .build()
+            .unwrap_err()
+            .contains("line_sizes"));
+        assert!(GpuSpec::kepler_k40m()
+            .grid()
+            .line_sizes(&[96])
+            .build()
+            .unwrap_err()
+            .contains("power of two"));
+        assert!(GpuSpec::kepler_k40m()
+            .grid()
+            .ro_cache_bytes(&[64])
+            .build()
+            .unwrap_err()
+            .contains("less than one"));
+        assert!(GpuSpec::kepler_k40m()
+            .grid()
+            .sm_counts(&[0])
+            .build()
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn ro_capacity_lines_tracks_both_axes() {
+        assert_eq!(GpuSpec::kepler_k40m().ro_capacity_lines(), 384);
+        let mut small = GpuSpec::kepler_k40m();
+        small.ro_cache_bytes = 24 * 1024;
+        small.gm_transaction_bytes = 64;
+        assert_eq!(small.ro_capacity_lines(), 384);
+        small.gm_transaction_bytes = 128;
+        assert_eq!(small.ro_capacity_lines(), 192);
     }
 }

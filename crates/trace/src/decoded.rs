@@ -1,0 +1,368 @@
+//! Decoded in-memory traces: parse the KTRC byte stream **once**, re-price
+//! it many times.
+//!
+//! [`read_trace`] is a streaming parser — cheap in memory, but every
+//! consumer pays the full varint/zigzag decode again. That is the wrong
+//! trade for the replay farm, which prices one capture under dozens of
+//! hypothetical [`GpuSpec`](kconv_sim::GpuSpec)s: decoding dominates
+//! pricing. A [`Trace`] materializes the stream into three flat slabs per
+//! launch —
+//!
+//! * fixed-size [`EventHead`]s (op, warp, mask, bytes/lane, recorded
+//!   transactions/cycles),
+//! * one contiguous `u64` lane-address slab, [`WARP_SIZE`] entries per
+//!   event in canonical form (inactive lanes zeroed), and
+//! * block spans (`block_id` + event range)
+//!
+//! — no per-event `Vec`, no pointer chasing. Replay walks the slabs and
+//! borrows each event's addresses as a zero-copy
+//! [`&WarpAddrs`](kconv_sim::WarpAddrs), exactly the type the shared
+//! pricing functions take.
+//!
+//! The decoded form is *lossless* with respect to the pricing inputs:
+//! every header, end record and event field that [`read_launches`]
+//! materializes is recoverable (see [`BlockView::to_events`]), which the
+//! round-trip property test pins.
+//!
+//! [`read_trace`]: crate::read_trace
+//! [`read_launches`]: crate::read_launches
+
+use kconv_sim::{LaneMask, TraceEvent, TraceOp, WarpAddrs, WARP_SIZE};
+
+use crate::format::{LaunchEnd, LaunchHeader, TraceVisitor};
+use crate::TraceError;
+
+/// The fixed-size part of one traced warp instruction — everything except
+/// the lane addresses, which live in the launch's shared address slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHead {
+    /// Which instruction.
+    pub op: TraceOp,
+    /// Issuing warp id within its block.
+    pub warp: u32,
+    /// Active lanes.
+    pub mask: LaneMask,
+    /// Bytes accessed per active lane.
+    pub lane_bytes: u32,
+    /// Transactions charged at capture time.
+    pub transactions: u32,
+    /// Cycles charged at capture time.
+    pub cycles: u32,
+}
+
+/// One block's event range inside a [`DecodedLaunch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockSpan {
+    id: u64,
+    start: usize,
+    len: usize,
+}
+
+/// One launch of a [`Trace`]: header, end record, and the flat event slabs.
+#[derive(Debug, Clone)]
+pub struct DecodedLaunch {
+    /// Launch metadata (including the capture spec for v2+ traces).
+    pub header: LaunchHeader,
+    /// How the launch ended (synthesized aborted on truncation, like the
+    /// streaming reader).
+    pub end: LaunchEnd,
+    blocks: Vec<BlockSpan>,
+    heads: Vec<EventHead>,
+    /// Lane addresses, `WARP_SIZE` per event, inactive lanes zeroed.
+    addrs: Vec<u64>,
+}
+
+impl DecodedLaunch {
+    fn new(header: LaunchHeader) -> Self {
+        DecodedLaunch {
+            header,
+            end: LaunchEnd {
+                aborted: true,
+                fma_lane_ops: 0,
+                stats: None,
+            },
+            blocks: Vec::new(),
+            heads: Vec::new(),
+            addrs: Vec::new(),
+        }
+    }
+
+    /// Number of traced events across all blocks.
+    pub fn event_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of block records.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks in delivery order, each a borrowed view into the slabs.
+    pub fn blocks(&self) -> impl ExactSizeIterator<Item = BlockView<'_>> + '_ {
+        self.blocks.iter().map(|span| BlockView {
+            block_id: span.id,
+            heads: &self.heads[span.start..span.start + span.len],
+            addrs: &self.addrs[span.start * WARP_SIZE..(span.start + span.len) * WARP_SIZE],
+        })
+    }
+}
+
+/// Borrowed view of one block's events inside a [`DecodedLaunch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    /// The block id recorded by the writer.
+    pub block_id: u64,
+    heads: &'a [EventHead],
+    addrs: &'a [u64],
+}
+
+impl<'a> BlockView<'a> {
+    /// Number of events in this block.
+    pub fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Whether the block recorded no events.
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// The block's events in issue order, each head paired with a
+    /// zero-copy borrow of its 32 lane addresses.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = (&'a EventHead, &'a WarpAddrs)> + 'a {
+        let addrs = self.addrs;
+        self.heads.iter().enumerate().map(move |(i, head)| {
+            let slice = &addrs[i * WARP_SIZE..(i + 1) * WARP_SIZE];
+            (head, <&WarpAddrs>::try_from(slice).expect("slab stride"))
+        })
+    }
+
+    /// Re-materializes the block as owned [`TraceEvent`]s (canonical form),
+    /// for comparison against [`read_launches`](crate::read_launches).
+    pub fn to_events(&self) -> Vec<TraceEvent> {
+        self.events()
+            .map(|(head, addrs)| TraceEvent {
+                op: head.op,
+                warp: head.warp,
+                mask: head.mask,
+                lane_bytes: head.lane_bytes,
+                transactions: head.transactions,
+                cycles: head.cycles,
+                addrs: *addrs,
+            })
+            .collect()
+    }
+}
+
+/// A fully decoded KTRC byte stream: every launch in slab form, ready to be
+/// re-priced many times without touching the varint decoder again.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    launches: Vec<DecodedLaunch>,
+}
+
+impl Trace {
+    /// Decodes a binary KTRC stream (any readable version) into slabs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`read_trace`](crate::read_trace)'s
+    /// [`TraceError::Malformed`] on corrupt or truncated input.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+        struct Builder {
+            done: Vec<DecodedLaunch>,
+            open: Option<DecodedLaunch>,
+        }
+        impl TraceVisitor for Builder {
+            fn launch_begin(&mut self, header: &LaunchHeader) {
+                self.open = Some(DecodedLaunch::new(header.clone()));
+            }
+            fn block_begin(&mut self, block_id: u64, event_count: u64) {
+                if let Some(open) = self.open.as_mut() {
+                    open.blocks.push(BlockSpan {
+                        id: block_id,
+                        start: open.heads.len(),
+                        len: 0,
+                    });
+                    open.heads.reserve(event_count as usize);
+                    open.addrs.reserve(event_count as usize * WARP_SIZE);
+                }
+            }
+            fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
+                if let Some(open) = self.open.as_mut() {
+                    open.heads.push(EventHead {
+                        op: ev.op,
+                        warp: ev.warp,
+                        mask: ev.mask,
+                        lane_bytes: ev.lane_bytes,
+                        transactions: ev.transactions,
+                        cycles: ev.cycles,
+                    });
+                    // The decoder leaves inactive lanes zeroed, so the slab
+                    // holds the canonical form by construction.
+                    open.addrs.extend_from_slice(&ev.addrs);
+                    if let Some(span) = open.blocks.last_mut() {
+                        span.len += 1;
+                    }
+                }
+            }
+            fn launch_end(&mut self, end: &LaunchEnd) {
+                if let Some(mut open) = self.open.take() {
+                    open.end = *end;
+                    self.done.push(open);
+                }
+            }
+        }
+        let mut builder = Builder {
+            done: Vec::new(),
+            open: None,
+        };
+        crate::format::read_trace(bytes, &mut builder)?;
+        Ok(Trace {
+            launches: builder.done,
+        })
+    }
+
+    /// The decoded launches in stream order.
+    pub fn launches(&self) -> &[DecodedLaunch] {
+        &self.launches
+    }
+
+    /// Total events across all launches.
+    pub fn total_events(&self) -> usize {
+        self.launches.iter().map(DecodedLaunch::event_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{read_launches, SharedBuffer, TraceWriter};
+    use kconv_sim::{GpuSpec, KernelStats, OverlapMode, TraceLaunch, TraceSink};
+
+    /// splitmix64, as in the format round-trip property test.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn random_stream(seed: u64) -> Vec<u8> {
+        let mut rng = Rng(0xFA43_0000 + seed);
+        let spec = GpuSpec::kepler_k40m();
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        for li in 0..1 + (seed % 3) {
+            let name = format!("kernel-{seed}-{li}");
+            let blocks = 1 + (rng.next() % 4);
+            w.launch_begin(&TraceLaunch {
+                kernel: &name,
+                grid_blocks: blocks as usize,
+                executed_blocks: blocks as usize,
+                threads_per_block: 64,
+                smem_bytes: (rng.next() % 48_000) as u32,
+                regs_per_thread: 16 + (rng.next() % 200) as u32,
+                overlap: OverlapMode::from_u8((rng.next() % 3) as u8).unwrap(),
+                spec: &spec,
+            });
+            for block_id in 0..blocks {
+                let events: Vec<TraceEvent> = (0..rng.next() % 20)
+                    .map(|_| {
+                        let mask = LaneMask(match rng.next() % 4 {
+                            0 => 0,
+                            1 => 1 << (rng.next() % 32),
+                            2 => u32::MAX,
+                            _ => rng.next() as u32,
+                        });
+                        let mut addrs = [0u64; WARP_SIZE];
+                        for (lane, slot) in addrs.iter_mut().enumerate() {
+                            if mask.is_active(lane) {
+                                *slot = rng.next() % (1 << 40);
+                            }
+                        }
+                        TraceEvent {
+                            op: TraceOp::ALL[(rng.next() % 6) as usize],
+                            warp: rng.next() as u32,
+                            mask,
+                            lane_bytes: (rng.next() % 17) as u32,
+                            transactions: rng.next() as u32,
+                            cycles: rng.next() as u32,
+                            addrs,
+                        }
+                    })
+                    .collect();
+                w.block_events(block_id as usize, &events);
+            }
+            w.launch_end(&KernelStats {
+                fma_lane_ops: rng.next(),
+                blocks_total: blocks,
+                ..Default::default()
+            });
+        }
+        let (_, err) = w.into_inner();
+        assert!(err.is_none());
+        buf.take()
+    }
+
+    /// Corpus round-trip property: on seeded random streams the decoded
+    /// slab view reproduces exactly what the materializing reader sees —
+    /// headers, ends, block ids, and every event field-exact.
+    #[test]
+    fn decoded_view_equals_materialized_launches() {
+        for seed in 0..8u64 {
+            let bytes = random_stream(seed);
+            let want = read_launches(&bytes).unwrap();
+            let trace = Trace::decode(&bytes).unwrap();
+            assert_eq!(trace.launches().len(), want.len(), "seed {seed}");
+            for (dl, wl) in trace.launches().iter().zip(&want) {
+                assert_eq!(dl.header, wl.header, "seed {seed}");
+                assert_eq!(dl.end, wl.end, "seed {seed}");
+                assert_eq!(dl.block_count(), wl.blocks.len(), "seed {seed}");
+                assert_eq!(
+                    dl.event_count(),
+                    wl.blocks.iter().map(|(_, evs)| evs.len()).sum::<usize>(),
+                    "seed {seed}"
+                );
+                for (bv, (wid, wevs)) in dl.blocks().zip(&wl.blocks) {
+                    assert_eq!(bv.block_id, *wid, "seed {seed}");
+                    assert_eq!(bv.len(), wevs.len(), "seed {seed}");
+                    assert_eq!(&bv.to_events(), wevs, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_streams_decode_as_aborted_like_the_streaming_reader() {
+        let bytes = random_stream(3);
+        // Cut inside the stream: both readers must agree on the prefix.
+        for cut in [bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+            match (read_launches(&bytes[..cut]), Trace::decode(&bytes[..cut])) {
+                (Ok(want), Ok(trace)) => {
+                    assert_eq!(trace.launches().len(), want.len(), "cut {cut}");
+                    for (dl, wl) in trace.launches().iter().zip(&want) {
+                        assert_eq!(dl.end, wl.end, "cut {cut}");
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("readers disagree at cut {cut}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_decodes_empty() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&crate::MAGIC);
+        bytes.push(crate::VERSION);
+        let trace = Trace::decode(&bytes).unwrap();
+        assert!(trace.launches().is_empty());
+        assert_eq!(trace.total_events(), 0);
+    }
+}

@@ -6,7 +6,7 @@
 //! stream of tagged records; all integers are LEB128 varints (see
 //! [`crate::varint`]):
 //!
-//! | tag | record | fields (version 2) |
+//! | tag | record | fields (version 3) |
 //! |-----|--------|--------------------|
 //! | 1 | launch begin | kernel-name length + UTF-8 bytes, grid blocks, executed blocks, threads/block, smem bytes, regs/thread, overlap mode (u8), capture [`GpuSpec`] (below) |
 //! | 2 | block | block id, event count, events (below) |
@@ -14,17 +14,21 @@
 //!
 //! The embedded spec is: name length + UTF-8 bytes, then varints for every
 //! [`GpuSpec`] field in declaration order — `f64` rates travel as their
-//! IEEE-754 bit patterns, the bank width as a raw byte (4 or 8). A v2
+//! IEEE-754 bit patterns, the bank width as a raw byte (4 or 8). A v2+
 //! trace is therefore **self-describing**: an offline consumer can
 //! re-price the recorded addresses under the capture spec (or any other)
 //! and rebuild the timing model's launch inputs without the kernel — see
 //! the `kconv-replay` crate and DESIGN.md §11.
 //!
-//! Version 1 (still accepted by the reader) lacks the last three
-//! launch-begin fields and carries only `fma_lane_ops` in the launch-end
-//! record; its headers decode with [`LaunchHeader::spec`] `None`, so
-//! replaying a v1 trace requires the caller to assert the capture spec
-//! explicitly (`--assume-spec`).
+//! Two legacy versions remain readable:
+//!
+//! * Version 2 predates [`GpuSpec::ro_cache_bytes`]; its embedded spec
+//!   skips that field, which decodes to the 48 KiB every real part
+//!   carries (`pricing::RO_CACHE_BYTES`).
+//! * Version 1 lacks the last three launch-begin fields and carries only
+//!   `fma_lane_ops` in the launch-end record; its headers decode with
+//!   [`LaunchHeader::spec`] `None`, so replaying a v1 trace requires the
+//!   caller to assert the capture spec explicitly (`--assume-spec`).
 //!
 //! Each event is: op tag (u8), warp, lane mask, bytes/lane, transactions,
 //! cycles — then the addresses of the **active lanes only**, as one
@@ -50,8 +54,12 @@ use crate::TraceError;
 
 /// File magic: the first four bytes of every trace.
 pub const MAGIC: [u8; 4] = *b"KTRC";
-/// Format version the writer emits. The reader also accepts [`V1`].
-pub const VERSION: u8 = 2;
+/// Format version the writer emits. The reader also accepts [`V1`] and
+/// [`V2`].
+pub const VERSION: u8 = 3;
+/// The legacy version whose embedded spec predates
+/// [`GpuSpec::ro_cache_bytes`] (readable, no longer written).
+pub const V2: u8 = 2;
 /// The legacy spec-less format version (readable, no longer written).
 pub const V1: u8 = 1;
 
@@ -131,13 +139,14 @@ fn encode_spec(buf: &mut Vec<u8>, spec: &GpuSpec) {
     write_u64(buf, spec.gm_bandwidth_gbs.to_bits());
     write_u64(buf, spec.gm_transaction_bytes);
     write_u64(buf, spec.gm_store_transaction_bytes);
+    write_u64(buf, spec.ro_cache_bytes);
     write_u64(buf, spec.cm_bytes);
     write_u64(buf, spec.cm_line_bytes);
     write_u64(buf, u64::from(spec.latency_hiding_warps));
     write_u64(buf, spec.issue_efficiency.to_bits());
 }
 
-fn decode_spec(cur: &mut Cursor<'_>) -> Result<GpuSpec, TraceError> {
+fn decode_spec(cur: &mut Cursor<'_>, version: u8) -> Result<GpuSpec, TraceError> {
     let name_len = cur.read_u64("spec name length")? as usize;
     let name_bytes = cur.read_bytes(name_len, "spec name")?;
     let recorded_name = std::str::from_utf8(name_bytes)
@@ -180,6 +189,13 @@ fn decode_spec(cur: &mut Cursor<'_>) -> Result<GpuSpec, TraceError> {
         gm_bandwidth_gbs: f64::from_bits(cur.read_u64("spec gm bandwidth bits")?),
         gm_transaction_bytes: cur.read_u64("spec gm transaction bytes")?,
         gm_store_transaction_bytes: cur.read_u64("spec gm store transaction bytes")?,
+        // v2 specs predate the sweepable read-only cache capacity; every
+        // part they could describe carried Kepler's 48 KiB.
+        ro_cache_bytes: if version >= 3 {
+            cur.read_u64("spec ro cache bytes")?
+        } else {
+            kconv_sim::pricing::RO_CACHE_BYTES
+        },
         cm_bytes: cur.read_u64("spec cm bytes")?,
         cm_line_bytes: cur.read_u64("spec cm line bytes")?,
         latency_hiding_warps: cur.read_u64("spec latency hiding warps")? as u32,
@@ -498,10 +514,10 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
         });
     }
     let version = cur.read_u8("format version")?;
-    if version != VERSION && version != V1 {
+    if !(V1..=VERSION).contains(&version) {
         return Err(TraceError::Malformed {
             offset: cur.pos(),
-            reason: format!("unsupported trace version {version} (expected {V1} or {VERSION})"),
+            reason: format!("unsupported trace version {version} (expected {V1}..={VERSION})"),
         });
     }
     let mut launch_open = false;
@@ -543,7 +559,7 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
                             offset: cur.pos(),
                             reason: format!("unknown overlap mode {overlap_tag}"),
                         })?;
-                    header.spec = Some(decode_spec(&mut cur)?);
+                    header.spec = Some(decode_spec(&mut cur, version)?);
                 }
                 launch_open = true;
                 visitor.launch_begin(&header);
@@ -938,6 +954,75 @@ mod tests {
         );
         let want: Vec<TraceEvent> = events.iter().map(|e| e.canonical()).collect();
         assert_eq!(l.blocks[0].1, want);
+    }
+
+    /// Hand-encodes a v2 stream: the frozen pre-`ro_cache_bytes` layout the
+    /// reader must keep accepting.
+    fn encode_v2_stream(spec: &GpuSpec, events: &[TraceEvent], stats: &KernelStats) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(V2);
+        bytes.push(TAG_LAUNCH_BEGIN);
+        write_u64(&mut bytes, 2);
+        bytes.extend_from_slice(b"v2");
+        write_u64(&mut bytes, 1); // grid blocks
+        write_u64(&mut bytes, 1); // executed blocks
+        write_u64(&mut bytes, 64); // threads per block
+        write_u64(&mut bytes, 2048); // smem bytes
+        write_u64(&mut bytes, 40); // regs per thread
+        bytes.push(OverlapMode::Moderate.as_u8());
+        // v2 spec: declaration order without ro_cache_bytes.
+        write_u64(&mut bytes, spec.name.len() as u64);
+        bytes.extend_from_slice(spec.name.as_bytes());
+        write_u64(&mut bytes, u64::from(spec.sm_count));
+        write_u64(&mut bytes, u64::from(spec.cores_per_sm));
+        write_u64(&mut bytes, spec.clock_ghz.to_bits());
+        write_u64(&mut bytes, u64::from(spec.smem_banks));
+        bytes.push(spec.bank_width.bytes() as u8);
+        write_u64(&mut bytes, u64::from(spec.smem_bytes_per_sm));
+        write_u64(&mut bytes, u64::from(spec.max_threads_per_sm));
+        write_u64(&mut bytes, u64::from(spec.max_blocks_per_sm));
+        write_u64(&mut bytes, u64::from(spec.regs_per_sm));
+        write_u64(&mut bytes, u64::from(spec.max_smem_per_block));
+        write_u64(&mut bytes, spec.gm_bandwidth_gbs.to_bits());
+        write_u64(&mut bytes, spec.gm_transaction_bytes);
+        write_u64(&mut bytes, spec.gm_store_transaction_bytes);
+        write_u64(&mut bytes, spec.cm_bytes);
+        write_u64(&mut bytes, spec.cm_line_bytes);
+        write_u64(&mut bytes, u64::from(spec.latency_hiding_warps));
+        write_u64(&mut bytes, spec.issue_efficiency.to_bits());
+        bytes.push(TAG_BLOCK);
+        write_u64(&mut bytes, 0);
+        write_u64(&mut bytes, events.len() as u64);
+        for ev in events {
+            encode_event(&mut bytes, ev);
+        }
+        bytes.push(TAG_LAUNCH_END);
+        bytes.push(0); // not aborted
+        encode_stats(&mut bytes, stats);
+        bytes
+    }
+
+    #[test]
+    fn v2_traces_decode_with_default_ro_cache() {
+        let spec = capture_spec();
+        let events = vec![ev(TraceOp::GmLd, 0, u32::MAX, 4, 4096)];
+        let stats = KernelStats {
+            fma_lane_ops: 99,
+            blocks_total: 1,
+            ..Default::default()
+        };
+        let bytes = encode_v2_stream(&spec, &events, &stats);
+        let launches = read_launches(&bytes).unwrap();
+        assert_eq!(launches.len(), 1);
+        let got = launches[0].header.spec.as_ref().unwrap();
+        assert_eq!(got.ro_cache_bytes, 48 * 1024);
+        assert_eq!(got, &spec);
+        assert_eq!(launches[0].end.stats.as_ref(), Some(&stats));
+        // Truncation at every byte must never panic.
+        for cut in 0..bytes.len() {
+            let _ = read_launches(&bytes[..cut]);
+        }
     }
 
     #[test]

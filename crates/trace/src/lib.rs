@@ -7,6 +7,8 @@
 //!   zigzag address deltas, see [`format`]) streaming every warp memory
 //!   instruction of a launch to any `Write` target. [`SharedBuffer`] keeps
 //!   a handle on the bytes while the writer is boxed inside the `Gpu`.
+//!   [`Trace`] materializes the stream into flat slabs (see [`decoded`])
+//!   so replay consumers decode once and re-price many times.
 //! * [`TraceSummary`] — one streaming pass, O(1) state: per-op totals and
 //!   the bank-conflict histogram.
 //! * [`EfficiencyReport`] — address-granular analysis: distinct
@@ -51,14 +53,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analyze;
+pub mod decoded;
 pub mod format;
 pub mod summary;
 pub mod varint;
 
 pub use analyze::{EfficiencyReport, KernelMeta, LINE_BYTES, WORD_BYTES};
+pub use decoded::{BlockView, DecodedLaunch, EventHead, Trace};
 pub use format::{
     read_launches, read_trace, LaunchEnd, LaunchHeader, LaunchTrace, SharedBuffer, TraceVisitor,
-    TraceWriter, MAGIC, V1, VERSION,
+    TraceWriter, MAGIC, V1, V2, VERSION,
 };
 pub use summary::{OpTotals, TraceSummary};
 

@@ -1,0 +1,182 @@
+//! Replay-farm integration through the public facade: the decoded
+//! [`Trace`] form, the byte-stream replayer and the live simulator must
+//! agree bit for bit, and the farm sweep must be deterministic no matter
+//! how its cells are scheduled.
+
+use kconv::core::{Convolution, GeneralConv, SpecialConv};
+use kconv::replay::{replay, replay_decoded, sweep, sweep_cells, TargetSpec};
+use kconv::sim::{
+    BankWidth, Gpu, GpuSpec, KernelStats, LaneMask, OverlapMode, Parallelism, SimMode, TraceEvent,
+    TraceLaunch, TraceOp, TraceSink, WARP_SIZE,
+};
+use kconv::tensor::{random_filters, random_maps, ConvProblem};
+use kconv::trace::{read_launches, SharedBuffer, Trace, TraceWriter};
+
+/// splitmix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Captures a real kernel launch as KTRC bytes plus its live stats.
+fn capture(conv: &dyn Convolution, problem: ConvProblem, seed: u64) -> (Vec<u8>, KernelStats) {
+    let input = random_maps(problem.channels, problem.height, problem.width, seed);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, seed + 1);
+    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+    let buf = SharedBuffer::new();
+    gpu.set_trace_sink(Some(Box::new(TraceWriter::new(buf.clone()))));
+    let run = conv
+        .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+        .expect("corpus kernel runs");
+    gpu.set_trace_sink(None);
+    (buf.take(), run.report.stats)
+}
+
+/// A synthetic multi-launch trace of seeded random events — the
+/// adversarial input the real kernels never produce (partial masks,
+/// zero-event blocks, every op kind).
+fn random_stream(seed: u64) -> Vec<u8> {
+    let mut rng = Rng(0xFA12_0000 + seed);
+    let spec = GpuSpec::kepler_k40m();
+    let buf = SharedBuffer::new();
+    let mut w = TraceWriter::new(buf.clone());
+    for li in 0..1 + (seed % 3) {
+        let name = format!("rand-{seed}-{li}");
+        let blocks = 1 + (rng.next() % 4);
+        w.launch_begin(&TraceLaunch {
+            kernel: &name,
+            grid_blocks: blocks as usize,
+            executed_blocks: blocks as usize,
+            threads_per_block: 64,
+            smem_bytes: (rng.next() % 48_000) as u32,
+            regs_per_thread: 16 + (rng.next() % 200) as u32,
+            overlap: OverlapMode::from_u8((rng.next() % 3) as u8).unwrap(),
+            spec: &spec,
+        });
+        for block_id in 0..blocks {
+            let events: Vec<TraceEvent> = (0..rng.next() % 16)
+                .map(|_| {
+                    let bits = match rng.next() % 3 {
+                        0 => 1u64 << (rng.next() % 32),
+                        1 => u32::MAX as u64,
+                        _ => rng.next(),
+                    };
+                    let mask = LaneMask::from_fn(|lane| bits & (1 << lane) != 0);
+                    let mut addrs = [0u64; WARP_SIZE];
+                    for (lane, slot) in addrs.iter_mut().enumerate() {
+                        if mask.is_active(lane) {
+                            *slot = rng.next() % (1 << 40);
+                        }
+                    }
+                    TraceEvent {
+                        op: TraceOp::ALL[(rng.next() % 6) as usize],
+                        warp: rng.next() as u32,
+                        mask,
+                        lane_bytes: 1 << (rng.next() % 4),
+                        transactions: rng.next() as u32,
+                        cycles: rng.next() as u32,
+                        addrs,
+                    }
+                })
+                .collect();
+            w.block_events(block_id as usize, &events);
+        }
+        let stats = KernelStats {
+            fma_lane_ops: rng.next() % (1 << 40),
+            alu_lane_ops: rng.next() % (1 << 40),
+            barriers: rng.next() % (1 << 20),
+            ..KernelStats::default()
+        };
+        w.launch_end(&stats);
+    }
+    buf.take()
+}
+
+#[test]
+fn decoded_trace_round_trips_the_streamed_reader_on_random_corpora() {
+    for seed in 0..8 {
+        let bytes = random_stream(seed);
+        let decoded = Trace::decode(&bytes).expect("decodes");
+        let streamed = read_launches(&bytes).expect("streams");
+        assert_eq!(decoded.launches().len(), streamed.len(), "seed {seed}");
+        for (d, s) in decoded.launches().iter().zip(&streamed) {
+            assert_eq!(d.header, s.header, "seed {seed}");
+            assert_eq!(d.end, s.end, "seed {seed}");
+            assert_eq!(d.block_count(), s.blocks.len(), "seed {seed}");
+            for (view, (block_id, events)) in d.blocks().zip(&s.blocks) {
+                assert_eq!(view.block_id, *block_id, "seed {seed}");
+                assert_eq!(&view.to_events(), events, "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn decoded_and_byte_replay_agree_on_random_corpora_under_every_preset() {
+    for seed in 0..6 {
+        let bytes = random_stream(seed);
+        let trace = Trace::decode(&bytes).expect("decodes");
+        for spec in GpuSpec::presets_all() {
+            let target = TargetSpec::Spec(spec);
+            let from_bytes = replay(&bytes, &target).expect("byte path");
+            let from_decoded = replay_decoded(&trace, &target).expect("decoded path");
+            assert_eq!(from_bytes, from_decoded, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn farm_sweep_is_deterministic_and_reproduces_live_stats() {
+    let (special, special_live) =
+        capture(&SpecialConv::default(), ConvProblem::special(66, 8, 3), 11);
+    let (general, general_live) = capture(
+        &GeneralConv::table1(3),
+        ConvProblem::general(34, 4, 64, 3),
+        13,
+    );
+    let traces = vec![
+        Trace::decode(&special).expect("decodes"),
+        Trace::decode(&general).expect("decodes"),
+    ];
+
+    // Replaying each capture under its own spec (the grid's anchor)
+    // reproduces the live counters bit for bit.
+    for (trace, live) in traces.iter().zip([&special_live, &general_live]) {
+        let r = &replay_decoded(trace, &TargetSpec::Capture).expect("replays")[0];
+        assert_eq!(&r.stats, live);
+    }
+
+    let specs = GpuSpec::kepler_k40m()
+        .grid()
+        .bank_widths(&[BankWidth::B4, BankWidth::B8])
+        .line_sizes(&[64, 128])
+        .ro_cache_bytes(&[24 * 1024, 48 * 1024])
+        .build()
+        .expect("grid");
+    assert_eq!(specs.len(), 8);
+
+    let baseline = sweep(&traces, &specs, Parallelism::Serial);
+    assert_eq!(baseline.len(), traces.len() * specs.len());
+
+    // Shuffled cell order + any thread count must not change a bit.
+    let mut cells: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|t| (0..specs.len()).map(move |s| (t, s)))
+        .collect();
+    cells.reverse();
+    cells.swap(3, 9);
+    for threads in [2, 5] {
+        let got = sweep_cells(&traces, &specs, &cells, Parallelism::Threads(threads));
+        assert_eq!(got.len(), baseline.len());
+        for (g, b) in got.iter().zip(&baseline) {
+            assert_eq!((g.trace, g.spec, g.launch), (b.trace, b.spec, b.launch));
+            assert_eq!(g.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+        }
+    }
+}
