@@ -1,14 +1,16 @@
 //! Engine selection: map a convolution problem to the right kernel.
 
+use std::collections::HashMap;
+
 use kconv_core::{
     run_with_fallback, ConvError, ConvRun, Convolution, ExplicitGemmConv, FaultRecord,
     GeneralConfig, GeneralConv, ImplicitGemmConv, NaiveConv, SpecialConv,
 };
-use kconv_sim::{Gpu, SimMode};
+use kconv_sim::{Gpu, GpuSpec, SimMode};
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
 /// Which convolution implementation an application uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// Pick automatically: the special-case kernel for `C = 1`, the
     /// general-case kernel when a configuration fits the shape, the
@@ -25,9 +27,143 @@ pub enum Engine {
     ExplicitGemm,
 }
 
+/// The outcome of resolving an [`Engine`] for a problem on a spec: which
+/// kernel runs, with the tuned configuration already chosen. `Copy` and
+/// `Hash` so resolutions can be cached and shared across requests (see
+/// [`PlanCache`]); [`instantiate`](EnginePlan::instantiate) turns a plan
+/// into the runnable implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnginePlan {
+    /// The paper's special-case (`C = 1`) constant-memory kernel.
+    Special,
+    /// The paper's general-case kernel with this tuned configuration.
+    General(GeneralConfig),
+    /// The cuDNN-like implicit-GEMM baseline.
+    ImplicitGemm,
+    /// The Caffe-like explicit `im2col` + GEMM baseline.
+    ExplicitGemm,
+}
+
+impl EnginePlan {
+    /// Builds the runnable implementation this plan names.
+    pub fn instantiate(&self) -> Box<dyn Convolution> {
+        match self {
+            EnginePlan::Special => Box::new(SpecialConv::default()),
+            EnginePlan::General(cfg) => Box::new(GeneralConv::new(*cfg)),
+            EnginePlan::ImplicitGemm => Box::new(ImplicitGemmConv::default()),
+            EnginePlan::ExplicitGemm => Box::new(ExplicitGemmConv::default()),
+        }
+    }
+}
+
+/// A shared resolution cache keyed by `(engine, problem shape)`: the
+/// serving layer resolves each distinct shape once and every later request
+/// with the same shape reuses the tuned plan. Errors are not cached — a
+/// failed resolution is cheap and carries a fresh message.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<(Engine, ConvProblem), EnginePlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `engine` for `problem` on `spec`, consulting the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::plan`] errors (never cached).
+    pub fn plan(
+        &mut self,
+        engine: Engine,
+        spec: &GpuSpec,
+        problem: &ConvProblem,
+    ) -> Result<EnginePlan, ConvError> {
+        if let Some(plan) = self.plans.get(&(engine, *problem)) {
+            self.hits += 1;
+            return Ok(*plan);
+        }
+        let plan = engine.plan(spec, problem)?;
+        self.misses += 1;
+        self.plans.insert((engine, *problem), plan);
+        Ok(plan)
+    }
+
+    /// Cache hits and misses so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct `(engine, problem)` resolutions cached.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
 impl Engine {
+    /// Resolves this engine for `problem` on `spec` without running
+    /// anything, returning the cacheable [`EnginePlan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::Shape`] when a forced engine cannot run the
+    /// problem ([`Engine::Auto`] always resolves).
+    pub fn plan(self, spec: &GpuSpec, problem: &ConvProblem) -> Result<EnginePlan, ConvError> {
+        match self {
+            Engine::Special => {
+                if problem.channels != 1 {
+                    return Err(ConvError::Shape(format!(
+                        "special engine requires C = 1, got {}",
+                        problem.channels
+                    )));
+                }
+                Ok(EnginePlan::Special)
+            }
+            Engine::General => {
+                let cfg =
+                    GeneralConfig::for_problem(spec, problem.k, problem.channels, problem.filters)
+                        .ok_or_else(|| {
+                            ConvError::Shape(format!(
+                                "no general-kernel configuration fits {problem}"
+                            ))
+                        })?;
+                Ok(EnginePlan::General(cfg))
+            }
+            Engine::ImplicitGemm => Ok(EnginePlan::ImplicitGemm),
+            Engine::ExplicitGemm => Ok(EnginePlan::ExplicitGemm),
+            Engine::Auto => {
+                if problem.stride != 1 {
+                    // The paper's direct kernels are stride-1 specialized;
+                    // strided layers take the universal GEMM path.
+                    Ok(EnginePlan::ImplicitGemm)
+                } else if problem.channels == 1
+                    && (problem.filters * problem.k * problem.k * 4) as u64 <= spec.cm_bytes
+                {
+                    Ok(EnginePlan::Special)
+                } else if let Some(cfg) =
+                    GeneralConfig::for_problem(spec, problem.k, problem.channels, problem.filters)
+                {
+                    Ok(EnginePlan::General(cfg))
+                } else {
+                    Ok(EnginePlan::ImplicitGemm)
+                }
+            }
+        }
+    }
+
     /// Resolves this engine for `problem`, returning a runnable
-    /// implementation.
+    /// implementation. Convenience for [`Engine::plan`] +
+    /// [`EnginePlan::instantiate`].
     ///
     /// # Errors
     ///
@@ -38,51 +174,7 @@ impl Engine {
         gpu: &Gpu,
         problem: &ConvProblem,
     ) -> Result<Box<dyn Convolution>, ConvError> {
-        match self {
-            Engine::Special => {
-                if problem.channels != 1 {
-                    return Err(ConvError::Shape(format!(
-                        "special engine requires C = 1, got {}",
-                        problem.channels
-                    )));
-                }
-                Ok(Box::new(SpecialConv::default()))
-            }
-            Engine::General => {
-                let cfg = GeneralConfig::for_problem(
-                    gpu.spec(),
-                    problem.k,
-                    problem.channels,
-                    problem.filters,
-                )
-                .ok_or_else(|| {
-                    ConvError::Shape(format!("no general-kernel configuration fits {problem}"))
-                })?;
-                Ok(Box::new(GeneralConv::new(cfg)))
-            }
-            Engine::ImplicitGemm => Ok(Box::new(ImplicitGemmConv::default())),
-            Engine::ExplicitGemm => Ok(Box::new(ExplicitGemmConv::default())),
-            Engine::Auto => {
-                if problem.stride != 1 {
-                    // The paper's direct kernels are stride-1 specialized;
-                    // strided layers take the universal GEMM path.
-                    Ok(Box::new(ImplicitGemmConv::default()))
-                } else if problem.channels == 1
-                    && (problem.filters * problem.k * problem.k * 4) as u64 <= gpu.spec().cm_bytes
-                {
-                    Ok(Box::new(SpecialConv::default()))
-                } else if let Some(cfg) = GeneralConfig::for_problem(
-                    gpu.spec(),
-                    problem.k,
-                    problem.channels,
-                    problem.filters,
-                ) {
-                    Ok(Box::new(GeneralConv::new(cfg)))
-                } else {
-                    Ok(Box::new(ImplicitGemmConv::default()))
-                }
-            }
-        }
+        Ok(self.plan(gpu.spec(), problem)?.instantiate())
     }
 
     /// Resolves and runs in one call.
@@ -250,6 +342,30 @@ mod tests {
             .unwrap();
         assert!(run.faults.is_empty());
         run.verify_executed(&p, &input, &filters, CONV_TOL).unwrap();
+    }
+
+    #[test]
+    fn plan_cache_shares_resolutions_across_requests() {
+        let spec = GpuSpec::kepler_k40m();
+        let mut cache = PlanCache::new();
+        let p = ConvProblem::general(34, 64, 64, 3);
+        let first = cache.plan(Engine::Auto, &spec, &p).unwrap();
+        assert!(matches!(first, EnginePlan::General(_)));
+        for _ in 0..3 {
+            assert_eq!(cache.plan(Engine::Auto, &spec, &p).unwrap(), first);
+        }
+        assert_eq!(cache.stats(), (3, 1));
+        assert_eq!(cache.len(), 1);
+        // A failed resolution is not cached and keeps failing.
+        let bad = ConvProblem::general(34, 2, 8, 3);
+        assert!(cache.plan(Engine::Special, &spec, &bad).is_err());
+        assert_eq!(cache.len(), 1);
+        // The plan instantiates the same kernel `resolve` builds.
+        let g = gpu();
+        assert_eq!(
+            first.instantiate().name(),
+            Engine::Auto.resolve(&g, &p).unwrap().name()
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod imgproc;
 
 pub use cnn::{ConvLayer, LayerReport, LayerStack, StackRun};
 pub use device_ops::{max_pool2_device, relu_device};
-pub use engine::Engine;
+pub use engine::{Engine, EnginePlan, PlanCache};
 pub use imgproc::{
     canny, edge_detect, smooth, template_match, CannyMap, Detection, EdgeMap, MatchMap,
 };

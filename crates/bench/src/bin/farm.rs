@@ -19,6 +19,7 @@
 //! Writes `BENCH_farm.json` to the workspace root either way.
 
 fn main() {
+    kconv_bench::reject_unknown_args("farm", &[("--check", false)]);
     let check = std::env::args().any(|a| a == "--check");
     let c = kconv_bench::farm::run(1);
     if check && c.failures > 0 {

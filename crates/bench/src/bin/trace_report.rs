@@ -32,11 +32,16 @@
 //!   cargo run --release -p kconv-bench --bin trace_report            # report
 //!   cargo run --release -p kconv-bench --bin trace_report -- --check # exit 1 on FAIL
 //!   cargo run ... -- --spec fermi   # also print replayed summaries under a preset
+//!   cargo run ... -- --trace capture.ktrc   # replay an external KTRC file
 //!
 //! Every check prints a PASS/FAIL line; `--check` (the CI mode) turns any
 //! FAIL into a nonzero exit. `--spec <preset>` (kepler, kepler-4b, fermi,
 //! maxwell, or a full preset name) additionally re-prices every captured
 //! trace under that architecture and prints the replayed summaries.
+//! `--trace <path>` skips the suite and replays an external KTRC capture
+//! instead (under `--spec` if given, else the embedded capture spec);
+//! unknown presets, unreadable paths and malformed traces exit nonzero
+//! with a one-line `error:` diagnostic rather than a panic.
 
 use kconv_bench::fig8;
 use kconv_core::model::{
@@ -585,19 +590,67 @@ fn print_replayed(spec: &GpuSpec, traces: &[NamedTrace]) {
     }
 }
 
+/// `--trace <path>`: replay an external KTRC capture and print one summary
+/// row per launch. Unreadable paths and malformed byte streams produce a
+/// one-line `error:` and a nonzero exit — external files are untrusted
+/// input, not an invariant violation worth a backtrace.
+fn replay_external(path: &str, spec: Option<&GpuSpec>) -> ! {
+    let bytes = std::fs::read(path)
+        .unwrap_or_else(|e| kconv_bench::bail(&format!("cannot read trace {path:?}: {e}")));
+    let target = spec.map_or(TargetSpec::Capture, |s| TargetSpec::Spec(s.clone()));
+    let reports = replay(&bytes, &target)
+        .unwrap_or_else(|e| kconv_bench::bail(&format!("malformed KTRC trace {path:?}: {e}")));
+    println!(
+        "[--trace] {path}: {} B, {} launch(es), priced under {}",
+        bytes.len(),
+        reports.len(),
+        spec.map_or("capture spec", |s| s.name),
+    );
+    println!(
+        "  {:<4} {:>12} {:>9} {:>12} {:>10}  bottleneck",
+        "#", "sm cycles", "waste", "gm txns", "t (ms)"
+    );
+    for (i, r) in reports.iter().enumerate() {
+        println!(
+            "  {:<4} {:>12} {:>9.3} {:>12} {:>10}  {}",
+            i,
+            r.sm_cycles(),
+            r.sm_waste(),
+            r.gm_transactions(),
+            r.timing
+                .map_or("n/a".into(), |t| format!("{:.3}", t.t_total * 1e3)),
+            r.timing.map_or_else(
+                || r.timing_error.clone().unwrap_or_default(),
+                |t| t.bottleneck().to_string()
+            ),
+        );
+    }
+    std::process::exit(0)
+}
+
 fn main() {
+    kconv_bench::reject_unknown_args(
+        "trace_report",
+        &[("--check", false), ("--spec", true), ("--trace", true)],
+    );
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let target = args.iter().position(|a| a == "--spec").map(|i| {
         let alias = args.get(i + 1).unwrap_or_else(|| {
-            eprintln!("--spec needs a preset name (kepler, kepler-4b, fermi, maxwell)");
-            std::process::exit(2);
+            kconv_bench::bail("--spec needs a preset name (kepler, kepler-4b, fermi, maxwell)")
         });
         GpuSpec::preset(alias).unwrap_or_else(|| {
-            eprintln!("unknown spec preset {alias:?} (try kepler, kepler-4b, fermi, maxwell)");
-            std::process::exit(2);
+            kconv_bench::bail(&format!(
+                "unknown spec preset {alias:?} (try kepler, kepler-4b, fermi, maxwell)"
+            ))
         })
     });
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| kconv_bench::bail("--trace needs a path to a KTRC file"));
+        replay_external(path, target.as_ref());
+    }
     println!(
         "trace_report — measured traffic vs the paper's analytical model, on simulated {}",
         GpuSpec::kepler_k40m()

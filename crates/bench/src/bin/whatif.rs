@@ -145,6 +145,7 @@ fn expect_for(table: &[(&str, u64)], name: &str) -> u64 {
 }
 
 fn main() {
+    kconv_bench::reject_unknown_args("whatif", &[("--check", false)]);
     let check = std::env::args().any(|a| a == "--check");
     println!(
         "whatif — trace-driven replay of the Fig. 8 layer under {} target specs",
@@ -310,8 +311,11 @@ fn main() {
         c.failures,
     );
     let path = fig8::workspace_file("BENCH_whatif.json");
-    std::fs::write(&path, &json).expect("write BENCH_whatif.json");
-    println!("\nwrote {path}");
+    if let Err(e) = std::fs::write(&path, &json) {
+        c.check("BENCH_whatif.json written", false, &format!("{path}: {e}"));
+    } else {
+        println!("\nwrote {path}");
+    }
 
     c.summary();
     if check && c.failures > 0 {

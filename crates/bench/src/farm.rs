@@ -430,8 +430,11 @@ pub fn run(iters: usize) -> Checker {
         c.failures,
     );
     let path = fig8::workspace_file("BENCH_farm.json");
-    std::fs::write(&path, &json).expect("write BENCH_farm.json");
-    println!("\nwrote {path}");
+    if let Err(e) = std::fs::write(&path, &json) {
+        c.check("BENCH_farm.json written", false, &format!("{path}: {e}"));
+    } else {
+        println!("\nwrote {path}");
+    }
 
     c.summary();
     c

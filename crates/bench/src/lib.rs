@@ -20,6 +20,47 @@
 pub mod farm;
 pub mod fig8;
 pub mod harness;
+pub mod serve;
+
+/// Prints one `error:` line to stderr and exits with status 2 — the
+/// harness binaries' uniform answer to bad invocations and unusable
+/// inputs (unknown flags or presets, unreadable paths, malformed
+/// traces). Never panics, so operator mistakes produce a one-line
+/// diagnostic instead of a backtrace.
+pub fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Rejects unrecognized command-line arguments: every argument must be
+/// listed in `allowed` (flags taking a value name the value slot via
+/// `takes_value`). Calls [`bail`] with a usage line on the first unknown.
+pub fn reject_unknown_args(bin: &str, allowed: &[(&str, bool)]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match allowed.iter().find(|(name, _)| *name == arg) {
+            Some((_, takes_value)) => i += 1 + usize::from(*takes_value),
+            None => {
+                let usage: Vec<String> = allowed
+                    .iter()
+                    .map(|(name, takes_value)| {
+                        if *takes_value {
+                            format!("[{name} <value>]")
+                        } else {
+                            format!("[{name}]")
+                        }
+                    })
+                    .collect();
+                bail(&format!(
+                    "unknown argument {arg:?} (usage: {bin} {})",
+                    usage.join(" ")
+                ));
+            }
+        }
+    }
+}
 
 /// Running PASS/FAIL tally for the self-checking harnesses (`whatif`,
 /// `farm`): every check prints one line, and `--check` runs exit non-zero

@@ -38,6 +38,53 @@ impl From<SimError> for ConvError {
     }
 }
 
+/// How a retrying layer (a fallback chain, or a serving engine's retry
+/// policy) should treat a [`ConvError`]. Every variant is classified by
+/// an exhaustive match in [`ConvError::retry_class`] so adding a variant
+/// forces a decision here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryClass {
+    /// The failure is tied to this particular execution, not the
+    /// (engine, problem) pair: a contained device fault. Retrying the
+    /// *same* engine can succeed.
+    Transient,
+    /// The engine deterministically rejects this problem or
+    /// configuration. Retrying the same engine is futile; a *different*
+    /// engine in a fallback chain may accept it.
+    Fallback,
+    /// A host-side error (failed allocation, invalid launch, internal
+    /// invariant): the call itself is misused or the simulator is
+    /// broken. Neither retrying nor falling back helps.
+    Fatal,
+}
+
+impl RetryClass {
+    /// Whether a fallback chain may absorb this failure and try the next
+    /// engine ([`Transient`](RetryClass::Transient) or
+    /// [`Fallback`](RetryClass::Fallback)).
+    pub fn recoverable(self) -> bool {
+        !matches!(self, RetryClass::Fatal)
+    }
+}
+
+impl ConvError {
+    /// Classifies this error for retrying layers. The match is exhaustive
+    /// over both [`ConvError`] and [`SimError`] variants on purpose: a new
+    /// variant fails to compile until someone decides its class.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            ConvError::Sim(sim) => match sim {
+                SimError::KernelFault(_) => RetryClass::Transient,
+                SimError::AllocTooLarge { .. }
+                | SimError::InvalidLaunch(_)
+                | SimError::HostTransferOutOfBounds { .. }
+                | SimError::Internal(_) => RetryClass::Fatal,
+            },
+            ConvError::Config(_) | ConvError::Shape(_) => RetryClass::Fallback,
+        }
+    }
+}
+
 /// Convenience alias for kernel results.
 pub type Result<T> = std::result::Result<T, ConvError>;
 

@@ -76,7 +76,7 @@ pub mod winograd;
 pub use batch::{run_batch, BatchRun};
 pub use config::{GeneralConfig, SpecialConfig, FLT_PAD};
 pub use dtype::{BandwidthProbe, DataType, ProbeResult};
-pub use error::{ConvError, Result};
+pub use error::{ConvError, Result, RetryClass};
 pub use explicit_gemm::ExplicitGemmConv;
 pub use general::{GeneralConv, GeneralConvStrided};
 pub use implicit_gemm::{ImplicitGemmConfig, ImplicitGemmConv};

@@ -181,12 +181,11 @@ pub fn run_verified(
 /// fallback chain tried: device-side kernel faults (the sanitizer or the
 /// containment layer stopped the kernel) and shape/configuration rejections
 /// are recoverable; host-side simulator errors (failed allocations, invalid
-/// launches) indicate the *chain* is misused and propagate.
+/// launches) indicate the *chain* is misused and propagate. The decision
+/// is [`ConvError::retry_class`], the single classification shared with
+/// retrying layers above the chain.
 fn is_recoverable(e: &ConvError) -> bool {
-    match e {
-        ConvError::Sim(sim) => sim.device_fault().is_some(),
-        ConvError::Config(_) | ConvError::Shape(_) => true,
-    }
+    e.retry_class().recoverable()
 }
 
 /// Runs `engines` in order until one completes, absorbing recoverable

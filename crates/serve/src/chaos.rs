@@ -1,0 +1,95 @@
+//! Seeded chaos generation: device-fault schedules and latency spikes.
+//!
+//! Malformed requests — the third chaos ingredient — are generated at the
+//! workload level (see the `serve` bench harness); this module covers the
+//! two kinds the engine itself injects around kernel launches.
+
+use kconv_sim::{FaultInjection, FaultSchedule};
+use kconv_tensor::rng::StdRng;
+
+/// A reproducible chaos plan for one serving run.
+///
+/// Decisions are pure functions of `(seed, launch_index)`, so a chaos run
+/// replays exactly and the engine stays deterministic under chaos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the latency-spike stream (independent of the fault
+    /// schedule's own seed).
+    pub seed: u64,
+    /// Device-fault schedule over the engine's launch counter.
+    pub faults: FaultSchedule,
+    /// Probability, in parts per million, that a launch suffers an
+    /// artificial latency spike.
+    pub spike_ppm: u32,
+    /// Size of one spike in modeled seconds.
+    pub spike_s: f64,
+}
+
+impl ChaosConfig {
+    /// A plan with the given fault schedule and no latency spikes.
+    pub fn new(seed: u64, faults: FaultSchedule) -> Self {
+        ChaosConfig {
+            seed,
+            faults,
+            spike_ppm: 0,
+            spike_s: 0.0,
+        }
+    }
+
+    /// Adds latency spikes of `spike_s` modeled seconds at `ppm` parts per
+    /// million of launches.
+    pub fn with_spikes(mut self, ppm: u32, spike_s: f64) -> Self {
+        self.spike_ppm = ppm;
+        self.spike_s = spike_s;
+        self
+    }
+
+    /// The fault injection (if any) for launch number `index`.
+    pub fn injection_for(&self, index: u64) -> Option<FaultInjection> {
+        self.faults.injection_for(index)
+    }
+
+    /// The artificial latency (0 or `spike_s`) added to launch `index`.
+    pub fn spike_for(&self, index: u64) -> f64 {
+        if self.spike_ppm == 0 {
+            return 0.0;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if rng.next_u64() % 1_000_000 < u64::from(self.spike_ppm) {
+            self.spike_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spikes_are_deterministic_and_rate_bounded() {
+        let chaos = ChaosConfig::new(5, FaultSchedule::new(5, 0, "")).with_spikes(250_000, 1e-3);
+        let hits: Vec<u64> = (0..400).filter(|&i| chaos.spike_for(i) > 0.0).collect();
+        let again: Vec<u64> = (0..400).filter(|&i| chaos.spike_for(i) > 0.0).collect();
+        assert_eq!(hits, again);
+        assert!(
+            !hits.is_empty() && hits.len() < 400,
+            "{} spikes",
+            hits.len()
+        );
+        let quiet = ChaosConfig::new(5, FaultSchedule::new(5, 0, ""));
+        assert!((0..400).all(|i| quiet.spike_for(i) == 0.0));
+    }
+
+    #[test]
+    fn injections_delegate_to_the_schedule() {
+        let chaos = ChaosConfig::new(
+            1,
+            FaultSchedule::new(1, 1_000_000, "gemm").with_window(0, 2),
+        );
+        assert!(chaos.injection_for(0).is_some());
+        assert!(chaos.injection_for(2).is_none());
+        assert_eq!(chaos.injection_for(1).unwrap().kernel_substr, "gemm");
+    }
+}

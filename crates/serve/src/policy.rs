@@ -1,0 +1,224 @@
+//! Resilience policies: bounded retry with seeded-jitter backoff, and a
+//! per-engine circuit breaker.
+
+use kconv_tensor::rng::StdRng;
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// Jitter is drawn from the caller's seeded xoshiro256++ generator, so two
+/// serving runs with the same seed back off by exactly the same amounts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum kernel attempts per engine (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff in modeled seconds before the second attempt.
+    pub backoff_s: f64,
+    /// Jitter fraction: each backoff is scaled by a factor in
+    /// `[1, 1 + jitter_frac)`.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_s: 2e-4,
+            jitter_frac: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The modeled backoff before retrying after failed attempt number
+    /// `attempt` (1-based): `backoff_s * 2^(attempt-1)`, jittered.
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> f64 {
+        let expo = self.backoff_s * f64::from(1u32 << (attempt - 1).min(16));
+        expo * (1.0 + self.jitter_frac * f64::from(rng.gen_f32()))
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub trip_after: u32,
+    /// Modeled seconds an open breaker rejects traffic before half-opening
+    /// for a probe.
+    pub cooldown_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown_s: 0.05,
+        }
+    }
+}
+
+/// Circuit-breaker states (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, consecutive failures are counted.
+    Closed,
+    /// Tripped: traffic is rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe is allowed through; its outcome closes
+    /// or re-opens the breaker.
+    HalfOpen,
+}
+
+/// A per-engine circuit breaker over modeled time.
+///
+/// `K = trip_after` consecutive failures trip it [`Open`]; after
+/// `cooldown_s` it [`HalfOpen`]s and admits a probe; a probe success
+/// closes it, a probe failure re-opens it.
+///
+/// [`Open`]: BreakerState::Open
+/// [`HalfOpen`]: BreakerState::HalfOpen
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive: u32,
+    open_until: f64,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive: 0,
+            open_until: 0.0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Whether a call may proceed at modeled time `now`. An open breaker
+    /// whose cooldown has elapsed transitions to half-open and admits the
+    /// call as its probe.
+    pub fn allow(&mut self, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call. A half-open probe success closes the
+    /// breaker and counts as a recovery.
+    pub fn record_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.recoveries += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+    }
+
+    /// Records a failed call at modeled time `now`. Returns `true` when
+    /// this failure tripped the breaker open (from closed after
+    /// `trip_after` consecutive failures, or a failed half-open probe).
+    pub fn record_failure(&mut self, now: f64) -> bool {
+        self.consecutive += 1;
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive >= self.cfg.trip_after,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.open_until = now + self.cfg.cooldown_s;
+            self.consecutive = 0;
+            self.trips += 1;
+        }
+        trip
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times this breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// How many half-open probes succeeded (closed the breaker).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_seeded() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let x1 = policy.backoff(1, &mut a);
+        let x2 = policy.backoff(2, &mut a);
+        assert!(x1 >= policy.backoff_s && x1 < policy.backoff_s * 1.5);
+        assert!(x2 > x1, "exponential growth");
+        assert_eq!(policy.backoff(1, &mut b), x1, "same seed, same jitter");
+    }
+
+    #[test]
+    fn breaker_trips_half_opens_and_recovers() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown_s: 1.0,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure(0.0));
+        assert!(!b.record_failure(0.1));
+        assert!(b.record_failure(0.2), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(0.5), "cooldown still running");
+        assert!(b.allow(1.3), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!((b.trips(), b.recoveries()), (1, 1));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 1,
+            cooldown_s: 1.0,
+        });
+        assert!(b.record_failure(0.0));
+        assert!(b.allow(1.0));
+        assert!(b.record_failure(1.0), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(1.5));
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 2,
+            cooldown_s: 1.0,
+        });
+        assert!(!b.record_failure(0.0));
+        b.record_success();
+        assert!(!b.record_failure(0.1), "count restarted");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

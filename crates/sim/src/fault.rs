@@ -333,6 +333,81 @@ pub struct FaultInjection {
     pub addr_xor: u64,
 }
 
+/// A seeded schedule of [`FaultInjection`]s over a sequence of launches —
+/// the chaos-testing counterpart of the single-shot injector.
+///
+/// Callers number their launches (0, 1, 2, ...) and ask
+/// [`injection_for`](FaultSchedule::injection_for) whether that launch
+/// should be sabotaged. The decision is a pure function of `(seed,
+/// launch_index)` (splitmix64), so a chaos run is exactly reproducible and
+/// two schedules with the same seed agree no matter how the launches are
+/// interleaved with other work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Seed mixed into every per-launch decision.
+    pub seed: u64,
+    /// Probability, in parts per million, that a launch inside the window
+    /// is faulted.
+    pub rate_ppm: u32,
+    /// Only launches with `window.0 <= index < window.1` are considered.
+    /// Use `(0, u64::MAX)` for an unbounded schedule.
+    pub window: (u64, u64),
+    /// Kernel-name filter forwarded to the produced
+    /// [`FaultInjection::kernel_substr`] (empty targets every kernel).
+    pub kernel_substr: String,
+}
+
+/// splitmix64 — the same dependency-free mixer used by the test RNGs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultSchedule {
+    /// A schedule faulting roughly `rate_ppm` per million launches of
+    /// kernels matching `kernel_substr`, over all launch indices.
+    pub fn new(seed: u64, rate_ppm: u32, kernel_substr: &str) -> Self {
+        FaultSchedule {
+            seed,
+            rate_ppm,
+            window: (0, u64::MAX),
+            kernel_substr: kernel_substr.to_string(),
+        }
+    }
+
+    /// Restricts the schedule to launch indices in `[start, end)`.
+    pub fn with_window(mut self, start: u64, end: u64) -> Self {
+        self.window = (start, end);
+        self
+    }
+
+    /// The injection to arm for launch number `index`, or `None` when this
+    /// launch is spared. Deterministic in `(self, index)`.
+    ///
+    /// The produced injection corrupts an early memory operation of block 0
+    /// with a high-bit address flip (`1 << 41`), which is out of range for
+    /// every modeled memory space — any kernel that touches memory faults.
+    pub fn injection_for(&self, index: u64) -> Option<FaultInjection> {
+        if index < self.window.0 || index >= self.window.1 {
+            return None;
+        }
+        let roll = splitmix64(self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        if roll % 1_000_000 >= u64::from(self.rate_ppm) {
+            return None;
+        }
+        let detail = splitmix64(roll);
+        Some(FaultInjection {
+            kernel_substr: self.kernel_substr.clone(),
+            block: 0,
+            op_index: detail % 4,
+            lane: (detail >> 8) as usize % crate::spec::WARP_SIZE,
+            addr_xor: 1 << 41,
+        })
+    }
+}
+
 /// Where (within a block) a warp memory operation is executing: the warp id
 /// and the barrier-interval counter. Threaded from [`WarpCtx`](crate::WarpCtx)
 /// into the memory planes so faults and racecheck phases are attributed
@@ -518,6 +593,36 @@ mod tests {
             }
             .space(),
             Some(MemSpace::Shared)
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_windowed() {
+        let s = FaultSchedule::new(42, 500_000, "gemm").with_window(10, 20);
+        let hits: Vec<u64> = (0..100).filter(|&i| s.injection_for(i).is_some()).collect();
+        assert_eq!(
+            hits,
+            (0..100)
+                .filter(|&i| s.injection_for(i).is_some())
+                .collect::<Vec<_>>()
+        );
+        assert!(hits.iter().all(|&i| (10..20).contains(&i)), "{hits:?}");
+        assert!(!hits.is_empty(), "50% over 10 launches should hit");
+        for i in hits {
+            let inj = s.injection_for(i).unwrap();
+            assert_eq!(inj.kernel_substr, "gemm");
+            assert_eq!(inj.addr_xor, 1 << 41);
+            assert!(inj.lane < crate::spec::WARP_SIZE);
+        }
+        // Rate 0 never fires; rate 1e6 always fires inside the window.
+        let never = FaultSchedule::new(7, 0, "");
+        assert!((0..200).all(|i| never.injection_for(i).is_none()));
+        let always = FaultSchedule::new(7, 1_000_000, "").with_window(0, 5);
+        assert_eq!(
+            (0..200)
+                .filter(|&i| always.injection_for(i).is_some())
+                .count(),
+            5
         );
     }
 }

@@ -70,7 +70,8 @@ mod warp;
 pub use block::{BlockCtx, BlockDims, WarpCtx};
 pub use error::{Result, SimError};
 pub use fault::{
-    AccessKind, DeviceFault, FaultInjection, FaultKind, Hazard, MemSpace, SanitizerMode,
+    AccessKind, DeviceFault, FaultInjection, FaultKind, FaultSchedule, Hazard, MemSpace,
+    SanitizerMode,
 };
 pub use launch::{Gpu, LaunchConfig, LaunchReport, Parallelism, SimMode};
 pub use mem::{

@@ -184,8 +184,13 @@ impl Trace {
                         start: open.heads.len(),
                         len: 0,
                     });
-                    open.heads.reserve(event_count as usize);
-                    open.addrs.reserve(event_count as usize * WARP_SIZE);
+                    // The count is an untrusted varint: clamp the
+                    // speculative pre-allocation so a corrupt header
+                    // cannot demand gigabytes (or overflow the capacity
+                    // math) before the event bytes fail to decode.
+                    let reserve = event_count.min(crate::RESERVE_EVENTS_MAX) as usize;
+                    open.heads.reserve(reserve);
+                    open.addrs.reserve(reserve * WARP_SIZE);
                 }
             }
             fn event(&mut self, _block_id: u64, ev: &TraceEvent) {

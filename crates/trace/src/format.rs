@@ -659,8 +659,11 @@ pub fn read_launches(bytes: &[u8]) -> Result<Vec<LaunchTrace>, TraceError> {
         }
         fn block_begin(&mut self, block_id: u64, event_count: u64) {
             if let Some(open) = self.open.as_mut() {
-                open.blocks
-                    .push((block_id, Vec::with_capacity(event_count as usize)));
+                // Untrusted varint: clamp the pre-allocation (see
+                // `RESERVE_EVENTS_MAX`) — the vector grows organically if
+                // a well-formed block really is bigger.
+                let reserve = event_count.min(crate::RESERVE_EVENTS_MAX) as usize;
+                open.blocks.push((block_id, Vec::with_capacity(reserve)));
             }
         }
         fn event(&mut self, _block_id: u64, ev: &TraceEvent) {

@@ -66,6 +66,14 @@ pub use format::{
 };
 pub use summary::{OpTotals, TraceSummary};
 
+/// Upper bound on speculative event pre-allocation from one block
+/// header's (untrusted) event-count varint. A corrupt or hostile count
+/// reserves at most this many event slots up front; decoding then fails
+/// on the event bytes themselves, or the buffers grow organically for a
+/// genuinely larger well-formed block. 64Ki events ≈ 17 MB of address
+/// slab — far above any real block, far below an allocation-failure DoS.
+pub const RESERVE_EVENTS_MAX: u64 = 1 << 16;
+
 /// Errors reading a binary trace.
 #[derive(Debug)]
 pub enum TraceError {

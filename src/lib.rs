@@ -18,7 +18,10 @@
 //! * [`replay`] — the trace-driven replay engine: re-prices captured
 //!   traces under an arbitrary [`GpuSpec`](kconv_sim::GpuSpec) without
 //!   re-executing the kernel;
-//! * [`apps`] — image processing and CNN layer stacks on the public API.
+//! * [`apps`] — image processing and CNN layer stacks on the public API;
+//! * [`serve`] — the resilient request-serving layer: admission control,
+//!   shape-batched dispatch over simulated streams, deadlines, retries,
+//!   circuit breakers and chaos-testable fault isolation.
 //!
 //! The [`prelude`] pulls in the names a typical user needs.
 //!
@@ -46,6 +49,7 @@ pub use kconv_apps as apps;
 pub use kconv_core as core;
 pub use kconv_gemm as gemm;
 pub use kconv_replay as replay;
+pub use kconv_serve as serve;
 pub use kconv_sim as sim;
 pub use kconv_tensor as tensor;
 pub use kconv_trace as trace;
