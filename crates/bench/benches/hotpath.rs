@@ -1,21 +1,28 @@
-//! Single-thread hot-path speedup on a Fig. 8 layer.
+//! Single-thread hot-path speedup on a Fig. 8 layer, per lane backend.
 //!
 //! Runs the general-case 3x3 kernel (Table 1 configuration) over a full
 //! `N' = 64, C = 64, F = 64` grid serially with the sanitizer off — the
-//! exact configuration of the committed pre-overhaul baseline — and writes
-//! the measurement to `BENCH_hotpath.json` in the workspace root:
+//! exact configuration of the committed pre-overhaul baseline — once per
+//! lane-engine backend (`scalar`, `swar`, and `simd` when the host has
+//! AVX2), plus a per-access microbenchmark that times the pricing
+//! primitives themselves (`segment_count`, `bank_conflict_cycles`) over a
+//! fixed basket of representative warp patterns. Everything goes to
+//! `BENCH_hotpath.json` in the workspace root:
 //!
 //! ```json
 //! { "bench": "fig8_general_3x3_full", "baseline_seconds": ...,
-//!   "current_seconds": ..., "speedup": ..., "iters": ... }
+//!   "current_seconds": ..., "speedup": ..., "iters": ...,
+//!   "host_cores": ..., "valid_scaling": ..., "lane_backend": "simd",
+//!   "backends": { "scalar": {"fig8_seconds": ..., "peraccess_seconds": ...}, ... } }
 //! ```
 //!
-//! The baseline is the `off_seconds` value `BENCH_sanitizer.json` carried
-//! immediately before the allocation-free hot-path overhaul (paged write
-//! journal, bitmap dedup in the bank-conflict and coalescing models,
-//! hoisted sanitizer checks), measured on the same reference host. Like
-//! every wall-clock number in this workspace it is host-specific: treat
-//! the ratio as meaningful on comparable hardware and regenerate the JSON
+//! `current_seconds` / `speedup` stay what they always were — the
+//! dispatched (auto) configuration against the committed pre-overhaul
+//! baseline (`off_seconds` from `BENCH_sanitizer.json` on the same
+//! reference host). The per-backend numbers are measured in-process by
+//! re-pointing the engine's cached dispatch (`lanes::force`), which the
+//! bit-exactness contract makes safe at any time. Like every wall-clock
+//! number in this workspace these are host-specific; regenerate the JSON
 //! when the reference host changes. Counter exactness is *not* this
 //! harness's job — `bench_smoke` pins all fig8 counters to
 //! `GOLDEN_fig8.json`.
@@ -26,7 +33,12 @@ use std::time::Instant;
 
 use kconv_bench::fig8;
 use kconv_core::Convolution;
-use kconv_sim::{Gpu, GpuSpec, Parallelism, SanitizerMode, SimMode};
+use kconv_sim::mem::lanes::{self, Backend};
+use kconv_sim::pricing::{bank_conflict_cycles, segment_count};
+use kconv_sim::{
+    lane_addrs, lane_addrs_from, lane_addrs_uniform, BankWidth, Gpu, GpuSpec, LaneMask,
+    Parallelism, SanitizerMode, SimMode, WarpAddrs,
+};
 
 /// Serial sanitizer-off wall time of this layer on the reference host
 /// before the hot-path overhaul (see the module docs).
@@ -34,11 +46,61 @@ const BASELINE_SECONDS: f64 = 0.377588;
 
 const ITERS: usize = 5;
 
-fn main() {
+/// Pricing calls per microbench pattern and iteration.
+const MICRO_ROUNDS: usize = 60_000;
+
+/// The per-access basket: the warp shapes the interpreter actually prices,
+/// from best case (coalesced float) through the paper's conventional and
+/// optimized shared-memory patterns to misaligned and scattered accesses.
+fn micro_patterns() -> Vec<(WarpAddrs, u64, LaneMask)> {
+    vec![
+        // Coalesced float load: one 128 B transaction.
+        (lane_addrs(0, 4), 4, LaneMask::ALL),
+        // Coalesced float2 (the paper's optimized GM/SM width).
+        (lane_addrs(0, 8), 8, LaneMask::ALL),
+        // float4, half-warp active.
+        (lane_addrs(0, 16), 16, LaneMask(0xFFFF)),
+        // Uniform broadcast (constant-memory shape).
+        (lane_addrs_uniform(4096), 4, LaneMask::ALL),
+        // Row-strided shared-memory pattern (bank-conflict heavy).
+        (lane_addrs(0, 32 * 8), 4, LaneMask::ALL),
+        // Misaligned float2: every lane spans two words.
+        (lane_addrs_from(|l| l as u64 * 8 + 4), 8, LaneMask::ALL),
+        // Strided scatter: one segment per lane.
+        (lane_addrs(64, 256), 4, LaneMask::ALL),
+        // Sparse diverged mask.
+        (lane_addrs(0, 128), 8, LaneMask(0x1111_1111)),
+    ]
+}
+
+/// Best-of-5 wall time of `MICRO_ROUNDS` passes over the basket, pricing
+/// each pattern as global (128 B and 32 B segments) and shared (32 banks ×
+/// 8 B) memory. The checksum keeps the calls observable.
+fn peraccess_seconds(patterns: &[(WarpAddrs, u64, LaneMask)]) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0u64;
+    for _ in 0..5 {
+        sum = 0;
+        let t = Instant::now();
+        for _ in 0..MICRO_ROUNDS {
+            for (addrs, width, mask) in patterns {
+                sum = sum.wrapping_add(segment_count(addrs, *width, *mask, 128));
+                sum = sum.wrapping_add(segment_count(addrs, *width, *mask, 32));
+                sum = sum.wrapping_add(
+                    bank_conflict_cycles(addrs, *width, *mask, 32, BankWidth::B8).cycles,
+                );
+            }
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, sum)
+}
+
+/// Best-of-`ITERS` serial fig8 wall time under the currently forced
+/// backend.
+fn fig8_seconds() -> f64 {
     let (problem, input, filters) = fig8::workload();
     let conv = fig8::conv();
-
-    println!("fig8_general 3x3 (N'=64 C=64 F=64), serial, sanitizer off, best of {ITERS}");
     let mut best = f64::INFINITY;
     for _ in 0..ITERS {
         let mut gpu = Gpu::new(GpuSpec::kepler_k40m())
@@ -49,13 +111,74 @@ fn main() {
             .expect("fig8 layer launches");
         best = best.min(t.elapsed().as_secs_f64());
     }
-    let speedup = BASELINE_SECONDS / best;
-    println!("  baseline: {BASELINE_SECONDS:.3} s (pre-overhaul, reference host)");
-    println!("  current:  {best:.3} s");
-    println!("  speedup:  {speedup:.2}x");
+    best
+}
 
+fn main() {
+    let auto = lanes::active();
+    let backends = Backend::available();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let valid_scaling = host_cores >= 2;
+    let patterns = micro_patterns();
+
+    println!(
+        "fig8_general 3x3 (N'=64 C=64 F=64), serial, sanitizer off, best of {ITERS}; \
+         dispatched lane backend: {}",
+        auto.name()
+    );
+    let mut fig8_by: Vec<(Backend, f64)> = Vec::new();
+    let mut micro_by: Vec<(Backend, f64)> = Vec::new();
+    let mut checksum = None;
+    for &backend in &backends {
+        lanes::force(backend);
+        let fig8_s = fig8_seconds();
+        let (micro_s, sum) = peraccess_seconds(&patterns);
+        // The microbench checksum must not depend on the backend — a cheap
+        // in-bench restatement of the bit-exactness contract.
+        match checksum {
+            None => checksum = Some(sum),
+            Some(c) => assert_eq!(c, sum, "{backend:?} priced differently from scalar"),
+        }
+        println!(
+            "  {:<7} fig8: {fig8_s:.3} s   per-access basket: {micro_s:.3} s",
+            backend.name()
+        );
+        fig8_by.push((backend, fig8_s));
+        micro_by.push((backend, micro_s));
+    }
+    lanes::force(auto);
+
+    let time_of =
+        |list: &[(Backend, f64)], b: Backend| list.iter().find(|(x, _)| *x == b).map(|(_, s)| *s);
+    let current = time_of(&fig8_by, auto).expect("auto backend was measured");
+    let speedup = BASELINE_SECONDS / current;
+    let scalar_micro = time_of(&micro_by, Backend::Scalar).expect("scalar is always available");
+    println!("  baseline: {BASELINE_SECONDS:.3} s (pre-overhaul, reference host)");
+    println!("  current:  {current:.3} s ({})", auto.name());
+    println!("  speedup:  {speedup:.2}x");
+    for &(backend, micro_s) in &micro_by {
+        if backend != Backend::Scalar {
+            println!(
+                "  per-access {:<5} vs scalar: {:.2}x",
+                backend.name(),
+                scalar_micro / micro_s
+            );
+        }
+    }
+
+    let mut backends_json = String::new();
+    for (i, &(backend, fig8_s)) in fig8_by.iter().enumerate() {
+        let micro_s = time_of(&micro_by, backend).unwrap();
+        backends_json.push_str(&format!(
+            "    \"{}\": {{\"fig8_seconds\": {fig8_s:.6}, \"peraccess_seconds\": {micro_s:.6}, \"peraccess_speedup_vs_scalar\": {:.4}}}{}\n",
+            backend.name(),
+            scalar_micro / micro_s,
+            if i + 1 < fig8_by.len() { "," } else { "" },
+        ));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"baseline_seconds\": {BASELINE_SECONDS:.6},\n  \"current_seconds\": {best:.6},\n  \"speedup\": {speedup:.4},\n  \"iters\": {ITERS}\n}}\n"
+        "{{\n  \"bench\": \"fig8_general_3x3_full\",\n  \"baseline_seconds\": {BASELINE_SECONDS:.6},\n  \"current_seconds\": {current:.6},\n  \"speedup\": {speedup:.4},\n  \"iters\": {ITERS},\n  \"host_cores\": {host_cores},\n  \"valid_scaling\": {valid_scaling},\n  \"lane_backend\": \"{}\",\n  \"peraccess_rounds\": {MICRO_ROUNDS},\n  \"backends\": {{\n{backends_json}  }}\n}}\n",
+        auto.name(),
     );
     let path = fig8::workspace_file("BENCH_hotpath.json");
     std::fs::write(&path, &json).expect("write BENCH_hotpath.json");

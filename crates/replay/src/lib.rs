@@ -348,15 +348,42 @@ impl LaunchAccum {
             TraceOp::CmLd => {
                 // The live model dedups at word (not lane-width)
                 // granularity and counts a first-touched line as a miss.
-                let mut distinct = 0u64;
-                for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
-                    if first_visit {
-                        distinct += 1;
-                        if cm_lines.insert(a / spec.cm_line_bytes) {
-                            stats.cm_misses += 1;
-                        }
+                // Distinct counting runs on the dispatched lane backend;
+                // line touching is an idempotent set insert, deduped to
+                // distinct lines before probing the set. The dominant
+                // constant-memory pattern is a fully-uniform broadcast,
+                // which one lane-engine bounds pass resolves to one
+                // distinct address and one probe — not thirty-two.
+                let mut touch = |line: u64| {
+                    if cm_lines.insert(line) {
+                        stats.cm_misses += 1;
                     }
-                });
+                };
+                let line_bytes = spec.cm_line_bytes;
+                let distinct = match kconv_sim::mem::lanes::unit_bounds(addrs, 1, mask, 1) {
+                    None => 0,
+                    Some((lo, hi)) if lo == hi => {
+                        touch(lo / line_bytes);
+                        1
+                    }
+                    Some(_) => {
+                        let distinct = segment_count(addrs, 1, mask, 1);
+                        if line_bytes.is_power_of_two() {
+                            for_each_unit(addrs, 1, mask, line_bytes, |line, first_visit| {
+                                if first_visit {
+                                    touch(line);
+                                }
+                            });
+                        } else {
+                            for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
+                                if first_visit {
+                                    touch(a / line_bytes);
+                                }
+                            });
+                        }
+                        distinct
+                    }
+                };
                 let cycles = distinct.saturating_sub(1);
                 stats.cm_requests += 1;
                 stats.cm_cycles += cycles;

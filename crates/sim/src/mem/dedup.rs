@@ -14,27 +14,24 @@
 //! addresses at most its shared-memory allocation, and coalesced global
 //! patterns span a handful of segments), so the range almost always fits in
 //! a two-word register bitmap — zeroing a wider scratch bitmap per access
-//! would itself dominate the op. Ranges up to [`BITMAP_UNITS`] use a 2 KiB
-//! stack bitmap; a pathological scatter wider than that falls back to the
-//! original scan, keeping the counts identical for any input.
+//! would itself dominate the op. Ranges up to [`lanes::BITMAP_UNITS`] use a
+//! 2 KiB stack bitmap; a pathological scatter wider than that falls back to
+//! the original scan, keeping the counts identical for any input.
 //!
 //! Units are visited in lane order (then ascending within one lane's span),
 //! exactly like the scans this replaces, so order-sensitive consumers — the
-//! read-only cache's FIFO insertion order — are unchanged.
+//! read-only cache's FIFO insertion order — are unchanged. Order-insensitive
+//! counting (global segments, distinct constant addresses) should use
+//! [`super::lanes::distinct_units`] instead, which dispatches to the
+//! vectorized backends; this visitor is the order-preserving sibling, and
+//! its pre-pass bounds come from the same engine so the two agree on span
+//! semantics (saturating `addr + width - 1`) by construction.
 
+use crate::mem::lanes::{self, BITMAP_UNITS, MAX_UNITS};
 use crate::warp::{LaneMask, WarpAddrs};
 
-/// Units representable by the stack bitmap: 16384 bits = 2 KiB. Large
-/// enough for any block-local space (48 KiB of shared memory is 12288
-/// four-byte bank words) and any coalesced global pattern.
-const BITMAP_UNITS: u64 = 16384;
-
-/// Worst-case distinct units for the scan fallback: 32 lanes, at most 16
-/// bytes per lane over units of >= 4 bytes, misaligned.
-const MAX_UNITS: usize = 128;
-
 /// Visits every `unit`-sized aligned index covered by the active lanes'
-/// `[addr, addr + width)` ranges, in lane order, calling
+/// `[addr, addr.saturating_add(width - 1)]` ranges, in lane order, calling
 /// `visit(unit_index, first_occurrence)` for each. `unit` must be a power
 /// of two.
 #[inline]
@@ -50,17 +47,12 @@ pub(crate) fn for_each_unit(
     // divide here would cost more than the rest of the routine combined
     // (up to 128 of them per warp access).
     let shift = unit.trailing_zeros();
-    // Pre-pass: the warp's unit range, to anchor the bitmap.
-    let mut lo = u64::MAX;
-    let mut hi = 0u64;
-    for lane in mask.iter() {
-        let a = addrs[lane];
-        lo = lo.min(a >> shift);
-        hi = hi.max((a + width - 1) >> shift);
-    }
-    if lo == u64::MAX {
+    // Pre-pass: the warp's unit range, to anchor the bitmap. This runs on
+    // the dispatched lane backend; the visit loops below stay scalar
+    // because their contract is ordered.
+    let Some((lo, hi)) = lanes::unit_bounds(addrs, width, mask, unit) else {
         return; // no active lanes
-    }
+    };
     if hi - lo < 128 {
         // The common case by far — a full warp of `float2`s spans 64 bank
         // words, a coalesced global access a handful of segments — fits in
@@ -69,7 +61,7 @@ pub(crate) fn for_each_unit(
         for lane in mask.iter() {
             let a = addrs[lane];
             let first = a >> shift;
-            let last = (a + width - 1) >> shift;
+            let last = a.saturating_add(width - 1) >> shift;
             for u in first..=last {
                 let idx = (u - lo) as usize;
                 let bit = 1u64 << (idx % 64);
@@ -84,7 +76,7 @@ pub(crate) fn for_each_unit(
         for lane in mask.iter() {
             let a = addrs[lane];
             let first = a >> shift;
-            let last = (a + width - 1) >> shift;
+            let last = a.saturating_add(width - 1) >> shift;
             for u in first..=last {
                 let idx = (u - lo) as usize;
                 let bit = 1u64 << (idx % 64);
@@ -101,7 +93,7 @@ pub(crate) fn for_each_unit(
         for lane in mask.iter() {
             let a = addrs[lane];
             let first = a >> shift;
-            let last = (a + width - 1) >> shift;
+            let last = a.saturating_add(width - 1) >> shift;
             for u in first..=last {
                 let new = !units[..n].contains(&u);
                 if new {
@@ -125,7 +117,7 @@ mod tests {
         let mut out = Vec::new();
         for lane in mask.iter() {
             let a = addrs[lane];
-            for u in a / unit..=(a + width - 1) / unit {
+            for u in a / unit..=a.saturating_add(width - 1) / unit {
                 let new = !seen.contains(&u);
                 if new {
                     seen.push(u);
@@ -167,6 +159,15 @@ mod tests {
         let addrs = lane_addrs_from(|l| (l as u64) * 65536 + (l as u64 % 3));
         check(&addrs, 16, LaneMask::ALL, 128);
         check(&addrs, 4, LaneMask::from_fn(|l| l % 2 == 0), 32);
+    }
+
+    #[test]
+    fn spans_adjacent_to_u64_max_saturate_instead_of_wrapping() {
+        // `a + width - 1` would overflow here; the engine's saturating
+        // span semantics keep the covered range well-defined.
+        let addrs = lane_addrs_uniform(u64::MAX - 2);
+        check(&addrs, 16, LaneMask::ALL, 128);
+        check(&addrs, 4, LaneMask::first(3), 32);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 pub(crate) mod constant;
 pub(crate) mod dedup;
 mod global;
+pub mod lanes;
 pub(crate) mod plane;
 pub(crate) mod shadow;
 mod shared;

@@ -50,8 +50,8 @@
 
 use crate::fault::{self, AccessKind, FaultKind, MemSpace, Site};
 use crate::mem::constant::{ConstantMemory, LineBitmap};
-use crate::mem::dedup;
 use crate::mem::global::GlobalMemory;
+use crate::mem::{dedup, lanes};
 use crate::pricing::{segment_count, RoCache};
 use crate::spec::WARP_SIZE;
 use crate::stats::KernelStats;
@@ -320,12 +320,7 @@ impl<'a> GmPlane<'a> {
         if gm.shadow().is_some() {
             return false;
         }
-        let limit = gm.device_limit();
-        let mut max_end = 0u64;
-        for lane in mask.iter() {
-            max_end = max_end.max(addrs[lane].saturating_add(width));
-        }
-        max_end <= limit
+        lanes::max_end(addrs, width, mask) <= gm.device_limit()
     }
 
     fn read_into(&self, addr: u64, out: &mut [u8], site: Site, lane: usize) {
@@ -638,29 +633,51 @@ impl<'a> CmPlane<'a> {
         for lane in mask.iter() {
             out[lane] = self.base().read_f32(addrs[lane], site, lane);
         }
-        // Serialization counts distinct addresses; each one touches its
-        // cache line (first touch of a line is a miss).
-        let mut distinct = 0u64;
-        match self {
+        // Serialization counts distinct addresses — order-insensitive, so it
+        // runs on the dispatched lane backend. Line touching is idempotent
+        // (`touch_line` / `LineBitmap::set` only report the first touch), so
+        // any dedup that visits every covered line at least once charges the
+        // same misses. The dominant pattern by far is a fully-uniform
+        // broadcast (all lanes on one filter element): one lane-engine
+        // bounds pass resolves it to one distinct address and one touch.
+        let mut touch = |line: u64, cm_misses: &mut u64| match self {
             CmPlane::Direct(cm) => {
-                dedup::for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
-                    if first_visit {
-                        distinct += 1;
-                        if cm.touch_line(a / line_bytes) {
-                            stats.cm_misses += 1;
-                        }
-                    }
-                });
+                if cm.touch_line(line) {
+                    *cm_misses += 1;
+                }
             }
             CmPlane::Shared { touched, .. } => {
-                dedup::for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
-                    if first_visit {
-                        distinct += 1;
-                        touched.set(a / line_bytes);
-                    }
-                });
+                touched.set(line);
             }
-        }
+        };
+        let distinct = match lanes::unit_bounds(addrs, 1, mask, 1) {
+            None => 0,
+            Some((lo, hi)) if lo == hi => {
+                touch(lo / line_bytes, &mut stats.cm_misses);
+                1
+            }
+            Some(_) => {
+                let distinct = lanes::distinct_units(addrs, 1, mask, 1);
+                if line_bytes.is_power_of_two() {
+                    dedup::for_each_unit(addrs, 1, mask, line_bytes, |line, first_visit| {
+                        if first_visit {
+                            touch(line, &mut stats.cm_misses);
+                        }
+                    });
+                } else {
+                    // Hand-built non-power-of-two line size: the engine's
+                    // shift-based units don't apply; dedup distinct
+                    // addresses and divide per first visit, as the
+                    // pre-engine code did.
+                    dedup::for_each_unit(addrs, 1, mask, 1, |a, first_visit| {
+                        if first_visit {
+                            touch(a / line_bytes, &mut stats.cm_misses);
+                        }
+                    });
+                }
+                distinct
+            }
+        };
         stats.cm_requests += 1;
         stats.cm_cycles += distinct.saturating_sub(1);
         out

@@ -42,8 +42,8 @@
 //! contained at the block boundary instead of panicking the process.
 
 use crate::fault::{self, AccessKind, FaultKind, Hazard, MemSpace, Site};
-use crate::mem::dedup;
 use crate::mem::shadow::Shadow;
+use crate::mem::{dedup, lanes};
 use crate::spec::{BankWidth, WARP_SIZE};
 use crate::stats::KernelStats;
 use crate::warp::{LaneMask, WarpAddrs};
@@ -93,71 +93,41 @@ pub fn bank_conflict_cycles(
     // Every real bank count is a power of two; sparing the hardware divide
     // matters at this call frequency.
     let pow2 = nb.is_power_of_two();
-    let shift = bw.trailing_zeros();
 
-    // Fast path: every active lane's span lies in one bank word and the
-    // warp's word range fits a two-word bitmap — true of every aligned
-    // scalar or vector access, i.e. nearly always. One pass collects the
-    // words; the dedup-and-count loop then runs over a dense array with a
-    // single-cache-line bank table and no visitor indirection. At most one
-    // word per lane, so the u8 counters cannot saturate.
-    let mut words = [0u64; WARP_SIZE];
-    let mut n = 0usize;
-    let mut lo = u64::MAX;
-    let mut hi = 0u64;
-    let mut single = true;
-    {
-        let mut collect = |a: u64| {
-            let w = a >> shift;
-            single &= (a + width - 1) >> shift == w;
-            lo = lo.min(w);
-            hi = hi.max(w);
-            words[n] = w;
-            n += 1;
-        };
-        if mask.is_all() {
-            for &a in addrs.iter() {
-                collect(a);
-            }
-        } else {
-            for lane in mask.iter() {
-                collect(addrs[lane]);
-            }
-        }
-    }
-    if n == 0 {
-        return BankAccessOutcome {
-            cycles: 1,
-            broadcast: false,
-        };
-    }
-    if single && hi - lo < 128 {
-        let mut seen = [0u64; 2];
+    // Fast path: one fused lane-engine call both proves the common shape
+    // (every active lane's span lies in one bank word and the warp's word
+    // range fits a two-word bitmap — true of every aligned scalar or
+    // vector access, i.e. nearly always) and hands back the distinct
+    // words themselves. The bank histogram then walks only the set bits —
+    // a coalesced float warp touches 4–8 distinct words, not 32. With one
+    // word per lane, a warp broadcast (some word revisited) is exactly
+    // `distinct < active lanes`, and with at most 32 distinct words the
+    // u8 counters cannot saturate.
+    if let Some(occ) = lanes::occupancy(addrs, width, mask, bw) {
         let mut per_bank = [0u8; 64];
         let mut max_words = 1u8;
-        let mut broadcast = false;
-        for &w in &words[..n] {
-            let idx = (w - lo) as usize;
-            let bit = 1u64 << (idx % 64);
-            let slot = &mut seen[idx / 64];
-            if *slot & bit == 0 {
-                *slot |= bit;
+        let mut distinct = 0u32;
+        for (wi, &word) in occ.words.iter().enumerate() {
+            distinct += word.count_ones();
+            let mut bits = word;
+            while bits != 0 {
+                let w = occ.lo + 64 * wi as u64 + u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
                 let b = if pow2 { w & (nb - 1) } else { w % nb } as usize;
                 per_bank[b] += 1;
                 max_words = max_words.max(per_bank[b]);
-            } else {
-                broadcast = true;
             }
         }
         return BankAccessOutcome {
             cycles: u64::from(max_words),
-            broadcast,
+            broadcast: distinct < mask.count(),
         };
     }
 
     // General path: distinct bank-words touched by the warp, via the shared
     // bitmap dedup (a revisited word is a same-word broadcast, a fresh one
-    // loads its bank). Handles misaligned and multi-word-per-lane spans.
+    // loads its bank). Handles misaligned and multi-word-per-lane spans,
+    // and the empty mask (visits nothing: one cycle, no broadcast).
     let mut per_bank = [0u32; 64];
     let mut max_words = 1u32;
     let mut broadcast = false;
@@ -390,18 +360,7 @@ impl SharedMemory {
         if self.shadow.is_some() || self.races.is_some() {
             return false;
         }
-        let limit = self.data.len() as u64;
-        let mut max_end = 0u64;
-        if mask.is_all() {
-            for &a in addrs.iter() {
-                max_end = max_end.max(a.saturating_add(width));
-            }
-        } else {
-            for lane in mask.iter() {
-                max_end = max_end.max(addrs[lane].saturating_add(width));
-            }
-        }
-        max_end <= limit
+        lanes::max_end(addrs, width, mask) <= self.data.len() as u64
     }
 
     /// Warp load of `V` consecutive `f32`s per lane from block-local byte

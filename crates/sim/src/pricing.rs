@@ -35,7 +35,7 @@
 use std::collections::{HashSet, VecDeque};
 use std::hash::BuildHasherDefault;
 
-use crate::mem::dedup;
+use crate::mem::{dedup, lanes};
 use crate::warp::{LaneMask, WarpAddrs};
 
 pub use crate::mem::{bank_conflict_cycles, BankAccessOutcome};
@@ -77,11 +77,10 @@ pub fn for_each_unit(
 /// assert_eq!(pricing::segment_count(&lane_addrs(0, 4), 4, LaneMask::ALL, 32), 4);
 /// ```
 pub fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) -> u64 {
-    let mut n = 0u64;
-    for_each_unit(addrs, width, mask, seg, |_, first_visit| {
-        n += u64::from(first_visit);
-    });
-    n
+    // Distinct-unit counting is order-insensitive, so it runs on the
+    // dispatched lane backend ([`crate::mem::lanes`]) rather than the
+    // ordered visitor above.
+    lanes::distinct_units(addrs, width, mask, seg)
 }
 
 /// Line capacity of a per-SM read-only (texture) cache of `ro_cache_bytes`
@@ -90,8 +89,14 @@ pub fn segment_count(addrs: &WarpAddrs, width: u64, mask: LaneMask, seg: u64) ->
 /// every real part here carries, or a swept
 /// [`GpuSpec::ro_cache_bytes`](crate::GpuSpec::ro_cache_bytes) for what-if
 /// grids.
+///
+/// Clamped to at least one line: a swept `ro_cache_bytes` smaller than the
+/// transaction size would otherwise build a capacity-0 cache in which every
+/// touch misses *and* immediately evicts its own insertion — a degenerate
+/// model no hardware corresponds to. (`GpuSpec::grid` additionally rejects
+/// such sweeps at validation time; the clamp covers hand-built specs.)
 pub fn ro_capacity_lines(ro_cache_bytes: u64, ld_transaction_bytes: u64) -> usize {
-    (ro_cache_bytes / ld_transaction_bytes) as usize
+    ((ro_cache_bytes / ld_transaction_bytes) as usize).max(1)
 }
 
 /// Multiplicative mixer for cache-line indices. Line numbers are small,
@@ -145,12 +150,12 @@ impl RoCache {
     }
 
     /// Returns whether `line` was resident, inserting it (with FIFO
-    /// eviction) if not.
+    /// eviction) if not. One hash probe per touch: `insert`'s return value
+    /// doubles as the residency test.
     pub fn touch(&mut self, line: u64) -> bool {
-        if self.lines.contains(&line) {
+        if !self.lines.insert(line) {
             return true;
         }
-        self.lines.insert(line);
         self.fifo.push_back(line);
         if self.fifo.len() > self.capacity {
             if let Some(old) = self.fifo.pop_front() {
@@ -195,5 +200,36 @@ mod tests {
         assert_eq!(ro_capacity_lines(RO_CACHE_BYTES, 128), 384);
         assert_eq!(ro_capacity_lines(RO_CACHE_BYTES, 32), 1536);
         assert_eq!(ro_capacity_lines(24 * 1024, 128), 192);
+    }
+
+    #[test]
+    fn ro_capacity_clamps_to_one_line_for_tiny_caches() {
+        // A swept cache smaller than one transaction must not build a
+        // capacity-0 cache (every touch would evict its own insertion).
+        assert_eq!(ro_capacity_lines(64, 128), 1);
+        assert_eq!(ro_capacity_lines(0, 128), 1);
+        let mut ro = RoCache::new(ro_capacity_lines(64, 128));
+        assert!(!ro.touch(7)); // miss
+        assert!(ro.touch(7)); // the one line is actually resident
+    }
+
+    #[test]
+    fn ro_cache_single_probe_touch_keeps_fifo_semantics() {
+        // Regression for the contains-then-insert double probe: hits must
+        // not re-enqueue a line, so the FIFO never outgrows the set and
+        // eviction order stays pure insertion order under heavy re-touching.
+        let mut ro = RoCache::new(3);
+        assert!(!ro.touch(10));
+        assert!(!ro.touch(20));
+        assert!(!ro.touch(30));
+        for _ in 0..100 {
+            assert!(ro.touch(10)); // hits; must not push FIFO entries
+        }
+        assert_eq!(ro.fifo.len(), 3);
+        assert_eq!(ro.lines.len(), 3);
+        assert!(!ro.touch(40)); // evicts 10 — oldest insertion, despite hits
+        assert!(ro.touch(20)); // 20/30 untouched by the churn
+        assert!(ro.touch(30));
+        assert!(!ro.touch(10)); // 10 really was evicted
     }
 }

@@ -272,7 +272,9 @@ impl GpuSpec {
     /// [`ro_cache_bytes`](Self::ro_cache_bytes) divided into load-transaction
     /// sized lines.
     pub fn ro_capacity_lines(&self) -> usize {
-        (self.ro_cache_bytes / self.gm_transaction_bytes) as usize
+        // Delegates to the shared pricing helper so the at-least-one-line
+        // clamp for degenerate swept caches applies everywhere.
+        crate::pricing::ro_capacity_lines(self.ro_cache_bytes, self.gm_transaction_bytes)
     }
 
     /// Peak single-precision throughput in GFlop/s (2 flops per FMA lane per
@@ -643,5 +645,8 @@ mod tests {
         assert_eq!(small.ro_capacity_lines(), 384);
         small.gm_transaction_bytes = 128;
         assert_eq!(small.ro_capacity_lines(), 192);
+        // Degenerate hand-built spec: clamped to one line, never zero.
+        small.ro_cache_bytes = 64;
+        assert_eq!(small.ro_capacity_lines(), 1);
     }
 }
