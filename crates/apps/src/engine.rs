@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 
 use kconv_core::{
-    run_with_fallback, ConvError, ConvRun, Convolution, ExplicitGemmConv, FaultRecord,
-    GeneralConfig, GeneralConv, ImplicitGemmConv, NaiveConv, SpecialConv,
+    run_with_fallback, ConvError, ConvRun, Convolution, DataType, ExplicitGemmConv, FaultRecord,
+    GeneralConfig, GeneralConv, ImplicitGemmConv, KernelShape, NaiveConv, SpecialConfig,
+    SpecialConv, SpecialConvHalf2, SpecialConvI8,
 };
 use kconv_sim::{Gpu, GpuSpec, SimMode};
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
@@ -34,8 +35,10 @@ pub enum Engine {
 /// into the runnable implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnginePlan {
-    /// The paper's special-case (`C = 1`) constant-memory kernel.
-    Special,
+    /// The paper's special-case (`C = 1`) constant-memory kernel, in the
+    /// dtype variant and vector factor the generator derives for the
+    /// planning spec ([`KernelShape::matched`] — `n = W_SMB / W_CD`).
+    Special(KernelShape),
     /// The paper's general-case kernel with this tuned configuration.
     General(GeneralConfig),
     /// The cuDNN-like implicit-GEMM baseline.
@@ -48,7 +51,14 @@ impl EnginePlan {
     /// Builds the runnable implementation this plan names.
     pub fn instantiate(&self) -> Box<dyn Convolution> {
         match self {
-            EnginePlan::Special => Box::new(SpecialConv::default()),
+            EnginePlan::Special(shape) => {
+                let config = SpecialConfig::with_vec_width(shape.vec_width);
+                match shape.dtype {
+                    DataType::F32 => Box::new(SpecialConv::new(config)),
+                    DataType::F16 => Box::new(SpecialConvHalf2::new(config)),
+                    DataType::I8 => Box::new(SpecialConvI8::new(config)),
+                }
+            }
             EnginePlan::General(cfg) => Box::new(GeneralConv::new(*cfg)),
             EnginePlan::ImplicitGemm => Box::new(ImplicitGemmConv::default()),
             EnginePlan::ExplicitGemm => Box::new(ExplicitGemmConv::default()),
@@ -56,13 +66,18 @@ impl EnginePlan {
     }
 }
 
-/// A shared resolution cache keyed by `(engine, problem shape)`: the
-/// serving layer resolves each distinct shape once and every later request
-/// with the same shape reuses the tuned plan. Errors are not cached — a
-/// failed resolution is cheap and carries a fresh message.
+/// A shared resolution cache keyed by `(engine, dtype, bank width,
+/// problem shape)`: the serving layer resolves each distinct shape once
+/// and every later request with the same shape reuses the tuned plan.
+/// The key carries the axes the generator varies a plan on — the
+/// computation dtype and the spec's shared-memory bank width, which
+/// together pick the kernel variant and its vector factor — so one cache
+/// can serve devices with different bank widths without handing a Kepler
+/// float2 plan to a 4-byte-bank part. Errors are not cached — a failed
+/// resolution is cheap and carries a fresh message.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: HashMap<(Engine, ConvProblem), EnginePlan>,
+    plans: HashMap<(Engine, DataType, u64, ConvProblem), EnginePlan>,
     hits: u64,
     misses: u64,
 }
@@ -73,7 +88,9 @@ impl PlanCache {
         Self::default()
     }
 
-    /// Resolves `engine` for `problem` on `spec`, consulting the cache.
+    /// Resolves `engine` for `problem` on `spec` in `f32`, consulting the
+    /// cache. Shorthand for [`PlanCache::plan_for`] with
+    /// [`DataType::F32`].
     ///
     /// # Errors
     ///
@@ -84,13 +101,30 @@ impl PlanCache {
         spec: &GpuSpec,
         problem: &ConvProblem,
     ) -> Result<EnginePlan, ConvError> {
-        if let Some(plan) = self.plans.get(&(engine, *problem)) {
+        self.plan_for(engine, spec, problem, DataType::F32)
+    }
+
+    /// Resolves `engine` for `problem` on `spec` computing in `dtype`,
+    /// consulting the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::plan_for`] errors (never cached).
+    pub fn plan_for(
+        &mut self,
+        engine: Engine,
+        spec: &GpuSpec,
+        problem: &ConvProblem,
+        dtype: DataType,
+    ) -> Result<EnginePlan, ConvError> {
+        let key = (engine, dtype, spec.bank_width.bytes(), *problem);
+        if let Some(plan) = self.plans.get(&key) {
             self.hits += 1;
             return Ok(*plan);
         }
-        let plan = engine.plan(spec, problem)?;
+        let plan = engine.plan_for(spec, problem, dtype)?;
         self.misses += 1;
-        self.plans.insert((engine, *problem), plan);
+        self.plans.insert(key, plan);
         Ok(plan)
     }
 
@@ -111,14 +145,54 @@ impl PlanCache {
 }
 
 impl Engine {
-    /// Resolves this engine for `problem` on `spec` without running
-    /// anything, returning the cacheable [`EnginePlan`].
+    /// Resolves this engine for `problem` on `spec` computing in `f32`,
+    /// returning the cacheable [`EnginePlan`]. Shorthand for
+    /// [`Engine::plan_for`] with [`DataType::F32`].
     ///
     /// # Errors
     ///
     /// Returns [`ConvError::Shape`] when a forced engine cannot run the
-    /// problem ([`Engine::Auto`] always resolves).
+    /// problem ([`Engine::Auto`] always resolves in `f32`).
     pub fn plan(self, spec: &GpuSpec, problem: &ConvProblem) -> Result<EnginePlan, ConvError> {
+        self.plan_for(spec, problem, DataType::F32)
+    }
+
+    /// Resolves this engine for `problem` on `spec` computing in `dtype`,
+    /// without running anything. The special plan carries the kernel
+    /// shape derived for the spec's bank width
+    /// ([`KernelShape::matched`]), so the same engine resolves to the
+    /// float2 kernel on Kepler and the scalar variant on 4-byte-bank
+    /// parts; narrow dtypes resolve to the matched half2/int8 variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::Shape`] when a forced engine cannot run the
+    /// problem, or when `dtype` is narrow and the problem has no special
+    /// variant (the general and GEMM kernels compute in `f32` only).
+    pub fn plan_for(
+        self,
+        spec: &GpuSpec,
+        problem: &ConvProblem,
+        dtype: DataType,
+    ) -> Result<EnginePlan, ConvError> {
+        // The narrow-dtype kernels exist only in the special family.
+        let special_fits = |elem_bytes: usize| {
+            problem.stride == 1
+                && problem.channels == 1
+                && (problem.filters * problem.k * problem.k * elem_bytes) as u64 <= spec.cm_bytes
+        };
+        if dtype != DataType::F32 {
+            let shape = KernelShape::matched(spec, dtype);
+            return match self {
+                Engine::Special | Engine::Auto if special_fits(shape.elem_bytes()) => {
+                    Ok(EnginePlan::Special(shape))
+                }
+                _ => Err(ConvError::Shape(format!(
+                    "no {dtype} kernel variant accepts {problem} under {self:?} \
+                     (narrow compute is special-case only)"
+                ))),
+            };
+        }
         match self {
             Engine::Special => {
                 if problem.channels != 1 {
@@ -127,7 +201,7 @@ impl Engine {
                         problem.channels
                     )));
                 }
-                Ok(EnginePlan::Special)
+                Ok(EnginePlan::Special(KernelShape::matched(spec, dtype)))
             }
             Engine::General => {
                 let cfg =
@@ -146,10 +220,8 @@ impl Engine {
                     // The paper's direct kernels are stride-1 specialized;
                     // strided layers take the universal GEMM path.
                     Ok(EnginePlan::ImplicitGemm)
-                } else if problem.channels == 1
-                    && (problem.filters * problem.k * problem.k * 4) as u64 <= spec.cm_bytes
-                {
-                    Ok(EnginePlan::Special)
+                } else if problem.channels == 1 && special_fits(dtype.bytes()) {
+                    Ok(EnginePlan::Special(KernelShape::matched(spec, dtype)))
                 } else if let Some(cfg) =
                     GeneralConfig::for_problem(spec, problem.k, problem.channels, problem.filters)
                 {
@@ -366,6 +438,63 @@ mod tests {
             first.instantiate().name(),
             Engine::Auto.resolve(&g, &p).unwrap().name()
         );
+    }
+
+    #[test]
+    fn special_plan_adapts_to_the_bank_width() {
+        let p = ConvProblem::special(64, 4, 3);
+        let kepler = Engine::Auto.plan(&GpuSpec::kepler_k40m(), &p).unwrap();
+        let maxwell = Engine::Auto.plan(&GpuSpec::maxwell_like(), &p).unwrap();
+        assert!(matches!(kepler, EnginePlan::Special(s) if s.vec_width == 2));
+        assert!(matches!(maxwell, EnginePlan::Special(s) if s.vec_width == 1));
+        assert!(kepler.instantiate().name().contains("n=2"));
+        assert!(maxwell.instantiate().name().contains("n=1"));
+    }
+
+    #[test]
+    fn narrow_dtypes_resolve_to_the_matched_variant() {
+        let p = ConvProblem::special(64, 4, 3);
+        let spec = GpuSpec::maxwell_like();
+        let plan = Engine::Auto.plan_for(&spec, &p, DataType::F16).unwrap();
+        assert!(matches!(plan, EnginePlan::Special(s) if s.vec_width == 2));
+        assert!(plan.instantiate().name().contains("half2"));
+        // Narrow compute has no general/GEMM variant.
+        assert!(matches!(
+            Engine::General.plan_for(&spec, &p, DataType::F16),
+            Err(ConvError::Shape(_))
+        ));
+        let multi = ConvProblem::general(34, 4, 8, 3);
+        assert!(matches!(
+            Engine::Auto.plan_for(&spec, &multi, DataType::I8),
+            Err(ConvError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn plan_cache_keys_on_dtype_and_bank_width() {
+        let mut cache = PlanCache::new();
+        let p = ConvProblem::special(64, 4, 3);
+        let kepler = GpuSpec::kepler_k40m();
+        let maxwell = GpuSpec::maxwell_like();
+        let a = cache.plan(Engine::Auto, &kepler, &p).unwrap();
+        let b = cache.plan(Engine::Auto, &maxwell, &p).unwrap();
+        assert_ne!(a, b, "bank widths must not share a plan");
+        let c = cache
+            .plan_for(Engine::Auto, &kepler, &p, DataType::F16)
+            .unwrap();
+        assert_ne!(a, c, "dtypes must not share a plan");
+        assert_eq!(cache.stats(), (0, 3));
+        // Each key replays from the cache.
+        assert_eq!(cache.plan(Engine::Auto, &kepler, &p).unwrap(), a);
+        assert_eq!(cache.plan(Engine::Auto, &maxwell, &p).unwrap(), b);
+        assert_eq!(
+            cache
+                .plan_for(Engine::Auto, &kepler, &p, DataType::F16)
+                .unwrap(),
+            c
+        );
+        assert_eq!(cache.stats(), (3, 3));
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Architecture-adaptive generator harness: eq. 1 in reverse, gated by
+//! replay.
+//!
+//! Generates the matched kernel variant for every preset × dtype
+//! (`n = W_SMB / W_CD`, clamped to the instantiable factors), captures
+//! each variant's KTRC trace on its own spec, and gates with replay:
+//! matched variants are conflict-free and bank-row-filling (both factors
+//! exactly 1.0), the generated f32 variant never serializes more than the
+//! paper's hard-wired Kepler float2 kernel (strictly less on 4-byte-bank
+//! parts), the fp16 mismatch factor measures exactly 2.0 at the wrong `n`
+//! and exactly 1.0 at the derived `n`, and every variant runs
+//! sanitizer-clean, reference-verified and bit-identical between serial
+//! and threaded execution.
+//!
+//! Usage:
+//!   cargo run --release -p kconv-bench --bin arch            # report
+//!   cargo run --release -p kconv-bench --bin arch -- --check # exit 1 on FAIL
+//!
+//! Writes `BENCH_arch.json` to the workspace root either way.
+
+fn main() {
+    kconv_bench::reject_unknown_args("arch", &[("--check", false)]);
+    let check = std::env::args().any(|a| a == "--check");
+    let c = kconv_bench::arch::run();
+    if check && c.failures > 0 {
+        std::process::exit(1);
+    }
+}

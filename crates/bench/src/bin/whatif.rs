@@ -23,6 +23,12 @@
 //! `float2` pattern (stride 8 B) is matched on both, trading exactly 2x
 //! the replay cycles on 4-byte banks.
 //!
+//! A closing section runs eq. 1 the other way: the vector factor
+//! [`KernelShape::derive_n`] derives for `f32` on each preset must equal
+//! the mismatch factor the scalar-float pattern *measures* on that
+//! preset — the generator (`kconv-arch`) and the replay engine agree on
+//! the same formula from opposite directions.
+//!
 //! Usage:
 //!   cargo run --release -p kconv-bench --bin whatif            # report
 //!   cargo run --release -p kconv-bench --bin whatif -- --check # exit 1 on FAIL
@@ -30,7 +36,7 @@
 //! Writes `BENCH_whatif.json` to the workspace root either way.
 
 use kconv_bench::{fig8, Checker};
-use kconv_core::Convolution;
+use kconv_core::{Convolution, DataType, KernelShape};
 use kconv_replay::{replay_decoded, ReplayReport, TargetSpec};
 use kconv_sim::{
     Gpu, GpuSpec, KernelStats, LaneMask, LaunchReport, OverlapMode, Parallelism, SanitizerMode,
@@ -280,7 +286,38 @@ fn main() {
         n as u64 * v_b8.sm_cycles(),
     );
 
+    // --- Derived n: eq. 1 in reverse, cross-checked per preset ---
+    // The scalar-float pattern's replayed waste on a preset IS eq. 1's
+    // mismatch factor for f32 on that machine; the generator's derived
+    // vector factor must equal it (the factor it exists to cancel).
+    println!("\n[derive] n = W_SMB / W_CD per preset vs the measured scalar-float mismatch");
+    let mut derived_rows: Vec<(String, usize, f64)> = Vec::new();
+    for spec in GpuSpec::presets_all() {
+        let derived = KernelShape::derive_n(&spec, DataType::F32);
+        let measured = replay_decoded(&float_trace, &TargetSpec::Spec(spec.clone()))
+            .expect("pattern replays")[0]
+            .sm_waste();
+        println!(
+            "  {:<22} {:>4}B banks  derived n={derived}  measured mismatch {measured}",
+            spec.name,
+            spec.bank_width.bytes()
+        );
+        c.eq_f64(
+            &format!("{}: derived n == measured f32 mismatch factor", spec.name),
+            measured,
+            derived as f64,
+        );
+        derived_rows.push((spec.name.to_string(), derived, measured));
+    }
+
     // --- JSON artifact ---
+    let mut derived_json = String::new();
+    for (i, (name, derived, measured)) in derived_rows.iter().enumerate() {
+        derived_json.push_str(&format!(
+            "    {{\"spec\": \"{name}\", \"derived_n\": {derived}, \"measured_mismatch\": {measured}}}{}\n",
+            if i + 1 < derived_rows.len() { "," } else { "" },
+        ));
+    }
     let mut sweep_json = String::new();
     for (i, row) in rows.iter().enumerate() {
         let r = &row.report;
@@ -298,7 +335,7 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"whatif_fig8_replay\",\n  \"trace_bytes\": {},\n  \"gate_bit_identical\": {},\n  \"sweep\": [\n{}  ],\n  \"patterns\": {{\n    \"mismatch_factor\": {n},\n    \"float_waste_8b\": {},\n    \"float_waste_4b\": {},\n    \"float2_waste_8b\": {},\n    \"float2_waste_4b\": {},\n    \"float2_cycles_ratio_4b_over_8b\": {}\n  }},\n  \"checks\": {},\n  \"failures\": {}\n}}\n",
+        "{{\n  \"bench\": \"whatif_fig8_replay\",\n  \"trace_bytes\": {},\n  \"gate_bit_identical\": {},\n  \"sweep\": [\n{}  ],\n  \"patterns\": {{\n    \"mismatch_factor\": {n},\n    \"float_waste_8b\": {},\n    \"float_waste_4b\": {},\n    \"float2_waste_8b\": {},\n    \"float2_waste_4b\": {},\n    \"float2_cycles_ratio_4b_over_8b\": {}\n  }},\n  \"derived_n\": [\n{derived_json}  ],\n  \"checks\": {},\n  \"failures\": {}\n}}\n",
         bytes.len(),
         under_capture.stats == live.stats,
         sweep_json,

@@ -25,8 +25,8 @@
 use std::time::Instant;
 
 use kconv_core::{
-    Convolution, GeneralConfig, GeneralConv, GeneralConvStrided, ImplicitGemmConv, SpecialConv,
-    SpecialConvF16, SpecialConvI8,
+    Convolution, GeneralConfig, GeneralConv, GeneralConvStrided, ImplicitGemmConv, SpecialConfig,
+    SpecialConv, SpecialConvF16, SpecialConvHalf2, SpecialConvI8,
 };
 use kconv_replay::{replay, replay_decoded, sweep, SweepCell, TargetSpec};
 use kconv_sim::mem::lanes;
@@ -121,6 +121,22 @@ pub fn corpus() -> Vec<CorpusEntry> {
         entry(
             "special-3x3-int8",
             Box::new(SpecialConvI8::kepler_matched()),
+            ConvProblem::special(66, 16, 3),
+        ),
+        // The generator's (kconv-arch) outputs, appended after the
+        // original ten so their captures stay byte-stable: the scalar
+        // f32 variant derived for 4-byte-bank parts, and the half2
+        // fp16 variant. Swept over the grid they flip roles with the
+        // hard-wired Kepler entries — matched on the 4B cells, the
+        // mismatch case on the 8B cells.
+        entry(
+            "special-3x3-n1",
+            Box::new(SpecialConv::new(SpecialConfig::with_vec_width(1))),
+            ConvProblem::special(130, 16, 3),
+        ),
+        entry(
+            "special-3x3-half2",
+            Box::new(SpecialConvHalf2::default()),
             ConvProblem::special(66, 16, 3),
         ),
     ]
@@ -502,7 +518,7 @@ mod tests {
     #[test]
     fn corpus_covers_kernels_shapes_and_dtypes() {
         let entries = corpus();
-        assert!(entries.len() >= 10);
+        assert!(entries.len() >= 12);
         let names: Vec<_> = entries.iter().map(|e| e.name).collect();
         for required in [
             "special-5x5",
@@ -511,8 +527,29 @@ mod tests {
             "implicit-gemm-3x3",
             "special-3x3-fp16",
             "special-3x3-int8",
+            "special-3x3-n1",
+            "special-3x3-half2",
         ] {
             assert!(names.contains(&required), "missing {required}");
+        }
+        // The generator entries are appended after the original ten, so
+        // the farm's first ten captures stay byte-stable across releases.
+        for (i, required) in [
+            "special-3x3",
+            "special-5x5",
+            "special-7x7",
+            "general-3x3",
+            "general-5x5",
+            "general-7x7",
+            "general-3x3-strided",
+            "implicit-gemm-3x3",
+            "special-3x3-fp16",
+            "special-3x3-int8",
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(names[i], *required, "corpus prefix reordered at {i}");
         }
         // Names are unique: they key the JSON rows.
         let mut sorted = names.clone();

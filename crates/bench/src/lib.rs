@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod farm;
 pub mod fig8;
 pub mod harness;

@@ -44,6 +44,24 @@ impl SpecialConfig {
         }
     }
 
+    /// The paper's tile with an explicit vector factor — the generator's
+    /// building block for forced-`n` ablations.
+    pub fn with_vec_width(n: usize) -> Self {
+        SpecialConfig {
+            vec_width: n,
+            ..SpecialConfig::kepler_best()
+        }
+    }
+
+    /// The matched configuration for `f32` on `spec`: the paper's best tile
+    /// with `n` derived from eq. 1 in reverse
+    /// ([`KernelShape::derive_n`](crate::KernelShape::derive_n)), so the
+    /// same tiling self-adapts to 8-byte-bank Kepler (`n = 2`) and
+    /// 4-byte-bank Fermi/Maxwell (`n = 1`).
+    pub fn matched_for(spec: &GpuSpec) -> Self {
+        Self::with_vec_width(crate::KernelShape::derive_n(spec, crate::DataType::F32))
+    }
+
     /// Threads per block (`W / n`).
     pub fn threads(&self) -> usize {
         self.width / self.vec_width
@@ -205,6 +223,18 @@ impl GeneralConfig {
             5 => GeneralConfig::table1_5x5(),
             7 => GeneralConfig::table1_7x7(),
             _ => GeneralConfig::table1_3x3(),
+        }
+    }
+
+    /// The Table 1 configuration for filter size `k` with the vector factor
+    /// re-derived for `spec` from eq. 1 in reverse
+    /// ([`KernelShape::derive_n`](crate::KernelShape::derive_n)): `n = 2`
+    /// on 8-byte-bank Kepler reproduces Table 1 exactly; 4-byte-bank parts
+    /// get the scalar (`n = 1`) matched layout.
+    pub fn matched_for(spec: &GpuSpec, k: usize) -> Self {
+        GeneralConfig {
+            vec_width: crate::KernelShape::derive_n(spec, crate::DataType::F32),
+            ..GeneralConfig::table1(k)
         }
     }
 
@@ -488,5 +518,31 @@ mod tests {
     fn defaults_are_presets() {
         assert_eq!(SpecialConfig::default(), SpecialConfig::kepler_best());
         assert_eq!(GeneralConfig::default(), GeneralConfig::table1_3x3());
+    }
+
+    #[test]
+    fn matched_for_derives_n_from_bank_width() {
+        // On the paper's machine the derived configs ARE the hand-tuned ones.
+        let kepler = GpuSpec::kepler_k40m();
+        assert_eq!(
+            SpecialConfig::matched_for(&kepler),
+            SpecialConfig::kepler_best()
+        );
+        assert_eq!(
+            GeneralConfig::matched_for(&kepler, 3),
+            GeneralConfig::table1_3x3()
+        );
+        // 4-byte banks drop to the scalar matched layout; everything else
+        // keeps the Table 1 tiling, and the result still validates.
+        for spec in [GpuSpec::maxwell_like(), GpuSpec::fermi_m2090()] {
+            let s = SpecialConfig::matched_for(&spec);
+            assert_eq!(s.vec_width, 1);
+            s.validate(&spec, 3, 64).unwrap();
+            for k in [3, 5, 7] {
+                let g = GeneralConfig::matched_for(&spec, k);
+                assert_eq!(g.vec_width, 1);
+                g.validate(&spec, k).unwrap();
+            }
+        }
     }
 }

@@ -31,8 +31,10 @@ use kconv_sim::{
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
 use crate::config::{round_up, GeneralConfig};
+use crate::dtype::DataType;
 use crate::error::{ConvError, Result};
 use crate::run::{executed_tile_regions, ConvRun, Convolution};
+use crate::shape::KernelShape;
 
 /// The general-case (multi-channel) direct convolution kernel.
 ///
@@ -127,6 +129,9 @@ impl Convolution for GeneralConv {
     }
 }
 
+/// Geometry shared by the setup code and the per-block closure; the
+/// [`KernelShape`] supplies the vector factor and element width for every
+/// address computed inside the block body (see [`crate::special`]).
 struct Geom {
     k: usize,
     channels: usize,
@@ -141,6 +146,7 @@ struct Geom {
     img_pitch: usize,
     flt_pitch: usize,
     row_len: usize,
+    shape: KernelShape,
 }
 
 fn run_general<const N: usize>(
@@ -197,6 +203,10 @@ fn run_general_inner<const N: usize>(
         img_pitch: cfg.img_pitch(k),
         flt_pitch: cfg.flt_pitch(),
         row_len: cfg.width + k - 1,
+        shape: KernelShape {
+            dtype: DataType::F32,
+            vec_width: cfg.vec_width,
+        },
     };
 
     let launch = LaunchConfig::new(
@@ -238,7 +248,9 @@ fn run_general_inner<const N: usize>(
     })
 }
 
-/// Algorithm 2 of the paper, executed by one thread block.
+/// Algorithm 2 of the paper, executed by one thread block. The vector
+/// factor comes from the geometry's [`KernelShape`] at run time; `N` only
+/// sizes the simulator's per-lane value arrays and must agree with it.
 fn general_block<const N: usize>(
     blk: &mut BlockCtx<'_>,
     cfg: &GeneralConfig,
@@ -249,6 +261,11 @@ fn general_block<const N: usize>(
 ) {
     let k = g.k;
     let kk = k * k;
+    let n = g.shape.vec_width;
+    debug_assert_eq!(
+        n, N,
+        "shape vec_width must match the instantiated lane width"
+    );
     let threads = cfg.threads();
     let tx_count = cfg.threads_x();
     let (w_t, f_t, c_sh) = (cfg.w_t, cfg.f_t, cfg.c_sh);
@@ -268,7 +285,7 @@ fn general_block<const N: usize>(
     // rAcc[F_T][W_T] per thread, flat.
     let mut acc = vec![0.0f32; threads * f_t * w_t];
     // rImg: the W_T + K - 1 row window per thread.
-    let win_w = round_up(w_t + k - 1, N);
+    let win_w = round_up(w_t + k - 1, n);
     let mut rimg = vec![0.0f32; threads * win_w];
     // rFlt fragments per lane; fully overwritten before every use, so one
     // buffer serves the whole block instead of being zeroed per access.
@@ -306,8 +323,8 @@ fn general_block<const N: usize>(
                 // Line 12: each thread refills its image-row window
                 // (W_T + K - 1 pixels, n at a time). Threads sharing a
                 // T_Y row read identical addresses: broadcast.
-                for gv in 0..win_w / N {
-                    let base = (i * slab_rows + j) * g.img_pitch + gv * N;
+                for gv in 0..win_w / n {
+                    let base = (i * slab_rows + j) * g.img_pitch + gv * n;
                     blk.each_warp(|w| {
                         let lane0 = w.warp_id() * WARP_SIZE;
                         let addrs =
@@ -315,8 +332,8 @@ fn general_block<const N: usize>(
                         let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
                         for lane in w.population().iter() {
                             let t = w.thread_id(lane);
-                            rimg[t * win_w + gv * N..t * win_w + gv * N + N]
-                                .copy_from_slice(&vals[lane]);
+                            rimg[t * win_w + gv * n..t * win_w + gv * n + n]
+                                .copy_from_slice(&vals[lane][..n]);
                         }
                     });
                 }
@@ -326,13 +343,13 @@ fn general_block<const N: usize>(
                     let row = (i * kk + j * k + kc) * g.flt_pitch;
                     blk.each_warp(|w| {
                         let lane0 = w.warp_id() * WARP_SIZE;
-                        for gv in 0..f_t / N {
+                        for gv in 0..f_t / n {
                             let addrs = lane_addrs_from(|lane| {
-                                flt_base + ((row + t_tx[lane0 + lane] * f_t + gv * N) * 4) as u64
+                                flt_base + ((row + t_tx[lane0 + lane] * f_t + gv * n) * 4) as u64
                             });
                             let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
                             for lane in 0..WARP_SIZE {
-                                rflt[lane][gv * N..gv * N + N].copy_from_slice(&vals[lane]);
+                                rflt[lane][gv * n..gv * n + n].copy_from_slice(&vals[lane][..n]);
                             }
                         }
                         // Line 15: the rank-1 update
@@ -365,14 +382,14 @@ fn general_block<const N: usize>(
     // output maps, so this is uncoalesced by design (measured, not
     // optimized — matching the paper).
     for ff in 0..f_t {
-        for gv in 0..w_t / N {
+        for gv in 0..w_t / n {
             blk.each_warp(|w| {
                 let wid = w.warp_id();
                 let addrs = lane_addrs_from(|lane| {
                     let t = wid * WARP_SIZE + lane;
                     let f = f0 + t_tx[t] * f_t + ff;
                     d_out.f32_addr(
-                        ((f * g.out_rows + gy + t_r[t]) * g.out_pitch + gx + t_col[t] + gv * N)
+                        ((f * g.out_rows + gy + t_r[t]) * g.out_pitch + gx + t_col[t] + gv * n)
                             as u64,
                     )
                 });
@@ -380,9 +397,9 @@ fn general_block<const N: usize>(
                 for (lane, v) in vals.iter_mut().enumerate() {
                     let t = wid * WARP_SIZE + lane;
                     if t < threads {
-                        v.copy_from_slice(
-                            &acc[t * f_t * w_t + ff * w_t + gv * N
-                                ..t * f_t * w_t + ff * w_t + gv * N + N],
+                        v[..n].copy_from_slice(
+                            &acc[t * f_t * w_t + ff * w_t + gv * n
+                                ..t * f_t * w_t + ff * w_t + gv * n + n],
                         );
                     }
                 }

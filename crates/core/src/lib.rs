@@ -68,6 +68,7 @@ pub mod model;
 mod naive;
 mod reference;
 mod run;
+mod shape;
 mod special;
 mod special_narrow;
 pub mod tune;
@@ -83,8 +84,9 @@ pub use implicit_gemm::{ImplicitGemmConfig, ImplicitGemmConv};
 pub use naive::NaiveConv;
 pub use reference::{conv_reference, conv_reference_region, OutRegion};
 pub use run::{run_verified, run_with_fallback, ConvRun, Convolution, FaultRecord};
+pub use shape::KernelShape;
 pub use special::{FusedBatchRun, SpecialConv, MAX_K};
 pub use special_narrow::{
-    i8_input_scale, i8_output_scale, quantize_maps, quantize_maps_f16, Encoding, SpecialConvF16,
-    SpecialConvI8, F16_TOL, I8_TOL,
+    i8_input_scale, i8_output_scale, quantize_filters_f16, quantize_maps, quantize_maps_f16,
+    Encoding, SpecialConvF16, SpecialConvHalf2, SpecialConvI8, F16_TOL, I8_TOL,
 };

@@ -28,8 +28,10 @@ use kconv_sim::{
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
 use crate::config::{round_up, SpecialConfig};
+use crate::dtype::DataType;
 use crate::error::{ConvError, Result};
 use crate::run::{executed_tile_regions, ConvRun, Convolution};
+use crate::shape::KernelShape;
 
 /// The special-case (`C = 1`) direct convolution kernel.
 ///
@@ -207,6 +209,10 @@ fn run_fused<const N: usize>(
         out_rows,
         sm_pitch: cfg.smem_pitch(k),
         row_len,
+        shape: KernelShape {
+            dtype: DataType::F32,
+            vec_width: cfg.vec_width,
+        },
     };
 
     let launch = LaunchConfig::new(
@@ -334,7 +340,12 @@ impl Convolution for SpecialConv {
 /// buffer; 13x13 covers every filter the paper and the applications use).
 pub const MAX_K: usize = 13;
 
-/// Geometry shared by the setup code and the per-block closure.
+/// Geometry shared by the setup code and the per-block closure. The
+/// [`KernelShape`] is the generator-derived source of truth for the vector
+/// factor and element width: every address, mask and pitch computed inside
+/// the block body reads `shape` rather than a hard-wired constant, so the
+/// same body serves the Kepler float2 layout, the 4-byte-bank scalar layout
+/// and forced-`n` ablations.
 struct Geom {
     k: usize,
     f: usize,
@@ -346,6 +357,7 @@ struct Geom {
     out_rows: usize,
     sm_pitch: usize,
     row_len: usize,
+    shape: KernelShape,
 }
 
 fn run_special<const N: usize>(
@@ -388,6 +400,10 @@ fn run_special<const N: usize>(
         out_rows,
         sm_pitch: cfg.smem_pitch(k),
         row_len,
+        shape: KernelShape {
+            dtype: DataType::F32,
+            vec_width: cfg.vec_width,
+        },
     };
 
     let launch = LaunchConfig::new(
@@ -426,35 +442,46 @@ fn run_special<const N: usize>(
 }
 
 /// Algorithm 1 of the paper, executed by one thread block over one tile.
+///
+/// The vector factor `n` and the element width come from the geometry's
+/// [`KernelShape`] at run time; the const parameter `N` only sizes the
+/// per-lane value arrays the simulator's warp API requires and must agree
+/// with the shape (the dispatchers guarantee it).
 fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, d_out: GmBuf) {
     let k = g.k;
+    let n = g.shape.vec_width;
+    let eb = g.shape.elem_bytes();
+    debug_assert_eq!(
+        n, N,
+        "shape vec_width must match the instantiated lane width"
+    );
     let threads = blk.dims.threads;
     let bx = blk.dims.block_id % g.tiles_x;
     let by = blk.dims.block_id / g.tiles_x;
     let in_row0 = by * g.tile_h;
     let in_col0 = bx * g.tile_w;
 
-    let win_w = round_up(k + N - 1, N);
+    let win_w = round_up(k + n - 1, n);
     // Per-thread register window: K rows of the sliding K x (K+n-1) patch.
     let mut win = vec![0.0f32; threads * k * win_w];
     // Register staging for the prefetched row (the row content itself).
-    let rounds = g.row_len.div_ceil(threads * N);
-    let mut pf = vec![0.0f32; rounds * threads * N];
+    let rounds = g.row_len.div_ceil(threads * n);
+    let mut pf = vec![0.0f32; rounds * threads * n];
 
     // Reads one absolute tile row from global memory into `pf`.
     let gm_row_to_pf = |blk: &mut BlockCtx<'_>, pf: &mut [f32], row: usize| {
         for r in 0..rounds {
             blk.each_warp(|w| {
                 let mask =
-                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * N < g.row_len);
+                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * n < g.row_len);
                 let addrs = lane_addrs_from(|lane| {
-                    let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
+                    let p = ((r * threads + w.thread_id(lane)) * n).min(g.row_len - 1);
                     d_in.f32_addr(((in_row0 + row) * g.in_pitch + in_col0 + p) as u64)
                 });
                 let vals = w.ld_global::<N>(&addrs, mask);
                 for lane in mask.iter() {
-                    let p = (r * threads + w.thread_id(lane)) * N;
-                    pf[p..p + N].copy_from_slice(&vals[lane]);
+                    let p = (r * threads + w.thread_id(lane)) * n;
+                    pf[p..p + n].copy_from_slice(&vals[lane]);
                 }
             });
         }
@@ -465,15 +492,15 @@ fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, 
         for r in 0..rounds {
             blk.each_warp(|w| {
                 let mask =
-                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * N < g.row_len);
+                    LaneMask::from_fn(|lane| (r * threads + w.thread_id(lane)) * n < g.row_len);
                 let addrs = lane_addrs_from(|lane| {
-                    let p = ((r * threads + w.thread_id(lane)) * N).min(g.row_len - 1);
-                    ((slot * g.sm_pitch + p) * 4) as u64
+                    let p = ((r * threads + w.thread_id(lane)) * n).min(g.row_len - 1);
+                    ((slot * g.sm_pitch + p) * eb) as u64
                 });
                 let mut vals = [[0.0f32; N]; WARP_SIZE];
                 for lane in mask.iter() {
-                    let p = (r * threads + w.thread_id(lane)) * N;
-                    vals[lane].copy_from_slice(&pf[p..p + N]);
+                    let p = (r * threads + w.thread_id(lane)) * n;
+                    vals[lane].copy_from_slice(&pf[p..p + n]);
                 }
                 w.st_shared::<N>(&addrs, &vals, mask);
             });
@@ -482,16 +509,16 @@ fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, 
 
     // Loads shared-memory row `slot` into window row `wr` of every thread.
     let smem_to_window = |blk: &mut BlockCtx<'_>, win: &mut [f32], slot: usize, wr: usize| {
-        for gv in 0..win_w / N {
+        for gv in 0..win_w / n {
             blk.each_warp(|w| {
                 let addrs = lane_addrs_from(|lane| {
-                    ((slot * g.sm_pitch + w.thread_id(lane) * N + gv * N) * 4) as u64
+                    ((slot * g.sm_pitch + w.thread_id(lane) * n + gv * n) * eb) as u64
                 });
                 let vals = w.ld_shared::<N>(&addrs, LaneMask::ALL);
                 for lane in w.population().iter() {
                     let t = w.thread_id(lane);
-                    let at = (t * k + wr) * win_w + gv * N;
-                    win[at..at + N].copy_from_slice(&vals[lane]);
+                    let at = (t * k + wr) * win_w + gv * n;
+                    win[at..at + n].copy_from_slice(&vals[lane]);
                 }
             });
         }
@@ -538,21 +565,21 @@ fn special_block<const N: usize>(blk: &mut BlockCtx<'_>, g: &Geom, d_in: GmBuf, 
                 for lane in pop.iter() {
                     let t = w.thread_id(lane);
                     let base = t * k * win_w;
-                    for v in 0..N {
+                    for (v, out) in acc[lane].iter_mut().enumerate().take(n) {
                         let mut s = 0.0f32;
                         for i in 0..k {
                             for j in 0..k {
                                 s += win[base + i * win_w + j + v] * taps[i * k + j];
                             }
                         }
-                        acc[lane][v] = s;
+                        *out = s;
                     }
                 }
-                w.count_fma(pop.count() as u64 * (N * k * k) as u64);
+                w.count_fma(pop.count() as u64 * (n * k * k) as u64);
                 let addrs = lane_addrs_from(|lane| {
                     let t = w.thread_id(lane);
                     d_out.f32_addr(
-                        ((f * g.out_rows + in_row0 + out_row) * g.out_pitch + in_col0 + t * N)
+                        ((f * g.out_rows + in_row0 + out_row) * g.out_pitch + in_col0 + t * n)
                             as u64,
                     )
                 });

@@ -11,9 +11,13 @@
 //! to `f32` in registers for the FMAs (the standard mixed-precision scheme
 //! of the era).
 //!
-//! Two encodings share the one kernel:
+//! Three variants share the one kernel:
 //!
-//! * [`SpecialConvF16`] — IEEE binary16 storage;
+//! * [`SpecialConvF16`] — IEEE binary16 storage, f32 filters in constant
+//!   memory;
+//! * [`SpecialConvHalf2`] — binary16 storage **and** binary16 filters,
+//!   packed two taps per 4-byte constant-memory word (CUDA's `__half2`
+//!   idiom): the generator's fp16 variant for 4-byte-bank parts;
 //! * [`SpecialConvI8`] — symmetric 8-bit fixed point with per-tensor
 //!   scales (chosen on the host from the data and a filter-norm bound).
 //!
@@ -27,16 +31,22 @@ use kconv_sim::{
     lane_addrs_from, lane_addrs_uniform, BlockCtx, GmBuf, Gpu, LaneMask, LaunchConfig, OverlapMode,
     SimMode, WARP_SIZE,
 };
-use kconv_tensor::{f16_bits_to_f32, f32_to_f16_bits, ConvProblem, FeatureMaps, FilterSet};
+use kconv_tensor::{
+    f16_bits_to_f32, f16_roundtrip, f32_to_f16_bits, pack_f16x2, unpack_f16x2, ConvProblem,
+    FeatureMaps, FilterSet,
+};
 
 use crate::config::{round_up, SpecialConfig};
+use crate::dtype::DataType;
 use crate::error::{ConvError, Result};
 use crate::run::{executed_tile_regions, ConvRun, Convolution};
+use crate::shape::KernelShape;
 use crate::special::MAX_K;
 
-/// Comparison tolerance for fp16-stored convolutions: output rounding adds
-/// up to `2^-11` relative error on top of reassociation noise.
-pub const F16_TOL: f32 = 2e-3;
+/// Comparison tolerance for fp16-stored convolutions (re-exported from
+/// [`kconv_tensor`], where the bound is documented next to the comparison
+/// helpers that use it).
+pub use kconv_tensor::F16_TOL;
 
 /// Comparison tolerance for int8-stored convolutions: with |image| <= 1
 /// inputs and the filter-norm output scale, quantization noise stays well
@@ -64,6 +74,14 @@ impl Encoding {
         match self {
             Encoding::F16 => 2,
             Encoding::I8 { .. } => 1,
+        }
+    }
+
+    /// The computation [`DataType`] this encoding stores.
+    pub fn dtype(self) -> DataType {
+        match self {
+            Encoding::F16 => DataType::F16,
+            Encoding::I8 { .. } => DataType::I8,
         }
     }
 
@@ -121,6 +139,22 @@ pub fn quantize_maps(maps: &FeatureMaps, enc: Encoding) -> FeatureMaps {
 /// the fp16 kernel's tests and docs).
 pub fn quantize_maps_f16(maps: &FeatureMaps) -> FeatureMaps {
     quantize_maps(maps, Encoding::F16)
+}
+
+/// Quantizes a filter bank through fp16 (`f32 -> f16 -> f32`) — the taps
+/// the half2 kernel effectively convolves with; pass the result to the
+/// reference when validating [`SpecialConvHalf2`].
+pub fn quantize_filters_f16(filters: &FilterSet) -> FilterSet {
+    FilterSet::from_vec(
+        filters.count(),
+        filters.channels(),
+        filters.k(),
+        filters
+            .as_slice()
+            .iter()
+            .map(|&v| f16_roundtrip(v))
+            .collect(),
+    )
 }
 
 /// Symmetric per-tensor input scale: `max|x| / 127` (1/127 for all-zero
@@ -234,6 +268,118 @@ impl Convolution for SpecialConvF16 {
             gpu,
             &self.config,
             Encoding::F16,
+            FilterStore::F32,
+            problem,
+            input,
+            filters,
+            mode,
+        )
+    }
+}
+
+/// The special-case kernel with half-precision storage **and** half2-packed
+/// filters: the `kconv-arch` generator's fp16 variant.
+///
+/// Where [`SpecialConvF16`] keeps exact f32 taps in constant memory, this
+/// variant packs two binary16 taps per 4-byte word (CUDA's `__half2`),
+/// halving the tap broadcast count; outputs therefore match the reference
+/// run on fp16-quantized input **and** filters
+/// ([`quantize_filters_f16`]) within [`F16_TOL`].
+///
+/// [`SpecialConfig::vec_width`] counts fp16 elements per thread per access:
+/// 2 (one 4-byte bank word — the eponymous half2) is matched on
+/// Fermi/Maxwell-class parts, 4 on Kepler's 8-byte banks, 1 is the
+/// unmatched ablation that re-exhibits eq. 1's factor-2 serialization on
+/// 4-byte banks.
+///
+/// # Examples
+///
+/// ```
+/// use kconv_core::{SpecialConvHalf2, Convolution, F16_TOL};
+/// use kconv_core::{quantize_filters_f16, quantize_maps_f16};
+/// use kconv_sim::{Gpu, GpuSpec, SimMode};
+/// use kconv_tensor::{random_maps, random_filters, ConvProblem};
+///
+/// # fn main() -> Result<(), kconv_core::ConvError> {
+/// let spec = GpuSpec::maxwell_like();
+/// let conv = SpecialConvHalf2::matched_for(&spec);
+/// assert_eq!(conv.config.vec_width, 2);
+/// let problem = ConvProblem::special(64, 2, 3);
+/// let input = random_maps(1, 64, 64, 7);
+/// let filters = random_filters(2, 1, 3, 8);
+/// let mut gpu = Gpu::new(spec);
+/// let run = conv.run(&mut gpu, &problem, &input, &filters, SimMode::Full)?;
+/// run.verify_executed(
+///     &problem,
+///     &quantize_maps_f16(&input),
+///     &quantize_filters_f16(&filters),
+///     F16_TOL,
+/// )
+/// .unwrap();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpecialConvHalf2 {
+    /// Tiling and element-width configuration (`vec_width` in fp16
+    /// elements).
+    pub config: SpecialConfig,
+}
+
+impl SpecialConvHalf2 {
+    /// Creates the kernel with the given configuration.
+    pub fn new(config: SpecialConfig) -> Self {
+        SpecialConvHalf2 { config }
+    }
+
+    /// The matched variant for `spec`:
+    /// `vec_width = KernelShape::derive_n(spec, F16)` — 2 on 4-byte-bank
+    /// parts (true half2), 4 on Kepler's 8-byte banks.
+    pub fn matched_for(spec: &kconv_sim::GpuSpec) -> Self {
+        SpecialConvHalf2::new(SpecialConfig::with_vec_width(KernelShape::derive_n(
+            spec,
+            DataType::F16,
+        )))
+    }
+
+    /// A variant with an explicitly forced vector factor (the wrong-`n`
+    /// ablation knob); `None` if `n` is not instantiable for fp16.
+    pub fn forced(n: usize) -> Option<Self> {
+        KernelShape::forced(DataType::F16, n)
+            .map(|s| SpecialConvHalf2::new(SpecialConfig::with_vec_width(s.vec_width)))
+    }
+}
+
+impl Default for SpecialConvHalf2 {
+    /// Defaults to the 4-byte-bank matched shape (`n = 2`): the variant the
+    /// type is named after.
+    fn default() -> Self {
+        SpecialConvHalf2::new(SpecialConfig::with_vec_width(2))
+    }
+}
+
+impl Convolution for SpecialConvHalf2 {
+    fn name(&self) -> String {
+        format!(
+            "special half2 ({}, n={})",
+            match_label(self.config.vec_width, self.config.vec_width * 2),
+            self.config.vec_width
+        )
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        problem: &ConvProblem,
+        input: &FeatureMaps,
+        filters: &FilterSet,
+        mode: SimMode,
+    ) -> Result<ConvRun> {
+        run_narrow(
+            gpu,
+            &self.config,
+            Encoding::F16,
+            FilterStore::Half2,
             problem,
             input,
             filters,
@@ -326,7 +472,16 @@ impl Convolution for SpecialConvI8 {
             scale_in: i8_input_scale(input),
             scale_out: i8_output_scale(input, filters),
         };
-        run_narrow(gpu, &self.config, enc, problem, input, filters, mode)
+        run_narrow(
+            gpu,
+            &self.config,
+            enc,
+            FilterStore::F32,
+            problem,
+            input,
+            filters,
+            mode,
+        )
     }
 }
 
@@ -340,6 +495,20 @@ fn match_label(vec_width: usize, bytes_per_access: usize) -> &'static str {
     }
 }
 
+/// How filter taps are stored in constant memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FilterStore {
+    /// One f32 tap per 4-byte word (the paper's layout; exact taps).
+    F32,
+    /// Two binary16 taps per 4-byte word — CUDA's `__half2` idiom
+    /// (SNIPPETS exemplar 1): halves both the constant-memory footprint and
+    /// the broadcast-read count, at fp16 tap precision.
+    Half2,
+}
+
+/// Geometry shared by the setup code and the per-block closure; as in the
+/// f32 kernel, the [`KernelShape`] is the single source of truth for the
+/// vector factor and element width used in every address computation.
 struct Geom {
     k: usize,
     f: usize,
@@ -351,12 +520,15 @@ struct Geom {
     out_rows: usize,
     sm_pitch: usize,
     row_len: usize,
+    shape: KernelShape,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_narrow(
     gpu: &mut Gpu,
     cfg: &SpecialConfig,
     enc: Encoding,
+    store: FilterStore,
     problem: &ConvProblem,
     input: &FeatureMaps,
     filters: &FilterSet,
@@ -383,10 +555,10 @@ fn run_narrow(
         .map_err(ConvError::Config)?;
     // Dispatch on the per-lane access width in bytes.
     match cfg.vec_width * enc.elem_bytes() {
-        1 => run_impl::<1>(gpu, cfg, enc, problem, input, filters, mode),
-        2 => run_impl::<2>(gpu, cfg, enc, problem, input, filters, mode),
-        4 => run_impl::<4>(gpu, cfg, enc, problem, input, filters, mode),
-        8 => run_impl::<8>(gpu, cfg, enc, problem, input, filters, mode),
+        1 => run_impl::<1>(gpu, cfg, enc, store, problem, input, filters, mode),
+        2 => run_impl::<2>(gpu, cfg, enc, store, problem, input, filters, mode),
+        4 => run_impl::<4>(gpu, cfg, enc, store, problem, input, filters, mode),
+        8 => run_impl::<8>(gpu, cfg, enc, store, problem, input, filters, mode),
         b => Err(ConvError::Config(format!(
             "unsupported access width {b} B (vec_width {} x {} B elements)",
             cfg.vec_width,
@@ -396,10 +568,12 @@ fn run_narrow(
 }
 
 /// `B` bytes per lane per access (= `vec_width * elem_bytes`).
+#[allow(clippy::too_many_arguments)]
 fn run_impl<const B: usize>(
     gpu: &mut Gpu,
     cfg: &SpecialConfig,
     enc: Encoding,
+    store: FilterStore,
     problem: &ConvProblem,
     input: &FeatureMaps,
     filters: &FilterSet,
@@ -430,7 +604,24 @@ fn run_impl<const B: usize>(
     let d_in = gpu.alloc_bytes(image_bytes.len() as u64)?;
     upload_bytes(gpu, d_in, &image_bytes)?;
     let d_out = gpu.alloc_bytes((problem.filters * out_rows * out_pitch * eb) as u64)?;
-    gpu.write_const_f32(0, filters.as_slice())?;
+    match store {
+        FilterStore::F32 => gpu.write_const_f32(0, filters.as_slice())?,
+        FilterStore::Half2 => {
+            // Two binary16 taps per constant-memory word, per filter
+            // (words are uploaded through the f32 facade bitwise).
+            let wpf = (k * k).div_ceil(2);
+            let mut words = Vec::with_capacity(problem.filters * wpf);
+            for f in 0..problem.filters {
+                let taps = &filters.as_slice()[f * k * k..(f + 1) * k * k];
+                for w in 0..wpf {
+                    let lo = taps[2 * w];
+                    let hi = taps.get(2 * w + 1).copied().unwrap_or(0.0);
+                    words.push(f32::from_le_bytes(pack_f16x2(lo, hi).to_le_bytes()));
+                }
+            }
+            gpu.write_const_f32(0, &words)?;
+        }
+    }
 
     let geom = Geom {
         k,
@@ -443,20 +634,24 @@ fn run_impl<const B: usize>(
         out_rows,
         sm_pitch: cfg.smem_pitch(k),
         row_len,
+        shape: KernelShape {
+            dtype: enc.dtype(),
+            vec_width: cfg.vec_width,
+        },
     };
     let smem_bytes = (k * geom.sm_pitch * eb) as u32;
 
-    let launch = LaunchConfig::new(
-        format!("special-{}B K={k} n={n}", eb),
-        tiles_x * tiles_y,
-        cfg.threads(),
-    )
-    .with_smem(smem_bytes)
-    .with_regs(cfg.regs_per_thread(k))
-    .with_overlap(OverlapMode::Prefetch);
+    let kernel = match store {
+        FilterStore::F32 => format!("special-{}B K={k} n={n}", eb),
+        FilterStore::Half2 => format!("special-half2 K={k} n={n}"),
+    };
+    let launch = LaunchConfig::new(kernel, tiles_x * tiles_y, cfg.threads())
+        .with_smem(smem_bytes)
+        .with_regs(cfg.regs_per_thread(k))
+        .with_overlap(OverlapMode::Prefetch);
 
     let report = gpu.launch(&launch, mode, |blk| {
-        narrow_block::<B>(blk, cfg.vec_width, enc, &geom, d_in, d_out);
+        narrow_block::<B>(blk, enc, store, &geom, d_in, d_out);
     })?;
 
     // Download and decode the narrow output.
@@ -508,16 +703,21 @@ fn download_bytes(gpu: &Gpu, buf: GmBuf, len: usize) -> Result<Vec<u8>> {
 /// Algorithm 1 with narrow storage. Structurally identical to the f32
 /// version in [`crate::special`]; the element width changes every memory
 /// access, so the two are kept separate and easy to audit side by side.
+/// As there, the vector factor and element width come from the geometry's
+/// [`KernelShape`]; `B` only sizes the per-lane byte arrays.
 fn narrow_block<const B: usize>(
     blk: &mut BlockCtx<'_>,
-    n: usize,
     enc: Encoding,
+    store: FilterStore,
     g: &Geom,
     d_in: GmBuf,
     d_out: GmBuf,
 ) {
     let k = g.k;
-    let eb = enc.elem_bytes();
+    let n = g.shape.vec_width;
+    let eb = g.shape.elem_bytes();
+    debug_assert_eq!(eb, enc.elem_bytes());
+    debug_assert_eq!(B, n * eb);
     let threads = blk.dims.threads;
     let bx = blk.dims.block_id % g.tiles_x;
     let by = blk.dims.block_id / g.tiles_x;
@@ -609,11 +809,29 @@ fn narrow_block<const B: usize>(
         for f in 0..g.f {
             blk.each_warp(|w| {
                 let mut taps = [0.0f32; MAX_K * MAX_K];
-                for i in 0..k {
-                    for j in 0..k {
-                        let addr = ((f * k * k + i * k + j) * 4) as u64;
-                        let vals = w.ld_const(&lane_addrs_uniform(addr), LaneMask::ALL);
-                        taps[i * k + j] = vals[0];
+                match store {
+                    FilterStore::F32 => {
+                        for i in 0..k {
+                            for j in 0..k {
+                                let addr = ((f * k * k + i * k + j) * 4) as u64;
+                                let vals = w.ld_const(&lane_addrs_uniform(addr), LaneMask::ALL);
+                                taps[i * k + j] = vals[0];
+                            }
+                        }
+                    }
+                    FilterStore::Half2 => {
+                        // One broadcast read yields two binary16 taps: half
+                        // the constant-memory requests of the f32 layout.
+                        let wpf = (k * k).div_ceil(2);
+                        for widx in 0..wpf {
+                            let addr = ((f * wpf + widx) * 4) as u64;
+                            let vals = w.ld_const(&lane_addrs_uniform(addr), LaneMask::ALL);
+                            let (lo, hi) = unpack_f16x2(u32::from_le_bytes(vals[0].to_le_bytes()));
+                            taps[2 * widx] = lo;
+                            if 2 * widx + 1 < k * k {
+                                taps[2 * widx + 1] = hi;
+                            }
+                        }
                     }
                 }
                 let pop = w.population();
@@ -724,6 +942,100 @@ mod tests {
     #[test]
     fn f16_unmatched_scalar() {
         check_f16(small(1), 40, 2, 3);
+    }
+
+    fn check_half2(cfg: SpecialConfig, spec: GpuSpec, n: usize, f: usize, k: usize) -> ConvRun {
+        let problem = ConvProblem::special(n, f, k);
+        let input = random_maps(1, n, n, 281);
+        let filters = random_filters(f, 1, k, 283);
+        let mut gpu = Gpu::new(spec);
+        let run = SpecialConvHalf2::new(cfg)
+            .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+            .expect("launch");
+        // Half2 quantizes the filters too: the oracle is the reference on
+        // fp16 input AND fp16 taps.
+        run.verify_executed(
+            &problem,
+            &quantize_maps_f16(&input),
+            &quantize_filters_f16(&filters),
+            F16_TOL,
+        )
+        .expect("half2 output mismatch");
+        run
+    }
+
+    #[test]
+    fn half2_matched_3x3_on_4b_banks() {
+        check_half2(small(2), GpuSpec::maxwell_like(), 40, 2, 3);
+    }
+
+    #[test]
+    fn half2_matched_5x5_ragged() {
+        check_half2(small(2), GpuSpec::maxwell_like(), 45, 3, 5);
+    }
+
+    #[test]
+    fn half2_even_tap_count_2x2() {
+        // k*k even: no zero-padded tail tap in the packed words.
+        check_half2(small(2), GpuSpec::maxwell_like(), 40, 2, 2);
+    }
+
+    #[test]
+    fn half2_unmatched_and_kepler_shapes() {
+        check_half2(small(1), GpuSpec::maxwell_like(), 40, 2, 3);
+        check_half2(small(4), GpuSpec::kepler_k40m(), 40, 2, 3);
+    }
+
+    #[test]
+    fn half2_filters_halve_cm_requests() {
+        let problem = ConvProblem::special(40, 2, 3);
+        let input = random_maps(1, 40, 40, 285);
+        let filters = random_filters(2, 1, 3, 286);
+        let cm = |conv: &dyn Convolution| {
+            let mut gpu = Gpu::new(GpuSpec::maxwell_like());
+            let run = conv
+                .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+                .unwrap();
+            // The broadcast fast path must survive the packing.
+            assert_eq!(run.report.stats.cm_cycles, 0);
+            run.report.stats.cm_requests
+        };
+        let f32_taps = cm(&SpecialConvF16::new(small(2)));
+        let half2_taps = cm(&SpecialConvHalf2::new(small(2)));
+        // 9 taps -> 5 words per filter: ceil division, not exact halving.
+        let ratio = f32_taps as f64 / half2_taps as f64;
+        assert!(
+            (ratio - 9.0 / 5.0).abs() < 1e-9,
+            "expected 9/5 request ratio, got {ratio} ({f32_taps} vs {half2_taps})"
+        );
+    }
+
+    #[test]
+    fn half2_matched_for_derives_n() {
+        assert_eq!(
+            SpecialConvHalf2::matched_for(&GpuSpec::maxwell_like())
+                .config
+                .vec_width,
+            2
+        );
+        assert_eq!(
+            SpecialConvHalf2::matched_for(&GpuSpec::kepler_k40m())
+                .config
+                .vec_width,
+            4
+        );
+        assert_eq!(SpecialConvHalf2::forced(1).unwrap().config.vec_width, 1);
+        assert!(SpecialConvHalf2::forced(8).is_none());
+    }
+
+    #[test]
+    fn quantize_filters_f16_round_trips_taps() {
+        let filters = random_filters(2, 1, 3, 77);
+        let q = quantize_filters_f16(&filters);
+        assert_eq!(q.count(), 2);
+        for (a, b) in q.as_slice().iter().zip(filters.as_slice()) {
+            assert_eq!(*a, f16_roundtrip(*b));
+        }
     }
 
     #[test]

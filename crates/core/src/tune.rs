@@ -11,9 +11,11 @@ use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 
 use crate::config::{GeneralConfig, SpecialConfig};
+use crate::dtype::DataType;
 use crate::error::{ConvError, Result};
 use crate::general::GeneralConv;
 use crate::run::Convolution;
+use crate::shape::KernelShape;
 use crate::special::SpecialConv;
 
 /// One explored configuration and its measured throughput.
@@ -25,9 +27,54 @@ pub struct TuneResult {
     pub gflops: f64,
 }
 
+/// A candidate the tuner refused to simulate, and why.
+///
+/// Recorded by the `*_recorded` exploration variants so a sweep's report
+/// can show what was pruned (a wrong vector factor for the target's bank
+/// width, a validation failure, a device-side fault) instead of silently
+/// shrinking the space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneSkip<C> {
+    /// The configuration that was skipped.
+    pub config: C,
+    /// Human-readable reason it was not (or could not be) measured.
+    pub reason: String,
+}
+
+/// Returns `Some(reason)` if `vec_width` should not even be simulated on
+/// `spec`: the architecture-adaptive generator derives exactly one matched
+/// vector factor per (spec, dtype) from the paper's eq. 1, and any other
+/// factor is either uninstantiable or reproduces the known n-fold bank
+/// serialization — measuring it again is wasted sweep time.
+fn derived_n_incompatibility(spec: &GpuSpec, vec_width: usize) -> Option<String> {
+    let derived = KernelShape::derive_n(spec, DataType::F32);
+    if KernelShape::forced(DataType::F32, vec_width).is_none() {
+        return Some(format!(
+            "vec_width {vec_width} has no instantiable f32 kernel variant"
+        ));
+    }
+    if vec_width != derived {
+        return Some(format!(
+            "vec_width {vec_width} mismatches derived n={derived} for {} ({}B banks)",
+            spec.name,
+            spec.bank_width.bytes()
+        ));
+    }
+    None
+}
+
 /// The candidate space explored for Table 1 (the paper's knobs with the
-/// values its result table draws from).
+/// values its result table draws from), vectorized for the K40m's 8-byte
+/// banks (`n = 2`). For other architectures use [`candidate_space_for`].
 pub fn candidate_space() -> Vec<GeneralConfig> {
+    candidate_space_for(&GpuSpec::kepler_k40m())
+}
+
+/// The Table 1 candidate space with the vector factor derived from
+/// `spec`'s bank width via [`KernelShape::derive_n`] — `n = 2` on 8-byte
+/// banks (Kepler), `n = 1` on 4-byte banks (Fermi/Maxwell-class).
+pub fn candidate_space_for(spec: &GpuSpec) -> Vec<GeneralConfig> {
+    let vec_width = KernelShape::derive_n(spec, DataType::F32);
     let mut out = Vec::new();
     for &width in &[32usize, 64] {
         for &height in &[4usize, 8] {
@@ -42,7 +89,7 @@ pub fn candidate_space() -> Vec<GeneralConfig> {
                                 w_t,
                                 f_t,
                                 c_sh,
-                                vec_width: 2,
+                                vec_width,
                             });
                         }
                     }
@@ -83,11 +130,43 @@ pub fn explore_general(
     candidates: &[GeneralConfig],
     blocks: usize,
 ) -> Result<Vec<TuneResult>> {
+    explore_general_recorded(spec, problem, candidates, blocks).map(|(results, _)| results)
+}
+
+/// [`explore_general`] plus the list of candidates that were pruned
+/// without simulation and why — a wrong derived vector factor for the
+/// target's bank width, a validation/divisibility failure, or a
+/// device-side fault.
+///
+/// # Errors
+///
+/// Propagates host-side simulator errors (see [`explore_general`]).
+pub fn explore_general_recorded(
+    spec: &GpuSpec,
+    problem: &ConvProblem,
+    candidates: &[GeneralConfig],
+    blocks: usize,
+) -> Result<(Vec<TuneResult>, Vec<TuneSkip<GeneralConfig>>)> {
     let input = random_maps(problem.channels, problem.height, problem.width, 71);
     let filters = random_filters(problem.filters, problem.channels, problem.k, 73);
     let mut results = Vec::new();
+    let mut skips = Vec::new();
     for cfg in candidates {
+        // Wrong-n candidates are pruned analytically: eq. 1 already tells
+        // us they serialize (or cannot be built), so they are not worth a
+        // simulated launch.
+        if let Some(reason) = derived_n_incompatibility(spec, cfg.vec_width) {
+            skips.push(TuneSkip {
+                config: *cfg,
+                reason,
+            });
+            continue;
+        }
         if !is_feasible(spec, cfg, problem) {
+            skips.push(TuneSkip {
+                config: *cfg,
+                reason: "fails architectural or divisibility validation".into(),
+            });
             continue;
         }
         let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
@@ -100,7 +179,13 @@ pub fn explore_general(
         ) {
             Ok(run) => run,
             // A device-side fault poisons this candidate, not the sweep.
-            Err(ConvError::Sim(e)) if e.device_fault().is_some() => continue,
+            Err(ConvError::Sim(e)) if e.device_fault().is_some() => {
+                skips.push(TuneSkip {
+                    config: *cfg,
+                    reason: "device-side fault during sampled execution".into(),
+                });
+                continue;
+            }
             Err(e) => return Err(e),
         };
         results.push(TuneResult {
@@ -109,7 +194,7 @@ pub fn explore_general(
         });
     }
     results.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).expect("finite gflops"));
-    Ok(results)
+    Ok((results, skips))
 }
 
 /// Convenience: the best configuration for filter size `k` on a
@@ -140,15 +225,23 @@ pub struct SpecialTuneResult {
 /// The candidate space for the special-case kernel's tile shape (the
 /// paper: "Through design space exploration, we determined that the best
 /// block size for the special case convolution kernel is W = 256 and
-/// H = 8").
+/// H = 8"), vectorized for Kepler's 8-byte banks. For other architectures
+/// use [`special_candidate_space_for`].
 pub fn special_candidate_space() -> Vec<SpecialConfig> {
+    special_candidate_space_for(&GpuSpec::kepler_k40m())
+}
+
+/// The special-case tile space with the vector factor derived from
+/// `spec`'s bank width via [`KernelShape::derive_n`].
+pub fn special_candidate_space_for(spec: &GpuSpec) -> Vec<SpecialConfig> {
+    let vec_width = KernelShape::derive_n(spec, DataType::F32);
     let mut out = Vec::new();
     for &width in &[64usize, 128, 256, 512] {
         for &height in &[2usize, 4, 8, 16] {
             out.push(SpecialConfig {
                 width,
                 height,
-                vec_width: 2,
+                vec_width,
             });
         }
     }
@@ -168,11 +261,38 @@ pub fn explore_special(
     candidates: &[SpecialConfig],
     blocks: usize,
 ) -> Result<Vec<SpecialTuneResult>> {
+    explore_special_recorded(spec, problem, candidates, blocks).map(|(results, _)| results)
+}
+
+/// [`explore_special`] plus the list of candidates pruned without
+/// simulation and why (see [`explore_general_recorded`]).
+///
+/// # Errors
+///
+/// Propagates host-side simulator errors.
+pub fn explore_special_recorded(
+    spec: &GpuSpec,
+    problem: &ConvProblem,
+    candidates: &[SpecialConfig],
+    blocks: usize,
+) -> Result<(Vec<SpecialTuneResult>, Vec<TuneSkip<SpecialConfig>>)> {
     let input = random_maps(1, problem.height, problem.width, 75);
     let filters = random_filters(problem.filters, 1, problem.k, 77);
     let mut results = Vec::new();
+    let mut skips = Vec::new();
     for cfg in candidates {
+        if let Some(reason) = derived_n_incompatibility(spec, cfg.vec_width) {
+            skips.push(TuneSkip {
+                config: *cfg,
+                reason,
+            });
+            continue;
+        }
         if cfg.validate(spec, problem.k, problem.filters).is_err() {
+            skips.push(TuneSkip {
+                config: *cfg,
+                reason: "fails architectural or divisibility validation".into(),
+            });
             continue;
         }
         let mut gpu = Gpu::new(spec.clone()).with_parallelism(Parallelism::env_or_auto());
@@ -185,7 +305,13 @@ pub fn explore_special(
         ) {
             Ok(run) => run,
             // A device-side fault poisons this candidate, not the sweep.
-            Err(ConvError::Sim(e)) if e.device_fault().is_some() => continue,
+            Err(ConvError::Sim(e)) if e.device_fault().is_some() => {
+                skips.push(TuneSkip {
+                    config: *cfg,
+                    reason: "device-side fault during sampled execution".into(),
+                });
+                continue;
+            }
             Err(e) => return Err(e),
         };
         results.push(SpecialTuneResult {
@@ -194,7 +320,7 @@ pub fn explore_special(
         });
     }
     results.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).expect("finite gflops"));
-    Ok(results)
+    Ok((results, skips))
 }
 
 #[cfg(test)]
@@ -262,6 +388,59 @@ mod tests {
         let results = explore_special(&spec, &problem, &cands, 2).unwrap();
         assert_eq!(results.len(), 2);
         assert!(results[0].gflops >= results[1].gflops);
+    }
+
+    #[test]
+    fn candidate_space_for_derives_the_vector_factor() {
+        // Kepler's 8-byte banks want n = 2 (the historical default space).
+        assert!(candidate_space().iter().all(|c| c.vec_width == 2));
+        assert!(special_candidate_space().iter().all(|c| c.vec_width == 2));
+        // 4-byte-bank architectures want the scalar variant.
+        let maxwell = GpuSpec::maxwell_like();
+        assert!(candidate_space_for(&maxwell)
+            .iter()
+            .all(|c| c.vec_width == 1));
+        assert!(special_candidate_space_for(&maxwell)
+            .iter()
+            .all(|c| c.vec_width == 1));
+    }
+
+    #[test]
+    fn wrong_n_candidates_are_pruned_analytically() {
+        // The Kepler-tuned space (n = 2) should be pruned wholesale on a
+        // 4-byte-bank target — with the reason recorded, not silently.
+        let maxwell = GpuSpec::maxwell_like();
+        let problem = ConvProblem::general(34, 4, 64, 3);
+        let (results, skips) =
+            explore_general_recorded(&maxwell, &problem, &candidate_space(), 1).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(skips.len(), 64);
+        for skip in &skips {
+            assert!(
+                skip.reason.contains("mismatches derived n=1"),
+                "{}",
+                skip.reason
+            );
+        }
+        // The matched space simulates normally on the same target.
+        let (results, skips) =
+            explore_general_recorded(&maxwell, &problem, &candidate_space_for(&maxwell), 1)
+                .unwrap();
+        assert!(!results.is_empty());
+        assert!(skips
+            .iter()
+            .all(|s| s.reason.contains("validation") || s.reason.contains("fault")));
+    }
+
+    #[test]
+    fn special_skips_record_reasons_too() {
+        let maxwell = GpuSpec::maxwell_like();
+        let problem = ConvProblem::special(512, 8, 3);
+        let (results, skips) =
+            explore_special_recorded(&maxwell, &problem, &special_candidate_space(), 1).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(skips.len(), 16);
+        assert!(skips.iter().all(|s| s.reason.contains("4B banks")));
     }
 
     #[test]

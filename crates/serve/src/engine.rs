@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use kconv_apps::{Engine, PlanCache};
-use kconv_core::{Convolution, FaultRecord, NaiveConv, RetryClass, SpecialConvF16, SpecialConvI8};
+use kconv_core::{Convolution, DataType, FaultRecord, NaiveConv, RetryClass};
 use kconv_sim::{Gpu, GpuSpec, SimMode};
 use kconv_tensor::rng::StdRng;
 
@@ -371,16 +371,24 @@ impl ServeEngine {
     fn execute(&mut self, req: &ConvRequest, mut now: f64) -> MemberEnd {
         let mut faults: Vec<FaultRecord> = Vec::new();
         let mut chain: Vec<Box<dyn Convolution>> = Vec::new();
-        match req.dtype {
-            DType::F32 => match self.cache.plan(self.cfg.engine, &self.spec, &req.problem) {
-                Ok(plan) => chain.push(plan.instantiate()),
-                Err(e) => faults.push(FaultRecord {
-                    engine: format!("{:?} (resolution)", self.cfg.engine),
-                    error: e,
-                }),
-            },
-            DType::F16 => chain.push(Box::new(SpecialConvF16::kepler_matched())),
-            DType::I8 => chain.push(Box::new(SpecialConvI8::kepler_matched())),
+        // All dtypes resolve through the dtype/bank-width-aware plan
+        // cache, so narrow requests get the variant matched to the
+        // serving spec (e.g. half2 n=2 on a 4-byte-bank part) instead of
+        // a hard-wired Kepler kernel.
+        let dtype = match req.dtype {
+            DType::F32 => DataType::F32,
+            DType::F16 => DataType::F16,
+            DType::I8 => DataType::I8,
+        };
+        match self
+            .cache
+            .plan_for(self.cfg.engine, &self.spec, &req.problem, dtype)
+        {
+            Ok(plan) => chain.push(plan.instantiate()),
+            Err(e) => faults.push(FaultRecord {
+                engine: format!("{:?} (resolution)", self.cfg.engine),
+                error: e,
+            }),
         }
         for fallback in [
             Engine::ImplicitGemm

@@ -64,6 +64,13 @@ pub fn all_close(lhs: &[f32], rhs: &[f32], tol: f32) -> bool {
 /// any reassociation over the reduction depths in this workspace.
 pub const CONV_TOL: f32 = 1e-4;
 
+/// Tolerance for convolutions with half-precision (binary16) storage,
+/// compared against an f32 reference run on the fp16-quantized operands:
+/// each stored value carries up to `2^-11` relative rounding error, and
+/// output re-quantization adds one more half-ulp, so `2e-3` bounds the
+/// combined error with comfortable margin for reassociation noise.
+pub const F16_TOL: f32 = 2e-3;
+
 /// Asserts elementwise agreement, printing the worst offender on failure.
 ///
 /// # Panics

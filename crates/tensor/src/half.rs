@@ -101,6 +101,22 @@ pub fn decode_f16_le(bytes: &[u8]) -> Vec<f32> {
         .collect()
 }
 
+/// Packs a pair of `f32`s into one 32-bit `__half2`-style word: `lo` in the
+/// low 16 bits, `hi` in the high 16 bits, each rounded to binary16. This is
+/// the layout of CUDA's `__half2` and the unit the half2 kernel broadcasts
+/// from constant memory (two filter taps per 4-byte word).
+pub fn pack_f16x2(lo: f32, hi: f32) -> u32 {
+    u32::from(f32_to_f16_bits(lo)) | (u32::from(f32_to_f16_bits(hi)) << 16)
+}
+
+/// Unpacks a `__half2`-style word into its `(lo, hi)` pair of `f32`s.
+pub fn unpack_f16x2(word: u32) -> (f32, f32) {
+    (
+        f16_bits_to_f32(word as u16),
+        f16_bits_to_f32((word >> 16) as u16),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +197,18 @@ mod tests {
     #[should_panic(expected = "even-length")]
     fn odd_length_rejected() {
         decode_f16_le(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn half2_pack_unpack_round_trips() {
+        let word = pack_f16x2(1.5, -0.25);
+        assert_eq!(unpack_f16x2(word), (1.5, -0.25));
+        // Low half occupies the low 16 bits, as in CUDA's __half2.
+        assert_eq!(word & 0xffff, u32::from(f32_to_f16_bits(1.5)));
+        assert_eq!(pack_f16x2(0.0, 0.0), 0);
+        // Packing quantizes exactly like a scalar f16 round trip.
+        let (lo, hi) = unpack_f16x2(pack_f16x2(0.1, 1e-6));
+        assert_eq!(lo, f16_roundtrip(0.1));
+        assert_eq!(hi, f16_roundtrip(1e-6));
     }
 }

@@ -32,10 +32,15 @@ mod maps;
 mod problem;
 pub mod rng;
 
-pub use approx::{all_close, assert_close, combined_error, worst_mismatch, Mismatch, CONV_TOL};
+pub use approx::{
+    all_close, assert_close, combined_error, worst_mismatch, Mismatch, CONV_TOL, F16_TOL,
+};
 pub use fill::{fill_uniform, random_filters, random_image, random_maps};
 pub use filters::FilterSet;
-pub use half::{decode_f16_le, encode_f16_le, f16_bits_to_f32, f16_roundtrip, f32_to_f16_bits};
+pub use half::{
+    decode_f16_le, encode_f16_le, f16_bits_to_f32, f16_roundtrip, f32_to_f16_bits, pack_f16x2,
+    unpack_f16x2,
+};
 pub use im2col::{im2col, Matrix};
 pub use image::Image;
 pub use maps::FeatureMaps;

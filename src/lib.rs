@@ -11,6 +11,9 @@
 //!   constant-memory broadcast, timing model);
 //! * [`tensor`] — host tensors and problem descriptors;
 //! * [`core`] — the paper's kernels, baselines, traffic model and tuner;
+//! * [`arch`] — the architecture-adaptive kernel generator: derives the
+//!   matched vector factor for any spec/dtype (eq. 1 in reverse) and
+//!   proves it by trace replay;
 //! * [`gemm`] — the blocked SGEMM kernels of the Fig. 2 motivation
 //!   experiment;
 //! * [`trace`] — binary warp traces and memory-efficiency analysis on top
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use kconv_apps as apps;
+pub use kconv_arch as arch;
 pub use kconv_core as core;
 pub use kconv_gemm as gemm;
 pub use kconv_replay as replay;
