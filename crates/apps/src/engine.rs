@@ -8,6 +8,7 @@ use kconv_core::{
     SpecialConv, SpecialConvHalf2, SpecialConvI8,
 };
 use kconv_sim::{Gpu, GpuSpec, SimMode};
+use kconv_systolic::{PipelineConfig, SystolicConv};
 use kconv_tensor::{ConvProblem, FeatureMaps, FilterSet};
 
 /// Which convolution implementation an application uses.
@@ -26,6 +27,10 @@ pub enum Engine {
     ImplicitGemm,
     /// Force the Caffe-like explicit `im2col` + GEMM baseline.
     ExplicitGemm,
+    /// Force the double-buffered systolic pipeline executor (the one
+    /// engine covering the full strided/dilated/depthwise workload
+    /// matrix).
+    Systolic,
 }
 
 /// The outcome of resolving an [`Engine`] for a problem on a spec: which
@@ -45,6 +50,9 @@ pub enum EnginePlan {
     ImplicitGemm,
     /// The Caffe-like explicit `im2col` + GEMM baseline.
     ExplicitGemm,
+    /// The double-buffered systolic executor with this pipeline
+    /// configuration (depth, tile, staging shape).
+    Systolic(PipelineConfig),
 }
 
 impl EnginePlan {
@@ -62,22 +70,25 @@ impl EnginePlan {
             EnginePlan::General(cfg) => Box::new(GeneralConv::new(*cfg)),
             EnginePlan::ImplicitGemm => Box::new(ImplicitGemmConv::default()),
             EnginePlan::ExplicitGemm => Box::new(ExplicitGemmConv::default()),
+            EnginePlan::Systolic(cfg) => Box::new(SystolicConv::new(*cfg)),
         }
     }
 }
 
 /// A shared resolution cache keyed by `(engine, dtype, bank width,
-/// problem shape)`: the serving layer resolves each distinct shape once
-/// and every later request with the same shape reuses the tuned plan.
-/// The key carries the axes the generator varies a plan on — the
-/// computation dtype and the spec's shared-memory bank width, which
-/// together pick the kernel variant and its vector factor — so one cache
-/// can serve devices with different bank widths without handing a Kepler
-/// float2 plan to a 4-byte-bank part. Errors are not cached — a failed
-/// resolution is cheap and carries a fresh message.
+/// pipeline depth, problem shape)`: the serving layer resolves each
+/// distinct shape once and every later request with the same shape reuses
+/// the tuned plan. The key carries the axes the generator varies a plan
+/// on — the computation dtype and the spec's shared-memory bank width,
+/// which together pick the kernel variant and its vector factor, plus the
+/// requested staging-pipeline depth (0 = auto, the deepest schedule that
+/// fits) — so one cache can serve devices with different bank widths
+/// without handing a Kepler float2 plan to a 4-byte-bank part, and
+/// depth-1 baseline runs never alias depth-2 pipelined plans. Errors are
+/// not cached — a failed resolution is cheap and carries a fresh message.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: HashMap<(Engine, DataType, u64, ConvProblem), EnginePlan>,
+    plans: HashMap<(Engine, DataType, u64, usize, ConvProblem), EnginePlan>,
     hits: u64,
     misses: u64,
 }
@@ -117,12 +128,38 @@ impl PlanCache {
         problem: &ConvProblem,
         dtype: DataType,
     ) -> Result<EnginePlan, ConvError> {
-        let key = (engine, dtype, spec.bank_width.bytes(), *problem);
+        self.plan_with_depth(engine, spec, problem, dtype, 0)
+    }
+
+    /// Resolves `engine` with an explicit staging-pipeline depth request
+    /// (`0` = auto: the deepest schedule that fits the spec's shared
+    /// memory; `1`/`2` force the baseline or double-buffered schedule of
+    /// systolic plans). The depth is part of the cache key, so baseline
+    /// and pipelined resolutions of the same shape coexist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::plan_with_depth`] errors (never cached).
+    pub fn plan_with_depth(
+        &mut self,
+        engine: Engine,
+        spec: &GpuSpec,
+        problem: &ConvProblem,
+        dtype: DataType,
+        pipeline_depth: usize,
+    ) -> Result<EnginePlan, ConvError> {
+        let key = (
+            engine,
+            dtype,
+            spec.bank_width.bytes(),
+            pipeline_depth,
+            *problem,
+        );
         if let Some(plan) = self.plans.get(&key) {
             self.hits += 1;
             return Ok(*plan);
         }
-        let plan = engine.plan_for(spec, problem, dtype)?;
+        let plan = engine.plan_with_depth(spec, problem, dtype, pipeline_depth)?;
         self.misses += 1;
         self.plans.insert(key, plan);
         Ok(plan)
@@ -175,6 +212,26 @@ impl Engine {
         problem: &ConvProblem,
         dtype: DataType,
     ) -> Result<EnginePlan, ConvError> {
+        self.plan_with_depth(spec, problem, dtype, 0)
+    }
+
+    /// [`Engine::plan_for`] with an explicit staging-pipeline depth
+    /// request: `0` picks the deepest schedule whose staging buffers fit
+    /// the spec's shared memory (depth 2, falling back to 1), `1`/`2`
+    /// force that schedule for systolic plans. Non-systolic plans ignore
+    /// the depth — they have no staging pipeline to configure.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::plan_for`], plus [`ConvError::Config`] when a forced
+    /// depth cannot fit the problem's staging buffers.
+    pub fn plan_with_depth(
+        self,
+        spec: &GpuSpec,
+        problem: &ConvProblem,
+        dtype: DataType,
+        pipeline_depth: usize,
+    ) -> Result<EnginePlan, ConvError> {
         // The narrow-dtype kernels exist only in the special family.
         let special_fits = |elem_bytes: usize| {
             problem.stride == 1
@@ -215,10 +272,25 @@ impl Engine {
             }
             Engine::ImplicitGemm => Ok(EnginePlan::ImplicitGemm),
             Engine::ExplicitGemm => Ok(EnginePlan::ExplicitGemm),
+            Engine::Systolic => Ok(EnginePlan::Systolic(systolic_plan(
+                spec,
+                problem,
+                pipeline_depth,
+            )?)),
             Engine::Auto => {
-                if problem.stride != 1 {
+                if !problem.is_dense() {
+                    // Dilated and depthwise layers are outside every other
+                    // engine's workload matrix; the systolic executor is
+                    // the one kernel (short of the naive reference) that
+                    // covers them.
+                    Ok(EnginePlan::Systolic(systolic_plan(
+                        spec,
+                        problem,
+                        pipeline_depth,
+                    )?))
+                } else if problem.stride != 1 {
                     // The paper's direct kernels are stride-1 specialized;
-                    // strided layers take the universal GEMM path.
+                    // strided dense layers take the universal GEMM path.
                     Ok(EnginePlan::ImplicitGemm)
                 } else if problem.channels == 1 && special_fits(dtype.bytes()) {
                     Ok(EnginePlan::Special(KernelShape::matched(spec, dtype)))
@@ -317,6 +389,33 @@ impl Engine {
         }
         Ok(run)
     }
+}
+
+/// Picks the pipeline configuration for a systolic plan: the staging shape
+/// matched to `spec`'s bank width, at the requested depth (`0` = auto —
+/// the deepest schedule whose staging buffers fit the block's shared
+/// memory, preferring the double-buffered one).
+fn systolic_plan(
+    spec: &GpuSpec,
+    problem: &ConvProblem,
+    pipeline_depth: usize,
+) -> Result<PipelineConfig, ConvError> {
+    let base = PipelineConfig::matched_for(spec);
+    let depths: &[usize] = match pipeline_depth {
+        0 => &[2, 1],
+        _ => &[pipeline_depth],
+    };
+    let mut last = String::new();
+    for &depth in depths {
+        let cfg = base.with_depth(depth);
+        match cfg.validate(spec, problem) {
+            Ok(()) => return Ok(cfg),
+            Err(reason) => last = reason,
+        }
+    }
+    Err(ConvError::Config(format!(
+        "no systolic pipeline fits {problem}: {last}"
+    )))
 }
 
 #[cfg(test)]
@@ -495,6 +594,67 @@ mod tests {
         );
         assert_eq!(cache.stats(), (3, 3));
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn auto_routes_the_extended_workload_matrix_to_systolic() {
+        let spec = GpuSpec::kepler_k40m();
+        let dilated = ConvProblem::general(24, 4, 4, 3).with_dilation(2);
+        let depthwise = ConvProblem::general(24, 4, 4, 3).depthwise();
+        for p in [dilated, depthwise] {
+            let plan = Engine::Auto.plan(&spec, &p).unwrap();
+            assert!(
+                matches!(plan, EnginePlan::Systolic(cfg) if cfg.depth == 2),
+                "{p}: {plan:?}"
+            );
+            // The resolved plan actually runs and verifies.
+            let input = random_maps(p.channels, p.height, p.width, 71);
+            let filters = random_filters(p.filters, p.channels_per_group(), p.k, 73);
+            let mut g = gpu();
+            let run = plan
+                .instantiate()
+                .run(&mut g, &p, &input, &filters, SimMode::Full)
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+            run.verify_executed(&p, &input, &filters, CONV_TOL)
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn plan_cache_keys_on_pipeline_depth() {
+        let spec = GpuSpec::kepler_k40m();
+        let mut cache = PlanCache::new();
+        let p = ConvProblem::general(24, 4, 4, 3).with_dilation(2);
+        let d1 = cache
+            .plan_with_depth(Engine::Systolic, &spec, &p, DataType::F32, 1)
+            .unwrap();
+        let d2 = cache
+            .plan_with_depth(Engine::Systolic, &spec, &p, DataType::F32, 2)
+            .unwrap();
+        assert_ne!(d1, d2, "depths must not share a plan");
+        assert!(matches!(d1, EnginePlan::Systolic(cfg) if cfg.depth == 1));
+        assert!(matches!(d2, EnginePlan::Systolic(cfg) if cfg.depth == 2));
+        assert_eq!(cache.len(), 2);
+        // Auto depth (0) is its own key and resolves to the pipelined form.
+        let auto = cache
+            .plan_with_depth(Engine::Systolic, &spec, &p, DataType::F32, 0)
+            .unwrap();
+        assert_eq!(auto, d2);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn forced_systolic_engine_resolves_and_runs_dense_shapes() {
+        let p = ConvProblem::general(24, 4, 4, 3);
+        let g = gpu();
+        let conv = Engine::Systolic.resolve(&g, &p).unwrap();
+        assert!(conv.name().contains("systolic d2"), "{}", conv.name());
+        // An unsatisfiable forced depth is a config error.
+        assert!(matches!(
+            Engine::Systolic.plan_with_depth(g.spec(), &p, DataType::F32, 3),
+            Err(ConvError::Config(_))
+        ));
     }
 
     #[test]

@@ -58,6 +58,7 @@ use kconv_core::{
 use kconv_replay::{replay, ReplayError, TargetSpec};
 use kconv_sim::{Gpu, GpuSpec, LaunchReport, SanitizerMode, SimMode};
 use kconv_sim::{TraceOp, WARP_SIZE};
+use kconv_systolic::{PipelineConfig, SystolicConv};
 use kconv_tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet, CONV_TOL};
 use kconv_trace::{SharedBuffer, TraceWriter};
 
@@ -156,6 +157,27 @@ pub fn generate_general(spec: &GpuSpec, k: usize) -> GeneratedVariant {
         shape,
         matched: true,
         conv: Box::new(GeneralConv::new(GeneralConfig::matched_for(spec, k))),
+    }
+}
+
+/// Generates the pipelined systolic variant for `spec`: the matched `f32`
+/// staging shape (eq. 1 in reverse, like [`generate_general`]) wrapped in
+/// the double-buffered executor at the given pipeline `depth` (1 = the
+/// stage/compute alternation baseline, 2 = ping/pong). This is how the
+/// generator's dtype/vector-factor derivation and the staging pipeline
+/// compose: the same [`KernelShape`] drives both the bank-matched access
+/// width and the pipelined schedule.
+pub fn generate_systolic(spec: &GpuSpec, depth: usize) -> GeneratedVariant {
+    let shape = KernelShape::matched(spec, DataType::F32);
+    GeneratedVariant {
+        spec: spec.clone(),
+        shape,
+        matched: true,
+        conv: Box::new(SystolicConv::new(PipelineConfig {
+            depth,
+            shape,
+            ..PipelineConfig::default()
+        })),
     }
 }
 
@@ -471,6 +493,50 @@ mod tests {
             run_verified(&variant, &problem, &input, &filters)
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
+    }
+
+    #[test]
+    fn generated_systolic_variants_match_the_reference_at_both_depths() {
+        // The generator's derived staging width composes with the pipeline:
+        // on each bank width, both schedules verify against the CPU
+        // reference and the derived n flows into the staging stream.
+        for spec in [GpuSpec::kepler_k40m(), GpuSpec::maxwell_like()] {
+            let problem = ConvProblem::general(34, 4, 4, 3).with_stride(2);
+            let input = random_maps(4, 34, 34, INPUT_SEED);
+            let filters = random_filters(4, 4, 3, FILTER_SEED);
+            for depth in [1, 2] {
+                let variant = generate_systolic(&spec, depth);
+                assert_eq!(
+                    variant.shape.vec_width,
+                    KernelShape::derive_n(&spec, DataType::F32)
+                );
+                assert!(
+                    variant.conv.name().contains(&format!("d{depth}")),
+                    "{}",
+                    variant.conv.name()
+                );
+                run_verified(&variant, &problem, &input, &filters)
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_capture_replays_with_barrier_events() {
+        // A depth-2 capture carries v4 Bar events; replay grafts the live
+        // barrier counters and prices the events at zero memory cost.
+        let spec = GpuSpec::kepler_k40m();
+        let variant = generate_systolic(&spec, 2);
+        let problem = ConvProblem::general(20, 4, 2, 3);
+        let cap = capture(&variant, &problem).expect("capture");
+        let reports = replay(&cap.bytes, &TargetSpec::Spec(spec.clone())).expect("replay");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].stats.barriers, cap.live.stats.barriers);
+        assert_eq!(reports[0].stats.bar_syncs, cap.live.stats.bar_syncs);
+        assert_eq!(
+            reports[0].stats.gm_ld_bytes_bus,
+            cap.live.stats.gm_ld_bytes_bus
+        );
     }
 
     #[test]

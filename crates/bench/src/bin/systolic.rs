@@ -1,0 +1,29 @@
+//! Double-buffered pipeline harness: the staging schedule's claims,
+//! gated by captured KTRC traces.
+//!
+//! Runs the systolic kernel at pipeline depth 1 (stage/sync/compute/sync)
+//! and depth 2 (ping/pong double buffering) over the extended workload
+//! matrix (dense, strided, dilated, depthwise, strided+dilated) and
+//! checks, per preset: the traces show exactly `2R` barriers per block at
+//! depth 1 and `R + 1` at depth 2; every GM/SM/CM traffic counter and the
+//! output tensor are bit-identical across depths; the modeled launch time
+//! strictly improves; each capture replays to the live counters bit for
+//! bit; and both depths run sanitizer-clean, reference-verified and
+//! bit-identical between serial and threaded execution. A tuner gate
+//! proves the depth axis ranks the double-buffered schedule first and
+//! that oversized staging comes back as a recorded skip.
+//!
+//! Usage:
+//!   cargo run --release -p kconv-bench --bin systolic            # report
+//!   cargo run --release -p kconv-bench --bin systolic -- --check # exit 1 on FAIL
+//!
+//! Writes `BENCH_systolic.json` to the workspace root either way.
+
+fn main() {
+    kconv_bench::reject_unknown_args("systolic", &[("--check", false)]);
+    let check = std::env::args().any(|a| a == "--check");
+    let c = kconv_bench::systolic::run();
+    if check && c.failures > 0 {
+        std::process::exit(1);
+    }
+}

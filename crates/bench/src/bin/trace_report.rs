@@ -16,11 +16,15 @@
 //!    output-layout ablation, image pixels read from shared memory obey
 //!    `contig / strided = (W_T + K - 1) / (W_T * K)` as an exact integer
 //!    identity, with identical filter-fragment traffic.
-//! 4. **Determinism**: the serial and `Threads(4)` traces of the same
+//! 4. **Pipeline barriers**: the systolic kernel's depth-1 and depth-2
+//!    captures record exactly `2R` vs `R + 1` barrier rounds per block,
+//!    arrivals equal to the live `bar_syncs` counter, and the halving
+//!    identity `(d2 - 1) * 2 == d1`.
+//! 5. **Determinism**: the serial and `Threads(4)` traces of the same
 //!    launch are byte-identical.
-//! 5. **Zero observer effect**: traced and untraced runs produce
+//! 6. **Zero observer effect**: traced and untraced runs produce
 //!    bit-identical `KernelStats`.
-//! 6. **Replay gate**: every captured trace re-priced under its own
+//! 7. **Replay gate**: every captured trace re-priced under its own
 //!    capture spec by `kconv-replay` reproduces the live `KernelStats`
 //!    bit for bit; re-priced under Fermi/Maxwell (4-byte banks), the
 //!    spec-independent facts (lane accesses, useful bytes) stay fixed,
@@ -56,6 +60,7 @@ use kconv_sim::{
     Gpu, GpuSpec, KernelStats, LaneMask, OverlapMode, Parallelism, SanitizerMode, SimMode,
     TraceEvent, TraceLaunch, TraceOp, TraceSink, WARP_SIZE,
 };
+use kconv_systolic::{barrier_halving, PipelineConfig, SystolicConv};
 use kconv_tensor::{random_filters, random_maps, ConvProblem, FeatureMaps, FilterSet};
 use kconv_trace::{EfficiencyReport, KernelMeta, SharedBuffer, TraceSummary, TraceWriter};
 
@@ -401,6 +406,71 @@ fn check_sm_layout(c: &mut Checker, traces: &mut Vec<NamedTrace>) {
     });
 }
 
+/// Pipeline barrier accounting: the systolic kernel's depth-1 and depth-2
+/// schedules compared at trace level. Every block records exactly `2R`
+/// barrier rounds at depth 1 and `R + 1` double-buffered (uniform across
+/// blocks), the per-warp arrival events in the trace sum to the live
+/// `bar_syncs` counter, the `EfficiencyReport` accessors agree with the
+/// underlying `TraceSummary`, and the per-block counts satisfy the
+/// halving identity `(d2 - 1) * 2 == d1`.
+fn check_barriers(c: &mut Checker, traces: &mut Vec<NamedTrace>) {
+    let problem = ConvProblem::general(34, 8, 8, 3).with_stride(2);
+    let input = random_maps(problem.channels, problem.height, problem.width, 41);
+    let filters = random_filters(problem.filters, problem.channels, problem.k, 43);
+    let base = PipelineConfig::matched_for(&GpuSpec::kepler_k40m());
+    let rounds = base.rounds(&problem) as u64;
+    let warps = (base.tile_w as u64).div_ceil(WARP_SIZE as u64);
+    println!("\n[barriers] systolic {problem}, depth 1 vs depth 2, R = {rounds}");
+
+    let mut per_block = [0u64; 2];
+    for (i, depth) in [1usize, 2].into_iter().enumerate() {
+        let conv = SystolicConv::new(base.with_depth(depth));
+        let (stats, bytes) = traced_run(&conv, &problem, &input, &filters, Parallelism::Serial);
+        let s = &TraceSummary::from_bytes(&bytes).expect("readable trace")[0];
+        let meta = KernelMeta {
+            out_pixels: problem.out_pixels() as u64,
+            sm_image_split: None,
+        };
+        let report = &EfficiencyReport::analyze(&bytes, &meta).expect("readable trace")[0];
+        c.check(
+            &format!("d{depth}: per-block barrier counts uniform"),
+            s.block_bar_min == s.block_bar_max,
+            &format!("[{}, {}] warp arrivals", s.block_bar_min, s.block_bar_max),
+        );
+        c.eq_u64(
+            &format!("d{depth}: trace bar arrivals == live bar_syncs"),
+            s.bar_arrivals(),
+            stats.bar_syncs,
+        );
+        c.check(
+            &format!("d{depth}: EfficiencyReport mirrors the summary"),
+            report.bar_arrivals() == s.bar_arrivals()
+                && report.block_bar_range() == (s.block_bar_min, s.block_bar_max),
+            "bar_arrivals + block_bar_range",
+        );
+        per_block[i] = s.block_bar_max / warps;
+        c.eq_u64(
+            &format!("d{depth}: barriers per block match the schedule"),
+            per_block[i],
+            if depth == 1 { 2 * rounds } else { rounds + 1 },
+        );
+        traces.push(NamedTrace {
+            name: if depth == 1 {
+                "systolic-3x3-d1"
+            } else {
+                "systolic-3x3-d2"
+            },
+            stats,
+            bytes,
+        });
+    }
+    c.check(
+        "depth 2 halves the barrier rounds",
+        barrier_halving(per_block[0], per_block[1]),
+        &format!("(d2 {} - 1) * 2 == d1 {}", per_block[1], per_block[0]),
+    );
+}
+
 /// Serial and threaded captures of the same launch must be byte-identical,
 /// and tracing must not perturb the simulation.
 fn check_determinism(c: &mut Checker, traces: &[NamedTrace]) {
@@ -663,6 +733,7 @@ fn main() {
         check_general_gm(&mut c, k, &mut traces);
     }
     check_sm_layout(&mut c, &mut traces);
+    check_barriers(&mut c, &mut traces);
     check_determinism(&mut c, &traces);
     check_replay(&mut c, &traces);
     check_replay_patterns(&mut c);

@@ -31,6 +31,7 @@ use kconv_core::{
 use kconv_replay::{replay, replay_decoded, sweep, SweepCell, TargetSpec};
 use kconv_sim::mem::lanes;
 use kconv_sim::{BankWidth, Gpu, GpuSpec, LaunchReport, Parallelism, SanitizerMode, SimMode};
+use kconv_systolic::{PipelineConfig, SystolicConv};
 use kconv_tensor::{random_filters, random_maps, ConvProblem};
 use kconv_trace::{SharedBuffer, Trace, TraceWriter};
 
@@ -139,6 +140,33 @@ pub fn corpus() -> Vec<CorpusEntry> {
             Box::new(SpecialConvHalf2::default()),
             ConvProblem::special(66, 16, 3),
         ),
+        // The systolic pipeline's captures, appended after the original
+        // twelve so every earlier capture stays byte-stable: the
+        // double-buffered (depth 2) schedule on the dense anchor, and
+        // the same pipeline over the extended workload matrix (strided
+        // and depthwise). Their v4 traces carry Bar events, so the
+        // sweep also prices barrier-bound launches across the grid.
+        entry(
+            "systolic-3x3-d2",
+            Box::new(SystolicConv::new(PipelineConfig::matched_for(
+                &GpuSpec::kepler_k40m(),
+            ))),
+            ConvProblem::general(34, 8, 8, 3),
+        ),
+        entry(
+            "systolic-3x3-strided",
+            Box::new(SystolicConv::new(PipelineConfig::matched_for(
+                &GpuSpec::kepler_k40m(),
+            ))),
+            ConvProblem::general(34, 8, 8, 3).with_stride(2),
+        ),
+        entry(
+            "systolic-3x3-depthwise",
+            Box::new(SystolicConv::new(PipelineConfig::matched_for(
+                &GpuSpec::kepler_k40m(),
+            ))),
+            ConvProblem::general(34, 8, 8, 3).depthwise(),
+        ),
     ]
 }
 
@@ -168,9 +196,12 @@ pub fn capture_corpus() -> Vec<Capture> {
                 e.problem.width,
                 INPUT_SEED,
             );
+            // `channels_per_group` collapses to `channels` on every dense
+            // entry, so the original captures' filter bytes are unchanged;
+            // the depthwise entry gets its one-channel-per-group filters.
             let filters = random_filters(
                 e.problem.filters,
-                e.problem.channels,
+                e.problem.channels_per_group(),
                 e.problem.k,
                 FILTER_SEED,
             );
@@ -518,7 +549,7 @@ mod tests {
     #[test]
     fn corpus_covers_kernels_shapes_and_dtypes() {
         let entries = corpus();
-        assert!(entries.len() >= 12);
+        assert!(entries.len() >= 15);
         let names: Vec<_> = entries.iter().map(|e| e.name).collect();
         for required in [
             "special-5x5",
@@ -529,11 +560,15 @@ mod tests {
             "special-3x3-int8",
             "special-3x3-n1",
             "special-3x3-half2",
+            "systolic-3x3-d2",
+            "systolic-3x3-strided",
+            "systolic-3x3-depthwise",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
-        // The generator entries are appended after the original ten, so
-        // the farm's first ten captures stay byte-stable across releases.
+        // The corpus is append-only: the systolic entries land after the
+        // original twelve, so every earlier capture stays byte-stable
+        // across releases.
         for (i, required) in [
             "special-3x3",
             "special-5x5",
@@ -545,12 +580,17 @@ mod tests {
             "implicit-gemm-3x3",
             "special-3x3-fp16",
             "special-3x3-int8",
+            "special-3x3-n1",
+            "special-3x3-half2",
         ]
         .iter()
         .enumerate()
         {
             assert_eq!(names[i], *required, "corpus prefix reordered at {i}");
         }
+        // The appended entries exercise the extended workload matrix.
+        assert!(entries.iter().any(|e| e.problem.stride > 1));
+        assert!(entries.iter().any(|e| e.problem.depthwise));
         // Names are unique: they key the JSON rows.
         let mut sorted = names.clone();
         sorted.sort_unstable();

@@ -22,6 +22,7 @@ pub mod farm;
 pub mod fig8;
 pub mod harness;
 pub mod serve;
+pub mod systolic;
 
 /// Prints one `error:` line to stderr and exits with status 2 — the
 /// harness binaries' uniform answer to bad invocations and unusable

@@ -105,6 +105,7 @@ impl Convolution for ExplicitGemmConv {
         filters: &FilterSet,
         mode: SimMode,
     ) -> Result<ConvRun> {
+        crate::run::require_dense(problem)?;
         if !problem.matches(input, filters) {
             return Err(ConvError::Shape(format!(
                 "input/filter shapes do not match {problem}"

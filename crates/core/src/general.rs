@@ -98,6 +98,7 @@ impl Convolution for GeneralConv {
                 problem.stride
             )));
         }
+        crate::run::require_dense(problem)?;
         if !problem.matches(input, filters) {
             return Err(ConvError::Shape(format!(
                 "input/filter shapes do not match {problem}"
@@ -572,6 +573,7 @@ impl Convolution for GeneralConvStrided {
                 problem.stride
             )));
         }
+        crate::run::require_dense(problem)?;
         if !problem.matches(input, filters) {
             return Err(ConvError::Shape(format!(
                 "input/filter shapes do not match {problem}"

@@ -227,6 +227,7 @@ impl Convolution for ImplicitGemmConv {
         filters: &FilterSet,
         mode: SimMode,
     ) -> Result<ConvRun> {
+        crate::run::require_dense(problem)?;
         if !problem.matches(input, filters) {
             return Err(ConvError::Shape(format!(
                 "input/filter shapes do not match {problem}"

@@ -107,18 +107,23 @@ impl Convolution for NaiveConv {
                     return;
                 }
                 let mut acc = [0.0f32; WARP_SIZE];
-                for c in 0..p.channels {
+                let cg = p.channels_per_group();
+                for c in 0..cg {
                     for i in 0..p.k {
                         for j in 0..p.k {
-                            // Input pixel for each lane's output position.
+                            // Input pixel for each lane's output position;
+                            // a depthwise lane reads its own filter's
+                            // channel, taps sit `dilation` apart.
                             let gaddrs = lane_addrs_from(|lane| {
                                 let t = (base + w.thread_id(lane)).min(total - 1);
                                 let px = t % np;
                                 let (oy, ox) = (px / ow, px % ow);
+                                let ci = if p.depthwise { t / np } else { c };
                                 d_in.f32_addr(
-                                    ((c * p.height + oy * p.stride + i) * p.width
+                                    ((ci * p.height + oy * p.stride + i * p.dilation) * p.width
                                         + ox * p.stride
-                                        + j) as u64,
+                                        + j * p.dilation)
+                                        as u64,
                                 )
                             });
                             let pix = if texture {
@@ -132,7 +137,7 @@ impl Convolution for NaiveConv {
                             let faddrs = lane_addrs_from(|lane| {
                                 let t = (base + w.thread_id(lane)).min(total - 1);
                                 let f = t / np;
-                                d_flt.f32_addr(((f * p.channels + c) * kk + i * p.k + j) as u64)
+                                d_flt.f32_addr(((f * cg + c) * kk + i * p.k + j) as u64)
                             });
                             let tap = w.ld_global_ro::<1>(&faddrs, mask);
                             for lane in mask.iter() {
@@ -141,7 +146,7 @@ impl Convolution for NaiveConv {
                         }
                     }
                 }
-                w.count_fma(mask.count() as u64 * (p.channels * kk) as u64);
+                w.count_fma(mask.count() as u64 * (cg * kk) as u64);
                 let oaddrs = lane_addrs_from(|lane| {
                     let t = (base + w.thread_id(lane)).min(total - 1);
                     d_out.f32_addr(t as u64)
@@ -227,6 +232,37 @@ mod tests {
             .unwrap();
         run.verify_executed(&problem, &input, &filters, CONV_TOL)
             .expect("strided naive");
+    }
+
+    #[test]
+    fn workload_matrix_matches_reference() {
+        // Differential grid over (stride, dilation, groups): the naive
+        // kernel against the f64 CPU oracle, seeded per cell.
+        let mut seed = 9000u64;
+        for &stride in &[1usize, 2] {
+            for &dilation in &[1usize, 2] {
+                for &depthwise in &[false, true] {
+                    seed += 17;
+                    let c = 3;
+                    let f = if depthwise { c } else { 2 };
+                    let n = 13;
+                    let mut problem = ConvProblem::general(n, c, f, 3)
+                        .with_stride(stride)
+                        .with_dilation(dilation);
+                    if depthwise {
+                        problem = problem.depthwise();
+                    }
+                    let input = random_maps(c, n, n, seed);
+                    let filters = random_filters(f, problem.channels_per_group(), 3, seed + 1);
+                    let mut gpu = Gpu::new(GpuSpec::kepler_k40m());
+                    let run = NaiveConv::default()
+                        .run(&mut gpu, &problem, &input, &filters, SimMode::Full)
+                        .unwrap_or_else(|e| panic!("{problem}: {e}"));
+                    run.verify_executed(&problem, &input, &filters, CONV_TOL)
+                        .unwrap_or_else(|e| panic!("{problem}: {e}"));
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,8 +54,10 @@ impl OutRegion {
 
 /// Direct "valid" convolution on the CPU, `f64` accumulation:
 ///
-/// `out[f][y][x] = sum over (c, i, j) of in[c][y*S+i][x*S+j] * flt[f][c][i][j]`
-/// (stride `S` from the problem).
+/// `out[f][y][x] = sum over (c, i, j) of in[c][y*S+i*D][x*S+j*D] * flt[f][c][i][j]`
+/// (stride `S` and dilation `D` from the problem). For a depthwise
+/// problem the channel sum collapses to the single channel `f`, read from
+/// filter channel slot 0.
 ///
 /// # Panics
 ///
@@ -93,6 +95,7 @@ pub fn conv_reference_region(
         "region exceeds output"
     );
     let k = problem.k;
+    let d = problem.dilation;
     let mut out = FeatureMaps::zeros(region.nf, region.h, region.w);
     for f in 0..region.nf {
         for y in 0..region.h {
@@ -102,11 +105,19 @@ pub fn conv_reference_region(
                     (region.y0 + y) * problem.stride,
                     (region.x0 + x) * problem.stride,
                 );
-                for c in 0..problem.channels {
+                // Depthwise: output channel f reads only input channel f,
+                // from the filter's single channel slot.
+                let channels = if problem.depthwise {
+                    (region.f0 + f)..(region.f0 + f + 1)
+                } else {
+                    0..problem.channels
+                };
+                for c in channels {
+                    let fc = if problem.depthwise { 0 } else { c };
                     for i in 0..k {
                         for j in 0..k {
-                            acc += input.get(c, iy + i, ix + j) as f64
-                                * filters.get(region.f0 + f, c, i, j) as f64;
+                            acc += input.get(c, iy + i * d, ix + j * d) as f64
+                                * filters.get(region.f0 + f, fc, i, j) as f64;
                         }
                     }
                 }
@@ -196,6 +207,55 @@ mod tests {
         assert_eq!(out.get(0, 0, 0), 0.0);
         assert_eq!(out.get(0, 1, 1), (2 * 7 + 2) as f32);
         assert_eq!(out.get(0, 2, 2), (4 * 7 + 4) as f32);
+    }
+
+    #[test]
+    fn dilated_reference_spreads_taps() {
+        // Dilation 2 with a tap at (1, 1) picks in[y + 2][x + 2].
+        let p = ConvProblem::general(7, 1, 1, 3).with_dilation(2);
+        let input = FeatureMaps::from_fn(1, 7, 7, |_, y, x| (y * 7 + x) as f32);
+        let mut filters = FilterSet::zeros(1, 1, 3);
+        filters.set(0, 0, 1, 1, 1.0);
+        let out = conv_reference(&p, &input, &filters);
+        assert_eq!(out.height(), 3);
+        assert_eq!(out.get(0, 0, 0), (2 * 7 + 2) as f32);
+        assert_eq!(out.get(0, 2, 1), (4 * 7 + 3) as f32);
+    }
+
+    #[test]
+    fn depthwise_reference_keeps_channels_separate() {
+        let p = ConvProblem::general(4, 2, 2, 3).depthwise();
+        // Channel c holds the constant c + 1; filter c is a box of c + 1.
+        let input = FeatureMaps::from_fn(2, 4, 4, |c, _, _| (c + 1) as f32);
+        let filters = FilterSet::from_fn(2, 1, 3, |f, _, _, _| (f + 1) as f32);
+        let out = conv_reference(&p, &input, &filters);
+        // out[f] = 9 * (f+1)^2 — no cross-channel accumulation.
+        assert_eq!(out.get(0, 0, 0), 9.0);
+        assert_eq!(out.get(1, 1, 1), 36.0);
+    }
+
+    #[test]
+    fn depthwise_region_offsets_pick_the_right_channel() {
+        let p = ConvProblem::general(6, 3, 3, 3).depthwise();
+        let input = random_maps(3, 6, 6, 7);
+        let filters = random_filters(3, 1, 3, 9);
+        let full = conv_reference(&p, &input, &filters);
+        let region = OutRegion {
+            f0: 1,
+            nf: 2,
+            y0: 1,
+            x0: 0,
+            h: 2,
+            w: 3,
+        };
+        let part = conv_reference_region(&p, &input, &filters, region);
+        for f in 0..2 {
+            for y in 0..2 {
+                for x in 0..3 {
+                    assert_eq!(part.get(f, y, x), full.get(1 + f, 1 + y, x));
+                }
+            }
+        }
     }
 
     #[test]

@@ -120,6 +120,20 @@ pub trait Convolution {
     ) -> Result<ConvRun>;
 }
 
+/// Rejects dilated and depthwise problems for kernels that only implement
+/// the dense case (dilation 1, all channels accumulated). Strides are
+/// policed separately — the GEMM baselines accept them.
+pub(crate) fn require_dense(problem: &ConvProblem) -> Result<()> {
+    if !problem.is_dense() {
+        return Err(ConvError::Shape(format!(
+            "this kernel supports only dense convolution (dilation 1, no \
+             depthwise grouping), got {problem} (use the systolic or naive \
+             kernels for the extended workload matrix)"
+        )));
+    }
+    Ok(())
+}
+
 /// Builds the clipped output regions of the executed blocks of a launch:
 /// `block_box` maps a block id to `(tile index, first filter, filter
 /// count)` under the kernel's grid layout (shared by the special and

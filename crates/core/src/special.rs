@@ -145,6 +145,7 @@ impl SpecialConv {
                 "fused batch requires the special case (C = 1, stride 1)".into(),
             ));
         }
+        crate::run::require_dense(problem)?;
         for (i, input) in inputs.iter().enumerate() {
             if !problem.matches(input, filters) {
                 return Err(ConvError::Shape(format!(
@@ -317,6 +318,7 @@ impl Convolution for SpecialConv {
                 problem.stride
             )));
         }
+        crate::run::require_dense(problem)?;
         if !problem.matches(input, filters) {
             return Err(ConvError::Shape(format!(
                 "input/filter shapes do not match {problem}"

@@ -546,6 +546,7 @@ fn run_narrow(
             problem.stride
         )));
     }
+    crate::run::require_dense(problem)?;
     if !problem.matches(input, filters) {
         return Err(ConvError::Shape(format!(
             "input/filter shapes do not match {problem}"

@@ -113,6 +113,7 @@ pub fn winograd_conv_3x3(
             problem.k
         )));
     }
+    crate::run::require_dense(problem)?;
     if !problem.matches(input, filters) {
         return Err(ConvError::Shape(format!(
             "input/filter shapes do not match {problem}"

@@ -389,6 +389,12 @@ impl LaunchAccum {
                 stats.cm_cycles += cycles;
                 (0, cycles)
             }
+            TraceOp::Bar => {
+                // Barrier arrivals touch no memory and are
+                // architecture-independent: the counters come from the
+                // launch-end graft, so repricing charges nothing here.
+                (0, 0)
+            }
         }
     }
 
@@ -413,6 +419,7 @@ impl LaunchAccum {
             self.stats.fma_lane_ops = live.fma_lane_ops;
             self.stats.alu_lane_ops = live.alu_lane_ops;
             self.stats.barriers = live.barriers;
+            self.stats.bar_syncs = live.bar_syncs;
         } else {
             self.stats.fma_lane_ops = end.fma_lane_ops;
         }

@@ -21,6 +21,11 @@ pub struct ServeConfig {
     /// Engine route for `F32` requests (narrow dtypes route to the
     /// special-case kernels regardless).
     pub engine: Engine,
+    /// Staging-pipeline depth requested from systolic plans: `0` = auto
+    /// (the deepest schedule that fits shared memory), `1` = the
+    /// stage/compute baseline, `2` = double-buffered. Part of the plan
+    /// cache key, so switching it never reuses a stale resolution.
+    pub pipeline_depth: usize,
     /// Number of simulated streams.
     pub streams: usize,
     /// Maximum requests batched into one dispatch (same problem + dtype).
@@ -45,6 +50,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             engine: Engine::Auto,
+            pipeline_depth: 0,
             streams: 4,
             max_batch: 4,
             queue_capacity: 64,
@@ -380,10 +386,13 @@ impl ServeEngine {
             DType::F16 => DataType::F16,
             DType::I8 => DataType::I8,
         };
-        match self
-            .cache
-            .plan_for(self.cfg.engine, &self.spec, &req.problem, dtype)
-        {
+        match self.cache.plan_with_depth(
+            self.cfg.engine,
+            &self.spec,
+            &req.problem,
+            dtype,
+            self.cfg.pipeline_depth,
+        ) {
             Ok(plan) => chain.push(plan.instantiate()),
             Err(e) => faults.push(FaultRecord {
                 engine: format!("{:?} (resolution)", self.cfg.engine),

@@ -152,6 +152,37 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_depth_selects_the_systolic_schedule_bit_identically() {
+        // A dilated request is outside the dense engines' matrix, so Auto
+        // routes it to the systolic pipeline. Forcing depth 1 vs depth 2
+        // must change the schedule (engine label) but not a single output
+        // bit -- the serving layer inherits the kernel's bit-identity
+        // guarantee across pipeline depths.
+        let p = ConvProblem::general(22, 3, 4, 3).with_dilation(2);
+        let serve_at = |depth: usize| {
+            let cfg = ServeConfig {
+                pipeline_depth: depth,
+                ..ServeConfig::default()
+            };
+            let mut engine = ServeEngine::new(GpuSpec::kepler_k40m(), cfg);
+            let req =
+                ConvRequest::new(p, random_maps(3, 22, 22, 901), random_filters(4, 3, 3, 903));
+            let res = engine.run(vec![req]);
+            let c = res[0].outcome.completion().expect("completed").clone();
+            assert!(c.clean(), "{:?}", c.faults);
+            c
+        };
+        let d1 = serve_at(1);
+        let d2 = serve_at(2);
+        let auto = serve_at(0);
+        assert!(d1.engine.contains("systolic d1"), "{}", d1.engine);
+        assert!(d2.engine.contains("systolic d2"), "{}", d2.engine);
+        assert!(auto.engine.contains("systolic d2"), "{}", auto.engine);
+        assert_eq!(d1.output.as_slice(), d2.output.as_slice());
+        assert_eq!(d2.output.as_slice(), auto.output.as_slice());
+    }
+
+    #[test]
     fn same_seed_same_resolutions() {
         let chaos = ChaosConfig::new(11, FaultSchedule::new(11, 400_000, "").with_window(0, 6))
             .with_spikes(300_000, 5e-4);

@@ -248,6 +248,23 @@ impl<'a> BlockCtx<'a> {
     pub fn sync(&mut self) {
         self.verify_barriers();
         self.stats.barriers += 1;
+        let warps = self.dims.warps();
+        self.stats.bar_syncs += warps as u64;
+        if let Some(events) = self.events.as_mut() {
+            // One arrival event per warp, in warp-id order, so offline
+            // consumers can count per-warp barrier work positionally.
+            for warp in 0..warps {
+                events.push(TraceEvent {
+                    op: TraceOp::Bar,
+                    warp: warp as u32,
+                    mask: LaneMask(0),
+                    lane_bytes: 0,
+                    transactions: 0,
+                    cycles: 0,
+                    addrs: [0; WARP_SIZE],
+                });
+            }
+        }
         self.phase += 1;
     }
 

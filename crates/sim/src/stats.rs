@@ -80,6 +80,12 @@ pub struct KernelStats {
 
     /// `__syncthreads()` barriers executed (summed over blocks).
     pub barriers: u64,
+    /// Per-warp barrier arrivals: each barrier contributes one arrival per
+    /// warp in its block, so `bar_syncs = barriers * warps_per_block` for a
+    /// convergent kernel. This is the counter the pipeline work halves —
+    /// `barriers` tells you *how many* rendezvous points a block ran,
+    /// `bar_syncs` what they cost in warp-instructions.
+    pub bar_syncs: u64,
     /// Thread blocks actually executed by the simulator.
     pub blocks_executed: u64,
     /// Thread blocks the launch logically contains (>= `blocks_executed`
@@ -205,6 +211,7 @@ impl KernelStats {
         self.cm_cycles += other.cm_cycles;
         self.cm_misses += other.cm_misses;
         self.barriers += other.barriers;
+        self.bar_syncs += other.bar_syncs;
         self.blocks_executed += other.blocks_executed;
         self.blocks_total += other.blocks_total;
     }
@@ -246,6 +253,7 @@ impl KernelStats {
             cm_cycles: s(self.cm_cycles),
             cm_misses: s(self.cm_misses),
             barriers: s(self.barriers),
+            bar_syncs: s(self.bar_syncs),
             blocks_executed: self.blocks_executed,
             blocks_total: num,
         }
@@ -285,8 +293,8 @@ impl std::fmt::Display for KernelStats {
         )?;
         write!(
             f,
-            "barriers: {}, blocks: {}/{} executed",
-            self.barriers, self.blocks_executed, self.blocks_total
+            "barriers: {} ({} warp arrivals), blocks: {}/{} executed",
+            self.barriers, self.bar_syncs, self.blocks_executed, self.blocks_total
         )
     }
 }
@@ -319,6 +327,7 @@ mod tests {
             cm_cycles: 3,
             cm_misses: 1,
             barriers: 6,
+            bar_syncs: 12,
             blocks_executed: 2,
             blocks_total: 2,
         }
@@ -363,6 +372,7 @@ mod tests {
         assert_eq!(a.fma_lane_ops, 2000);
         assert_eq!(a.gm_ld_bytes_bus, 4096);
         assert_eq!(a.barriers, 12);
+        assert_eq!(a.bar_syncs, 24);
         assert_eq!(a.blocks_executed, 4);
     }
 

@@ -55,11 +55,17 @@ pub enum TraceOp {
     SmSt = 4,
     /// Constant-memory load ([`WarpCtx::ld_const`](crate::WarpCtx::ld_const)).
     CmLd = 5,
+    /// Block-wide barrier arrival ([`BlockCtx::sync`](crate::BlockCtx::sync)):
+    /// one event per warp per `__syncthreads()`. Touches no memory — the
+    /// mask, byte counts, costs and addresses are all zero — but its
+    /// position in the per-block program-order stream is what lets offline
+    /// tools count barrier rounds and check the pipeline's halving claim.
+    Bar = 6,
 }
 
 impl TraceOp {
     /// Number of distinct op kinds (array-index bound for per-op tables).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All op kinds, in tag order.
     pub const ALL: [TraceOp; TraceOp::COUNT] = [
@@ -69,14 +75,17 @@ impl TraceOp {
         TraceOp::SmLd,
         TraceOp::SmSt,
         TraceOp::CmLd,
+        TraceOp::Bar,
     ];
 
-    /// The memory space this op touches.
-    pub fn space(self) -> MemSpace {
+    /// The memory space this op touches — `None` for [`TraceOp::Bar`],
+    /// which is a synchronization event, not a memory access.
+    pub fn space(self) -> Option<MemSpace> {
         match self {
-            TraceOp::GmLd | TraceOp::GmSt | TraceOp::GmLdRo => MemSpace::Global,
-            TraceOp::SmLd | TraceOp::SmSt => MemSpace::Shared,
-            TraceOp::CmLd => MemSpace::Constant,
+            TraceOp::GmLd | TraceOp::GmSt | TraceOp::GmLdRo => Some(MemSpace::Global),
+            TraceOp::SmLd | TraceOp::SmSt => Some(MemSpace::Shared),
+            TraceOp::CmLd => Some(MemSpace::Constant),
+            TraceOp::Bar => None,
         }
     }
 
@@ -105,6 +114,7 @@ impl std::fmt::Display for TraceOp {
             TraceOp::SmLd => "sm.ld",
             TraceOp::SmSt => "sm.st",
             TraceOp::CmLd => "cm.ld",
+            TraceOp::Bar => "bar.sync",
         })
     }
 }
@@ -220,6 +230,7 @@ pub(crate) fn cost_counters(stats: &KernelStats, op: TraceOp) -> (u64, u64) {
         TraceOp::SmLd => (0, stats.sm_ld_cycles),
         TraceOp::SmSt => (0, stats.sm_st_cycles),
         TraceOp::CmLd => (0, stats.cm_cycles),
+        TraceOp::Bar => (0, 0),
     }
 }
 
@@ -232,16 +243,18 @@ mod tests {
         for op in TraceOp::ALL {
             assert_eq!(TraceOp::from_u8(op as u8), Some(op));
         }
-        assert_eq!(TraceOp::from_u8(6), None);
+        assert_eq!(TraceOp::from_u8(7), None);
     }
 
     #[test]
     fn op_spaces_and_stores() {
-        assert_eq!(TraceOp::GmLdRo.space(), MemSpace::Global);
-        assert_eq!(TraceOp::SmSt.space(), MemSpace::Shared);
-        assert_eq!(TraceOp::CmLd.space(), MemSpace::Constant);
+        assert_eq!(TraceOp::GmLdRo.space(), Some(MemSpace::Global));
+        assert_eq!(TraceOp::SmSt.space(), Some(MemSpace::Shared));
+        assert_eq!(TraceOp::CmLd.space(), Some(MemSpace::Constant));
+        assert_eq!(TraceOp::Bar.space(), None);
         assert!(TraceOp::GmSt.is_store() && TraceOp::SmSt.is_store());
         assert!(!TraceOp::GmLd.is_store() && !TraceOp::CmLd.is_store());
+        assert!(!TraceOp::Bar.is_store());
     }
 
     #[test]
@@ -277,6 +290,7 @@ mod tests {
         assert_eq!(cost_counters(&stats, TraceOp::SmLd), (0, 7));
         assert_eq!(cost_counters(&stats, TraceOp::SmSt), (0, 11));
         assert_eq!(cost_counters(&stats, TraceOp::CmLd), (0, 13));
+        assert_eq!(cost_counters(&stats, TraceOp::Bar), (0, 0));
     }
 
     #[test]

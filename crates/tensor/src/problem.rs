@@ -34,6 +34,13 @@ pub struct ConvProblem {
     pub k: usize,
     /// Spatial stride `S` (1 unless set via [`ConvProblem::with_stride`]).
     pub stride: usize,
+    /// Spatial dilation `D`: taps sample `i * D` apart (1 unless set via
+    /// [`ConvProblem::with_dilation`]).
+    pub dilation: usize,
+    /// Depthwise convolution (`groups == channels`): filter `f` convolves
+    /// only input channel `f`, so `filters == channels` and each filter
+    /// carries a single channel. Set via [`ConvProblem::depthwise`].
+    pub depthwise: bool,
 }
 
 impl ConvProblem {
@@ -58,6 +65,8 @@ impl ConvProblem {
             filters,
             k,
             stride: 1,
+            dilation: 1,
+            depthwise: false,
         }
     }
 
@@ -72,6 +81,70 @@ impl ConvProblem {
         self
     }
 
+    /// Returns the problem with spatial dilation `dilation`: filter tap
+    /// `(i, j)` samples the input at offset `(i * D, j * D)`, so the
+    /// receptive field grows to `(K-1)*D + 1` without more taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dilation` is zero or the dilated receptive field exceeds
+    /// the image.
+    pub fn with_dilation(mut self, dilation: usize) -> Self {
+        assert!(dilation > 0, "dilation must be positive");
+        self.dilation = dilation;
+        let span = self.k_span();
+        assert!(
+            span <= self.height && span <= self.width,
+            "dilated filter span {span} exceeds image {}x{}",
+            self.height,
+            self.width
+        );
+        self
+    }
+
+    /// Returns the problem as a depthwise convolution: `groups ==
+    /// channels`, filter `f` convolving only input channel `f`. The
+    /// filter bank carries one channel per filter
+    /// (`FilterSet::zeros(C, 1, K)` shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters != channels` — depthwise requires one filter
+    /// per input channel.
+    pub fn depthwise(mut self) -> Self {
+        assert!(
+            self.filters == self.channels,
+            "depthwise requires filters == channels, got F={} C={}",
+            self.filters,
+            self.channels
+        );
+        self.depthwise = true;
+        self
+    }
+
+    /// The dilated receptive-field extent `(K-1)*D + 1` (equals `K` for
+    /// dilation 1).
+    pub fn k_span(&self) -> usize {
+        (self.k - 1) * self.dilation + 1
+    }
+
+    /// Whether this is the dense, undilated case every paper kernel
+    /// supports (dilation 1, not depthwise). Strides are checked
+    /// separately — the GEMM baselines accept them.
+    pub fn is_dense(&self) -> bool {
+        self.dilation == 1 && !self.depthwise
+    }
+
+    /// Channels accumulated into one output element: `C` for dense
+    /// convolution, 1 per group for depthwise.
+    pub fn channels_per_group(&self) -> usize {
+        if self.depthwise {
+            1
+        } else {
+            self.channels
+        }
+    }
+
     /// Special-case problem: one channel, square `n x n` image.
     pub fn special(n: usize, filters: usize, k: usize) -> Self {
         ConvProblem::new(1, n, n, filters, k)
@@ -82,14 +155,14 @@ impl ConvProblem {
         ConvProblem::new(channels, n, n, filters, k)
     }
 
-    /// Output height `(H - K) / S + 1`.
+    /// Output height `(H - ((K-1)*D + 1)) / S + 1`.
     pub fn out_height(&self) -> usize {
-        (self.height - self.k) / self.stride + 1
+        (self.height - self.k_span()) / self.stride + 1
     }
 
-    /// Output width `(W - K) / S + 1`.
+    /// Output width `(W - ((K-1)*D + 1)) / S + 1`.
     pub fn out_width(&self) -> usize {
-        (self.width - self.k) / self.stride + 1
+        (self.width - self.k_span()) / self.stride + 1
     }
 
     /// Output elements per filter.
@@ -98,21 +171,23 @@ impl ConvProblem {
     }
 
     /// Floating-point operations of the direct algorithm
-    /// (`2 * C * K^2` per output element per filter).
+    /// (`2 * C * K^2` per output element per filter; depthwise
+    /// accumulates a single channel per output).
     pub fn flops(&self) -> u64 {
-        2 * self.channels as u64
+        2 * self.channels_per_group() as u64
             * (self.k * self.k) as u64
             * self.filters as u64
             * self.out_pixels() as u64
     }
 
-    /// Whether `input` and `filters` match this problem's shapes.
+    /// Whether `input` and `filters` match this problem's shapes. A
+    /// depthwise problem expects one filter channel per filter.
     pub fn matches(&self, input: &FeatureMaps, filters: &FilterSet) -> bool {
         input.channels() == self.channels
             && input.height() == self.height
             && input.width() == self.width
             && filters.count() == self.filters
-            && filters.channels() == self.channels
+            && filters.channels() == self.channels_per_group()
             && filters.k() == self.k
     }
 }
@@ -123,7 +198,17 @@ impl std::fmt::Display for ConvProblem {
             f,
             "conv C={} {}x{} K={} F={} S={}",
             self.channels, self.height, self.width, self.k, self.filters, self.stride
-        )
+        )?;
+        // Markers only for the non-default axes, so dense problem names
+        // (plan-cache keys, trace names, farm corpus entries) are
+        // byte-stable across this extension.
+        if self.dilation != 1 {
+            write!(f, " D={}", self.dilation)?;
+        }
+        if self.depthwise {
+            write!(f, " dw")?;
+        }
+        Ok(())
     }
 }
 
@@ -196,5 +281,63 @@ mod tests {
     fn display_format() {
         let s = ConvProblem::general(8, 2, 3, 3).to_string();
         assert!(s.contains("C=2") && s.contains("K=3") && s.contains("F=3") && s.contains("S=1"));
+        // Dense problems display exactly as before the dilation/depthwise
+        // axes existed (plan-cache keys and corpus names depend on this).
+        assert_eq!(s, "conv C=2 8x8 K=3 F=3 S=1");
+        let d = ConvProblem::general(9, 1, 1, 3)
+            .with_dilation(2)
+            .to_string();
+        assert!(d.ends_with("D=2"));
+        let dw = ConvProblem::general(8, 4, 4, 3).depthwise().to_string();
+        assert!(dw.ends_with("dw"));
+    }
+
+    #[test]
+    fn dilation_shrinks_output_by_span() {
+        let p = ConvProblem::special(9, 1, 3).with_dilation(2);
+        assert_eq!(p.k_span(), 5);
+        assert_eq!(p.out_height(), 5);
+        assert_eq!(p.out_width(), 5);
+        // Combined with stride.
+        let p = ConvProblem::special(9, 1, 3)
+            .with_dilation(2)
+            .with_stride(2);
+        assert_eq!(p.out_height(), 3);
+        // Default dilation is 1 and leaves the dense dims unchanged.
+        let p = ConvProblem::special(9, 1, 3);
+        assert_eq!(p.dilation, 1);
+        assert_eq!(p.k_span(), 3);
+        assert!(p.is_dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation must be positive")]
+    fn zero_dilation_rejected() {
+        ConvProblem::special(8, 1, 3).with_dilation(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds image")]
+    fn oversized_dilated_span_rejected() {
+        ConvProblem::special(5, 1, 3).with_dilation(3); // span 7 > 5
+    }
+
+    #[test]
+    fn depthwise_matches_single_channel_filters() {
+        let p = ConvProblem::general(8, 4, 4, 3).depthwise();
+        assert!(p.depthwise && !p.is_dense());
+        assert_eq!(p.channels_per_group(), 1);
+        let input = FeatureMaps::zeros(4, 8, 8);
+        assert!(p.matches(&input, &FilterSet::zeros(4, 1, 3)));
+        assert!(!p.matches(&input, &FilterSet::zeros(4, 4, 3)));
+        // Depthwise flops drop the channel accumulation factor.
+        let dense = ConvProblem::general(8, 4, 4, 3);
+        assert_eq!(p.flops() * 4, dense.flops());
+    }
+
+    #[test]
+    #[should_panic(expected = "filters == channels")]
+    fn depthwise_requires_matching_filter_count() {
+        ConvProblem::general(8, 4, 2, 3).depthwise();
     }
 }

@@ -85,7 +85,7 @@ impl EfficiencyReport {
             }
             fn block_begin(&mut self, _block_id: u64, _event_count: u64) {
                 if let Some(acc) = self.open.as_mut() {
-                    acc.summary.blocks += 1;
+                    acc.summary.begin_block();
                 }
             }
             fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
@@ -122,8 +122,7 @@ impl EfficiencyReport {
                 let Some(mut acc) = self.open.take() else {
                     return;
                 };
-                acc.summary.aborted = end.aborted;
-                acc.summary.fma_lane_ops = end.fma_lane_ops;
+                acc.summary.finalize(end);
                 let mut multiplicity = [0u64; 4];
                 let mut max_reads = 0u64;
                 let mut lines = std::collections::HashSet::new();
@@ -166,6 +165,19 @@ impl EfficiencyReport {
     /// Words loaded exactly once.
     pub fn words_read_once(&self) -> u64 {
         self.gm_read_multiplicity[0]
+    }
+
+    /// Barrier-arrival events across the launch (one per warp per
+    /// `__syncthreads()`); see [`TraceSummary::bar_arrivals`].
+    pub fn bar_arrivals(&self) -> u64 {
+        self.summary.bar_arrivals()
+    }
+
+    /// Per-block barrier-arrival range `(min, max)` — equal components
+    /// mean every block ran the same number of barrier rounds, the
+    /// precondition for the pipeline's per-block halving claim.
+    pub fn block_bar_range(&self) -> (u64, u64) {
+        (self.summary.block_bar_min, self.summary.block_bar_max)
     }
 
     /// Word-granular loads beyond the first touch of each word — 0 means

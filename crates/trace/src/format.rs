@@ -54,9 +54,13 @@ use crate::TraceError;
 
 /// File magic: the first four bytes of every trace.
 pub const MAGIC: [u8; 4] = *b"KTRC";
-/// Format version the writer emits. The reader also accepts [`V1`] and
-/// [`V2`].
-pub const VERSION: u8 = 3;
+/// Format version the writer emits. The reader also accepts [`V1`],
+/// [`V2`] and [`V3`].
+pub const VERSION: u8 = 4;
+/// The legacy version whose stats record predates
+/// [`KernelStats::bar_syncs`] and whose event stream predates
+/// [`TraceOp::Bar`](kconv_sim::TraceOp::Bar) (readable, no longer written).
+pub const V3: u8 = 3;
 /// The legacy version whose embedded spec predates
 /// [`GpuSpec::ro_cache_bytes`] (readable, no longer written).
 pub const V2: u8 = 2;
@@ -235,12 +239,14 @@ fn encode_stats(buf: &mut Vec<u8>, s: &KernelStats) {
         s.barriers,
         s.blocks_executed,
         s.blocks_total,
+        // v4 appends bar_syncs after the frozen v2/v3 tail.
+        s.bar_syncs,
     ] {
         write_u64(buf, v);
     }
 }
 
-fn decode_stats(cur: &mut Cursor<'_>) -> Result<KernelStats, TraceError> {
+fn decode_stats(cur: &mut Cursor<'_>, version: u8) -> Result<KernelStats, TraceError> {
     let mut s = KernelStats {
         fma_lane_ops: cur.read_u64("stats fma lane ops")?,
         alu_lane_ops: cur.read_u64("stats alu lane ops")?,
@@ -270,6 +276,12 @@ fn decode_stats(cur: &mut Cursor<'_>) -> Result<KernelStats, TraceError> {
     s.barriers = cur.read_u64("stats barriers")?;
     s.blocks_executed = cur.read_u64("stats blocks executed")?;
     s.blocks_total = cur.read_u64("stats blocks total")?;
+    s.bar_syncs = if version >= 4 {
+        cur.read_u64("stats bar syncs")?
+    } else {
+        // Pre-v4 captures did not count barrier arrivals.
+        0
+    };
     Ok(s)
 }
 
@@ -588,7 +600,7 @@ pub fn read_trace(bytes: &[u8], visitor: &mut impl TraceVisitor) -> Result<(), T
                 }
                 let aborted = cur.read_u8("aborted flag")? != 0;
                 let end = if version >= 2 {
-                    let stats = decode_stats(&mut cur)?;
+                    let stats = decode_stats(&mut cur, version)?;
                     LaunchEnd {
                         aborted,
                         fma_lane_ops: stats.fma_lane_ops,
@@ -699,8 +711,8 @@ mod tests {
             warp,
             mask: LaneMask(mask),
             lane_bytes: 4,
-            transactions: u32::from(op.space() == kconv_sim::MemSpace::Global),
-            cycles: u32::from(op.space() != kconv_sim::MemSpace::Global),
+            transactions: u32::from(op.space() == Some(kconv_sim::MemSpace::Global)),
+            cycles: u32::from(op.space() != Some(kconv_sim::MemSpace::Global)),
             addrs,
         }
     }
@@ -959,6 +971,44 @@ mod tests {
         assert_eq!(l.blocks[0].1, want);
     }
 
+    /// Hand-encodes the frozen v2/v3 stats record (no `bar_syncs` tail).
+    fn encode_stats_pre_v4(bytes: &mut Vec<u8>, s: &KernelStats) {
+        for v in [
+            s.fma_lane_ops,
+            s.alu_lane_ops,
+            s.gm_ld_requests,
+            s.gm_st_requests,
+            s.gm_ld_transactions,
+            s.gm_st_transactions,
+            s.gm_ld_bytes_bus,
+            s.gm_st_bytes_bus,
+            s.gm_ld_bytes_useful,
+            s.gm_st_bytes_useful,
+            s.gm_ro_hits,
+            s.sm_ld_requests,
+            s.sm_st_requests,
+            s.sm_ld_cycles,
+            s.sm_st_cycles,
+            s.sm_bytes_useful,
+            s.sm_broadcasts,
+        ] {
+            write_u64(bytes, v);
+        }
+        for v in s.sm_conflict_histogram {
+            write_u64(bytes, v);
+        }
+        for v in [
+            s.cm_requests,
+            s.cm_cycles,
+            s.cm_misses,
+            s.barriers,
+            s.blocks_executed,
+            s.blocks_total,
+        ] {
+            write_u64(bytes, v);
+        }
+    }
+
     /// Hand-encodes a v2 stream: the frozen pre-`ro_cache_bytes` layout the
     /// reader must keep accepting.
     fn encode_v2_stream(spec: &GpuSpec, events: &[TraceEvent], stats: &KernelStats) -> Vec<u8> {
@@ -1002,7 +1052,7 @@ mod tests {
         }
         bytes.push(TAG_LAUNCH_END);
         bytes.push(0); // not aborted
-        encode_stats(&mut bytes, stats);
+        encode_stats_pre_v4(&mut bytes, stats);
         bytes
     }
 
@@ -1026,6 +1076,101 @@ mod tests {
         for cut in 0..bytes.len() {
             let _ = read_launches(&bytes[..cut]);
         }
+    }
+
+    /// Hand-encodes a v3 stream: the frozen pre-`bar_syncs` layout (full
+    /// spec including `ro_cache_bytes`, stats without the v4 tail) the
+    /// reader must keep accepting.
+    fn encode_v3_stream(spec: &GpuSpec, events: &[TraceEvent], stats: &KernelStats) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(V3);
+        bytes.push(TAG_LAUNCH_BEGIN);
+        write_u64(&mut bytes, 2);
+        bytes.extend_from_slice(b"v3");
+        write_u64(&mut bytes, 1); // grid blocks
+        write_u64(&mut bytes, 1); // executed blocks
+        write_u64(&mut bytes, 64); // threads per block
+        write_u64(&mut bytes, 2048); // smem bytes
+        write_u64(&mut bytes, 40); // regs per thread
+        bytes.push(OverlapMode::Moderate.as_u8());
+        // The v3 spec layout is the current one (encode_spec is unchanged
+        // since v3 introduced ro_cache_bytes).
+        encode_spec(&mut bytes, spec);
+        bytes.push(TAG_BLOCK);
+        write_u64(&mut bytes, 0);
+        write_u64(&mut bytes, events.len() as u64);
+        for ev in events {
+            encode_event(&mut bytes, ev);
+        }
+        bytes.push(TAG_LAUNCH_END);
+        bytes.push(0); // not aborted
+        encode_stats_pre_v4(&mut bytes, stats);
+        bytes
+    }
+
+    #[test]
+    fn v3_traces_decode_with_zero_bar_syncs() {
+        let spec = capture_spec();
+        let events = vec![
+            ev(TraceOp::GmLd, 0, u32::MAX, 4, 4096),
+            ev(TraceOp::SmSt, 1, 0x00ff_00ff, 8, 0),
+        ];
+        let stats = KernelStats {
+            fma_lane_ops: 321,
+            barriers: 9,
+            blocks_executed: 1,
+            blocks_total: 1,
+            ..Default::default()
+        };
+        let bytes = encode_v3_stream(&spec, &events, &stats);
+        let launches = read_launches(&bytes).unwrap();
+        assert_eq!(launches.len(), 1);
+        let l = &launches[0];
+        assert_eq!(l.header.kernel, "v3");
+        assert_eq!(l.header.spec.as_ref(), Some(&spec));
+        let got = l.end.stats.as_ref().unwrap();
+        assert_eq!(got.barriers, 9);
+        // Pre-v4 captures carry no arrival counts: default to zero.
+        assert_eq!(got.bar_syncs, 0);
+        assert_eq!(got, &stats);
+        let want: Vec<TraceEvent> = events.iter().map(|e| e.canonical()).collect();
+        assert_eq!(l.blocks[0].1, want);
+        // Truncation at every byte must never panic.
+        for cut in 0..bytes.len() {
+            let _ = read_launches(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn v4_round_trips_bar_syncs_and_bar_events() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        let spec = capture_spec();
+        w.launch_begin(&launch("k-bar", 1, &spec));
+        let bar = TraceEvent {
+            op: TraceOp::Bar,
+            warp: 1,
+            mask: LaneMask(0),
+            lane_bytes: 0,
+            transactions: 0,
+            cycles: 0,
+            addrs: [0; WARP_SIZE],
+        };
+        let events = vec![ev(TraceOp::SmLd, 0, u32::MAX, 4, 0), bar];
+        w.block_events(0, &events);
+        let stats = KernelStats {
+            barriers: 4,
+            bar_syncs: 8,
+            blocks_executed: 1,
+            blocks_total: 1,
+            ..Default::default()
+        };
+        w.launch_end(&stats);
+        let launches = read_launches(&buf.take()).unwrap();
+        let l = &launches[0];
+        assert_eq!(l.end.stats.as_ref().unwrap().bar_syncs, 8);
+        assert_eq!(l.blocks[0].1[1], bar);
     }
 
     #[test]

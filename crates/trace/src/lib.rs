@@ -62,7 +62,7 @@ pub use analyze::{EfficiencyReport, KernelMeta, LINE_BYTES, WORD_BYTES};
 pub use decoded::{BlockView, DecodedLaunch, EventHead, Trace};
 pub use format::{
     read_launches, read_trace, LaunchEnd, LaunchHeader, LaunchTrace, SharedBuffer, TraceVisitor,
-    TraceWriter, MAGIC, V1, V2, VERSION,
+    TraceWriter, MAGIC, V1, V2, V3, VERSION,
 };
 pub use summary::{OpTotals, TraceSummary};
 

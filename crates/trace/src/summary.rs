@@ -46,6 +46,18 @@ pub struct TraceSummary {
     pub fma_lane_ops: u64,
     /// Whether the launch aborted (faulted or truncated trace).
     pub aborted: bool,
+    /// Fewest barrier-arrival events recorded by any single block in the
+    /// trace (0 when the trace holds no blocks). With one
+    /// [`TraceOp::Bar`] event per warp per `__syncthreads()`, a block of
+    /// `w` warps running `b` barriers records `w * b` arrivals.
+    pub block_bar_min: u64,
+    /// Most barrier-arrival events recorded by any single block.
+    pub block_bar_max: u64,
+    /// Arrivals in the block currently being absorbed; folded into
+    /// min/max at the next block boundary or at launch end.
+    open_block_bars: u64,
+    /// Whether a block is open (so empty traces fold nothing).
+    in_block: bool,
 }
 
 impl TraceSummary {
@@ -58,6 +70,10 @@ impl TraceSummary {
             sm_conflict_histogram: [0; 6],
             fma_lane_ops: 0,
             aborted: true,
+            block_bar_min: u64::MAX,
+            block_bar_max: 0,
+            open_block_bars: 0,
+            in_block: false,
         }
     }
 
@@ -72,6 +88,36 @@ impl TraceSummary {
         if matches!(ev.op, TraceOp::SmLd | TraceOp::SmSt) && ev.cycles > 0 {
             self.sm_conflict_histogram[KernelStats::conflict_bucket(u64::from(ev.cycles))] += 1;
         }
+        if ev.op == TraceOp::Bar {
+            self.open_block_bars += 1;
+        }
+    }
+
+    /// Marks a block boundary: folds the previous block's barrier count
+    /// and counts the new block.
+    pub(crate) fn begin_block(&mut self) {
+        self.fold_open_block();
+        self.blocks += 1;
+        self.in_block = true;
+    }
+
+    fn fold_open_block(&mut self) {
+        if self.in_block {
+            self.block_bar_min = self.block_bar_min.min(self.open_block_bars);
+            self.block_bar_max = self.block_bar_max.max(self.open_block_bars);
+            self.open_block_bars = 0;
+            self.in_block = false;
+        }
+    }
+
+    /// Applies the launch-end record and closes the last block.
+    pub(crate) fn finalize(&mut self, end: &LaunchEnd) {
+        self.fold_open_block();
+        if self.block_bar_min == u64::MAX {
+            self.block_bar_min = 0;
+        }
+        self.aborted = end.aborted;
+        self.fma_lane_ops = end.fma_lane_ops;
     }
 
     /// Summarizes every launch in a binary trace, in file order.
@@ -91,7 +137,7 @@ impl TraceSummary {
             }
             fn block_begin(&mut self, _block_id: u64, _event_count: u64) {
                 if let Some(open) = self.open.as_mut() {
-                    open.blocks += 1;
+                    open.begin_block();
                 }
             }
             fn event(&mut self, _block_id: u64, ev: &TraceEvent) {
@@ -101,8 +147,7 @@ impl TraceSummary {
             }
             fn launch_end(&mut self, end: &LaunchEnd) {
                 if let Some(mut open) = self.open.take() {
-                    open.aborted = end.aborted;
-                    open.fma_lane_ops = end.fma_lane_ops;
+                    open.finalize(end);
                     self.done.push(open);
                 }
             }
@@ -142,6 +187,14 @@ impl TraceSummary {
     /// Shared-memory warp accesses (loads + stores).
     pub fn sm_accesses(&self) -> u64 {
         self.op(TraceOp::SmLd).events + self.op(TraceOp::SmSt).events
+    }
+
+    /// Barrier-arrival events across the launch (one per warp per
+    /// `__syncthreads()`) — the trace-side counterpart of
+    /// [`KernelStats::bar_syncs`]. 0 for pre-v4 captures, which did not
+    /// record [`TraceOp::Bar`] events.
+    pub fn bar_arrivals(&self) -> u64 {
+        self.op(TraceOp::Bar).events
     }
 
     /// Shared-memory cycles per FMA lane-op — the paper's "SM transactions
@@ -219,5 +272,50 @@ mod tests {
         assert_eq!(s.sm_conflict_histogram, [1, 0, 1, 0, 0, 1]);
         assert_eq!(s.fma_lane_ops, 1000);
         assert_eq!(s.sm_cycles_per_fma(), Some(0.037));
+        // No Bar events in this trace: zero arrivals everywhere.
+        assert_eq!(s.bar_arrivals(), 0);
+        assert_eq!((s.block_bar_min, s.block_bar_max), (0, 0));
+    }
+
+    fn bar() -> TraceEvent {
+        TraceEvent {
+            op: TraceOp::Bar,
+            warp: 0,
+            mask: LaneMask(0),
+            lane_bytes: 0,
+            transactions: 0,
+            cycles: 0,
+            addrs: [0; WARP_SIZE],
+        }
+    }
+
+    #[test]
+    fn per_block_bar_counts_roll_into_min_max() {
+        let buf = SharedBuffer::new();
+        let mut w = TraceWriter::new(buf.clone());
+        let spec = GpuSpec::kepler_k40m();
+        w.launch_begin(&TraceLaunch {
+            kernel: "k",
+            grid_blocks: 3,
+            executed_blocks: 3,
+            threads_per_block: 32,
+            smem_bytes: 0,
+            regs_per_thread: 32,
+            overlap: OverlapMode::Prefetch,
+            spec: &spec,
+        });
+        // Blocks with 2, 4 and 0 barrier arrivals.
+        w.block_events(0, &[bar(), ev(TraceOp::GmLd, 32, 0, 2), bar()]);
+        w.block_events(1, &[bar(), bar(), bar(), bar()]);
+        w.block_events(2, &[ev(TraceOp::SmLd, 32, 1, 0)]);
+        w.launch_end(&KernelStats::default());
+        let summaries = TraceSummary::from_bytes(&buf.take()).unwrap();
+        let s = &summaries[0];
+        assert_eq!(s.bar_arrivals(), 6);
+        assert_eq!(s.block_bar_min, 0);
+        assert_eq!(s.block_bar_max, 4);
+        // Bar events move no bytes and charge no costs.
+        assert_eq!(s.op(TraceOp::Bar).useful_bytes, 0);
+        assert_eq!(s.op(TraceOp::Bar).cycles, 0);
     }
 }

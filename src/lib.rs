@@ -14,6 +14,9 @@
 //! * [`arch`] — the architecture-adaptive kernel generator: derives the
 //!   matched vector factor for any spec/dtype (eq. 1 in reverse) and
 //!   proves it by trace replay;
+//! * [`systolic`] — the double-buffered staging pipeline executor:
+//!   ping/pong shared-memory rounds (one barrier per round instead of two)
+//!   over the strided/dilated/depthwise workload matrix;
 //! * [`gemm`] — the blocked SGEMM kernels of the Fig. 2 motivation
 //!   experiment;
 //! * [`trace`] — binary warp traces and memory-efficiency analysis on top
@@ -55,6 +58,7 @@ pub use kconv_gemm as gemm;
 pub use kconv_replay as replay;
 pub use kconv_serve as serve;
 pub use kconv_sim as sim;
+pub use kconv_systolic as systolic;
 pub use kconv_tensor as tensor;
 pub use kconv_trace as trace;
 
@@ -67,6 +71,7 @@ pub mod prelude {
     };
     pub use kconv_gemm::{launch_gemm, GemmConfig, GemmShape};
     pub use kconv_sim::{Gpu, GpuSpec, Parallelism, SimMode};
+    pub use kconv_systolic::{PipelineConfig, SystolicConv};
     pub use kconv_tensor::{
         random_filters, random_image, random_maps, ConvProblem, FeatureMaps, FilterSet, Image,
         CONV_TOL,
